@@ -1,0 +1,64 @@
+//! Figure 11 (section 6.5): the importance of LBRs — improvements on
+//! several metrics for the HHVM-like workload when BOLT uses LBR profiles
+//! versus plain IP samples, for three scenarios: function reordering only,
+//! basic-block passes only, and everything.
+//!
+//! Paper shape: LBR helps everywhere; the gap is larger for basic-block
+//! layout than for function reordering (block layout needs fine-grained
+//! edge counts, section 6.5).
+
+use bolt_bench::*;
+use bolt_compiler::CompileOptions;
+use bolt_opt::{optimize, BoltOptions};
+use bolt_passes::PassOptions;
+use bolt_sim::{Counters, SimConfig};
+use bolt_workloads::{Scale, Workload};
+
+fn main() {
+    banner("Figure 11", "LBR vs non-LBR profile quality, HHVM-like");
+    let cfg = SimConfig::server();
+    let program = Workload::Hhvm.build(Scale::Bench);
+    let baseline = build(&program, &CompileOptions { lto: true, ..CompileOptions::default() });
+
+    let (lbr_profile, base) = profile_lbr(&baseline, &cfg);
+    let ip_profile = profile_ip(&baseline, SAMPLE_PERIOD / 16);
+
+    let scenarios: [(&str, PassOptions); 3] = [
+        ("Functions", PassOptions::functions_only()),
+        ("BBs", PassOptions::bbs_only()),
+        ("Both", PassOptions::default()),
+    ];
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "scenario", "Instructions", "Branch-miss", "I-cache-miss", "LLC-miss", "iTLB-miss", "CPU time"
+    );
+    for (name, passes) in scenarios {
+        let mut opts = BoltOptions::paper_default();
+        opts.passes = passes;
+
+        let with_lbr = optimize(&baseline, &lbr_profile, &opts).expect("bolt lbr");
+        let lbr_run = measure(&with_lbr.elf, &cfg);
+        assert_same_behavior(&base, &lbr_run, name);
+
+        let with_ip = optimize(&baseline, &ip_profile, &opts).expect("bolt ip");
+        let ip_run = measure(&with_ip.elf, &cfg);
+        assert_same_behavior(&base, &ip_run, name);
+
+        // "Improvement from having LBRs": reduction of each metric in the
+        // LBR build relative to the non-LBR build (higher is better).
+        let l = &lbr_run.counters;
+        let i = &ip_run.counters;
+        println!(
+            "{:<10} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}% {:>9.2}%",
+            name,
+            Counters::reduction(i.instructions, l.instructions),
+            Counters::reduction(i.branch_mispredicts, l.branch_mispredicts),
+            Counters::reduction(i.l1i_misses, l.l1i_misses),
+            Counters::reduction(i.llc_misses, l.llc_misses),
+            Counters::reduction(i.itlb_misses, l.itlb_misses),
+            100.0 * (i.cycles - l.cycles) / i.cycles.max(1.0),
+        );
+    }
+    println!("(paper: LBR worth ~2% CPU time overall; BB layout depends on it more than function layout)");
+}

@@ -1,0 +1,76 @@
+//! Figure 7: Clang-like workload speedups over the plain `-O2` baseline
+//! for BOLT, PGO+LTO, and PGO+LTO+BOLT across three inputs plus the full
+//! build.
+//!
+//! Paper shape: BOLT alone 22–52%, PGO+LTO 21–40%, the combination the
+//! best at 34–68% — i.e. the techniques are complementary (contribution 3).
+
+use bolt_bench::*;
+use bolt_compiler::CompileOptions;
+use bolt_elf::Elf;
+use bolt_sim::SimConfig;
+use bolt_workloads::{Scale, Workload};
+
+fn inputs(full: i64) -> [(&'static str, i64); 4] {
+    [
+        ("input1", full / 8),
+        ("input2", full / 4),
+        ("input3", full / 2),
+        ("clang-build", full),
+    ]
+}
+
+fn measure_inputs(elf: &Elf, cfg: &SimConfig, full: i64) -> Vec<RunResult> {
+    inputs(full)
+        .iter()
+        .map(|&(_, n)| {
+            let mut e = elf.clone();
+            set_input_size(&mut e, n);
+            measure(&e, cfg)
+        })
+        .collect()
+}
+
+fn main() {
+    banner("Figure 7", "Clang-like: BOLT vs PGO+LTO vs PGO+LTO+BOLT");
+    let cfg = SimConfig::server();
+    let program = Workload::ClangLike.build(Scale::Bench);
+    let full = 250_000i64;
+
+    // Baseline -O2 and its profile (training input = the full build).
+    let base_elf = build(&program, &CompileOptions::default());
+    let (base_profile, _) = profile_lbr(&base_elf, &cfg);
+    let base_runs = measure_inputs(&base_elf, &cfg, full);
+
+    // BOLT on the baseline.
+    let bolt_elf = bolt_with_profile(&base_elf, &base_profile).elf;
+    let bolt_runs = measure_inputs(&bolt_elf, &cfg, full);
+
+    // PGO+LTO rebuild from the source profile.
+    let sp = to_source_profile(&base_profile, &base_elf);
+    let pgo_elf = build(&program, &CompileOptions::pgo_lto(sp));
+    let (pgo_profile, _) = profile_lbr(&pgo_elf, &cfg);
+    let pgo_runs = measure_inputs(&pgo_elf, &cfg, full);
+
+    // BOLT on top of PGO+LTO.
+    let both_elf = bolt_with_profile(&pgo_elf, &pgo_profile).elf;
+    let both_runs = measure_inputs(&both_elf, &cfg, full);
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>14}",
+        "input", "BOLT", "PGO+LTO", "PGO+LTO+BOLT"
+    );
+    for (i, (name, _)) in inputs(full).iter().enumerate() {
+        assert_same_behavior(&base_runs[i], &bolt_runs[i], name);
+        assert_same_behavior(&base_runs[i], &pgo_runs[i], name);
+        assert_same_behavior(&base_runs[i], &both_runs[i], name);
+        println!(
+            "{:<12} {:>9.2}% {:>9.2}% {:>13.2}%",
+            name,
+            speedup(&base_runs[i], &bolt_runs[i]),
+            speedup(&base_runs[i], &pgo_runs[i]),
+            speedup(&base_runs[i], &both_runs[i]),
+        );
+    }
+    println!("(paper: BOLT 22-52%, PGO+LTO 21-40%, combination 34-68%; combination always best)");
+}

@@ -1,0 +1,69 @@
+//! Figure 8: GCC-like workload speedups over `-O2` for BOLT, PGO (no LTO
+//! due to the paper's build errors), and PGO+BOLT.
+//!
+//! Paper shape: BOLT 14–24%, PGO 12–17%, PGO+BOLT 18–28%; combination
+//! best everywhere.
+
+use bolt_bench::*;
+use bolt_compiler::CompileOptions;
+use bolt_elf::Elf;
+use bolt_sim::SimConfig;
+use bolt_workloads::{Scale, Workload};
+
+fn inputs(full: i64) -> [(&'static str, i64); 4] {
+    [
+        ("input1", full / 8),
+        ("input2", full / 4),
+        ("input3", full / 2),
+        ("clang-build", full),
+    ]
+}
+
+fn measure_inputs(elf: &Elf, cfg: &SimConfig, full: i64) -> Vec<RunResult> {
+    inputs(full)
+        .iter()
+        .map(|&(_, n)| {
+            let mut e = elf.clone();
+            set_input_size(&mut e, n);
+            measure(&e, cfg)
+        })
+        .collect()
+}
+
+fn main() {
+    banner("Figure 8", "GCC-like: BOLT vs PGO vs PGO+BOLT (no LTO)");
+    let cfg = SimConfig::server();
+    let program = Workload::GccLike.build(Scale::Bench);
+    let full = 250_000i64;
+
+    let base_elf = build(&program, &CompileOptions::default());
+    let (base_profile, _) = profile_lbr(&base_elf, &cfg);
+    let base_runs = measure_inputs(&base_elf, &cfg, full);
+
+    let bolt_elf = bolt_with_profile(&base_elf, &base_profile).elf;
+    let bolt_runs = measure_inputs(&bolt_elf, &cfg, full);
+
+    // PGO without LTO (paper section 6.2.2).
+    let sp = to_source_profile(&base_profile, &base_elf);
+    let pgo_elf = build(&program, &CompileOptions::pgo(sp));
+    let (pgo_profile, _) = profile_lbr(&pgo_elf, &cfg);
+    let pgo_runs = measure_inputs(&pgo_elf, &cfg, full);
+
+    let both_elf = bolt_with_profile(&pgo_elf, &pgo_profile).elf;
+    let both_runs = measure_inputs(&both_elf, &cfg, full);
+
+    println!("{:<12} {:>10} {:>10} {:>10}", "input", "BOLT", "PGO", "PGO+BOLT");
+    for (i, (name, _)) in inputs(full).iter().enumerate() {
+        assert_same_behavior(&base_runs[i], &bolt_runs[i], name);
+        assert_same_behavior(&base_runs[i], &pgo_runs[i], name);
+        assert_same_behavior(&base_runs[i], &both_runs[i], name);
+        println!(
+            "{:<12} {:>9.2}% {:>9.2}% {:>9.2}%",
+            name,
+            speedup(&base_runs[i], &bolt_runs[i]),
+            speedup(&base_runs[i], &pgo_runs[i]),
+            speedup(&base_runs[i], &both_runs[i]),
+        );
+    }
+    println!("(paper: BOLT 14-24%, PGO 12-17%, PGO+BOLT 18-28%)");
+}

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the reproduction's own algorithms:
+//! encoder/decoder throughput, block-layout algorithms, HFSort
+//! clustering, flow repair, and the cache simulator.
+
+use bolt_bench::*;
+use bolt_compiler::CompileOptions;
+use bolt_hfsort::{hfsort, hfsort_plus, pettis_hansen, CallGraph};
+use bolt_passes::layout::{reorder_function, BlockLayout};
+use bolt_profile::repair_flow;
+use bolt_sim::{Cache, SimConfig};
+use bolt_workloads::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A mid-sized disassembled context to exercise pass algorithms.
+fn sample_ctx() -> bolt_ir::BinaryContext {
+    let program = Workload::Proxygen.build(Scale::Test);
+    let elf = build(&program, &CompileOptions::default());
+    let (profile, _) = profile_lbr(&elf, &SimConfig::small());
+    let (mut ctx, raw) = bolt_opt::discover(&elf);
+    bolt_opt::disassemble_all(&mut ctx, &raw, &elf);
+    bolt_profile::attach_profile(&mut ctx, &profile);
+    ctx
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let program = Workload::Tao.build(Scale::Test);
+    let elf = build(&program, &CompileOptions::default());
+    let text = elf.section(".text").unwrap();
+    c.bench_function("decode_text_section", |b| {
+        b.iter(|| {
+            let decoded = bolt_isa::decode_all(black_box(&text.data), text.addr).unwrap();
+            black_box(decoded.len())
+        })
+    });
+    let decoded = bolt_isa::decode_all(&text.data, text.addr).unwrap();
+    c.bench_function("encode_text_section", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for (off, d) in &decoded {
+                let enc = bolt_isa::encode_at(&d.inst, text.addr + off).unwrap();
+                bytes += enc.bytes.len();
+            }
+            black_box(bytes)
+        })
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let ctx = sample_ctx();
+    let hot = ctx
+        .functions
+        .iter()
+        .filter(|f| f.is_simple && f.num_live_blocks() > 4)
+        .max_by_key(|f| f.exec_count)
+        .expect("a hot function")
+        .clone();
+    for (name, algo) in [
+        ("layout_pettis_hansen", BlockLayout::Branch),
+        ("layout_ext_tsp", BlockLayout::CachePlus),
+    ] {
+        let f = hot.clone();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut g = f.clone();
+                reorder_function(&mut g, algo);
+                black_box(g.layout.len())
+            })
+        });
+    }
+    c.bench_function("flow_repair", |b| {
+        b.iter(|| {
+            let mut g = hot.clone();
+            repair_flow(&mut g);
+            black_box(g.total_edge_count())
+        })
+    });
+}
+
+fn bench_hfsort(c: &mut Criterion) {
+    // A synthetic 2000-node call graph.
+    let mut cg = CallGraph::new();
+    for i in 0..2000usize {
+        cg.add_node(format!("f{i}"), 64 + (i as u64 % 512), (i as u64 * 7919) % 10_000);
+    }
+    for i in 0..2000usize {
+        cg.add_edge(i, (i * 13 + 7) % 2000, (i as u64 * 31) % 5000 + 1);
+        cg.add_edge(i, (i * 5 + 3) % 2000, (i as u64 * 17) % 800 + 1);
+    }
+    c.bench_function("hfsort_c3_2000", |b| b.iter(|| black_box(hfsort(&cg)).len()));
+    c.bench_function("hfsort_plus_2000", |b| {
+        b.iter(|| black_box(hfsort_plus(&cg)).len())
+    });
+    c.bench_function("pettis_hansen_2000", |b| {
+        b.iter(|| black_box(pettis_hansen(&cg)).len())
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("cache_sim_1m_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(32 << 10, 8, 64);
+            let mut h = 0u64;
+            for i in 0..1_000_000u64 {
+                h ^= u64::from(cache.access((i * 2654435761) & 0xF_FFFF));
+            }
+            black_box(h)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec, bench_layout, bench_hfsort, bench_cache_sim
+);
+criterion_main!(benches);

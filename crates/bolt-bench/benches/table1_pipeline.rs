@@ -1,0 +1,42 @@
+//! Table 1: the sequence of transformations in BOLT's optimization
+//! pipeline, with per-pass activity measured on the HHVM-like workload.
+
+use bolt_bench::*;
+use bolt_compiler::CompileOptions;
+use bolt_passes::TABLE1;
+use bolt_sim::SimConfig;
+use bolt_workloads::{Scale, Workload};
+
+fn main() {
+    banner("Table 1", "the optimization pipeline (with measured activity)");
+    let cfg = SimConfig::server();
+    let program = Workload::Hhvm.build(Scale::Bench);
+    let baseline = build(&program, &CompileOptions::default());
+    let (profile, base) = profile_lbr(&baseline, &cfg);
+    let bolted = bolt_with_profile(&baseline, &profile);
+    let new = measure(&bolted.elf, &cfg);
+    assert_same_behavior(&base, &new, "hhvm");
+
+    println!("{:<4} {:<20} {:>8}  description", "#", "pass", "changes");
+    let mut ri = 0;
+    for (i, (name, desc)) in TABLE1.iter().enumerate() {
+        // Reports appear in pipeline order; match them up by name.
+        let changes = bolted
+            .pipeline
+            .reports
+            .get(ri)
+            .filter(|r| r.name == *name)
+            .map(|r| {
+                ri += 1;
+                r.changes.to_string()
+            })
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<4} {:<20} {:>8}  {}", i + 1, name, changes, desc);
+    }
+    println!(
+        "\nsimple functions: {}/{} ({} folded or non-simple, kept at original addresses)",
+        bolted.simple_functions,
+        bolted.ctx.functions.len(),
+        bolted.rewrite_stats.skipped_functions
+    );
+}

@@ -1,0 +1,238 @@
+//! # bolt-bench — the experiment harness
+//!
+//! Shared machinery for regenerating every table and figure of the paper's
+//! evaluation (section 6): building workload binaries under different
+//! compiler configurations, collecting LBR/IP profiles under the emulator,
+//! converting binary profiles to source profiles (the AutoFDO-style path
+//! PGO consumes), applying BOLT, and measuring with the
+//! microarchitectural model.
+//!
+//! Each bench target under `benches/` regenerates one table or figure; see
+//! `EXPERIMENTS.md` at the workspace root for the index.
+
+use bolt_compiler::{compile_and_link, CompileOptions, MirProgram, SourceProfile};
+use bolt_elf::Elf;
+use bolt_emu::{Exit, Machine, Tee, TraceSink};
+use bolt_ir::LineTable;
+use bolt_opt::{optimize, BoltOptions, BoltOutput};
+use bolt_profile::{IpSampler, LbrSampler, Profile, SampleTrigger};
+use bolt_sim::{Counters, CpuModel, SimConfig};
+
+/// Default emulation budget per run.
+pub const MAX_STEPS: u64 = 2_000_000_000;
+/// Default LBR sampling period (instructions per sample).
+pub const SAMPLE_PERIOD: u64 = 997;
+
+/// The observable result of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    pub exit_code: i64,
+    pub output: Vec<i64>,
+    pub steps: u64,
+    pub counters: Counters,
+}
+
+/// Builds a binary; panics on compile errors (experiment code).
+pub fn build(program: &MirProgram, opts: &CompileOptions) -> Elf {
+    compile_and_link(program, opts)
+        .expect("workload compiles")
+        .elf
+}
+
+/// Runs a binary under the microarchitectural model.
+pub fn measure(elf: &Elf, cfg: &SimConfig) -> RunResult {
+    let mut model = CpuModel::new(cfg.clone());
+    let (code, output, steps) = run_with(elf, &mut model);
+    RunResult {
+        exit_code: code,
+        output,
+        steps,
+        counters: model.counters(),
+    }
+}
+
+/// Runs a binary with an arbitrary sink attached.
+pub fn run_with<S: TraceSink + ?Sized>(elf: &Elf, sink: &mut S) -> (i64, Vec<i64>, u64) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let r = m.run(sink, MAX_STEPS).expect("workload executes");
+    let Exit::Exited(code) = r.exit else {
+        panic!("workload did not exit: {:?}", r.exit);
+    };
+    (code, m.output, r.steps)
+}
+
+/// Collects an LBR profile (and microarch counters) in one run.
+pub fn profile_lbr(elf: &Elf, cfg: &SimConfig) -> (Profile, RunResult) {
+    let mut sampler = LbrSampler::new(SAMPLE_PERIOD, SampleTrigger::Instructions);
+    let mut model = CpuModel::new(cfg.clone());
+    let (code, output, steps) = {
+        let mut tee = Tee(&mut sampler, &mut model);
+        run_with(elf, &mut tee)
+    };
+    (
+        sampler.profile,
+        RunResult {
+            exit_code: code,
+            output,
+            steps,
+            counters: model.counters(),
+        },
+    )
+}
+
+/// Collects a plain IP-sample profile (non-LBR mode, paper section 5.1).
+pub fn profile_ip(elf: &Elf, period: u64) -> Profile {
+    let mut sampler = IpSampler::new(period);
+    let _ = run_with(elf, &mut sampler);
+    sampler.profile
+}
+
+/// Converts a binary profile to the aggregated source profile compiler
+/// PGO consumes (the AutoFDO path, paper section 2.2): samples are mapped
+/// through the line table and merged per line — losing per-inline-copy
+/// precision exactly as in paper Figure 2.
+pub fn to_source_profile(profile: &Profile, elf: &Elf) -> SourceProfile {
+    let lines = elf
+        .section(".bolt.lines")
+        .and_then(|s| LineTable::from_bytes(&s.data).ok())
+        .unwrap_or_default();
+    let mut sp = SourceProfile::new();
+
+    // IP histogram -> line counts.
+    for (&ip, &count) in &profile.ip_samples {
+        if let Some((_file, line)) = lines.lookup(ip) {
+            sp.add_line(line, count);
+        }
+    }
+    // LBR fall-through ranges cover every line within them.
+    for ft in profile.sorted_fallthroughs() {
+        let lo = lines.entries.partition_point(|e| e.0 < ft.from);
+        let hi = lines.entries.partition_point(|e| e.0 <= ft.to);
+        for e in &lines.entries[lo..hi] {
+            sp.add_line(e.2, ft.count);
+        }
+    }
+    // Branch records into function entries become call counts.
+    let mut func_entries: Vec<(u64, &str)> = elf
+        .symbols
+        .iter()
+        .filter(|s| s.kind == bolt_elf::SymKind::Func)
+        .map(|s| (s.value, s.name.as_str()))
+        .collect();
+    func_entries.sort_unstable();
+    for b in profile.sorted_branches() {
+        if let Ok(i) = func_entries.binary_search_by_key(&b.to, |e| e.0) {
+            if let Some((_f, line)) = lines.lookup(b.from) {
+                sp.add_call(line, func_entries[i].1, b.count);
+            }
+        }
+    }
+    sp
+}
+
+/// Profiles `elf` and applies BOLT with the paper's default options.
+pub fn bolt_with_profile(elf: &Elf, profile: &Profile) -> BoltOutput {
+    optimize(elf, profile, &BoltOptions::paper_default()).expect("BOLT succeeds")
+}
+
+/// Asserts two runs are observationally identical (semantics check every
+/// experiment performs before reporting numbers).
+pub fn assert_same_behavior(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.exit_code, b.exit_code, "{what}: exit codes differ");
+    assert_eq!(a.output, b.output, "{what}: outputs differ");
+}
+
+/// Percent speedup of `new` over `base` by modeled cycles.
+pub fn speedup(base: &RunResult, new: &RunResult) -> f64 {
+    base.counters.speedup_over(&new.counters)
+}
+
+/// Geometric mean of `1 + p/100` speedups, reported back as a percentage.
+pub fn geomean_speedup(speedups: &[f64]) -> f64 {
+    if speedups.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = speedups.iter().map(|s| (1.0 + s / 100.0).ln()).sum();
+    ((log_sum / speedups.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Renders one experiment table row.
+pub fn row(label: &str, cols: &[String]) -> String {
+    format!("{label:<14} {}", cols.join("  "))
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Computes an HFSort function order for the *linker* from a profile —
+/// the paper's baseline configuration for the data-center workloads
+/// (section 6.1: "binaries built using GCC and function reordering via
+/// HFSort").
+pub fn hfsort_link_order(elf: &Elf, profile: &Profile) -> Vec<String> {
+    let (mut ctx, raw) = bolt_opt::discover(elf);
+    bolt_opt::disassemble_all(&mut ctx, &raw, elf);
+    bolt_profile::attach_profile(&mut ctx, profile);
+    let order = bolt_passes::reorder_functions::run_reorder_functions(
+        &ctx,
+        bolt_hfsort::Algorithm::Hfsort,
+    );
+    order
+        .into_iter()
+        .map(|i| ctx.functions[i].name.clone())
+        .collect()
+}
+
+/// Patches the `config` data word of a compiler-like workload binary to
+/// select the input size (the paper's input1/2/3 for Figures 7–8).
+pub fn set_input_size(elf: &mut Elf, iterations: i64) {
+    let sym = elf
+        .symbol("config")
+        .expect("workload has a config global")
+        .clone();
+    let sec = elf
+        .sections
+        .iter_mut()
+        .find(|s| s.addr_range().contains(&sym.value))
+        .expect("config lives in a data section");
+    let off = (sym.value - sec.addr) as usize;
+    sec.data[off..off + 8].copy_from_slice(&iterations.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_workloads::{Scale, Workload};
+
+    #[test]
+    fn harness_end_to_end_on_smallest_workload() {
+        let program = Workload::Tao.build(Scale::Test);
+        let elf = build(&program, &CompileOptions::default());
+        let cfg = SimConfig::small();
+        let (profile, base) = profile_lbr(&elf, &cfg);
+        assert!(profile.total_branch_count() > 0);
+        let bolted = bolt_with_profile(&elf, &profile);
+        let new = measure(&bolted.elf, &cfg);
+        assert_same_behavior(&base, &new, "tao");
+    }
+
+    #[test]
+    fn source_profile_conversion_produces_counts() {
+        let program = Workload::Proxygen.build(Scale::Test);
+        let elf = build(&program, &CompileOptions::default());
+        let (profile, _) = profile_lbr(&elf, &SimConfig::small());
+        let sp = to_source_profile(&profile, &elf);
+        assert!(sp.total() > 0, "line counts populated");
+        assert!(!sp.call_counts.is_empty(), "call counts populated");
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean_speedup(&[10.0, 10.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_speedup(&[]), 0.0);
+        let g = geomean_speedup(&[0.0, 21.0]);
+        assert!(g > 9.0 && g < 11.0, "sqrt(1.21)-1 = 10%: {g}");
+    }
+}

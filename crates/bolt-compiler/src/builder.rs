@@ -1,0 +1,358 @@
+//! Ergonomic construction of MIR functions.
+//!
+//! The workload generators build thousands of synthetic functions; this
+//! builder keeps that code readable while auto-assigning source lines
+//! (each function starts at line 1 of its file and each statement advances
+//! the line counter, mimicking a pretty-printed source file).
+
+use crate::mir::{
+    Callee, CmpOp, LocalId, MirBlock, MirBlockId, MirFunction, Operand, Rvalue, Stmt, Terminator,
+};
+
+/// The blocks created by [`FunctionBuilder::switch`].
+#[derive(Debug, Clone)]
+pub struct SwitchArms {
+    pub targets: Vec<MirBlockId>,
+    pub default: MirBlockId,
+}
+
+/// Builds one [`MirFunction`] block by block.
+///
+/// The builder maintains a current block; statements append to it and
+/// terminator helpers seal it. Every block must be sealed exactly once.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: MirFunction,
+    current: MirBlockId,
+    sealed: Vec<bool>,
+    next_line: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `params` parameters in `module`, whose
+    /// source lives in `file`.
+    pub fn new(name: &str, module: u32, file: &str, params: u32) -> FunctionBuilder {
+        let entry = MirBlock {
+            stmts: Vec::new(),
+            term: Terminator::Unreachable,
+            term_line: 0,
+        };
+        FunctionBuilder {
+            func: MirFunction {
+                name: name.to_string(),
+                module,
+                file: file.to_string(),
+                params,
+                locals: params,
+                blocks: vec![entry],
+                layout: vec![MirBlockId(0)],
+                inline_hint: false,
+            },
+            current: MirBlockId(0),
+            sealed: vec![false],
+            next_line: 1,
+        }
+    }
+
+    /// Marks the function as an inlining candidate.
+    pub fn inline_hint(&mut self) -> &mut Self {
+        self.func.inline_hint = true;
+        self
+    }
+
+    /// Allocates a fresh local.
+    pub fn new_local(&mut self) -> LocalId {
+        self.func.new_local()
+    }
+
+    /// Creates a new (unsealed) block and returns its id.
+    pub fn new_block(&mut self) -> MirBlockId {
+        let id = MirBlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(MirBlock {
+            stmts: Vec::new(),
+            term: Terminator::Unreachable,
+            term_line: 0,
+        });
+        self.func.layout.push(id);
+        self.sealed.push(false);
+        id
+    }
+
+    /// Switches statement insertion to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already sealed.
+    pub fn switch_to(&mut self, block: MirBlockId) {
+        assert!(
+            !self.sealed[block.index()],
+            "switching to sealed block {block}"
+        );
+        self.current = block;
+    }
+
+    /// The block currently being filled.
+    pub fn current_block(&self) -> MirBlockId {
+        self.current
+    }
+
+    fn take_line(&mut self) -> u32 {
+        let l = self.next_line;
+        self.next_line += 1;
+        l
+    }
+
+    /// Appends a raw statement (auto-assigning its line if zero).
+    pub fn push_stmt(&mut self, mut stmt: Stmt) {
+        assert!(
+            !self.sealed[self.current.index()],
+            "appending to sealed block"
+        );
+        if stmt.line() == 0 {
+            let l = self.take_line();
+            match &mut stmt {
+                Stmt::Assign { line, .. }
+                | Stmt::StoreGlobal { line, .. }
+                | Stmt::Call { line, .. }
+                | Stmt::Emit { line, .. } => *line = l,
+            }
+        } else {
+            self.next_line = self.next_line.max(stmt.line() + 1);
+        }
+        self.func.blocks[self.current.index()].stmts.push(stmt);
+    }
+
+    /// `dst = rv` into a fresh local; returns the local.
+    pub fn assign(&mut self, rv: Rvalue) -> LocalId {
+        let dst = self.new_local();
+        let line = self.take_line();
+        self.func.blocks[self.current.index()]
+            .stmts
+            .push(Stmt::Assign { dst, rv, line });
+        dst
+    }
+
+    /// `dst = rv` into an existing local.
+    pub fn assign_to(&mut self, dst: LocalId, rv: Rvalue) {
+        let line = self.take_line();
+        self.func.blocks[self.current.index()]
+            .stmts
+            .push(Stmt::Assign { dst, rv, line });
+    }
+
+    /// Comparison into a fresh local.
+    pub fn assign_cmp(&mut self, op: CmpOp, a: Operand, b: Operand) -> LocalId {
+        self.assign(Rvalue::Cmp(op, a, b))
+    }
+
+    /// Direct call; returns the destination local.
+    pub fn call(&mut self, callee: &str, args: Vec<Operand>) -> LocalId {
+        let dst = self.new_local();
+        let line = self.take_line();
+        self.func.blocks[self.current.index()].stmts.push(Stmt::Call {
+            dst: Some(dst),
+            callee: Callee::Direct(callee.to_string()),
+            args,
+            landing_pad: None,
+            line,
+        });
+        dst
+    }
+
+    /// Direct call with an exception landing pad.
+    pub fn call_with_landing_pad(
+        &mut self,
+        callee: &str,
+        args: Vec<Operand>,
+        landing_pad: MirBlockId,
+    ) -> LocalId {
+        let dst = self.new_local();
+        let line = self.take_line();
+        self.func.blocks[self.current.index()].stmts.push(Stmt::Call {
+            dst: Some(dst),
+            callee: Callee::Direct(callee.to_string()),
+            args,
+            landing_pad: Some(landing_pad),
+            line,
+        });
+        dst
+    }
+
+    /// Indirect call through a function-pointer operand.
+    pub fn call_indirect(&mut self, ptr: Operand, args: Vec<Operand>) -> LocalId {
+        let dst = self.new_local();
+        let line = self.take_line();
+        self.func.blocks[self.current.index()].stmts.push(Stmt::Call {
+            dst: Some(dst),
+            callee: Callee::Indirect(ptr),
+            args,
+            landing_pad: None,
+            line,
+        });
+        dst
+    }
+
+    /// Emits a value to the output stream.
+    pub fn emit(&mut self, value: Operand) {
+        let line = self.take_line();
+        self.func.blocks[self.current.index()]
+            .stmts
+            .push(Stmt::Emit { value, line });
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        assert!(
+            !self.sealed[self.current.index()],
+            "block {} sealed twice",
+            self.current
+        );
+        let line = self.take_line();
+        let b = &mut self.func.blocks[self.current.index()];
+        b.term = term;
+        b.term_line = line;
+        self.sealed[self.current.index()] = true;
+    }
+
+    /// Seals the current block with a two-way branch; returns the fresh
+    /// (then, else) blocks.
+    pub fn branch(&mut self, cond: Operand) -> (MirBlockId, MirBlockId) {
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        self.seal(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+        (then_bb, else_bb)
+    }
+
+    /// Seals the current block with a branch to existing blocks.
+    pub fn branch_to(&mut self, cond: Operand, then_bb: MirBlockId, else_bb: MirBlockId) {
+        self.seal(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Seals the current block with a goto to a fresh block; returns it.
+    pub fn goto_new(&mut self) -> MirBlockId {
+        let b = self.new_block();
+        self.seal(Terminator::Goto(b));
+        b
+    }
+
+    /// Seals the current block with a goto to an existing block.
+    pub fn goto(&mut self, target: MirBlockId) {
+        self.seal(Terminator::Goto(target));
+    }
+
+    /// Seals the current block with an `n`-way switch; returns the fresh
+    /// arm blocks and default.
+    pub fn switch(&mut self, scrut: Operand, n: usize) -> SwitchArms {
+        let targets: Vec<MirBlockId> = (0..n).map(|_| self.new_block()).collect();
+        let default = self.new_block();
+        self.seal(Terminator::Switch {
+            scrut,
+            targets: targets.clone(),
+            default,
+        });
+        SwitchArms { targets, default }
+    }
+
+    /// Seals the current block with a switch to existing blocks.
+    pub fn switch_to_blocks(
+        &mut self,
+        scrut: Operand,
+        targets: Vec<MirBlockId>,
+        default: MirBlockId,
+    ) {
+        self.seal(Terminator::Switch {
+            scrut,
+            targets,
+            default,
+        });
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self, value: Operand) {
+        self.seal(Terminator::Return(value));
+    }
+
+    /// Seals the current block as unreachable (e.g. landing-pad tails).
+    pub fn unreachable(&mut self) {
+        self.seal(Terminator::Unreachable);
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was never sealed.
+    pub fn finish(self) -> MirFunction {
+        for (i, s) in self.sealed.iter().enumerate() {
+            assert!(*s, "{}: block bb{i} never sealed", self.func.name);
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{BinOp, MirProgram};
+
+    #[test]
+    fn builds_a_loop() {
+        // sum = 0; for (i = n; i > 0; i--) sum += i; return sum;
+        let mut b = FunctionBuilder::new("sum_to_n", 0, "sum.c", 1);
+        let sum = b.new_local();
+        let i = b.new_local();
+        b.assign_to(sum, Rvalue::Use(Operand::Const(0)));
+        b.assign_to(i, Rvalue::Use(Operand::Local(0)));
+        let head = b.goto_new();
+        b.switch_to(head);
+        let c = b.assign_cmp(CmpOp::Gt, Operand::Local(i), Operand::Const(0));
+        let (body, done) = b.branch(Operand::Local(c));
+        b.switch_to(body);
+        b.assign_to(
+            sum,
+            Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Local(i)),
+        );
+        b.assign_to(
+            i,
+            Rvalue::BinOp(BinOp::Sub, Operand::Local(i), Operand::Const(1)),
+        );
+        b.goto(head);
+        b.switch_to(done);
+        b.ret(Operand::Local(sum));
+        let f = b.finish();
+
+        let mut p = MirProgram::with_entry("sum_to_n");
+        p.add_function(f);
+        p.validate().unwrap();
+        assert_eq!(crate::mir::Interp::new(&p, 10_000).run(&[10]).unwrap(), 55);
+        assert_eq!(crate::mir::Interp::new(&p, 10_000).run(&[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn lines_increase_monotonically() {
+        let mut b = FunctionBuilder::new("f", 0, "f.c", 0);
+        let x = b.assign(Rvalue::Use(Operand::Const(1)));
+        let _ = b.assign(Rvalue::BinOp(BinOp::Add, Operand::Local(x), Operand::Const(2)));
+        b.ret(Operand::Const(0));
+        let f = b.finish();
+        let lines: Vec<u32> = f.blocks[0].stmts.iter().map(|s| s.line()).collect();
+        assert_eq!(lines, vec![1, 2]);
+        assert_eq!(f.blocks[0].term_line, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never sealed")]
+    fn unsealed_block_panics() {
+        let mut b = FunctionBuilder::new("f", 0, "f.c", 0);
+        let _ = b.new_block();
+        b.ret(Operand::Const(0));
+        let _ = b.finish();
+    }
+}

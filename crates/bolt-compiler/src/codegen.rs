@@ -1,0 +1,901 @@
+//! MIR → machine-code lowering.
+//!
+//! The generated code is deliberately "honest compiler output": stack-slot
+//! locals, alignment NOPs before loop headers, PLT indirection for runtime
+//! calls, absolute-address jump tables in `.rodata`, and (optionally)
+//! `repz ret` returns — i.e. all the artifacts the BOLT passes of paper
+//! Table 1 exist to optimize.
+
+use crate::mir::{
+    BinOp, Callee, CmpOp, MirBlockId, MirFunction, MirProgram, Operand, Rvalue, ShiftKind, Stmt,
+    Terminator,
+};
+use crate::options::CompileOptions;
+use bolt_ir::{EmitBlock, EmitInst, EmitUnit, LineInfo};
+use bolt_isa::{AluOp, Cond, Inst, JumpWidth, Label, Mem, Reg, Rm, ShiftOp, Target};
+use std::collections::BTreeMap;
+
+/// Global label allocator shared by code generation and linking.
+///
+/// Keeps deterministic (sorted) maps from symbol names to labels so builds
+/// are bit-reproducible.
+#[derive(Debug, Default)]
+pub struct Labels {
+    next: u32,
+    funcs: BTreeMap<String, Label>,
+    plt: BTreeMap<String, Label>,
+    got: BTreeMap<String, Label>,
+    globals: BTreeMap<String, Label>,
+    global_words: BTreeMap<(String, u64), Label>,
+}
+
+impl Labels {
+    pub fn new() -> Labels {
+        Labels::default()
+    }
+
+    /// Allocates a fresh anonymous label.
+    pub fn fresh(&mut self) -> Label {
+        let l = Label(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// The entry label of a function.
+    pub fn func(&mut self, name: &str) -> Label {
+        if let Some(l) = self.funcs.get(name) {
+            return *l;
+        }
+        let l = self.fresh();
+        self.funcs.insert(name.to_string(), l);
+        l
+    }
+
+    /// The PLT stub label for an external function.
+    pub fn plt(&mut self, name: &str) -> Label {
+        if let Some(l) = self.plt.get(name) {
+            return *l;
+        }
+        let l = self.fresh();
+        self.plt.insert(name.to_string(), l);
+        l
+    }
+
+    /// The GOT slot label for an external function.
+    pub fn got(&mut self, name: &str) -> Label {
+        if let Some(l) = self.got.get(name) {
+            return *l;
+        }
+        let l = self.fresh();
+        self.got.insert(name.to_string(), l);
+        l
+    }
+
+    /// The base label of a global.
+    pub fn global(&mut self, name: &str) -> Label {
+        if let Some(l) = self.globals.get(name) {
+            return *l;
+        }
+        let l = self.fresh();
+        self.globals.insert(name.to_string(), l);
+        l
+    }
+
+    /// The label of one word within a global (`global + 8*index`).
+    pub fn global_word(&mut self, name: &str, index: u64) -> Label {
+        if let Some(l) = self.global_words.get(&(name.to_string(), index)) {
+            return *l;
+        }
+        let l = self.fresh();
+        self.global_words.insert((name.to_string(), index), l);
+        l
+    }
+
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (&String, Label)> {
+        self.funcs.iter().map(|(n, l)| (n, *l))
+    }
+
+    pub fn iter_plt(&self) -> impl Iterator<Item = (&String, Label)> {
+        self.plt.iter().map(|(n, l)| (n, *l))
+    }
+
+    pub fn iter_got(&self) -> impl Iterator<Item = (&String, Label)> {
+        self.got.iter().map(|(n, l)| (n, *l))
+    }
+
+    pub fn iter_globals(&self) -> impl Iterator<Item = (&String, Label)> {
+        self.globals.iter().map(|(n, l)| (n, *l))
+    }
+
+    pub fn iter_global_words(&self) -> impl Iterator<Item = (&(String, u64), Label)> {
+        self.global_words.iter().map(|(k, l)| (k, *l))
+    }
+}
+
+/// A jump table produced by lowering a `Switch`.
+#[derive(Debug, Clone)]
+pub struct JumpTableReq {
+    /// Label of the table itself (placed in `.rodata`).
+    pub table: Label,
+    /// Entry labels (block labels), 8 bytes each, absolute.
+    pub targets: Vec<Label>,
+    /// Name for the table's data symbol.
+    pub name: String,
+}
+
+/// The result of lowering one function.
+#[derive(Debug)]
+pub struct GenFunction {
+    pub unit: EmitUnit,
+    pub jump_tables: Vec<JumpTableReq>,
+}
+
+/// Names of the synthetic runtime functions.
+pub const RT_EMIT: &str = "__bolt_emit";
+pub const RT_EXIT: &str = "__bolt_exit";
+
+/// Whether calls to this callee go through the PLT (external linkage).
+pub fn is_external(name: &str) -> bool {
+    name == RT_EMIT || name == RT_EXIT
+}
+
+struct Gen<'a> {
+    func: &'a MirFunction,
+    program: &'a MirProgram,
+    labels: &'a mut Labels,
+    opts: &'a CompileOptions,
+    /// Per-MIR-block machine labels.
+    block_labels: Vec<Label>,
+    /// Current machine block under construction.
+    cur: EmitBlock,
+    done: Vec<EmitBlock>,
+    jump_tables: Vec<JumpTableReq>,
+    uses_rbx: bool,
+    cur_line: u32,
+}
+
+impl Gen<'_> {
+    fn slot(&self, local: u32) -> Mem {
+        let rbx_off = if self.uses_rbx { 8 } else { 0 };
+        Mem::base(Reg::Rbp, -(rbx_off + 8 * (local as i32 + 1)))
+    }
+
+    fn frame_size(&self) -> i32 {
+        let sz = 8 * self.func.locals as i32;
+        (sz + 15) & !15
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let mut e = EmitInst::new(inst);
+        e.line = Some(LineInfo {
+            file: self.program.file_of_line(self.cur_line),
+            line: self.cur_line,
+        });
+        self.cur.insts.push(e);
+    }
+
+    fn push_eh(&mut self, inst: Inst, pad: Label) {
+        let mut e = EmitInst::new(inst);
+        e.line = Some(LineInfo {
+            file: self.program.file_of_line(self.cur_line),
+            line: self.cur_line,
+        });
+        e.eh_pad = Some(pad);
+        self.cur.insts.push(e);
+    }
+
+    /// Loads an operand into a register.
+    fn operand_to(&mut self, dst: Reg, op: Operand) {
+        match op {
+            Operand::Const(c) => self.push(Inst::MovRI { dst, imm: c }),
+            Operand::Local(l) => self.push(Inst::Load {
+                dst,
+                mem: self.slot(l),
+            }),
+        }
+    }
+
+    fn store_local(&mut self, local: u32, src: Reg) {
+        self.push(Inst::Store {
+            mem: self.slot(local),
+            src,
+        });
+    }
+
+    /// The scratch register used as a base pointer for global accesses.
+    fn global_base_reg(&self) -> Reg {
+        if self.uses_rbx {
+            Reg::Rbx
+        } else {
+            Reg::R10
+        }
+    }
+
+    fn gen_rvalue_into_rax(&mut self, rv: &Rvalue) {
+        match rv {
+            Rvalue::Use(op) => self.operand_to(Reg::Rax, *op),
+            Rvalue::BinOp(op, a, b) => {
+                self.operand_to(Reg::Rax, *a);
+                self.operand_to(Reg::Rcx, *b);
+                match op {
+                    BinOp::Add => self.push(Inst::Alu {
+                        op: AluOp::Add,
+                        dst: Reg::Rax,
+                        src: Reg::Rcx,
+                    }),
+                    BinOp::Sub => self.push(Inst::Alu {
+                        op: AluOp::Sub,
+                        dst: Reg::Rax,
+                        src: Reg::Rcx,
+                    }),
+                    BinOp::Mul => self.push(Inst::Imul {
+                        dst: Reg::Rax,
+                        src: Reg::Rcx,
+                    }),
+                    BinOp::And => self.push(Inst::Alu {
+                        op: AluOp::And,
+                        dst: Reg::Rax,
+                        src: Reg::Rcx,
+                    }),
+                    BinOp::Or => self.push(Inst::Alu {
+                        op: AluOp::Or,
+                        dst: Reg::Rax,
+                        src: Reg::Rcx,
+                    }),
+                    BinOp::Xor => self.push(Inst::Alu {
+                        op: AluOp::Xor,
+                        dst: Reg::Rax,
+                        src: Reg::Rcx,
+                    }),
+                }
+            }
+            Rvalue::Shift(kind, a, amt) => {
+                self.operand_to(Reg::Rax, *a);
+                let op = match kind {
+                    ShiftKind::Shl => ShiftOp::Shl,
+                    ShiftKind::Shr => ShiftOp::Shr,
+                    ShiftKind::Sar => ShiftOp::Sar,
+                };
+                self.push(Inst::Shift {
+                    op,
+                    dst: Reg::Rax,
+                    amount: *amt,
+                });
+            }
+            Rvalue::Cmp(op, a, b) => {
+                self.operand_to(Reg::Rax, *a);
+                self.operand_to(Reg::Rcx, *b);
+                self.push(Inst::Alu {
+                    op: AluOp::Cmp,
+                    dst: Reg::Rax,
+                    src: Reg::Rcx,
+                });
+                let cond = match op {
+                    CmpOp::Lt => Cond::L,
+                    CmpOp::Le => Cond::Le,
+                    CmpOp::Gt => Cond::G,
+                    CmpOp::Ge => Cond::Ge,
+                    CmpOp::Eq => Cond::E,
+                    CmpOp::Ne => Cond::Ne,
+                };
+                self.push(Inst::Setcc {
+                    cond,
+                    dst: Reg::Rax,
+                });
+                self.push(Inst::Movzx8 {
+                    dst: Reg::Rax,
+                    src: Reg::Rax,
+                });
+            }
+            Rvalue::LoadGlobal { global, index } => match index {
+                Operand::Const(c) => {
+                    // A statically known read-only location: single
+                    // RIP-relative load (the `simplify-ro-loads` target).
+                    let word = self.labels.global_word(global, *c as u64);
+                    self.push(Inst::Load {
+                        dst: Reg::Rax,
+                        mem: Mem::rip(word),
+                    });
+                }
+                Operand::Local(_) => {
+                    let base = self.global_base_reg();
+                    let g = self.labels.global(global);
+                    self.operand_to(Reg::Rcx, *index);
+                    self.push(Inst::Lea {
+                        dst: base,
+                        mem: Mem::rip(g),
+                    });
+                    self.push(Inst::Load {
+                        dst: Reg::Rax,
+                        mem: Mem::BaseIndexScale {
+                            base,
+                            index: Reg::Rcx,
+                            scale: 8,
+                            disp: 0,
+                        },
+                    });
+                }
+            },
+            Rvalue::FuncAddr(name) => {
+                let f = self.labels.func(name);
+                self.push(Inst::MovRSym {
+                    dst: Reg::Rax,
+                    target: Target::Label(f),
+                });
+            }
+        }
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt) {
+        self.cur_line = stmt.line();
+        match stmt {
+            Stmt::Assign { dst, rv, .. } => {
+                self.gen_rvalue_into_rax(rv);
+                self.store_local(*dst, Reg::Rax);
+            }
+            Stmt::StoreGlobal {
+                global,
+                index,
+                value,
+                ..
+            } => {
+                self.operand_to(Reg::Rax, *value);
+                match index {
+                    Operand::Const(c) => {
+                        let word = self.labels.global_word(global, *c as u64);
+                        self.push(Inst::Store {
+                            mem: Mem::rip(word),
+                            src: Reg::Rax,
+                        });
+                    }
+                    Operand::Local(_) => {
+                        let base = self.global_base_reg();
+                        let g = self.labels.global(global);
+                        self.operand_to(Reg::Rcx, *index);
+                        self.push(Inst::Lea {
+                            dst: base,
+                            mem: Mem::rip(g),
+                        });
+                        self.push(Inst::Store {
+                            mem: Mem::BaseIndexScale {
+                                base,
+                                index: Reg::Rcx,
+                                scale: 8,
+                                disp: 0,
+                            },
+                            src: Reg::Rax,
+                        });
+                    }
+                }
+            }
+            Stmt::Call {
+                dst,
+                callee,
+                args,
+                landing_pad,
+                ..
+            } => {
+                self.gen_call(callee, args, *landing_pad);
+                if let Some(d) = dst {
+                    self.store_local(*d, Reg::Rax);
+                }
+            }
+            Stmt::Emit { value, .. } => {
+                self.operand_to(Reg::Rdi, *value);
+                let target = self.call_target(RT_EMIT);
+                self.push(Inst::Call {
+                    target: Target::Label(target),
+                });
+            }
+        }
+    }
+
+    /// The label a direct call should target: PLT stub for externals (when
+    /// PLT indirection is on), entry label otherwise.
+    fn call_target(&mut self, callee: &str) -> Label {
+        if self.opts.plt && is_external(callee) {
+            self.labels.plt(callee)
+        } else {
+            self.labels.func(callee)
+        }
+    }
+
+    fn gen_call(&mut self, callee: &Callee, args: &[Operand], landing_pad: Option<MirBlockId>) {
+        match callee {
+            Callee::Direct(name) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.operand_to(Reg::ARGS[i], *a);
+                }
+                let target = self.call_target(name);
+                let call = Inst::Call {
+                    target: Target::Label(target),
+                };
+                match landing_pad {
+                    Some(lp) => {
+                        let pad = self.block_labels[lp.index()];
+                        self.push_eh(call, pad);
+                    }
+                    None => self.push(call),
+                }
+            }
+            Callee::Indirect(ptr) => {
+                self.operand_to(Reg::R11, *ptr);
+                for (i, a) in args.iter().enumerate() {
+                    self.operand_to(Reg::ARGS[i], *a);
+                }
+                let call = Inst::CallInd {
+                    rm: Rm::Reg(Reg::R11),
+                };
+                match landing_pad {
+                    Some(lp) => {
+                        let pad = self.block_labels[lp.index()];
+                        self.push_eh(call, pad);
+                    }
+                    None => self.push(call),
+                }
+            }
+        }
+    }
+
+    fn gen_epilogue_and_ret(&mut self) {
+        self.push(Inst::AluI {
+            op: AluOp::Add,
+            dst: Reg::Rsp,
+            imm: self.frame_size(),
+        });
+        if self.uses_rbx {
+            self.push(Inst::Pop(Reg::Rbx));
+        }
+        self.push(Inst::Pop(Reg::Rbp));
+        if self.opts.legacy_amd {
+            self.push(Inst::RepzRet);
+        } else {
+            self.push(Inst::Ret);
+        }
+    }
+
+    fn jmp_to(&mut self, block: MirBlockId) {
+        let l = self.block_labels[block.index()];
+        self.push(Inst::Jmp {
+            target: Target::Label(l),
+            width: JumpWidth::Near,
+        });
+    }
+
+    fn jcc_to(&mut self, cond: Cond, block: MirBlockId) {
+        let l = self.block_labels[block.index()];
+        self.push(Inst::Jcc {
+            cond,
+            target: Target::Label(l),
+            width: JumpWidth::Near,
+        });
+    }
+}
+
+/// Whether a function reads or writes globals with dynamic indices (which
+/// makes the code generator reserve a base register).
+fn uses_dynamic_globals(func: &MirFunction) -> bool {
+    func.blocks.iter().any(|b| {
+        b.stmts.iter().any(|s| match s {
+            Stmt::Assign {
+                rv: Rvalue::LoadGlobal {
+                    index: Operand::Local(_),
+                    ..
+                },
+                ..
+            } => true,
+            Stmt::StoreGlobal {
+                index: Operand::Local(_),
+                ..
+            } => true,
+            _ => false,
+        })
+    })
+}
+
+/// MIR block ids that are loop headers (targets of back-edges with respect
+/// to the layout order).
+fn loop_headers(func: &MirFunction) -> Vec<bool> {
+    let mut pos = vec![usize::MAX; func.blocks.len()];
+    for (i, b) in func.layout.iter().enumerate() {
+        pos[b.index()] = i;
+    }
+    let mut heads = vec![false; func.blocks.len()];
+    for &b in &func.layout {
+        for succ in func.block(b).term.successors() {
+            if pos[succ.index()] <= pos[b.index()] {
+                heads[succ.index()] = true;
+            }
+        }
+    }
+    heads
+}
+
+/// Lowers one MIR function to machine code.
+///
+/// `program` provides the global line→file mapping used for debug-info
+/// attribution (inlined statements keep their origin file).
+pub fn codegen_function(
+    func: &MirFunction,
+    program: &MirProgram,
+    labels: &mut Labels,
+    opts: &CompileOptions,
+) -> GenFunction {
+    let uses_rbx = opts.opt_level < 2 && uses_dynamic_globals(func);
+    let block_labels: Vec<Label> = func.blocks.iter().map(|_| labels.fresh()).collect();
+    let entry_label = labels.func(&func.name);
+    let heads = loop_headers(func);
+
+    let mut g = Gen {
+        func,
+        program,
+        labels,
+        opts,
+        block_labels,
+        cur: EmitBlock::new(entry_label),
+        done: Vec::new(),
+        jump_tables: Vec::new(),
+        uses_rbx,
+        cur_line: 1,
+    };
+
+    // Layout positions for fall-through decisions.
+    let mut next_in_layout = vec![None; func.blocks.len()];
+    for w in func.layout.windows(2) {
+        next_in_layout[w[0].index()] = Some(w[1]);
+    }
+
+    for (li, &bb) in func.layout.iter().enumerate() {
+        // Open the machine block. The function entry gets the function
+        // label and a prologue; other blocks get their block label.
+        if li == 0 {
+            g.cur = EmitBlock::new(entry_label);
+            // Entry block label aliases the function label; record the MIR
+            // block label as an extra empty block right after the
+            // prologue? Simpler: the entry MIR block's label *is* a
+            // separate label placed after the prologue so intra-function
+            // branches to the entry (loops to bb0) work.
+            g.cur_line = 1;
+            g.push(Inst::Push(Reg::Rbp));
+            g.push(Inst::MovRR {
+                dst: Reg::Rbp,
+                src: Reg::Rsp,
+            });
+            if g.uses_rbx {
+                g.push(Inst::Push(Reg::Rbx));
+            }
+            g.push(Inst::AluI {
+                op: AluOp::Sub,
+                dst: Reg::Rsp,
+                imm: g.frame_size(),
+            });
+            for p in 0..func.params {
+                g.push(Inst::Store {
+                    mem: g.slot(p),
+                    src: Reg::ARGS[p as usize],
+                });
+            }
+            // Now start the entry MIR block at its own label.
+            let finished = std::mem::replace(
+                &mut g.cur,
+                EmitBlock::new(g.block_labels[bb.index()]),
+            );
+            g.done.push(finished);
+        } else {
+            let mut blk = EmitBlock::new(g.block_labels[bb.index()]);
+            if opts.align_blocks && heads[bb.index()] {
+                blk.align = 16;
+            }
+            g.cur = blk;
+        }
+
+        let block = func.block(bb);
+        let next = next_in_layout[bb.index()];
+
+        // Tail-call pattern at -O2: `x = call f(...); return x;`.
+        let tail_call = opts.opt_level >= 2
+            && matches!(
+                (block.stmts.last(), &block.term),
+                (
+                    Some(Stmt::Call {
+                        dst: Some(d),
+                        callee: Callee::Direct(_),
+                        landing_pad: None,
+                        ..
+                    }),
+                    Terminator::Return(Operand::Local(r))
+                ) if *r == *d
+            );
+
+        let stmt_count = if tail_call {
+            block.stmts.len() - 1
+        } else {
+            block.stmts.len()
+        };
+        for s in &block.stmts[..stmt_count] {
+            g.gen_stmt(s);
+        }
+
+        g.cur_line = block.term_line;
+        if tail_call {
+            let Some(Stmt::Call { callee: Callee::Direct(name), args, .. }) = block.stmts.last()
+            else {
+                unreachable!("tail_call implies a trailing direct call");
+            };
+            for (i, a) in args.iter().enumerate() {
+                g.operand_to(Reg::ARGS[i], *a);
+            }
+            // Epilogue then jump: the callee returns to our caller.
+            g.push(Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rsp,
+                imm: g.frame_size(),
+            });
+            if g.uses_rbx {
+                g.push(Inst::Pop(Reg::Rbx));
+            }
+            g.push(Inst::Pop(Reg::Rbp));
+            let target = g.call_target(name);
+            g.push(Inst::Jmp {
+                target: Target::Label(target),
+                width: JumpWidth::Near,
+            });
+        } else {
+            match &block.term {
+                Terminator::Goto(t) => {
+                    if next != Some(*t) {
+                        g.jmp_to(*t);
+                    }
+                }
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    g.operand_to(Reg::Rax, *cond);
+                    g.push(Inst::Test {
+                        a: Reg::Rax,
+                        b: Reg::Rax,
+                    });
+                    if next == Some(*else_bb) {
+                        g.jcc_to(Cond::Ne, *then_bb);
+                    } else if next == Some(*then_bb) {
+                        g.jcc_to(Cond::E, *else_bb);
+                    } else {
+                        g.jcc_to(Cond::Ne, *then_bb);
+                        g.jmp_to(*else_bb);
+                    }
+                }
+                Terminator::Switch {
+                    scrut,
+                    targets,
+                    default,
+                } => {
+                    let table = g.labels.fresh();
+                    g.operand_to(Reg::Rax, *scrut);
+                    g.push(Inst::AluI {
+                        op: AluOp::Cmp,
+                        dst: Reg::Rax,
+                        imm: targets.len() as i32,
+                    });
+                    g.jcc_to(Cond::Ae, *default);
+                    g.push(Inst::Lea {
+                        dst: Reg::R11,
+                        mem: Mem::rip(table),
+                    });
+                    g.push(Inst::Load {
+                        dst: Reg::R11,
+                        mem: Mem::BaseIndexScale {
+                            base: Reg::R11,
+                            index: Reg::Rax,
+                            scale: 8,
+                            disp: 0,
+                        },
+                    });
+                    g.push(Inst::JmpInd {
+                        rm: Rm::Reg(Reg::R11),
+                    });
+                    let target_labels = targets
+                        .iter()
+                        .map(|t| g.block_labels[t.index()])
+                        .collect();
+                    g.jump_tables.push(JumpTableReq {
+                        table,
+                        targets: target_labels,
+                        name: format!("{}.jt{}", func.name, g.jump_tables.len()),
+                    });
+                }
+                Terminator::Return(v) => {
+                    g.operand_to(Reg::Rax, *v);
+                    g.gen_epilogue_and_ret();
+                }
+                Terminator::Unreachable => {
+                    g.push(Inst::Ud2);
+                }
+            }
+        }
+
+        let finished = std::mem::replace(&mut g.cur, EmitBlock::new(Label(u32::MAX)));
+        g.done.push(finished);
+    }
+
+    let mut unit = EmitUnit::new(&func.name);
+    unit.blocks = g.done;
+    GenFunction {
+        unit,
+        jump_tables: g.jump_tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::options::CompileOptions;
+
+    fn program_with(f: MirFunction) -> MirProgram {
+        let mut p = MirProgram::with_entry(&f.name);
+        p.add_function(f);
+        p
+    }
+
+    fn simple_func() -> MirProgram {
+        let mut b = FunctionBuilder::new("add1", 0, "a.c", 1);
+        let r = b.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(0),
+            Operand::Const(1),
+        ));
+        b.ret(Operand::Local(r));
+        program_with(b.finish())
+    }
+
+    #[test]
+    fn lowering_produces_prologue_and_epilogue() {
+        let p = simple_func();
+        let f = &p.functions[0];
+        let mut labels = Labels::new();
+        let gen = codegen_function(f, &p, &mut labels, &CompileOptions::default());
+        let all: Vec<&Inst> = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().map(|i| &i.inst))
+            .collect();
+        assert!(matches!(all[0], Inst::Push(Reg::Rbp)));
+        assert!(matches!(all[1], Inst::MovRR { dst: Reg::Rbp, src: Reg::Rsp }));
+        assert!(matches!(all.last().unwrap(), Inst::Ret));
+        // Parameter spill present.
+        assert!(all
+            .iter()
+            .any(|i| matches!(i, Inst::Store { src: Reg::Rdi, .. })));
+    }
+
+    #[test]
+    fn legacy_amd_emits_repz_ret() {
+        let p = simple_func();
+        let f = &p.functions[0];
+        let mut labels = Labels::new();
+        let opts = CompileOptions {
+            legacy_amd: true,
+            ..CompileOptions::default()
+        };
+        let gen = codegen_function(f, &p, &mut labels, &opts);
+        let has_repz = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.inst, Inst::RepzRet));
+        assert!(has_repz);
+    }
+
+    #[test]
+    fn switch_produces_jump_table() {
+        let mut b = FunctionBuilder::new("disp", 0, "d.c", 1);
+        let arms = b.switch(Operand::Local(0), 4);
+        for arm in &arms.targets {
+            b.switch_to(*arm);
+            b.ret(Operand::Const(1));
+        }
+        b.switch_to(arms.default);
+        b.ret(Operand::Const(0));
+        let p = program_with(b.finish());
+        let f = &p.functions[0];
+        let mut labels = Labels::new();
+        let gen = codegen_function(f, &p, &mut labels, &CompileOptions::default());
+        assert_eq!(gen.jump_tables.len(), 1);
+        assert_eq!(gen.jump_tables[0].targets.len(), 4);
+        let has_ind_jmp = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.inst, Inst::JmpInd { .. }));
+        assert!(has_ind_jmp);
+    }
+
+    #[test]
+    fn o2_uses_tail_calls() {
+        let mut p_fb = FunctionBuilder::new("callee", 0, "t.c", 0);
+        p_fb.ret(Operand::Const(5));
+        let mut b = FunctionBuilder::new("caller", 0, "t.c", 0);
+        let r = b.call("callee", vec![]);
+        b.ret(Operand::Local(r));
+        let mut p = MirProgram::with_entry("caller");
+        p.add_function(p_fb.finish());
+        p.add_function(b.finish());
+        let f = p.function("caller").unwrap();
+
+        let mut labels = Labels::new();
+        let o2 = CompileOptions {
+            opt_level: 2,
+            ..CompileOptions::default()
+        };
+        let gen = codegen_function(f, &p, &mut labels, &o2);
+        let insts: Vec<&Inst> = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().map(|i| &i.inst))
+            .collect();
+        assert!(
+            insts.iter().any(|i| matches!(i, Inst::Jmp { .. })),
+            "tail call lowered as jmp"
+        );
+        assert!(
+            !insts.iter().any(|i| matches!(i, Inst::Call { .. })),
+            "no call remains"
+        );
+
+        let o1 = CompileOptions {
+            opt_level: 1,
+            ..CompileOptions::default()
+        };
+        let mut labels = Labels::new();
+        let gen = codegen_function(f, &p, &mut labels, &o1);
+        let has_call = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.inst, Inst::Call { .. }));
+        assert!(has_call, "-O1 keeps the call");
+    }
+
+    #[test]
+    fn dynamic_globals_pin_rbx_below_o2() {
+        let mut b = FunctionBuilder::new("g", 0, "g.c", 1);
+        let v = b.assign(Rvalue::LoadGlobal {
+            global: "tbl".into(),
+            index: Operand::Local(0),
+        });
+        b.ret(Operand::Local(v));
+        let p = program_with(b.finish());
+        let f = &p.functions[0];
+
+        let mut labels = Labels::new();
+        let o1 = CompileOptions {
+            opt_level: 1,
+            ..CompileOptions::default()
+        };
+        let gen = codegen_function(f, &p, &mut labels, &o1);
+        let pushes_rbx = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.inst, Inst::Push(Reg::Rbx)));
+        assert!(pushes_rbx, "-O1 reserves %rbx for global accesses");
+
+        let mut labels = Labels::new();
+        let gen = codegen_function(f, &p, &mut labels, &CompileOptions::default());
+        let pushes_rbx = gen
+            .unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.inst, Inst::Push(Reg::Rbx)));
+        assert!(!pushes_rbx, "-O2 uses a caller-saved scratch");
+    }
+}

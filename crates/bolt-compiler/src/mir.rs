@@ -1,0 +1,849 @@
+//! The mid-level IR (MIR) of the compiler substrate.
+//!
+//! Programs are collections of modules; each function belongs to a module
+//! (cross-module inlining requires LTO, which is how the reproduction gets
+//! the paper's LTO-vs-non-LTO distinction). Every statement carries a
+//! source line so profile data can be mapped *back* to source the way
+//! AutoFDO does — including the precision loss of paper Figure 2 when a
+//! function is inlined into several callers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual register / stack slot within a function.
+pub type LocalId = u32;
+
+/// A block index within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MirBlockId(pub u32);
+
+impl MirBlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MirBlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An operand: a local or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Local(LocalId),
+    Const(i64),
+}
+
+/// Two-operand arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+}
+
+/// Constant-amount shifts (the ISA subset has no variable shifts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftKind {
+    Shl,
+    Shr,
+    Sar,
+}
+
+/// Signed comparisons producing 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Right-hand sides of assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rvalue {
+    Use(Operand),
+    BinOp(BinOp, Operand, Operand),
+    Shift(ShiftKind, Operand, u8),
+    Cmp(CmpOp, Operand, Operand),
+    /// Loads the 64-bit word `global[index]`.
+    LoadGlobal { global: String, index: Operand },
+    /// The address of a function (for indirect calls).
+    FuncAddr(String),
+}
+
+/// Call targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    Direct(String),
+    /// Indirect through a function pointer value.
+    Indirect(Operand),
+}
+
+/// A statement. Every statement carries its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    Assign {
+        dst: LocalId,
+        rv: Rvalue,
+        line: u32,
+    },
+    StoreGlobal {
+        global: String,
+        index: Operand,
+        value: Operand,
+        line: u32,
+    },
+    Call {
+        dst: Option<LocalId>,
+        callee: Callee,
+        args: Vec<Operand>,
+        /// Landing-pad block if this call can throw.
+        landing_pad: Option<MirBlockId>,
+        line: u32,
+    },
+    /// Writes a value to the program's output stream (lowered to a runtime
+    /// call through the PLT).
+    Emit { value: Operand, line: u32 },
+}
+
+impl Stmt {
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::StoreGlobal { line, .. }
+            | Stmt::Call { line, .. }
+            | Stmt::Emit { line, .. } => *line,
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    Goto(MirBlockId),
+    /// Two-way branch on a 0/1 operand.
+    Branch {
+        cond: Operand,
+        then_bb: MirBlockId,
+        else_bb: MirBlockId,
+    },
+    /// Multi-way dispatch: `scrut` in `0..targets.len()` selects a target,
+    /// anything else goes to `default`. Lowered to a jump table.
+    Switch {
+        scrut: Operand,
+        targets: Vec<MirBlockId>,
+        default: MirBlockId,
+    },
+    Return(Operand),
+    Unreachable,
+}
+
+impl Terminator {
+    /// All successor blocks.
+    pub fn successors(&self) -> Vec<MirBlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Switch {
+                targets, default, ..
+            } => {
+                let mut v = targets.clone();
+                v.push(*default);
+                v
+            }
+            Terminator::Return(_) | Terminator::Unreachable => vec![],
+        }
+    }
+
+    /// Remaps successor block ids.
+    pub fn remap(&mut self, f: impl Fn(MirBlockId) -> MirBlockId) {
+        match self {
+            Terminator::Goto(b) => *b = f(*b),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Switch {
+                targets, default, ..
+            } => {
+                for t in targets.iter_mut() {
+                    *t = f(*t);
+                }
+                *default = f(*default);
+            }
+            Terminator::Return(_) | Terminator::Unreachable => {}
+        }
+    }
+}
+
+/// A MIR basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirBlock {
+    pub stmts: Vec<Stmt>,
+    pub term: Terminator,
+    pub term_line: u32,
+}
+
+/// A MIR function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirFunction {
+    pub name: String,
+    /// Owning module: inlining across modules requires LTO.
+    pub module: u32,
+    /// Source file name (interned into the line table at link time).
+    pub file: String,
+    /// Number of parameters (occupying locals `0..params`).
+    pub params: u32,
+    /// Total locals, including parameters.
+    pub locals: u32,
+    pub blocks: Vec<MirBlock>,
+    /// Block emission order (entry first). Reordered by PGO layout.
+    pub layout: Vec<MirBlockId>,
+    /// Small-function hint (like `inline` in C).
+    pub inline_hint: bool,
+}
+
+impl MirFunction {
+    pub fn block(&self, id: MirBlockId) -> &MirBlock {
+        &self.blocks[id.index()]
+    }
+
+    pub fn entry(&self) -> MirBlockId {
+        self.layout.first().copied().unwrap_or(MirBlockId(0))
+    }
+
+    /// Fresh local allocation.
+    pub fn new_local(&mut self) -> LocalId {
+        let l = self.locals;
+        self.locals += 1;
+        l
+    }
+
+    /// Structural validation.
+    pub fn validate(&self, program: &MirProgram) -> Result<(), String> {
+        let err = |m: String| Err(format!("{}: {m}", self.name));
+        if self.layout.is_empty() {
+            return err("empty layout".into());
+        }
+        let mut seen = vec![false; self.blocks.len()];
+        for id in &self.layout {
+            if id.index() >= self.blocks.len() {
+                return err(format!("layout references missing block {id}"));
+            }
+            if seen[id.index()] {
+                return err(format!("block {id} appears twice in layout"));
+            }
+            seen[id.index()] = true;
+        }
+        let check_op = |op: &Operand| -> Result<(), String> {
+            if let Operand::Local(l) = op {
+                if *l >= self.locals {
+                    return Err(format!("{}: local {l} out of range", self.name));
+                }
+            }
+            Ok(())
+        };
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for s in &b.stmts {
+                match s {
+                    Stmt::Assign { dst, rv, .. } => {
+                        if *dst >= self.locals {
+                            return err(format!("local {dst} out of range"));
+                        }
+                        match rv {
+                            Rvalue::Use(a) => check_op(a)?,
+                            Rvalue::BinOp(_, a, b) | Rvalue::Cmp(_, a, b) => {
+                                check_op(a)?;
+                                check_op(b)?;
+                            }
+                            Rvalue::Shift(_, a, amt) => {
+                                check_op(a)?;
+                                if *amt >= 64 {
+                                    return err(format!("shift amount {amt} out of range"));
+                                }
+                            }
+                            Rvalue::LoadGlobal { global, index } => {
+                                check_op(index)?;
+                                if program.global(global).is_none() {
+                                    return err(format!("unknown global {global}"));
+                                }
+                            }
+                            Rvalue::FuncAddr(f) => {
+                                if program.function(f).is_none() {
+                                    return err(format!("address of unknown function {f}"));
+                                }
+                            }
+                        }
+                    }
+                    Stmt::StoreGlobal {
+                        global,
+                        index,
+                        value,
+                        ..
+                    } => {
+                        check_op(index)?;
+                        check_op(value)?;
+                        match program.global(global) {
+                            None => return err(format!("unknown global {global}")),
+                            Some(g) if !g.mutable => {
+                                return err(format!("store to read-only global {global}"))
+                            }
+                            _ => {}
+                        }
+                    }
+                    Stmt::Call {
+                        dst,
+                        callee,
+                        args,
+                        landing_pad,
+                        ..
+                    } => {
+                        if let Some(d) = dst {
+                            if *d >= self.locals {
+                                return err(format!("local {d} out of range"));
+                            }
+                        }
+                        for a in args {
+                            check_op(a)?;
+                        }
+                        if args.len() > 6 {
+                            return err("more than six call arguments".into());
+                        }
+                        if let Callee::Direct(name) = callee {
+                            if program.function(name).is_none() {
+                                return err(format!("call to unknown function {name}"));
+                            }
+                        }
+                        if let Callee::Indirect(p) = callee {
+                            check_op(p)?;
+                        }
+                        if let Some(lp) = landing_pad {
+                            if lp.index() >= self.blocks.len() {
+                                return err(format!("landing pad {lp} out of range"));
+                            }
+                        }
+                    }
+                    Stmt::Emit { value, .. } => check_op(value)?,
+                }
+            }
+            for succ in b.term.successors() {
+                if succ.index() >= self.blocks.len() {
+                    return err(format!("bb{bi} branches to missing block {succ}"));
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &b.term {
+                check_op(cond)?;
+            }
+            if let Terminator::Switch { scrut, .. } = &b.term {
+                check_op(scrut)?;
+            }
+            if let Terminator::Return(v) = &b.term {
+                check_op(v)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A global array of 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    pub name: String,
+    pub words: Vec<i64>,
+    /// Mutable globals go to `.data`; immutable to `.rodata`.
+    pub mutable: bool,
+}
+
+/// A whole MIR program.
+///
+/// Source lines are *globally unique* across the program (each function
+/// occupies a disjoint line range of its file); `line_ranges` maps lines
+/// back to files so that statements keep correct file attribution even
+/// after inlining — the property that makes paper Figure 10's
+/// "blocks from three different source files" reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MirProgram {
+    pub functions: Vec<MirFunction>,
+    pub globals: Vec<Global>,
+    /// Name of the entry function (conventionally `main`).
+    pub entry: String,
+    /// Source file names.
+    pub files: Vec<String>,
+    /// Sorted `(first_line, file_index)` ranges.
+    pub line_ranges: Vec<(u32, u32)>,
+    /// Next free global line number.
+    next_line: u32,
+}
+
+impl MirProgram {
+    /// Creates an empty program with the given entry-function name.
+    pub fn with_entry(entry: &str) -> MirProgram {
+        MirProgram {
+            entry: entry.to_string(),
+            ..MirProgram::default()
+        }
+    }
+
+    pub fn function(&self, name: &str) -> Option<&MirFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Interns a file name.
+    pub fn intern_file(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.files.iter().position(|f| f == name) {
+            return i as u32;
+        }
+        self.files.push(name.to_string());
+        (self.files.len() - 1) as u32
+    }
+
+    /// The file containing a global line number.
+    pub fn file_of_line(&self, line: u32) -> u32 {
+        let i = self.line_ranges.partition_point(|r| r.0 <= line);
+        if i == 0 {
+            0
+        } else {
+            self.line_ranges[i - 1].1
+        }
+    }
+
+    /// Adds a function whose lines were assigned locally (starting at 1 by
+    /// [`crate::builder::FunctionBuilder`]), rebasing them into the global
+    /// line space and recording the line→file range.
+    pub fn add_function(&mut self, mut func: MirFunction) {
+        let file_id = self.intern_file(&func.file);
+        let base = self.next_line;
+        let mut max_line = 0u32;
+        for b in &mut func.blocks {
+            for s in &mut b.stmts {
+                let l = match s {
+                    Stmt::Assign { line, .. }
+                    | Stmt::StoreGlobal { line, .. }
+                    | Stmt::Call { line, .. }
+                    | Stmt::Emit { line, .. } => line,
+                };
+                *l += base;
+                max_line = max_line.max(*l);
+            }
+            b.term_line += base;
+            max_line = max_line.max(b.term_line);
+        }
+        self.line_ranges.push((base, file_id));
+        self.next_line = max_line.max(base) + 2;
+        self.functions.push(func);
+    }
+
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut MirFunction> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Validates every function.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.function(&self.entry).is_none() {
+            return Err(format!("entry function {} not found", self.entry));
+        }
+        for f in &self.functions {
+            f.validate(self)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why MIR interpretation stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    UnknownFunction(String),
+    BadFunctionPointer(i64),
+    StackOverflow,
+    StepBudgetExhausted,
+    UnreachableExecuted { function: String },
+    /// A global was indexed outside its bounds (generators must produce
+    /// in-range indices so machine semantics and MIR semantics agree).
+    GlobalIndexOutOfBounds { global: String, index: i64 },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            InterpError::BadFunctionPointer(p) => write!(f, "bad function pointer {p}"),
+            InterpError::StackOverflow => write!(f, "call depth limit exceeded"),
+            InterpError::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            InterpError::UnreachableExecuted { function } => {
+                write!(f, "unreachable executed in {function}")
+            }
+            InterpError::GlobalIndexOutOfBounds { global, index } => {
+                write!(f, "global {global} indexed out of bounds at {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Reference MIR interpreter.
+///
+/// The interpreter is the semantic oracle for the code generator: for any
+/// valid program, `interpret(p, args) == emulate(compile(p), args)` (output
+/// and exit code). Function pointers are modeled as `i64` handles
+/// (`FUNC_HANDLE_BASE + function index`).
+pub struct Interp<'p> {
+    program: &'p MirProgram,
+    /// Mutable global state.
+    globals: HashMap<String, Vec<i64>>,
+    pub output: Vec<i64>,
+    steps: u64,
+    max_steps: u64,
+}
+
+/// Base value for function-pointer handles in the interpreter.
+pub const FUNC_HANDLE_BASE: i64 = 0x4_0000_0000;
+
+impl<'p> Interp<'p> {
+    pub fn new(program: &'p MirProgram, max_steps: u64) -> Interp<'p> {
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.words.clone()))
+            .collect();
+        Interp {
+            program,
+            globals,
+            output: Vec::new(),
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    /// Runs the entry function with the given arguments; returns its return
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn run(&mut self, args: &[i64]) -> Result<i64, InterpError> {
+        let entry = self.program.entry.clone();
+        self.call(&entry, args, 0)
+    }
+
+    /// Calls an arbitrary function by name (useful in tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn call_function(&mut self, name: &str, args: &[i64]) -> Result<i64, InterpError> {
+        self.call(name, args, 0)
+    }
+
+    fn func_index(&self, name: &str) -> Option<usize> {
+        self.program.functions.iter().position(|f| f.name == name)
+    }
+
+    fn call(&mut self, name: &str, args: &[i64], depth: u32) -> Result<i64, InterpError> {
+        if depth > 256 {
+            return Err(InterpError::StackOverflow);
+        }
+        let fidx = self
+            .func_index(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
+        let func = &self.program.functions[fidx];
+        let mut locals = vec![0i64; func.locals as usize];
+        for (i, a) in args.iter().take(func.params as usize).enumerate() {
+            locals[i] = *a;
+        }
+        let mut bb = func.entry();
+        loop {
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                return Err(InterpError::StepBudgetExhausted);
+            }
+            let block = func.block(bb);
+            // Collect calls to perform (to satisfy the borrow checker we
+            // execute statements with an explicit program reference).
+            for si in 0..block.stmts.len() {
+                let stmt = &func.block(bb).stmts[si];
+                match stmt {
+                    Stmt::Assign { dst, rv, .. } => {
+                        let v = self.eval_rvalue(rv, &locals)?;
+                        locals[*dst as usize] = v;
+                    }
+                    Stmt::StoreGlobal {
+                        global,
+                        index,
+                        value,
+                        ..
+                    } => {
+                        let idx = self.eval_operand(index, &locals);
+                        let val = self.eval_operand(value, &locals);
+                        let words = self
+                            .globals
+                            .get_mut(global)
+                            .expect("validated global name");
+                        if idx < 0 || idx as usize >= words.len() {
+                            return Err(InterpError::GlobalIndexOutOfBounds {
+                                global: global.clone(),
+                                index: idx,
+                            });
+                        }
+                        words[idx as usize] = val;
+                    }
+                    Stmt::Call {
+                        dst, callee, args, ..
+                    } => {
+                        let argv: Vec<i64> =
+                            args.iter().map(|a| self.eval_operand(a, &locals)).collect();
+                        let callee_name = match callee {
+                            Callee::Direct(n) => n.clone(),
+                            Callee::Indirect(p) => {
+                                let h = self.eval_operand(p, &locals);
+                                let idx = h - FUNC_HANDLE_BASE;
+                                if idx < 0 || idx as usize >= self.program.functions.len() {
+                                    return Err(InterpError::BadFunctionPointer(h));
+                                }
+                                self.program.functions[idx as usize].name.clone()
+                            }
+                        };
+                        let r = self.call(&callee_name, &argv, depth + 1)?;
+                        if let Some(d) = dst {
+                            locals[*d as usize] = r;
+                        }
+                    }
+                    Stmt::Emit { value, .. } => {
+                        let v = self.eval_operand(value, &locals);
+                        self.output.push(v);
+                    }
+                }
+            }
+            match &func.block(bb).term {
+                Terminator::Goto(b) => bb = *b,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    bb = if self.eval_operand(cond, &locals) != 0 {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
+                }
+                Terminator::Switch {
+                    scrut,
+                    targets,
+                    default,
+                } => {
+                    let v = self.eval_operand(scrut, &locals);
+                    bb = if v >= 0 && (v as usize) < targets.len() {
+                        targets[v as usize]
+                    } else {
+                        *default
+                    };
+                }
+                Terminator::Return(v) => return Ok(self.eval_operand(v, &locals)),
+                Terminator::Unreachable => {
+                    return Err(InterpError::UnreachableExecuted {
+                        function: func.name.clone(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn eval_operand(&self, op: &Operand, locals: &[i64]) -> i64 {
+        match op {
+            Operand::Local(l) => locals[*l as usize],
+            Operand::Const(c) => *c,
+        }
+    }
+
+    fn eval_rvalue(&self, rv: &Rvalue, locals: &[i64]) -> Result<i64, InterpError> {
+        Ok(match rv {
+            Rvalue::Use(op) => self.eval_operand(op, locals),
+            Rvalue::BinOp(op, a, b) => {
+                let a = self.eval_operand(a, locals);
+                let b = self.eval_operand(b, locals);
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                }
+            }
+            Rvalue::Shift(kind, a, amt) => {
+                let a = self.eval_operand(a, locals);
+                match kind {
+                    ShiftKind::Shl => ((a as u64) << amt) as i64,
+                    ShiftKind::Shr => ((a as u64) >> amt) as i64,
+                    ShiftKind::Sar => a >> amt,
+                }
+            }
+            Rvalue::Cmp(op, a, b) => {
+                let a = self.eval_operand(a, locals);
+                let b = self.eval_operand(b, locals);
+                i64::from(match op {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                })
+            }
+            Rvalue::LoadGlobal { global, index } => {
+                let idx = self.eval_operand(index, locals);
+                let words = &self.globals[global];
+                if idx < 0 || idx as usize >= words.len() {
+                    return Err(InterpError::GlobalIndexOutOfBounds {
+                        global: global.clone(),
+                        index: idx,
+                    });
+                }
+                words[idx as usize]
+            }
+            Rvalue::FuncAddr(name) => {
+                let idx = self
+                    .func_index(name)
+                    .ok_or_else(|| InterpError::UnknownFunction(name.clone()))?;
+                FUNC_HANDLE_BASE + idx as i64
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    /// max(a, b) as MIR via the builder.
+    fn max_program() -> MirProgram {
+        let mut p = MirProgram {
+            entry: "max".into(),
+            ..MirProgram::default()
+        };
+        let mut b = FunctionBuilder::new("max", 0, "max.c", 2);
+        let cond = b.assign_cmp(CmpOp::Gt, Operand::Local(0), Operand::Local(1));
+        let (then_bb, else_bb) = b.branch(Operand::Local(cond));
+        b.switch_to(then_bb);
+        b.ret(Operand::Local(0));
+        b.switch_to(else_bb);
+        b.ret(Operand::Local(1));
+        p.functions.push(b.finish());
+        p.validate().unwrap();
+        p
+    }
+
+    #[test]
+    fn interp_max() {
+        let p = max_program();
+        assert_eq!(Interp::new(&p, 1000).run(&[3, 9]).unwrap(), 9);
+        assert_eq!(Interp::new(&p, 1000).run(&[12, 9]).unwrap(), 12);
+        assert_eq!(Interp::new(&p, 1000).run(&[-5, -9]).unwrap(), -5);
+    }
+
+    #[test]
+    fn validation_catches_bad_references() {
+        let mut p = max_program();
+        p.functions[0].blocks[0].stmts.push(Stmt::Call {
+            dst: None,
+            callee: Callee::Direct("missing".into()),
+            args: vec![],
+            landing_pad: None,
+            line: 1,
+        });
+        assert!(p.validate().unwrap_err().contains("unknown function"));
+    }
+
+    #[test]
+    fn interp_globals_and_emit() {
+        let mut p = MirProgram {
+            entry: "main".into(),
+            ..MirProgram::default()
+        };
+        p.globals.push(Global {
+            name: "tbl".into(),
+            words: vec![10, 20, 30],
+            mutable: true,
+        });
+        let mut b = FunctionBuilder::new("main", 0, "main.c", 0);
+        let v = b.assign(Rvalue::LoadGlobal {
+            global: "tbl".into(),
+            index: Operand::Const(2),
+        });
+        b.push_stmt(Stmt::StoreGlobal {
+            global: "tbl".into(),
+            index: Operand::Const(0),
+            value: Operand::Local(v),
+            line: 1,
+        });
+        let w = b.assign(Rvalue::LoadGlobal {
+            global: "tbl".into(),
+            index: Operand::Const(0),
+        });
+        b.emit(Operand::Local(w));
+        b.ret(Operand::Const(0));
+        p.functions.push(b.finish());
+        p.validate().unwrap();
+        let mut i = Interp::new(&p, 1000);
+        i.run(&[]).unwrap();
+        assert_eq!(i.output, vec![30]);
+    }
+
+    #[test]
+    fn interp_function_pointers() {
+        let mut p = MirProgram {
+            entry: "main".into(),
+            ..MirProgram::default()
+        };
+        let mut f = FunctionBuilder::new("forty_two", 0, "lib.c", 0);
+        f.ret(Operand::Const(42));
+        p.functions.push(f.finish());
+        let mut b = FunctionBuilder::new("main", 0, "main.c", 0);
+        let ptr = b.assign(Rvalue::FuncAddr("forty_two".into()));
+        let r = b.call_indirect(Operand::Local(ptr), vec![]);
+        b.ret(Operand::Local(r));
+        p.functions.push(b.finish());
+        p.validate().unwrap();
+        assert_eq!(Interp::new(&p, 1000).run(&[]).unwrap(), 42);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let mut p = MirProgram {
+            entry: "main".into(),
+            ..MirProgram::default()
+        };
+        let mut b = FunctionBuilder::new("main", 0, "main.c", 1);
+        let arms = b.switch(Operand::Local(0), 3);
+        for (i, arm) in arms.targets.iter().enumerate() {
+            b.switch_to(*arm);
+            b.ret(Operand::Const(100 + i as i64));
+        }
+        b.switch_to(arms.default);
+        b.ret(Operand::Const(-1));
+        p.functions.push(b.finish());
+        p.validate().unwrap();
+        assert_eq!(Interp::new(&p, 100).run(&[0]).unwrap(), 100);
+        assert_eq!(Interp::new(&p, 100).run(&[2]).unwrap(), 102);
+        assert_eq!(Interp::new(&p, 100).run(&[7]).unwrap(), -1);
+        assert_eq!(Interp::new(&p, 100).run(&[-1]).unwrap(), -1);
+    }
+}

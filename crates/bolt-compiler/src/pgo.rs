@@ -1,0 +1,292 @@
+//! Source-level profiles and profile-guided block layout.
+//!
+//! This is the AutoFDO-style path (paper sections 2.2 and 6.2): a binary
+//! profile is mapped back to `(file, line)` pairs through the line table
+//! and *aggregated* — every inlined copy of a line contributes to the same
+//! counter. The compiler then uses the aggregate for hot-call inlining and
+//! block layout. The aggregation is exactly what loses the per-inline-copy
+//! precision illustrated in paper Figure 2; BOLT, operating on the final
+//! binary, does not suffer it.
+
+use crate::mir::{MirBlockId, MirFunction, Stmt, Terminator};
+use std::collections::HashMap;
+
+/// Execution counts aggregated per source line.
+///
+/// Lines are the program's *global* line ids: unique per static statement,
+/// but shared by all inlined copies of that statement — which is the
+/// aggregation loss of paper Figure 2.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceProfile {
+    /// line → number of samples attributed to that line.
+    pub line_counts: HashMap<u32, u64>,
+    /// line → callee → call count, for call-site inlining.
+    pub call_counts: HashMap<u32, HashMap<String, u64>>,
+}
+
+impl SourceProfile {
+    pub fn new() -> SourceProfile {
+        SourceProfile::default()
+    }
+
+    /// Adds `n` samples to a line.
+    pub fn add_line(&mut self, line: u32, n: u64) {
+        *self.line_counts.entry(line).or_insert(0) += n;
+    }
+
+    /// Adds `n` calls from a call site to `callee`.
+    pub fn add_call(&mut self, line: u32, callee: &str, n: u64) {
+        *self
+            .call_counts
+            .entry(line)
+            .or_default()
+            .entry(callee.to_string())
+            .or_insert(0) += n;
+    }
+
+    /// Samples attributed to a line.
+    pub fn line(&self, line: u32) -> u64 {
+        self.line_counts.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Total samples (for hotness thresholds).
+    pub fn total(&self) -> u64 {
+        self.line_counts.values().sum()
+    }
+
+    /// The hottest count of any single line.
+    pub fn max_line(&self) -> u64 {
+        self.line_counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Call count of a given call site to a given callee.
+    pub fn calls_at(&self, line: u32, callee: &str) -> u64 {
+        self.call_counts
+            .get(&line)
+            .and_then(|m| m.get(callee))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Estimated execution weight of each block of `func` under `profile`:
+/// the maximum line count over the block's statements and terminator.
+pub fn block_weights(func: &MirFunction, profile: &SourceProfile) -> Vec<u64> {
+    func.blocks
+        .iter()
+        .map(|b| {
+            let stmt_max = b
+                .stmts
+                .iter()
+                .map(|s| profile.line(s.line()))
+                .max()
+                .unwrap_or(0);
+            stmt_max.max(profile.line(b.term_line))
+        })
+        .collect()
+}
+
+/// Reorders `func.layout` so hot paths fall through, using a greedy
+/// Pettis–Hansen-style chain construction over profile-weighted CFG edges.
+///
+/// Edge weights are approximated from aggregated block weights —
+/// deliberately, because that is the accuracy available to a compiler
+/// consuming retrofitted profiles.
+pub fn pgo_layout(func: &mut MirFunction, profile: &SourceProfile) {
+    let n = func.blocks.len();
+    if n <= 2 {
+        return;
+    }
+    let w = block_weights(func, profile);
+
+    // Build weighted edges.
+    let mut edges: Vec<(u64, usize, usize)> = Vec::new();
+    for (bi, b) in func.blocks.iter().enumerate() {
+        match &b.term {
+            Terminator::Goto(t) => edges.push((w[bi].min(w[t.index()]).max(1), bi, t.index())),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                // Split the block's outflow proportionally to target
+                // weights (the only signal line aggregation preserves).
+                let wt = w[then_bb.index()];
+                let we = w[else_bb.index()];
+                edges.push((wt.max(1), bi, then_bb.index()));
+                edges.push((we.max(1), bi, else_bb.index()));
+                let _ = we;
+            }
+            Terminator::Switch {
+                targets, default, ..
+            } => {
+                for t in targets {
+                    edges.push((w[t.index()].max(1), bi, t.index()));
+                }
+                edges.push((1, bi, default.index()));
+            }
+            Terminator::Return(_) | Terminator::Unreachable => {}
+        }
+    }
+    // Highest-weight edges first; ties broken deterministically by ids.
+    edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    // Pettis-Hansen chain merging.
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    let mut chains: Vec<Vec<usize>> = (0..n).map(|b| vec![b]).collect();
+    for (_, from, to) in edges {
+        let cf = chain_of[from];
+        let ct = chain_of[to];
+        if cf == ct {
+            continue;
+        }
+        // Merge only when `from` is a chain tail and `to` a chain head:
+        // that's what makes the edge a fall-through.
+        if *chains[cf].last().expect("chains non-empty") == from
+            && chains[ct][0] == to
+        {
+            let tail = std::mem::take(&mut chains[ct]);
+            for b in &tail {
+                chain_of[*b] = cf;
+            }
+            chains[cf].extend(tail);
+        }
+    }
+
+    // Order chains: entry chain first, then by descending heat.
+    let entry_chain = chain_of[func.entry().index()];
+    let mut chain_ids: Vec<usize> = (0..n).filter(|&c| !chains[c].is_empty()).collect();
+    chain_ids.sort_by_key(|&c| {
+        let heat = chains[c].iter().map(|&b| w[b]).max().unwrap_or(0);
+        (
+            std::cmp::Reverse(u64::from(c == entry_chain)),
+            std::cmp::Reverse(heat),
+            c,
+        )
+    });
+
+    let mut layout = Vec::with_capacity(n);
+    for c in chain_ids {
+        for b in &chains[c] {
+            layout.push(MirBlockId(*b as u32));
+        }
+    }
+    debug_assert_eq!(layout.len(), func.layout.len());
+    func.layout = layout;
+}
+
+/// Finds hot direct call sites for PGO-driven inlining: returns
+/// `(block, stmt index, callee, count)` tuples sorted hottest-first.
+pub fn hot_call_sites(
+    func: &MirFunction,
+    profile: &SourceProfile,
+    threshold: u64,
+) -> Vec<(MirBlockId, usize, String, u64)> {
+    let mut out = Vec::new();
+    for (bi, b) in func.blocks.iter().enumerate() {
+        for (si, s) in b.stmts.iter().enumerate() {
+            if let Stmt::Call {
+                callee: crate::mir::Callee::Direct(name),
+                line,
+                landing_pad: None,
+                ..
+            } = s
+            {
+                let count = profile
+                    .calls_at(*line, name)
+                    .max(profile.line(*line));
+                if count >= threshold {
+                    out.push((MirBlockId(bi as u32), si, name.clone(), count));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|e| std::cmp::Reverse(e.3));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::mir::{CmpOp, Operand};
+
+    /// entry -> (hot, cold) -> join; source order puts cold first.
+    fn branchy() -> MirFunction {
+        let mut b = FunctionBuilder::new("f", 0, "f.c", 1);
+        let c = b.assign_cmp(CmpOp::Gt, Operand::Local(0), Operand::Const(0));
+        let (cold, hot) = b.branch(Operand::Local(c));
+        // `cold` (then) is laid out before `hot` (else) in source order.
+        b.switch_to(cold);
+        b.emit(Operand::Const(1));
+        let join = b.goto_new();
+        b.switch_to(hot);
+        b.emit(Operand::Const(2));
+        b.goto(join);
+        b.switch_to(join);
+        b.ret(Operand::Const(0));
+        b.finish()
+    }
+
+    #[test]
+    fn hot_path_becomes_fallthrough() {
+        let mut f = branchy();
+        // Line assignment in branchy(): 1=cmp, 2=branch, 3=cold emit,
+        // 4=cold goto, 5=hot emit, 6=hot goto, 7=ret.
+        let cold_line = 3;
+        let hot_line = 5;
+        let mut p = SourceProfile::new();
+        p.add_line(1, 1000); // the cmp
+        p.add_line(cold_line, 1);
+        p.add_line(hot_line, 999);
+
+        let before = f.layout.clone();
+        pgo_layout(&mut f, &p);
+        assert_ne!(f.layout, before, "layout changed");
+        // The hot block (id 2) should directly follow the entry block.
+        let pos = |id: u32| f.layout.iter().position(|b| b.0 == id).unwrap();
+        assert!(
+            pos(2) < pos(1),
+            "hot block precedes cold block in {:?}",
+            f.layout
+        );
+        assert_eq!(f.layout[0].0, 0, "entry first");
+    }
+
+    #[test]
+    fn layout_is_always_a_permutation() {
+        let mut f = branchy();
+        let p = SourceProfile::new();
+        pgo_layout(&mut f, &p);
+        let mut ids: Vec<u32> = f.layout.iter().map(|b| b.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hot_call_sites_ranked() {
+        let mut b = FunctionBuilder::new("caller", 0, "c.c", 0);
+        let _ = b.call("warm", vec![]);
+        let _ = b.call("blazing", vec![]);
+        b.ret(Operand::Const(0));
+        let f = b.finish();
+
+        let mut p = SourceProfile::new();
+        p.add_call(1, "warm", 10);
+        p.add_call(2, "blazing", 10_000);
+        let sites = hot_call_sites(&f, &p, 5);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].2, "blazing");
+        let sites = hot_call_sites(&f, &p, 100);
+        assert_eq!(sites.len(), 1);
+    }
+
+    #[test]
+    fn source_profile_accessors() {
+        let mut p = SourceProfile::new();
+        p.add_line(10, 5);
+        p.add_line(10, 7);
+        assert_eq!(p.line(10), 12);
+        assert_eq!(p.line(11), 0);
+        assert_eq!(p.total(), 12);
+        assert_eq!(p.max_line(), 12);
+    }
+}

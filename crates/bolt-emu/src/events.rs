@@ -1,0 +1,191 @@
+//! Trace events: the emulator's substitute for hardware performance
+//! monitoring (retired instructions, LBR-visible branches, memory
+//! accesses).
+
+/// The kind of a control-transfer event. Matches what Intel LBRs can record
+/// (paper section 5.1): taken branches, including calls and returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Cond,
+    /// Unconditional direct branch.
+    Uncond,
+    /// Indirect jump (jump table dispatch, PLT stub).
+    IndirectJump,
+    /// Direct call.
+    Call,
+    /// Indirect call.
+    IndirectCall,
+    /// Return.
+    Return,
+}
+
+impl BranchKind {
+    /// Whether this kind is a call or return (used when building call
+    /// graphs from LBRs, paper section 5.3).
+    pub fn is_call_or_return(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::IndirectCall | BranchKind::Return)
+    }
+}
+
+/// One control-transfer event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Address of the branch instruction.
+    pub from: u64,
+    /// Destination address (the fall-through address when not taken).
+    pub to: u64,
+    /// Whether the branch was taken. Only `Cond` branches can be
+    /// not-taken; LBR hardware records taken branches only.
+    pub taken: bool,
+    pub kind: BranchKind,
+}
+
+/// A consumer of the emulator's event stream.
+///
+/// The microarchitecture simulator, the LBR sampler, and the plain IP
+/// sampler all implement this; composite sinks fan events out.
+pub trait TraceSink {
+    /// An instruction retired at `addr`, occupying `len` bytes.
+    #[inline]
+    fn on_inst(&mut self, addr: u64, len: u8) {
+        let _ = (addr, len);
+    }
+
+    /// A control-transfer instruction executed.
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        let _ = ev;
+    }
+
+    /// A data memory access.
+    #[inline]
+    fn on_mem(&mut self, addr: u64, len: u8, write: bool) {
+        let _ = (addr, len, write);
+    }
+}
+
+/// A sink that discards all events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Fans events out to two sinks (compose for more).
+pub struct Tee<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
+
+impl<A: TraceSink + ?Sized, B: TraceSink + ?Sized> TraceSink for Tee<'_, A, B> {
+    #[inline]
+    fn on_inst(&mut self, addr: u64, len: u8) {
+        self.0.on_inst(addr, len);
+        self.1.on_inst(addr, len);
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        self.0.on_branch(ev);
+        self.1.on_branch(ev);
+    }
+
+    #[inline]
+    fn on_mem(&mut self, addr: u64, len: u8, write: bool) {
+        self.0.on_mem(addr, len, write);
+        self.1.on_mem(addr, len, write);
+    }
+}
+
+/// A sink that counts events (useful in tests and quick stats).
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    pub insts: u64,
+    pub branches: u64,
+    pub taken_branches: u64,
+    pub cond_branches: u64,
+    pub taken_cond_branches: u64,
+    pub calls: u64,
+    pub returns: u64,
+    pub mem_reads: u64,
+    pub mem_writes: u64,
+}
+
+impl TraceSink for CountingSink {
+    #[inline]
+    fn on_inst(&mut self, _addr: u64, _len: u8) {
+        self.insts += 1;
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        self.branches += 1;
+        if ev.taken {
+            self.taken_branches += 1;
+        }
+        match ev.kind {
+            BranchKind::Cond => {
+                self.cond_branches += 1;
+                if ev.taken {
+                    self.taken_cond_branches += 1;
+                }
+            }
+            BranchKind::Call | BranchKind::IndirectCall => self.calls += 1,
+            BranchKind::Return => self.returns += 1,
+            _ => {}
+        }
+    }
+
+    #[inline]
+    fn on_mem(&mut self, _addr: u64, _len: u8, write: bool) {
+        if write {
+            self.mem_writes += 1;
+        } else {
+            self.mem_reads += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut s = CountingSink::default();
+        s.on_inst(0x400000, 1);
+        s.on_branch(BranchEvent {
+            from: 0x400000,
+            to: 0x400010,
+            taken: true,
+            kind: BranchKind::Cond,
+        });
+        s.on_branch(BranchEvent {
+            from: 0x400002,
+            to: 0x400004,
+            taken: false,
+            kind: BranchKind::Cond,
+        });
+        s.on_mem(0x500000, 8, true);
+        assert_eq!(s.insts, 1);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.cond_branches, 2);
+        assert_eq!(s.mem_writes, 1);
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        let mut t = Tee(&mut a, &mut b);
+        t.on_inst(0, 1);
+        t.on_inst(1, 1);
+        assert_eq!(a.insts, 2);
+        assert_eq!(b.insts, 2);
+    }
+
+    #[test]
+    fn call_return_classification() {
+        assert!(BranchKind::Call.is_call_or_return());
+        assert!(BranchKind::Return.is_call_or_return());
+        assert!(!BranchKind::Cond.is_call_or_return());
+    }
+}

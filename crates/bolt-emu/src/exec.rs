@@ -1,0 +1,823 @@
+//! The functional emulator core.
+
+use crate::{BranchEvent, BranchKind, Memory, TraceSink};
+use bolt_isa::{decode, AluOp, Cond, Inst, Mem, Reg, Rm, ShiftOp, Target};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Fixed stack top for emulated programs.
+pub const STACK_TOP: u64 = 0x7FFF_FF00_0000;
+/// Return-address sentinel used by [`Machine::call_function`].
+pub const RETURN_SENTINEL: u64 = 0xFFFF_FFFF_FFFF_FF00;
+
+/// Arithmetic flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    pub zf: bool,
+    pub sf: bool,
+    pub of: bool,
+    pub cf: bool,
+    pub pf: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code against the flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::O => self.of,
+            Cond::No => !self.of,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::P => self.pf,
+            Cond::Np => !self.pf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || (self.sf != self.of),
+            Cond::G => !self.zf && (self.sf == self.of),
+        }
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The program invoked the exit syscall with this code.
+    Exited(i64),
+    /// The step budget ran out.
+    MaxSteps,
+    /// Control returned to the [`RETURN_SENTINEL`] (function-call mode).
+    Returned,
+}
+
+/// Emulation errors (always fatal for the run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// Bytes at `rip` did not decode.
+    BadInstruction { rip: u64 },
+    /// `ud2` executed.
+    Trap { rip: u64 },
+    /// Unknown syscall number.
+    BadSyscall { rip: u64, number: u64 },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadInstruction { rip } => write!(f, "undecodable instruction at {rip:#x}"),
+            EmuError::Trap { rip } => write!(f, "trap (ud2) at {rip:#x}"),
+            EmuError::BadSyscall { rip, number } => {
+                write!(f, "unsupported syscall {number} at {rip:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    pub exit: Exit,
+    /// Instructions retired.
+    pub steps: u64,
+}
+
+/// The emulated machine: registers, flags, memory, and a decode cache.
+///
+/// # Examples
+///
+/// ```
+/// use bolt_emu::Machine;
+/// use bolt_elf::{Elf, Section};
+///
+/// // A binary whose entry point immediately exits with code 7:
+/// //   movq $60, %rax ; movq $7, %rdi ; syscall
+/// let code = vec![
+///     0x48, 0xC7, 0xC0, 0x3C, 0, 0, 0,
+///     0x48, 0xC7, 0xC7, 0x07, 0, 0, 0,
+///     0x0F, 0x05,
+/// ];
+/// let mut elf = Elf::new(0x400000);
+/// elf.sections.push(Section::code(".text", 0x400000, code));
+///
+/// let mut m = Machine::new();
+/// m.load_elf(&elf);
+/// let r = m.run(&mut bolt_emu::NullSink, 100)?;
+/// assert_eq!(r.exit, bolt_emu::Exit::Exited(7));
+/// # Ok::<(), bolt_emu::EmuError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Machine {
+    pub regs: [u64; 16],
+    pub flags: Flags,
+    pub rip: u64,
+    pub mem: Memory,
+    /// Values written by the emit syscall — the program's observable
+    /// output (used to verify BOLT preserves semantics).
+    pub output: Vec<i64>,
+    icache: HashMap<u64, (Inst, u8)>,
+}
+
+impl Machine {
+    pub fn new() -> Machine {
+        Machine::default()
+    }
+
+    /// Loads all allocatable sections of an ELF image and initializes
+    /// `rip`/`rsp`.
+    pub fn load_elf(&mut self, elf: &bolt_elf::Elf) {
+        for s in &elf.sections {
+            if s.is_alloc() {
+                self.mem.write(s.addr, &s.data);
+            }
+        }
+        self.rip = elf.entry;
+        self.set_reg(Reg::Rsp, STACK_TOP - 64);
+        self.icache.clear();
+    }
+
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.num() as usize]
+    }
+
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.num() as usize] = v;
+    }
+
+    fn effective_addr(&self, mem: &Mem) -> u64 {
+        match mem {
+            Mem::BaseDisp { base, disp } => self.reg(*base).wrapping_add(*disp as i64 as u64),
+            Mem::BaseIndexScale {
+                base,
+                index,
+                scale,
+                disp,
+            } => self
+                .reg(*base)
+                .wrapping_add(self.reg(*index).wrapping_mul(*scale as u64))
+                .wrapping_add(*disp as i64 as u64),
+            Mem::RipRel { target } => match target {
+                Target::Addr(a) => *a,
+                Target::Label(_) => panic!("unresolved label reached the emulator"),
+            },
+        }
+    }
+
+    fn fetch(&mut self, rip: u64) -> Result<(Inst, u8), EmuError> {
+        if let Some(&hit) = self.icache.get(&rip) {
+            return Ok(hit);
+        }
+        let mut buf = [0u8; 16];
+        self.mem.read(rip, &mut buf);
+        let d = decode(&buf, rip).map_err(|_| EmuError::BadInstruction { rip })?;
+        self.icache.insert(rip, (d.inst, d.len));
+        Ok((d.inst, d.len))
+    }
+
+    fn set_flags_logic(&mut self, r: u64) {
+        self.flags = Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            of: false,
+            cf: false,
+            pf: (r as u8).count_ones() % 2 == 0,
+        };
+    }
+
+    fn set_flags_sub(&mut self, a: u64, b: u64) -> u64 {
+        let r = a.wrapping_sub(b);
+        self.flags = Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            cf: a < b,
+            of: (((a ^ b) & (a ^ r)) >> 63) != 0,
+            pf: (r as u8).count_ones() % 2 == 0,
+        };
+        r
+    }
+
+    fn set_flags_add(&mut self, a: u64, b: u64) -> u64 {
+        let r = a.wrapping_add(b);
+        self.flags = Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            cf: r < a,
+            of: ((!(a ^ b) & (a ^ r)) >> 63) != 0,
+            pf: (r as u8).count_ones() % 2 == 0,
+        };
+        r
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64) -> u64 {
+        match op {
+            AluOp::Add => self.set_flags_add(a, b),
+            AluOp::Sub => self.set_flags_sub(a, b),
+            AluOp::Cmp => {
+                self.set_flags_sub(a, b);
+                a
+            }
+            AluOp::And => {
+                let r = a & b;
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Or => {
+                let r = a | b;
+                self.set_flags_logic(r);
+                r
+            }
+            AluOp::Xor => {
+                let r = a ^ b;
+                self.set_flags_logic(r);
+                r
+            }
+        }
+    }
+
+    fn push<S: TraceSink + ?Sized>(&mut self, v: u64, sink: &mut S) {
+        let rsp = self.reg(Reg::Rsp).wrapping_sub(8);
+        self.set_reg(Reg::Rsp, rsp);
+        self.mem.write_u64(rsp, v);
+        sink.on_mem(rsp, 8, true);
+    }
+
+    fn pop<S: TraceSink + ?Sized>(&mut self, sink: &mut S) -> u64 {
+        let rsp = self.reg(Reg::Rsp);
+        let v = self.mem.read_u64(rsp);
+        sink.on_mem(rsp, 8, false);
+        self.set_reg(Reg::Rsp, rsp.wrapping_add(8));
+        v
+    }
+
+    fn resolve_rm<S: TraceSink + ?Sized>(&mut self, rm: &Rm, sink: &mut S) -> u64 {
+        match rm {
+            Rm::Reg(r) => self.reg(*r),
+            Rm::Mem(m) => {
+                let ea = self.effective_addr(m);
+                sink.on_mem(ea, 8, false);
+                self.mem.read_u64(ea)
+            }
+        }
+    }
+
+    /// Executes one instruction. Returns `Some(exit)` when the program
+    /// terminates.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn step<S: TraceSink + ?Sized>(&mut self, sink: &mut S) -> Result<Option<Exit>, EmuError> {
+        let rip = self.rip;
+        let (inst, len) = self.fetch(rip)?;
+        let next = rip + len as u64;
+        sink.on_inst(rip, len);
+        let mut new_rip = next;
+
+        match inst {
+            Inst::Push(r) => {
+                let v = self.reg(r);
+                self.push(v, sink);
+            }
+            Inst::Pop(r) => {
+                let v = self.pop(sink);
+                self.set_reg(r, v);
+            }
+            Inst::MovRR { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+            }
+            Inst::MovRI { dst, imm } => self.set_reg(dst, imm as u64),
+            Inst::MovRSym { dst, target } => {
+                let Target::Addr(a) = target else {
+                    panic!("unresolved symbol reached the emulator");
+                };
+                self.set_reg(dst, a);
+            }
+            Inst::Load { dst, mem } => {
+                let ea = self.effective_addr(&mem);
+                sink.on_mem(ea, 8, false);
+                let v = self.mem.read_u64(ea);
+                self.set_reg(dst, v);
+            }
+            Inst::Store { mem, src } => {
+                let ea = self.effective_addr(&mem);
+                sink.on_mem(ea, 8, true);
+                let v = self.reg(src);
+                self.mem.write_u64(ea, v);
+            }
+            Inst::Lea { dst, mem } => {
+                let ea = self.effective_addr(&mem);
+                self.set_reg(dst, ea);
+            }
+            Inst::Alu { op, dst, src } => {
+                let r = self.alu(op, self.reg(dst), self.reg(src));
+                if op.writes_dst() {
+                    self.set_reg(dst, r);
+                }
+            }
+            Inst::AluI { op, dst, imm } => {
+                let r = self.alu(op, self.reg(dst), imm as i64 as u64);
+                if op.writes_dst() {
+                    self.set_reg(dst, r);
+                }
+            }
+            Inst::Test { a, b } => {
+                let r = self.reg(a) & self.reg(b);
+                self.set_flags_logic(r);
+            }
+            Inst::Imul { dst, src } => {
+                let a = self.reg(dst) as i64;
+                let b = self.reg(src) as i64;
+                let (r, over) = a.overflowing_mul(b);
+                self.flags = Flags {
+                    zf: r == 0,
+                    sf: r < 0,
+                    of: over,
+                    cf: over,
+                    pf: (r as u8).count_ones() % 2 == 0,
+                };
+                self.set_reg(dst, r as u64);
+            }
+            Inst::Shift { op, dst, amount } => {
+                let a = self.reg(dst);
+                let c = (amount & 63) as u32;
+                if c != 0 {
+                    let (r, cf) = match op {
+                        ShiftOp::Shl => (a.wrapping_shl(c), (a >> (64 - c)) & 1 != 0),
+                        ShiftOp::Shr => (a.wrapping_shr(c), (a >> (c - 1)) & 1 != 0),
+                        ShiftOp::Sar => (
+                            ((a as i64).wrapping_shr(c)) as u64,
+                            ((a as i64) >> (c - 1)) & 1 != 0,
+                        ),
+                    };
+                    self.flags = Flags {
+                        zf: r == 0,
+                        sf: (r >> 63) != 0,
+                        of: false,
+                        cf,
+                        pf: (r as u8).count_ones() % 2 == 0,
+                    };
+                    self.set_reg(dst, r);
+                }
+            }
+            Inst::Setcc { cond, dst } => {
+                let bit = u64::from(self.flags.cond(cond));
+                let old = self.reg(dst);
+                self.set_reg(dst, (old & !0xFF) | bit);
+            }
+            Inst::Movzx8 { dst, src } => {
+                let v = self.reg(src) & 0xFF;
+                self.set_reg(dst, v);
+            }
+            Inst::Jcc { cond, target, .. } => {
+                let taken = self.flags.cond(cond);
+                let tgt = target.addr().expect("decoded branches are resolved");
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: if taken { tgt } else { next },
+                    taken,
+                    kind: BranchKind::Cond,
+                });
+                if taken {
+                    new_rip = tgt;
+                }
+            }
+            Inst::Jmp { target, .. } => {
+                let tgt = target.addr().expect("decoded branches are resolved");
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::Uncond,
+                });
+                new_rip = tgt;
+            }
+            Inst::JmpInd { rm } => {
+                let tgt = self.resolve_rm(&rm, sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::IndirectJump,
+                });
+                new_rip = tgt;
+            }
+            Inst::Call { target } => {
+                let tgt = target.addr().expect("decoded branches are resolved");
+                self.push(next, sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::Call,
+                });
+                new_rip = tgt;
+            }
+            Inst::CallInd { rm } => {
+                let tgt = self.resolve_rm(&rm, sink);
+                self.push(next, sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::IndirectCall,
+                });
+                new_rip = tgt;
+            }
+            Inst::Ret | Inst::RepzRet => {
+                let tgt = self.pop(sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::Return,
+                });
+                if tgt == RETURN_SENTINEL {
+                    self.rip = tgt;
+                    return Ok(Some(Exit::Returned));
+                }
+                new_rip = tgt;
+            }
+            Inst::Nop { .. } => {}
+            Inst::Ud2 => return Err(EmuError::Trap { rip }),
+            Inst::Syscall => {
+                let nr = self.reg(Reg::Rax);
+                match nr {
+                    1 => {
+                        // "emit": record rdi as program output.
+                        let v = self.reg(Reg::Rdi) as i64;
+                        self.output.push(v);
+                        self.set_reg(Reg::Rax, 8);
+                    }
+                    60 | 231 => {
+                        self.rip = next;
+                        return Ok(Some(Exit::Exited(self.reg(Reg::Rdi) as i64)));
+                    }
+                    number => return Err(EmuError::BadSyscall { rip, number }),
+                }
+            }
+        }
+
+        self.rip = new_rip;
+        Ok(None)
+    }
+
+    /// Runs until exit, error, or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+    ) -> Result<RunResult, EmuError> {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            steps += 1;
+            if let Some(exit) = self.step(sink)? {
+                return Ok(RunResult { exit, steps });
+            }
+        }
+        Ok(RunResult {
+            exit: Exit::MaxSteps,
+            steps,
+        })
+    }
+
+    /// Calls the function at `addr` with up to six integer arguments,
+    /// running until it returns. Used by unit tests to exercise individual
+    /// functions.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn call_function<S: TraceSink + ?Sized>(
+        &mut self,
+        addr: u64,
+        args: &[u64],
+        sink: &mut S,
+        max_steps: u64,
+    ) -> Result<u64, EmuError> {
+        assert!(args.len() <= 6, "at most six register arguments");
+        for (i, &a) in args.iter().enumerate() {
+            self.set_reg(Reg::ARGS[i], a);
+        }
+        self.set_reg(Reg::Rsp, STACK_TOP - 64);
+        self.push(RETURN_SENTINEL, &mut crate::NullSink);
+        self.rip = addr;
+        let r = self.run(sink, max_steps)?;
+        debug_assert!(matches!(r.exit, Exit::Returned | Exit::MaxSteps));
+        Ok(self.reg(Reg::Rax))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, NullSink};
+    use bolt_isa::{encode_at, Label};
+
+    /// Assembles instructions at `base`, resolving label `n` to the start
+    /// of instruction `n`.
+    fn asm(insts: &[Inst], base: u64) -> Vec<u8> {
+        // Two passes: compute addresses, then encode with resolution.
+        let mut addrs = Vec::with_capacity(insts.len());
+        let mut pos = base;
+        for i in insts {
+            addrs.push(pos);
+            pos += bolt_isa::encoded_len(i) as u64;
+        }
+        let mut out = Vec::new();
+        for (i, inst) in insts.iter().enumerate() {
+            let mut inst = *inst;
+            if let Some(Target::Label(Label(n))) = inst.target() {
+                inst.set_target(Target::Addr(addrs[n as usize]));
+            }
+            out.extend(encode_at(&inst, addrs[i]).unwrap().bytes);
+        }
+        out
+    }
+
+    fn machine_with(insts: &[Inst]) -> Machine {
+        let mut m = Machine::new();
+        let code = asm(insts, 0x400000);
+        m.mem.write(0x400000, &code);
+        m.rip = 0x400000;
+        m.set_reg(Reg::Rsp, STACK_TOP - 64);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 5,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 7,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: Reg::Rcx,
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rax,
+                imm: 12,
+            },
+        ];
+        let mut m = machine_with(&insts);
+        for _ in 0..4 {
+            m.step(&mut NullSink).unwrap();
+        }
+        assert_eq!(m.reg(Reg::Rax), 12);
+        assert!(m.flags.zf, "12 - 12 sets ZF");
+        assert!(m.flags.cond(Cond::E));
+        assert!(!m.flags.cond(Cond::L));
+        assert!(m.flags.cond(Cond::Ge));
+    }
+
+    #[test]
+    fn signed_comparison_conditions() {
+        let mut m = machine_with(&[
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: -3,
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rax,
+                imm: 2,
+            },
+        ]);
+        m.step(&mut NullSink).unwrap();
+        m.step(&mut NullSink).unwrap();
+        assert!(m.flags.cond(Cond::L), "-3 < 2 signed");
+        assert!(!m.flags.cond(Cond::B), "-3 is huge unsigned");
+        assert!(m.flags.cond(Cond::Ne));
+    }
+
+    #[test]
+    fn setcc_and_movzx() {
+        let mut m = machine_with(&[
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 10,
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rax,
+                imm: 3,
+            },
+            Inst::Setcc {
+                cond: Cond::G,
+                dst: Reg::Rdx,
+            },
+            Inst::Movzx8 {
+                dst: Reg::Rdx,
+                src: Reg::Rdx,
+            },
+        ]);
+        m.set_reg(Reg::Rdx, 0xFFFF_FFFF_FFFF_FF00);
+        for _ in 0..4 {
+            m.step(&mut NullSink).unwrap();
+        }
+        assert_eq!(m.reg(Reg::Rdx), 1);
+    }
+
+    #[test]
+    fn branch_events_and_control_flow() {
+        // 0: mov rax, 1
+        // 1: test rax, rax
+        // 2: jne L4 (taken)
+        // 3: ud2 (skipped)
+        // 4: ret -> sentinel
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Test {
+                a: Reg::Rax,
+                b: Reg::Rax,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Label(Label(4)),
+                width: bolt_isa::JumpWidth::Near,
+            },
+            Inst::Ud2,
+            Inst::Ret,
+        ];
+        let mut m = machine_with(&insts);
+        m.push(RETURN_SENTINEL, &mut NullSink);
+        let mut sink = CountingSink::default();
+        let r = m.run(&mut sink, 100).unwrap();
+        assert_eq!(r.exit, Exit::Returned);
+        assert_eq!(sink.taken_cond_branches, 1);
+        assert_eq!(sink.returns, 1);
+        assert_eq!(r.steps, 4);
+    }
+
+    #[test]
+    fn call_and_stack_discipline() {
+        // main: call f; ret
+        // f: mov rax, 42; ret
+        let insts = [
+            Inst::Call {
+                target: Target::Label(Label(2)),
+            },
+            Inst::Ret,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 42,
+            },
+            Inst::Ret,
+        ];
+        let mut m = machine_with(&insts);
+        let rax = m
+            .call_function(0x400000, &[], &mut NullSink, 100)
+            .unwrap();
+        assert_eq!(rax, 42);
+    }
+
+    #[test]
+    fn memory_and_jump_table_dispatch() {
+        // Jump table with 2 entries in "rodata" at 0x500000.
+        // mov rax, 1 (index)
+        // movabs r10, 0x500000
+        // mov r11, [r10 + rax*8]
+        // jmp r11
+        // L4: mov rax, 111; ret   (entry 0)
+        // L6: mov rax, 222; ret   (entry 1)
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::MovRI {
+                dst: Reg::R10,
+                imm: 0x500000,
+            },
+            Inst::Load {
+                dst: Reg::R11,
+                mem: Mem::BaseIndexScale {
+                    base: Reg::R10,
+                    index: Reg::Rax,
+                    scale: 8,
+                    disp: 0,
+                },
+            },
+            Inst::JmpInd {
+                rm: Rm::Reg(Reg::R11),
+            },
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 111,
+            },
+            Inst::Ret,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 222,
+            },
+            Inst::Ret,
+        ];
+        let mut m = machine_with(&insts);
+        // Compute addresses of insts 4 and 6 the same way `asm` does.
+        let mut addrs = vec![0x400000u64];
+        for i in &insts {
+            let last = *addrs.last().unwrap();
+            addrs.push(last + bolt_isa::encoded_len(i) as u64);
+        }
+        m.mem.write_u64(0x500000, addrs[4]);
+        m.mem.write_u64(0x500008, addrs[6]);
+        let mut sink = CountingSink::default();
+        let rax = m.call_function(0x400000, &[], &mut sink, 100).unwrap();
+        assert_eq!(rax, 222, "index 1 selects the second table entry");
+        assert!(sink.mem_reads >= 1);
+    }
+
+    #[test]
+    fn syscall_emit_and_exit() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdi,
+                imm: -99,
+            },
+            Inst::Syscall,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 60,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdi,
+                imm: 3,
+            },
+            Inst::Syscall,
+        ];
+        let mut m = machine_with(&insts);
+        let r = m.run(&mut NullSink, 100).unwrap();
+        assert_eq!(r.exit, Exit::Exited(3));
+        assert_eq!(m.output, vec![-99]);
+    }
+
+    #[test]
+    fn traps_and_bad_code() {
+        let mut m = machine_with(&[Inst::Ud2]);
+        assert_eq!(
+            m.step(&mut NullSink),
+            Err(EmuError::Trap { rip: 0x400000 })
+        );
+        let mut m = Machine::new();
+        m.rip = 0x999000; // zeros decode as add [rax], al? -> unsupported
+        assert!(matches!(
+            m.step(&mut NullSink),
+            Err(EmuError::BadInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn shifts() {
+        let mut m = machine_with(&[
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: -16,
+            },
+            Inst::Shift {
+                op: ShiftOp::Sar,
+                dst: Reg::Rax,
+                amount: 2,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 3,
+            },
+            Inst::Shift {
+                op: ShiftOp::Shl,
+                dst: Reg::Rcx,
+                amount: 4,
+            },
+        ]);
+        for _ in 0..4 {
+            m.step(&mut NullSink).unwrap();
+        }
+        assert_eq!(m.reg(Reg::Rax) as i64, -4);
+        assert_eq!(m.reg(Reg::Rcx), 48);
+    }
+}

@@ -1,0 +1,20 @@
+//! # bolt-emu — functional emulator for the x86-64 subset
+//!
+//! Executes the ELF binaries produced by the compiler substrate and emits a
+//! trace of retired instructions, control transfers, and memory accesses.
+//! This stream is the reproduction's substitute for running on real
+//! hardware: the LBR sampler (`bolt-profile`) and the microarchitecture
+//! model (`bolt-sim`) both consume it through the [`TraceSink`] trait.
+//!
+//! Because the emulator is *functional* (registers, flags, memory, and
+//! syscalls all behave architecturally), it doubles as the correctness
+//! oracle for the whole project: a binary must produce byte-identical
+//! output before and after BOLT rewrites it.
+
+mod events;
+mod exec;
+mod memory;
+
+pub use events::{BranchEvent, BranchKind, CountingSink, NullSink, TraceSink, Tee};
+pub use exec::{EmuError, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP};
+pub use memory::Memory;

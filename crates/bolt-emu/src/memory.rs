@@ -1,0 +1,123 @@
+//! Sparse paged memory for the emulator.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+/// A sparse 64-bit address space backed by 4 KiB pages allocated on demand.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte (unmapped memory reads as zero).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = v;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        // Fast path: single page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + buf.len() <= PAGE_SIZE as usize {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+            return;
+        }
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + data.len() <= PAGE_SIZE as usize {
+            self.page_mut(addr)[off..off + data.len()].copy_from_slice(data);
+            return;
+        }
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Number of resident pages (for tests and stats).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_round_trip() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u8(0x1000), 0x0D);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0x5000_0000), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 0x1FFC; // straddles the 0x1000/0x2000 page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read_u8(0x2000), 0x44, "5th little-endian byte");
+    }
+
+    #[test]
+    fn bulk_write_spanning_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(0x1F80, &data);
+        let mut back = vec![0u8; 256];
+        m.read(0x1F80, &mut back);
+        assert_eq!(back, data);
+    }
+}

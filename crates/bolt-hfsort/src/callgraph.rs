@@ -1,0 +1,113 @@
+//! The weighted dynamic call graph.
+
+use std::collections::HashMap;
+
+/// A call-graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgNode {
+    pub name: String,
+    /// Code size in bytes (used by clustering size caps and density).
+    pub size: u64,
+    /// Profile samples attributed to the function.
+    pub samples: u64,
+}
+
+/// A weighted directed call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<CgNode>,
+    /// `(caller, callee) -> weight`.
+    pub edges: HashMap<(usize, usize), u64>,
+    by_name: HashMap<String, usize>,
+}
+
+impl CallGraph {
+    pub fn new() -> CallGraph {
+        CallGraph::default()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, name: impl Into<String>, size: u64, samples: u64) -> usize {
+        let name = name.into();
+        let idx = self.nodes.len();
+        self.by_name.insert(name.clone(), idx);
+        self.nodes.push(CgNode {
+            name,
+            size,
+            samples,
+        });
+        idx
+    }
+
+    /// Looks up a node index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Accumulates call weight from `caller` to `callee`.
+    pub fn add_edge(&mut self, caller: usize, callee: usize, weight: u64) {
+        if caller == callee {
+            return;
+        }
+        *self.edges.entry((caller, callee)).or_insert(0) += weight;
+    }
+
+    /// The hottest caller of `callee` with its weight.
+    pub fn hottest_caller(&self, callee: usize) -> Option<(usize, u64)> {
+        self.edges
+            .iter()
+            .filter(|((_, to), _)| *to == callee)
+            .map(|(&(from, _), &w)| (from, w))
+            .max_by_key(|&(from, w)| (w, std::cmp::Reverse(from)))
+    }
+
+    /// Edges sorted by descending weight (deterministic tie-breaks).
+    pub fn edges_by_weight(&self) -> Vec<(usize, usize, u64)> {
+        let mut v: Vec<(usize, usize, u64)> = self
+            .edges
+            .iter()
+            .map(|(&(a, b), &w)| (a, b, w))
+            .collect();
+        v.sort_unstable_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        v
+    }
+
+    /// Node indices by descending sample count (deterministic).
+    pub fn nodes_by_heat(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.nodes.len()).collect();
+        v.sort_unstable_by_key(|&i| (std::cmp::Reverse(self.nodes[i].samples), i));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_accumulate_and_ignore_self_calls() {
+        let mut cg = CallGraph::new();
+        let a = cg.add_node("a", 100, 50);
+        let b = cg.add_node("b", 200, 10);
+        cg.add_edge(a, b, 5);
+        cg.add_edge(a, b, 7);
+        cg.add_edge(a, a, 100);
+        assert_eq!(cg.edges[&(a, b)], 12);
+        assert!(!cg.edges.contains_key(&(a, a)));
+        assert_eq!(cg.hottest_caller(b), Some((a, 12)));
+        assert_eq!(cg.index_of("b"), Some(b));
+    }
+
+    #[test]
+    fn deterministic_orderings() {
+        let mut cg = CallGraph::new();
+        let a = cg.add_node("a", 1, 5);
+        let b = cg.add_node("b", 1, 5);
+        let c = cg.add_node("c", 1, 9);
+        cg.add_edge(a, c, 3);
+        cg.add_edge(b, c, 3);
+        assert_eq!(cg.nodes_by_heat(), vec![c, a, b]);
+        let e = cg.edges_by_weight();
+        assert_eq!(e[0].0, a, "tie broken by node index");
+    }
+}

@@ -1,0 +1,17 @@
+//! # bolt-hfsort — profile-guided function ordering
+//!
+//! Implements the HFSort technique of Ottoni & Maher ("Optimizing Function
+//! Placement for Large-scale Data-center Applications", CGO 2017), which
+//! BOLT applies as its `reorder-functions` pass (paper Table 1, pass 13),
+//! plus the `hfsort+` refinement and the classic Pettis–Hansen ordering
+//! for comparison.
+//!
+//! The input is a weighted dynamic call graph; the output is a function
+//! order that packs callers next to hot callees, primarily improving
+//! I-TLB behaviour and secondarily I-cache (paper section 4).
+
+mod callgraph;
+mod orders;
+
+pub use callgraph::{CallGraph, CgNode};
+pub use orders::{hfsort, hfsort_plus, order_functions, pettis_hansen, Algorithm};

@@ -1,0 +1,281 @@
+//! The ordering algorithms: HFSort (C3), HFSort+, and Pettis–Hansen.
+
+use crate::CallGraph;
+
+/// Function-ordering algorithm selector (BOLT's `-reorder-functions=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Keep the original order.
+    None,
+    /// HFSort / C3 clustering.
+    Hfsort,
+    /// HFSort with page-aware merge gains (`hfsort+`).
+    #[default]
+    HfsortPlus,
+    /// Classic Pettis–Hansen closest-is-best merging.
+    PettisHansen,
+}
+
+/// Page size used for clustering caps and gain estimation.
+const PAGE_SIZE: u64 = 4096;
+/// C3 maximum cluster size (one huge page's worth of hot text in the
+/// original; scaled to our binaries).
+const MAX_CLUSTER_SIZE: u64 = 8 * PAGE_SIZE;
+/// C3 merge-density degradation limit.
+const DENSITY_DEGRADATION: u64 = 8;
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    funcs: Vec<usize>,
+    size: u64,
+    samples: u64,
+}
+
+impl Cluster {
+    fn density(&self) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.size as f64
+        }
+    }
+}
+
+fn singleton_clusters(cg: &CallGraph) -> (Vec<Cluster>, Vec<usize>) {
+    let clusters: Vec<Cluster> = (0..cg.nodes.len())
+        .map(|i| Cluster {
+            funcs: vec![i],
+            size: cg.nodes[i].size.max(1),
+            samples: cg.nodes[i].samples,
+        })
+        .collect();
+    let cluster_of: Vec<usize> = (0..cg.nodes.len()).collect();
+    (clusters, cluster_of)
+}
+
+fn merge(
+    clusters: &mut [Cluster],
+    cluster_of: &mut [usize],
+    into: usize,
+    from: usize,
+) {
+    let moved = std::mem::take(&mut clusters[from].funcs);
+    for &f in &moved {
+        cluster_of[f] = into;
+    }
+    let (fsize, fsamples) = (clusters[from].size, clusters[from].samples);
+    clusters[from].size = 0;
+    clusters[from].samples = 0;
+    clusters[into].funcs.extend(moved);
+    clusters[into].size += fsize;
+    clusters[into].samples += fsamples;
+}
+
+fn emit_order(cg: &CallGraph, clusters: Vec<Cluster>) -> Vec<usize> {
+    // Clusters by descending density, then concatenate.
+    let mut order: Vec<&Cluster> = clusters.iter().filter(|c| !c.funcs.is_empty()).collect();
+    order.sort_by(|a, b| {
+        b.density()
+            .partial_cmp(&a.density())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.funcs[0].cmp(&b.funcs[0]))
+    });
+    let mut out: Vec<usize> = order.iter().flat_map(|c| c.funcs.clone()).collect();
+    debug_assert_eq!(out.len(), cg.nodes.len());
+    // Safety net: any missing nodes appended in index order.
+    let mut seen = vec![false; cg.nodes.len()];
+    for &f in &out {
+        seen[f] = true;
+    }
+    for (i, s) in seen.iter().enumerate() {
+        if !s {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// HFSort / C3 clustering (Ottoni & Maher, CGO 2017).
+///
+/// Functions are visited hottest-first; each is appended to the cluster of
+/// its hottest caller when (a) the merged cluster stays under the size
+/// cap, and (b) the merge does not dilute the caller cluster's density by
+/// more than the degradation limit (8x).
+pub fn hfsort(cg: &CallGraph) -> Vec<usize> {
+    let (mut clusters, mut cluster_of) = singleton_clusters(cg);
+    for f in cg.nodes_by_heat() {
+        if cg.nodes[f].samples == 0 {
+            continue;
+        }
+        let Some((caller, _)) = cg.hottest_caller(f) else {
+            continue;
+        };
+        let cf = cluster_of[f];
+        let cc = cluster_of[caller];
+        if cf == cc {
+            continue;
+        }
+        // Only append to the caller cluster when f's cluster currently
+        // starts with f (keeps callee right after its caller chain).
+        if clusters[cf].funcs.first() != Some(&f) {
+            continue;
+        }
+        if clusters[cc].size + clusters[cf].size > MAX_CLUSTER_SIZE {
+            continue;
+        }
+        let merged_density = (clusters[cc].samples + clusters[cf].samples) as f64
+            / (clusters[cc].size + clusters[cf].size) as f64;
+        if merged_density * (DENSITY_DEGRADATION as f64) < clusters[cc].density() {
+            continue;
+        }
+        merge(&mut clusters, &mut cluster_of, cc, cf);
+    }
+    emit_order(cg, clusters)
+}
+
+/// `hfsort+`: like C3 but merges are driven by an expected page-locality
+/// gain — callers and callees co-located within a page avoid an I-TLB
+/// crossing proportional to the edge weight — and considers both merge
+/// orientations.
+pub fn hfsort_plus(cg: &CallGraph) -> Vec<usize> {
+    let (mut clusters, mut cluster_of) = singleton_clusters(cg);
+    // Process edges hottest-first, merging when the gain (edge weight
+    // scaled by co-location probability) is positive.
+    for (a, b, w) in cg.edges_by_weight() {
+        let ca = cluster_of[a];
+        let cb = cluster_of[b];
+        if ca == cb {
+            continue;
+        }
+        let merged_size = clusters[ca].size + clusters[cb].size;
+        if merged_size > MAX_CLUSTER_SIZE {
+            continue;
+        }
+        // Expected page crossings avoided: the caller's tail and callee's
+        // head land on the same page with probability ~ 1 - size/page.
+        let co_location = 1.0 - (merged_size as f64 / (MAX_CLUSTER_SIZE as f64 * 2.0));
+        let gain = w as f64 * co_location.max(0.0);
+        if gain <= 0.0 {
+            continue;
+        }
+        // Orient the merge caller-then-callee: append cb after ca when the
+        // caller cluster ends hot, otherwise prepend.
+        if clusters[cb].funcs.first() == Some(&b) {
+            merge(&mut clusters, &mut cluster_of, ca, cb);
+        } else if clusters[ca].funcs.first() == Some(&a) {
+            merge(&mut clusters, &mut cluster_of, cb, ca);
+        }
+    }
+    emit_order(cg, clusters)
+}
+
+/// Classic Pettis–Hansen function ordering: repeatedly merge the clusters
+/// joined by the heaviest remaining edge, no size cap.
+pub fn pettis_hansen(cg: &CallGraph) -> Vec<usize> {
+    let (mut clusters, mut cluster_of) = singleton_clusters(cg);
+    for (a, b, _w) in cg.edges_by_weight() {
+        let ca = cluster_of[a];
+        let cb = cluster_of[b];
+        if ca == cb {
+            continue;
+        }
+        merge(&mut clusters, &mut cluster_of, ca, cb);
+    }
+    emit_order(cg, clusters)
+}
+
+/// Dispatch by [`Algorithm`]; returns node indices in new order.
+pub fn order_functions(cg: &CallGraph, algo: Algorithm) -> Vec<usize> {
+    match algo {
+        Algorithm::None => (0..cg.nodes.len()).collect(),
+        Algorithm::Hfsort => hfsort(cg),
+        Algorithm::HfsortPlus => hfsort_plus(cg),
+        Algorithm::PettisHansen => pettis_hansen(cg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// main -> {hot (1000), cold (1)}; hot -> helper (900).
+    fn sample_cg() -> CallGraph {
+        let mut cg = CallGraph::new();
+        let main = cg.add_node("main", 256, 100);
+        let hot = cg.add_node("hot", 512, 1000);
+        let cold = cg.add_node("cold", 512, 1);
+        let helper = cg.add_node("helper", 128, 900);
+        cg.add_edge(main, hot, 1000);
+        cg.add_edge(main, cold, 1);
+        cg.add_edge(hot, helper, 900);
+        cg
+    }
+
+    fn pos(order: &[usize], node: usize) -> usize {
+        order.iter().position(|&n| n == node).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_produce_permutations() {
+        let cg = sample_cg();
+        for algo in [
+            Algorithm::None,
+            Algorithm::Hfsort,
+            Algorithm::HfsortPlus,
+            Algorithm::PettisHansen,
+        ] {
+            let order = order_functions(&cg, algo);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "{algo:?} is a permutation");
+        }
+    }
+
+    #[test]
+    fn hot_chain_is_packed_together() {
+        let cg = sample_cg();
+        for algo in [Algorithm::Hfsort, Algorithm::HfsortPlus, Algorithm::PettisHansen] {
+            let order = order_functions(&cg, algo);
+            let d = pos(&order, 1).abs_diff(pos(&order, 3));
+            assert!(
+                d <= 2,
+                "{algo:?}: hot and helper should be near each other in {order:?}"
+            );
+            // Cold function should not sit between main and hot.
+            let main_p = pos(&order, 0);
+            let hot_p = pos(&order, 1);
+            let cold_p = pos(&order, 2);
+            let between = (main_p.min(hot_p)..main_p.max(hot_p)).contains(&cold_p);
+            assert!(!between, "{algo:?}: cold not between main and hot: {order:?}");
+        }
+    }
+
+    #[test]
+    fn c3_respects_size_cap() {
+        let mut cg = CallGraph::new();
+        let a = cg.add_node("a", MAX_CLUSTER_SIZE - 10, 100);
+        let b = cg.add_node("b", 100, 90);
+        cg.add_edge(a, b, 1000);
+        let order = hfsort(&cg);
+        // Merge rejected by the size cap: both clusters remain; density
+        // ordering puts b (denser) first.
+        assert_eq!(order.len(), 2);
+        let c_a = cg.nodes[a].samples as f64 / cg.nodes[a].size as f64;
+        let c_b = cg.nodes[b].samples as f64 / cg.nodes[b].size as f64;
+        assert!(c_b > c_a);
+        assert_eq!(order[0], b);
+    }
+
+    #[test]
+    fn cold_functions_sink() {
+        let mut cg = CallGraph::new();
+        let cold1 = cg.add_node("cold1", 1000, 0);
+        let hot = cg.add_node("hot", 100, 5000);
+        let cold2 = cg.add_node("cold2", 1000, 0);
+        let _ = (cold1, cold2);
+        for algo in [Algorithm::Hfsort, Algorithm::HfsortPlus] {
+            let order = order_functions(&cg, algo);
+            assert_eq!(order[0], hot, "{algo:?}: hottest first in {order:?}");
+        }
+    }
+}

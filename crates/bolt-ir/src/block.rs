@@ -1,0 +1,226 @@
+//! Basic blocks and CFG edges.
+
+use crate::BinaryInst;
+use std::fmt;
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".BB{}", self.0)
+    }
+}
+
+/// A weighted CFG edge, annotated with profile counts the way BOLT
+/// annotates successors (`mispreds`, `count` — paper Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuccEdge {
+    pub block: BlockId,
+    /// Number of times the edge was traversed according to profile.
+    pub count: u64,
+    /// Number of mispredictions recorded on the edge.
+    pub mispreds: u64,
+}
+
+impl SuccEdge {
+    /// An edge with zero profile counts.
+    pub fn cold(block: BlockId) -> SuccEdge {
+        SuccEdge {
+            block,
+            count: 0,
+            mispreds: 0,
+        }
+    }
+
+    /// An edge with the given traversal count.
+    pub fn with_count(block: BlockId, count: u64) -> SuccEdge {
+        SuccEdge {
+            block,
+            count,
+            mispreds: 0,
+        }
+    }
+}
+
+/// A basic block of annotated machine instructions.
+///
+/// Successor convention (matching how the emitter lays out terminators):
+///
+/// * conditional branch: `succs[0]` is the *taken* target, `succs[1]` the
+///   fall-through;
+/// * unconditional branch: `succs[0]` is the target;
+/// * no terminator: `succs[0]` is the fall-through;
+/// * indirect branch through a jump table: one edge per distinct entry;
+/// * return / trap: no successors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BasicBlock {
+    pub insts: Vec<BinaryInst>,
+    pub succs: Vec<SuccEdge>,
+    /// Predecessors, maintained by [`crate::BinaryFunction::rebuild_preds`].
+    pub preds: Vec<BlockId>,
+    /// Profile execution count.
+    pub exec_count: u64,
+    /// Whether the block is an exception landing pad.
+    pub is_landing_pad: bool,
+    /// Blocks whose calls can throw into this landing pad.
+    pub throwers: Vec<BlockId>,
+    /// Requested start alignment in bytes (1 = none).
+    pub alignment: u16,
+    /// Original start address in the input binary, if any.
+    pub orig_addr: u64,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    pub fn new() -> BasicBlock {
+        BasicBlock {
+            alignment: 1,
+            ..BasicBlock::default()
+        }
+    }
+
+    /// The terminating instruction, if the block ends in one.
+    pub fn terminator(&self) -> Option<&BinaryInst> {
+        self.insts.last().filter(|i| i.inst.is_terminator())
+    }
+
+    /// Mutable access to the terminator.
+    pub fn terminator_mut(&mut self) -> Option<&mut BinaryInst> {
+        self.insts.last_mut().filter(|i| i.inst.is_terminator())
+    }
+
+    /// Whether control can fall through past the end of this block.
+    pub fn can_fall_through(&self) -> bool {
+        match self.insts.last() {
+            None => true,
+            Some(last) => {
+                !last.inst.is_uncond_branch()
+                    && !last.inst.is_return()
+                    && !matches!(
+                        last.inst,
+                        bolt_isa::Inst::JmpInd { .. } | bolt_isa::Inst::Ud2
+                    )
+            }
+        }
+    }
+
+    /// The fall-through successor under the successor convention.
+    pub fn fallthrough_succ(&self) -> Option<BlockId> {
+        match self.insts.last() {
+            Some(last) if last.inst.is_cond_branch() => self.succs.get(1).map(|e| e.block),
+            Some(last) if last.inst.is_terminator() => None,
+            _ => self.succs.first().map(|e| e.block),
+        }
+    }
+
+    /// The taken-branch successor (conditional or unconditional), if any.
+    pub fn taken_succ(&self) -> Option<BlockId> {
+        match self.insts.last() {
+            Some(last) if last.inst.is_cond_branch() || last.inst.is_uncond_branch() => {
+                self.succs.first().map(|e| e.block)
+            }
+            _ => None,
+        }
+    }
+
+    /// Finds the edge to `to`, if present.
+    pub fn succ_edge(&self, to: BlockId) -> Option<&SuccEdge> {
+        self.succs.iter().find(|e| e.block == to)
+    }
+
+    /// Finds the edge to `to`, mutably.
+    pub fn succ_edge_mut(&mut self, to: BlockId) -> Option<&mut SuccEdge> {
+        self.succs.iter_mut().find(|e| e.block == to)
+    }
+
+    /// Total profile count flowing out of this block.
+    pub fn outflow(&self) -> u64 {
+        self.succs.iter().map(|e| e.count).sum()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: impl Into<BinaryInst>) {
+        self.insts.push(inst.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_isa::{Cond, Inst, JumpWidth, Label, Reg, Target};
+
+    fn jcc(target: u32) -> Inst {
+        Inst::Jcc {
+            cond: Cond::E,
+            target: Target::Label(Label(target)),
+            width: JumpWidth::Near,
+        }
+    }
+
+    #[test]
+    fn fallthrough_conventions() {
+        // Conditional branch: succs[0] taken, succs[1] fallthrough.
+        let mut b = BasicBlock::new();
+        b.push(jcc(1));
+        b.succs = vec![SuccEdge::cold(BlockId(1)), SuccEdge::cold(BlockId(2))];
+        assert!(b.can_fall_through());
+        assert_eq!(b.taken_succ(), Some(BlockId(1)));
+        assert_eq!(b.fallthrough_succ(), Some(BlockId(2)));
+
+        // Unconditional.
+        let mut b = BasicBlock::new();
+        b.push(Inst::Jmp {
+            target: Target::Label(Label(3)),
+            width: JumpWidth::Near,
+        });
+        b.succs = vec![SuccEdge::cold(BlockId(3))];
+        assert!(!b.can_fall_through());
+        assert_eq!(b.taken_succ(), Some(BlockId(3)));
+        assert_eq!(b.fallthrough_succ(), None);
+
+        // Plain block.
+        let mut b = BasicBlock::new();
+        b.push(Inst::Push(Reg::Rbp));
+        b.succs = vec![SuccEdge::cold(BlockId(9))];
+        assert_eq!(b.fallthrough_succ(), Some(BlockId(9)));
+        assert_eq!(b.taken_succ(), None);
+
+        // Return.
+        let mut b = BasicBlock::new();
+        b.push(Inst::Ret);
+        assert!(!b.can_fall_through());
+        assert_eq!(b.fallthrough_succ(), None);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let mut b = BasicBlock::new();
+        b.succs = vec![
+            SuccEdge::with_count(BlockId(1), 10),
+            SuccEdge::with_count(BlockId(2), 5),
+        ];
+        assert_eq!(b.outflow(), 15);
+        assert_eq!(b.succ_edge(BlockId(2)).unwrap().count, 5);
+        b.succ_edge_mut(BlockId(1)).unwrap().count += 1;
+        assert_eq!(b.outflow(), 16);
+    }
+}

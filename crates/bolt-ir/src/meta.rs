@@ -1,0 +1,243 @@
+//! Simplified debug-information tables: the line table (`.bolt.lines`,
+//! standing in for DWARF `.debug_line`) and the exception table
+//! (`.bolt.eh`, standing in for the LSDA). Both are emitted by the linker
+//! and *rewritten* by BOLT when code moves (paper section 3.4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from parsing metadata sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    Truncated,
+    BadUtf8,
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::Truncated => write!(f, "truncated metadata section"),
+            MetaError::BadUtf8 => write!(f, "invalid UTF-8 in file name"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Address → (file, line) mapping with a file-name table.
+///
+/// Entries are sorted by address; a lookup finds the last entry at or below
+/// the queried address within the same entry's extent (entries are
+/// per-instruction, so exact match is the norm).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineTable {
+    /// File names, indexed by `LineInfo::file`.
+    pub files: Vec<String>,
+    /// `(address, file, line)`, sorted by address.
+    pub entries: Vec<(u64, u32, u32)>,
+}
+
+impl LineTable {
+    pub fn new() -> LineTable {
+        LineTable::default()
+    }
+
+    /// Interns a file name, returning its index.
+    pub fn intern_file(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.files.iter().position(|f| f == name) {
+            return i as u32;
+        }
+        self.files.push(name.to_string());
+        (self.files.len() - 1) as u32
+    }
+
+    /// Records that the instruction at `addr` came from `file:line`.
+    pub fn push(&mut self, addr: u64, file: u32, line: u32) {
+        self.entries.push((addr, file, line));
+    }
+
+    /// Sorts entries by address (required before serialization/lookup).
+    pub fn normalize(&mut self) {
+        self.entries.sort_unstable();
+        self.entries.dedup();
+    }
+
+    /// Exact-address lookup.
+    pub fn lookup(&self, addr: u64) -> Option<(u32, u32)> {
+        let i = self.entries.partition_point(|e| e.0 < addr);
+        self.entries
+            .get(i)
+            .filter(|e| e.0 == addr)
+            .map(|e| (e.1, e.2))
+    }
+
+    /// Human-readable `file:line` for an address.
+    pub fn describe(&self, addr: u64) -> Option<String> {
+        let (f, l) = self.lookup(addr)?;
+        let name = self.files.get(f as usize).map(String::as_str).unwrap_or("?");
+        Some(format!("{name}:{l}"))
+    }
+
+    /// Serializes to the `.bolt.lines` binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.files.len() as u32).to_le_bytes());
+        for f in &self.files {
+            out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+            out.extend_from_slice(f.as_bytes());
+        }
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (a, f, l) in &self.entries {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&f.to_le_bytes());
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the `.bolt.lines` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated input or invalid UTF-8 file names.
+    pub fn from_bytes(data: &[u8]) -> Result<LineTable, MetaError> {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], MetaError> {
+            let end = pos.checked_add(n).ok_or(MetaError::Truncated)?;
+            let s = data.get(pos..end).ok_or(MetaError::Truncated)?;
+            pos = end;
+            Ok(s)
+        };
+        let mut t = LineTable::new();
+        let nfiles = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        for _ in 0..nfiles {
+            let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(len)?).map_err(|_| MetaError::BadUtf8)?;
+            t.files.push(name.to_string());
+        }
+        let nentries = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        for _ in 0..nentries {
+            let a = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let f = u32::from_le_bytes(take(4)?.try_into().unwrap());
+            let l = u32::from_le_bytes(take(4)?.try_into().unwrap());
+            t.entries.push((a, f, l));
+        }
+        Ok(t)
+    }
+}
+
+/// The simplified exception table: maps call-site addresses to landing-pad
+/// addresses. BOLT must keep this table correct when it moves either the
+/// call site or the landing pad (paper sections 3.4 and split-eh).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExceptionTable {
+    /// `call_site_addr -> landing_pad_addr`.
+    pub entries: BTreeMap<u64, u64>,
+}
+
+impl ExceptionTable {
+    pub fn new() -> ExceptionTable {
+        ExceptionTable::default()
+    }
+
+    /// Registers a call site with its landing pad.
+    pub fn add(&mut self, call_site: u64, landing_pad: u64) {
+        self.entries.insert(call_site, landing_pad);
+    }
+
+    /// The landing pad for a call site, if registered.
+    pub fn landing_pad_for(&self, call_site: u64) -> Option<u64> {
+        self.entries.get(&call_site).copied()
+    }
+
+    /// Serializes to the `.bolt.eh` binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (cs, lp) in &self.entries {
+            out.extend_from_slice(&cs.to_le_bytes());
+            out.extend_from_slice(&lp.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the `.bolt.eh` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated input.
+    pub fn from_bytes(data: &[u8]) -> Result<ExceptionTable, MetaError> {
+        let mut t = ExceptionTable::new();
+        let n = u32::from_le_bytes(data.get(..4).ok_or(MetaError::Truncated)?.try_into().unwrap())
+            as usize;
+        let mut pos = 4;
+        for _ in 0..n {
+            let cs = u64::from_le_bytes(
+                data.get(pos..pos + 8)
+                    .ok_or(MetaError::Truncated)?
+                    .try_into()
+                    .unwrap(),
+            );
+            let lp = u64::from_le_bytes(
+                data.get(pos + 8..pos + 16)
+                    .ok_or(MetaError::Truncated)?
+                    .try_into()
+                    .unwrap(),
+            );
+            t.entries.insert(cs, lp);
+            pos += 16;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_table_round_trip() {
+        let mut t = LineTable::new();
+        let f1 = t.intern_file("exception4.cpp");
+        let f2 = t.intern_file("PointerIntPair.h");
+        assert_eq!(t.intern_file("exception4.cpp"), f1, "interning dedups");
+        t.push(0x400010, f1, 22);
+        t.push(0x400000, f2, 152);
+        t.normalize();
+        let back = LineTable::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.lookup(0x400010), Some((f1, 22)));
+        assert_eq!(back.describe(0x400000).unwrap(), "PointerIntPair.h:152");
+        assert_eq!(back.lookup(0x400001), None);
+    }
+
+    #[test]
+    fn exception_table_round_trip() {
+        let mut t = ExceptionTable::new();
+        t.add(0x400010, 0x400200);
+        t.add(0x400050, 0x400220);
+        let back = ExceptionTable::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.landing_pad_for(0x400010), Some(0x400200));
+        assert_eq!(back.landing_pad_for(0x400011), None);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut t = LineTable::new();
+        t.intern_file("a.cpp");
+        t.push(1, 0, 1);
+        let bytes = t.to_bytes();
+        assert_eq!(
+            LineTable::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(MetaError::Truncated)
+        );
+        let mut e = ExceptionTable::new();
+        e.add(1, 2);
+        let bytes = e.to_bytes();
+        assert_eq!(
+            ExceptionTable::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(MetaError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the emitter: for random block graphs, relaxation
+//! always converges to encodings where every branch lands exactly on its
+//! target block, regardless of block sizes and orderings.
+
+use bolt_ir::{emit_units, EmitBlock, EmitInst, EmitUnit};
+use bolt_isa::{decode_all, Cond, Inst, JumpWidth, Label, Target};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random function: `n` blocks, each with `pad` filler instructions and
+/// a terminator that branches to a random block (or returns).
+#[derive(Debug, Clone)]
+struct FuncSpec {
+    /// (filler length, branch target index or none, conditional?)
+    blocks: Vec<(usize, Option<usize>, bool)>,
+}
+
+fn arb_func(max_blocks: usize) -> impl Strategy<Value = FuncSpec> {
+    proptest::collection::vec(
+        (0usize..40, proptest::option::of(0usize..max_blocks), any::<bool>()),
+        2..max_blocks,
+    )
+    .prop_map(|mut blocks| {
+        // Last block must not fall through: force a return.
+        let n = blocks.len();
+        for (_, t, _) in blocks.iter_mut() {
+            if let Some(t) = t.as_mut() {
+                *t %= n;
+            }
+        }
+        let last = blocks.last_mut().expect("non-empty");
+        last.1 = None;
+        FuncSpec { blocks }
+    })
+}
+
+fn build_unit(spec: &FuncSpec) -> EmitUnit {
+    let mut unit = EmitUnit::new("prop");
+    unit.align = 16;
+    let n = spec.blocks.len();
+    for (i, (pad, target, cond)) in spec.blocks.iter().enumerate() {
+        let mut b = EmitBlock::new(Label(i as u32));
+        // Filler: mov/add chains of deterministic size (2 x 7-byte movs
+        // per unit keeps sizes interesting for relaxation).
+        for k in 0..*pad {
+            b.insts.push(EmitInst::new(Inst::MovRI {
+                dst: bolt_isa::Reg::Rax,
+                imm: (k as i64) * 3,
+            }));
+        }
+        match target {
+            Some(t) => {
+                if *cond {
+                    b.insts.push(EmitInst::new(Inst::Jcc {
+                        cond: Cond::E,
+                        target: Target::Label(Label(*t as u32)),
+                        width: JumpWidth::Near,
+                    }));
+                    // Conditional blocks fall through; ensure the next
+                    // block exists (or return).
+                    if i + 1 == n {
+                        b.insts.push(EmitInst::new(Inst::Ret));
+                    }
+                } else {
+                    b.insts.push(EmitInst::new(Inst::Jmp {
+                        target: Target::Label(Label(*t as u32)),
+                        width: JumpWidth::Near,
+                    }));
+                }
+            }
+            None => b.insts.push(EmitInst::new(Inst::Ret)),
+        }
+        unit.blocks.push(b);
+    }
+    // Guarantee no trailing fall-through.
+    if let Some(last) = unit.blocks.last_mut() {
+        if !matches!(
+            last.insts.last().map(|i| &i.inst),
+            Some(Inst::Ret) | Some(Inst::Jmp { .. })
+        ) {
+            last.insts.push(EmitInst::new(Inst::Ret));
+        }
+    }
+    unit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every emitted branch resolves exactly to the address of its target
+    /// block, and the whole stream decodes.
+    #[test]
+    fn relaxation_resolves_all_branches(spec in arb_func(24)) {
+        let unit = build_unit(&spec);
+        let labels: Vec<Label> = unit.blocks.iter().map(|b| b.label).collect();
+        let result = emit_units(&[unit], 0x400000, 0x600000, &HashMap::new()).unwrap();
+
+        // The stream decodes fully (NOP padding included).
+        let decoded = decode_all(&result.text, 0x400000).unwrap();
+
+        // Each branch target equals some block's resolved address.
+        let block_addrs: Vec<u64> = labels.iter().map(|l| result.label_addrs[l]).collect();
+        for (_, d) in &decoded {
+            if let Inst::Jcc { target, .. } | Inst::Jmp { target, .. } = d.inst {
+                let addr = target.addr().expect("resolved");
+                prop_assert!(
+                    block_addrs.contains(&addr),
+                    "branch to {addr:#x} must hit a block start ({block_addrs:x?})"
+                );
+            }
+        }
+    }
+
+    /// Emission is deterministic.
+    #[test]
+    fn emission_is_deterministic(spec in arb_func(16)) {
+        let a = emit_units(&[build_unit(&spec)], 0x400000, 0x600000, &HashMap::new()).unwrap();
+        let b = emit_units(&[build_unit(&spec)], 0x400000, 0x600000, &HashMap::new()).unwrap();
+        prop_assert_eq!(a.text, b.text);
+        prop_assert_eq!(a.cold, b.cold);
+    }
+}

@@ -1,0 +1,145 @@
+//! Condition codes for conditional branches and `setcc`.
+
+use std::fmt;
+
+/// An x86 condition code.
+///
+/// The discriminant is the 4-bit `cc` field used in `jcc`/`setcc` opcode
+/// encodings (`0x70 + cc`, `0x0F 0x80 + cc`, `0x0F 0x90 + cc`).
+///
+/// # Examples
+///
+/// ```
+/// use bolt_isa::Cond;
+/// assert_eq!(Cond::E.invert(), Cond::Ne);
+/// assert_eq!(Cond::L.cc(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow.
+    O = 0,
+    /// No overflow.
+    No = 1,
+    /// Below (unsigned <).
+    B = 2,
+    /// Above or equal (unsigned >=).
+    Ae = 3,
+    /// Equal / zero.
+    E = 4,
+    /// Not equal / not zero.
+    Ne = 5,
+    /// Below or equal (unsigned <=).
+    Be = 6,
+    /// Above (unsigned >).
+    A = 7,
+    /// Sign (negative).
+    S = 8,
+    /// No sign (non-negative).
+    Ns = 9,
+    /// Parity even.
+    P = 10,
+    /// Parity odd.
+    Np = 11,
+    /// Less (signed <).
+    L = 12,
+    /// Greater or equal (signed >=).
+    Ge = 13,
+    /// Less or equal (signed <=).
+    Le = 14,
+    /// Greater (signed >).
+    G = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// The 4-bit condition-code field value.
+    #[inline]
+    pub fn cc(self) -> u8 {
+        self as u8
+    }
+
+    /// Reconstructs a condition from its 4-bit encoding.
+    pub fn from_cc(cc: u8) -> Option<Cond> {
+        Cond::ALL.get(cc as usize).copied()
+    }
+
+    /// The logically inverted condition (`e` <-> `ne`, `l` <-> `ge`, ...).
+    ///
+    /// On x86 the inversion is always a flip of the low encoding bit.
+    #[inline]
+    pub fn invert(self) -> Cond {
+        Cond::from_cc(self.cc() ^ 1).expect("cc^1 is always a valid condition")
+    }
+
+    /// The mnemonic suffix (`e`, `ne`, `l`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_round_trips() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_cc(c.cc()), Some(c));
+        }
+        assert_eq!(Cond::from_cc(16), None);
+    }
+
+    #[test]
+    fn inversion_is_involutive_and_correct() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+        assert_eq!(Cond::E.invert(), Cond::Ne);
+        assert_eq!(Cond::L.invert(), Cond::Ge);
+        assert_eq!(Cond::A.invert(), Cond::Be);
+        assert_eq!(Cond::S.invert(), Cond::Ns);
+    }
+}

@@ -1,0 +1,194 @@
+//! Memory operands and symbolic targets.
+
+use crate::Reg;
+use std::fmt;
+
+/// An opaque label identifier used for symbolic references during encoding.
+///
+/// Labels are allocated by whoever drives the encoder (the code generator or
+/// the binary rewriter); the encoder only records fixups against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".L{}", self.0)
+    }
+}
+
+/// A control-flow or data target: either a not-yet-resolved [`Label`] or an
+/// absolute virtual address.
+///
+/// Decoded instructions always carry [`Target::Addr`]; instructions under
+/// construction typically carry [`Target::Label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Symbolic target, resolved later via a fixup.
+    Label(Label),
+    /// Resolved absolute virtual address.
+    Addr(u64),
+}
+
+impl Target {
+    /// Returns the absolute address if resolved.
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Target::Addr(a) => Some(*a),
+            Target::Label(_) => None,
+        }
+    }
+
+    /// Returns the label if unresolved.
+    pub fn label(&self) -> Option<Label> {
+        match self {
+            Target::Label(l) => Some(*l),
+            Target::Addr(_) => None,
+        }
+    }
+}
+
+impl From<Label> for Target {
+    fn from(l: Label) -> Self {
+        Target::Label(l)
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Label(l) => write!(f, "{l}"),
+            Target::Addr(a) => write!(f, "{a:#x}"),
+        }
+    }
+}
+
+/// A memory operand for loads, stores, `lea`, and indirect branches.
+///
+/// The subset supports the three addressing shapes the BOLT pipeline needs:
+/// plain base+displacement (stack slots, struct fields), base+index*scale
+/// (jump tables, arrays) and RIP-relative (read-only data, GOT slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mem {
+    /// `disp(base)`
+    BaseDisp { base: Reg, disp: i32 },
+    /// `disp(base, index, scale)`; `scale` must be 1, 2, 4 or 8 and `index`
+    /// must not be `rsp`.
+    BaseIndexScale {
+        base: Reg,
+        index: Reg,
+        scale: u8,
+        disp: i32,
+    },
+    /// `target(%rip)` — position-independent reference to data or code.
+    RipRel { target: Target },
+}
+
+impl Mem {
+    /// Convenience constructor for `disp(base)`.
+    pub fn base(base: Reg, disp: i32) -> Mem {
+        Mem::BaseDisp { base, disp }
+    }
+
+    /// Convenience constructor for a RIP-relative reference to `target`.
+    pub fn rip(target: impl Into<Target>) -> Mem {
+        Mem::RipRel {
+            target: target.into(),
+        }
+    }
+
+    /// The registers read to compute the effective address.
+    pub fn regs_used(&self) -> impl Iterator<Item = Reg> + '_ {
+        let (a, b) = match self {
+            Mem::BaseDisp { base, .. } => (Some(*base), None),
+            Mem::BaseIndexScale { base, index, .. } => (Some(*base), Some(*index)),
+            Mem::RipRel { .. } => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The symbolic target if this is an unresolved RIP-relative reference.
+    pub fn rip_label(&self) -> Option<Label> {
+        match self {
+            Mem::RipRel {
+                target: Target::Label(l),
+            } => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+/// Formats an integer as signed hexadecimal (`-0x8`, `0x10`).
+pub(crate) fn signed_hex(v: i64) -> String {
+    if v < 0 {
+        format!("-{:#x}", v.unsigned_abs())
+    } else {
+        format!("{v:#x}")
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mem::BaseDisp { base, disp } => {
+                if *disp == 0 {
+                    write!(f, "({base})")
+                } else {
+                    write!(f, "{}({base})", signed_hex(*disp as i64))
+                }
+            }
+            Mem::BaseIndexScale {
+                base,
+                index,
+                scale,
+                disp,
+            } => {
+                if *disp == 0 {
+                    write!(f, "({base},{index},{scale})")
+                } else {
+                    write!(f, "{}({base},{index},{scale})", signed_hex(*disp as i64))
+                }
+            }
+            Mem::RipRel { target } => write!(f, "{target}(%rip)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_att_syntax() {
+        let m = Mem::base(Reg::Rbp, -8);
+        assert_eq!(m.to_string(), "-0x8(%rbp)");
+        let t = Mem::BaseIndexScale {
+            base: Reg::Rax,
+            index: Reg::Rcx,
+            scale: 8,
+            disp: 0,
+        };
+        assert_eq!(t.to_string(), "(%rax,%rcx,8)");
+        let r = Mem::rip(Label(3));
+        assert_eq!(r.to_string(), ".L3(%rip)");
+    }
+
+    #[test]
+    fn regs_used_reports_base_and_index() {
+        let m = Mem::BaseIndexScale {
+            base: Reg::Rax,
+            index: Reg::R9,
+            scale: 4,
+            disp: 16,
+        };
+        let used: Vec<_> = m.regs_used().collect();
+        assert_eq!(used, vec![Reg::Rax, Reg::R9]);
+        assert_eq!(Mem::rip(Label(0)).regs_used().count(), 0);
+    }
+
+    #[test]
+    fn target_accessors() {
+        assert_eq!(Target::Addr(0x400000).addr(), Some(0x400000));
+        assert_eq!(Target::Label(Label(7)).label(), Some(Label(7)));
+        assert_eq!(Target::Label(Label(7)).addr(), None);
+    }
+}

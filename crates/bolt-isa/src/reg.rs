@@ -1,0 +1,192 @@
+//! General-purpose register model for the x86-64 subset.
+
+use std::fmt;
+
+/// A 64-bit general-purpose register.
+///
+/// The discriminant is the hardware register number used in ModRM/SIB/REX
+/// encodings (`rax` = 0 ... `r15` = 15).
+///
+/// # Examples
+///
+/// ```
+/// use bolt_isa::Reg;
+/// assert_eq!(Reg::Rsp.num(), 4);
+/// assert_eq!(Reg::from_num(12), Some(Reg::R12));
+/// assert!(Reg::R9.needs_rex_ext());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The System V AMD64 argument registers, in order.
+    pub const ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rcx, Reg::R8, Reg::R9];
+
+    /// Callee-saved registers under the System V AMD64 ABI.
+    pub const CALLEE_SAVED: [Reg; 6] = [Reg::Rbx, Reg::Rbp, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+
+    /// Caller-saved (volatile) registers under the System V AMD64 ABI,
+    /// excluding the stack pointer.
+    pub const CALLER_SAVED: [Reg; 9] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+    ];
+
+    /// The 4-bit hardware register number.
+    #[inline]
+    pub fn num(self) -> u8 {
+        self as u8
+    }
+
+    /// The low 3 bits used in ModRM/SIB fields.
+    #[inline]
+    pub fn low3(self) -> u8 {
+        self as u8 & 0x7
+    }
+
+    /// Whether the register requires a REX extension bit (`r8`..`r15`).
+    #[inline]
+    pub fn needs_rex_ext(self) -> bool {
+        self as u8 >= 8
+    }
+
+    /// Reconstructs a register from its 4-bit hardware number.
+    pub fn from_num(n: u8) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// The AT&T-style name of the full 64-bit register, without the `%` sigil.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+
+    /// The AT&T-style name of the low byte of the register (`al`, `r8b`, ...).
+    pub fn name8(self) -> &'static str {
+        match self {
+            Reg::Rax => "al",
+            Reg::Rcx => "cl",
+            Reg::Rdx => "dl",
+            Reg::Rbx => "bl",
+            Reg::Rsp => "spl",
+            Reg::Rbp => "bpl",
+            Reg::Rsi => "sil",
+            Reg::Rdi => "dil",
+            Reg::R8 => "r8b",
+            Reg::R9 => "r9b",
+            Reg::R10 => "r10b",
+            Reg::R11 => "r11b",
+            Reg::R12 => "r12b",
+            Reg::R13 => "r13b",
+            Reg::R14 => "r14b",
+            Reg::R15 => "r15b",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_num(r.num()), Some(r));
+        }
+        assert_eq!(Reg::from_num(16), None);
+    }
+
+    #[test]
+    fn rex_extension_split() {
+        assert!(!Reg::Rdi.needs_rex_ext());
+        assert!(Reg::R8.needs_rex_ext());
+        assert_eq!(Reg::R13.low3(), Reg::Rbp.low3());
+    }
+
+    #[test]
+    fn display_uses_att_sigil() {
+        assert_eq!(Reg::Rax.to_string(), "%rax");
+        assert_eq!(Reg::R15.to_string(), "%r15");
+    }
+
+    #[test]
+    fn abi_sets_are_disjoint_where_expected() {
+        for r in Reg::CALLEE_SAVED {
+            assert!(
+                !Reg::CALLER_SAVED.contains(&r),
+                "{r} is both callee- and caller-saved"
+            );
+        }
+        // All ABI argument registers are caller-saved.
+        for r in Reg::ARGS {
+            assert!(Reg::CALLER_SAVED.contains(&r));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The BOLT driver: the full rewriting pipeline of paper Figure 3.
+
+use crate::discover::discover;
+use crate::disasm::disassemble_all;
+use crate::emit::{rewrite_binary, RewriteStats};
+use crate::options::BoltOptions;
+use crate::report::bad_layout_report;
+use bolt_elf::Elf;
+use bolt_ir::{BinaryContext, EmitError};
+use bolt_passes::{dyno, run_pipeline, DynoStats, PipelineResult};
+use bolt_profile::{
+    attach_profile_opts, infer_callgraph_from_samples, AttachStats, Profile, ProfileMode,
+};
+use std::fmt;
+
+/// Everything a BOLT run produces.
+#[derive(Debug)]
+pub struct BoltOutput {
+    /// The rewritten binary.
+    pub elf: Elf,
+    /// Dyno stats before the pipeline (paper Table 2's baselines).
+    pub dyno_before: DynoStats,
+    /// Dyno stats after the pipeline.
+    pub dyno_after: DynoStats,
+    /// Per-pass reports and the chosen function order.
+    pub pipeline: PipelineResult,
+    /// The optimized context, for inspection (CFG dumps, heat analysis).
+    pub ctx: BinaryContext,
+    /// Profile-attachment statistics.
+    pub attach_stats: AttachStats,
+    /// Rewrite statistics.
+    pub rewrite_stats: RewriteStats,
+    /// Number of functions BOLT fully understood.
+    pub simple_functions: usize,
+    /// `-report-bad-layout` output, when requested.
+    pub bad_layout: Option<String>,
+}
+
+/// Driver errors.
+#[derive(Debug)]
+pub enum BoltError {
+    Emit(EmitError),
+}
+
+impl fmt::Display for BoltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoltError::Emit(e) => write!(f, "emission failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoltError {}
+
+impl From<EmitError> for BoltError {
+    fn from(e: EmitError) -> BoltError {
+        BoltError::Emit(e)
+    }
+}
+
+/// Runs BOLT over `elf` with `profile`.
+///
+/// # Errors
+///
+/// Fails only if the optimized IR cannot be re-emitted (a pipeline bug).
+pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<BoltOutput, BoltError> {
+    // Figure 3: function discovery, read debug info, read profile data.
+    let (mut ctx, raw_funcs) = discover(elf);
+    // Disassembly + CFG construction.
+    let simple_functions = disassemble_all(&mut ctx, &raw_funcs, elf);
+    // Profile attachment (+ non-LBR call-graph inference, section 5.3).
+    let attach_stats = attach_profile_opts(&mut ctx, profile, opts.non_lbr_tuned);
+    if profile.mode == ProfileMode::IpSamples {
+        infer_callgraph_from_samples(&mut ctx);
+    }
+
+    let bad_layout = if opts.report_bad_layout {
+        Some(bad_layout_report(&ctx, opts.print_debug_info))
+    } else {
+        None
+    };
+
+    let dyno_before = if opts.dyno_stats {
+        dyno::context_dyno_stats(&ctx)
+    } else {
+        DynoStats::default()
+    };
+
+    // Optimization pipeline.
+    let pipeline = run_pipeline(&mut ctx, &opts.passes);
+
+    let dyno_after = if opts.dyno_stats {
+        dyno::context_dyno_stats(&ctx)
+    } else {
+        DynoStats::default()
+    };
+
+    // Emit and rewrite.
+    let (out, rewrite_stats) = rewrite_binary(elf, &ctx, &pipeline.function_order)?;
+
+    Ok(BoltOutput {
+        elf: out,
+        dyno_before,
+        dyno_after,
+        pipeline,
+        ctx,
+        attach_stats,
+        rewrite_stats,
+        simple_functions,
+        bad_layout,
+    })
+}

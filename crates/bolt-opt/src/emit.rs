@@ -1,0 +1,256 @@
+//! Stages 7–8 of the rewriting pipeline (paper Figure 3): emit and link
+//! functions, then rewrite the binary.
+//!
+//! Rewritten functions are emitted into new sections (`.text.bolt` hot,
+//! `.text.bolt.cold` for split fragments); the original `.text` is kept so
+//! non-simple functions keep working at their old addresses. Jump tables
+//! are patched in place, and the line/exception tables are rebuilt for
+//! moved code (paper section 3.4).
+
+use bolt_elf::{sections, Elf, Section, SymKind};
+use bolt_ir::{emit_units, BinaryContext, BlockId, EmitBlock, EmitError, EmitInst, EmitUnit};
+use bolt_isa::{Inst, Label, Target};
+use std::collections::HashMap;
+
+/// Base address of the rewritten hot text.
+pub const BOLT_TEXT_BASE: u64 = 0x100_0000;
+/// Base address of the rewritten cold text.
+pub const BOLT_COLD_BASE: u64 = 0x200_0000;
+
+/// Summary of the rewrite.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteStats {
+    pub emitted_functions: usize,
+    pub skipped_functions: usize,
+    pub hot_text_size: u64,
+    pub cold_text_size: u64,
+    pub patched_jump_table_entries: usize,
+}
+
+/// Rewrites `elf` according to the optimized `ctx`, emitting functions in
+/// `order`.
+///
+/// # Errors
+///
+/// Propagates emission failures (which indicate pipeline bugs: the
+/// pipeline must leave the IR emittable).
+pub fn rewrite_binary(
+    elf: &Elf,
+    ctx: &BinaryContext,
+    order: &[usize],
+) -> Result<(Elf, RewriteStats), EmitError> {
+    let mut stats = RewriteStats::default();
+
+    // Which functions get re-emitted.
+    let emitted: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| ctx.functions[i].is_simple && ctx.functions[i].folded_into.is_none())
+        .collect();
+    stats.emitted_functions = emitted.len();
+    stats.skipped_functions = ctx.functions.len() - emitted.len();
+
+    // Label allocation.
+    let mut next_label = 0u32;
+    let mut fresh = || {
+        let l = Label(next_label);
+        next_label += 1;
+        l
+    };
+    let mut block_labels: HashMap<(usize, BlockId), Label> = HashMap::new();
+    for &fi in &emitted {
+        for &b in &ctx.functions[fi].layout {
+            block_labels.insert((fi, b), fresh());
+        }
+    }
+    // Old entry address -> new entry label (through ICF folds).
+    let mut entry_label_of_addr: HashMap<u64, Label> = HashMap::new();
+    let mut is_emitted = vec![false; ctx.functions.len()];
+    for &fi in &emitted {
+        is_emitted[fi] = true;
+    }
+    for (i, f) in ctx.functions.iter().enumerate() {
+        let mut k = i;
+        while let Some(next) = ctx.functions[k].folded_into {
+            k = next;
+        }
+        if is_emitted[k] {
+            let entry = ctx.functions[k].entry();
+            entry_label_of_addr.insert(f.address, block_labels[&(k, entry)]);
+        }
+    }
+
+    // Convert functions to emission units.
+    let map_target = |fi: usize, t: Target| -> Target {
+        match t {
+            Target::Label(l) => {
+                // Intra-function block reference.
+                Target::Label(block_labels[&(fi, BlockId(l.0))])
+            }
+            Target::Addr(a) => match entry_label_of_addr.get(&a) {
+                Some(l) => Target::Label(*l),
+                None => Target::Addr(a),
+            },
+        }
+    };
+
+    let mut units = Vec::with_capacity(emitted.len());
+    for &fi in &emitted {
+        let func = &ctx.functions[fi];
+        let mut unit = EmitUnit::new(&func.name);
+        unit.align = 16;
+        unit.cold_start = func.cold_start;
+        for &bid in &func.layout {
+            let mut eb = EmitBlock::new(block_labels[&(fi, bid)]);
+            // BOLT discards alignment; blocks are packed tight.
+            eb.align = 1;
+            for inst in &func.block(bid).insts {
+                let mut m = inst.inst;
+                match &mut m {
+                    Inst::Jcc { target, .. }
+                    | Inst::Jmp { target, .. }
+                    | Inst::Call { target }
+                    | Inst::MovRSym { target, .. } => {
+                        *target = map_target(fi, *target);
+                    }
+                    // Data references (loads/stores/lea, indirect calls
+                    // through the GOT) stay absolute: data does not move,
+                    // and RIP-relative fields are re-encoded against the
+                    // instruction's new location automatically.
+                    _ => {}
+                }
+                let mut ei = EmitInst::new(m);
+                ei.line = inst.line;
+                ei.eh_pad = inst.landing_pad.map(|lp| block_labels[&(fi, lp)]);
+                eb.insts.push(ei);
+            }
+            unit.blocks.push(eb);
+        }
+        units.push(unit);
+    }
+
+    let extern_labels = HashMap::new();
+    let result = emit_units(&units, BOLT_TEXT_BASE, BOLT_COLD_BASE, &extern_labels)?;
+    stats.hot_text_size = result.text.len() as u64;
+    stats.cold_text_size = result.cold.len() as u64;
+
+    // ---- assemble the output ELF ----
+    let mut out = elf.clone();
+
+    // Patch jump tables in read-only data.
+    for &fi in &emitted {
+        for jt in &ctx.functions[fi].jump_tables {
+            for (k, target) in jt.targets.iter().enumerate() {
+                let new_addr = result.label_addrs[&block_labels[&(fi, *target)]];
+                let entry_addr = jt.addr + 8 * k as u64;
+                for sec in out.sections.iter_mut() {
+                    if sec.is_alloc()
+                        && !sec.is_exec()
+                        && sec.addr_range().contains(&entry_addr)
+                    {
+                        let off = (entry_addr - sec.addr) as usize;
+                        sec.data[off..off + 8].copy_from_slice(&new_addr.to_le_bytes());
+                        stats.patched_jump_table_entries += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // New code sections.
+    out.sections.push(Section::code(
+        ".text.bolt",
+        BOLT_TEXT_BASE,
+        result.text.clone(),
+    ));
+    let bolt_text_idx = out.sections.len() - 1;
+    if !result.cold.is_empty() {
+        out.sections.push(Section::code(
+            ".text.bolt.cold",
+            BOLT_COLD_BASE,
+            result.cold.clone(),
+        ));
+    }
+
+    // Symbol updates: moved functions point at their new home.
+    let mut new_sym_addr: HashMap<&str, (u64, u64)> = HashMap::new();
+    for s in &result.symbols {
+        new_sym_addr.insert(&s.name, (s.addr, s.size));
+    }
+    for sym in out.symbols.iter_mut() {
+        if sym.kind != SymKind::Func {
+            continue;
+        }
+        if let Some(&(addr, size)) = new_sym_addr.get(sym.name.as_str()) {
+            sym.value = addr;
+            sym.size = size;
+            sym.section = bolt_elf::SymSection::Section(bolt_text_idx);
+        } else if let Some(&fi) = ctx.by_name.get(&sym.name) {
+            // Folded function: symbol resolves to the keeper's new entry.
+            let keeper = &ctx.functions[fi];
+            if keeper.name != sym.name {
+                if let Some(&(addr, _)) = new_sym_addr.get(keeper.name.as_str()) {
+                    sym.value = addr;
+                    sym.size = 0;
+                    sym.section = bolt_elf::SymSection::Section(bolt_text_idx);
+                }
+            }
+        }
+    }
+    // Cold fragment symbols are new.
+    for s in &result.symbols {
+        if s.is_cold_fragment {
+            out.symbols.push(bolt_elf::Symbol::func(
+                &s.name,
+                s.addr,
+                s.size,
+                out.sections.len() - 1,
+            ));
+        }
+    }
+
+    // Rebuild the line table: keep entries outside moved functions, add
+    // the new ones.
+    let moved_ranges: Vec<(u64, u64)> = emitted
+        .iter()
+        .map(|&fi| {
+            let f = &ctx.functions[fi];
+            (f.address, f.address + f.size)
+        })
+        .collect();
+    let inside_moved =
+        |a: u64| -> bool { moved_ranges.iter().any(|&(s, e)| a >= s && a < e) };
+    let mut lines = ctx.lines.clone();
+    lines.entries.retain(|e| !inside_moved(e.0));
+    for (addr, li) in &result.line_entries {
+        lines.push(*addr, li.file, li.line);
+    }
+    lines.normalize();
+    if let Some(sec) = out.section_mut(sections::LINES) {
+        sec.data = lines.to_bytes();
+    }
+
+    // Rebuild the exception table.
+    let mut eh = ctx.exceptions.clone();
+    eh.entries.retain(|cs, _| !inside_moved(*cs));
+    for (call_addr, pad_label) in &result.eh_entries {
+        eh.add(*call_addr, result.label_addrs[pad_label]);
+    }
+    if let Some(sec) = out.section_mut(sections::EH) {
+        sec.data = eh.to_bytes();
+    }
+
+    // Entry point follows _start if it moved.
+    if let Some(&fi) = ctx.by_name.get("_start") {
+        let f = &ctx.functions[fi];
+        if is_emitted[fi] {
+            let entry_label = block_labels[&(fi, f.entry())];
+            out.entry = result.label_addrs[&entry_label];
+        }
+    }
+
+    // Relocations in the output would describe the old text; drop them.
+    out.relocations.clear();
+
+    Ok((out, stats))
+}

@@ -1,0 +1,40 @@
+//! BOLT driver options, mirroring the command line used in the paper
+//! (section 6.2.1):
+//!
+//! ```text
+//! -b profile.fdata -reorder-blocks=cache+ -reorder-functions=hfsort+
+//! -split-functions=3 -split-all-cold -split-eh -dyno-stats -icf=1
+//! ```
+
+use bolt_passes::PassOptions;
+
+/// Options controlling a BOLT run.
+#[derive(Debug, Clone, Default)]
+pub struct BoltOptions {
+    /// The optimization pipeline configuration.
+    pub passes: PassOptions,
+    /// Print per-pass statistics.
+    pub verbose: bool,
+    /// Compute dyno stats before and after (`-dyno-stats`).
+    pub dyno_stats: bool,
+    /// Collect a bad-layout report before optimizing
+    /// (`-report-bad-layout`, paper section 6.3).
+    pub report_bad_layout: bool,
+    /// Annotate reports with source lines (`-print-debug-info`).
+    pub print_debug_info: bool,
+    /// Use the layout-trusting non-LBR edge inference (paper section 5.1
+    /// compares the naive and tuned inference). No effect in LBR mode.
+    pub non_lbr_tuned: bool,
+}
+
+impl BoltOptions {
+    /// The paper's evaluation configuration.
+    pub fn paper_default() -> BoltOptions {
+        BoltOptions {
+            passes: PassOptions::default(),
+            dyno_stats: true,
+            non_lbr_tuned: true,
+            ..BoltOptions::default()
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! `-report-bad-layout`: finds frequently executed functions with cold
+//! blocks interleaved between hot ones (paper section 6.3 / Figure 10) and
+//! renders them with source attribution.
+
+use bolt_ir::{dump_function, BinaryContext, DumpOptions};
+
+/// One bad-layout occurrence.
+#[derive(Debug, Clone)]
+pub struct BadLayoutCase {
+    pub function: String,
+    pub exec_count: u64,
+    /// Index (in layout) of the cold block.
+    pub cold_block: usize,
+    /// Distinct source files contributing blocks to the function — more
+    /// than one implicates inlining (paper Figure 10).
+    pub files: Vec<String>,
+}
+
+/// Scans for hot functions containing a zero-count block physically
+/// between two executed blocks.
+pub fn find_bad_layout(ctx: &BinaryContext) -> Vec<BadLayoutCase> {
+    let mut cases = Vec::new();
+    for func in &ctx.functions {
+        if !func.is_simple || func.exec_count == 0 || func.layout.len() < 3 {
+            continue;
+        }
+        for w in 0..func.layout.len().saturating_sub(2) {
+            let a = func.block(func.layout[w]);
+            let b = func.block(func.layout[w + 1]);
+            let c = func.block(func.layout[w + 2]);
+            if a.exec_count > 0 && b.exec_count == 0 && c.exec_count > 0 {
+                // Collect source files represented in this function.
+                let mut files: Vec<String> = Vec::new();
+                for blk in func.layout.iter().map(|&i| func.block(i)) {
+                    for inst in &blk.insts {
+                        if let Some(li) = inst.line {
+                            if let Some(name) = ctx.lines.files.get(li.file as usize) {
+                                if !files.contains(name) {
+                                    files.push(name.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                cases.push(BadLayoutCase {
+                    function: func.name.clone(),
+                    exec_count: func.exec_count,
+                    cold_block: w + 1,
+                    files,
+                });
+                break; // one case per function is enough for the report
+            }
+        }
+    }
+    cases.sort_by_key(|c| std::cmp::Reverse(c.exec_count));
+    cases
+}
+
+/// Renders the report; with `print_debug_info`, includes a Figure 10-style
+/// CFG dump of the worst offender.
+pub fn bad_layout_report(ctx: &BinaryContext, print_debug_info: bool) -> String {
+    let cases = find_bad_layout(ctx);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bad-layout report: {} function(s) with cold blocks between hot blocks\n",
+        cases.len()
+    ));
+    for c in cases.iter().take(20) {
+        out.push_str(&format!(
+            "  {} (exec {}): cold block at layout position {}; source files: {}\n",
+            c.function,
+            c.exec_count,
+            c.cold_block,
+            c.files.join(", ")
+        ));
+    }
+    if print_debug_info {
+        if let Some(worst) = cases.first() {
+            if let Some(&fi) = ctx.by_name.get(&worst.function) {
+                out.push('\n');
+                out.push_str(&dump_function(
+                    &ctx.functions[fi],
+                    Some(&ctx.lines),
+                    DumpOptions {
+                        print_debug_info: true,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{edges, BasicBlock, BinaryFunction, BlockId};
+    use bolt_isa::{Cond, Inst, JumpWidth, Label, Target};
+
+    #[test]
+    fn detects_cold_between_hot() {
+        let mut ctx = BinaryContext::new();
+        let mut f = BinaryFunction::new("getNext", 0x1000);
+        f.exec_count = 1_723_213;
+        for _ in 0..3 {
+            f.add_block(BasicBlock::new());
+        }
+        f.block_mut(BlockId(0)).exec_count = 1_635_334;
+        f.block_mut(BlockId(0)).push(Inst::Jcc {
+            cond: Cond::E,
+            target: Target::Label(Label(2)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(BlockId(0)).succs = edges(&[(2, 1_635_334), (1, 0)]);
+        f.block_mut(BlockId(1)).exec_count = 0; // the interleaved cold block
+        f.block_mut(BlockId(1)).push(Inst::Nop { len: 1 });
+        f.block_mut(BlockId(1)).succs = edges(&[(2, 0)]);
+        f.block_mut(BlockId(2)).exec_count = 1_769_771;
+        f.block_mut(BlockId(2)).push(Inst::Ret);
+        f.rebuild_preds();
+        ctx.add_function(f);
+        let cases = find_bad_layout(&ctx);
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].function, "getNext");
+        assert_eq!(cases[0].cold_block, 1);
+        let report = bad_layout_report(&ctx, true);
+        assert!(report.contains("getNext"));
+        assert!(report.contains("Binary Function"));
+    }
+
+    #[test]
+    fn clean_layout_not_reported() {
+        let mut ctx = BinaryContext::new();
+        let mut f = BinaryFunction::new("fine", 0x1000);
+        f.exec_count = 100;
+        let b0 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).exec_count = 100;
+        f.block_mut(b0).push(Inst::Ret);
+        ctx.add_function(f);
+        assert!(find_bad_layout(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end: compile a program, profile it under the emulator, run BOLT,
+//! and verify the rewritten binary (a) behaves identically and (b) has a
+//! better layout by the paper's metrics.
+
+use bolt_compiler::{
+    compile_and_link, BinOp, CmpOp, CompileOptions, FunctionBuilder, Global, MirProgram, Operand,
+    Rvalue,
+};
+use bolt_emu::{Exit, Machine, NullSink};
+use bolt_opt::{optimize, BoltOptions};
+use bolt_profile::{LbrSampler, Profile, SampleTrigger};
+use bolt_sim::{CpuModel, SimConfig};
+
+/// A layout-adversarial program: hot loops with branches whose hot arm is
+/// laid out second (so the baseline takes branches constantly), duplicate
+/// functions for ICF, an indirect-call dispatch for ICP, a switch for jump
+/// tables, and emits so semantics are observable.
+fn adversarial_program() -> MirProgram {
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "weights".into(),
+        words: (0..16).map(|i| (i * 7 + 3) % 11).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "acc".into(),
+        words: vec![0; 4],
+        mutable: true,
+    });
+
+    // Twin functions (ICF fodder): step_a / step_b are identical.
+    for name in ["step_a", "step_b"] {
+        let mut f = FunctionBuilder::new(name, 0, "steps.c", 1);
+        let x = f.assign(Rvalue::BinOp(
+            BinOp::Mul,
+            Operand::Local(0),
+            Operand::Const(1103515245),
+        ));
+        let y = f.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(x),
+            Operand::Const(12345),
+        ));
+        let z = f.assign(Rvalue::Shift(
+            bolt_compiler::ShiftKind::Shr,
+            Operand::Local(y),
+            16,
+        ));
+        let w = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(z),
+            Operand::Const(0x7FFF),
+        ));
+        f.ret(Operand::Local(w));
+        p.add_function(f.finish());
+    }
+
+    // classify: branchy function where the hot path is the *else* arm
+    // (source order favors the cold arm -> bad baseline layout).
+    let mut f = FunctionBuilder::new("classify", 1, "classify.c", 1);
+    let c = f.assign_cmp(CmpOp::Lt, Operand::Local(0), Operand::Const(100));
+    let (rare, common) = f.branch(Operand::Local(c));
+    f.switch_to(rare);
+    let r1 = f.call("step_a", vec![Operand::Local(0)]);
+    f.ret(Operand::Local(r1));
+    f.switch_to(common);
+    let r2 = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(7),
+    ));
+    let v = f.assign(Rvalue::LoadGlobal {
+        global: "weights".into(),
+        index: Operand::Local(r2),
+    });
+    f.ret(Operand::Local(v));
+    p.add_function(f.finish());
+
+    // dispatch: switch-based (jump table).
+    let mut f = FunctionBuilder::new("dispatch", 1, "dispatch.c", 1);
+    let m = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(3),
+    ));
+    let arms = f.switch(Operand::Local(m), 4);
+    for (i, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        f.ret(Operand::Const(1 + i as i64));
+    }
+    f.switch_to(arms.default);
+    f.ret(Operand::Const(0));
+    p.add_function(f.finish());
+
+    // apply: indirect call through a function pointer that is almost
+    // always step_a (ICP fodder).
+    let mut f = FunctionBuilder::new("apply", 2, "apply.c", 2);
+    let r = f.call_indirect(Operand::Local(1), vec![Operand::Local(0)]);
+    f.ret(Operand::Local(r));
+    p.add_function(f.finish());
+
+    // main: the driver loop.
+    let mut m = FunctionBuilder::new("main", 3, "main.c", 0);
+    let sum = m.new_local();
+    let i = m.new_local();
+    m.assign_to(sum, Rvalue::Use(Operand::Const(0)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let fa = m.assign(Rvalue::FuncAddr("step_a".into()));
+    let fb = m.assign(Rvalue::FuncAddr("step_b".into()));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(4000));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let cl = m.call("classify", vec![Operand::Local(i)]);
+    let dp = m.call("dispatch", vec![Operand::Local(i)]);
+    // Pick the pointer: step_b only every 64th iteration.
+    let bits = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(i),
+        Operand::Const(63),
+    ));
+    let is_b = m.assign_cmp(CmpOp::Eq, Operand::Local(bits), Operand::Const(0));
+    let (use_b, use_a) = m.branch(Operand::Local(is_b));
+    let join = m.new_block();
+    let ptr = m.new_local();
+    m.switch_to(use_b);
+    m.assign_to(ptr, Rvalue::Use(Operand::Local(fb)));
+    m.goto(join);
+    m.switch_to(use_a);
+    m.assign_to(ptr, Rvalue::Use(Operand::Local(fa)));
+    m.goto(join);
+    m.switch_to(join);
+    let ap = m.call("apply", vec![Operand::Local(i), Operand::Local(ptr)]);
+    let t1 = m.assign(Rvalue::BinOp(
+        BinOp::Add,
+        Operand::Local(cl),
+        Operand::Local(dp),
+    ));
+    let t2 = m.assign(Rvalue::BinOp(
+        BinOp::Add,
+        Operand::Local(t1),
+        Operand::Local(ap),
+    ));
+    m.assign_to(
+        sum,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Local(t2)),
+    );
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(sum));
+    let masked = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(sum),
+        Operand::Const(0x7F),
+    ));
+    m.ret(Operand::Local(masked));
+    p.add_function(m.finish());
+    p.validate().unwrap();
+    p
+}
+
+const MAX_STEPS: u64 = 50_000_000;
+
+fn run_with_profile(elf: &bolt_elf::Elf) -> (i64, Vec<i64>, Profile) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let mut sampler = LbrSampler::new(61, SampleTrigger::Instructions);
+    let r = m.run(&mut sampler, MAX_STEPS).expect("baseline runs");
+    let Exit::Exited(code) = r.exit else {
+        panic!("did not exit: {:?}", r.exit);
+    };
+    (code, m.output.clone(), sampler.profile)
+}
+
+fn run_plain(elf: &bolt_elf::Elf) -> (i64, Vec<i64>) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let r = m.run(&mut NullSink, MAX_STEPS).expect("bolted binary runs");
+    let Exit::Exited(code) = r.exit else {
+        panic!("did not exit: {:?}", r.exit);
+    };
+    (code, m.output.clone())
+}
+
+#[test]
+fn bolt_preserves_semantics_and_improves_layout() {
+    let program = adversarial_program();
+    let opts = CompileOptions {
+        legacy_amd: true, // give strip-rep-ret something to do
+        ..CompileOptions::default()
+    };
+    let bin = compile_and_link(&program, &opts).expect("compiles");
+
+    let (code0, out0, profile) = run_with_profile(&bin.elf);
+    assert!(profile.total_branch_count() > 0, "profile has content");
+
+    let bolted = optimize(&bin.elf, &profile, &BoltOptions::paper_default()).expect("bolts");
+
+    // Pipeline activity sanity: the interesting passes all fired.
+    // Sum per pass name (icf and peepholes run twice).
+    let mut changes: std::collections::HashMap<&str, u64> = Default::default();
+    for r in &bolted.pipeline.reports {
+        *changes.entry(r.name).or_insert(0) += r.changes;
+    }
+    assert!(changes["strip-rep-ret"] > 0, "repz rets stripped");
+    assert!(changes["icf"] > 0, "twins folded");
+    assert!(changes["plt"] > 0, "PLT calls devirtualized");
+    assert!(changes["reorder-bbs"] > 0, "blocks reordered");
+
+    // Semantics: identical output and exit code.
+    let (code1, out1) = run_plain(&bolted.elf);
+    assert_eq!(code0, code1, "exit code preserved");
+    assert_eq!(out0, out1, "emitted output preserved");
+
+    // Layout quality: taken branches drop (paper Table 2's headline).
+    let delta = bolted.dyno_after.taken_branch_delta(&bolted.dyno_before);
+    assert!(
+        delta < -10.0,
+        "taken branches should drop noticeably, got {delta:+.1}%"
+    );
+
+    // Microarchitectural quality: fewer I-cache misses and cycles under
+    // the simulator.
+    let cfg = SimConfig::small();
+    let mut base_model = CpuModel::new(cfg.clone());
+    {
+        let mut m = Machine::new();
+        m.load_elf(&bin.elf);
+        m.run(&mut base_model, MAX_STEPS).unwrap();
+    }
+    let mut bolt_model = CpuModel::new(cfg);
+    {
+        let mut m = Machine::new();
+        m.load_elf(&bolted.elf);
+        m.run(&mut bolt_model, MAX_STEPS).unwrap();
+    }
+    let base = base_model.counters();
+    let new = bolt_model.counters();
+    assert!(
+        new.cycles < base.cycles,
+        "cycles: {} -> {} (should improve)",
+        base.cycles,
+        new.cycles
+    );
+}
+
+#[test]
+fn bolt_identity_options_still_preserve_semantics() {
+    // Even with every optimization off, the rewrite (decode -> CFG ->
+    // re-emit at a new address) must preserve behavior.
+    let program = adversarial_program();
+    let bin = compile_and_link(&program, &CompileOptions::default()).expect("compiles");
+    let (code0, out0, profile) = run_with_profile(&bin.elf);
+
+    let mut opts = BoltOptions::paper_default();
+    opts.passes = bolt_passes::PassOptions::none();
+    let bolted = optimize(&bin.elf, &profile, &opts).expect("bolts");
+    let (code1, out1) = run_plain(&bolted.elf);
+    assert_eq!(code0, code1);
+    assert_eq!(out0, out1);
+}
+
+#[test]
+fn bolt_without_profile_is_safe() {
+    let program = adversarial_program();
+    let bin = compile_and_link(&program, &CompileOptions::default()).expect("compiles");
+    let (code0, out0) = run_plain(&bin.elf);
+
+    let empty = Profile::new(bolt_profile::ProfileMode::Lbr);
+    let bolted = optimize(&bin.elf, &empty, &BoltOptions::paper_default()).expect("bolts");
+    let (code1, out1) = run_plain(&bolted.elf);
+    assert_eq!(code0, code1);
+    assert_eq!(out0, out1);
+}
+
+#[test]
+fn exception_tables_stay_correct() {
+    // A program with landing pads: after BOLT (with -split-eh moving cold
+    // pads), the rewritten exception table must map every moved call site
+    // to the moved landing pad.
+    let mut p = MirProgram::with_entry("main");
+    let mut callee = FunctionBuilder::new("may_throw", 0, "t.c", 1);
+    callee.ret(Operand::Local(0));
+    p.add_function(callee.finish());
+
+    let mut m = FunctionBuilder::new("main", 0, "m.c", 0);
+    // Build the landing pad first so we can reference it.
+    let lp = m.new_block();
+    let r = m.call_with_landing_pad("may_throw", vec![Operand::Const(5)], lp);
+    m.emit(Operand::Local(r));
+    m.ret(Operand::Local(r));
+    m.switch_to(lp);
+    m.emit(Operand::Const(-1));
+    m.unreachable();
+    p.add_function(m.finish());
+    p.validate().unwrap();
+
+    let bin = compile_and_link(&p, &CompileOptions::default()).expect("compiles");
+    let eh_before =
+        bolt_ir::ExceptionTable::from_bytes(&bin.elf.section(".bolt.eh").unwrap().data).unwrap();
+    assert!(!eh_before.entries.is_empty(), "input has EH entries");
+
+    let (code0, out0, profile) = run_with_profile(&bin.elf);
+    let bolted = optimize(&bin.elf, &profile, &BoltOptions::paper_default()).expect("bolts");
+    let (code1, out1) = run_plain(&bolted.elf);
+    assert_eq!((code0, out0), (code1, out1));
+
+    let eh_after =
+        bolt_ir::ExceptionTable::from_bytes(&bolted.elf.section(".bolt.eh").unwrap().data)
+            .unwrap();
+    assert!(!eh_after.entries.is_empty(), "EH entries survive the rewrite");
+    // Every call site in the table must decode to a call instruction, and
+    // every landing pad must fall inside a text section.
+    for (&cs, &pad) in &eh_after.entries {
+        let in_text = |a: u64| {
+            bolted
+                .elf
+                .sections
+                .iter()
+                .any(|s| s.is_exec() && s.addr_range().contains(&a))
+        };
+        assert!(in_text(cs), "call site {cs:#x} in text");
+        assert!(in_text(pad), "landing pad {pad:#x} in text");
+    }
+}

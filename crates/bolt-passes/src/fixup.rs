@@ -1,0 +1,323 @@
+//! Pass 12: `fixup-branches` — make every block's terminator consistent
+//! with the CFG and the current layout (paper Table 1: "redone by
+//! reorder-bbs").
+//!
+//! After this pass:
+//! * a conditional block ends with `jcc` to its *taken* successor
+//!   (`succs[0]`) and falls through to `succs[1]`, which is physically
+//!   next — or reaches it through an inserted jump trampoline;
+//! * an unconditional successor that is physically next has no trailing
+//!   `jmp`; any other single successor has one;
+//! * fall-through across the hot/cold split boundary never happens.
+
+use bolt_ir::{BasicBlock, BinaryContext, BinaryFunction, BlockId, SuccEdge};
+use bolt_isa::{Inst, JumpWidth, Label, Target};
+
+fn label_of(b: BlockId) -> Target {
+    Target::Label(Label(b.0))
+}
+
+/// Whether layout position `pos` may fall through to `pos + 1`.
+fn may_fall_through(func: &BinaryFunction, pos: usize) -> bool {
+    if pos + 1 >= func.layout.len() {
+        return false;
+    }
+    // Never fall through into the cold fragment.
+    func.cold_start != Some(pos + 1)
+}
+
+/// Runs the pass on every simple function; returns the number of
+/// terminator changes (inversions, added/removed jumps, trampolines).
+pub fn run_fixup_branches(ctx: &mut BinaryContext) -> u64 {
+    let mut changes = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        changes += fixup_function(func);
+    }
+    changes
+}
+
+/// Fixes one function.
+pub fn fixup_function(func: &mut BinaryFunction) -> u64 {
+    let mut changes = 0;
+    let mut pos = 0;
+    while pos < func.layout.len() {
+        let id = func.layout[pos];
+        let next = if may_fall_through(func, pos) {
+            Some(func.layout[pos + 1])
+        } else {
+            None
+        };
+
+        let term = func.block(id).terminator().map(|t| t.inst);
+        match term {
+            Some(Inst::Jcc { cond, target, .. }) => {
+                // Degenerate: a single successor conditional becomes
+                // unconditional.
+                if func.block(id).succs.len() == 1 {
+                    let only = func.block(id).succs[0].block;
+                    func.block_mut(id).insts.pop();
+                    func.block_mut(id).push(Inst::Jmp {
+                        target: label_of(only),
+                        width: JumpWidth::Near,
+                    });
+                    changes += 1;
+                    continue; // revisit as unconditional
+                }
+                // Conditional tail call (Addr target): the remaining edge
+                // is the fall-through.
+                if let Target::Addr(_) = target {
+                    let ft = func.block(id).succs.first().map(|e| e.block);
+                    if let Some(ft) = ft {
+                        if next != Some(ft) {
+                            insert_trampoline(func, pos, id, 0, ft);
+                            changes += 1;
+                        }
+                    }
+                    pos += 1;
+                    continue;
+                }
+                let taken_label = match target {
+                    Target::Label(l) => BlockId(l.0),
+                    Target::Addr(_) => unreachable!("handled above"),
+                };
+                // Identify taken/fall edges from the CFG (succs[0] should
+                // be taken, but normalize defensively).
+                let (e0, e1) = (func.block(id).succs[0], func.block(id).succs[1]);
+                let (taken, fall) = if e0.block == taken_label {
+                    (e0, e1)
+                } else {
+                    (e1, e0)
+                };
+
+                if next == Some(fall.block) {
+                    // Canonical shape; just normalize succ order/target.
+                    if func.block(id).succs[0].block != taken.block
+                        || func.block(id).terminator().unwrap().inst.target()
+                            != Some(label_of(taken.block))
+                    {
+                        set_cond_shape(func, id, cond, taken, fall);
+                        changes += 1;
+                    }
+                } else if next == Some(taken.block) {
+                    // Invert so the hotter-on-next path falls through.
+                    set_cond_shape(func, id, cond.invert(), fall, taken);
+                    changes += 1;
+                } else {
+                    // Neither successor is next: keep the jcc to taken and
+                    // reach the fall-through via a trampoline.
+                    set_cond_shape(func, id, cond, taken, fall);
+                    insert_trampoline(func, pos, id, 1, fall.block);
+                    changes += 1;
+                }
+            }
+            Some(Inst::Jmp {
+                target: Target::Label(_),
+                ..
+            }) => {
+                let succ = func.block(id).succs.first().map(|e| e.block);
+                if let Some(s) = succ {
+                    if next == Some(s) {
+                        func.block_mut(id).insts.pop();
+                        changes += 1;
+                    } else if func.block(id).terminator().unwrap().inst.target()
+                        != Some(label_of(s))
+                    {
+                        func.block_mut(id)
+                            .terminator_mut()
+                            .unwrap()
+                            .inst
+                            .set_target(label_of(s));
+                        changes += 1;
+                    }
+                }
+            }
+            Some(Inst::Jmp {
+                target: Target::Addr(_),
+                ..
+            }) => {
+                // Tail call: nothing to do.
+            }
+            Some(_) => {
+                // Ret / JmpInd / Ud2: nothing to do.
+            }
+            None => {
+                // Plain fall-through block.
+                let succ = func.block(id).succs.first().map(|e| e.block);
+                if let Some(s) = succ {
+                    if next != Some(s) {
+                        func.block_mut(id).push(Inst::Jmp {
+                            target: label_of(s),
+                            width: JumpWidth::Near,
+                        });
+                        changes += 1;
+                    }
+                }
+            }
+        }
+        pos += 1;
+    }
+    func.rebuild_preds();
+    changes
+}
+
+/// Rewrites a conditional block to `jcc cond -> taken` with succs
+/// `[taken, fall]`.
+fn set_cond_shape(
+    func: &mut BinaryFunction,
+    id: BlockId,
+    cond: bolt_isa::Cond,
+    taken: SuccEdge,
+    fall: SuccEdge,
+) {
+    let block = func.block_mut(id);
+    let term = block.terminator_mut().expect("conditional terminator");
+    term.inst = Inst::Jcc {
+        cond,
+        target: label_of(taken.block),
+        width: JumpWidth::Near,
+    };
+    block.succs = vec![taken, fall];
+}
+
+/// Inserts a `jmp dest` trampoline right after layout position `pos` and
+/// redirects `func.layout[pos]`'s succ edge `succ_idx` through it.
+fn insert_trampoline(
+    func: &mut BinaryFunction,
+    pos: usize,
+    from: BlockId,
+    succ_idx: usize,
+    dest: BlockId,
+) {
+    let count = func.block(from).succs.get(succ_idx).map(|e| e.count).unwrap_or(0);
+    let mut tb = BasicBlock::new();
+    tb.exec_count = count;
+    tb.push(Inst::Jmp {
+        target: label_of(dest),
+        width: JumpWidth::Near,
+    });
+    tb.succs = vec![SuccEdge::with_count(dest, count)];
+    let tid = BlockId(func.blocks.len() as u32);
+    func.blocks.push(tb);
+    func.layout.insert(pos + 1, tid);
+    if let Some(cold) = func.cold_start {
+        if cold > pos {
+            func.cold_start = Some(cold + 1);
+        }
+    }
+    func.block_mut(from).succs[succ_idx].block = tid;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::edges;
+    use bolt_isa::{Cond, Reg};
+
+    /// b0: jcc(E)->b2, fall b1; b1: ret; b2: ret, laid out [0,1,2].
+    fn cond_func() -> BinaryFunction {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        for _ in 0..3 {
+            f.add_block(BasicBlock::new());
+        }
+        f.block_mut(BlockId(0)).push(Inst::Jcc {
+            cond: Cond::E,
+            target: label_of(BlockId(2)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(BlockId(0)).succs = edges(&[(2, 30), (1, 70)]);
+        f.block_mut(BlockId(1)).push(Inst::Ret);
+        f.block_mut(BlockId(2)).push(Inst::Ret);
+        f.rebuild_preds();
+        f
+    }
+
+    #[test]
+    fn canonical_layout_untouched() {
+        let mut f = cond_func();
+        assert_eq!(fixup_function(&mut f), 0);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn reordered_layout_inverts_condition() {
+        let mut f = cond_func();
+        // Put the taken target right after b0: [0, 2, 1].
+        f.layout = vec![BlockId(0), BlockId(2), BlockId(1)];
+        assert!(fixup_function(&mut f) >= 1);
+        let term = f.block(BlockId(0)).terminator().unwrap().inst;
+        assert_eq!(
+            term,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: label_of(BlockId(1)),
+                width: JumpWidth::Near
+            },
+            "condition inverted, branch targets old fall-through"
+        );
+        assert_eq!(f.block(BlockId(0)).succs[0].block, BlockId(1));
+        assert_eq!(f.block(BlockId(0)).succs[0].count, 70);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn detached_fallthrough_gets_trampoline() {
+        let mut f = cond_func();
+        // Layout [0, 2, 1] but ALSO split so b1 is cold: force the
+        // neither-is-next case by putting b1 in the cold fragment.
+        f.layout = vec![BlockId(0), BlockId(2), BlockId(1)];
+        f.cold_start = Some(1); // b2 and b1 both cold
+        let changed = fixup_function(&mut f);
+        assert!(changed >= 1);
+        // b0 cannot fall through into the cold fragment: a trampoline was
+        // inserted or the branch restructured; validate invariants.
+        f.validate().unwrap();
+        // The block physically after b0 (within hot fragment) is nothing:
+        // hot fragment is just [b0, tramp...]; every hot block must end in
+        // a non-fallthrough or jump.
+        let hot_end = f.cold_start.unwrap();
+        for &id in &f.layout[..hot_end] {
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn plain_block_gets_jmp_when_detached() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Push(Reg::Rax));
+        f.block_mut(b0).succs = edges(&[(2, 5)]);
+        f.block_mut(b1).push(Inst::Ret);
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        assert!(fixup_function(&mut f) >= 1);
+        assert!(matches!(
+            f.block(b0).terminator().unwrap().inst,
+            Inst::Jmp { .. }
+        ));
+        assert_eq!(
+            f.block(b0).terminator().unwrap().inst.target(),
+            Some(label_of(b2))
+        );
+        f.validate().unwrap();
+        let _ = b1;
+    }
+
+    #[test]
+    fn redundant_jmp_to_next_removed() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Jmp {
+            target: label_of(b1),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = edges(&[(1, 5)]);
+        f.block_mut(b1).push(Inst::Ret);
+        f.rebuild_preds();
+        assert_eq!(fixup_function(&mut f), 1);
+        assert!(f.block(b0).terminator().is_none(), "jmp-to-next removed");
+        f.validate().unwrap();
+    }
+}

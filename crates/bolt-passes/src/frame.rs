@@ -1,0 +1,329 @@
+//! Passes 15 and 16: `frame-opts` and `shrink-wrapping`.
+//!
+//! `frame-opts` removes dead stack stores (typically parameter spills the
+//! function never reloads). `shrink-wrapping` moves a callee-saved
+//! register save/restore pair out of the prologue/epilogue and into the
+//! single cold block that actually uses the register (paper Table 1,
+//! passes 15–16).
+
+use bolt_ir::{BinaryContext, BinaryFunction, BlockId};
+use bolt_isa::{Inst, Mem, Reg};
+use std::collections::HashSet;
+
+/// Runs `frame-opts`; returns the number of dead stores removed.
+pub fn run_frame_opts(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        if func.folded_into.is_some() {
+            continue;
+        }
+        n += frame_opts_function(func);
+    }
+    n
+}
+
+/// Removes stores to frame slots that are never read. Bails out if the
+/// frame address escapes (any `lea` of `rbp`/`rsp`).
+pub fn frame_opts_function(func: &mut BinaryFunction) -> u64 {
+    // Escape check.
+    for &id in &func.layout {
+        for inst in &func.block(id).insts {
+            if let Inst::Lea { mem, .. } = &inst.inst {
+                if mem.regs_used().any(|r| r == Reg::Rbp || r == Reg::Rsp) {
+                    return 0;
+                }
+            }
+            // Dynamic frame indexing defeats the slot analysis.
+            if let Inst::Load { mem, .. } | Inst::Store { mem, .. } = &inst.inst {
+                if let Mem::BaseIndexScale { base, .. } = mem {
+                    if *base == Reg::Rbp || *base == Reg::Rsp {
+                        return 0;
+                    }
+                }
+            }
+        }
+    }
+    // Slots read anywhere.
+    let mut read: HashSet<(Reg, i32)> = HashSet::new();
+    for &id in &func.layout {
+        for inst in &func.block(id).insts {
+            if let Inst::Load { mem, .. } = &inst.inst {
+                if let Mem::BaseDisp { base, disp } = mem {
+                    if (*base == Reg::Rbp || *base == Reg::Rsp) && *disp < 0 {
+                        read.insert((*base, *disp));
+                    }
+                }
+            }
+        }
+    }
+    // Remove never-read negative-slot stores.
+    let mut removed = 0;
+    for id in func.layout.clone() {
+        let block = func.block_mut(id);
+        let before = block.insts.len();
+        block.insts.retain(|inst| {
+            if let Inst::Store {
+                mem: Mem::BaseDisp { base, disp },
+                ..
+            } = &inst.inst
+            {
+                if (*base == Reg::Rbp || *base == Reg::Rsp)
+                    && *disp < 0
+                    && !read.contains(&(*base, *disp))
+                {
+                    return false;
+                }
+            }
+            true
+        });
+        removed += (before - block.insts.len()) as u64;
+    }
+    removed
+}
+
+/// Runs `shrink-wrapping`; returns the number of save/restore pairs moved.
+pub fn run_shrink_wrapping(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        if func.folded_into.is_some() {
+            continue;
+        }
+        n += shrink_wrap_function(func);
+    }
+    n
+}
+
+/// Moves the `push rbx` / `pop rbx` pair into the unique block using
+/// `rbx`, when the prologue is hot and that block is colder. The pair is
+/// placed around the block's body (before its terminator), relying on the
+/// frame being `rbp`-based so a transient push does not perturb slot
+/// addressing.
+pub fn shrink_wrap_function(func: &mut BinaryFunction) -> u64 {
+    const REG: Reg = Reg::Rbx;
+    let entry = func.entry();
+    // Locate the save in the entry block.
+    let save_idx = func
+        .block(entry)
+        .insts
+        .iter()
+        .position(|i| i.inst == Inst::Push(REG));
+    let Some(save_idx) = save_idx else { return 0 };
+    // The save must be part of the prologue (within the first 4 insts).
+    if save_idx > 3 {
+        return 0;
+    }
+
+    // Find all uses of rbx outside prologue/epilogue push/pop.
+    let mut use_blocks: Vec<BlockId> = Vec::new();
+    let mut restore_sites: Vec<(BlockId, usize)> = Vec::new();
+    for &id in &func.layout {
+        for (k, inst) in func.block(id).insts.iter().enumerate() {
+            if id == entry && k == save_idx {
+                continue;
+            }
+            if inst.inst == Inst::Pop(REG) {
+                restore_sites.push((id, k));
+                continue;
+            }
+            let uses = inst.inst.regs_read().contains(&REG)
+                || inst.inst.regs_written().contains(&REG);
+            if uses && !use_blocks.contains(&id) {
+                use_blocks.push(id);
+            }
+        }
+    }
+    if restore_sites.is_empty() {
+        return 0;
+    }
+    // Profitability + safety: a single using block, not the entry, colder
+    // than the entry, with no calls (a call could clobber rbx... rbx is
+    // callee-saved, but the callee's save/restore suffices; however the
+    // use must not span blocks).
+    if use_blocks.len() != 1 {
+        return 0;
+    }
+    let target = use_blocks[0];
+    if target == entry {
+        return 0;
+    }
+    let entry_heat = func.block(entry).exec_count;
+    let target_heat = func.block(target).exec_count;
+    if target_heat * 2 >= entry_heat.max(1) {
+        return 0; // not enough benefit
+    }
+    // The using block must contain the uses only between its start and
+    // terminator, and must not itself end in a return (the pop must
+    // execute before leaving).
+    // Transform: remove prologue push + all epilogue pops; wrap target.
+    func.block_mut(entry).insts.remove(save_idx);
+    // Remove pops (walk in reverse order of collection to keep indices
+    // valid — each (block, idx) is unique per block here).
+    let mut by_block: std::collections::HashMap<BlockId, Vec<usize>> = Default::default();
+    for (b, k) in restore_sites {
+        by_block.entry(b).or_default().push(k);
+    }
+    for (b, mut idxs) in by_block {
+        idxs.sort_unstable_by(|a, b| b.cmp(a));
+        for k in idxs {
+            func.block_mut(b).insts.remove(k);
+        }
+    }
+    // Wrap the using block.
+    let block = func.block_mut(target);
+    let term_pos = if block.terminator().is_some() {
+        block.insts.len() - 1
+    } else {
+        block.insts.len()
+    };
+    block.insts.insert(term_pos, Inst::Pop(REG).into());
+    block.insts.insert(0, Inst::Push(REG).into());
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{edges, BasicBlock};
+    use bolt_isa::{AluOp, Cond, JumpWidth, Label, Target};
+
+    #[test]
+    fn dead_param_spill_removed() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b = f.add_block(BasicBlock::new());
+        let blk = f.block_mut(b);
+        blk.push(Inst::Store {
+            mem: Mem::base(Reg::Rbp, -8),
+            src: Reg::Rdi,
+        });
+        blk.push(Inst::Store {
+            mem: Mem::base(Reg::Rbp, -16),
+            src: Reg::Rsi,
+        });
+        blk.push(Inst::Load {
+            dst: Reg::Rax,
+            mem: Mem::base(Reg::Rbp, -8),
+        });
+        blk.push(Inst::Ret);
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_frame_opts(&mut ctx), 1, "only the -16 spill is dead");
+        let f = &ctx.functions[0];
+        assert_eq!(f.block(BlockId(0)).insts.len(), 3);
+    }
+
+    #[test]
+    fn escaping_frame_blocks_the_pass() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b = f.add_block(BasicBlock::new());
+        let blk = f.block_mut(b);
+        blk.push(Inst::Store {
+            mem: Mem::base(Reg::Rbp, -8),
+            src: Reg::Rdi,
+        });
+        blk.push(Inst::Lea {
+            dst: Reg::Rax,
+            mem: Mem::base(Reg::Rbp, -8),
+        });
+        blk.push(Inst::Ret);
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_frame_opts(&mut ctx), 0);
+    }
+
+    /// prologue saves rbx; only a cold block uses it.
+    fn shrink_candidate() -> BinaryFunction {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        f.exec_count = 1000;
+        let b0 = f.add_block(BasicBlock::new());
+        let hot = f.add_block(BasicBlock::new());
+        let cold = f.add_block(BasicBlock::new());
+        {
+            let blk = f.block_mut(b0);
+            blk.exec_count = 1000;
+            blk.push(Inst::Push(Reg::Rbp));
+            blk.push(Inst::MovRR {
+                dst: Reg::Rbp,
+                src: Reg::Rsp,
+            });
+            blk.push(Inst::Push(Reg::Rbx));
+            blk.push(Inst::AluI {
+                op: AluOp::Sub,
+                dst: Reg::Rsp,
+                imm: 16,
+            });
+            blk.push(Inst::Jcc {
+                cond: Cond::E,
+                target: Target::Label(Label(2)),
+                width: JumpWidth::Near,
+            });
+            blk.succs = edges(&[(2, 1), (1, 999)]);
+        }
+        {
+            let blk = f.block_mut(hot);
+            blk.exec_count = 999;
+            blk.push(Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rsp,
+                imm: 16,
+            });
+            blk.push(Inst::Pop(Reg::Rbx));
+            blk.push(Inst::Pop(Reg::Rbp));
+            blk.push(Inst::Ret);
+        }
+        {
+            let blk = f.block_mut(cold);
+            blk.exec_count = 1;
+            blk.push(Inst::MovRI {
+                dst: Reg::Rbx,
+                imm: 7,
+            });
+            blk.push(Inst::Imul {
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            });
+            blk.push(Inst::Jmp {
+                target: Target::Label(Label(1)),
+                width: JumpWidth::Near,
+            });
+            blk.succs = edges(&[(1, 1)]);
+        }
+        f.rebuild_preds();
+        f
+    }
+
+    #[test]
+    fn cold_use_shrink_wrapped() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(shrink_candidate());
+        assert_eq!(run_shrink_wrapping(&mut ctx), 1);
+        let f = &ctx.functions[0];
+        // Prologue no longer pushes rbx.
+        assert!(!f
+            .block(BlockId(0))
+            .insts
+            .iter()
+            .any(|i| i.inst == Inst::Push(Reg::Rbx)));
+        // Epilogue no longer pops rbx.
+        assert!(!f
+            .block(BlockId(1))
+            .insts
+            .iter()
+            .any(|i| i.inst == Inst::Pop(Reg::Rbx)));
+        // The cold block is wrapped.
+        let cold = f.block(BlockId(2));
+        assert_eq!(cold.insts.first().unwrap().inst, Inst::Push(Reg::Rbx));
+        let n = cold.insts.len();
+        assert_eq!(cold.insts[n - 2].inst, Inst::Pop(Reg::Rbx));
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn hot_use_not_wrapped() {
+        let mut f = shrink_candidate();
+        // Make the use block hot: no benefit.
+        f.block_mut(BlockId(2)).exec_count = 900;
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_shrink_wrapping(&mut ctx), 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Pass 5: inline small functions.
+//!
+//! BOLT's inliner is deliberately limited (paper section 4): the compiler
+//! already took the big wins, so BOLT only inlines tiny callees at hot
+//! call sites — opportunities exposed by more accurate profile data, ICP,
+//! or cross-module calls the compiler could not see.
+//!
+//! Binary-level inlining must deal with the callee's frame: we support
+//! callees with the standard `push rbp; mov rbp,rsp; sub rsp,N` prologue
+//! by rewriting their `rbp`-relative slots to addresses below the
+//! caller's stack pointer (the red zone), after deleting the frame setup.
+
+use bolt_ir::{BinaryContext, BinaryInst, BlockId};
+use bolt_isa::{AluOp, Inst, Mem, Reg};
+
+/// Maximum callee body size (instructions after frame stripping).
+const MAX_INLINE_INSTS: usize = 12;
+/// Minimum call-site execution count.
+const MIN_SITE_COUNT: u64 = 1;
+
+/// A callee body prepared for splicing: frame-free instructions.
+struct InlinableBody {
+    insts: Vec<BinaryInst>,
+}
+
+/// Checks whether `callee` can be inlined and returns its prepared body.
+///
+/// Requirements: single block, standard or absent frame, no calls, no
+/// indirect control flow, no landing pads, memory access limited to its
+/// own negative `rbp` slots and RIP-relative data.
+fn prepare_callee(ctx: &BinaryContext, fi: usize) -> Option<InlinableBody> {
+    let func = &ctx.functions[fi];
+    if !func.is_simple || func.folded_into.is_some() || func.layout.len() != 1 {
+        return None;
+    }
+    let block = func.block(func.entry());
+    if block.is_landing_pad {
+        return None;
+    }
+    let insts = &block.insts;
+    // Strip the standard prologue/epilogue if present.
+    // Prologue: push rbp; mov rbp, rsp; [sub rsp, N]
+    // Epilogue: [add rsp, N]; pop rbp; ret
+    let mut body: Vec<BinaryInst> = Vec::new();
+    let mut i = 0;
+    let mut has_frame = false;
+    if insts.len() >= 2
+        && insts[0].inst == Inst::Push(Reg::Rbp)
+        && insts[1].inst
+            == (Inst::MovRR {
+                dst: Reg::Rbp,
+                src: Reg::Rsp,
+            })
+    {
+        has_frame = true;
+        i = 2;
+        if let Some(inst) = insts.get(2) {
+            if matches!(
+                inst.inst,
+                Inst::AluI {
+                    op: AluOp::Sub,
+                    dst: Reg::Rsp,
+                    ..
+                }
+            ) {
+                i = 3;
+            }
+        }
+    }
+    let mut j = insts.len();
+    if insts.last().map(|x| x.inst.is_return()) != Some(true) {
+        return None;
+    }
+    j -= 1; // drop ret
+    if has_frame {
+        if j == 0 || insts[j - 1].inst != Inst::Pop(Reg::Rbp) {
+            return None;
+        }
+        j -= 1;
+        if j > 0
+            && matches!(
+                insts[j - 1].inst,
+                Inst::AluI {
+                    op: AluOp::Add,
+                    dst: Reg::Rsp,
+                    ..
+                }
+            )
+        {
+            j -= 1;
+        }
+    }
+    if i > j {
+        return None;
+    }
+    for inst in &insts[i..j] {
+        if inst.inst.is_call() || inst.inst.is_terminator() || inst.landing_pad.is_some() {
+            return None;
+        }
+        // Memory discipline: only own-frame slots or RIP-relative.
+        let mem_ok = |m: &Mem| -> bool {
+            match m {
+                Mem::BaseDisp { base, disp } => *base == Reg::Rbp && *disp < 0 && has_frame,
+                Mem::BaseIndexScale { base, index, .. } => {
+                    *base != Reg::Rbp && *base != Reg::Rsp && *index != Reg::Rbp
+                }
+                Mem::RipRel { .. } => true,
+            }
+        };
+        let ok = match &inst.inst {
+            Inst::Load { mem, .. } | Inst::Store { mem, .. } | Inst::Lea { mem, .. } => {
+                mem_ok(mem)
+            }
+            Inst::Push(_) | Inst::Pop(_) => false,
+            _ => true,
+        };
+        if !ok {
+            return None;
+        }
+        // Callee must not read rbp for anything else.
+        if !has_frame && inst.inst.regs_read().contains(&Reg::Rbp) {
+            return None;
+        }
+        body.push(inst.clone());
+    }
+    if body.len() > MAX_INLINE_INSTS {
+        return None;
+    }
+    // Rewrite rbp slots to red-zone rsp addressing: callee's `-(k)(%rbp)`
+    // is `-(16 + k)(%rsp)` at the (inlined) call site: the missing return
+    // address and saved rbp account for 16 bytes.
+    for inst in &mut body {
+        let fix = |m: &mut Mem| {
+            if let Mem::BaseDisp { base, disp } = m {
+                if *base == Reg::Rbp {
+                    *base = Reg::Rsp;
+                    *disp -= 16;
+                }
+            }
+        };
+        match &mut inst.inst {
+            Inst::Load { mem, .. } | Inst::Store { mem, .. } | Inst::Lea { mem, .. } => fix(mem),
+            _ => {}
+        }
+    }
+    Some(InlinableBody { insts: body })
+}
+
+/// Runs the pass; returns the number of call sites inlined.
+pub fn run_inline_small(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    // Plan: (caller, block, inst idx, callee).
+    let mut plans: Vec<(usize, BlockId, usize, usize)> = Vec::new();
+    for (fi, func) in ctx.functions.iter().enumerate() {
+        if !func.is_simple || func.folded_into.is_some() {
+            continue;
+        }
+        for &id in &func.layout {
+            let block = func.block(id);
+            if block.exec_count < MIN_SITE_COUNT {
+                continue;
+            }
+            for (k, inst) in block.insts.iter().enumerate() {
+                if inst.landing_pad.is_some() {
+                    continue;
+                }
+                let Inst::Call { target } = inst.inst else {
+                    continue;
+                };
+                let Some(addr) = target.addr() else { continue };
+                let Some(orig_ti) = ctx.function_at(addr) else {
+                    continue;
+                };
+                // Only calls that land exactly on a function entry.
+                if ctx.functions[orig_ti].address != addr {
+                    continue;
+                }
+                // Inline the ICF keeper's body (identical by construction).
+                let ti = crate::icf::resolve_fold(ctx, orig_ti);
+                if ti == fi {
+                    continue;
+                }
+                plans.push((fi, id, k, ti));
+            }
+        }
+    }
+    plans.sort_by(|a, b| (b.0, b.1, b.2).cmp(&(a.0, a.1, a.2)));
+    for (fi, id, k, ti) in plans {
+        if fi == ti {
+            continue;
+        }
+        let Some(body) = prepare_callee(ctx, ti) else {
+            continue;
+        };
+        let func = &mut ctx.functions[fi];
+        // Replace the call instruction with the body.
+        func.block_mut(id).insts.remove(k);
+        for (off, inst) in body.insts.into_iter().enumerate() {
+            func.block_mut(id).insts.insert(k + off, inst);
+        }
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{BasicBlock, BinaryFunction};
+    use bolt_isa::Target;
+
+    /// A tiny frameless callee: mov rax, 42; ret.
+    fn tiny_callee(addr: u64) -> BinaryFunction {
+        let mut f = BinaryFunction::new("tiny", addr);
+        f.size = 8;
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).push(Inst::MovRI {
+            dst: Reg::Rax,
+            imm: 42,
+        });
+        f.block_mut(b).push(Inst::Ret);
+        f
+    }
+
+    /// A framed callee: standard prologue + slot store/load + epilogue.
+    fn framed_callee(addr: u64) -> BinaryFunction {
+        let mut f = BinaryFunction::new("framed", addr);
+        f.size = 24;
+        let b = f.add_block(BasicBlock::new());
+        let blk = f.block_mut(b);
+        blk.push(Inst::Push(Reg::Rbp));
+        blk.push(Inst::MovRR {
+            dst: Reg::Rbp,
+            src: Reg::Rsp,
+        });
+        blk.push(Inst::AluI {
+            op: AluOp::Sub,
+            dst: Reg::Rsp,
+            imm: 16,
+        });
+        blk.push(Inst::Store {
+            mem: Mem::base(Reg::Rbp, -8),
+            src: Reg::Rdi,
+        });
+        blk.push(Inst::Load {
+            dst: Reg::Rax,
+            mem: Mem::base(Reg::Rbp, -8),
+        });
+        blk.push(Inst::AluI {
+            op: AluOp::Add,
+            dst: Reg::Rsp,
+            imm: 16,
+        });
+        blk.push(Inst::Pop(Reg::Rbp));
+        blk.push(Inst::Ret);
+        f
+    }
+
+    fn caller(addr: u64, target: u64) -> BinaryFunction {
+        let mut f = BinaryFunction::new("caller", addr);
+        f.size = 16;
+        f.exec_count = 100;
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).exec_count = 100;
+        f.block_mut(b).push(Inst::Call {
+            target: Target::Addr(target),
+        });
+        f.block_mut(b).push(Inst::Ret);
+        f
+    }
+
+    #[test]
+    fn tiny_leaf_inlined() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(tiny_callee(0x9000));
+        ctx.add_function(caller(0x1000, 0x9000));
+        assert_eq!(run_inline_small(&mut ctx), 1);
+        let f = &ctx.functions[1];
+        assert!(
+            !f.blocks[0].insts.iter().any(|i| i.inst.is_call()),
+            "call replaced by body"
+        );
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| i.inst == Inst::MovRI { dst: Reg::Rax, imm: 42 }));
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn framed_callee_inlined_with_red_zone_rewrite() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(framed_callee(0x9000));
+        ctx.add_function(caller(0x1000, 0x9000));
+        assert_eq!(run_inline_small(&mut ctx), 1);
+        let f = &ctx.functions[1];
+        // The inlined slot access must now be rsp-relative below zero.
+        let has_redzone = f.blocks[0].insts.iter().any(|i| {
+            matches!(
+                i.inst,
+                Inst::Store {
+                    mem: Mem::BaseDisp {
+                        base: Reg::Rsp,
+                        disp: -24
+                    },
+                    ..
+                }
+            )
+        });
+        assert!(has_redzone, "rbp slot rewritten to red zone: {:?}", f.blocks[0].insts);
+        // No frame manipulation survives.
+        assert!(!f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i.inst, Inst::Push(Reg::Rbp) | Inst::Pop(Reg::Rbp))));
+    }
+
+    #[test]
+    fn multi_block_callee_not_inlined() {
+        let mut ctx = BinaryContext::new();
+        let mut callee = tiny_callee(0x9000);
+        let b2 = callee.add_block(BasicBlock::new());
+        callee.block_mut(b2).push(Inst::Ret);
+        ctx.add_function(callee);
+        ctx.add_function(caller(0x1000, 0x9000));
+        assert_eq!(run_inline_small(&mut ctx), 0);
+    }
+
+    #[test]
+    fn cold_sites_not_inlined() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(tiny_callee(0x9000));
+        let mut c = caller(0x1000, 0x9000);
+        c.block_mut(BlockId(0)).exec_count = 0;
+        ctx.add_function(c);
+        assert_eq!(run_inline_small(&mut ctx), 0);
+    }
+}

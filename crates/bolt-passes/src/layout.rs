@@ -1,0 +1,437 @@
+//! Pass 9: `reorder-bbs` — basic-block layout and hot/cold splitting
+//! (the most effective BOLT pass, together with function reordering;
+//! paper section 4).
+
+use bolt_ir::{BinaryContext, BinaryFunction, BlockId};
+use bolt_isa::encoded_len;
+
+/// `-reorder-blocks=` algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockLayout {
+    /// Keep the original layout.
+    None,
+    /// Reverse the original layout (a sanity-check pessimization).
+    Reverse,
+    /// Greedy Pettis–Hansen chaining on edge weights (`branch`).
+    Branch,
+    /// Like `cache+` but without distance-sensitive scoring.
+    Cache,
+    /// ExtTSP-style layout (`cache+`, the paper's configuration).
+    #[default]
+    CachePlus,
+}
+
+/// `-split-functions=` mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitMode {
+    /// No splitting.
+    None,
+    /// Split cold blocks out of profiled functions (the paper's
+    /// `-split-functions=3 -split-all-cold`).
+    #[default]
+    Profiled,
+}
+
+/// Runs block reordering + splitting over every simple function with
+/// profile data. Returns the number of functions whose layout changed.
+pub fn run_reorder_bbs(
+    ctx: &mut BinaryContext,
+    algo: BlockLayout,
+    split: SplitMode,
+    split_all_cold: bool,
+    split_eh: bool,
+) -> u64 {
+    let mut changed = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        if func.folded_into.is_some() {
+            continue;
+        }
+        let before = func.layout.clone();
+        if algo != BlockLayout::None && func.exec_count > 0 && func.layout.len() > 2 {
+            reorder_function(func, algo);
+        }
+        if split != SplitMode::None && func.exec_count > 0 {
+            split_function(func, split_all_cold, split_eh);
+        }
+        if func.layout != before || func.cold_start.is_some() {
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Estimated byte size of a block.
+fn block_size(func: &BinaryFunction, id: BlockId) -> u64 {
+    func.block(id)
+        .insts
+        .iter()
+        .map(|i| encoded_len(&i.inst) as u64)
+        .sum()
+}
+
+/// Reorders one function's layout in place.
+pub fn reorder_function(func: &mut BinaryFunction, algo: BlockLayout) {
+    match algo {
+        BlockLayout::None => {}
+        BlockLayout::Reverse => {
+            let entry = func.entry();
+            let mut rest: Vec<BlockId> =
+                func.layout.iter().copied().filter(|b| *b != entry).collect();
+            rest.reverse();
+            let mut layout = vec![entry];
+            layout.extend(rest);
+            func.layout = layout;
+        }
+        BlockLayout::Branch | BlockLayout::Cache => greedy_chains(func, false),
+        BlockLayout::CachePlus => {
+            if func.layout.len() <= 400 {
+                ext_tsp(func);
+            } else {
+                greedy_chains(func, true);
+            }
+        }
+    }
+}
+
+/// Greedy Pettis–Hansen chaining: merge chains across the heaviest edges
+/// whenever the source is a chain tail and the target a chain head.
+/// With `hot_first`, final chains are emitted hottest-first.
+fn greedy_chains(func: &mut BinaryFunction, hot_first: bool) {
+    let n = func.blocks.len();
+    let mut edges: Vec<(u64, usize, usize)> = Vec::new();
+    for (id, b) in func.iter_layout() {
+        for e in &b.succs {
+            if e.block != id {
+                edges.push((e.count, id.index(), e.block.index()));
+            }
+        }
+    }
+    edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let live: Vec<bool> = {
+        let mut v = vec![false; n];
+        for id in &func.layout {
+            v[id.index()] = true;
+        }
+        v
+    };
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    let mut chains: Vec<Vec<usize>> = (0..n)
+        .map(|b| if live[b] { vec![b] } else { vec![] })
+        .collect();
+    let entry = func.entry().index();
+    for (w, from, to) in edges {
+        if w == 0 {
+            break;
+        }
+        let cf = chain_of[from];
+        let ct = chain_of[to];
+        if cf == ct || to == entry {
+            continue;
+        }
+        if chains[cf].last() == Some(&from) && chains[ct].first() == Some(&to) {
+            let tail = std::mem::take(&mut chains[ct]);
+            for b in &tail {
+                chain_of[*b] = cf;
+            }
+            chains[cf].extend(tail);
+        }
+    }
+    emit_chains(func, chains, chain_of, hot_first);
+}
+
+fn emit_chains(
+    func: &mut BinaryFunction,
+    chains: Vec<Vec<usize>>,
+    chain_of: Vec<usize>,
+    hot_first: bool,
+) {
+    let entry_chain = chain_of[func.entry().index()];
+    let mut ids: Vec<usize> = (0..chains.len()).filter(|&c| !chains[c].is_empty()).collect();
+    let heat = |c: usize| -> u64 {
+        chains[c]
+            .iter()
+            .map(|&b| func.block(BlockId(b as u32)).exec_count)
+            .max()
+            .unwrap_or(0)
+    };
+    if hot_first {
+        ids.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(u64::from(c == entry_chain)),
+                std::cmp::Reverse(heat(c)),
+                c,
+            )
+        });
+    } else {
+        ids.sort_by_key(|&c| (std::cmp::Reverse(u64::from(c == entry_chain)), c));
+    }
+    let before_len = func.layout.len();
+    let mut layout = Vec::with_capacity(before_len);
+    for c in ids {
+        for &b in &chains[c] {
+            layout.push(BlockId(b as u32));
+        }
+    }
+    debug_assert_eq!(layout.len(), before_len);
+    func.layout = layout;
+}
+
+/// ExtTSP constants (Newell & Pupyrev's extended-TSP model, used by
+/// BOLT's `cache+`).
+const FORWARD_DISTANCE: f64 = 1024.0;
+const BACKWARD_DISTANCE: f64 = 640.0;
+const FALLTHROUGH_WEIGHT: f64 = 1.0;
+const FORWARD_WEIGHT: f64 = 0.1;
+const BACKWARD_WEIGHT: f64 = 0.1;
+
+/// ExtTSP contribution of one edge given src end and dst start offsets.
+fn ext_tsp_edge_score(w: u64, src_end: f64, dst_start: f64) -> f64 {
+    let w = w as f64;
+    if (src_end - dst_start).abs() < f64::EPSILON {
+        return FALLTHROUGH_WEIGHT * w;
+    }
+    if dst_start > src_end {
+        let d = dst_start - src_end;
+        if d < FORWARD_DISTANCE {
+            return FORWARD_WEIGHT * w * (1.0 - d / FORWARD_DISTANCE);
+        }
+    } else {
+        let d = src_end - dst_start;
+        if d < BACKWARD_DISTANCE {
+            return BACKWARD_WEIGHT * w * (1.0 - d / BACKWARD_DISTANCE);
+        }
+    }
+    0.0
+}
+
+/// Greedy ExtTSP chain merging: repeatedly merge the chain pair (in the
+/// orientation) with the best score gain.
+fn ext_tsp(func: &mut BinaryFunction) {
+    let n = func.blocks.len();
+    let sizes: Vec<u64> = (0..n).map(|b| block_size(func, BlockId(b as u32))).collect();
+    let live: Vec<bool> = {
+        let mut v = vec![false; n];
+        for id in &func.layout {
+            v[id.index()] = true;
+        }
+        v
+    };
+    // Edge list.
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+    for (id, b) in func.iter_layout() {
+        for e in &b.succs {
+            if e.block != id && e.count > 0 {
+                edges.push((id.index(), e.block.index(), e.count));
+            }
+        }
+    }
+
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    let mut chains: Vec<Vec<usize>> = (0..n)
+        .map(|b| if live[b] { vec![b] } else { vec![] })
+        .collect();
+    let entry = func.entry().index();
+
+    // Score of edges internal to (the concatenation of) chains a then b.
+    let score_concat = |a: &[usize], b: &[usize], edges: &[(usize, usize, u64)]| -> f64 {
+        // Offsets.
+        let mut offset = vec![f64::NAN; n];
+        let mut pos = 0.0f64;
+        for &blk in a.iter().chain(b.iter()) {
+            offset[blk] = pos;
+            pos += sizes[blk] as f64;
+        }
+        let mut score = 0.0;
+        for &(s, t, w) in edges {
+            let (so, to) = (offset[s], offset[t]);
+            if so.is_nan() || to.is_nan() {
+                continue;
+            }
+            score += ext_tsp_edge_score(w, so + sizes[s] as f64, to);
+        }
+        score
+    };
+
+    loop {
+        // Candidate chain pairs connected by at least one edge.
+        let mut best: Option<(f64, usize, usize)> = None;
+        let mut seen_pairs = std::collections::HashSet::new();
+        for &(s, t, _) in &edges {
+            let (ca, cb) = (chain_of[s], chain_of[t]);
+            if ca == cb || chains[ca].is_empty() || chains[cb].is_empty() {
+                continue;
+            }
+            for (x, y) in [(ca, cb), (cb, ca)] {
+                // The entry block must stay first overall; never put a
+                // chain before the entry chain.
+                if chains[y].first() == Some(&entry) {
+                    continue;
+                }
+                if !seen_pairs.insert((x, y)) {
+                    continue;
+                }
+                let base = score_concat(&chains[x], &[], &edges)
+                    + score_concat(&chains[y], &[], &edges);
+                let merged = score_concat(&chains[x], &chains[y], &edges);
+                let gain = merged - base;
+                if gain > 1e-9 && best.map(|(g, _, _)| gain > g).unwrap_or(true) {
+                    best = Some((gain, x, y));
+                }
+            }
+        }
+        let Some((_, x, y)) = best else { break };
+        let tail = std::mem::take(&mut chains[y]);
+        for &b in &tail {
+            chain_of[b] = x;
+        }
+        chains[x].extend(tail);
+    }
+    emit_chains(func, chains, chain_of, true);
+}
+
+/// Moves cold blocks to the end of the layout and records the split point
+/// (paper sections 3.1–3.2: function splitting).
+pub fn split_function(func: &mut BinaryFunction, split_all_cold: bool, split_eh: bool) {
+    let entry = func.entry();
+    let is_cold = |func: &BinaryFunction, id: BlockId| -> bool {
+        if id == entry {
+            return false;
+        }
+        let b = func.block(id);
+        if b.is_landing_pad {
+            // -split-eh: landing pads go cold unless they are hot.
+            return split_eh && b.exec_count == 0;
+        }
+        split_all_cold && b.exec_count == 0
+    };
+    let hot: Vec<BlockId> = func
+        .layout
+        .iter()
+        .copied()
+        .filter(|&b| !is_cold(func, b))
+        .collect();
+    let cold: Vec<BlockId> = func
+        .layout
+        .iter()
+        .copied()
+        .filter(|&b| is_cold(func, b))
+        .collect();
+    if cold.is_empty() {
+        func.cold_start = None;
+        return;
+    }
+    let split_at = hot.len();
+    let mut layout = hot;
+    layout.extend(cold);
+    func.layout = layout;
+    func.cold_start = Some(split_at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{edges, BasicBlock};
+    use bolt_isa::{Cond, Inst, JumpWidth, Label, Target};
+
+    /// Chain-shaped CFG where the source order is pessimal:
+    /// 0 -> 3 (hot 100) / 1 (cold 1); 3 -> 2 (hot); 1 -> 2; 2: ret.
+    fn pessimal() -> BinaryFunction {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        f.exec_count = 101;
+        for _ in 0..4 {
+            f.add_block(BasicBlock::new());
+        }
+        f.block_mut(BlockId(0)).push(Inst::Jcc {
+            cond: Cond::E,
+            target: Target::Label(Label(3)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(BlockId(0)).succs = edges(&[(3, 100), (1, 1)]);
+        f.block_mut(BlockId(0)).exec_count = 101;
+        f.block_mut(BlockId(1)).push(Inst::Nop { len: 1 });
+        f.block_mut(BlockId(1)).succs = edges(&[(2, 1)]);
+        f.block_mut(BlockId(1)).exec_count = 1;
+        f.block_mut(BlockId(2)).push(Inst::Ret);
+        f.block_mut(BlockId(2)).exec_count = 101;
+        f.block_mut(BlockId(3)).push(Inst::Nop { len: 1 });
+        f.block_mut(BlockId(3)).succs = edges(&[(2, 100)]);
+        f.block_mut(BlockId(3)).exec_count = 100;
+        f.rebuild_preds();
+        f
+    }
+
+    #[test]
+    fn hot_path_becomes_contiguous() {
+        for algo in [BlockLayout::Branch, BlockLayout::Cache, BlockLayout::CachePlus] {
+            let mut f = pessimal();
+            reorder_function(&mut f, algo);
+            let pos = |b: u32| f.layout.iter().position(|x| x.0 == b).unwrap();
+            assert_eq!(f.layout[0], BlockId(0), "{algo:?}: entry first");
+            assert_eq!(
+                pos(3),
+                1,
+                "{algo:?}: hot successor follows entry in {:?}",
+                f.layout
+            );
+            assert!(pos(2) < pos(1) || pos(2) == pos(3) + 1, "{algo:?}: hot chain continues");
+            // Permutation preserved.
+            let mut ids: Vec<u32> = f.layout.iter().map(|b| b.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn reverse_is_a_valid_pessimization() {
+        let mut f = pessimal();
+        reorder_function(&mut f, BlockLayout::Reverse);
+        assert_eq!(f.layout[0], BlockId(0), "entry still first");
+        let mut ids: Vec<u32> = f.layout.iter().map(|b| b.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn splitting_moves_cold_blocks() {
+        let mut f = pessimal();
+        // Make block 1 completely cold.
+        f.block_mut(BlockId(1)).exec_count = 0;
+        f.block_mut(BlockId(0)).succs = edges(&[(3, 100), (1, 0)]);
+        reorder_function(&mut f, BlockLayout::CachePlus);
+        split_function(&mut f, true, true);
+        assert!(f.is_split());
+        let cold = f.cold_start.unwrap();
+        assert_eq!(&f.layout[cold..], &[BlockId(1)]);
+    }
+
+    #[test]
+    fn ext_tsp_scoring_prefers_fallthrough() {
+        let ft = ext_tsp_edge_score(100, 64.0, 64.0);
+        let near_fwd = ext_tsp_edge_score(100, 64.0, 128.0);
+        let far_fwd = ext_tsp_edge_score(100, 64.0, 5000.0);
+        let back = ext_tsp_edge_score(100, 640.0, 0.0);
+        assert!(ft > near_fwd, "fallthrough beats a short jump");
+        assert!(near_fwd > far_fwd, "near jump beats far jump");
+        assert_eq!(far_fwd, 0.0);
+        assert!(back < ft && back >= 0.0);
+    }
+
+    #[test]
+    fn zero_profile_functions_untouched() {
+        let mut ctx = BinaryContext::new();
+        let mut f = pessimal();
+        f.exec_count = 0;
+        let before = f.layout.clone();
+        ctx.add_function(f);
+        run_reorder_bbs(
+            &mut ctx,
+            BlockLayout::CachePlus,
+            SplitMode::Profiled,
+            true,
+            true,
+        );
+        assert_eq!(ctx.functions[0].layout, before);
+        assert!(!ctx.functions[0].is_split());
+    }
+}

@@ -1,0 +1,300 @@
+//! # bolt-passes — the optimization pipeline
+//!
+//! The sixteen-pass pipeline of paper Table 1, in order:
+//!
+//! | # | pass | module |
+//! |---|------|--------|
+//! | 1 | `strip-rep-ret` | [`peephole`] |
+//! | 2 | `icf` | [`icf`] |
+//! | 3 | `icp` | [`icp`] |
+//! | 4 | `peepholes` | [`peephole`] |
+//! | 5 | `inline-small` | [`inline_small`] |
+//! | 6 | `simplify-ro-loads` | [`ro_loads`] |
+//! | 7 | `icf` (2nd) | [`icf`] |
+//! | 8 | `plt` | [`plt`] |
+//! | 9 | `reorder-bbs` + splitting | [`layout`] |
+//! | 10 | `peepholes` (2nd) | [`peephole`] |
+//! | 11 | `uce` | [`uce`] |
+//! | 12 | `fixup-branches` | [`fixup`] |
+//! | 13 | `reorder-functions` | [`reorder_functions`] |
+//! | 14 | `sctc` | [`sctc`] |
+//! | 15 | `frame-opts` | [`frame`] |
+//! | 16 | `shrink-wrapping` | [`frame`] |
+//!
+//! plus the `dyno-stats` reporting of paper Table 2 ([`dyno`]).
+
+pub mod dyno;
+pub mod fixup;
+pub mod frame;
+pub mod icf;
+pub mod icp;
+pub mod inline_small;
+pub mod layout;
+pub mod peephole;
+pub mod plt;
+pub mod reorder_functions;
+pub mod ro_loads;
+pub mod sctc;
+pub mod uce;
+
+pub use dyno::DynoStats;
+pub use layout::{BlockLayout, SplitMode};
+
+use bolt_ir::BinaryContext;
+
+/// Options for the optimization pipeline (mirrors the BOLT command line
+/// used in the paper's evaluation, section 6.2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassOptions {
+    pub strip_rep_ret: bool,
+    pub icf: bool,
+    pub icp: bool,
+    /// Minimum fraction of an indirect call's targets a single callee must
+    /// take to be promoted.
+    pub icp_threshold: f64,
+    pub peepholes: bool,
+    pub inline_small: bool,
+    pub simplify_ro_loads: bool,
+    pub plt: bool,
+    /// `-reorder-blocks=`
+    pub reorder_blocks: BlockLayout,
+    /// `-split-functions=` mode.
+    pub split_functions: SplitMode,
+    /// `-split-all-cold`
+    pub split_all_cold: bool,
+    /// `-split-eh`
+    pub split_eh: bool,
+    pub uce: bool,
+    /// `-reorder-functions=`
+    pub reorder_functions: bolt_hfsort::Algorithm,
+    pub sctc: bool,
+    pub frame_opts: bool,
+    pub shrink_wrapping: bool,
+}
+
+impl Default for PassOptions {
+    fn default() -> PassOptions {
+        // The configuration used throughout the paper's evaluation:
+        // -reorder-blocks=cache+ -reorder-functions=hfsort+
+        // -split-functions=3 -split-all-cold -split-eh -icf=1
+        PassOptions {
+            strip_rep_ret: true,
+            icf: true,
+            icp: true,
+            icp_threshold: 0.51,
+            peepholes: true,
+            inline_small: true,
+            simplify_ro_loads: true,
+            plt: true,
+            reorder_blocks: BlockLayout::CachePlus,
+            split_functions: SplitMode::Profiled,
+            split_all_cold: true,
+            split_eh: true,
+            uce: true,
+            reorder_functions: bolt_hfsort::Algorithm::HfsortPlus,
+            sctc: true,
+            frame_opts: true,
+            shrink_wrapping: true,
+        }
+    }
+}
+
+impl PassOptions {
+    /// Only layout passes (for ablations): block reorder + function
+    /// reorder, nothing else.
+    pub fn layout_only() -> PassOptions {
+        PassOptions {
+            strip_rep_ret: false,
+            icf: false,
+            icp: false,
+            peepholes: false,
+            inline_small: false,
+            simplify_ro_loads: false,
+            plt: false,
+            sctc: false,
+            frame_opts: false,
+            shrink_wrapping: false,
+            ..PassOptions::default()
+        }
+    }
+
+    /// Function reordering only (paper Figure 11's "Functions" bars).
+    pub fn functions_only() -> PassOptions {
+        PassOptions {
+            reorder_blocks: BlockLayout::None,
+            split_functions: SplitMode::None,
+            split_all_cold: false,
+            split_eh: false,
+            ..PassOptions::layout_only()
+        }
+    }
+
+    /// Basic-block passes only (paper Figure 11's "BBs" bars).
+    pub fn bbs_only() -> PassOptions {
+        PassOptions {
+            reorder_functions: bolt_hfsort::Algorithm::None,
+            ..PassOptions::default()
+        }
+    }
+
+    /// Everything disabled (identity rewrite).
+    pub fn none() -> PassOptions {
+        PassOptions {
+            reorder_blocks: BlockLayout::None,
+            split_functions: SplitMode::None,
+            split_all_cold: false,
+            split_eh: false,
+            reorder_functions: bolt_hfsort::Algorithm::None,
+            ..PassOptions::layout_only()
+        }
+    }
+}
+
+/// Per-pass activity report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassReport {
+    pub name: &'static str,
+    /// Number of program changes the pass made (pass-specific unit).
+    pub changes: u64,
+}
+
+/// The result of running the whole pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineResult {
+    pub reports: Vec<PassReport>,
+    /// Function emission order chosen by `reorder-functions` (indices into
+    /// `ctx.functions`).
+    pub function_order: Vec<usize>,
+}
+
+fn validate_all(ctx: &BinaryContext, after: &str) {
+    if cfg!(debug_assertions) {
+        for f in &ctx.functions {
+            if f.is_simple && f.folded_into.is_none() {
+                if let Err(e) = f.validate() {
+                    panic!("IR invariant broken after {after}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Runs the full Table 1 pipeline over the context.
+pub fn run_pipeline(ctx: &mut BinaryContext, opts: &PassOptions) -> PipelineResult {
+    let mut result = PipelineResult::default();
+    let report = |result: &mut PipelineResult, name: &'static str, changes: u64| {
+        result.reports.push(PassReport { name, changes });
+    };
+
+    if opts.strip_rep_ret {
+        let n = peephole::strip_rep_ret(ctx);
+        report(&mut result, "strip-rep-ret", n);
+        validate_all(ctx, "strip-rep-ret");
+    }
+    if opts.icf {
+        let n = icf::run_icf(ctx);
+        report(&mut result, "icf", n);
+        validate_all(ctx, "icf");
+    }
+    if opts.icp {
+        let n = icp::run_icp(ctx, opts.icp_threshold);
+        report(&mut result, "icp", n);
+        validate_all(ctx, "icp");
+    }
+    if opts.peepholes {
+        let n = peephole::run_peepholes(ctx);
+        report(&mut result, "peepholes", n);
+        validate_all(ctx, "peepholes");
+    }
+    if opts.inline_small {
+        let n = inline_small::run_inline_small(ctx);
+        report(&mut result, "inline-small", n);
+        validate_all(ctx, "inline-small");
+    }
+    if opts.simplify_ro_loads {
+        let n = ro_loads::run_simplify_ro_loads(ctx);
+        report(&mut result, "simplify-ro-loads", n);
+        validate_all(ctx, "simplify-ro-loads");
+    }
+    if opts.icf {
+        let n = icf::run_icf(ctx);
+        report(&mut result, "icf", n);
+        validate_all(ctx, "icf(2)");
+    }
+    if opts.plt {
+        let n = plt::run_plt(ctx);
+        report(&mut result, "plt", n);
+        validate_all(ctx, "plt");
+    }
+    {
+        let n = layout::run_reorder_bbs(
+            ctx,
+            opts.reorder_blocks,
+            opts.split_functions,
+            opts.split_all_cold,
+            opts.split_eh,
+        );
+        report(&mut result, "reorder-bbs", n);
+        validate_all(ctx, "reorder-bbs");
+    }
+    if opts.peepholes {
+        let n = peephole::run_peepholes(ctx);
+        report(&mut result, "peepholes", n);
+        validate_all(ctx, "peepholes(2)");
+    }
+    if opts.uce {
+        let n = uce::run_uce(ctx);
+        report(&mut result, "uce", n);
+        validate_all(ctx, "uce");
+    }
+    {
+        let n = fixup::run_fixup_branches(ctx);
+        report(&mut result, "fixup-branches", n);
+        validate_all(ctx, "fixup-branches");
+    }
+    {
+        result.function_order =
+            reorder_functions::run_reorder_functions(ctx, opts.reorder_functions);
+        let n = result.function_order.len() as u64;
+        report(&mut result, "reorder-functions", n);
+    }
+    if opts.sctc {
+        let n = sctc::run_sctc(ctx);
+        report(&mut result, "sctc", n);
+        // sctc rewires terminators; re-run fixup to stay consistent.
+        let _ = fixup::run_fixup_branches(ctx);
+        validate_all(ctx, "sctc");
+    }
+    if opts.frame_opts {
+        let n = frame::run_frame_opts(ctx);
+        report(&mut result, "frame-opts", n);
+        validate_all(ctx, "frame-opts");
+    }
+    if opts.shrink_wrapping {
+        let n = frame::run_shrink_wrapping(ctx);
+        report(&mut result, "shrink-wrapping", n);
+        validate_all(ctx, "shrink-wrapping");
+    }
+    result
+}
+
+/// The pass names and descriptions of paper Table 1 in pipeline order
+/// (printed by the `table1_pipeline` bench target).
+pub const TABLE1: &[(&str, &str)] = &[
+    ("strip-rep-ret", "Strip repz from repz retq instructions used for legacy AMD processors"),
+    ("icf", "Identical code folding"),
+    ("icp", "Indirect call promotion"),
+    ("peepholes", "Simple peephole optimizations"),
+    ("inline-small", "Inline small functions"),
+    ("simplify-ro-loads", "Fetch constant data in .rodata whose address is known statically and mutate a load into a mov"),
+    ("icf", "Identical code folding (second run)"),
+    ("plt", "Remove indirection from PLT calls"),
+    ("reorder-bbs", "Reorder basic blocks and split hot/cold blocks into separate sections (layout optimization)"),
+    ("peepholes", "Simple peephole optimizations (second run)"),
+    ("uce", "Eliminate unreachable basic blocks"),
+    ("fixup-branches", "Fix basic block terminator instructions to match the CFG and the current layout"),
+    ("reorder-functions", "Apply HFSort to reorder functions (layout optimization)"),
+    ("sctc", "Simplify conditional tail calls"),
+    ("frame-opts", "Removes unnecessary caller-saved register spilling"),
+    ("shrink-wrapping", "Moves callee-saved register spills closer to where they are needed"),
+];

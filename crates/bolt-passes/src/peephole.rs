@@ -1,0 +1,304 @@
+//! Passes 1, 4 and 10: `strip-rep-ret` and simple peepholes.
+
+use bolt_ir::{BinaryContext, BlockId};
+use bolt_isa::{AluOp, Cond, Inst, Mem, Target};
+
+/// Pass 1: `repz retq` → `retq` (the `repz` prefix only matters for
+/// ancient AMD branch predictors; dropping it saves a byte of I-cache per
+/// return — paper section 4's "trade optional instruction-space choices
+/// for I-cache space").
+pub fn strip_rep_ret(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                if inst.inst == Inst::RepzRet {
+                    inst.inst = Inst::Ret;
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Passes 4/10: peepholes.
+///
+/// * *double jumps*: a branch targeting a block that contains only an
+///   unconditional jump is retargeted to the final destination;
+/// * *redundant test*: `op %r, ...; testq %r, %r; jcc` drops the test when
+///   the ALU op already set the needed flags;
+/// * *store-load forwarding*: `movq %rax, slot; movq slot, %rax` drops the
+///   reload.
+pub fn run_peepholes(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        // --- double jumps ---
+        // Find trampolines: blocks with exactly one instruction `jmp L`.
+        let mut tramp: Vec<Option<BlockId>> = vec![None; func.blocks.len()];
+        for &id in &func.layout {
+            let b = func.block(id);
+            if b.insts.len() == 1 && !b.is_landing_pad {
+                if let Inst::Jmp {
+                    target: Target::Label(l),
+                    ..
+                } = b.insts[0].inst
+                {
+                    tramp[id.index()] = Some(BlockId(l.0));
+                }
+            }
+        }
+        // Retarget edges through trampolines (a single level per run; the
+        // pass runs twice in the pipeline).
+        for pos in 0..func.layout.len() {
+            let id = func.layout[pos];
+            // Collect rewrites first to appease the borrow checker.
+            let rewrites: Vec<(BlockId, BlockId)> = func
+                .block(id)
+                .succs
+                .iter()
+                .filter_map(|e| tramp[e.block.index()].map(|t| (e.block, t)))
+                .filter(|(from, to)| from != to)
+                .collect();
+            for (old, new) in rewrites {
+                // Don't create duplicate edges.
+                if func.block(id).succ_edge(new).is_some() {
+                    continue;
+                }
+                let term_is_label_branch = func.block(id).terminator().map(|t| {
+                    matches!(
+                        t.inst,
+                        Inst::Jcc {
+                            target: Target::Label(_),
+                            ..
+                        } | Inst::Jmp {
+                            target: Target::Label(_),
+                            ..
+                        }
+                    )
+                });
+                if term_is_label_branch != Some(true) {
+                    continue;
+                }
+                let block = func.block_mut(id);
+                if let Some(term) = block.terminator_mut() {
+                    if term.inst.target() == Some(Target::Label(bolt_isa::Label(old.0))) {
+                        term.inst
+                            .set_target(Target::Label(bolt_isa::Label(new.0)));
+                        if let Some(e) = block.succ_edge_mut(old) {
+                            e.block = new;
+                        }
+                        n += 1;
+                    }
+                }
+            }
+        }
+        // --- redundant test + store-load forwarding ---
+        for id in func.layout.clone() {
+            let block = func.block_mut(id);
+            // Redundant test before a ZF/SF-only jcc.
+            let len = block.insts.len();
+            if len >= 2 {
+                let cond_ok = matches!(
+                    block.insts.last().map(|i| i.inst),
+                    Some(Inst::Jcc {
+                        cond: Cond::E | Cond::Ne | Cond::S | Cond::Ns,
+                        ..
+                    })
+                );
+                if cond_ok && len >= 3 {
+                    let test_idx = len - 2;
+                    let alu_idx = len - 3;
+                    let redundant = match (&block.insts[alu_idx].inst, &block.insts[test_idx].inst)
+                    {
+                        (
+                            Inst::Alu { op, dst, .. } | Inst::AluI { op, dst, .. },
+                            Inst::Test { a, b },
+                        ) => *op != AluOp::Cmp && a == b && a == dst,
+                        _ => false,
+                    };
+                    if redundant {
+                        block.insts.remove(test_idx);
+                        n += 1;
+                    }
+                }
+            }
+            // Store-load forwarding over adjacent pairs.
+            let mut i = 0;
+            while i + 1 < block.insts.len() {
+                let remove = match (&block.insts[i].inst, &block.insts[i + 1].inst) {
+                    (Inst::Store { mem: m1, src }, Inst::Load { dst, mem: m2 }) => {
+                        m1 == m2 && src == dst && is_stack_slot(m1)
+                    }
+                    _ => false,
+                };
+                if remove {
+                    block.insts.remove(i + 1);
+                    n += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        func.rebuild_preds();
+    }
+    n
+}
+
+fn is_stack_slot(m: &Mem) -> bool {
+    matches!(
+        m,
+        Mem::BaseDisp {
+            base: bolt_isa::Reg::Rbp,
+            disp
+        } if *disp < 0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{BasicBlock, BinaryFunction, SuccEdge};
+    use bolt_isa::{JumpWidth, Label, Reg};
+
+    fn ctx_with(f: BinaryFunction) -> BinaryContext {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        ctx
+    }
+
+    #[test]
+    fn strips_repz() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).push(Inst::RepzRet);
+        let mut ctx = ctx_with(f);
+        assert_eq!(strip_rep_ret(&mut ctx), 1);
+        assert_eq!(
+            ctx.functions[0].block(BlockId(0)).insts[0].inst,
+            Inst::Ret
+        );
+    }
+
+    #[test]
+    fn double_jump_retargeted() {
+        // b0: jmp b1; b1: jmp b2; b2: ret
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Jmp {
+            target: Target::Label(Label(1)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = vec![SuccEdge::with_count(b1, 10)];
+        f.block_mut(b1).push(Inst::Jmp {
+            target: Target::Label(Label(2)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b1).succs = vec![SuccEdge::with_count(b2, 10)];
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        let mut ctx = ctx_with(f);
+        let n = run_peepholes(&mut ctx);
+        assert_eq!(n, 1);
+        let f = &ctx.functions[0];
+        assert_eq!(
+            f.block(b0).terminator().unwrap().inst.target(),
+            Some(Target::Label(Label(2)))
+        );
+        assert_eq!(f.block(b0).succs[0].block, b2);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn redundant_test_removed() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Alu {
+            op: AluOp::Sub,
+            dst: Reg::Rax,
+            src: Reg::Rcx,
+        });
+        f.block_mut(b0).push(Inst::Test {
+            a: Reg::Rax,
+            b: Reg::Rax,
+        });
+        f.block_mut(b0).push(Inst::Jcc {
+            cond: Cond::Ne,
+            target: Target::Label(Label(2)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = vec![SuccEdge::cold(b2), SuccEdge::cold(b1)];
+        f.block_mut(b1).push(Inst::Ret);
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        let mut ctx = ctx_with(f);
+        assert_eq!(run_peepholes(&mut ctx), 1);
+        assert_eq!(ctx.functions[0].block(b0).insts.len(), 2);
+    }
+
+    #[test]
+    fn test_not_removed_after_cmp_or_for_unsigned_conds() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        // cmp does not write rax, so the test is NOT redundant.
+        f.block_mut(b0).push(Inst::AluI {
+            op: AluOp::Cmp,
+            dst: Reg::Rax,
+            imm: 1,
+        });
+        f.block_mut(b0).push(Inst::Test {
+            a: Reg::Rax,
+            b: Reg::Rax,
+        });
+        f.block_mut(b0).push(Inst::Jcc {
+            cond: Cond::E,
+            target: Target::Label(Label(2)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = vec![SuccEdge::cold(b2), SuccEdge::cold(b1)];
+        f.block_mut(b1).push(Inst::Ret);
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        let mut ctx = ctx_with(f);
+        assert_eq!(run_peepholes(&mut ctx), 0);
+    }
+
+    #[test]
+    fn store_load_forwarded() {
+        let slot = Mem::base(Reg::Rbp, -8);
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Store {
+            mem: slot,
+            src: Reg::Rax,
+        });
+        f.block_mut(b0).push(Inst::Load {
+            dst: Reg::Rax,
+            mem: slot,
+        });
+        f.block_mut(b0).push(Inst::Ret);
+        let mut ctx = ctx_with(f);
+        assert_eq!(run_peepholes(&mut ctx), 1);
+        assert_eq!(ctx.functions[0].block(b0).insts.len(), 2);
+        // Different register: kept.
+        let mut f = BinaryFunction::new("g", 0x2000);
+        let b0 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Store {
+            mem: slot,
+            src: Reg::Rax,
+        });
+        f.block_mut(b0).push(Inst::Load {
+            dst: Reg::Rcx,
+            mem: slot,
+        });
+        f.block_mut(b0).push(Inst::Ret);
+        let mut ctx = ctx_with(f);
+        assert_eq!(run_peepholes(&mut ctx), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Pass 13: `reorder-functions` — applies HFSort (paper Table 1, pass 13)
+//! over the profile-derived call graph.
+
+use bolt_hfsort::{order_functions, Algorithm, CallGraph};
+use bolt_ir::BinaryContext;
+
+/// Builds the call graph from the context and returns the new emission
+/// order (indices into `ctx.functions`, folded functions excluded).
+pub fn run_reorder_functions(ctx: &BinaryContext, algo: Algorithm) -> Vec<usize> {
+    let live: Vec<usize> = (0..ctx.functions.len())
+        .filter(|&i| ctx.functions[i].folded_into.is_none())
+        .collect();
+    if algo == Algorithm::None {
+        return live;
+    }
+    let mut cg = CallGraph::new();
+    let mut node_of = vec![usize::MAX; ctx.functions.len()];
+    for &i in &live {
+        let f = &ctx.functions[i];
+        node_of[i] = cg.add_node(&f.name, f.size.max(1), f.exec_count);
+    }
+    for (&(caller, callee), &w) in &ctx.call_graph {
+        let c = crate::icf::resolve_fold(ctx, caller);
+        let t = crate::icf::resolve_fold(ctx, callee);
+        if node_of.get(c).copied().unwrap_or(usize::MAX) == usize::MAX
+            || node_of.get(t).copied().unwrap_or(usize::MAX) == usize::MAX
+        {
+            continue;
+        }
+        cg.add_edge(node_of[c], node_of[t], w);
+    }
+    let node_order = order_functions(&cg, algo);
+    node_order.into_iter().map(|n| live[n]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{BasicBlock, BinaryFunction};
+    use bolt_isa::Inst;
+
+    fn func(name: &str, addr: u64, exec: u64) -> BinaryFunction {
+        let mut f = BinaryFunction::new(name, addr);
+        f.size = 64;
+        f.exec_count = exec;
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).push(Inst::Ret);
+        f
+    }
+
+    #[test]
+    fn order_covers_all_live_functions() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(func("cold", 0x1000, 0));
+        ctx.add_function(func("main", 0x2000, 100));
+        ctx.add_function(func("hot", 0x3000, 5000));
+        ctx.call_graph.insert((1, 2), 5000);
+        let order = run_reorder_functions(&ctx, Algorithm::HfsortPlus);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_ne!(order[0], 0, "cold function does not lead");
+    }
+
+    #[test]
+    fn folded_functions_excluded() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(func("a", 0x1000, 10));
+        let mut b = func("b", 0x2000, 10);
+        b.folded_into = Some(0);
+        ctx.add_function(b);
+        let order = run_reorder_functions(&ctx, Algorithm::Hfsort);
+        assert_eq!(order, vec![0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Pass 6: `simplify-ro-loads` — loads from statically known read-only
+//! locations become immediate moves, trading D-cache pressure for I-cache
+//! bytes. BOLT's policy (paper section 4): abort if the new encoding is
+//! larger than the original load.
+
+use bolt_ir::BinaryContext;
+use bolt_isa::{encoded_len, Inst, Mem, Target};
+
+/// Runs the pass; returns the number of loads simplified.
+pub fn run_simplify_ro_loads(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    // Collect rewrites per function to satisfy the borrow checker (we read
+    // ctx.rodata while mutating functions).
+    for fi in 0..ctx.functions.len() {
+        if !ctx.functions[fi].is_simple {
+            continue;
+        }
+        let mut rewrites = Vec::new();
+        for &id in &ctx.functions[fi].layout {
+            for (k, inst) in ctx.functions[fi].block(id).insts.iter().enumerate() {
+                if let Inst::Load {
+                    dst,
+                    mem: Mem::RipRel {
+                        target: Target::Addr(a),
+                    },
+                } = inst.inst
+                {
+                    if let Some(value) = ctx.read_rodata_u64(a) {
+                        let new = Inst::MovRI {
+                            dst,
+                            imm: value as i64,
+                        };
+                        if encoded_len(&new) <= encoded_len(&inst.inst) {
+                            rewrites.push((id, k, new));
+                        }
+                    }
+                }
+            }
+        }
+        for (id, k, new) in rewrites {
+            ctx.functions[fi].block_mut(id).insts[k].inst = new;
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{BasicBlock, BinaryFunction};
+    use bolt_isa::Reg;
+
+    fn ctx_with_rodata(values: &[(u64, u64)]) -> BinaryContext {
+        let mut ctx = BinaryContext::new();
+        let base = 0x500000u64;
+        let max = values.iter().map(|(a, _)| *a).max().unwrap_or(base) + 8;
+        let mut data = vec![0u8; (max - base) as usize];
+        for (a, v) in values {
+            let off = (*a - base) as usize;
+            data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        ctx.rodata.push((base, data));
+        ctx
+    }
+
+    fn load_func(addr: u64, target: u64) -> BinaryFunction {
+        let mut f = BinaryFunction::new("f", addr);
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).push(Inst::Load {
+            dst: Reg::Rax,
+            mem: Mem::rip(Target::Addr(target)),
+        });
+        f.block_mut(b).push(Inst::Ret);
+        f
+    }
+
+    #[test]
+    fn small_constant_simplified() {
+        let mut ctx = ctx_with_rodata(&[(0x500000, 42)]);
+        ctx.add_function(load_func(0x1000, 0x500000));
+        assert_eq!(run_simplify_ro_loads(&mut ctx), 1);
+        assert_eq!(
+            ctx.functions[0].blocks[0].insts[0].inst,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 42
+            }
+        );
+    }
+
+    #[test]
+    fn large_constant_kept_as_load() {
+        // A 64-bit constant needs a 10-byte movabs > 7-byte load: abort.
+        let mut ctx = ctx_with_rodata(&[(0x500000, 0x1234_5678_9ABC_DEF0)]);
+        ctx.add_function(load_func(0x1000, 0x500000));
+        assert_eq!(run_simplify_ro_loads(&mut ctx), 0);
+        assert!(matches!(
+            ctx.functions[0].blocks[0].insts[0].inst,
+            Inst::Load { .. }
+        ));
+    }
+
+    #[test]
+    fn writable_data_never_simplified() {
+        // Address not covered by any rodata range.
+        let mut ctx = ctx_with_rodata(&[(0x500000, 42)]);
+        ctx.add_function(load_func(0x1000, 0x600000));
+        assert_eq!(run_simplify_ro_loads(&mut ctx), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Pass 14: simplify conditional tail calls.
+//!
+//! The pattern `jcc L; ... L: jmp func` (a conditional branch to a block
+//! containing only a tail call) becomes a direct *conditional tail call*
+//! `jcc func`, removing one taken jump from the hot path.
+
+use bolt_ir::{BinaryContext, BlockId};
+use bolt_isa::{Inst, Label, Target};
+
+/// Runs the pass; returns the number of conditional tail calls created.
+pub fn run_sctc(ctx: &mut BinaryContext) -> u64 {
+    let mut n = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        if func.folded_into.is_some() {
+            continue;
+        }
+        // Tail-call thunks: blocks with exactly one instruction
+        // `jmp Addr(..)` (an external target).
+        let mut thunk: Vec<Option<u64>> = vec![None; func.blocks.len()];
+        for &id in &func.layout {
+            let b = func.block(id);
+            if b.insts.len() == 1 && !b.is_landing_pad {
+                if let Inst::Jmp {
+                    target: Target::Addr(a),
+                    ..
+                } = b.insts[0].inst
+                {
+                    thunk[id.index()] = Some(a);
+                }
+            }
+        }
+        for pos in 0..func.layout.len() {
+            let id = func.layout[pos];
+            let Some(term) = func.block(id).terminator() else {
+                continue;
+            };
+            let Inst::Jcc {
+                target: Target::Label(l),
+                ..
+            } = term.inst
+            else {
+                continue;
+            };
+            let taken = BlockId(l.0);
+            let Some(ext) = thunk[taken.index()] else {
+                continue;
+            };
+            // Rewrite: jcc directly to the external function; drop the CFG
+            // edge to the thunk (control leaves the function when taken).
+            let block = func.block_mut(id);
+            if let Some(term) = block.terminator_mut() {
+                term.inst.set_target(Target::Addr(ext));
+            }
+            block.succs.retain(|e| e.block != taken);
+            n += 1;
+        }
+        if n > 0 {
+            func.rebuild_preds();
+        }
+    }
+    n
+}
+
+// Convenience for tests in other crates.
+pub fn is_cond_tail_call(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Jcc {
+            target: Target::Addr(_),
+            ..
+        }
+    )
+}
+
+// Silence the unused-import lint for Label (used in tests).
+const _: fn(u32) -> Label = Label;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{edges, BasicBlock, BinaryFunction};
+    use bolt_isa::{Cond, JumpWidth};
+
+    #[test]
+    fn conditional_tail_call_simplified() {
+        // b0: jcc(E) -> b1 (thunk), fall b2; b1: jmp 0x9000; b2: ret.
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Jcc {
+            cond: Cond::E,
+            target: Target::Label(Label(1)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = edges(&[(1, 10), (2, 90)]);
+        f.block_mut(b1).push(Inst::Jmp {
+            target: Target::Addr(0x9000),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_sctc(&mut ctx), 1);
+        let f = &ctx.functions[0];
+        let term = f.block(b0).terminator().unwrap().inst;
+        assert!(is_cond_tail_call(&term));
+        assert_eq!(term.target(), Some(Target::Addr(0x9000)));
+        // The edge to the thunk is gone; only the fall-through remains.
+        assert_eq!(f.block(b0).succs.len(), 1);
+        assert_eq!(f.block(b0).succs[0].block, b2);
+        f.validate().unwrap();
+        let _ = b1;
+    }
+
+    #[test]
+    fn intra_function_jumps_untouched() {
+        // The thunk jumps to a label (intra-function): not a tail call.
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Jcc {
+            cond: Cond::E,
+            target: Target::Label(Label(1)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = edges(&[(1, 10), (2, 90)]);
+        f.block_mut(b1).push(Inst::Jmp {
+            target: Target::Label(Label(2)),
+            width: JumpWidth::Near,
+        });
+        f.block_mut(b1).succs = edges(&[(2, 10)]);
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_sctc(&mut ctx), 0);
+    }
+}

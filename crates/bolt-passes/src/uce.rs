@@ -1,0 +1,94 @@
+//! Pass 11: unreachable-code elimination.
+
+use bolt_ir::BinaryContext;
+
+/// Removes blocks unreachable from the entry (following CFG edges,
+/// call→landing-pad links, and jump-table targets). Returns the number of
+/// blocks removed.
+pub fn run_uce(ctx: &mut BinaryContext) -> u64 {
+    let mut removed = 0;
+    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+        if func.layout.is_empty() {
+            continue;
+        }
+        let reach = func.reachable();
+        // Jump-table targets are reachable through their indirect jumps,
+        // whose CFG edges already exist; but keep targets listed in tables
+        // anyway as a belt-and-braces rule.
+        let mut keep = reach;
+        for jt in &func.jump_tables {
+            for t in &jt.targets {
+                keep[t.index()] = true;
+            }
+        }
+        let before = func.layout.len();
+        let entry = func.entry();
+        func.layout.retain(|b| *b == entry || keep[b.index()]);
+        let after = func.layout.len();
+        if before != after {
+            removed += (before - after) as u64;
+            // Adjust the cold split point if it pointed past removed
+            // blocks.
+            if let Some(cold) = func.cold_start {
+                func.cold_start = Some(cold.min(func.layout.len()));
+                if func.cold_start == Some(0) || func.cold_start == Some(func.layout.len()) {
+                    // Degenerate split: drop it (re-derived by layout).
+                    if func.cold_start == Some(0) {
+                        func.cold_start = None;
+                    }
+                }
+            }
+            func.rebuild_preds();
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{BasicBlock, BinaryFunction, BinaryInst, BlockId, SuccEdge};
+    use bolt_isa::{Inst, Reg, Target};
+
+    #[test]
+    fn unreachable_blocks_removed() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let dead = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Jmp {
+            target: Target::Label(bolt_isa::Label(2)),
+            width: bolt_isa::JumpWidth::Near,
+        });
+        f.block_mut(b0).succs = vec![SuccEdge::cold(b2)];
+        f.block_mut(dead).push(Inst::Push(Reg::Rax));
+        f.block_mut(dead).push(Inst::Ret);
+        f.block_mut(b2).push(Inst::Ret);
+        f.rebuild_preds();
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_uce(&mut ctx), 1);
+        assert_eq!(ctx.functions[0].layout, vec![b0, b2]);
+        ctx.functions[0].validate().unwrap();
+    }
+
+    #[test]
+    fn landing_pads_are_kept() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let lp = f.add_block(BasicBlock::new());
+        let mut call = BinaryInst::new(Inst::Call {
+            target: Target::Addr(0x9000),
+        });
+        call.landing_pad = Some(lp);
+        f.block_mut(b0).insts.push(call);
+        f.block_mut(b0).push(Inst::Ret);
+        f.block_mut(lp).push(Inst::Ud2);
+        f.block_mut(lp).is_landing_pad = true;
+        f.rebuild_preds();
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_uce(&mut ctx), 0, "landing pad is reachable via EH");
+        assert!(ctx.functions[0].layout.contains(&BlockId(1)));
+    }
+}

@@ -1,0 +1,487 @@
+//! Attaching an aggregated profile to the reconstructed CFGs, repairing
+//! flow-equation violations, and (in non-LBR mode) inferring edge counts
+//! from IP histograms (paper sections 5.2 and 5.3).
+
+use crate::{Profile, ProfileMode};
+use bolt_ir::{BinaryContext, BinaryFunction, BlockId};
+use bolt_isa::Inst;
+
+/// Attachment statistics (feeds the per-function `Profile Acc` of paper
+/// Figure 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AttachStats {
+    pub matched_branches: u64,
+    pub dropped_branches: u64,
+    pub call_edges: u64,
+    pub matched_fallthroughs: u64,
+}
+
+impl AttachStats {
+    /// Fraction of branch records that matched the CFG.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.matched_branches + self.dropped_branches;
+        if total == 0 {
+            1.0
+        } else {
+            self.matched_branches as f64 / total as f64
+        }
+    }
+}
+
+/// Per-function lookup from original addresses to blocks.
+struct BlockIndex {
+    /// Sorted (start_addr, block).
+    starts: Vec<(u64, BlockId)>,
+}
+
+impl BlockIndex {
+    fn build(func: &BinaryFunction) -> BlockIndex {
+        let mut starts: Vec<(u64, BlockId)> = func
+            .layout
+            .iter()
+            .filter(|&&id| !func.block(id).is_empty())
+            .map(|&id| (func.block(id).orig_addr, id))
+            .collect();
+        starts.sort_unstable();
+        BlockIndex { starts }
+    }
+
+    /// The block containing `addr` (by start address; blocks are
+    /// contiguous in the original binary).
+    fn block_at(&self, addr: u64) -> Option<BlockId> {
+        let i = self.starts.partition_point(|(s, _)| *s <= addr);
+        if i == 0 {
+            None
+        } else {
+            Some(self.starts[i - 1].1)
+        }
+    }
+
+    /// The block starting exactly at `addr`.
+    fn block_starting(&self, addr: u64) -> Option<BlockId> {
+        let i = self.starts.partition_point(|(s, _)| *s < addr);
+        self.starts
+            .get(i)
+            .filter(|(s, _)| *s == addr)
+            .map(|(_, b)| *b)
+    }
+
+    /// Block starts strictly inside `(from, to]`, in address order, with
+    /// the block that precedes each.
+    fn boundaries_in(&self, from: u64, to: u64) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        let i = self.starts.partition_point(|(s, _)| *s <= from);
+        for k in i..self.starts.len() {
+            let (s, b) = self.starts[k];
+            if s > to {
+                break;
+            }
+            if k > 0 {
+                out.push((self.starts[k - 1].1, b));
+            }
+        }
+        out
+    }
+}
+
+/// Attaches `profile` to `ctx` with the tuned non-LBR inference (see
+/// [`attach_profile_opts`]).
+pub fn attach_profile(ctx: &mut BinaryContext, profile: &Profile) -> AttachStats {
+    attach_profile_opts(ctx, profile, true)
+}
+
+/// Attaches `profile` to `ctx`: sets edge counts, block and function
+/// execution counts, the call graph, and the indirect-call target table.
+/// Finishes with flow repair ([`repair_flow`]) on every simple function.
+///
+/// `tuned_inference` selects between the naive and layout-trusting
+/// non-LBR edge inference (paper section 5.1); it has no effect in LBR
+/// mode.
+pub fn attach_profile_opts(
+    ctx: &mut BinaryContext,
+    profile: &Profile,
+    tuned_inference: bool,
+) -> AttachStats {
+    let mut stats = AttachStats::default();
+    let indexes: Vec<BlockIndex> = ctx.functions.iter().map(BlockIndex::build).collect();
+
+    // Branch records.
+    for rec in profile.sorted_branches() {
+        let Some(fi) = ctx.function_at(rec.from) else {
+            stats.dropped_branches += rec.count;
+            continue;
+        };
+        let from_block = indexes[fi].block_at(rec.from);
+
+        if let Some(ti) = ctx.function_at(rec.to) {
+            if ti == fi {
+                // Intra-function edge.
+                let (Some(fb), Some(tb)) = (from_block, indexes[fi].block_starting(rec.to))
+                else {
+                    stats.dropped_branches += rec.count;
+                    continue;
+                };
+                let func = &mut ctx.functions[fi];
+                if let Some(e) = func.block_mut(fb).succ_edge_mut(tb) {
+                    e.count += rec.count;
+                    e.mispreds += rec.mispreds;
+                    stats.matched_branches += rec.count;
+                } else {
+                    stats.dropped_branches += rec.count;
+                }
+                continue;
+            }
+            // Cross-function: call, tail call, or return.
+            let to_func = &ctx.functions[ti];
+            let is_entry = rec.to == to_func.address;
+            // Classify by the source instruction when we can find it.
+            let kind = from_block.and_then(|fb| {
+                ctx.functions[fi]
+                    .block(fb)
+                    .insts
+                    .iter()
+                    .find(|i| i.addr == rec.from)
+                    .map(|i| i.inst)
+            });
+            match kind {
+                Some(Inst::Ret) | Some(Inst::RepzRet) => {
+                    // Returns don't contribute call-graph weight.
+                    stats.matched_branches += rec.count;
+                }
+                Some(Inst::CallInd { .. }) => {
+                    if is_entry {
+                        *ctx.call_graph.entry((fi, ti)).or_insert(0) += rec.count;
+                        ctx.indirect_call_targets
+                            .entry(rec.from)
+                            .or_default()
+                            .push((ti, rec.count));
+                        ctx.functions[ti].exec_count += rec.count;
+                        stats.call_edges += 1;
+                        stats.matched_branches += rec.count;
+                    } else {
+                        stats.dropped_branches += rec.count;
+                    }
+                }
+                Some(Inst::Call { .. }) | Some(Inst::Jmp { .. }) | Some(Inst::Jcc { .. })
+                | Some(Inst::JmpInd { .. }) => {
+                    // Direct call or (conditional) tail call.
+                    if is_entry {
+                        *ctx.call_graph.entry((fi, ti)).or_insert(0) += rec.count;
+                        ctx.functions[ti].exec_count += rec.count;
+                        stats.call_edges += 1;
+                        stats.matched_branches += rec.count;
+                    } else {
+                        stats.dropped_branches += rec.count;
+                    }
+                }
+                _ => {
+                    stats.dropped_branches += rec.count;
+                }
+            }
+        } else {
+            stats.dropped_branches += rec.count;
+        }
+    }
+
+    // Fall-through records: credit every block boundary inside the range.
+    for rec in profile.sorted_fallthroughs() {
+        let Some(fi) = ctx.function_at(rec.from) else {
+            continue;
+        };
+        if ctx.function_at(rec.to) != Some(fi) {
+            continue;
+        }
+        let pairs = indexes[fi].boundaries_in(rec.from, rec.to);
+        let func = &mut ctx.functions[fi];
+        for (prev, next) in pairs {
+            if let Some(e) = func.block_mut(prev).succ_edge_mut(next) {
+                e.count += rec.count;
+                stats.matched_fallthroughs += rec.count;
+            }
+        }
+    }
+
+    // Non-LBR mode: block exec counts from the IP histogram.
+    if profile.mode == ProfileMode::IpSamples {
+        for (&ip, &count) in &profile.ip_samples {
+            if let Some(fi) = ctx.function_at(ip) {
+                if let Some(b) = indexes[fi].block_at(ip) {
+                    ctx.functions[fi].block_mut(b).exec_count += count;
+                }
+            }
+        }
+    }
+
+    // Finalize: per-function flow repair and accuracy.
+    let accuracy = stats.accuracy();
+    for fi in 0..ctx.functions.len() {
+        let func = &mut ctx.functions[fi];
+        if !func.is_simple {
+            continue;
+        }
+        if profile.mode == ProfileMode::IpSamples {
+            infer_edges_from_counts(func, tuned_inference);
+        }
+        repair_flow(func);
+        func.profile_accuracy = accuracy;
+    }
+    stats
+}
+
+/// Repairs flow-equation violations (paper section 5.2): LBRs only record
+/// taken branches, so surplus inflow is attributed to the fall-through
+/// path — trusting the static compiler's original layout.
+pub fn repair_flow(func: &mut BinaryFunction) {
+    func.rebuild_preds();
+    for _round in 0..2 {
+        for pos in 0..func.layout.len() {
+            let id = func.layout[pos];
+            // Inflow: edges from predecessors plus the function entry
+            // count for the entry block.
+            let mut inflow: u64 = func
+                .block(id)
+                .preds
+                .clone()
+                .iter()
+                .map(|p| {
+                    func.block(*p)
+                        .succ_edge(id)
+                        .map(|e| e.count)
+                        .unwrap_or(0)
+                })
+                .sum();
+            if id == func.entry() {
+                inflow += func.exec_count;
+            }
+            let outflow: u64 = func.block(id).outflow();
+            let exec = inflow.max(outflow).max(func.block(id).exec_count);
+            func.block_mut(id).exec_count = exec;
+            let surplus = exec.saturating_sub(outflow);
+            if surplus > 0 {
+                if let Some(ft) = func.block(id).fallthrough_succ() {
+                    if let Some(e) = func.block_mut(id).succ_edge_mut(ft) {
+                        e.count += surplus;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-LBR edge inference from block execution counts (paper section 5.1).
+///
+/// With `tuned = true`, fall-through edges are trusted first (the static
+/// layout bias that makes inference "stay under 1% worse than LBR"); with
+/// `tuned = false`, counts are split proportionally to successor counts —
+/// the naive inference that can cost ~5%.
+pub fn infer_edges_from_counts(func: &mut BinaryFunction, tuned: bool) {
+    for pos in 0..func.layout.len() {
+        let id = func.layout[pos];
+        let exec = func.block(id).exec_count;
+        let succs: Vec<BlockId> = func.block(id).succs.iter().map(|e| e.block).collect();
+        if succs.is_empty() {
+            continue;
+        }
+        let succ_counts: Vec<u64> = succs
+            .iter()
+            .map(|s| func.block(*s).exec_count.max(1))
+            .collect();
+        let total: u64 = succ_counts.iter().sum();
+        let ft = func.block(id).fallthrough_succ();
+        for (k, s) in succs.iter().enumerate() {
+            let assigned = if tuned {
+                if Some(*s) == ft {
+                    // Trust fall-through: give it everything not clearly
+                    // claimed by hotter siblings.
+                    let others: u64 = succ_counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| succs[*j] != *s)
+                        .map(|(j, _)| exec * succ_counts[j] / total / 2)
+                        .sum();
+                    exec.saturating_sub(others)
+                } else {
+                    exec * succ_counts[k] / total / 2
+                }
+            } else {
+                exec * succ_counts[k] / total
+            };
+            if let Some(e) = func.block_mut(id).succ_edge_mut(*s) {
+                e.count = assigned;
+            }
+        }
+    }
+}
+
+/// Builds call-graph weights without LBRs (paper section 5.3): every block
+/// containing a direct call contributes its sample count as the edge
+/// weight; indirect calls are invisible.
+pub fn infer_callgraph_from_samples(ctx: &mut BinaryContext) {
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+    for (fi, func) in ctx.functions.iter().enumerate() {
+        for &bb in &func.layout {
+            let block = func.block(bb);
+            if block.exec_count == 0 {
+                continue;
+            }
+            for inst in &block.insts {
+                if let Inst::Call { target } = inst.inst {
+                    if let Some(addr) = target.addr() {
+                        if let Some(ti) = ctx.function_at(addr) {
+                            if ctx.functions[ti].address == addr && ti != fi {
+                                edges.push((fi, ti, block.exec_count));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (fi, ti, w) in edges {
+        *ctx.call_graph.entry((fi, ti)).or_insert(0) += w;
+        ctx.functions[ti].exec_count += w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_ir::{BasicBlock, BinaryInst, SuccEdge};
+    use bolt_isa::{Cond, JumpWidth, Reg, Target};
+
+    /// Builds a function at 0x1000 with:
+    ///   b0 [0x1000..0x1008): cmp(4B) + jcc(4B)  -> taken b2, fall b1
+    ///   b1 [0x1008..0x1010): nop8               -> fall b2
+    ///   b2 [0x1010..0x1011): ret
+    fn sample_func() -> BinaryFunction {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        f.size = 0x11;
+        let b0 = f.add_block(BasicBlock::new());
+        let b1 = f.add_block(BasicBlock::new());
+        let b2 = f.add_block(BasicBlock::new());
+        {
+            let blk = f.block_mut(b0);
+            blk.orig_addr = 0x1000;
+            blk.insts.push(
+                BinaryInst::new(Inst::AluI {
+                    op: bolt_isa::AluOp::Cmp,
+                    dst: Reg::Rax,
+                    imm: 0,
+                })
+                .at(0x1000),
+            );
+            blk.insts.push(
+                BinaryInst::new(Inst::Jcc {
+                    cond: Cond::E,
+                    target: Target::Addr(0x1010),
+                    width: JumpWidth::Near,
+                })
+                .at(0x1004),
+            );
+            blk.succs = vec![SuccEdge::cold(b2), SuccEdge::cold(b1)];
+        }
+        {
+            let blk = f.block_mut(b1);
+            blk.orig_addr = 0x1008;
+            blk.insts
+                .push(BinaryInst::new(Inst::Nop { len: 8 }).at(0x1008));
+            blk.succs = vec![SuccEdge::cold(b2)];
+        }
+        {
+            let blk = f.block_mut(b2);
+            blk.orig_addr = 0x1010;
+            blk.insts.push(BinaryInst::new(Inst::Ret).at(0x1010));
+        }
+        f.rebuild_preds();
+        f
+    }
+
+    #[test]
+    fn branch_records_set_edge_counts() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(sample_func());
+        let mut p = Profile::new(ProfileMode::Lbr);
+        for _ in 0..70 {
+            p.add_branch(0x1004, 0x1010, false); // taken edge b0->b2
+        }
+        for _ in 0..30 {
+            p.add_fallthrough(0x1000, 0x1008); // ...covers boundary at 0x1008
+        }
+        let stats = attach_profile(&mut ctx, &p);
+        assert_eq!(stats.matched_branches, 70);
+        assert_eq!(stats.dropped_branches, 0);
+        let f = &ctx.functions[0];
+        assert_eq!(f.block(BlockId(0)).succ_edge(BlockId(2)).unwrap().count, 70);
+        // Fall-through b0->b1 got the 30 via the fall-through record.
+        assert!(f.block(BlockId(0)).succ_edge(BlockId(1)).unwrap().count >= 30);
+        assert!(stats.accuracy() > 0.99);
+    }
+
+    #[test]
+    fn stale_profile_drops_unmatched() {
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(sample_func());
+        let mut p = Profile::new(ProfileMode::Lbr);
+        p.add_branch(0x1004, 0x100C, false); // lands mid-block: no edge
+        let stats = attach_profile(&mut ctx, &p);
+        assert_eq!(stats.matched_branches, 0);
+        assert_eq!(stats.dropped_branches, 1);
+        assert!(stats.accuracy() < 0.01);
+    }
+
+    #[test]
+    fn flow_repair_fills_non_taken_path() {
+        let mut f = sample_func();
+        f.exec_count = 100;
+        // Only the taken edge is known (LBR saw 70 takes).
+        f.block_mut(BlockId(0)).succ_edge_mut(BlockId(2)).unwrap().count = 70;
+        repair_flow(&mut f);
+        // Surplus 30 must flow down the fall-through (paper section 5.2).
+        assert_eq!(
+            f.block(BlockId(0)).succ_edge(BlockId(1)).unwrap().count,
+            30
+        );
+        assert_eq!(f.block(BlockId(0)).exec_count, 100);
+        assert_eq!(f.block(BlockId(1)).exec_count, 30);
+        assert_eq!(f.block(BlockId(2)).exec_count, 100);
+    }
+
+    #[test]
+    fn call_edges_build_call_graph() {
+        let mut ctx = BinaryContext::new();
+        let mut caller = BinaryFunction::new("caller", 0x1000);
+        caller.size = 0x10;
+        let b = caller.add_block(BasicBlock::new());
+        caller.block_mut(b).orig_addr = 0x1000;
+        caller.block_mut(b).insts.push(
+            BinaryInst::new(Inst::Call {
+                target: Target::Addr(0x2000),
+            })
+            .at(0x1000),
+        );
+        caller
+            .block_mut(b)
+            .insts
+            .push(BinaryInst::new(Inst::Ret).at(0x1005));
+        ctx.add_function(caller);
+        let mut callee = BinaryFunction::new("callee", 0x2000);
+        callee.size = 0x10;
+        let b = callee.add_block(BasicBlock::new());
+        callee.block_mut(b).orig_addr = 0x2000;
+        callee
+            .block_mut(b)
+            .insts
+            .push(BinaryInst::new(Inst::Ret).at(0x2000));
+        ctx.add_function(callee);
+
+        let mut p = Profile::new(ProfileMode::Lbr);
+        for _ in 0..5 {
+            p.add_branch(0x1000, 0x2000, false); // call
+            p.add_branch(0x2000, 0x1005, false); // return
+        }
+        let stats = attach_profile(&mut ctx, &p);
+        assert_eq!(ctx.call_graph[&(0, 1)], 5);
+        assert_eq!(ctx.functions[1].exec_count, 5);
+        assert_eq!(stats.call_edges, 1);
+    }
+}

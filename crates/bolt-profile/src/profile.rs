@@ -1,0 +1,282 @@
+//! The aggregated binary profile (the `perf2bolt` output, BOLT's `.fdata`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How the profile was collected (paper section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// Last-branch-record sampling: precise taken-branch edges plus
+    /// fall-through ranges between consecutive records.
+    #[default]
+    Lbr,
+    /// Plain instruction-pointer samples; edges must be inferred.
+    IpSamples,
+}
+
+/// An aggregated taken-branch record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchRecord {
+    pub from: u64,
+    pub to: u64,
+    pub count: u64,
+    pub mispreds: u64,
+}
+
+/// A fall-through range `[from, to]` executed sequentially `count` times
+/// (between two consecutive LBR entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallthroughRecord {
+    pub from: u64,
+    pub to: u64,
+    pub count: u64,
+}
+
+/// The aggregated profile handed to BOLT.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    pub mode: ProfileMode,
+    /// Aggregated taken branches, keyed by (from, to).
+    pub branches: HashMap<(u64, u64), (u64, u64)>,
+    /// Aggregated fall-through ranges.
+    pub fallthroughs: HashMap<(u64, u64), u64>,
+    /// Instruction-pointer sample histogram.
+    pub ip_samples: HashMap<u64, u64>,
+    /// Number of hardware samples taken.
+    pub num_samples: u64,
+}
+
+impl Profile {
+    pub fn new(mode: ProfileMode) -> Profile {
+        Profile {
+            mode,
+            ..Profile::default()
+        }
+    }
+
+    /// Records a taken branch occurrence.
+    pub fn add_branch(&mut self, from: u64, to: u64, mispred: bool) {
+        let e = self.branches.entry((from, to)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += u64::from(mispred);
+    }
+
+    /// Records a fall-through range.
+    pub fn add_fallthrough(&mut self, from: u64, to: u64) {
+        *self.fallthroughs.entry((from, to)).or_insert(0) += 1;
+    }
+
+    /// Records an IP sample.
+    pub fn add_ip(&mut self, ip: u64) {
+        *self.ip_samples.entry(ip).or_insert(0) += 1;
+    }
+
+    /// Total taken-branch traversals recorded.
+    pub fn total_branch_count(&self) -> u64 {
+        self.branches.values().map(|(c, _)| c).sum()
+    }
+
+    /// Branch records sorted for deterministic iteration.
+    pub fn sorted_branches(&self) -> Vec<BranchRecord> {
+        let mut v: Vec<BranchRecord> = self
+            .branches
+            .iter()
+            .map(|(&(from, to), &(count, mispreds))| BranchRecord {
+                from,
+                to,
+                count,
+                mispreds,
+            })
+            .collect();
+        v.sort_unstable_by_key(|b| (b.from, b.to));
+        v
+    }
+
+    /// Fall-through records sorted for deterministic iteration.
+    pub fn sorted_fallthroughs(&self) -> Vec<FallthroughRecord> {
+        let mut v: Vec<FallthroughRecord> = self
+            .fallthroughs
+            .iter()
+            .map(|(&(from, to), &count)| FallthroughRecord { from, to, count })
+            .collect();
+        v.sort_unstable_by_key(|f| (f.from, f.to));
+        v
+    }
+
+    /// Serializes in the (simplified, address-based) `.fdata` text format:
+    ///
+    /// ```text
+    /// M <mode> <num_samples>
+    /// B <from-hex> <to-hex> <count> <mispreds>
+    /// F <from-hex> <to-hex> <count>
+    /// S <ip-hex> <count>
+    /// ```
+    pub fn to_fdata(&self) -> String {
+        let mut out = String::new();
+        let mode = match self.mode {
+            ProfileMode::Lbr => "lbr",
+            ProfileMode::IpSamples => "ip",
+        };
+        out.push_str(&format!("M {mode} {}\n", self.num_samples));
+        for b in self.sorted_branches() {
+            out.push_str(&format!(
+                "B {:x} {:x} {} {}\n",
+                b.from, b.to, b.count, b.mispreds
+            ));
+        }
+        for f in self.sorted_fallthroughs() {
+            out.push_str(&format!("F {:x} {:x} {}\n", f.from, f.to, f.count));
+        }
+        let mut ips: Vec<(u64, u64)> = self.ip_samples.iter().map(|(&a, &c)| (a, c)).collect();
+        ips.sort_unstable();
+        for (ip, count) in ips {
+            out.push_str(&format!("S {ip:x} {count}\n"));
+        }
+        out
+    }
+
+    /// Parses the `.fdata` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_fdata(text: &str) -> Result<Profile, FdataError> {
+        let mut p = Profile::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_ascii_whitespace();
+            let tag = it.next().unwrap_or("");
+            let mut hex = |what: &'static str| -> Result<u64, FdataError> {
+                let tok = it.next().ok_or(FdataError {
+                    line: lineno + 1,
+                    what,
+                })?;
+                u64::from_str_radix(tok, 16).map_err(|_| FdataError {
+                    line: lineno + 1,
+                    what,
+                })
+            };
+            match tag {
+                "M" => {
+                    let mode = it.next().ok_or(FdataError {
+                        line: lineno + 1,
+                        what: "mode",
+                    })?;
+                    p.mode = match mode {
+                        "lbr" => ProfileMode::Lbr,
+                        "ip" => ProfileMode::IpSamples,
+                        _ => {
+                            return Err(FdataError {
+                                line: lineno + 1,
+                                what: "mode",
+                            })
+                        }
+                    };
+                    p.num_samples = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(FdataError {
+                            line: lineno + 1,
+                            what: "num_samples",
+                        })?;
+                }
+                "B" => {
+                    let from = hex("from")?;
+                    let to = hex("to")?;
+                    let count: u64 = it.next().and_then(|t| t.parse().ok()).ok_or(FdataError {
+                        line: lineno + 1,
+                        what: "count",
+                    })?;
+                    let mispreds: u64 =
+                        it.next().and_then(|t| t.parse().ok()).ok_or(FdataError {
+                            line: lineno + 1,
+                            what: "mispreds",
+                        })?;
+                    p.branches.insert((from, to), (count, mispreds));
+                }
+                "F" => {
+                    let from = hex("from")?;
+                    let to = hex("to")?;
+                    let count: u64 = it.next().and_then(|t| t.parse().ok()).ok_or(FdataError {
+                        line: lineno + 1,
+                        what: "count",
+                    })?;
+                    p.fallthroughs.insert((from, to), count);
+                }
+                "S" => {
+                    let ip = hex("ip")?;
+                    let count: u64 = it.next().and_then(|t| t.parse().ok()).ok_or(FdataError {
+                        line: lineno + 1,
+                        what: "count",
+                    })?;
+                    p.ip_samples.insert(ip, count);
+                }
+                _ => {
+                    return Err(FdataError {
+                        line: lineno + 1,
+                        what: "record tag",
+                    })
+                }
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// A malformed `.fdata` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdataError {
+    pub line: usize,
+    pub what: &'static str,
+}
+
+impl fmt::Display for FdataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fdata line {}: bad {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for FdataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdata_round_trip() {
+        let mut p = Profile::new(ProfileMode::Lbr);
+        p.num_samples = 42;
+        p.add_branch(0x400010, 0x400100, true);
+        p.add_branch(0x400010, 0x400100, false);
+        p.add_fallthrough(0x400100, 0x400120);
+        p.add_ip(0x400105);
+        p.add_ip(0x400105);
+        let text = p.to_fdata();
+        let back = Profile::from_fdata(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.branches[&(0x400010, 0x400100)], (2, 1));
+        assert_eq!(back.ip_samples[&0x400105], 2);
+    }
+
+    #[test]
+    fn fdata_rejects_garbage() {
+        assert!(Profile::from_fdata("Z 1 2 3").is_err());
+        assert!(Profile::from_fdata("B xyz 10 1 0").is_err());
+        assert!(Profile::from_fdata("B 10 20 1").is_err(), "missing mispreds");
+        // Comments and blanks are fine.
+        assert!(Profile::from_fdata("# hi\n\nM lbr 3\n").is_ok());
+    }
+
+    #[test]
+    fn totals() {
+        let mut p = Profile::new(ProfileMode::Lbr);
+        p.add_branch(1, 2, false);
+        p.add_branch(1, 2, false);
+        p.add_branch(3, 4, true);
+        assert_eq!(p.total_branch_count(), 3);
+        assert_eq!(p.sorted_branches().len(), 2);
+    }
+}

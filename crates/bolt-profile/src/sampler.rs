@@ -1,0 +1,294 @@
+//! Hardware-profiling simulation: LBR sampling and plain IP sampling
+//! (paper section 5.1).
+
+use crate::{Profile, ProfileMode};
+use bolt_emu::{BranchEvent, TraceSink};
+use bolt_sim::BranchPredictor;
+
+/// Which hardware event triggers a sample (paper section 5.1 compares
+/// retired instructions, taken branches, and cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleTrigger {
+    /// Every `period` retired instructions.
+    Instructions,
+    /// Every `period` taken branches.
+    TakenBranches,
+    /// Pseudo-cycles: instructions weighted by a coarse cost estimate —
+    /// branches count triple (a proxy for the skew a cycles event has).
+    PseudoCycles,
+}
+
+/// The depth of Intel's last-branch-record stack.
+pub const LBR_DEPTH: usize = 32;
+
+/// An LBR-based profiler: keeps a ring of the last [`LBR_DEPTH`] *taken*
+/// branches; each sample flushes the ring into the aggregated profile,
+/// adding fall-through ranges between consecutive records. A shadow
+/// predictor marks records as mispredicted, like the LBR `MISP` bit.
+#[derive(Debug)]
+pub struct LbrSampler {
+    ring: [(u64, u64, bool); LBR_DEPTH],
+    filled: usize,
+    head: usize,
+    period: u64,
+    trigger: SampleTrigger,
+    countdown: u64,
+    /// Instruction skid applied to the sample point (PEBS precision: 0 for
+    /// precise, larger values for skiddy events).
+    pub skid: u64,
+    skid_left: u64,
+    pending: bool,
+    shadow: BranchPredictor,
+    last_ip: u64,
+    pub profile: Profile,
+}
+
+impl LbrSampler {
+    pub fn new(period: u64, trigger: SampleTrigger) -> LbrSampler {
+        LbrSampler {
+            ring: [(0, 0, false); LBR_DEPTH],
+            filled: 0,
+            head: 0,
+            period: period.max(1),
+            trigger,
+            countdown: period.max(1),
+            skid: 0,
+            skid_left: 0,
+            pending: false,
+            shadow: BranchPredictor::default(),
+            last_ip: 0,
+            profile: Profile::new(ProfileMode::Lbr),
+        }
+    }
+
+    fn take_sample(&mut self) {
+        self.profile.num_samples += 1;
+        // Flush the ring oldest-to-newest.
+        let n = self.filled;
+        for k in 0..n {
+            let idx = (self.head + LBR_DEPTH - n + k) % LBR_DEPTH;
+            let (from, to, mispred) = self.ring[idx];
+            self.profile.add_branch(from, to, mispred);
+            // Fall-through between this record's target and the next
+            // record's source.
+            if k + 1 < n {
+                let next_idx = (self.head + LBR_DEPTH - n + k + 1) % LBR_DEPTH;
+                let (next_from, _, _) = self.ring[next_idx];
+                if next_from >= to {
+                    self.profile.add_fallthrough(to, next_from);
+                }
+            }
+        }
+        // Also record the interrupted IP (perf reports it alongside LBR).
+        self.profile.add_ip(self.last_ip);
+    }
+
+    fn arm(&mut self) {
+        if self.skid == 0 {
+            self.take_sample();
+        } else {
+            self.pending = true;
+            self.skid_left = self.skid;
+        }
+    }
+}
+
+impl TraceSink for LbrSampler {
+    #[inline]
+    fn on_inst(&mut self, addr: u64, _len: u8) {
+        self.last_ip = addr;
+        if self.pending {
+            if self.skid_left == 0 {
+                self.pending = false;
+                self.take_sample();
+            } else {
+                self.skid_left -= 1;
+            }
+        }
+        if self.trigger == SampleTrigger::Instructions {
+            self.countdown -= 1;
+            if self.countdown == 0 {
+                self.countdown = self.period;
+                self.arm();
+            }
+        } else if self.trigger == SampleTrigger::PseudoCycles {
+            self.countdown = self.countdown.saturating_sub(1);
+            if self.countdown == 0 {
+                self.countdown = self.period;
+                self.arm();
+            }
+        }
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        let mispred = self.shadow.observe(ev).mispredicted;
+        if !ev.taken {
+            return; // LBRs record taken branches only (paper section 5.2).
+        }
+        self.ring[self.head] = (ev.from, ev.to, mispred);
+        self.head = (self.head + 1) % LBR_DEPTH;
+        self.filled = (self.filled + 1).min(LBR_DEPTH);
+        match self.trigger {
+            SampleTrigger::TakenBranches => {
+                self.countdown -= 1;
+                if self.countdown == 0 {
+                    self.countdown = self.period;
+                    self.arm();
+                }
+            }
+            SampleTrigger::PseudoCycles => {
+                // Branches are more expensive in the pseudo-cycle count.
+                self.countdown = self.countdown.saturating_sub(2);
+            }
+            SampleTrigger::Instructions => {}
+        }
+    }
+}
+
+/// A plain IP sampler (non-LBR mode, paper section 5.1): a histogram of
+/// sampled instruction pointers, with optional skid.
+#[derive(Debug)]
+pub struct IpSampler {
+    period: u64,
+    countdown: u64,
+    pub skid: u64,
+    skid_left: u64,
+    pending: bool,
+    pub profile: Profile,
+}
+
+impl IpSampler {
+    pub fn new(period: u64) -> IpSampler {
+        IpSampler {
+            period: period.max(1),
+            countdown: period.max(1),
+            skid: 0,
+            skid_left: 0,
+            pending: false,
+            profile: Profile::new(ProfileMode::IpSamples),
+        }
+    }
+}
+
+impl TraceSink for IpSampler {
+    #[inline]
+    fn on_inst(&mut self, addr: u64, _len: u8) {
+        if self.pending {
+            if self.skid_left == 0 {
+                self.pending = false;
+                self.profile.add_ip(addr);
+                self.profile.num_samples += 1;
+            } else {
+                self.skid_left -= 1;
+            }
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            if self.skid == 0 {
+                self.profile.add_ip(addr);
+                self.profile.num_samples += 1;
+            } else {
+                self.pending = true;
+                self.skid_left = self.skid;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_emu::BranchKind;
+
+    fn taken(from: u64, to: u64) -> BranchEvent {
+        BranchEvent {
+            from,
+            to,
+            taken: true,
+            kind: BranchKind::Uncond,
+        }
+    }
+
+    #[test]
+    fn lbr_records_last_32_taken_branches() {
+        let mut s = LbrSampler::new(1_000_000, SampleTrigger::Instructions);
+        // 40 distinct branches; only the last 32 are in the ring.
+        for i in 0..40u64 {
+            s.on_branch(taken(0x1000 + i * 16, 0x9000 + i * 16));
+        }
+        s.take_sample();
+        assert_eq!(s.profile.branches.len(), 32);
+        assert!(
+            !s.profile.branches.contains_key(&(0x1000, 0x9000)),
+            "oldest records were overwritten"
+        );
+        assert!(s
+            .profile
+            .branches
+            .contains_key(&(0x1000 + 39 * 16, 0x9000 + 39 * 16)));
+    }
+
+    #[test]
+    fn lbr_infers_fallthroughs_between_records() {
+        let mut s = LbrSampler::new(1_000_000, SampleTrigger::Instructions);
+        // Branch lands at 0x2000; next branch leaves from 0x2010:
+        // the range [0x2000, 0x2010] executed sequentially.
+        s.on_branch(taken(0x1000, 0x2000));
+        s.on_branch(taken(0x2010, 0x3000));
+        s.take_sample();
+        assert_eq!(s.profile.fallthroughs.get(&(0x2000, 0x2010)), Some(&1));
+    }
+
+    #[test]
+    fn lbr_ignores_not_taken() {
+        let mut s = LbrSampler::new(1_000_000, SampleTrigger::Instructions);
+        s.on_branch(BranchEvent {
+            from: 0x1000,
+            to: 0x1002,
+            taken: false,
+            kind: BranchKind::Cond,
+        });
+        s.take_sample();
+        assert!(s.profile.branches.is_empty(), "not-taken is invisible to LBR");
+    }
+
+    #[test]
+    fn instruction_trigger_periodicity() {
+        let mut s = LbrSampler::new(100, SampleTrigger::Instructions);
+        s.on_branch(taken(0x1000, 0x2000));
+        for i in 0..1000u64 {
+            s.on_inst(0x2000 + i, 1);
+        }
+        assert_eq!(s.profile.num_samples, 10);
+    }
+
+    #[test]
+    fn ip_sampler_histogram_and_skid() {
+        let mut s = IpSampler::new(10);
+        for _ in 0..10 {
+            for i in 0..10u64 {
+                s.on_inst(0x4000 + i, 1);
+            }
+        }
+        assert_eq!(s.profile.num_samples, 10);
+        // Period 10 over a 10-instruction loop: always the same IP.
+        assert_eq!(s.profile.ip_samples.len(), 1);
+
+        let mut skiddy = IpSampler::new(10);
+        skiddy.skid = 3;
+        for _ in 0..10 {
+            for i in 0..10u64 {
+                skiddy.on_inst(0x4000 + i, 1);
+            }
+        }
+        let skid_ip = *skiddy.profile.ip_samples.keys().next().unwrap();
+        let precise_ip = *s.profile.ip_samples.keys().next().unwrap();
+        assert_eq!(
+            skid_ip,
+            0x4000 + ((precise_ip - 0x4000) + 3 + 1) % 10,
+            "skid shifts attribution"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # bolt-sim — microarchitectural front-end model
+//!
+//! The reproduction's substitute for hardware performance counters: a
+//! cache/TLB hierarchy, a gshare + BTB + RAS branch predictor, and an
+//! additive cycle cost model, all fed by the emulator's [`bolt_emu::TraceSink`]
+//! event stream. Also provides the instruction-address heat maps of paper
+//! Figure 9.
+//!
+//! The model's purpose is *ordering fidelity*, not absolute accuracy: code
+//! layouts with better I-cache/iTLB locality and fewer taken branches must
+//! score measurably better, which is the property the paper's evaluation
+//! (Figures 5–9, 11) rests on.
+
+mod branch;
+mod cache;
+mod config;
+mod heatmap;
+mod perf;
+
+pub use branch::{BranchOutcome, BranchPredictor};
+pub use cache::Cache;
+pub use config::SimConfig;
+pub use heatmap::{HeatMap, HEATMAP_DIM};
+pub use perf::{Counters, CpuModel};

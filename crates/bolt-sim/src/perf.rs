@@ -1,0 +1,223 @@
+//! The CPU front-end performance model: the reproduction's substitute for
+//! hardware performance counters (paper section 6 measures branch misses,
+//! I-cache/D-cache misses, I-TLB/D-TLB misses, LLC misses, and CPU time).
+
+use crate::{BranchPredictor, Cache, SimConfig};
+use bolt_emu::{BranchEvent, TraceSink};
+
+/// Counter snapshot reported by the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    pub instructions: u64,
+    pub cycles: f64,
+    pub cond_branches: u64,
+    pub branch_mispredicts: u64,
+    pub l1i_accesses: u64,
+    pub l1i_misses: u64,
+    pub l1d_accesses: u64,
+    pub l1d_misses: u64,
+    pub l2_misses: u64,
+    pub llc_misses: u64,
+    pub itlb_misses: u64,
+    pub dtlb_misses: u64,
+}
+
+impl Counters {
+    /// Percentage reduction of a metric from `self` (baseline) to `other`.
+    pub fn reduction(base: u64, new: u64) -> f64 {
+        if base == 0 {
+            0.0
+        } else {
+            100.0 * (base as f64 - new as f64) / base as f64
+        }
+    }
+
+    /// Speedup of `new` over `self` in percent (by cycle count).
+    pub fn speedup_over(&self, new: &Counters) -> f64 {
+        if new.cycles == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.cycles - new.cycles) / new.cycles
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+}
+
+/// The microarchitectural model. Implements [`TraceSink`] so it can be
+/// attached directly to the emulator.
+///
+/// The hierarchy is L1I + L1D → unified L2 → LLC → memory, with separate
+/// I/D TLBs and a gshare + BTB + RAS branch predictor. The cycle cost model
+/// is additive: a base CPI plus fixed penalties per miss event — crude, but
+/// it preserves the *ordering* the paper's evaluation depends on (front-end
+/// bound binaries are dominated by I-cache/iTLB misses and branch
+/// mispredictions).
+#[derive(Debug)]
+pub struct CpuModel {
+    pub cfg: SimConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    itlb: Cache,
+    dtlb: Cache,
+    pub predictor: BranchPredictor,
+    instructions: u64,
+    extra_cycles: f64,
+}
+
+impl CpuModel {
+    pub fn new(cfg: SimConfig) -> CpuModel {
+        CpuModel {
+            l1i: Cache::new(cfg.l1i_bytes, cfg.l1i_ways, cfg.line_bytes),
+            l1d: Cache::new(cfg.l1d_bytes, cfg.l1d_ways, cfg.line_bytes),
+            l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
+            llc: Cache::new(cfg.llc_bytes, cfg.llc_ways, cfg.line_bytes),
+            itlb: Cache::new(cfg.itlb_entries * cfg.page_bytes, cfg.itlb_ways, cfg.page_bytes),
+            dtlb: Cache::new(cfg.dtlb_entries * cfg.page_bytes, cfg.dtlb_ways, cfg.page_bytes),
+            predictor: BranchPredictor::new(cfg.predictor_history_bits, cfg.btb_entries),
+            instructions: 0,
+            extra_cycles: 0.0,
+            cfg,
+        }
+    }
+
+    fn miss_path(&mut self, addr: u64, from_l1i: bool) -> f64 {
+        // L1 missed; walk L2 -> LLC -> memory.
+        let _ = from_l1i;
+        if self.l2.access(addr) {
+            self.cfg.l2_latency
+        } else if self.llc.access(addr) {
+            self.cfg.l2_latency + self.cfg.llc_latency
+        } else {
+            self.cfg.l2_latency + self.cfg.llc_latency + self.cfg.mem_latency
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn counters(&self) -> Counters {
+        Counters {
+            instructions: self.instructions,
+            cycles: self.instructions as f64 * self.cfg.base_cpi + self.extra_cycles,
+            cond_branches: self.predictor.cond_branches,
+            branch_mispredicts: self.predictor.total_steering_misses(),
+            l1i_accesses: self.l1i.accesses,
+            l1i_misses: self.l1i.misses,
+            l1d_accesses: self.l1d.accesses,
+            l1d_misses: self.l1d.misses,
+            l2_misses: self.l2.misses,
+            llc_misses: self.llc.misses,
+            itlb_misses: self.itlb.misses,
+            dtlb_misses: self.dtlb.misses,
+        }
+    }
+}
+
+impl TraceSink for CpuModel {
+    #[inline]
+    fn on_inst(&mut self, addr: u64, len: u8) {
+        self.instructions += 1;
+        if !self.itlb.access(addr) {
+            self.extra_cycles += self.cfg.tlb_miss_latency;
+        }
+        if !self.l1i.access(addr) {
+            self.extra_cycles += self.miss_path(addr, true);
+        }
+        // A fetch crossing a line boundary touches the next line too.
+        let end = addr + len as u64 - 1;
+        if end >> self.cfg.line_bytes.trailing_zeros() != addr >> self.cfg.line_bytes.trailing_zeros()
+        {
+            if !self.l1i.access(end) {
+                self.extra_cycles += self.miss_path(end, true);
+            }
+        }
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        let outcome = self.predictor.observe(ev);
+        if outcome.mispredicted {
+            self.extra_cycles += self.cfg.branch_miss_latency;
+        } else if outcome.btb_fetch_miss {
+            self.extra_cycles += self.cfg.btb_miss_latency;
+        }
+    }
+
+    #[inline]
+    fn on_mem(&mut self, addr: u64, _len: u8, _write: bool) {
+        if !self.dtlb.access(addr) {
+            self.extra_cycles += self.cfg.tlb_miss_latency;
+        }
+        if !self.l1d.access(addr) {
+            self.extra_cycles += self.miss_path(addr, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_emu::BranchKind;
+
+    #[test]
+    fn tight_loop_is_fast_scattered_code_is_slow() {
+        let cfg = SimConfig::small();
+        // Tight loop: 1000 insts in 64 bytes.
+        let mut hot = CpuModel::new(cfg.clone());
+        for i in 0..1000u64 {
+            hot.on_inst(0x400000 + (i % 16) * 4, 4);
+        }
+        // Scattered: 1000 insts spread over 4MB.
+        let mut cold = CpuModel::new(cfg);
+        for i in 0..1000u64 {
+            cold.on_inst(0x400000 + (i * 4099) % (4 << 20), 4);
+        }
+        let h = hot.counters();
+        let c = cold.counters();
+        assert!(h.cycles < c.cycles, "locality must be rewarded");
+        assert!(h.l1i_misses < c.l1i_misses);
+        assert!(h.itlb_misses < c.itlb_misses);
+        assert!(c.llc_misses > 0, "scattered code spills past LLC");
+    }
+
+    #[test]
+    fn branch_penalty_counted() {
+        let cfg = SimConfig::small();
+        let mut m = CpuModel::new(cfg);
+        let base = m.counters().cycles;
+        for i in 0..64u64 {
+            m.on_branch(BranchEvent {
+                from: 0x400000,
+                to: 0x400100,
+                taken: i % 2 == 0, // alternation takes time to learn
+                kind: BranchKind::Cond,
+            });
+        }
+        let c = m.counters();
+        assert!(c.branch_mispredicts > 0);
+        assert!(c.cycles > base);
+    }
+
+    #[test]
+    fn counters_reduction_math() {
+        assert!((Counters::reduction(100, 80) - 20.0).abs() < 1e-9);
+        assert_eq!(Counters::reduction(0, 5), 0.0);
+        let a = Counters {
+            cycles: 120.0,
+            ..Counters::default()
+        };
+        let b = Counters {
+            cycles: 100.0,
+            ..Counters::default()
+        };
+        assert!((a.speedup_over(&b) - 20.0).abs() < 1e-9);
+    }
+}

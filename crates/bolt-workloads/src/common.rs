@@ -1,0 +1,162 @@
+//! Shared building blocks for the synthetic workload generators.
+
+use bolt_compiler::{
+    BinOp, CmpOp, FunctionBuilder, LocalId, MirBlockId, Operand, Rvalue, ShiftKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload scale: `Test` keeps emulated runs in the low millions of
+/// instructions (fast `cargo test`), `Bench` produces the larger binaries
+/// and longer traces the experiments use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Test,
+    Bench,
+}
+
+impl Scale {
+    /// Multiplies a function-count knob.
+    pub fn funcs(self, test: usize, bench: usize) -> usize {
+        match self {
+            Scale::Test => test,
+            Scale::Bench => bench,
+        }
+    }
+
+    /// Multiplies an iteration-count knob.
+    pub fn iters(self, test: i64, bench: i64) -> i64 {
+        match self {
+            Scale::Test => test,
+            Scale::Bench => bench,
+        }
+    }
+}
+
+/// A deterministic RNG for generator decisions.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Appends an LCG step: `x = x * A + C` (keeps values well mixed without
+/// division).
+pub fn lcg_step(f: &mut FunctionBuilder, x: LocalId) -> LocalId {
+    let m = f.assign(Rvalue::BinOp(
+        BinOp::Mul,
+        Operand::Local(x),
+        Operand::Const(6364136223846793005),
+    ));
+    f.assign(Rvalue::BinOp(
+        BinOp::Add,
+        Operand::Local(m),
+        Operand::Const(1442695040888963407),
+    ))
+}
+
+/// Appends a xorshift mix of `x` and returns the mixed local.
+pub fn xorshift_mix(f: &mut FunctionBuilder, x: LocalId) -> LocalId {
+    let s1 = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(x), 33));
+    let x1 = f.assign(Rvalue::BinOp(BinOp::Xor, Operand::Local(x), Operand::Local(s1)));
+    let s2 = f.assign(Rvalue::Shift(ShiftKind::Shl, Operand::Local(x1), 13));
+    f.assign(Rvalue::BinOp(BinOp::Xor, Operand::Local(x1), Operand::Local(s2)))
+}
+
+/// Appends a *cold guard* in the pessimal source order: the cold arm comes
+/// first (so the baseline compiler lays it on the fall-through path) and
+/// the hot arm second. Control continues in the returned hot block; the
+/// cold block emits a sentinel and returns `sentinel`.
+///
+/// `cond_local` must hold 0 on the hot path (guard not triggered).
+pub fn cold_guard(f: &mut FunctionBuilder, cond_local: LocalId, sentinel: i64) -> MirBlockId {
+    let (cold, hot) = f.branch(Operand::Local(cond_local));
+    f.switch_to(cold);
+    f.emit(Operand::Const(sentinel));
+    f.ret(Operand::Const(sentinel));
+    f.switch_to(hot);
+    hot
+}
+
+/// Generates a "never triggers" guard condition: `x < i64::MIN/2`.
+pub fn impossible_guard(f: &mut FunctionBuilder, x: LocalId) -> LocalId {
+    f.assign_cmp(CmpOp::Lt, Operand::Local(x), Operand::Const(i64::MIN / 2))
+}
+
+/// Builds a cold utility function that is never called at run time but
+/// occupies address space between hot functions (the layout pollution
+/// HFSort cleans up). Body size varies with `bulk`; constants are salted
+/// with the function name so distinct utilities do not accidentally fold
+/// under ICF (real cold code is near-duplicate, not identical).
+pub fn cold_utility(name: &str, module: u32, file: &str, bulk: usize) -> bolt_compiler::MirFunction {
+    let salt: i64 = name
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        }) as i64;
+    let mut f = FunctionBuilder::new(name, module, file, 1);
+    let mut x = 0;
+    for k in 0..bulk.max(1) {
+        let rot = f.assign(Rvalue::Shift(
+            ShiftKind::Shl,
+            Operand::Local(if k == 0 { 0 } else { x }),
+            (k % 13 + 1) as u8,
+        ));
+        x = f.assign(Rvalue::BinOp(
+            BinOp::Xor,
+            Operand::Local(rot),
+            Operand::Const((k as i64).wrapping_mul(2654435761).wrapping_add(salt)),
+        ));
+    }
+    f.ret(Operand::Local(x));
+    f.finish()
+}
+
+/// Generates skewed "bytecode"/input data: values in `0..n_symbols` where
+/// a handful of symbols dominate (hot handlers), the tail is cold.
+pub fn skewed_symbols(r: &mut StdRng, len: usize, n_symbols: usize) -> Vec<i64> {
+    (0..len)
+        .map(|_| {
+            // ~80% of the stream from the first quarter of symbols.
+            if r.gen_range(0..10) < 8 {
+                r.gen_range(0..(n_symbols / 4).max(1)) as i64
+            } else {
+                r.gen_range(0..n_symbols) as i64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_compiler::{Interp, MirProgram};
+
+    #[test]
+    fn cold_guard_shape() {
+        let mut p = MirProgram::with_entry("f");
+        let mut f = FunctionBuilder::new("f", 0, "f.c", 1);
+        let g = impossible_guard(&mut f, 0);
+        cold_guard(&mut f, g, -99);
+        f.ret(Operand::Const(7));
+        p.add_function(f.finish());
+        p.validate().unwrap();
+        let mut i = Interp::new(&p, 1000);
+        assert_eq!(i.run(&[5]).unwrap(), 7, "hot path taken");
+        assert!(i.output.is_empty(), "cold sentinel never emitted");
+    }
+
+    #[test]
+    fn skew_is_skewed() {
+        let mut r = rng(42);
+        let syms = skewed_symbols(&mut r, 10_000, 32);
+        let hot = syms.iter().filter(|&&s| s < 8).count();
+        assert!(hot > 7_000, "hot quarter dominates: {hot}");
+        assert!(syms.iter().all(|&s| (0..32).contains(&s)));
+    }
+
+    #[test]
+    fn cold_utility_is_valid() {
+        let mut p = MirProgram::with_entry("u");
+        p.add_function(cold_utility("u", 0, "u.c", 10));
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,427 @@
+//! The `clang`/`gcc`-like workloads: a multi-module "compiler" with a
+//! lexer, a recursive-descent parser, semantic checks full of cold error
+//! paths, and a code generator — deep call graphs, many medium functions,
+//! inline-hinted helpers (so compiler PGO/LTO have real work), and the
+//! paper's Figure 2 pattern: a small hinted function called from callers
+//! with *opposite* branch bias, so the AutoFDO-style aggregated profile
+//! cannot lay out both inlined copies well but BOLT can.
+
+use crate::common::{cold_guard, cold_utility, impossible_guard, rng, skewed_symbols, Scale};
+use bolt_compiler::{
+    BinOp, CmpOp, FunctionBuilder, Global, MirProgram, Operand, Rvalue, ShiftKind,
+};
+use rand::Rng;
+
+/// Shape parameters distinguishing the clang-like and gcc-like variants.
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerShape {
+    pub seed: u64,
+    pub n_checks: usize,
+    pub n_emitters: usize,
+    pub n_interned: usize,
+    pub parse_depth: i64,
+}
+
+/// The clang-like shape.
+pub fn clang_shape(scale: Scale) -> CompilerShape {
+    CompilerShape {
+        seed: 0xC1A6,
+        n_checks: scale.funcs(10, 40),
+        n_emitters: scale.funcs(8, 32),
+        n_interned: 12,
+        parse_depth: 4,
+    }
+}
+
+/// The gcc-like shape: more, smaller functions and shallower recursion.
+pub fn gcc_shape(scale: Scale) -> CompilerShape {
+    CompilerShape {
+        seed: 0x6CC,
+        n_checks: scale.funcs(14, 56),
+        n_emitters: scale.funcs(10, 40),
+        n_interned: 8,
+        parse_depth: 3,
+    }
+}
+
+/// Builds the compiler-like workload.
+pub fn build(scale: Scale, shape: CompilerShape) -> MirProgram {
+    let src_len = 4096usize;
+    let iterations = scale.iters(20_000, 250_000);
+    let mut r = rng(shape.seed);
+
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "src".into(),
+        words: skewed_symbols(&mut r, src_len, 16),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "strtab".into(),
+        words: (0..256).map(|_| r.gen_range(0..1 << 24)).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "units".into(),
+        words: vec![0; 32],
+        mutable: true,
+    });
+    // The iteration bound lives in mutable data so experiments can vary
+    // the "input size" (paper's input1/2/3) by patching one word.
+    p.globals.push(Global {
+        name: "config".into(),
+        words: vec![iterations],
+        mutable: true,
+    });
+
+    // --- utils module (4): inline-hinted helpers ---
+    for (name, op) in [("u_mix", 0u8), ("u_fold", 1), ("u_rot", 2), ("u_clip", 3)] {
+        let mut f = FunctionBuilder::new(name, 4, "utils.h", 1);
+        f.inline_hint();
+        let out = match op {
+            0 => {
+                let m = f.assign(Rvalue::BinOp(
+                    BinOp::Mul,
+                    Operand::Local(0),
+                    Operand::Const(0x9E3779B1),
+                ));
+                f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(m), 15))
+            }
+            1 => {
+                let s = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(0), 7));
+                f.assign(Rvalue::BinOp(BinOp::Xor, Operand::Local(0), Operand::Local(s)))
+            }
+            2 => {
+                let l = f.assign(Rvalue::Shift(ShiftKind::Shl, Operand::Local(0), 3));
+                let h = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(0), 61));
+                f.assign(Rvalue::BinOp(BinOp::Or, Operand::Local(l), Operand::Local(h)))
+            }
+            _ => f.assign(Rvalue::BinOp(
+                BinOp::And,
+                Operand::Local(0),
+                Operand::Const(0xFF_FFFF),
+            )),
+        };
+        f.ret(Operand::Local(out));
+        p.add_function(f.finish());
+    }
+
+    // Figure 2 pattern: biased_helper, hinted, branch on sign.
+    {
+        let mut f = FunctionBuilder::new("biased_helper", 4, "utils.h", 1);
+        f.inline_hint();
+        let c = f.assign_cmp(CmpOp::Gt, Operand::Local(0), Operand::Const(0));
+        let (pos, neg) = f.branch(Operand::Local(c));
+        f.switch_to(pos);
+        f.ret(Operand::Const(1));
+        f.switch_to(neg);
+        f.ret(Operand::Const(2));
+        p.add_function(f.finish());
+    }
+
+    // --- lexer module (0) ---
+    {
+        let mut f = FunctionBuilder::new("lex_token", 0, "lexer.cpp", 1);
+        let im = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(0),
+            Operand::Const(src_len as i64 - 1),
+        ));
+        let ch = f.assign(Rvalue::LoadGlobal {
+            global: "src".into(),
+            index: Operand::Local(im),
+        });
+        let arms = f.switch(Operand::Local(ch), 16);
+        for (k, arm) in arms.targets.clone().iter().enumerate() {
+            f.switch_to(*arm);
+            let t = f.assign(Rvalue::BinOp(
+                BinOp::Add,
+                Operand::Local(ch),
+                Operand::Const((k * 7) as i64),
+            ));
+            let m = f.call("u_mix", vec![Operand::Local(t)]);
+            f.ret(Operand::Local(m));
+        }
+        f.switch_to(arms.default);
+        f.ret(Operand::Const(0));
+        p.add_function(f.finish());
+    }
+
+    // --- parser module (1): bounded recursion ---
+    {
+        // parse_expr(tok, depth) -> calls parse_term; parse_term calls
+        // parse_factor; parse_factor recurses into parse_expr with
+        // depth-1, hot leaf at depth 0.
+        let mut f = FunctionBuilder::new("parse_factor", 1, "parser.cpp", 2);
+        let leaf = f.assign_cmp(CmpOp::Le, Operand::Local(1), Operand::Const(0));
+        let (leaf_bb, rec_bb) = f.branch(Operand::Local(leaf));
+        f.switch_to(leaf_bb);
+        let v = f.call("u_fold", vec![Operand::Local(0)]);
+        f.ret(Operand::Local(v));
+        f.switch_to(rec_bb);
+        let d1 = f.assign(Rvalue::BinOp(
+            BinOp::Sub,
+            Operand::Local(1),
+            Operand::Const(1),
+        ));
+        let sub = f.call("parse_expr", vec![Operand::Local(0), Operand::Local(d1)]);
+        let m = f.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(sub),
+            Operand::Const(3),
+        ));
+        f.ret(Operand::Local(m));
+        p.add_function(f.finish());
+
+        let mut f = FunctionBuilder::new("parse_term", 1, "parser.cpp", 2);
+        let a = f.call("parse_factor", vec![Operand::Local(0), Operand::Local(1)]);
+        let rot = f.call("u_rot", vec![Operand::Local(a)]);
+        f.ret(Operand::Local(rot));
+        p.add_function(f.finish());
+
+        let mut f = FunctionBuilder::new("parse_expr", 1, "parser.cpp", 2);
+        let g = impossible_guard(&mut f, 0);
+        cold_guard(&mut f, g, -4000);
+        let t = f.call("parse_term", vec![Operand::Local(0), Operand::Local(1)]);
+        // Binary-op continuation: hot for even tokens.
+        let even = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(t),
+            Operand::Const(1),
+        ));
+        let is_odd = f.assign_cmp(CmpOp::Eq, Operand::Local(even), Operand::Const(1));
+        // Odd (cold-ish) first in source order.
+        let (odd_bb, even_bb) = f.branch(Operand::Local(is_odd));
+        f.switch_to(odd_bb);
+        let v1 = f.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(t),
+            Operand::Const(11),
+        ));
+        f.ret(Operand::Local(v1));
+        f.switch_to(even_bb);
+        let v2 = f.assign(Rvalue::BinOp(
+            BinOp::Xor,
+            Operand::Local(t),
+            Operand::Const(0x5A5A),
+        ));
+        f.ret(Operand::Local(v2));
+        p.add_function(f.finish());
+    }
+
+    // --- sema module (2): checks with cold error paths + the Figure 2
+    // callers (hot positive / cold negative) ---
+    for k in 0..shape.n_checks {
+        let mut f = FunctionBuilder::new(&format!("check_{k}"), 2, "sema.cpp", 1);
+        let g = impossible_guard(&mut f, 0);
+        cold_guard(&mut f, g, -5000 - k as i64);
+        // Mostly-positive argument for even checks, mostly-negative for
+        // odd ones: the two inlined copies of biased_helper get opposite
+        // bias (Figure 2).
+        let arg = if k % 2 == 0 {
+            let a = f.assign(Rvalue::BinOp(
+                BinOp::And,
+                Operand::Local(0),
+                Operand::Const(0xFFFF),
+            ));
+            f.assign(Rvalue::BinOp(BinOp::Add, Operand::Local(a), Operand::Const(1)))
+        } else {
+            let a = f.assign(Rvalue::BinOp(
+                BinOp::And,
+                Operand::Local(0),
+                Operand::Const(0xFFFF),
+            ));
+            let neg = f.assign(Rvalue::BinOp(
+                BinOp::Sub,
+                Operand::Const(0),
+                Operand::Local(a),
+            ));
+            f.assign(Rvalue::BinOp(
+                BinOp::Sub,
+                Operand::Local(neg),
+                Operand::Const(1),
+            ))
+        };
+        let b = f.call("biased_helper", vec![Operand::Local(arg)]);
+        let folded = f.call("u_clip", vec![Operand::Local(arg)]);
+        let out = f.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(b),
+            Operand::Local(folded),
+        ));
+        f.ret(Operand::Local(out));
+        p.add_function(f.finish());
+        if k % 3 == 0 {
+            p.add_function(cold_utility(
+                &format!("diag_{k}"),
+                2,
+                "diagnostics.cpp",
+                10 + k % 16,
+            ));
+        }
+    }
+
+    // --- interner: identical template instantiations (ICF fodder) ---
+    for k in 0..shape.n_interned {
+        let mut f = FunctionBuilder::new(&format!("intern_{k}"), 2, "intern.cpp", 1);
+        let h = f.assign(Rvalue::BinOp(
+            BinOp::Mul,
+            Operand::Local(0),
+            Operand::Const(0x100000001B3u64 as i64),
+        ));
+        let s = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(h), 24));
+        let idx = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(s),
+            Operand::Const(255),
+        ));
+        let v = f.assign(Rvalue::LoadGlobal {
+            global: "strtab".into(),
+            index: Operand::Local(idx),
+        });
+        f.ret(Operand::Local(v));
+        p.add_function(f.finish());
+    }
+
+    // --- codegen module (3) ---
+    for k in 0..shape.n_emitters {
+        let mut f = FunctionBuilder::new(&format!("emit_{k}"), 3, "codegen.cpp", 1);
+        let a = f.call(&format!("intern_{}", k % shape.n_interned), vec![Operand::Local(0)]);
+        let mixed = f.assign(Rvalue::BinOp(
+            BinOp::Xor,
+            Operand::Local(a),
+            Operand::Const((k as i64 + 1) * 0x01000193),
+        ));
+        f.ret(Operand::Local(mixed));
+        p.add_function(f.finish());
+    }
+
+    // compile_one(i): the per-input pipeline.
+    let mut f = FunctionBuilder::new("compile_one", 5, "driver.cpp", 1);
+    let tok = f.call("lex_token", vec![Operand::Local(0)]);
+    let ast = f.call(
+        "parse_expr",
+        vec![Operand::Local(tok), Operand::Const(shape.parse_depth)],
+    );
+    let which_check = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(shape.n_checks as i64 - 1),
+    ));
+    let arms = f.switch(Operand::Local(which_check), shape.n_checks);
+    let checked = f.new_local();
+    let join = f.new_block();
+    for (k, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        let c = f.call(&format!("check_{k}"), vec![Operand::Local(ast)]);
+        f.assign_to(checked, Rvalue::Use(Operand::Local(c)));
+        f.goto(join);
+    }
+    f.switch_to(arms.default);
+    f.assign_to(checked, Rvalue::Use(Operand::Const(0)));
+    f.goto(join);
+    f.switch_to(join);
+    let which_emit = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(checked),
+        Operand::Const(shape.n_emitters as i64 - 1),
+    ));
+    let arms = f.switch(Operand::Local(which_emit), shape.n_emitters);
+    let out = f.new_local();
+    let join2 = f.new_block();
+    for (k, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        let e = f.call(&format!("emit_{k}"), vec![Operand::Local(checked)]);
+        f.assign_to(out, Rvalue::Use(Operand::Local(e)));
+        f.goto(join2);
+    }
+    f.switch_to(arms.default);
+    f.assign_to(out, Rvalue::Use(Operand::Const(0)));
+    f.goto(join2);
+    f.switch_to(join2);
+    f.ret(Operand::Local(out));
+    p.add_function(f.finish());
+
+    // main loop.
+    let mut m = FunctionBuilder::new("main", 5, "main.cpp", 0);
+    let acc = m.new_local();
+    let i = m.new_local();
+    m.assign_to(acc, Rvalue::Use(Operand::Const(0)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let bound = m.assign(Rvalue::LoadGlobal {
+        global: "config".into(),
+        index: Operand::Const(0),
+    });
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Local(bound));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let v = m.call("compile_one", vec![Operand::Local(i)]);
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(acc), Operand::Local(v)),
+    );
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::And, Operand::Local(acc), Operand::Const(0xFFFF_FFFF)),
+    );
+    m.push_stmt(bolt_compiler::Stmt::StoreGlobal {
+        global: "units".into(),
+        index: Operand::Const(0),
+        value: Operand::Local(acc),
+        line: 0,
+    });
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(acc));
+    let code = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(acc),
+        Operand::Const(0x3F),
+    ));
+    m.ret(Operand::Local(code));
+    p.add_function(m.finish());
+
+    p.validate().expect("compiler-like program valid");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_compiler::Interp;
+
+    #[test]
+    fn clang_like_builds_and_runs() {
+        let p = build(Scale::Test, clang_shape(Scale::Test));
+        let mut i = Interp::new(&p, 1_000_000_000);
+        i.run(&[]).unwrap();
+        assert_eq!(i.output.len(), 1);
+    }
+
+    #[test]
+    fn gcc_like_differs_from_clang_like() {
+        let c = build(Scale::Test, clang_shape(Scale::Test));
+        let g = build(Scale::Test, gcc_shape(Scale::Test));
+        assert_ne!(c, g);
+    }
+
+    #[test]
+    fn figure2_callers_have_opposite_bias() {
+        // check_0 passes positive arguments, check_1 negative: after the
+        // compiler inlines biased_helper into both, the aggregated branch
+        // profile is mixed (the Figure 2 precision loss).
+        let p = build(Scale::Test, clang_shape(Scale::Test));
+        let mut i0 = Interp::new(&p, 10_000_000);
+        let r0 = i0.call_function("check_0", &[12345]).unwrap();
+        let mut i1 = Interp::new(&p, 10_000_000);
+        let r1 = i1.call_function("check_1", &[12345]).unwrap();
+        // biased_helper returns 1 on positive, 2 on negative.
+        assert_eq!(r0 % 4 != r1 % 4, true, "different arms taken: {r0} vs {r1}");
+    }
+}

@@ -1,0 +1,288 @@
+//! The `hhvm`-like workload: a bytecode interpreter with a large handler
+//! set, jump-table dispatch, function-pointer dispatch to "jitted"
+//! regions, duplicate template-like helpers (ICF fodder), and cold
+//! utility code interleaved between hot handlers (paper section 6.1:
+//! HHVM is the largest, most front-end-bound binary and benefits most).
+
+use crate::common::{
+    cold_guard, cold_utility, impossible_guard, lcg_step, rng, skewed_symbols, Scale,
+};
+use bolt_compiler::{
+    BinOp, CmpOp, FunctionBuilder, Global, MirProgram, Operand, Rvalue, ShiftKind,
+};
+use rand::Rng;
+
+/// Builds the workload program.
+pub fn build(scale: Scale, seed: u64) -> MirProgram {
+    let n_handlers = scale.funcs(24, 192);
+    let n_cold_per_handler = scale.funcs(2, 6);
+    let bytecode_len = 2048usize;
+    let iterations = scale.iters(30_000, 400_000);
+    let mut r = rng(seed);
+
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "bytecode".into(),
+        words: skewed_symbols(&mut r, bytecode_len, n_handlers),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "consts".into(),
+        words: (0..256).map(|_| r.gen_range(1..1 << 20)).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "heap".into(),
+        words: vec![0; 64],
+        mutable: true,
+    });
+
+    // Template instantiations: accessor_<k> functions stamped from a few
+    // body templates — the duplicate mass BOLT's ICF folds (paper: ~3% of
+    // HHVM text on top of linker ICF). They are called rarely (cold-ish)
+    // but are real, reachable code.
+    let n_accessors = scale.funcs(16, 96);
+    for a in 0..n_accessors {
+        let template = a % 8;
+        let mut f = FunctionBuilder::new(&format!("accessor_{a}"), 0, "templates.cpp", 1);
+        let mut x = 0u32;
+        for step in 0..14 {
+            let rot = f.assign(Rvalue::Shift(
+                ShiftKind::Shl,
+                Operand::Local(x),
+                ((step + template) % 9 + 1) as u8,
+            ));
+            let idx = f.assign(Rvalue::BinOp(
+                BinOp::And,
+                Operand::Local(rot),
+                Operand::Const(255),
+            ));
+            let v = f.assign(Rvalue::LoadGlobal {
+                global: "consts".into(),
+                index: Operand::Local(idx),
+            });
+            x = f.assign(Rvalue::BinOp(
+                BinOp::Xor,
+                Operand::Local(v),
+                Operand::Const((template as i64 + 2) * 0x9E37),
+            ));
+        }
+        f.ret(Operand::Local(x));
+        p.add_function(f.finish());
+    }
+
+    // Template-like helpers: 16 names from 4 bodies (ICF folds 12).
+    let n_helpers = 16usize;
+    for h in 0..n_helpers {
+        let template = h % 4;
+        let mut f = FunctionBuilder::new(&format!("helper_{h}"), 0, "helpers.cpp", 1);
+        let mixed = lcg_step(&mut f, 0);
+        let shifted = f.assign(Rvalue::Shift(
+            ShiftKind::Shr,
+            Operand::Local(mixed),
+            (7 + template * 3) as u8,
+        ));
+        let out = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(shifted),
+            Operand::Const(0xFFFF),
+        ));
+        f.ret(Operand::Local(out));
+        p.add_function(f.finish());
+    }
+
+    // Handlers + interleaved cold utilities (pessimal source order).
+    for k in 0..n_handlers {
+        let mut f = FunctionBuilder::new(&format!("handler_{k}"), 1, "handlers.cpp", 2);
+        // params: 0 = pc, 1 = acc
+        let guard = impossible_guard(&mut f, 1);
+        cold_guard(&mut f, guard, -1000 - k as i64);
+        // Hot body: mix the accumulator with a constant-table read.
+        let idx = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(0),
+            Operand::Const(255),
+        ));
+        let c = f.assign(Rvalue::LoadGlobal {
+            global: "consts".into(),
+            index: Operand::Local(idx),
+        });
+        let mixed = f.assign(Rvalue::BinOp(
+            BinOp::Xor,
+            Operand::Local(1),
+            Operand::Local(c),
+        ));
+        let acc2 = f.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(mixed),
+            Operand::Const(k as i64 + 1),
+        ));
+        // A quarter of handlers call a helper (cross-function hot edges).
+        if k % 4 == 0 {
+            let h = f.call(
+                &format!("helper_{}", k % n_helpers),
+                vec![Operand::Local(acc2)],
+            );
+            let merged = f.assign(Rvalue::BinOp(
+                BinOp::Add,
+                Operand::Local(acc2),
+                Operand::Local(h),
+            ));
+            f.ret(Operand::Local(merged));
+        } else {
+            f.ret(Operand::Local(acc2));
+        }
+        p.add_function(f.finish());
+        // Cold pollution between handlers.
+        for c in 0..n_cold_per_handler {
+            p.add_function(cold_utility(
+                &format!("cold_{k}_{c}"),
+                1,
+                "cold.cpp",
+                16 + (k + c) % 40,
+            ));
+        }
+    }
+
+    // interp_step(pc, acc): jump-table dispatch to handlers.
+    let mut f = FunctionBuilder::new("interp_step", 2, "interp.cpp", 2);
+    let pcm = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(bytecode_len as i64 - 1),
+    ));
+    let op = f.assign(Rvalue::LoadGlobal {
+        global: "bytecode".into(),
+        index: Operand::Local(pcm),
+    });
+    let arms = f.switch(Operand::Local(op), n_handlers);
+    for (k, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        let ret = f.call(
+            &format!("handler_{k}"),
+            vec![Operand::Local(0), Operand::Local(1)],
+        );
+        f.ret(Operand::Local(ret));
+    }
+    f.switch_to(arms.default);
+    f.ret(Operand::Local(1));
+    p.add_function(f.finish());
+
+    // jit_enter(i, acc): function-pointer dispatch, heavily skewed to
+    // region_hot (ICP fodder).
+    for (name, delta) in [("region_hot", 17i64), ("region_warm", 29)] {
+        let mut f = FunctionBuilder::new(name, 2, "jit.cpp", 1);
+        let v = f.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(0),
+            Operand::Const(delta),
+        ));
+        let m = f.assign(Rvalue::BinOp(
+            BinOp::Mul,
+            Operand::Local(v),
+            Operand::Const(0x9E3779B97F4A7C15u64 as i64),
+        ));
+        let s = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(m), 40));
+        f.ret(Operand::Local(s));
+        p.add_function(f.finish());
+    }
+    let mut f = FunctionBuilder::new("jit_enter", 2, "jit.cpp", 2);
+    let hot_ptr = f.assign(Rvalue::FuncAddr("region_hot".into()));
+    let warm_ptr = f.assign(Rvalue::FuncAddr("region_warm".into()));
+    let bits = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(127),
+    ));
+    let rare = f.assign_cmp(CmpOp::Eq, Operand::Local(bits), Operand::Const(77));
+    let ptr = f.new_local();
+    let (warm_bb, hot_bb) = f.branch(Operand::Local(rare));
+    let join = f.new_block();
+    f.switch_to(warm_bb);
+    // The warm path also exercises one accessor (keeps them reachable).
+    let acc_v = f.call("accessor_0", vec![Operand::Local(0)]);
+    let _ = f.assign(Rvalue::BinOp(
+        BinOp::Add,
+        Operand::Local(acc_v),
+        Operand::Const(0),
+    ));
+    f.assign_to(ptr, Rvalue::Use(Operand::Local(warm_ptr)));
+    f.goto(join);
+    f.switch_to(hot_bb);
+    f.assign_to(ptr, Rvalue::Use(Operand::Local(hot_ptr)));
+    f.goto(join);
+    f.switch_to(join);
+    let out = f.call_indirect(Operand::Local(ptr), vec![Operand::Local(1)]);
+    f.ret(Operand::Local(out));
+    p.add_function(f.finish());
+
+    // main: the VM loop.
+    let mut m = FunctionBuilder::new("main", 3, "main.cpp", 0);
+    let acc = m.new_local();
+    let i = m.new_local();
+    m.assign_to(acc, Rvalue::Use(Operand::Const(1)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(iterations));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let stepped = m.call(
+        "interp_step",
+        vec![Operand::Local(i), Operand::Local(acc)],
+    );
+    let jit = m.call("jit_enter", vec![Operand::Local(i), Operand::Local(stepped)]);
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(stepped), Operand::Local(jit)),
+    );
+    // Keep the accumulator bounded.
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::And, Operand::Local(acc), Operand::Const(0xFFFF_FFFF)),
+    );
+    m.push_stmt(bolt_compiler::Stmt::StoreGlobal {
+        global: "heap".into(),
+        index: Operand::Const(0),
+        value: Operand::Local(acc),
+        line: 0,
+    });
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(acc));
+    let code = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(acc),
+        Operand::Const(0x3F),
+    ));
+    m.ret(Operand::Local(code));
+    p.add_function(m.finish());
+
+    p.validate().expect("generated program is valid");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_compiler::Interp;
+
+    #[test]
+    fn builds_and_interprets() {
+        let p = build(Scale::Test, 7);
+        let mut i = Interp::new(&p, 200_000_000);
+        let code = i.run(&[]).unwrap();
+        assert_eq!(i.output.len(), 1);
+        assert_eq!(code, i.output[0] & 0x3F);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(build(Scale::Test, 7), build(Scale::Test, 7));
+        assert_ne!(build(Scale::Test, 7), build(Scale::Test, 8));
+    }
+}

@@ -1,0 +1,78 @@
+//! # bolt-workloads — synthetic workload generators
+//!
+//! Seeded generators producing MIR programs with the structural character
+//! of the paper's evaluation subjects (section 6.1): the five Facebook
+//! data-center binaries (HHVM, TAO, Proxygen, two Multifeed services) and
+//! the Clang/GCC self-compilation workloads (section 6.2).
+//!
+//! Every program is deterministic per seed, front-end bound by
+//! construction (hot/cold interleaving, pessimal source-order branch
+//! layout, cold utility pollution between hot functions), and observable
+//! (emits a checksum), so BOLT's semantics preservation is checkable on
+//! every workload.
+
+pub mod common;
+pub mod compiler_like;
+pub mod hhvm;
+pub mod services;
+
+pub use common::Scale;
+pub use compiler_like::{clang_shape, gcc_shape, CompilerShape};
+
+use bolt_compiler::MirProgram;
+
+/// The evaluation workloads (paper section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// The PHP virtual machine (largest, most front-end bound).
+    Hhvm,
+    /// The distributed social-graph cache.
+    Tao,
+    /// The cluster load balancer / HTTP library.
+    Proxygen,
+    /// News Feed selection service, first variant.
+    Multifeed1,
+    /// News Feed selection service, second variant.
+    Multifeed2,
+    /// The Clang self-build workload.
+    ClangLike,
+    /// The GCC self-build workload.
+    GccLike,
+}
+
+impl Workload {
+    /// All data-center workloads of paper Figure 5.
+    pub const DATACENTER: [Workload; 5] = [
+        Workload::Hhvm,
+        Workload::Tao,
+        Workload::Proxygen,
+        Workload::Multifeed1,
+        Workload::Multifeed2,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Hhvm => "HHVM",
+            Workload::Tao => "TAO",
+            Workload::Proxygen => "Proxygen",
+            Workload::Multifeed1 => "Multifeed1",
+            Workload::Multifeed2 => "Multifeed2",
+            Workload::ClangLike => "Clang",
+            Workload::GccLike => "GCC",
+        }
+    }
+
+    /// Builds the workload's program at the given scale.
+    pub fn build(self, scale: Scale) -> MirProgram {
+        match self {
+            Workload::Hhvm => hhvm::build(scale, 0x44BB),
+            Workload::Tao => services::build_tao(scale, 0x7A0),
+            Workload::Proxygen => services::build_proxygen(scale, 0x9487),
+            Workload::Multifeed1 => services::build_multifeed(scale, 0xFEED, 1),
+            Workload::Multifeed2 => services::build_multifeed(scale, 0xFEED, 2),
+            Workload::ClangLike => compiler_like::build(scale, clang_shape(scale)),
+            Workload::GccLike => compiler_like::build(scale, gcc_shape(scale)),
+        }
+    }
+}

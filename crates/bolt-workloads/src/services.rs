@@ -1,0 +1,436 @@
+//! The `tao`-like (in-memory cache service), `proxygen`-like (state-machine
+//! protocol parser), and `multifeed`-like (feed ranking) workloads
+//! (paper section 6.1).
+
+use crate::common::{cold_guard, cold_utility, impossible_guard, rng, skewed_symbols, Scale};
+use bolt_compiler::{
+    BinOp, CmpOp, FunctionBuilder, Global, MirProgram, Operand, Rvalue, ShiftKind,
+};
+use rand::Rng;
+
+/// `tao`-like: hash-lookup request service with hot hit paths, cold miss
+/// and error paths, and a shard-dispatch switch.
+pub fn build_tao(scale: Scale, seed: u64) -> MirProgram {
+    let n_shards = scale.funcs(8, 32);
+    let table_len = 512usize;
+    let iterations = scale.iters(40_000, 500_000);
+    let mut r = rng(seed);
+
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "keys".into(),
+        words: (0..table_len).map(|i| (i as i64) * 2 + 1).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "values".into(),
+        words: (0..table_len).map(|_| r.gen_range(0..1 << 30)).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "stats".into(),
+        words: vec![0; 8],
+        mutable: true,
+    });
+
+    // hash(x): multiply-shift.
+    let mut f = FunctionBuilder::new("hash_key", 0, "hash.cpp", 1);
+    let m = f.assign(Rvalue::BinOp(
+        BinOp::Mul,
+        Operand::Local(0),
+        Operand::Const(0x9E3779B97F4A7C15u64 as i64),
+    ));
+    let s = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(m), 17));
+    f.ret(Operand::Local(s));
+    p.add_function(f.finish());
+
+    // Per-shard lookup: probe two slots; hit is hot, miss cold. Cold arm
+    // first in source order (pessimal).
+    for sh in 0..n_shards {
+        let mut f = FunctionBuilder::new(&format!("shard_lookup_{sh}"), 1, "shard.cpp", 1);
+        let g = impossible_guard(&mut f, 0);
+        cold_guard(&mut f, g, -2000 - sh as i64);
+        let h = f.call("hash_key", vec![Operand::Local(0)]);
+        let idx = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(h),
+            Operand::Const(table_len as i64 - 1),
+        ));
+        let key = f.assign(Rvalue::LoadGlobal {
+            global: "keys".into(),
+            index: Operand::Local(idx),
+        });
+        let wanted = f.assign(Rvalue::BinOp(
+            BinOp::Or,
+            Operand::Local(0),
+            Operand::Const(1),
+        ));
+        // Compare against a key derived from the request; misses happen
+        // for a minority of requests.
+        let masked = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(wanted),
+            Operand::Const(table_len as i64 * 2 - 1),
+        ));
+        let hit = f.assign_cmp(CmpOp::Eq, Operand::Local(key), Operand::Local(masked));
+        // Miss (cold-ish) first in source order.
+        let (miss, hit_bb) = {
+            let (t, e) = f.branch(Operand::Local(hit));
+            (e, t)
+        };
+        // note: `hit == 1` goes to `t` = hit_bb; miss block laid first by
+        // swapping roles below.
+        f.switch_to(miss);
+        let fallback = f.assign(Rvalue::BinOp(
+            BinOp::Xor,
+            Operand::Local(h),
+            Operand::Const(0x5bd1e995),
+        ));
+        f.ret(Operand::Local(fallback));
+        f.switch_to(hit_bb);
+        let v = f.assign(Rvalue::LoadGlobal {
+            global: "values".into(),
+            index: Operand::Local(idx),
+        });
+        f.ret(Operand::Local(v));
+        p.add_function(f.finish());
+        p.add_function(cold_utility(
+            &format!("tao_cold_{sh}"),
+            1,
+            "cold.cpp",
+            6 + sh % 12,
+        ));
+    }
+
+    // handle_request(i): shard dispatch by key bits.
+    let mut f = FunctionBuilder::new("handle_request", 2, "server.cpp", 1);
+    let shard = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(n_shards as i64 - 1),
+    ));
+    let arms = f.switch(Operand::Local(shard), n_shards);
+    for (sh, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        let v = f.call(&format!("shard_lookup_{sh}"), vec![Operand::Local(0)]);
+        f.ret(Operand::Local(v));
+    }
+    f.switch_to(arms.default);
+    f.ret(Operand::Const(0));
+    p.add_function(f.finish());
+
+    build_service_main(&mut p, "handle_request", iterations);
+    p.validate().expect("tao program valid");
+    p
+}
+
+/// `proxygen`-like: a protocol state machine over a byte stream.
+pub fn build_proxygen(scale: Scale, seed: u64) -> MirProgram {
+    let n_states = scale.funcs(10, 24);
+    let input_len = 2048usize;
+    let iterations = scale.iters(50_000, 600_000);
+    let mut r = rng(seed);
+
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "input".into(),
+        words: skewed_symbols(&mut r, input_len, 8),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "sessions".into(),
+        words: vec![0; 16],
+        mutable: true,
+    });
+
+    // Per-state transition functions: branchy chains over the character
+    // class, with cold error arms first.
+    for st in 0..n_states {
+        let mut f = FunctionBuilder::new(&format!("state_{st}"), 0, "parser.cpp", 1);
+        // param 0 = char class (0..8); return next state.
+        let g = impossible_guard(&mut f, 0);
+        cold_guard(&mut f, g, -3000 - st as i64);
+        // Chain: if ch == st%8 -> advance; elif ch == (st+1)%8 -> hot next;
+        // else -> stay.
+        let want = (st % 8) as i64;
+        let c1 = f.assign_cmp(CmpOp::Eq, Operand::Local(0), Operand::Const(want));
+        let (adv, rest) = f.branch(Operand::Local(c1));
+        f.switch_to(adv);
+        f.ret(Operand::Const(((st + 1) % n_states) as i64));
+        f.switch_to(rest);
+        let c2 = f.assign_cmp(
+            CmpOp::Eq,
+            Operand::Local(0),
+            Operand::Const((want + 1) % 8),
+        );
+        let (skip, stay) = f.branch(Operand::Local(c2));
+        f.switch_to(skip);
+        f.ret(Operand::Const(((st + 2) % n_states) as i64));
+        f.switch_to(stay);
+        f.ret(Operand::Const(st as i64));
+        p.add_function(f.finish());
+        if st % 2 == 0 {
+            p.add_function(cold_utility(
+                &format!("pxy_cold_{st}"),
+                0,
+                "cold.cpp",
+                5 + st % 9,
+            ));
+        }
+    }
+
+    // step(state, i): read input, dispatch on state.
+    let mut f = FunctionBuilder::new("parse_step", 1, "driver.cpp", 2);
+    let im = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(1),
+        Operand::Const(input_len as i64 - 1),
+    ));
+    let ch = f.assign(Rvalue::LoadGlobal {
+        global: "input".into(),
+        index: Operand::Local(im),
+    });
+    let arms = f.switch(Operand::Local(0), n_states);
+    for (st, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        let next = f.call(&format!("state_{st}"), vec![Operand::Local(ch)]);
+        f.ret(Operand::Local(next));
+    }
+    f.switch_to(arms.default);
+    f.ret(Operand::Const(0));
+    p.add_function(f.finish());
+
+    // main: fold the state machine over the input.
+    let mut m = FunctionBuilder::new("main", 2, "main.cpp", 0);
+    let state = m.new_local();
+    let i = m.new_local();
+    let acc = m.new_local();
+    m.assign_to(state, Rvalue::Use(Operand::Const(0)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    m.assign_to(acc, Rvalue::Use(Operand::Const(0)));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(iterations));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let next = m.call("parse_step", vec![Operand::Local(state), Operand::Local(i)]);
+    m.assign_to(state, Rvalue::Use(Operand::Local(next)));
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(acc), Operand::Local(state)),
+    );
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(acc));
+    let code = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(acc),
+        Operand::Const(0x3F),
+    ));
+    m.ret(Operand::Local(code));
+    p.add_function(m.finish());
+    p.validate().expect("proxygen program valid");
+    p
+}
+
+/// `multifeed`-like: feature-scoring and ranking loops. Two variants
+/// differ in weights, story count, and seed.
+pub fn build_multifeed(scale: Scale, seed: u64, variant: u8) -> MirProgram {
+    let n_scorers = scale.funcs(6, 20);
+    let stories = 256usize;
+    let iterations = scale.iters(30_000, 350_000);
+    let mut r = rng(seed ^ (variant as u64) << 32);
+
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "features".into(),
+        words: (0..stories * 8).map(|_| r.gen_range(-100..100)).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "ranked".into(),
+        words: vec![0; 8],
+        mutable: true,
+    });
+
+    // Scorers: weighted sums over 8 features, unrolled.
+    for sc in 0..n_scorers {
+        let mut f = FunctionBuilder::new(&format!("score_{sc}"), 0, "scorer.cpp", 1);
+        let base = f.assign(Rvalue::BinOp(
+            BinOp::And,
+            Operand::Local(0),
+            Operand::Const(stories as i64 - 1),
+        ));
+        let off = f.assign(Rvalue::Shift(ShiftKind::Shl, Operand::Local(base), 3));
+        let mut total = f.assign(Rvalue::Use(Operand::Const(0)));
+        for feat in 0..8 {
+            let idx = f.assign(Rvalue::BinOp(
+                BinOp::Add,
+                Operand::Local(off),
+                Operand::Const(feat),
+            ));
+            let v = f.assign(Rvalue::LoadGlobal {
+                global: "features".into(),
+                index: Operand::Local(idx),
+            });
+            let w = ((sc as i64 + 1) * (feat + 3) * (variant as i64 + 1)) % 17 - 8;
+            let weighted = f.assign(Rvalue::BinOp(
+                BinOp::Mul,
+                Operand::Local(v),
+                Operand::Const(w),
+            ));
+            total = f.assign(Rvalue::BinOp(
+                BinOp::Add,
+                Operand::Local(total),
+                Operand::Local(weighted),
+            ));
+        }
+        f.ret(Operand::Local(total));
+        p.add_function(f.finish());
+        if sc % 2 == variant as usize % 2 {
+            p.add_function(cold_utility(
+                &format!("mf{variant}_cold_{sc}"),
+                0,
+                "cold.cpp",
+                4 + sc % 8,
+            ));
+        }
+    }
+
+    // rank(i): pick the scorer by story bits, keep a running max with a
+    // skewed branch (new-max is rare).
+    let mut f = FunctionBuilder::new("rank_one", 1, "rank.cpp", 2);
+    // params: 0 = story id, 1 = current max
+    let which = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(0),
+        Operand::Const(n_scorers as i64 - 1),
+    ));
+    let arms = f.switch(Operand::Local(which), n_scorers);
+    let score = f.new_local();
+    let join = f.new_block();
+    for (sc, arm) in arms.targets.clone().iter().enumerate() {
+        f.switch_to(*arm);
+        let s = f.call(&format!("score_{sc}"), vec![Operand::Local(0)]);
+        f.assign_to(score, Rvalue::Use(Operand::Local(s)));
+        f.goto(join);
+    }
+    f.switch_to(arms.default);
+    f.assign_to(score, Rvalue::Use(Operand::Const(0)));
+    f.goto(join);
+    f.switch_to(join);
+    let better = f.assign_cmp(CmpOp::Gt, Operand::Local(score), Operand::Local(1));
+    // New-max (rare) first in source order: pessimal.
+    let (new_max, keep) = f.branch(Operand::Local(better));
+    f.switch_to(new_max);
+    f.ret(Operand::Local(score));
+    f.switch_to(keep);
+    f.ret(Operand::Local(1));
+    p.add_function(f.finish());
+
+    // main loop: rank everything repeatedly.
+    let mut m = FunctionBuilder::new("main", 2, "main.cpp", 0);
+    let best = m.new_local();
+    let i = m.new_local();
+    m.assign_to(best, Rvalue::Use(Operand::Const(i64::MIN / 4)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(iterations));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let nb = m.call("rank_one", vec![Operand::Local(i), Operand::Local(best)]);
+    m.assign_to(best, Rvalue::Use(Operand::Local(nb)));
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(best));
+    let code = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(best),
+        Operand::Const(0x3F),
+    ));
+    m.ret(Operand::Local(code));
+    p.add_function(m.finish());
+    p.validate().expect("multifeed program valid");
+    p
+}
+
+/// Shared request-loop main for service workloads.
+fn build_service_main(p: &mut MirProgram, handler: &str, iterations: i64) {
+    let mut m = FunctionBuilder::new("main", 9, "main.cpp", 0);
+    let acc = m.new_local();
+    let i = m.new_local();
+    m.assign_to(acc, Rvalue::Use(Operand::Const(0)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(iterations));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let v = m.call(handler, vec![Operand::Local(i)]);
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(acc), Operand::Local(v)),
+    );
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::And, Operand::Local(acc), Operand::Const(0xFFFF_FFFF)),
+    );
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(acc));
+    let code = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(acc),
+        Operand::Const(0x3F),
+    ));
+    m.ret(Operand::Local(code));
+    p.add_function(m.finish());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_compiler::Interp;
+
+    #[test]
+    fn tao_builds_and_runs() {
+        let p = build_tao(Scale::Test, 11);
+        let mut i = Interp::new(&p, 400_000_000);
+        i.run(&[]).unwrap();
+        assert_eq!(i.output.len(), 1);
+    }
+
+    #[test]
+    fn proxygen_builds_and_runs() {
+        let p = build_proxygen(Scale::Test, 12);
+        let mut i = Interp::new(&p, 400_000_000);
+        i.run(&[]).unwrap();
+        assert_eq!(i.output.len(), 1);
+    }
+
+    #[test]
+    fn multifeed_variants_differ() {
+        let p1 = build_multifeed(Scale::Test, 13, 1);
+        let p2 = build_multifeed(Scale::Test, 13, 2);
+        assert_ne!(p1, p2);
+        let mut i1 = Interp::new(&p1, 400_000_000);
+        i1.run(&[]).unwrap();
+        let mut i2 = Interp::new(&p2, 400_000_000);
+        i2.run(&[]).unwrap();
+        assert_eq!(i1.output.len(), 1);
+        assert_eq!(i2.output.len(), 1);
+    }
+}

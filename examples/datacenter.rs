@@ -1,0 +1,84 @@
+//! Data-center scenario: the Figure 5 flow on one workload — baseline
+//! with HFSort at link time, then BOLT on top, measured with the
+//! microarchitectural model.
+//!
+//! ```sh
+//! cargo run --release --example datacenter
+//! ```
+
+use bolt::compiler::CompileOptions;
+use bolt::emu::{Machine, Tee};
+use bolt::opt::{optimize, BoltOptions};
+use bolt::profile::{attach_profile, LbrSampler, SampleTrigger};
+use bolt::sim::{Counters, CpuModel, SimConfig};
+use bolt::workloads::{Scale, Workload};
+
+fn run(elf: &bolt::elf::Elf, cfg: &SimConfig) -> (Vec<i64>, Counters) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let mut model = CpuModel::new(cfg.clone());
+    m.run(&mut model, u64::MAX).expect("runs");
+    (m.output, model.counters())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::server();
+    let wl = Workload::Tao;
+    println!("workload: {} (test scale)", wl.name());
+    let program = wl.build(Scale::Test);
+
+    // Train, derive the HFSort link order, rebuild the baseline.
+    let plain = bolt::compiler::compile_and_link(&program, &CompileOptions::default())?;
+    let mut m = Machine::new();
+    m.load_elf(&plain.elf);
+    let mut sampler = LbrSampler::new(997, SampleTrigger::Instructions);
+    m.run(&mut sampler, u64::MAX)?;
+    let (mut ctx, raw) = bolt::opt::discover(&plain.elf);
+    bolt::opt::disassemble_all(&mut ctx, &raw, &plain.elf);
+    attach_profile(&mut ctx, &sampler.profile);
+    let order = bolt::passes::reorder_functions::run_reorder_functions(
+        &ctx,
+        bolt::hfsort::Algorithm::Hfsort,
+    );
+    let names: Vec<String> = order.iter().map(|&i| ctx.functions[i].name.clone()).collect();
+    let baseline = bolt::compiler::compile_and_link(
+        &program,
+        &CompileOptions {
+            function_order: Some(names),
+            ..CompileOptions::default()
+        },
+    )?;
+
+    // Profile the baseline and BOLT it.
+    let mut m = Machine::new();
+    m.load_elf(&baseline.elf);
+    let mut sampler = LbrSampler::new(997, SampleTrigger::Instructions);
+    let mut model = CpuModel::new(cfg.clone());
+    {
+        let mut tee = Tee(&mut sampler, &mut model);
+        m.run(&mut tee, u64::MAX)?;
+    }
+    let base = model.counters();
+    let bolted = optimize(&baseline.elf, &sampler.profile, &BoltOptions::paper_default())?;
+    let (out, new) = run(&bolted.elf, &cfg);
+    assert_eq!(out, m.output, "semantics preserved");
+
+    println!("{:<16} {:>14} {:>14} {:>10}", "metric", "baseline", "BOLT", "reduction");
+    for (name, b, n) in [
+        ("cycles", base.cycles as u64, new.cycles as u64),
+        ("L1I misses", base.l1i_misses, new.l1i_misses),
+        ("iTLB misses", base.itlb_misses, new.itlb_misses),
+        ("branch misses", base.branch_mispredicts, new.branch_mispredicts),
+        ("LLC misses", base.llc_misses, new.llc_misses),
+    ] {
+        println!(
+            "{:<16} {:>14} {:>14} {:>9.1}%",
+            name,
+            b,
+            n,
+            Counters::reduction(b, n)
+        );
+    }
+    println!("speedup: {:.2}%", base.speedup_over(&new));
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! The `bolt-run` tool: executes an ELF binary under the emulator,
+//! optionally collecting a profile (the `perf record` + `perf2bolt` step)
+//! and reporting microarchitectural counters.
+//!
+//! ```sh
+//! bolt-run app.elf --fdata app.fdata          # LBR profiling
+//! bolt-run app.elf --fdata app.fdata --ip     # plain IP samples
+//! bolt-run app.elf --counters                 # perf-stat style output
+//! ```
+
+use bolt::elf::read_elf;
+use bolt::emu::{Exit, Machine, NullSink, Tee, TraceSink};
+use bolt::profile::{IpSampler, LbrSampler, SampleTrigger};
+use bolt::sim::{CpuModel, SimConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] [--counters] [--max-steps N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut fdata = None;
+    let mut use_ip = false;
+    let mut period = 997u64;
+    let mut counters = false;
+    let mut max_steps = u64::MAX;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fdata" => fdata = it.next().cloned(),
+            "--ip" => use_ip = true,
+            "--counters" => counters = true,
+            "--period" => {
+                period = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-steps" => {
+                max_steps = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            s if s.starts_with('-') => usage(),
+            _ if input.is_none() => input = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bolt-run: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elf = match read_elf(&bytes) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bolt-run: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut machine = Machine::new();
+    machine.load_elf(&elf);
+
+    let mut lbr = LbrSampler::new(period, SampleTrigger::Instructions);
+    let mut ip = IpSampler::new(period);
+    let mut model = CpuModel::new(SimConfig::server());
+    let mut null = NullSink;
+
+    // Compose the requested sinks.
+    let profiling = fdata.is_some();
+    let run = {
+        let prof_sink: &mut dyn TraceSink = if !profiling {
+            &mut null
+        } else if use_ip {
+            &mut ip
+        } else {
+            &mut lbr
+        };
+        if counters {
+            let mut tee = Tee(prof_sink, &mut model);
+            machine.run(&mut tee, max_steps)
+        } else {
+            machine.run(prof_sink, max_steps)
+        }
+    };
+
+    let run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bolt-run: execution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &machine.output {
+        println!("{v}");
+    }
+    eprintln!("bolt-run: {} instructions, exit {:?}", run.steps, run.exit);
+
+    if counters {
+        let c = model.counters();
+        eprintln!("  cycles            {:>14.0}", c.cycles);
+        eprintln!("  ipc               {:>14.2}", c.ipc());
+        eprintln!("  branch-misses     {:>14}", c.branch_mispredicts);
+        eprintln!("  L1-icache-misses  {:>14}", c.l1i_misses);
+        eprintln!("  L1-dcache-misses  {:>14}", c.l1d_misses);
+        eprintln!("  iTLB-misses       {:>14}", c.itlb_misses);
+        eprintln!("  LLC-misses        {:>14}", c.llc_misses);
+    }
+    if let Some(path) = fdata {
+        let profile = if use_ip { ip.profile } else { lbr.profile };
+        if let Err(e) = std::fs::write(&path, profile.to_fdata()) {
+            eprintln!("bolt-run: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bolt-run: wrote {path} ({} samples)", profile.num_samples);
+    }
+
+    match run.exit {
+        Exit::Exited(0) => ExitCode::SUCCESS,
+        Exit::Exited(_) => ExitCode::from(1),
+        _ => ExitCode::FAILURE,
+    }
+}

@@ -1,0 +1,166 @@
+//! The `bolt` command-line tool: rewrites an ELF executable using a
+//! profile, mirroring `llvm-bolt`'s interface.
+//!
+//! ```sh
+//! bolt input.elf -o output.elf -b profile.fdata \
+//!     -reorder-blocks=cache+ -reorder-functions=hfsort+ \
+//!     -split-functions -icf -dyno-stats -report-bad-layout
+//! ```
+
+use bolt::elf::{read_elf, write_elf};
+use bolt::hfsort::Algorithm;
+use bolt::opt::{optimize, BoltOptions};
+use bolt::passes::{BlockLayout, SplitMode};
+use bolt::profile::Profile;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bolt <input.elf> -o <output.elf> [-b <profile.fdata>] [options]\n\
+         \n\
+         options:\n\
+           -reorder-blocks=none|reverse|branch|cache|cache+\n\
+           -reorder-functions=none|hfsort|hfsort+|pettis-hansen\n\
+           -split-functions | -no-split-functions\n\
+           -icf | -no-icf\n\
+           -dyno-stats\n\
+           -report-bad-layout\n\
+           -print-debug-info\n\
+           -v"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut fdata = None;
+    let mut opts = BoltOptions::paper_default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = it.next().cloned(),
+            "-b" => fdata = it.next().cloned(),
+            "-dyno-stats" => opts.dyno_stats = true,
+            "-report-bad-layout" => opts.report_bad_layout = true,
+            "-print-debug-info" => opts.print_debug_info = true,
+            "-v" => opts.verbose = true,
+            "-icf" => opts.passes.icf = true,
+            "-no-icf" => opts.passes.icf = false,
+            "-split-functions" => opts.passes.split_functions = SplitMode::Profiled,
+            "-no-split-functions" => {
+                opts.passes.split_functions = SplitMode::None;
+                opts.passes.split_all_cold = false;
+                opts.passes.split_eh = false;
+            }
+            s if s.starts_with("-reorder-blocks=") => {
+                opts.passes.reorder_blocks = match &s["-reorder-blocks=".len()..] {
+                    "none" => BlockLayout::None,
+                    "reverse" => BlockLayout::Reverse,
+                    "branch" => BlockLayout::Branch,
+                    "cache" => BlockLayout::Cache,
+                    "cache+" => BlockLayout::CachePlus,
+                    _ => usage(),
+                };
+            }
+            s if s.starts_with("-reorder-functions=") => {
+                opts.passes.reorder_functions = match &s["-reorder-functions=".len()..] {
+                    "none" => Algorithm::None,
+                    "hfsort" => Algorithm::Hfsort,
+                    "hfsort+" => Algorithm::HfsortPlus,
+                    "pettis-hansen" => Algorithm::PettisHansen,
+                    _ => usage(),
+                };
+            }
+            s if s.starts_with('-') => usage(),
+            _ if input.is_none() => input = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let (Some(input), Some(output)) = (input, output) else {
+        usage()
+    };
+
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bolt: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elf = match read_elf(&bytes) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bolt: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match &fdata {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bolt: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Profile::from_fdata(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("bolt: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            eprintln!("bolt: warning: no profile given; layout passes will be conservative");
+            Profile::default()
+        }
+    };
+
+    let out = match optimize(&elf, &profile, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bolt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.verbose {
+        for r in &out.pipeline.reports {
+            eprintln!("  {:<20} {}", r.name, r.changes);
+        }
+        eprintln!(
+            "  {} simple / {} total functions; profile accuracy {:.1}%",
+            out.simple_functions,
+            out.ctx.functions.len(),
+            out.attach_stats.accuracy() * 100.0
+        );
+    }
+    if let Some(report) = &out.bad_layout {
+        println!("{report}");
+    }
+    if opts.dyno_stats {
+        println!("BOLT dyno stats (this profile, new layout vs old):");
+        print!("{}", out.dyno_after.delta_report(&out.dyno_before));
+    }
+
+    let bytes = match write_elf(&out.elf) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bolt: serializing output: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&output, bytes) {
+        eprintln!("bolt: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bolt: wrote {output} ({} functions rewritten, hot text {} bytes)",
+        out.rewrite_stats.emitted_functions, out.rewrite_stats.hot_text_size
+    );
+    ExitCode::SUCCESS
+}

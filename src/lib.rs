@@ -1,0 +1,67 @@
+//! # bolt — a practical binary optimizer for data centers and beyond
+//!
+//! A complete, pure-Rust reproduction of **BOLT** (Panchenko, Auler, Nell,
+//! Ottoni — CGO 2019): a *static post-link binary optimizer* driven by
+//! sample-based (LBR) profiles, together with every substrate its
+//! evaluation depends on:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`isa`] | x86-64 subset encoder/disassembler (the LLVM MC analogue) |
+//! | [`elf`] | ELF64 reader/writer |
+//! | [`ir`] | binary IR: functions, blocks, CFG, dataflow, metadata tables |
+//! | [`compiler`] | MIR compiler + linker substrate (PGO, LTO, PLT, jump tables) |
+//! | [`emu`] | functional emulator producing the hardware-event trace |
+//! | [`sim`] | cache/TLB/branch-predictor model and cycle accounting |
+//! | [`profile`] | LBR & IP samplers, `.fdata`, CFG attachment, flow repair |
+//! | [`hfsort`] | HFSort / HFSort+ / Pettis–Hansen function ordering |
+//! | [`passes`] | the sixteen-pass pipeline of paper Table 1 |
+//! | [`opt`] | the BOLT driver: discover → disassemble → optimize → rewrite |
+//! | [`workloads`] | synthetic data-center and compiler workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bolt::compiler::CompileOptions;
+//! use bolt::opt::{optimize, BoltOptions};
+//! use bolt::profile::{LbrSampler, SampleTrigger};
+//! use bolt::emu::Machine;
+//! use bolt::workloads::{Scale, Workload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Build a workload binary with the compiler substrate.
+//! let program = Workload::Tao.build(Scale::Test);
+//! let binary = bolt::compiler::compile_and_link(&program, &CompileOptions::default())?;
+//!
+//! // 2. Run it under the emulator with LBR sampling (the "perf record"
+//! //    step).
+//! let mut machine = Machine::new();
+//! machine.load_elf(&binary.elf);
+//! let mut sampler = LbrSampler::new(997, SampleTrigger::Instructions);
+//! machine.run(&mut sampler, 100_000_000)?;
+//!
+//! // 3. BOLT it.
+//! let bolted = optimize(&binary.elf, &sampler.profile, &BoltOptions::paper_default())?;
+//!
+//! // 4. The rewritten binary behaves identically — and takes far fewer
+//! //    taken branches (paper Table 2).
+//! let mut machine2 = Machine::new();
+//! machine2.load_elf(&bolted.elf);
+//! machine2.run(&mut bolt::emu::NullSink, 100_000_000)?;
+//! assert_eq!(machine.output, machine2.output);
+//! assert!(bolted.dyno_after.taken_branches <= bolted.dyno_before.taken_branches);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bolt_compiler as compiler;
+pub use bolt_elf as elf;
+pub use bolt_emu as emu;
+pub use bolt_hfsort as hfsort;
+pub use bolt_ir as ir;
+pub use bolt_isa as isa;
+pub use bolt_opt as opt;
+pub use bolt_passes as passes;
+pub use bolt_profile as profile;
+pub use bolt_sim as sim;
+pub use bolt_workloads as workloads;

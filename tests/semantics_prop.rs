@@ -1,0 +1,206 @@
+//! The flagship property: for randomly generated programs, the MIR
+//! interpreter, the compiled binary, and the BOLTed binary all produce
+//! identical observable behavior — under every compiler option set and
+//! both profile modes.
+
+use bolt::compiler::{
+    compile_and_link, BinOp, CmpOp, CompileOptions, FunctionBuilder, Global, Interp, MirProgram,
+    Operand, Rvalue, ShiftKind,
+};
+use bolt::emu::{Exit, Machine, NullSink};
+use bolt::opt::{optimize, BoltOptions};
+use bolt::profile::{IpSampler, LbrSampler, SampleTrigger};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random but always-terminating program: a few leaf
+/// functions with arithmetic and branches, one loop driver, globals, and
+/// emits.
+fn random_program(seed: u64) -> MirProgram {
+    let mut r = StdRng::seed_from_u64(seed);
+    let mut p = MirProgram::with_entry("main");
+    p.globals.push(Global {
+        name: "tbl".into(),
+        words: (0..64).map(|_| r.gen_range(-1000..1000)).collect(),
+        mutable: false,
+    });
+    p.globals.push(Global {
+        name: "state".into(),
+        words: vec![0; 8],
+        mutable: true,
+    });
+
+    let n_funcs = r.gen_range(2..6);
+    for k in 0..n_funcs {
+        let mut f = FunctionBuilder::new(&format!("leaf_{k}"), k as u32 % 3, "leaf.c", 1);
+        // Random arithmetic chain.
+        let mut cur = 0u32; // parameter local
+        for _ in 0..r.gen_range(1..6) {
+            let rv = match r.gen_range(0..6) {
+                0 => Rvalue::BinOp(
+                    BinOp::Add,
+                    Operand::Local(cur),
+                    Operand::Const(r.gen_range(-100..100)),
+                ),
+                1 => Rvalue::BinOp(
+                    BinOp::Mul,
+                    Operand::Local(cur),
+                    Operand::Const(r.gen_range(-5..7)),
+                ),
+                2 => Rvalue::BinOp(
+                    BinOp::Xor,
+                    Operand::Local(cur),
+                    Operand::Const(r.gen_range(0..1 << 20)),
+                ),
+                3 => Rvalue::Shift(ShiftKind::Shr, Operand::Local(cur), r.gen_range(1..16)),
+                4 => Rvalue::Shift(ShiftKind::Shl, Operand::Local(cur), r.gen_range(1..8)),
+                _ => Rvalue::BinOp(
+                    BinOp::And,
+                    Operand::Local(cur),
+                    Operand::Const(r.gen_range(1..1 << 16)),
+                ),
+            };
+            cur = f.assign(rv);
+        }
+        // Maybe a table read with a masked index (always in range).
+        if r.gen_bool(0.5) {
+            let idx = f.assign(Rvalue::BinOp(
+                BinOp::And,
+                Operand::Local(cur),
+                Operand::Const(63),
+            ));
+            cur = f.assign(Rvalue::LoadGlobal {
+                global: "tbl".into(),
+                index: Operand::Local(idx),
+            });
+        }
+        // Maybe call an earlier leaf.
+        if k > 0 && r.gen_bool(0.6) {
+            let callee = r.gen_range(0..k);
+            cur = f.call(&format!("leaf_{callee}"), vec![Operand::Local(cur)]);
+        }
+        // Random branch with both arms returning.
+        let c = f.assign_cmp(
+            match r.gen_range(0..4) {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Gt,
+                2 => CmpOp::Eq,
+                _ => CmpOp::Le,
+            },
+            Operand::Local(cur),
+            Operand::Const(r.gen_range(-50..50)),
+        );
+        let (t, e) = f.branch(Operand::Local(c));
+        f.switch_to(t);
+        f.ret(Operand::Local(cur));
+        f.switch_to(e);
+        let alt = f.assign(Rvalue::BinOp(
+            BinOp::Sub,
+            Operand::Const(0),
+            Operand::Local(cur),
+        ));
+        f.ret(Operand::Local(alt));
+        p.add_function(f.finish());
+    }
+
+    // main: a bounded loop mixing leaf calls and global state.
+    let iters = r.gen_range(50..400);
+    let mut m = FunctionBuilder::new("main", 9, "main.c", 0);
+    let acc = m.new_local();
+    let i = m.new_local();
+    m.assign_to(acc, Rvalue::Use(Operand::Const(r.gen_range(-10..10))));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(iters));
+    let (body, done) = m.branch(Operand::Local(c));
+    m.switch_to(body);
+    let which = r.gen_range(0..n_funcs);
+    let v = m.call(&format!("leaf_{which}"), vec![Operand::Local(i)]);
+    m.assign_to(
+        acc,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(acc), Operand::Local(v)),
+    );
+    if r.gen_bool(0.5) {
+        let slot = r.gen_range(0..8);
+        m.push_stmt(bolt::compiler::Stmt::StoreGlobal {
+            global: "state".into(),
+            index: Operand::Const(slot),
+            value: Operand::Local(acc),
+            line: 0,
+        });
+    }
+    if r.gen_bool(0.3) {
+        m.emit(Operand::Local(acc));
+    }
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(acc));
+    let code = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(acc),
+        Operand::Const(0x7F),
+    ));
+    m.ret(Operand::Local(code));
+    p.add_function(m.finish());
+    p.validate().expect("random program valid");
+    p
+}
+
+fn run_elf(elf: &bolt::elf::Elf) -> (i64, Vec<i64>) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let r = m.run(&mut NullSink, 500_000_000).expect("runs");
+    let Exit::Exited(code) = r.exit else {
+        panic!("no exit: {:?}", r.exit);
+    };
+    (code, m.output)
+}
+
+#[test]
+fn interpreter_compiler_and_bolt_agree_on_random_programs() {
+    for seed in 0..25u64 {
+        let program = random_program(seed);
+
+        // Oracle: the MIR interpreter.
+        let mut interp = Interp::new(&program, 200_000_000);
+        let expected_code = interp.run(&[]).unwrap() & 0xFF;
+        let expected_out = interp.output.clone();
+
+        // Vary compiler options with the seed.
+        let opts = CompileOptions {
+            opt_level: (seed % 3) as u8,
+            lto: seed % 2 == 0,
+            plt: seed % 3 != 1,
+            legacy_amd: seed % 4 == 2,
+            align_blocks: seed % 2 == 1,
+            ..CompileOptions::default()
+        };
+        let bin = compile_and_link(&program, &opts).expect("compiles");
+        let (code, out) = run_elf(&bin.elf);
+        assert_eq!(code & 0xFF, expected_code, "seed {seed}: compiled exit");
+        assert_eq!(out, expected_out, "seed {seed}: compiled output");
+
+        // Profile (alternate LBR / IP mode with the seed) and BOLT.
+        let mut m = Machine::new();
+        m.load_elf(&bin.elf);
+        let profile = if seed % 2 == 0 {
+            let mut s = LbrSampler::new(97, SampleTrigger::Instructions);
+            m.run(&mut s, 500_000_000).unwrap();
+            s.profile
+        } else {
+            let mut s = IpSampler::new(97);
+            m.run(&mut s, 500_000_000).unwrap();
+            s.profile
+        };
+        let bolted = optimize(&bin.elf, &profile, &BoltOptions::paper_default())
+            .expect("bolt succeeds");
+        let (code, out) = run_elf(&bolted.elf);
+        assert_eq!(code & 0xFF, expected_code, "seed {seed}: bolted exit");
+        assert_eq!(out, expected_out, "seed {seed}: bolted output");
+    }
+}

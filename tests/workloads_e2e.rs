@@ -1,0 +1,88 @@
+//! Every workload family, end to end at test scale: the MIR interpreter,
+//! the compiled binary, and the BOLTed binary agree; BOLT reduces taken
+//! branches on all of them.
+
+use bolt::compiler::{compile_and_link, CompileOptions, Interp};
+use bolt::emu::{Exit, Machine, NullSink};
+use bolt::opt::{optimize, BoltOptions};
+use bolt::profile::{LbrSampler, SampleTrigger};
+use bolt::workloads::{Scale, Workload};
+
+fn run_elf(elf: &bolt::elf::Elf) -> (i64, Vec<i64>) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let r = m.run(&mut NullSink, u64::MAX).expect("runs");
+    let Exit::Exited(code) = r.exit else {
+        panic!("no exit: {:?}", r.exit);
+    };
+    (code, m.output)
+}
+
+fn check_workload(wl: Workload) {
+    let program = wl.build(Scale::Test);
+
+    // Interpreter oracle.
+    let mut interp = Interp::new(&program, 2_000_000_000);
+    let expected_code = interp.run(&[]).unwrap() & 0xFF;
+    let expected_out = interp.output.clone();
+
+    // Compiled binary.
+    let bin = compile_and_link(&program, &CompileOptions::default()).expect("compiles");
+    let (code, out) = run_elf(&bin.elf);
+    assert_eq!(code & 0xFF, expected_code, "{}: compiled exit", wl.name());
+    assert_eq!(out, expected_out, "{}: compiled output", wl.name());
+
+    // Profile + BOLT.
+    let mut m = Machine::new();
+    m.load_elf(&bin.elf);
+    let mut sampler = LbrSampler::new(499, SampleTrigger::Instructions);
+    m.run(&mut sampler, u64::MAX).unwrap();
+    let bolted =
+        optimize(&bin.elf, &sampler.profile, &BoltOptions::paper_default()).expect("bolts");
+    let (code, out) = run_elf(&bolted.elf);
+    assert_eq!(code & 0xFF, expected_code, "{}: bolted exit", wl.name());
+    assert_eq!(out, expected_out, "{}: bolted output", wl.name());
+
+    // Layout improves by the paper's own metric.
+    let delta = bolted.dyno_after.taken_branch_delta(&bolted.dyno_before);
+    assert!(
+        delta < 0.0,
+        "{}: taken branches should drop, got {delta:+.1}%",
+        wl.name()
+    );
+}
+
+#[test]
+fn hhvm_like() {
+    check_workload(Workload::Hhvm);
+}
+
+#[test]
+fn tao_like() {
+    check_workload(Workload::Tao);
+}
+
+#[test]
+fn proxygen_like() {
+    check_workload(Workload::Proxygen);
+}
+
+#[test]
+fn multifeed1_like() {
+    check_workload(Workload::Multifeed1);
+}
+
+#[test]
+fn multifeed2_like() {
+    check_workload(Workload::Multifeed2);
+}
+
+#[test]
+fn clang_like() {
+    check_workload(Workload::ClangLike);
+}
+
+#[test]
+fn gcc_like() {
+    check_workload(Workload::GccLike);
+}
