@@ -9,7 +9,10 @@ use bolt_sim::SimConfig;
 use bolt_workloads::{Scale, Workload};
 
 fn main() {
-    banner("Figure 10", "-report-bad-layout on the PGO+LTO Clang-like binary");
+    banner(
+        "Figure 10",
+        "-report-bad-layout on the PGO+LTO Clang-like binary",
+    );
     let cfg = SimConfig::server();
     let program = Workload::ClangLike.build(Scale::Bench);
 

@@ -18,7 +18,13 @@ fn main() {
     banner("Figure 11", "LBR vs non-LBR profile quality, HHVM-like");
     let cfg = SimConfig::server();
     let program = Workload::Hhvm.build(Scale::Bench);
-    let baseline = build(&program, &CompileOptions { lto: true, ..CompileOptions::default() });
+    let baseline = build(
+        &program,
+        &CompileOptions {
+            lto: true,
+            ..CompileOptions::default()
+        },
+    );
 
     let (lbr_profile, base) = profile_lbr(&baseline, &cfg);
     let ip_profile = profile_ip(&baseline, SAMPLE_PERIOD / 16);
@@ -31,7 +37,13 @@ fn main() {
 
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "scenario", "Instructions", "Branch-miss", "I-cache-miss", "LLC-miss", "iTLB-miss", "CPU time"
+        "scenario",
+        "Instructions",
+        "Branch-miss",
+        "I-cache-miss",
+        "LLC-miss",
+        "iTLB-miss",
+        "CPU time"
     );
     for (name, passes) in scenarios {
         let mut opts = BoltOptions::paper_default();

@@ -10,11 +10,17 @@ use bolt_sim::SimConfig;
 use bolt_workloads::{Scale, Workload};
 
 fn main() {
-    banner("Figure 5", "BOLT speedup over HFSort baseline, data-center workloads");
+    banner(
+        "Figure 5",
+        "BOLT speedup over HFSort baseline, data-center workloads",
+    );
     let cfg = SimConfig::server();
     let mut speedups = Vec::new();
 
-    println!("{:<14} {:>10} {:>12} {:>12}", "workload", "speedup", "base Mcycle", "bolt Mcycle");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "workload", "speedup", "base Mcycle", "bolt Mcycle"
+    );
     for wl in Workload::DATACENTER {
         let program = wl.build(Scale::Bench);
         // Training build to derive the HFSort link order.

@@ -8,11 +8,20 @@ use bolt_sim::{Counters, SimConfig};
 use bolt_workloads::{Scale, Workload};
 
 fn main() {
-    banner("Figure 6", "microarchitecture miss reductions, HHVM-like workload");
+    banner(
+        "Figure 6",
+        "microarchitecture miss reductions, HHVM-like workload",
+    );
     let cfg = SimConfig::server();
     let program = Workload::Hhvm.build(Scale::Bench);
 
-    let plain = build(&program, &CompileOptions { lto: true, ..CompileOptions::default() });
+    let plain = build(
+        &program,
+        &CompileOptions {
+            lto: true,
+            ..CompileOptions::default()
+        },
+    );
     let (train, _) = profile_lbr(&plain, &cfg);
     let order = hfsort_link_order(&plain, &train);
     let baseline = build(
@@ -39,7 +48,10 @@ fn main() {
         ("D-TLB miss", b.dtlb_misses, n.dtlb_misses),
         ("LLC miss", b.llc_misses, n.llc_misses),
     ];
-    println!("{:<14} {:>12} {:>12} {:>12}", "metric", "baseline", "bolted", "reduction");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "metric", "baseline", "bolted", "reduction"
+    );
     for (name, base_v, new_v) in rows {
         println!(
             "{:<14} {:>12} {:>12} {:>11.1}%",

@@ -52,7 +52,10 @@ fn main() {
     let both_elf = bolt_with_profile(&pgo_elf, &pgo_profile).elf;
     let both_runs = measure_inputs(&both_elf, &cfg, full);
 
-    println!("{:<12} {:>10} {:>10} {:>10}", "input", "BOLT", "PGO", "PGO+BOLT");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "input", "BOLT", "PGO", "PGO+BOLT"
+    );
     for (i, (name, _)) in inputs(full).iter().enumerate() {
         assert_same_behavior(&base_runs[i], &bolt_runs[i], name);
         assert_same_behavior(&base_runs[i], &pgo_runs[i], name);

@@ -8,10 +8,19 @@ use bolt_sim::{HeatMap, SimConfig};
 use bolt_workloads::{Scale, Workload};
 
 fn main() {
-    banner("Figure 9", "instruction heat maps, HHVM-like, before/after BOLT");
+    banner(
+        "Figure 9",
+        "instruction heat maps, HHVM-like, before/after BOLT",
+    );
     let cfg = SimConfig::server();
     let program = Workload::Hhvm.build(Scale::Bench);
-    let baseline = build(&program, &CompileOptions { lto: true, ..CompileOptions::default() });
+    let baseline = build(
+        &program,
+        &CompileOptions {
+            lto: true,
+            ..CompileOptions::default()
+        },
+    );
     let (profile, base_run) = profile_lbr(&baseline, &cfg);
     let bolted = bolt_with_profile(&baseline, &profile);
 
@@ -38,22 +47,37 @@ fn main() {
     assert_eq!(code, base_run.exit_code);
     assert_eq!(output, base_run.output);
 
-    println!("\n(a) without BOLT  — span {:.2} MB, cell {} B", b_len as f64 / 1e6, before.block_bytes());
+    println!(
+        "\n(a) without BOLT  — span {:.2} MB, cell {} B",
+        b_len as f64 / 1e6,
+        before.block_bytes()
+    );
     println!("{}", before.to_ascii());
-    println!("(b) with BOLT     — span {:.2} MB, cell {} B", a_len as f64 / 1e6, after.block_bytes());
+    println!(
+        "(b) with BOLT     — span {:.2} MB, cell {} B",
+        a_len as f64 / 1e6,
+        after.block_bytes()
+    );
     println!("{}", after.to_ascii());
 
     let b_hot = before.hot_footprint(0.99);
     let a_hot = after.hot_footprint(0.99);
     println!("hot footprint (99% of fetches):");
-    println!("  without BOLT: {:>10} bytes over {:.2} MB of text", b_hot, b_len as f64 / 1e6);
+    println!(
+        "  without BOLT: {:>10} bytes over {:.2} MB of text",
+        b_hot,
+        b_len as f64 / 1e6
+    );
     println!("  with BOLT:    {:>10} bytes", a_hot);
     println!(
         "  densification: {:.1}x tighter (paper: ~148 MB -> ~4 MB of hot area)",
         b_hot as f64 / a_hot.max(1) as f64
     );
-    println!("occupancy: {:.1}% -> {:.1}% of cells active",
-        before.occupancy() * 100.0, after.occupancy() * 100.0);
+    println!(
+        "occupancy: {:.1}% -> {:.1}% of cells active",
+        before.occupancy() * 100.0,
+        after.occupancy() * 100.0
+    );
 
     // CSV artifacts for plotting.
     std::fs::create_dir_all("target/bolt-results").ok();

@@ -81,13 +81,19 @@ fn bench_hfsort(c: &mut Criterion) {
     // A synthetic 2000-node call graph.
     let mut cg = CallGraph::new();
     for i in 0..2000usize {
-        cg.add_node(format!("f{i}"), 64 + (i as u64 % 512), (i as u64 * 7919) % 10_000);
+        cg.add_node(
+            format!("f{i}"),
+            64 + (i as u64 % 512),
+            (i as u64 * 7919) % 10_000,
+        );
     }
     for i in 0..2000usize {
         cg.add_edge(i, (i * 13 + 7) % 2000, (i as u64 * 31) % 5000 + 1);
         cg.add_edge(i, (i * 5 + 3) % 2000, (i as u64 * 17) % 800 + 1);
     }
-    c.bench_function("hfsort_c3_2000", |b| b.iter(|| black_box(hfsort(&cg)).len()));
+    c.bench_function("hfsort_c3_2000", |b| {
+        b.iter(|| black_box(hfsort(&cg)).len())
+    });
     c.bench_function("hfsort_plus_2000", |b| {
         b.iter(|| black_box(hfsort_plus(&cg)).len())
     });

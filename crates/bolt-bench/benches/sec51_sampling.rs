@@ -13,7 +13,12 @@ use bolt_profile::{LbrSampler, SampleTrigger};
 use bolt_sim::{CpuModel, SimConfig};
 use bolt_workloads::{Scale, Workload};
 
-fn lbr_with(elf: &bolt_elf::Elf, trigger: SampleTrigger, skid: u64, period: u64) -> bolt_profile::Profile {
+fn lbr_with(
+    elf: &bolt_elf::Elf,
+    trigger: SampleTrigger,
+    skid: u64,
+    period: u64,
+) -> bolt_profile::Profile {
     let mut sampler = LbrSampler::new(period, trigger);
     sampler.skid = skid;
     let _ = run_with(elf, &mut sampler);
@@ -21,7 +26,10 @@ fn lbr_with(elf: &bolt_elf::Elf, trigger: SampleTrigger, skid: u64, period: u64)
 }
 
 fn main() {
-    banner("Section 5.1", "sampling events, PEBS precision, and non-LBR inference");
+    banner(
+        "Section 5.1",
+        "sampling events, PEBS precision, and non-LBR inference",
+    );
     let cfg = SimConfig::server();
     let program = Workload::Proxygen.build(Scale::Bench);
     let baseline = build(&program, &CompileOptions::default());
@@ -71,9 +79,7 @@ fn main() {
         lbr_speedups.push(s);
         println!("{name:<22} {s:>9.2}%");
     }
-    let spread = lbr_speedups
-        .iter()
-        .fold(f64::MIN, |a, &b| a.max(b))
+    let spread = lbr_speedups.iter().fold(f64::MIN, |a, &b| a.max(b))
         - lbr_speedups.iter().fold(f64::MAX, |a, &b| a.min(b));
     println!("LBR event spread: {spread:.2} points (paper: within 1%)");
 

@@ -8,7 +8,10 @@ use bolt_sim::SimConfig;
 use bolt_workloads::{Scale, Workload};
 
 fn main() {
-    banner("Table 1", "the optimization pipeline (with measured activity)");
+    banner(
+        "Table 1",
+        "the optimization pipeline (with measured activity)",
+    );
     let cfg = SimConfig::server();
     let program = Workload::Hhvm.build(Scale::Bench);
     let baseline = build(&program, &CompileOptions::default());
@@ -17,22 +20,39 @@ fn main() {
     let new = measure(&bolted.elf, &cfg);
     assert_same_behavior(&base, &new, "hhvm");
 
-    println!("{:<4} {:<20} {:>8}  description", "#", "pass", "changes");
+    println!(
+        "{:<4} {:<20} {:>8} {:>12}  description",
+        "#", "pass", "changes", "time"
+    );
     let mut ri = 0;
     for (i, (name, desc)) in TABLE1.iter().enumerate() {
         // Reports appear in pipeline order; match them up by name.
-        let changes = bolted
+        let (changes, time) = bolted
             .pipeline
             .reports
             .get(ri)
             .filter(|r| r.name == *name)
             .map(|r| {
                 ri += 1;
-                r.changes.to_string()
+                (r.changes.to_string(), format!("{:.3?}", r.duration))
             })
-            .unwrap_or_else(|| "-".to_string());
-        println!("{:<4} {:<20} {:>8}  {}", i + 1, name, changes, desc);
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        println!(
+            "{:<4} {:<20} {:>8} {:>12}  {}",
+            i + 1,
+            name,
+            changes,
+            time,
+            desc
+        );
     }
+    println!(
+        "{:<4} {:<20} {:>8} {:>12}",
+        "",
+        "pipeline total",
+        "",
+        format!("{:.3?}", bolted.pipeline.total_duration())
+    );
     println!(
         "\nsimple functions: {}/{} ({} folded or non-simple, kept at original addresses)",
         bolted.simple_functions,

@@ -11,7 +11,10 @@ use bolt_sim::SimConfig;
 use bolt_workloads::{Scale, Workload};
 
 fn main() {
-    banner("Table 2", "BOLT dyno stats over baseline and PGO+LTO, Clang-like");
+    banner(
+        "Table 2",
+        "BOLT dyno stats over baseline and PGO+LTO, Clang-like",
+    );
     let cfg = SimConfig::server();
     let program = Workload::ClangLike.build(Scale::Bench);
 
@@ -27,9 +30,15 @@ fn main() {
     let over_pgo = bolt_with_profile(&pgo, &pgo_profile);
 
     println!("\n-- Metric deltas, BOLT over baseline --");
-    print!("{}", over_base.dyno_after.delta_report(&over_base.dyno_before));
+    print!(
+        "{}",
+        over_base.dyno_after.delta_report(&over_base.dyno_before)
+    );
     println!("\n-- Metric deltas, BOLT over PGO+LTO --");
-    print!("{}", over_pgo.dyno_after.delta_report(&over_pgo.dyno_before));
+    print!(
+        "{}",
+        over_pgo.dyno_after.delta_report(&over_pgo.dyno_before)
+    );
     println!(
         "\nheadline: taken branches {:+.1}% over baseline (paper -69.8%), {:+.1}% over PGO+LTO (paper -44.3%)",
         over_base.dyno_after.taken_branch_delta(&over_base.dyno_before),

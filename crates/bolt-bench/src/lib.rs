@@ -175,10 +175,8 @@ pub fn hfsort_link_order(elf: &Elf, profile: &Profile) -> Vec<String> {
     let (mut ctx, raw) = bolt_opt::discover(elf);
     bolt_opt::disassemble_all(&mut ctx, &raw, elf);
     bolt_profile::attach_profile(&mut ctx, profile);
-    let order = bolt_passes::reorder_functions::run_reorder_functions(
-        &ctx,
-        bolt_hfsort::Algorithm::Hfsort,
-    );
+    let order =
+        bolt_passes::reorder_functions::run_reorder_functions(&ctx, bolt_hfsort::Algorithm::Hfsort);
     order
         .into_iter()
         .map(|i| ctx.functions[i].name.clone())

@@ -149,13 +149,15 @@ impl FunctionBuilder {
     pub fn call(&mut self, callee: &str, args: Vec<Operand>) -> LocalId {
         let dst = self.new_local();
         let line = self.take_line();
-        self.func.blocks[self.current.index()].stmts.push(Stmt::Call {
-            dst: Some(dst),
-            callee: Callee::Direct(callee.to_string()),
-            args,
-            landing_pad: None,
-            line,
-        });
+        self.func.blocks[self.current.index()]
+            .stmts
+            .push(Stmt::Call {
+                dst: Some(dst),
+                callee: Callee::Direct(callee.to_string()),
+                args,
+                landing_pad: None,
+                line,
+            });
         dst
     }
 
@@ -168,13 +170,15 @@ impl FunctionBuilder {
     ) -> LocalId {
         let dst = self.new_local();
         let line = self.take_line();
-        self.func.blocks[self.current.index()].stmts.push(Stmt::Call {
-            dst: Some(dst),
-            callee: Callee::Direct(callee.to_string()),
-            args,
-            landing_pad: Some(landing_pad),
-            line,
-        });
+        self.func.blocks[self.current.index()]
+            .stmts
+            .push(Stmt::Call {
+                dst: Some(dst),
+                callee: Callee::Direct(callee.to_string()),
+                args,
+                landing_pad: Some(landing_pad),
+                line,
+            });
         dst
     }
 
@@ -182,13 +186,15 @@ impl FunctionBuilder {
     pub fn call_indirect(&mut self, ptr: Operand, args: Vec<Operand>) -> LocalId {
         let dst = self.new_local();
         let line = self.take_line();
-        self.func.blocks[self.current.index()].stmts.push(Stmt::Call {
-            dst: Some(dst),
-            callee: Callee::Indirect(ptr),
-            args,
-            landing_pad: None,
-            line,
-        });
+        self.func.blocks[self.current.index()]
+            .stmts
+            .push(Stmt::Call {
+                dst: Some(dst),
+                callee: Callee::Indirect(ptr),
+                args,
+                landing_pad: None,
+                line,
+            });
         dst
     }
 
@@ -339,7 +345,11 @@ mod tests {
     fn lines_increase_monotonically() {
         let mut b = FunctionBuilder::new("f", 0, "f.c", 0);
         let x = b.assign(Rvalue::Use(Operand::Const(1)));
-        let _ = b.assign(Rvalue::BinOp(BinOp::Add, Operand::Local(x), Operand::Const(2)));
+        let _ = b.assign(Rvalue::BinOp(
+            BinOp::Add,
+            Operand::Local(x),
+            Operand::Const(2),
+        ));
         b.ret(Operand::Const(0));
         let f = b.finish();
         let lines: Vec<u32> = f.blocks[0].stmts.iter().map(|s| s.line()).collect();

@@ -478,10 +478,11 @@ fn uses_dynamic_globals(func: &MirFunction) -> bool {
     func.blocks.iter().any(|b| {
         b.stmts.iter().any(|s| match s {
             Stmt::Assign {
-                rv: Rvalue::LoadGlobal {
-                    index: Operand::Local(_),
-                    ..
-                },
+                rv:
+                    Rvalue::LoadGlobal {
+                        index: Operand::Local(_),
+                        ..
+                    },
                 ..
             } => true,
             Stmt::StoreGlobal {
@@ -576,10 +577,8 @@ pub fn codegen_function(
                 });
             }
             // Now start the entry MIR block at its own label.
-            let finished = std::mem::replace(
-                &mut g.cur,
-                EmitBlock::new(g.block_labels[bb.index()]),
-            );
+            let finished =
+                std::mem::replace(&mut g.cur, EmitBlock::new(g.block_labels[bb.index()]));
             g.done.push(finished);
         } else {
             let mut blk = EmitBlock::new(g.block_labels[bb.index()]);
@@ -618,7 +617,11 @@ pub fn codegen_function(
 
         g.cur_line = block.term_line;
         if tail_call {
-            let Some(Stmt::Call { callee: Callee::Direct(name), args, .. }) = block.stmts.last()
+            let Some(Stmt::Call {
+                callee: Callee::Direct(name),
+                args,
+                ..
+            }) = block.stmts.last()
             else {
                 unreachable!("tail_call implies a trailing direct call");
             };
@@ -695,10 +698,7 @@ pub fn codegen_function(
                     g.push(Inst::JmpInd {
                         rm: Rm::Reg(Reg::R11),
                     });
-                    let target_labels = targets
-                        .iter()
-                        .map(|t| g.block_labels[t.index()])
-                        .collect();
+                    let target_labels = targets.iter().map(|t| g.block_labels[t.index()]).collect();
                     g.jump_tables.push(JumpTableReq {
                         table,
                         targets: target_labels,
@@ -763,7 +763,13 @@ mod tests {
             .flat_map(|b| b.insts.iter().map(|i| &i.inst))
             .collect();
         assert!(matches!(all[0], Inst::Push(Reg::Rbp)));
-        assert!(matches!(all[1], Inst::MovRR { dst: Reg::Rbp, src: Reg::Rsp }));
+        assert!(matches!(
+            all[1],
+            Inst::MovRR {
+                dst: Reg::Rbp,
+                src: Reg::Rsp
+            }
+        ));
         assert!(matches!(all.last().unwrap(), Inst::Ret));
         // Parameter spill present.
         assert!(all

@@ -30,9 +30,9 @@ fn inlinable(callee: &MirFunction) -> bool {
     }
     // No recursion.
     let self_call = callee.blocks.iter().any(|b| {
-        b.stmts.iter().any(
-            |s| matches!(s, Stmt::Call { callee: Callee::Direct(n), .. } if *n == callee.name),
-        )
+        b.stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Call { callee: Callee::Direct(n), .. } if *n == callee.name))
     });
     !self_call
 }
@@ -59,9 +59,7 @@ fn should_inline(
     }
     if let Some(profile) = &opts.pgo {
         let hot = (profile.max_line() as f64 * PGO_HOT_FRACTION) as u64;
-        let count = profile
-            .calls_at(line, &callee.name)
-            .max(profile.line(line));
+        let count = profile.calls_at(line, &callee.name).max(profile.line(line));
         if count > 0 && count >= hot.max(1) {
             return true;
         }

@@ -231,10 +231,7 @@ pub fn compile_and_link(
     let runtime_units = make_runtime(&mut labels);
 
     // PLT stubs for every external referenced through the PLT.
-    let plt_pairs: Vec<(String, Label)> = labels
-        .iter_plt()
-        .map(|(n, l)| (n.clone(), l))
-        .collect();
+    let plt_pairs: Vec<(String, Label)> = labels.iter_plt().map(|(n, l)| (n.clone(), l)).collect();
     let mut plt_units = Vec::new();
     for (name, stub) in &plt_pairs {
         let got = labels.got(name);
@@ -284,10 +281,7 @@ pub fn compile_and_link(
     }
     // GOT: one slot per external.
     let mut got = Vec::new();
-    let got_pairs: Vec<(String, Label)> = labels
-        .iter_got()
-        .map(|(n, l)| (n.clone(), l))
-        .collect();
+    let got_pairs: Vec<(String, Label)> = labels.iter_got().map(|(n, l)| (n.clone(), l)).collect();
     let mut got_slots: Vec<(String, u64)> = Vec::new();
     for (name, label) in &got_pairs {
         let addr = GOT_BASE + got.len() as u64;
@@ -453,11 +447,7 @@ pub fn compile_and_link(
 
 /// Blocks of the `_start` unit (see [`make_start`]); split out so option
 /// routing is testable.
-fn make_start_blocks(
-    labels: &mut Labels,
-    opts: &CompileOptions,
-    entry_fn: &str,
-) -> Vec<EmitBlock> {
+fn make_start_blocks(labels: &mut Labels, opts: &CompileOptions, entry_fn: &str) -> Vec<EmitBlock> {
     let start_label = labels.func("_start");
     let main_label = labels.func(entry_fn);
     let exit_target = if opts.plt {
@@ -683,8 +673,7 @@ mod tests {
     fn metadata_sections_present_and_parse() {
         let p = kitchen_sink();
         let bin = compile_and_link(&p, &CompileOptions::default()).unwrap();
-        let lines =
-            LineTable::from_bytes(&bin.elf.section(".bolt.lines").unwrap().data).unwrap();
+        let lines = LineTable::from_bytes(&bin.elf.section(".bolt.lines").unwrap().data).unwrap();
         assert!(!lines.entries.is_empty());
         assert!(lines.files.iter().any(|f| f == "main.c"));
         let eh = ExceptionTable::from_bytes(&bin.elf.section(".bolt.eh").unwrap().data).unwrap();

@@ -74,7 +74,10 @@ pub enum Rvalue {
     Shift(ShiftKind, Operand, u8),
     Cmp(CmpOp, Operand, Operand),
     /// Loads the 64-bit word `global[index]`.
-    LoadGlobal { global: String, index: Operand },
+    LoadGlobal {
+        global: String,
+        index: Operand,
+    },
     /// The address of a function (for indirect calls).
     FuncAddr(String),
 }
@@ -111,7 +114,10 @@ pub enum Stmt {
     },
     /// Writes a value to the program's output stream (lowered to a runtime
     /// call through the PLT).
-    Emit { value: Operand, line: u32 },
+    Emit {
+        value: Operand,
+        line: u32,
+    },
 }
 
 impl Stmt {
@@ -472,10 +478,15 @@ pub enum InterpError {
     BadFunctionPointer(i64),
     StackOverflow,
     StepBudgetExhausted,
-    UnreachableExecuted { function: String },
+    UnreachableExecuted {
+        function: String,
+    },
     /// A global was indexed outside its bounds (generators must produce
     /// in-range indices so machine semantics and MIR semantics agree).
-    GlobalIndexOutOfBounds { global: String, index: i64 },
+    GlobalIndexOutOfBounds {
+        global: String,
+        index: i64,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -591,10 +602,7 @@ impl<'p> Interp<'p> {
                     } => {
                         let idx = self.eval_operand(index, &locals);
                         let val = self.eval_operand(value, &locals);
-                        let words = self
-                            .globals
-                            .get_mut(global)
-                            .expect("validated global name");
+                        let words = self.globals.get_mut(global).expect("validated global name");
                         if idx < 0 || idx as usize >= words.len() {
                             return Err(InterpError::GlobalIndexOutOfBounds {
                                 global: global.clone(),

@@ -140,9 +140,7 @@ pub fn pgo_layout(func: &mut MirFunction, profile: &SourceProfile) {
         }
         // Merge only when `from` is a chain tail and `to` a chain head:
         // that's what makes the edge a fall-through.
-        if *chains[cf].last().expect("chains non-empty") == from
-            && chains[ct][0] == to
-        {
+        if *chains[cf].last().expect("chains non-empty") == from && chains[ct][0] == to {
             let tail = std::mem::take(&mut chains[ct]);
             for b in &tail {
                 chain_of[*b] = cf;
@@ -190,9 +188,7 @@ pub fn hot_call_sites(
                 ..
             } = s
             {
-                let count = profile
-                    .calls_at(*line, name)
-                    .max(profile.line(*line));
+                let count = profile.calls_at(*line, name).max(profile.line(*line));
                 if count >= threshold {
                     out.push((MirBlockId(bi as u32), si, name.clone(), count));
                 }

@@ -283,9 +283,13 @@ mod tests {
 
     fn sample() -> Elf {
         let mut e = Elf::new(0x400000);
-        e.sections.push(Section::code(".text", 0x400000, vec![0xC3; 32]));
         e.sections
-            .push(Section::rodata(".rodata", 0x500000, 42u64.to_le_bytes().to_vec()));
+            .push(Section::code(".text", 0x400000, vec![0xC3; 32]));
+        e.sections.push(Section::rodata(
+            ".rodata",
+            0x500000,
+            42u64.to_le_bytes().to_vec(),
+        ));
         e.symbols.push(Symbol::func("main", 0x400000, 16, 0));
         e
     }

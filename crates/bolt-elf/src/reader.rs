@@ -241,7 +241,9 @@ pub fn read_elf(data: &[u8]) -> Result<Elf, ElfError> {
                 .get(file_sym)
                 .copied()
                 .filter(|&v| v != u32::MAX)
-                .ok_or(ElfError::UnsupportedFormat("relocation against null symbol"))?;
+                .ok_or(ElfError::UnsupportedFormat(
+                    "relocation against null symbol",
+                ))?;
             elf.relocations.push(Rela {
                 offset,
                 sym_index,

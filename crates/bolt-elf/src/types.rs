@@ -150,7 +150,12 @@ mod tests {
         for b in [SymBind::Local, SymBind::Global, SymBind::Weak] {
             assert_eq!(SymBind::from_st_bind(b.to_st_bind()), Some(b));
         }
-        for k in [SymKind::NoType, SymKind::Object, SymKind::Func, SymKind::Section] {
+        for k in [
+            SymKind::NoType,
+            SymKind::Object,
+            SymKind::Func,
+            SymKind::Section,
+        ] {
             assert_eq!(SymKind::from_st_type(k.to_st_type()), Some(k));
         }
         assert_eq!(SymBind::from_st_bind(9), None);

@@ -2,15 +2,23 @@
 //! the same image.
 
 use bolt_elf::types::{reloc, sht};
-use bolt_elf::{read_elf, write_elf, Elf, ElfError, Rela, Section, SymBind, SymKind, SymSection, Symbol};
+use bolt_elf::{
+    read_elf, write_elf, Elf, ElfError, Rela, Section, SymBind, SymKind, SymSection, Symbol,
+};
 use proptest::prelude::*;
 
 fn sample_elf() -> Elf {
     let mut e = Elf::new(0x400000);
-    e.sections
-        .push(Section::code(".text", 0x400000, vec![0x55, 0x48, 0x89, 0xE5, 0x5D, 0xC3]));
-    e.sections
-        .push(Section::rodata(".rodata", 0x500000, vec![1, 2, 3, 4, 5, 6, 7, 8]));
+    e.sections.push(Section::code(
+        ".text",
+        0x400000,
+        vec![0x55, 0x48, 0x89, 0xE5, 0x5D, 0xC3],
+    ));
+    e.sections.push(Section::rodata(
+        ".rodata",
+        0x500000,
+        vec![1, 2, 3, 4, 5, 6, 7, 8],
+    ));
     e.sections
         .push(Section::data(".data", 0x600000, vec![0; 16]));
     e.sections
@@ -155,7 +163,11 @@ fn arb_elf() -> impl Strategy<Value = Elf> {
                         name: format!("{name}_{j}"),
                         value,
                         size,
-                        kind: if j % 2 == 0 { SymKind::Func } else { SymKind::Object },
+                        kind: if j % 2 == 0 {
+                            SymKind::Func
+                        } else {
+                            SymKind::Object
+                        },
                         // Locals first keeps the image in canonical order so
                         // equality round-trips exactly.
                         bind: SymBind::Global,

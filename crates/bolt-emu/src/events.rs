@@ -24,7 +24,10 @@ impl BranchKind {
     /// Whether this kind is a call or return (used when building call
     /// graphs from LBRs, paper section 5.3).
     pub fn is_call_or_return(self) -> bool {
-        matches!(self, BranchKind::Call | BranchKind::IndirectCall | BranchKind::Return)
+        matches!(
+            self,
+            BranchKind::Call | BranchKind::IndirectCall | BranchKind::Return
+        )
     }
 }
 

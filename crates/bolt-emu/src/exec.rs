@@ -687,9 +687,7 @@ mod tests {
             Inst::Ret,
         ];
         let mut m = machine_with(&insts);
-        let rax = m
-            .call_function(0x400000, &[], &mut NullSink, 100)
-            .unwrap();
+        let rax = m.call_function(0x400000, &[], &mut NullSink, 100).unwrap();
         assert_eq!(rax, 42);
     }
 
@@ -780,10 +778,7 @@ mod tests {
     #[test]
     fn traps_and_bad_code() {
         let mut m = machine_with(&[Inst::Ud2]);
-        assert_eq!(
-            m.step(&mut NullSink),
-            Err(EmuError::Trap { rip: 0x400000 })
-        );
+        assert_eq!(m.step(&mut NullSink), Err(EmuError::Trap { rip: 0x400000 }));
         let mut m = Machine::new();
         m.rip = 0x999000; // zeros decode as add [rax], al? -> unsupported
         assert!(matches!(

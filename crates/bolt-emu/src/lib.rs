@@ -15,6 +15,6 @@ mod events;
 mod exec;
 mod memory;
 
-pub use events::{BranchEvent, BranchKind, CountingSink, NullSink, TraceSink, Tee};
+pub use events::{BranchEvent, BranchKind, CountingSink, NullSink, Tee, TraceSink};
 pub use exec::{EmuError, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP};
 pub use memory::Memory;

@@ -63,11 +63,8 @@ impl CallGraph {
 
     /// Edges sorted by descending weight (deterministic tie-breaks).
     pub fn edges_by_weight(&self) -> Vec<(usize, usize, u64)> {
-        let mut v: Vec<(usize, usize, u64)> = self
-            .edges
-            .iter()
-            .map(|(&(a, b), &w)| (a, b, w))
-            .collect();
+        let mut v: Vec<(usize, usize, u64)> =
+            self.edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
         v.sort_unstable_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
         v
     }

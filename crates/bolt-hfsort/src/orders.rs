@@ -53,12 +53,7 @@ fn singleton_clusters(cg: &CallGraph) -> (Vec<Cluster>, Vec<usize>) {
     (clusters, cluster_of)
 }
 
-fn merge(
-    clusters: &mut [Cluster],
-    cluster_of: &mut [usize],
-    into: usize,
-    from: usize,
-) {
+fn merge(clusters: &mut [Cluster], cluster_of: &mut [usize], into: usize, from: usize) {
     let moved = std::mem::take(&mut clusters[from].funcs);
     for &f in &moved {
         cluster_of[f] = into;
@@ -234,7 +229,11 @@ mod tests {
     #[test]
     fn hot_chain_is_packed_together() {
         let cg = sample_cg();
-        for algo in [Algorithm::Hfsort, Algorithm::HfsortPlus, Algorithm::PettisHansen] {
+        for algo in [
+            Algorithm::Hfsort,
+            Algorithm::HfsortPlus,
+            Algorithm::PettisHansen,
+        ] {
             let order = order_functions(&cg, algo);
             let d = pos(&order, 1).abs_diff(pos(&order, 3));
             assert!(
@@ -246,7 +245,10 @@ mod tests {
             let hot_p = pos(&order, 1);
             let cold_p = pos(&order, 2);
             let between = (main_p.min(hot_p)..main_p.max(hot_p)).contains(&cold_p);
-            assert!(!between, "{algo:?}: cold not between main and hot: {order:?}");
+            assert!(
+                !between,
+                "{algo:?}: cold not between main and hot: {order:?}"
+            );
         }
     }
 

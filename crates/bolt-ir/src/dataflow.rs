@@ -279,11 +279,7 @@ impl DataflowProblem for Liveness {
 
 /// Computes per-instruction liveness for a block given the block's exit
 /// fact: returns the live set *before* each instruction.
-pub fn live_before_each(
-    func: &BinaryFunction,
-    id: BlockId,
-    facts: &[BlockFacts],
-) -> Vec<RegSet> {
+pub fn live_before_each(func: &BinaryFunction, id: BlockId, facts: &[BlockFacts]) -> Vec<RegSet> {
     let b = func.block(id);
     let mut cur = facts[id.index()].exit;
     let mut result = vec![RegSet::EMPTY; b.insts.len()];

@@ -372,7 +372,10 @@ pub fn emit_units(
             pi += 1;
         }
         let end = bases[stream] + buf.len() as u64;
-        frag_bounds.get_mut(&(ui, is_cold)).expect("just inserted").1 = end;
+        frag_bounds
+            .get_mut(&(ui, is_cold))
+            .expect("just inserted")
+            .1 = end;
     }
 
     // Fall-through validation: the last block of each fragment must not
@@ -381,7 +384,13 @@ pub fn emit_units(
     for &(stream, ui, bi) in &order {
         last_of_stream[stream] = Some((ui, bi));
     }
-    for &(_, (ui, bi)) in last_of_stream.iter().flatten().enumerate().collect::<Vec<_>>().iter() {
+    for &(_, (ui, bi)) in last_of_stream
+        .iter()
+        .flatten()
+        .enumerate()
+        .collect::<Vec<_>>()
+        .iter()
+    {
         let block = &units[*ui].blocks[*bi];
         let falls = match block.insts.last() {
             None => true,
@@ -576,7 +585,10 @@ mod tests {
         let r = emit_units(&[unit], 0x400000, 0x600000, &ext).unwrap();
         let decoded = decode_all(&r.text, 0x400000).unwrap();
         match decoded[0].1.inst {
-            Inst::Load { mem: bolt_isa::Mem::RipRel { target }, .. } => {
+            Inst::Load {
+                mem: bolt_isa::Mem::RipRel { target },
+                ..
+            } => {
                 assert_eq!(target, Target::Addr(0x700010));
             }
             ref other => panic!("unexpected {other:?}"),
@@ -632,7 +644,10 @@ mod tests {
         unit.blocks = vec![b0, b1];
         let r = emit_units(&[unit], 0x400000, 0x600000, &HashMap::new()).unwrap();
         assert_eq!(r.line_entries.len(), 1);
-        assert_eq!(r.line_entries[0], (0x400000, LineInfo { file: 0, line: 22 }));
+        assert_eq!(
+            r.line_entries[0],
+            (0x400000, LineInfo { file: 0, line: 22 })
+        );
         assert_eq!(r.eh_entries.len(), 1);
         assert_eq!(r.eh_entries[0].0, 0x400000);
         assert_eq!(r.eh_entries[0].1, label(1));

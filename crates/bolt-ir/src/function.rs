@@ -243,7 +243,10 @@ impl BinaryFunction {
         for id in &self.layout {
             let i = id.index();
             if i >= self.blocks.len() {
-                return Err(format!("{}: layout references missing block {id}", self.name));
+                return Err(format!(
+                    "{}: layout references missing block {id}",
+                    self.name
+                ));
             }
             if seen[i] {
                 return Err(format!("{}: block {id} appears twice in layout", self.name));
@@ -315,10 +318,7 @@ impl BinaryFunction {
 
     /// Sum of all taken-edge counts (used by dyno stats).
     pub fn total_edge_count(&self) -> u64 {
-        self.layout
-            .iter()
-            .map(|&id| self.block(id).outflow())
-            .sum()
+        self.layout.iter().map(|&id| self.block(id).outflow()).sum()
     }
 
     /// Hottest-first order of block ids by execution count.

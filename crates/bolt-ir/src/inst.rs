@@ -126,6 +126,9 @@ mod tests {
     fn cfi_display_matches_figure4_style() {
         assert_eq!(CfiOp::DefCfaOffset(-16).to_string(), "OpDefCfaOffset -16");
         assert_eq!(CfiOp::Offset(6, -16).to_string(), "OpOffset Reg6 -16");
-        assert_eq!(CfiOp::DefCfaRegister(6).to_string(), "OpDefCfaRegister Reg6");
+        assert_eq!(
+            CfiOp::DefCfaRegister(6).to_string(),
+            "OpDefCfaRegister Reg6"
+        );
     }
 }

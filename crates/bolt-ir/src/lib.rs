@@ -33,8 +33,8 @@
 
 mod block;
 mod context;
-pub mod emit;
 pub mod dataflow;
+pub mod emit;
 mod function;
 mod inst;
 mod meta;
@@ -43,8 +43,10 @@ pub mod print;
 pub use block::{BasicBlock, BlockId, SuccEdge};
 pub use context::BinaryContext;
 pub use dataflow::{dominators, live_before_each, solve, BlockFacts, Direction, Liveness, RegSet};
+pub use emit::{
+    emit_units, EmitBlock, EmitError, EmitInst, EmitReloc, EmitResult, EmitSymbol, EmitUnit,
+};
 pub use function::{edges, BinaryFunction, JumpTable, NonSimpleReason};
 pub use inst::{BinaryInst, CfiOp, LineInfo};
 pub use meta::{ExceptionTable, LineTable, MetaError};
 pub use print::{dump_function, DumpOptions};
-pub use emit::{emit_units, EmitBlock, EmitError, EmitInst, EmitReloc, EmitResult, EmitSymbol, EmitUnit};

@@ -74,7 +74,11 @@ impl LineTable {
     /// Human-readable `file:line` for an address.
     pub fn describe(&self, addr: u64) -> Option<String> {
         let (f, l) = self.lookup(addr)?;
-        let name = self.files.get(f as usize).map(String::as_str).unwrap_or("?");
+        let name = self
+            .files
+            .get(f as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
         Some(format!("{name}:{l}"))
     }
 
@@ -168,8 +172,12 @@ impl ExceptionTable {
     /// Returns an error on truncated input.
     pub fn from_bytes(data: &[u8]) -> Result<ExceptionTable, MetaError> {
         let mut t = ExceptionTable::new();
-        let n = u32::from_le_bytes(data.get(..4).ok_or(MetaError::Truncated)?.try_into().unwrap())
-            as usize;
+        let n = u32::from_le_bytes(
+            data.get(..4)
+                .ok_or(MetaError::Truncated)?
+                .try_into()
+                .unwrap(),
+        ) as usize;
         let mut pos = 4;
         for _ in 0..n {
             let cs = u64::from_le_bytes(

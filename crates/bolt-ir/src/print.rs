@@ -42,11 +42,7 @@ pub fn dump_function(
     let layout_names: Vec<String> = func.layout.iter().map(|b| b.to_string()).collect();
     let _ = writeln!(out, "  BB Layout   : {}", layout_names.join(", "));
     let _ = writeln!(out, "  Exec Count  : {}", func.exec_count);
-    let _ = writeln!(
-        out,
-        "  Profile Acc : {:.1}%",
-        func.profile_accuracy * 100.0
-    );
+    let _ = writeln!(out, "  Profile Acc : {:.1}%", func.profile_accuracy * 100.0);
     let _ = writeln!(out, "}}");
 
     for (id, b) in func.iter_layout() {

@@ -17,7 +17,11 @@ struct FuncSpec {
 
 fn arb_func(max_blocks: usize) -> impl Strategy<Value = FuncSpec> {
     proptest::collection::vec(
-        (0usize..40, proptest::option::of(0usize..max_blocks), any::<bool>()),
+        (
+            0usize..40,
+            proptest::option::of(0usize..max_blocks),
+            any::<bool>(),
+        ),
         2..max_blocks,
     )
     .prop_map(|mut blocks| {

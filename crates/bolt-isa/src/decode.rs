@@ -5,9 +5,7 @@
 //! binary rewriter needs: bytes it cannot decode make the containing
 //! function *non-simple* and it is left untouched (paper section 3.1).
 
-use crate::{
-    AluOp, Cond, Inst, JumpWidth, Mem, Reg, Rm, ShiftOp, Target, NOP_SEQUENCES,
-};
+use crate::{AluOp, Cond, Inst, JumpWidth, Mem, Reg, Rm, ShiftOp, Target, NOP_SEQUENCES};
 use std::fmt;
 
 /// A successfully decoded instruction.
@@ -468,7 +466,11 @@ mod tests {
         let dec = decode(&enc.bytes, addr).unwrap_or_else(|e| panic!("decode {inst}: {e}"));
         assert_eq!(dec.len as usize, enc.bytes.len(), "length of {inst}");
         let re = encode_at(&dec.inst, addr).unwrap();
-        assert_eq!(re.bytes, enc.bytes, "re-encode of {inst} (decoded {})", dec.inst);
+        assert_eq!(
+            re.bytes, enc.bytes,
+            "re-encode of {inst} (decoded {})",
+            dec.inst
+        );
     }
 
     #[test]

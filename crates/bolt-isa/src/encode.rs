@@ -120,11 +120,8 @@ impl Enc {
 
     /// Emits a REX prefix if any bit is set or if `force` is true.
     fn rex(&mut self, w: bool, r: bool, x: bool, b: bool, force: bool) {
-        let byte = 0x40
-            | (u8::from(w) << 3)
-            | (u8::from(r) << 2)
-            | (u8::from(x) << 1)
-            | u8::from(b);
+        let byte =
+            0x40 | (u8::from(w) << 3) | (u8::from(r) << 2) | (u8::from(x) << 1) | u8::from(b);
         if byte != 0x40 || force {
             self.u8(byte);
         }
@@ -291,7 +288,14 @@ pub fn apply_fixup(
     inst_len: usize,
     to: u64,
 ) -> Result<(), EncodeError> {
-    patch(bytes, fixup.offset, fixup.kind, inst_addr, inst_len as u64, to)
+    patch(
+        bytes,
+        fixup.offset,
+        fixup.kind,
+        inst_addr,
+        inst_len as u64,
+        to,
+    )
 }
 
 /// Canonical NOP byte sequences of length 1..=9 (Intel SDM recommended
@@ -773,7 +777,11 @@ mod tests {
             },
         ];
         for c in cases {
-            assert_eq!(encoded_len(&c), encode_at(&c, 0).unwrap().bytes.len(), "{c}");
+            assert_eq!(
+                encoded_len(&c),
+                encode_at(&c, 0).unwrap().bytes.len(),
+                "{c}"
+            );
         }
     }
 }

@@ -237,7 +237,10 @@ impl Inst {
     /// Whether this is any kind of branch (conditional, unconditional or
     /// indirect), excluding calls and returns.
     pub fn is_branch(&self) -> bool {
-        matches!(self, Inst::Jcc { .. } | Inst::Jmp { .. } | Inst::JmpInd { .. })
+        matches!(
+            self,
+            Inst::Jcc { .. } | Inst::Jmp { .. } | Inst::JmpInd { .. }
+        )
     }
 
     /// Whether this is a conditional branch.
@@ -358,7 +361,11 @@ impl Inst {
     pub fn writes_flags(&self) -> bool {
         matches!(
             self,
-            Inst::Alu { .. } | Inst::AluI { .. } | Inst::Test { .. } | Inst::Imul { .. } | Inst::Shift { .. }
+            Inst::Alu { .. }
+                | Inst::AluI { .. }
+                | Inst::Test { .. }
+                | Inst::Imul { .. }
+                | Inst::Shift { .. }
         )
     }
 

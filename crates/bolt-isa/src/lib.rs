@@ -37,7 +37,7 @@ mod reg;
 pub use cond::Cond;
 pub use decode::{decode, decode_all, DecodeError, DecodedInst};
 pub use encode::{
-    apply_fixup, encode_at, encoded_len, Encoded, EncodeError, Fixup, FixupKind, NOP_SEQUENCES,
+    apply_fixup, encode_at, encoded_len, EncodeError, Encoded, Fixup, FixupKind, NOP_SEQUENCES,
 };
 pub use inst::{AluOp, Inst, JumpWidth, Rm, ShiftOp};
 pub use mem::{Label, Mem, Target};

@@ -47,14 +47,14 @@ fn arb_far_target() -> impl Strategy<Value = Target> {
 fn arb_mem() -> impl Strategy<Value = Mem> {
     prop_oneof![
         (arb_reg(), any::<i32>()).prop_map(|(base, disp)| Mem::BaseDisp { base, disp }),
-        (arb_reg(), arb_index_reg(), 0u8..4, any::<i32>()).prop_map(
-            |(base, index, s, disp)| Mem::BaseIndexScale {
+        (arb_reg(), arb_index_reg(), 0u8..4, any::<i32>()).prop_map(|(base, index, s, disp)| {
+            Mem::BaseIndexScale {
                 base,
                 index,
                 scale: 1 << s,
                 disp,
             }
-        ),
+        }),
         arb_far_target().prop_map(|target| Mem::RipRel { target }),
     ]
 }
@@ -73,12 +73,18 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_mem(), arb_reg()).prop_map(|(mem, src)| Inst::Store { mem, src }),
         (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
         (arb_alu_op(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
-        (arb_alu_op(), arb_reg(), any::<i32>())
-            .prop_map(|(op, dst, imm)| Inst::AluI { op, dst, imm }),
+        (arb_alu_op(), arb_reg(), any::<i32>()).prop_map(|(op, dst, imm)| Inst::AluI {
+            op,
+            dst,
+            imm
+        }),
         (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Test { a, b }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
-        (arb_shift_op(), arb_reg(), 0u8..64)
-            .prop_map(|(op, dst, amount)| Inst::Shift { op, dst, amount }),
+        (arb_shift_op(), arb_reg(), 0u8..64).prop_map(|(op, dst, amount)| Inst::Shift {
+            op,
+            dst,
+            amount
+        }),
         (arb_cond(), arb_reg()).prop_map(|(cond, dst)| Inst::Setcc { cond, dst }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Movzx8 { dst, src }),
         (arb_cond(), arb_near_target()).prop_map(|(cond, target)| Inst::Jcc {

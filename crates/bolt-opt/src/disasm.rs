@@ -9,8 +9,7 @@
 use crate::discover::RawFunction;
 use bolt_elf::Elf;
 use bolt_ir::{
-    BasicBlock, BinaryContext, BinaryInst, BlockId, JumpTable, LineInfo, NonSimpleReason,
-    SuccEdge,
+    BasicBlock, BinaryContext, BinaryInst, BlockId, JumpTable, LineInfo, NonSimpleReason, SuccEdge,
 };
 use bolt_isa::{decode, AluOp, Inst, Label, Mem, Reg, Rm, Target};
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,35 +41,33 @@ pub fn disassemble_all(ctx: &mut BinaryContext, funcs: &[RawFunction], elf: &Elf
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(1);
-    let results: Vec<Result<bolt_ir::BinaryFunction, NonSimpleReason>> = if n_threads <= 1
-        || funcs.len() < 32
-    {
-        funcs
-            .iter()
-            .map(|raw| disassemble_function(ctx, raw, elf))
-            .collect()
-    } else {
-        let chunk = funcs.len().div_ceil(n_threads);
-        let ctx_ref = &*ctx;
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = funcs
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| {
-                        slice
-                            .iter()
-                            .map(|raw| disassemble_function(ctx_ref, raw, elf))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("disassembly worker"))
+    let results: Vec<Result<bolt_ir::BinaryFunction, NonSimpleReason>> =
+        if n_threads <= 1 || funcs.len() < 32 {
+            funcs
+                .iter()
+                .map(|raw| disassemble_function(ctx, raw, elf))
                 .collect()
-        })
-        .expect("disassembly scope")
-    };
+        } else {
+            let chunk = funcs.len().div_ceil(n_threads);
+            let ctx_ref = &*ctx;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = funcs
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|raw| disassemble_function(ctx_ref, raw, elf))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("disassembly worker"))
+                    .collect()
+            })
+        };
 
     let mut simple = 0;
     for (fi, result) in results.into_iter().enumerate() {
@@ -120,7 +117,9 @@ fn disassemble_function(
     // Jump-table recognition.
     let mut jump_tables: Vec<JtInfo> = Vec::new();
     for (i, s) in slots.iter().enumerate() {
-        let Inst::JmpInd { rm } = s.inst else { continue };
+        let Inst::JmpInd { rm } = s.inst else {
+            continue;
+        };
         match rm {
             Rm::Mem(Mem::RipRel { .. }) => {
                 // Tail jump through memory (PLT-style): allowed, no
@@ -181,7 +180,8 @@ fn disassemble_function(
         }
     }
     // Leaders must fall on instruction boundaries.
-    let inst_at: BTreeMap<u64, usize> = slots.iter().enumerate().map(|(i, s)| (s.addr, i)).collect();
+    let inst_at: BTreeMap<u64, usize> =
+        slots.iter().enumerate().map(|(i, s)| (s.addr, i)).collect();
     for l in &leaders {
         if !inst_at.contains_key(l) {
             return Err(NonSimpleReason::OutOfRangeControlFlow);
@@ -279,11 +279,7 @@ fn disassemble_function(
             }
             Some(Inst::JmpInd { .. }) => {
                 // Jump table dispatch: edges to each distinct target.
-                let jmp_addr = func
-                    .block(bid)
-                    .terminator()
-                    .expect("jmpind")
-                    .addr;
+                let jmp_addr = func.block(bid).terminator().expect("jmpind").addr;
                 if let Some(jt) = jump_tables.iter().find(|j| j.jmp_addr == jmp_addr) {
                     let mut seen = BTreeSet::new();
                     for t in &jt.targets {
@@ -318,7 +314,8 @@ fn disassemble_function(
     }
 
     func.rebuild_preds();
-    func.validate().map_err(|_| NonSimpleReason::OutOfRangeControlFlow)?;
+    func.validate()
+        .map_err(|_| NonSimpleReason::OutOfRangeControlFlow)?;
     Ok(func)
 }
 
@@ -361,10 +358,9 @@ fn match_jump_table(
             }
             Inst::Lea {
                 dst,
-                mem:
-                    Mem::RipRel {
-                        target: Target::Addr(a),
-                    },
+                mem: Mem::RipRel {
+                    target: Target::Addr(a),
+                },
             } if Some(dst) == load_base && table_addr.is_none() => {
                 table_addr = Some(a);
             }

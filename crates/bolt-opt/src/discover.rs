@@ -150,8 +150,11 @@ mod tests {
     #[test]
     fn plt_stub_requires_got_agreement() {
         let mut e = sample_elf();
-        e.sections
-            .push(Section::data(".got", 0x600000, 0x400000u64.to_le_bytes().to_vec()));
+        e.sections.push(Section::data(
+            ".got",
+            0x600000,
+            0x400000u64.to_le_bytes().to_vec(),
+        ));
         let got_idx = e.section_index(".got").unwrap();
         e.symbols.push(Symbol::func("__plt_f1", 0x400030, 8, 0));
         e.symbols.push(Symbol {

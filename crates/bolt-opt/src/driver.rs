@@ -1,13 +1,13 @@
 //! The BOLT driver: the full rewriting pipeline of paper Figure 3.
 
-use crate::discover::discover;
 use crate::disasm::disassemble_all;
+use crate::discover::discover;
 use crate::emit::{rewrite_binary, RewriteStats};
 use crate::options::BoltOptions;
 use crate::report::bad_layout_report;
 use bolt_elf::Elf;
 use bolt_ir::{BinaryContext, EmitError};
-use bolt_passes::{dyno, run_pipeline, DynoStats, PipelineResult};
+use bolt_passes::{dyno, DynoStats, PassManager, PipelineResult};
 use bolt_profile::{
     attach_profile_opts, infer_callgraph_from_samples, AttachStats, Profile, ProfileMode,
 };
@@ -86,8 +86,12 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
         DynoStats::default()
     };
 
-    // Optimization pipeline.
-    let pipeline = run_pipeline(&mut ctx, &opts.passes);
+    // Optimization pipeline: the standard Table-1 registry, with
+    // per-pass dyno attribution when both -time-passes and -dyno-stats
+    // are requested.
+    let mut manager = PassManager::standard(&opts.passes);
+    manager.config.collect_dyno = opts.time_passes && opts.dyno_stats;
+    let pipeline = manager.run(&mut ctx, &opts.passes);
 
     let dyno_after = if opts.dyno_stats {
         dyno::context_dyno_stats(&ctx)

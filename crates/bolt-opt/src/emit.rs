@@ -144,10 +144,7 @@ pub fn rewrite_binary(
                 let new_addr = result.label_addrs[&block_labels[&(fi, *target)]];
                 let entry_addr = jt.addr + 8 * k as u64;
                 for sec in out.sections.iter_mut() {
-                    if sec.is_alloc()
-                        && !sec.is_exec()
-                        && sec.addr_range().contains(&entry_addr)
-                    {
+                    if sec.is_alloc() && !sec.is_exec() && sec.addr_range().contains(&entry_addr) {
                         let off = (entry_addr - sec.addr) as usize;
                         sec.data[off..off + 8].copy_from_slice(&new_addr.to_le_bytes());
                         stats.patched_jump_table_entries += 1;
@@ -218,8 +215,7 @@ pub fn rewrite_binary(
             (f.address, f.address + f.size)
         })
         .collect();
-    let inside_moved =
-        |a: u64| -> bool { moved_ranges.iter().any(|&(s, e)| a >= s && a < e) };
+    let inside_moved = |a: u64| -> bool { moved_ranges.iter().any(|&(s, e)| a >= s && a < e) };
     let mut lines = ctx.lines.clone();
     lines.entries.retain(|e| !inside_moved(e.0));
     for (addr, li) in &result.line_entries {

@@ -41,4 +41,4 @@ pub use discover::discover;
 pub use driver::{optimize, BoltError, BoltOutput};
 pub use emit::{rewrite_binary, RewriteStats, BOLT_COLD_BASE, BOLT_TEXT_BASE};
 pub use options::BoltOptions;
-pub use report::{bad_layout_report, find_bad_layout, BadLayoutCase};
+pub use report::{bad_layout_report, find_bad_layout, timing_report, BadLayoutCase};

@@ -15,6 +15,10 @@ pub struct BoltOptions {
     pub passes: PassOptions,
     /// Print per-pass statistics.
     pub verbose: bool,
+    /// Collect and print per-pass wall-clock timing (`-time-passes`).
+    /// Combined with `dyno_stats`, each pass also records before/after
+    /// dyno stats so its taken-branch delta can be attributed.
+    pub time_passes: bool,
     /// Compute dyno stats before and after (`-dyno-stats`).
     pub dyno_stats: bool,
     /// Collect a bad-layout report before optimizing

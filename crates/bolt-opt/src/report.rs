@@ -91,6 +91,40 @@ pub fn bad_layout_report(ctx: &BinaryContext, print_debug_info: bool) -> String 
     out
 }
 
+/// Renders the `-time-passes` table: per-pass wall-clock time, share of
+/// the pipeline total, change count, and (when the manager collected
+/// per-pass dyno stats) the pass's taken-branch delta.
+pub fn timing_report(pipeline: &bolt_passes::PipelineResult) -> String {
+    let total = pipeline.total_duration();
+    let total_secs = total.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    out.push_str("BOLT pass timing (wall clock):\n");
+    out.push_str(&format!(
+        "  {:<20} {:>12} {:>7} {:>10}  {}\n",
+        "pass", "time", "%", "changes", "taken-branch delta"
+    ));
+    for r in &pipeline.reports {
+        let delta = match r.taken_branch_delta() {
+            Some(d) => format!("{d:+.2}%"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "  {:<20} {:>12} {:>6.1}% {:>10}  {}\n",
+            r.name,
+            format!("{:.3?}", r.duration),
+            100.0 * r.duration.as_secs_f64() / total_secs,
+            r.changes,
+            delta,
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<20} {:>12}\n",
+        "total",
+        format!("{total:.3?}")
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -311,9 +311,11 @@ fn exception_tables_stay_correct() {
     assert_eq!((code0, out0), (code1, out1));
 
     let eh_after =
-        bolt_ir::ExceptionTable::from_bytes(&bolted.elf.section(".bolt.eh").unwrap().data)
-            .unwrap();
-    assert!(!eh_after.entries.is_empty(), "EH entries survive the rewrite");
+        bolt_ir::ExceptionTable::from_bytes(&bolted.elf.section(".bolt.eh").unwrap().data).unwrap();
+    assert!(
+        !eh_after.entries.is_empty(),
+        "EH entries survive the rewrite"
+    );
     // Every call site in the table must decode to a call instruction, and
     // every landing pad must fall inside a text section.
     for (&cs, &pad) in &eh_after.entries {

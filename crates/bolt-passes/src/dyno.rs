@@ -37,16 +37,48 @@ impl DynoStats {
             format!("{d:+7.1}%")
         }
         let rows = [
-            ("executed forward branches", self.executed_forward_branches, base.executed_forward_branches),
-            ("taken forward branches", self.taken_forward_branches, base.taken_forward_branches),
-            ("executed backward branches", self.executed_backward_branches, base.executed_backward_branches),
-            ("taken backward branches", self.taken_backward_branches, base.taken_backward_branches),
-            ("executed unconditional branches", self.executed_unconditional_branches, base.executed_unconditional_branches),
-            ("executed instructions", self.executed_instructions, base.executed_instructions),
+            (
+                "executed forward branches",
+                self.executed_forward_branches,
+                base.executed_forward_branches,
+            ),
+            (
+                "taken forward branches",
+                self.taken_forward_branches,
+                base.taken_forward_branches,
+            ),
+            (
+                "executed backward branches",
+                self.executed_backward_branches,
+                base.executed_backward_branches,
+            ),
+            (
+                "taken backward branches",
+                self.taken_backward_branches,
+                base.taken_backward_branches,
+            ),
+            (
+                "executed unconditional branches",
+                self.executed_unconditional_branches,
+                base.executed_unconditional_branches,
+            ),
+            (
+                "executed instructions",
+                self.executed_instructions,
+                base.executed_instructions,
+            ),
             ("total branches", self.total_branches, base.total_branches),
             ("taken branches", self.taken_branches, base.taken_branches),
-            ("non-taken conditional branches", self.non_taken_conditional_branches, base.non_taken_conditional_branches),
-            ("taken conditional branches", self.taken_conditional_branches, base.taken_conditional_branches),
+            (
+                "non-taken conditional branches",
+                self.non_taken_conditional_branches,
+                base.non_taken_conditional_branches,
+            ),
+            (
+                "taken conditional branches",
+                self.taken_conditional_branches,
+                base.taken_conditional_branches,
+            ),
         ];
         let mut out = String::new();
         for (name, new, old) in rows {
@@ -73,7 +105,8 @@ impl std::ops::Add for DynoStats {
             executed_instructions: self.executed_instructions + o.executed_instructions,
             executed_forward_branches: self.executed_forward_branches + o.executed_forward_branches,
             taken_forward_branches: self.taken_forward_branches + o.taken_forward_branches,
-            executed_backward_branches: self.executed_backward_branches + o.executed_backward_branches,
+            executed_backward_branches: self.executed_backward_branches
+                + o.executed_backward_branches,
             taken_backward_branches: self.taken_backward_branches + o.taken_backward_branches,
             executed_unconditional_branches: self.executed_unconditional_branches
                 + o.executed_unconditional_branches,

@@ -188,7 +188,12 @@ fn insert_trampoline(
     succ_idx: usize,
     dest: BlockId,
 ) {
-    let count = func.block(from).succs.get(succ_idx).map(|e| e.count).unwrap_or(0);
+    let count = func
+        .block(from)
+        .succs
+        .get(succ_idx)
+        .map(|e| e.count)
+        .unwrap_or(0);
     let mut tb = BasicBlock::new();
     tb.exec_count = count;
     tb.push(Inst::Jmp {

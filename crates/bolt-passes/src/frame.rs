@@ -125,8 +125,8 @@ pub fn shrink_wrap_function(func: &mut BinaryFunction) -> u64 {
                 restore_sites.push((id, k));
                 continue;
             }
-            let uses = inst.inst.regs_read().contains(&REG)
-                || inst.inst.regs_written().contains(&REG);
+            let uses =
+                inst.inst.regs_read().contains(&REG) || inst.inst.regs_written().contains(&REG);
             if uses && !use_blocks.contains(&id) {
                 use_blocks.push(id);
             }

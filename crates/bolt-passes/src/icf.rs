@@ -52,7 +52,12 @@ fn normalize(ctx: &BinaryContext, func: &BinaryFunction) -> Option<Vec<u8>> {
     };
     for &id in &func.layout {
         let b = func.block(id);
-        let _ = write!(out, "[{}:{}]", ordinal[id.index()], u8::from(b.is_landing_pad));
+        let _ = write!(
+            out,
+            "[{}:{}]",
+            ordinal[id.index()],
+            u8::from(b.is_landing_pad)
+        );
         for inst in &b.insts {
             // Discriminant + operands, with targets normalized.
             let mut i = inst.inst;

@@ -8,9 +8,7 @@
 //! site; BOLT uses its dataflow framework for exactly this (paper
 //! section 4), and so do we.
 
-use bolt_ir::{
-    dataflow, BasicBlock, BinaryContext, BlockId, RegSet, SuccEdge,
-};
+use bolt_ir::{dataflow, BasicBlock, BinaryContext, BlockId, RegSet, SuccEdge};
 use bolt_isa::{AluOp, Cond, Inst, JumpWidth, Label, Reg, Rm, Target};
 
 /// Runs the pass; returns the number of call sites promoted.
@@ -27,7 +25,10 @@ pub fn run_icp(ctx: &mut BinaryContext, threshold: f64) -> u64 {
         for &id in &func.layout {
             let live = dataflow::live_before_each(func, id, &facts);
             for (k, inst) in func.block(id).insts.iter().enumerate() {
-                let Inst::CallInd { rm: Rm::Reg(target_reg) } = inst.inst else {
+                let Inst::CallInd {
+                    rm: Rm::Reg(target_reg),
+                } = inst.inst
+                else {
                     continue;
                 };
                 let Some(targets) = ctx.indirect_call_targets.get(&inst.addr) else {
@@ -37,9 +38,7 @@ pub fn run_icp(ctx: &mut BinaryContext, threshold: f64) -> u64 {
                 if total == 0 {
                     continue;
                 }
-                let Some(&(hot_fi, hot_count)) =
-                    targets.iter().max_by_key(|(_, c)| *c)
-                else {
+                let Some(&(hot_fi, hot_count)) = targets.iter().max_by_key(|(_, c)| *c) else {
                     continue;
                 };
                 if (hot_count as f64) < threshold * total as f64 {
@@ -89,7 +88,10 @@ fn promote(ctx: &mut BinaryContext, fi: usize, id: BlockId, k: usize, hot_addr: 
     let func = &ctx.functions[fi];
     let facts = dataflow::solve(func, &dataflow::Liveness);
     let live = dataflow::live_before_each(func, id, &facts);
-    let Inst::CallInd { rm: Rm::Reg(target_reg) } = func.block(id).insts[k].inst else {
+    let Inst::CallInd {
+        rm: Rm::Reg(target_reg),
+    } = func.block(id).insts[k].inst
+    else {
         return false;
     };
     let Some(&scratch) = Reg::CALLER_SAVED
@@ -235,16 +237,21 @@ mod tests {
         f.validate().unwrap();
         // The guard compares against the hot target.
         let head = f.block(BlockId(0));
-        assert!(head
-            .insts
-            .iter()
-            .any(|i| matches!(i.inst, Inst::MovRSym { target: Target::Addr(0x9000), .. })));
+        assert!(head.insts.iter().any(|i| matches!(
+            i.inst,
+            Inst::MovRSym {
+                target: Target::Addr(0x9000),
+                ..
+            }
+        )));
         // A direct call to the hot target exists somewhere.
         let has_direct = f.layout.iter().any(|&b| {
-            f.block(b)
-                .insts
-                .iter()
-                .any(|i| i.inst == Inst::Call { target: Target::Addr(0x9000) })
+            f.block(b).insts.iter().any(|i| {
+                i.inst
+                    == Inst::Call {
+                        target: Target::Addr(0x9000),
+                    }
+            })
         });
         assert!(has_direct);
         // The fallback indirect call survives.

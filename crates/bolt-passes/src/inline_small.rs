@@ -108,9 +108,7 @@ fn prepare_callee(ctx: &BinaryContext, fi: usize) -> Option<InlinableBody> {
             }
         };
         let ok = match &inst.inst {
-            Inst::Load { mem, .. } | Inst::Store { mem, .. } | Inst::Lea { mem, .. } => {
-                mem_ok(mem)
-            }
+            Inst::Load { mem, .. } | Inst::Store { mem, .. } | Inst::Lea { mem, .. } => mem_ok(mem),
             Inst::Push(_) | Inst::Pop(_) => false,
             _ => true,
         };
@@ -280,10 +278,11 @@ mod tests {
             !f.blocks[0].insts.iter().any(|i| i.inst.is_call()),
             "call replaced by body"
         );
-        assert!(f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| i.inst == Inst::MovRI { dst: Reg::Rax, imm: 42 }));
+        assert!(f.blocks[0].insts.iter().any(|i| i.inst
+            == Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 42
+            }));
         f.validate().unwrap();
     }
 
@@ -307,7 +306,11 @@ mod tests {
                 }
             )
         });
-        assert!(has_redzone, "rbp slot rewritten to red zone: {:?}", f.blocks[0].insts);
+        assert!(
+            has_redzone,
+            "rbp slot rewritten to red zone: {:?}",
+            f.blocks[0].insts
+        );
         // No frame manipulation survives.
         assert!(!f.blocks[0]
             .insts

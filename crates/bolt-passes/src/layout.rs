@@ -75,8 +75,12 @@ pub fn reorder_function(func: &mut BinaryFunction, algo: BlockLayout) {
         BlockLayout::None => {}
         BlockLayout::Reverse => {
             let entry = func.entry();
-            let mut rest: Vec<BlockId> =
-                func.layout.iter().copied().filter(|b| *b != entry).collect();
+            let mut rest: Vec<BlockId> = func
+                .layout
+                .iter()
+                .copied()
+                .filter(|b| *b != entry)
+                .collect();
             rest.reverse();
             let mut layout = vec![entry];
             layout.extend(rest);
@@ -147,7 +151,9 @@ fn emit_chains(
     hot_first: bool,
 ) {
     let entry_chain = chain_of[func.entry().index()];
-    let mut ids: Vec<usize> = (0..chains.len()).filter(|&c| !chains[c].is_empty()).collect();
+    let mut ids: Vec<usize> = (0..chains.len())
+        .filter(|&c| !chains[c].is_empty())
+        .collect();
     let heat = |c: usize| -> u64 {
         chains[c]
             .iter()
@@ -209,7 +215,9 @@ fn ext_tsp_edge_score(w: u64, src_end: f64, dst_start: f64) -> f64 {
 /// orientation) with the best score gain.
 fn ext_tsp(func: &mut BinaryFunction) {
     let n = func.blocks.len();
-    let sizes: Vec<u64> = (0..n).map(|b| block_size(func, BlockId(b as u32))).collect();
+    let sizes: Vec<u64> = (0..n)
+        .map(|b| block_size(func, BlockId(b as u32)))
+        .collect();
     let live: Vec<bool> = {
         let mut v = vec![false; n];
         for id in &func.layout {
@@ -271,8 +279,8 @@ fn ext_tsp(func: &mut BinaryFunction) {
                 if !seen_pairs.insert((x, y)) {
                     continue;
                 }
-                let base = score_concat(&chains[x], &[], &edges)
-                    + score_concat(&chains[y], &[], &edges);
+                let base =
+                    score_concat(&chains[x], &[], &edges) + score_concat(&chains[y], &[], &edges);
                 let merged = score_concat(&chains[x], &chains[y], &edges);
                 let gain = merged - base;
                 if gain > 1e-9 && best.map(|(g, _, _)| gain > g).unwrap_or(true) {
@@ -363,7 +371,11 @@ mod tests {
 
     #[test]
     fn hot_path_becomes_contiguous() {
-        for algo in [BlockLayout::Branch, BlockLayout::Cache, BlockLayout::CachePlus] {
+        for algo in [
+            BlockLayout::Branch,
+            BlockLayout::Cache,
+            BlockLayout::CachePlus,
+        ] {
             let mut f = pessimal();
             reorder_function(&mut f, algo);
             let pos = |b: u32| f.layout.iter().position(|x| x.0 == b).unwrap();
@@ -374,7 +386,10 @@ mod tests {
                 "{algo:?}: hot successor follows entry in {:?}",
                 f.layout
             );
-            assert!(pos(2) < pos(1) || pos(2) == pos(3) + 1, "{algo:?}: hot chain continues");
+            assert!(
+                pos(2) < pos(1) || pos(2) == pos(3) + 1,
+                "{algo:?}: hot chain continues"
+            );
             // Permutation preserved.
             let mut ids: Vec<u32> = f.layout.iter().map(|b| b.0).collect();
             ids.sort_unstable();

@@ -1,6 +1,13 @@
 //! # bolt-passes — the optimization pipeline
 //!
-//! The sixteen-pass pipeline of paper Table 1, in order:
+//! The sixteen-pass pipeline of paper Table 1, run by a registry-driven
+//! [`PassManager`]: every transformation implements the [`Pass`] trait,
+//! the manager owns the Table-1 registration order, gates each pass on
+//! [`PassOptions`], validates IR invariants between passes (debug builds),
+//! and records one [`PassReport`] per executed pass — change count,
+//! wall-clock duration, and (optionally) before/after [`DynoStats`].
+//!
+//! The Table-1 order, as registered by [`PassManager::standard`]:
 //!
 //! | # | pass | module |
 //! |---|------|--------|
@@ -22,6 +29,29 @@
 //! | 16 | `shrink-wrapping` | [`frame`] |
 //!
 //! plus the `dyno-stats` reporting of paper Table 2 ([`dyno`]).
+//!
+//! ## Running the pipeline
+//!
+//! [`run_pipeline`] is the stable entry point: it builds the standard
+//! manager and runs it. Callers that want per-pass dyno attribution (the
+//! `-time-passes` surface) or a custom pass list construct a
+//! [`PassManager`] directly:
+//!
+//! ```ignore
+//! let mut manager = PassManager::standard(&opts);
+//! manager.config.collect_dyno = true;
+//! let result = manager.run(&mut ctx, &opts);
+//! for r in &result.reports {
+//!     println!("{:<20} {:>8} changes in {:?}", r.name, r.changes, r.duration);
+//! }
+//! ```
+//!
+//! ## Adding a pass
+//!
+//! Implement [`Pass`] (name, run, enabled) and register it at the right
+//! position; nothing else in the crate needs editing. Repeated
+//! registration of one pass is supported — the standard pipeline
+//! registers `icf` and `peepholes` twice.
 
 pub mod dyno;
 pub mod fixup;
@@ -30,6 +60,7 @@ pub mod icf;
 pub mod icp;
 pub mod inline_small;
 pub mod layout;
+pub mod manager;
 pub mod peephole;
 pub mod plt;
 pub mod reorder_functions;
@@ -39,8 +70,10 @@ pub mod uce;
 
 pub use dyno::DynoStats;
 pub use layout::{BlockLayout, SplitMode};
+pub use manager::{ManagerConfig, Pass, PassManager};
 
 use bolt_ir::BinaryContext;
+use std::time::Duration;
 
 /// Options for the optimization pipeline (mirrors the BOLT command line
 /// used in the paper's evaluation, section 6.2.1).
@@ -148,14 +181,68 @@ impl PassOptions {
             ..PassOptions::layout_only()
         }
     }
+
+    /// Looks up a named preset (the CLI's `-preset=` values). Accepts
+    /// both dash and underscore spellings; returns `None` for unknown
+    /// names.
+    pub fn preset(name: &str) -> Option<PassOptions> {
+        match name.replace('_', "-").as_str() {
+            "default" | "paper" => Some(PassOptions::default()),
+            "layout-only" => Some(PassOptions::layout_only()),
+            "functions-only" => Some(PassOptions::functions_only()),
+            "bbs-only" => Some(PassOptions::bbs_only()),
+            "none" => Some(PassOptions::none()),
+            _ => None,
+        }
+    }
+
+    /// The names [`preset`](Self::preset) accepts (canonical spellings).
+    pub const PRESETS: &'static [&'static str] = &[
+        "default",
+        "layout-only",
+        "functions-only",
+        "bbs-only",
+        "none",
+    ];
 }
 
 /// Per-pass activity report.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality compares the semantic fields only — name and change count —
+/// so reports from two runs of the same pipeline compare equal even
+/// though their wall-clock [`duration`](Self::duration)s differ.
+#[derive(Debug, Clone, Default)]
 pub struct PassReport {
     pub name: &'static str,
     /// Number of program changes the pass made (pass-specific unit).
     pub changes: u64,
+    /// Wall-clock time the pass took (`-time-passes`).
+    pub duration: Duration,
+    /// Dyno stats sampled before the pass, when the manager was asked to
+    /// collect per-pass deltas ([`ManagerConfig::collect_dyno`]).
+    pub dyno_before: Option<DynoStats>,
+    /// Dyno stats sampled after the pass (same gating).
+    pub dyno_after: Option<DynoStats>,
+}
+
+impl PartialEq for PassReport {
+    fn eq(&self, other: &PassReport) -> bool {
+        self.name == other.name && self.changes == other.changes
+    }
+}
+
+impl Eq for PassReport {}
+
+impl PassReport {
+    /// The pass's effect on dynamically taken branches, when per-pass
+    /// dyno collection was enabled and the baseline is nonzero.
+    pub fn taken_branch_delta(&self) -> Option<f64> {
+        let (before, after) = (self.dyno_before?, self.dyno_after?);
+        if before.taken_branches == 0 {
+            return None;
+        }
+        Some(after.taken_branch_delta(&before))
+    }
 }
 
 /// The result of running the whole pipeline.
@@ -167,115 +254,20 @@ pub struct PipelineResult {
     pub function_order: Vec<usize>,
 }
 
-fn validate_all(ctx: &BinaryContext, after: &str) {
-    if cfg!(debug_assertions) {
-        for f in &ctx.functions {
-            if f.is_simple && f.folded_into.is_none() {
-                if let Err(e) = f.validate() {
-                    panic!("IR invariant broken after {after}: {e}");
-                }
-            }
-        }
+impl PipelineResult {
+    /// Total wall-clock time across all executed passes.
+    pub fn total_duration(&self) -> Duration {
+        self.reports.iter().map(|r| r.duration).sum()
     }
 }
 
 /// Runs the full Table 1 pipeline over the context.
+///
+/// A thin shim over [`PassManager::standard`] kept for the driver, the
+/// benches, and the tests; construct the manager directly to customize
+/// validation, per-pass dyno collection, or the pass list itself.
 pub fn run_pipeline(ctx: &mut BinaryContext, opts: &PassOptions) -> PipelineResult {
-    let mut result = PipelineResult::default();
-    let report = |result: &mut PipelineResult, name: &'static str, changes: u64| {
-        result.reports.push(PassReport { name, changes });
-    };
-
-    if opts.strip_rep_ret {
-        let n = peephole::strip_rep_ret(ctx);
-        report(&mut result, "strip-rep-ret", n);
-        validate_all(ctx, "strip-rep-ret");
-    }
-    if opts.icf {
-        let n = icf::run_icf(ctx);
-        report(&mut result, "icf", n);
-        validate_all(ctx, "icf");
-    }
-    if opts.icp {
-        let n = icp::run_icp(ctx, opts.icp_threshold);
-        report(&mut result, "icp", n);
-        validate_all(ctx, "icp");
-    }
-    if opts.peepholes {
-        let n = peephole::run_peepholes(ctx);
-        report(&mut result, "peepholes", n);
-        validate_all(ctx, "peepholes");
-    }
-    if opts.inline_small {
-        let n = inline_small::run_inline_small(ctx);
-        report(&mut result, "inline-small", n);
-        validate_all(ctx, "inline-small");
-    }
-    if opts.simplify_ro_loads {
-        let n = ro_loads::run_simplify_ro_loads(ctx);
-        report(&mut result, "simplify-ro-loads", n);
-        validate_all(ctx, "simplify-ro-loads");
-    }
-    if opts.icf {
-        let n = icf::run_icf(ctx);
-        report(&mut result, "icf", n);
-        validate_all(ctx, "icf(2)");
-    }
-    if opts.plt {
-        let n = plt::run_plt(ctx);
-        report(&mut result, "plt", n);
-        validate_all(ctx, "plt");
-    }
-    {
-        let n = layout::run_reorder_bbs(
-            ctx,
-            opts.reorder_blocks,
-            opts.split_functions,
-            opts.split_all_cold,
-            opts.split_eh,
-        );
-        report(&mut result, "reorder-bbs", n);
-        validate_all(ctx, "reorder-bbs");
-    }
-    if opts.peepholes {
-        let n = peephole::run_peepholes(ctx);
-        report(&mut result, "peepholes", n);
-        validate_all(ctx, "peepholes(2)");
-    }
-    if opts.uce {
-        let n = uce::run_uce(ctx);
-        report(&mut result, "uce", n);
-        validate_all(ctx, "uce");
-    }
-    {
-        let n = fixup::run_fixup_branches(ctx);
-        report(&mut result, "fixup-branches", n);
-        validate_all(ctx, "fixup-branches");
-    }
-    {
-        result.function_order =
-            reorder_functions::run_reorder_functions(ctx, opts.reorder_functions);
-        let n = result.function_order.len() as u64;
-        report(&mut result, "reorder-functions", n);
-    }
-    if opts.sctc {
-        let n = sctc::run_sctc(ctx);
-        report(&mut result, "sctc", n);
-        // sctc rewires terminators; re-run fixup to stay consistent.
-        let _ = fixup::run_fixup_branches(ctx);
-        validate_all(ctx, "sctc");
-    }
-    if opts.frame_opts {
-        let n = frame::run_frame_opts(ctx);
-        report(&mut result, "frame-opts", n);
-        validate_all(ctx, "frame-opts");
-    }
-    if opts.shrink_wrapping {
-        let n = frame::run_shrink_wrapping(ctx);
-        report(&mut result, "shrink-wrapping", n);
-        validate_all(ctx, "shrink-wrapping");
-    }
-    result
+    PassManager::standard(opts).run(ctx, opts)
 }
 
 /// The pass names and descriptions of paper Table 1 in pipeline order

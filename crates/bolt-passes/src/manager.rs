@@ -1,0 +1,505 @@
+//! The [`PassManager`]: a registry-driven replacement for the former
+//! hand-inlined sixteen-stanza pipeline.
+//!
+//! Each Table-1 transformation implements [`Pass`]; the manager owns the
+//! registration order, gates every pass on [`PassOptions`], validates IR
+//! invariants between passes (in debug builds), and records a
+//! [`PassReport`](crate::PassReport) per executed pass carrying the
+//! change count, the wall-clock duration (`-time-passes`-style), and —
+//! when [`ManagerConfig::collect_dyno`] is set — before/after
+//! [`DynoStats`](crate::DynoStats) so per-pass dyno deltas can be
+//! attributed.
+//!
+//! Extending the pipeline means implementing [`Pass`] and calling
+//! [`PassManager::register`]; nothing else in the crate needs editing.
+//! The same pass type may be registered repeatedly (the Table-1 order
+//! runs `icf` and `peepholes` twice); repeated instances are
+//! distinguished in validation messages and timing output as e.g.
+//! `icf(2)`.
+
+use crate::reorder_functions;
+use crate::{
+    dyno, fixup, frame, icf, icp, inline_small, layout, peephole, plt, ro_loads, sctc, uce,
+    PassOptions, PassReport, PipelineResult,
+};
+use bolt_ir::BinaryContext;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One pipeline transformation.
+///
+/// Passes are constructed from [`PassOptions`] at registration time (the
+/// options a pass needs — ICP's threshold, the layout modes — are baked
+/// into its struct), so `run` only sees the context. `enabled`
+/// re-consults the options passed to [`PassManager::run`], which gate
+/// the boolean on/off toggles only; to change *parameterized* options,
+/// rebuild the manager with [`PassManager::standard`] rather than
+/// passing a different option set to `run`.
+pub trait Pass {
+    /// The report/display name (Table 1 spelling, e.g. `"icf"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the transformation; returns the number of changes made
+    /// (pass-specific unit, matching Table 1's activity column).
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64;
+
+    /// Whether this pass should run under `opts`.
+    fn enabled(&self, opts: &PassOptions) -> bool;
+
+    /// Whether the manager should validate IR invariants after this pass
+    /// (the former `validate_all` calls). `reorder-functions` opts out:
+    /// it only chooses an emission order and the pre-refactor pipeline
+    /// never validated after it.
+    fn validate_after(&self) -> bool {
+        true
+    }
+
+    /// Passes that choose a function emission order surface it here; the
+    /// manager moves it into [`PipelineResult::function_order`].
+    fn take_function_order(&mut self) -> Option<Vec<usize>> {
+        None
+    }
+}
+
+/// Manager knobs orthogonal to [`PassOptions`].
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Validate IR invariants after each pass (debug builds only, like
+    /// the pre-refactor pipeline).
+    pub validate: bool,
+    /// Record [`DynoStats`](crate::DynoStats) before and after every
+    /// pass, so each report carries its dyno delta. Costs one stats
+    /// sweep per pass boundary; off by default.
+    pub collect_dyno: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> ManagerConfig {
+        ManagerConfig {
+            validate: true,
+            collect_dyno: false,
+        }
+    }
+}
+
+/// Owns the ordered pass registry and runs it over a context.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    pub config: ManagerConfig,
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::new()
+    }
+}
+
+impl PassManager {
+    /// An empty manager; use [`register`](Self::register) to populate.
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            config: ManagerConfig::default(),
+        }
+    }
+
+    /// The Table-1 pipeline in paper order (the crate-level doc table),
+    /// with pass parameters drawn from `opts`.
+    pub fn standard(opts: &PassOptions) -> PassManager {
+        let mut m = PassManager::new();
+        m.register(Box::new(StripRepRet))
+            .register(Box::new(Icf))
+            .register(Box::new(Icp {
+                threshold: opts.icp_threshold,
+            }))
+            .register(Box::new(Peepholes))
+            .register(Box::new(InlineSmall))
+            .register(Box::new(SimplifyRoLoads))
+            .register(Box::new(Icf))
+            .register(Box::new(Plt))
+            .register(Box::new(ReorderBbs {
+                layout: opts.reorder_blocks,
+                split: opts.split_functions,
+                split_all_cold: opts.split_all_cold,
+                split_eh: opts.split_eh,
+            }))
+            .register(Box::new(Peepholes))
+            .register(Box::new(Uce))
+            .register(Box::new(FixupBranches))
+            .register(Box::new(ReorderFunctions {
+                algorithm: opts.reorder_functions,
+                order: None,
+            }))
+            .register(Box::new(Sctc))
+            .register(Box::new(FrameOpts))
+            .register(Box::new(ShrinkWrapping));
+        m
+    }
+
+    /// Appends a pass to the registry (runs after everything already
+    /// registered). The same pass name may appear more than once.
+    pub fn register(&mut self, pass: Box<dyn Pass>) -> &mut PassManager {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The registered pass names in execution order (including disabled
+    /// and repeated passes).
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every registered pass enabled under `opts`, in order.
+    pub fn run(&mut self, ctx: &mut BinaryContext, opts: &PassOptions) -> PipelineResult {
+        let mut result = PipelineResult::default();
+        let mut occurrences: HashMap<&'static str, u32> = HashMap::new();
+        // Nothing mutates the context between one pass's after-sweep and
+        // the next pass's before-sweep (validation is read-only), so each
+        // boundary is swept once and shared.
+        let mut carried_dyno: Option<dyno::DynoStats> = None;
+        for pass in &mut self.passes {
+            if !pass.enabled(opts) {
+                continue;
+            }
+            let name = pass.name();
+            let occurrence = occurrences.entry(name).and_modify(|n| *n += 1).or_insert(1);
+            let instance = if *occurrence > 1 {
+                format!("{name}({occurrence})")
+            } else {
+                name.to_string()
+            };
+
+            let dyno_before = self.config.collect_dyno.then(|| {
+                carried_dyno
+                    .take()
+                    .unwrap_or_else(|| dyno::context_dyno_stats(ctx))
+            });
+            let started = Instant::now();
+            let changes = pass.run(ctx);
+            let duration = started.elapsed();
+            let dyno_after = self
+                .config
+                .collect_dyno
+                .then(|| dyno::context_dyno_stats(ctx));
+            carried_dyno = dyno_after;
+
+            if let Some(order) = pass.take_function_order() {
+                result.function_order = order;
+            }
+            result.reports.push(PassReport {
+                name,
+                changes,
+                duration,
+                dyno_before,
+                dyno_after,
+            });
+            if self.config.validate && pass.validate_after() {
+                validate_all(ctx, &instance);
+            }
+        }
+        result
+    }
+}
+
+/// Post-pass IR invariant check (debug builds only): every simple,
+/// unfolded function must still satisfy its CFG/layout invariants.
+fn validate_all(ctx: &BinaryContext, after: &str) {
+    if cfg!(debug_assertions) {
+        for f in &ctx.functions {
+            if f.is_simple && f.folded_into.is_none() {
+                if let Err(e) = f.validate() {
+                    panic!("IR invariant broken after {after}: {e}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sixteen Table-1 passes.
+
+/// Table 1 #1: strip `repz` from `repz retq` (legacy AMD workaround).
+struct StripRepRet;
+
+impl Pass for StripRepRet {
+    fn name(&self) -> &'static str {
+        "strip-rep-ret"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        peephole::strip_rep_ret(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.strip_rep_ret
+    }
+}
+
+/// Table 1 #2 and #7: identical code folding (registered twice).
+struct Icf;
+
+impl Pass for Icf {
+    fn name(&self) -> &'static str {
+        "icf"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        icf::run_icf(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.icf
+    }
+}
+
+/// Table 1 #3: indirect call promotion.
+struct Icp {
+    threshold: f64,
+}
+
+impl Pass for Icp {
+    fn name(&self) -> &'static str {
+        "icp"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        icp::run_icp(ctx, self.threshold)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.icp
+    }
+}
+
+/// Table 1 #4 and #10: simple peepholes (registered twice).
+struct Peepholes;
+
+impl Pass for Peepholes {
+    fn name(&self) -> &'static str {
+        "peepholes"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        peephole::run_peepholes(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.peepholes
+    }
+}
+
+/// Table 1 #5: inline small functions.
+struct InlineSmall;
+
+impl Pass for InlineSmall {
+    fn name(&self) -> &'static str {
+        "inline-small"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        inline_small::run_inline_small(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.inline_small
+    }
+}
+
+/// Table 1 #6: turn loads of statically known `.rodata` into movs.
+struct SimplifyRoLoads;
+
+impl Pass for SimplifyRoLoads {
+    fn name(&self) -> &'static str {
+        "simplify-ro-loads"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        ro_loads::run_simplify_ro_loads(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.simplify_ro_loads
+    }
+}
+
+/// Table 1 #8: remove indirection from PLT calls.
+struct Plt;
+
+impl Pass for Plt {
+    fn name(&self) -> &'static str {
+        "plt"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        plt::run_plt(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.plt
+    }
+}
+
+/// Table 1 #9: block reordering + hot/cold splitting. Always registered
+/// and always reported (with `-reorder-blocks=none` it reports zero
+/// changes), matching the pre-refactor pipeline.
+struct ReorderBbs {
+    layout: layout::BlockLayout,
+    split: layout::SplitMode,
+    split_all_cold: bool,
+    split_eh: bool,
+}
+
+impl Pass for ReorderBbs {
+    fn name(&self) -> &'static str {
+        "reorder-bbs"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        layout::run_reorder_bbs(
+            ctx,
+            self.layout,
+            self.split,
+            self.split_all_cold,
+            self.split_eh,
+        )
+    }
+    fn enabled(&self, _opts: &PassOptions) -> bool {
+        true
+    }
+}
+
+/// Table 1 #11: unreachable-code elimination.
+struct Uce;
+
+impl Pass for Uce {
+    fn name(&self) -> &'static str {
+        "uce"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        uce::run_uce(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.uce
+    }
+}
+
+/// Table 1 #12: rewrite terminators to match CFG + layout. Always runs.
+struct FixupBranches;
+
+impl Pass for FixupBranches {
+    fn name(&self) -> &'static str {
+        "fixup-branches"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        fixup::run_fixup_branches(ctx)
+    }
+    fn enabled(&self, _opts: &PassOptions) -> bool {
+        true
+    }
+}
+
+/// Table 1 #13: HFSort function reordering. Always runs (the `none`
+/// algorithm yields the identity order) and reports the number of
+/// functions ordered, matching the pre-refactor pipeline.
+struct ReorderFunctions {
+    algorithm: bolt_hfsort::Algorithm,
+    order: Option<Vec<usize>>,
+}
+
+impl Pass for ReorderFunctions {
+    fn name(&self) -> &'static str {
+        "reorder-functions"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        let order = reorder_functions::run_reorder_functions(ctx, self.algorithm);
+        let n = order.len() as u64;
+        self.order = Some(order);
+        n
+    }
+    fn enabled(&self, _opts: &PassOptions) -> bool {
+        true
+    }
+    fn validate_after(&self) -> bool {
+        false
+    }
+    fn take_function_order(&mut self) -> Option<Vec<usize>> {
+        self.order.take()
+    }
+}
+
+/// Table 1 #14: simplify conditional tail calls. Re-runs branch fixup
+/// afterwards because sctc rewires terminators.
+struct Sctc;
+
+impl Pass for Sctc {
+    fn name(&self) -> &'static str {
+        "sctc"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        let n = sctc::run_sctc(ctx);
+        let _ = fixup::run_fixup_branches(ctx);
+        n
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.sctc
+    }
+}
+
+/// Table 1 #15: remove unnecessary caller-saved spills.
+struct FrameOpts;
+
+impl Pass for FrameOpts {
+    fn name(&self) -> &'static str {
+        "frame-opts"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        frame::run_frame_opts(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.frame_opts
+    }
+}
+
+/// Table 1 #16: move callee-saved spills toward their uses.
+struct ShrinkWrapping;
+
+impl Pass for ShrinkWrapping {
+    fn name(&self) -> &'static str {
+        "shrink-wrapping"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        frame::run_shrink_wrapping(ctx)
+    }
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        opts.shrink_wrapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry must reproduce the Table-1 order exactly (names as
+    /// listed in the crate-level doc table and [`crate::TABLE1`]).
+    #[test]
+    fn standard_registration_matches_table1() {
+        let m = PassManager::standard(&PassOptions::default());
+        let expected: Vec<&str> = crate::TABLE1.iter().map(|(name, _)| *name).collect();
+        assert_eq!(m.pass_names(), expected);
+    }
+
+    #[test]
+    fn disabled_passes_are_skipped() {
+        let mut m = PassManager::standard(&PassOptions::default());
+        let mut ctx = BinaryContext::default();
+        let opts = PassOptions::none();
+        let result = m.run(&mut ctx, &opts);
+        // Only the unconditional passes (plus uce, which every preset
+        // keeps on) report.
+        let names: Vec<&str> = result.reports.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            ["reorder-bbs", "uce", "fixup-branches", "reorder-functions"]
+        );
+    }
+
+    #[test]
+    fn repeated_passes_report_under_one_name() {
+        let mut m = PassManager::standard(&PassOptions::default());
+        let mut ctx = BinaryContext::default();
+        let result = m.run(&mut ctx, &PassOptions::default());
+        let icf_runs = result.reports.iter().filter(|r| r.name == "icf").count();
+        let peephole_runs = result
+            .reports
+            .iter()
+            .filter(|r| r.name == "peepholes")
+            .count();
+        assert_eq!(icf_runs, 2, "icf registered and reported twice");
+        assert_eq!(peephole_runs, 2, "peepholes registered and reported twice");
+    }
+}

@@ -83,8 +83,7 @@ pub fn run_peepholes(ctx: &mut BinaryContext) -> u64 {
                 let block = func.block_mut(id);
                 if let Some(term) = block.terminator_mut() {
                     if term.inst.target() == Some(Target::Label(bolt_isa::Label(old.0))) {
-                        term.inst
-                            .set_target(Target::Label(bolt_isa::Label(new.0)));
+                        term.inst.set_target(Target::Label(bolt_isa::Label(new.0)));
                         if let Some(e) = block.succ_edge_mut(old) {
                             e.block = new;
                         }
@@ -174,10 +173,7 @@ mod tests {
         f.block_mut(b).push(Inst::RepzRet);
         let mut ctx = ctx_with(f);
         assert_eq!(strip_rep_ret(&mut ctx), 1);
-        assert_eq!(
-            ctx.functions[0].block(BlockId(0)).insts[0].inst,
-            Inst::Ret
-        );
+        assert_eq!(ctx.functions[0].block(BlockId(0)).insts[0].inst, Inst::Ret);
     }
 
     #[test]

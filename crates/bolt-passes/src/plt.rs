@@ -30,14 +30,19 @@ pub fn run_plt(ctx: &mut BinaryContext) -> u64 {
         for block in &mut func.blocks {
             for inst in &mut block.insts {
                 match &mut inst.inst {
-                    Inst::Call { target: Target::Addr(a) } => {
+                    Inst::Call {
+                        target: Target::Addr(a),
+                    } => {
                         if let Some(final_addr) = lookup(*a) {
                             *a = final_addr;
                             n += 1;
                         }
                     }
                     // Tail calls through the PLT.
-                    Inst::Jmp { target: Target::Addr(a), .. } => {
+                    Inst::Jmp {
+                        target: Target::Addr(a),
+                        ..
+                    } => {
                         if let Some(final_addr) = lookup(*a) {
                             *a = final_addr;
                             n += 1;

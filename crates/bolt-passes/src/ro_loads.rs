@@ -20,9 +20,10 @@ pub fn run_simplify_ro_loads(ctx: &mut BinaryContext) -> u64 {
             for (k, inst) in ctx.functions[fi].block(id).insts.iter().enumerate() {
                 if let Inst::Load {
                     dst,
-                    mem: Mem::RipRel {
-                        target: Target::Addr(a),
-                    },
+                    mem:
+                        Mem::RipRel {
+                            target: Target::Addr(a),
+                        },
                 } = inst.inst
                 {
                     if let Some(value) = ctx.read_rodata_u64(a) {

@@ -116,8 +116,7 @@ pub fn attach_profile_opts(
         if let Some(ti) = ctx.function_at(rec.to) {
             if ti == fi {
                 // Intra-function edge.
-                let (Some(fb), Some(tb)) = (from_block, indexes[fi].block_starting(rec.to))
-                else {
+                let (Some(fb), Some(tb)) = (from_block, indexes[fi].block_starting(rec.to)) else {
                     stats.dropped_branches += rec.count;
                     continue;
                 };
@@ -162,7 +161,9 @@ pub fn attach_profile_opts(
                         stats.dropped_branches += rec.count;
                     }
                 }
-                Some(Inst::Call { .. }) | Some(Inst::Jmp { .. }) | Some(Inst::Jcc { .. })
+                Some(Inst::Call { .. })
+                | Some(Inst::Jmp { .. })
+                | Some(Inst::Jcc { .. })
                 | Some(Inst::JmpInd { .. }) => {
                     // Direct call or (conditional) tail call.
                     if is_entry {
@@ -243,12 +244,7 @@ pub fn repair_flow(func: &mut BinaryFunction) {
                 .preds
                 .clone()
                 .iter()
-                .map(|p| {
-                    func.block(*p)
-                        .succ_edge(id)
-                        .map(|e| e.count)
-                        .unwrap_or(0)
-                })
+                .map(|p| func.block(*p).succ_edge(id).map(|e| e.count).unwrap_or(0))
                 .sum();
             if id == func.entry() {
                 inflow += func.exec_count;
@@ -434,13 +430,13 @@ mod tests {
         let mut f = sample_func();
         f.exec_count = 100;
         // Only the taken edge is known (LBR saw 70 takes).
-        f.block_mut(BlockId(0)).succ_edge_mut(BlockId(2)).unwrap().count = 70;
+        f.block_mut(BlockId(0))
+            .succ_edge_mut(BlockId(2))
+            .unwrap()
+            .count = 70;
         repair_flow(&mut f);
         // Surplus 30 must flow down the fall-through (paper section 5.2).
-        assert_eq!(
-            f.block(BlockId(0)).succ_edge(BlockId(1)).unwrap().count,
-            30
-        );
+        assert_eq!(f.block(BlockId(0)).succ_edge(BlockId(1)).unwrap().count, 30);
         assert_eq!(f.block(BlockId(0)).exec_count, 100);
         assert_eq!(f.block(BlockId(1)).exec_count, 30);
         assert_eq!(f.block(BlockId(2)).exec_count, 100);

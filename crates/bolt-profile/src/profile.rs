@@ -175,13 +175,10 @@ impl Profile {
                             })
                         }
                     };
-                    p.num_samples = it
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or(FdataError {
-                            line: lineno + 1,
-                            what: "num_samples",
-                        })?;
+                    p.num_samples = it.next().and_then(|t| t.parse().ok()).ok_or(FdataError {
+                        line: lineno + 1,
+                        what: "num_samples",
+                    })?;
                 }
                 "B" => {
                     let from = hex("from")?;
@@ -265,7 +262,10 @@ mod tests {
     fn fdata_rejects_garbage() {
         assert!(Profile::from_fdata("Z 1 2 3").is_err());
         assert!(Profile::from_fdata("B xyz 10 1 0").is_err());
-        assert!(Profile::from_fdata("B 10 20 1").is_err(), "missing mispreds");
+        assert!(
+            Profile::from_fdata("B 10 20 1").is_err(),
+            "missing mispreds"
+        );
         // Comments and blanks are fine.
         assert!(Profile::from_fdata("# hi\n\nM lbr 3\n").is_ok());
     }

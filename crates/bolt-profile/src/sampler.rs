@@ -251,7 +251,10 @@ mod tests {
             kind: BranchKind::Cond,
         });
         s.take_sample();
-        assert!(s.profile.branches.is_empty(), "not-taken is invisible to LBR");
+        assert!(
+            s.profile.branches.is_empty(),
+            "not-taken is invisible to LBR"
+        );
     }
 
     #[test]

@@ -96,8 +96,8 @@ impl BranchPredictor {
                 } else {
                     self.pht[idx] = self.pht[idx].saturating_sub(1);
                 }
-                self.history = ((self.history << 1) | u64::from(ev.taken))
-                    & ((1 << self.history_bits) - 1);
+                self.history =
+                    ((self.history << 1) | u64::from(ev.taken)) & ((1 << self.history_bits) - 1);
                 if mispredicted {
                     self.cond_mispredicts += 1;
                 }
@@ -268,10 +268,7 @@ mod tests {
             assert!(!p.observe(ev).mispredicted, "stable target predicted");
         }
         // Changing target mispredicts once.
-        let ev2 = BranchEvent {
-            to: 0x400900,
-            ..ev
-        };
+        let ev2 = BranchEvent { to: 0x400900, ..ev };
         assert!(p.observe(ev2).mispredicted);
         assert_eq!(p.ind_mispredicts, 2);
     }

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn concentration_is_visible() {
         let mut h = HeatMap::new(0x400000, 64 * 64 * 64); // 64B blocks
-        // Hammer one small region.
+                                                          // Hammer one small region.
         for _ in 0..1000 {
             for a in 0..16u64 {
                 h.on_inst(0x400000 + a * 4, 4);

@@ -81,8 +81,16 @@ impl CpuModel {
             l1d: Cache::new(cfg.l1d_bytes, cfg.l1d_ways, cfg.line_bytes),
             l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
             llc: Cache::new(cfg.llc_bytes, cfg.llc_ways, cfg.line_bytes),
-            itlb: Cache::new(cfg.itlb_entries * cfg.page_bytes, cfg.itlb_ways, cfg.page_bytes),
-            dtlb: Cache::new(cfg.dtlb_entries * cfg.page_bytes, cfg.dtlb_ways, cfg.page_bytes),
+            itlb: Cache::new(
+                cfg.itlb_entries * cfg.page_bytes,
+                cfg.itlb_ways,
+                cfg.page_bytes,
+            ),
+            dtlb: Cache::new(
+                cfg.dtlb_entries * cfg.page_bytes,
+                cfg.dtlb_ways,
+                cfg.page_bytes,
+            ),
             predictor: BranchPredictor::new(cfg.predictor_history_bits, cfg.btb_entries),
             instructions: 0,
             extra_cycles: 0.0,
@@ -133,7 +141,8 @@ impl TraceSink for CpuModel {
         }
         // A fetch crossing a line boundary touches the next line too.
         let end = addr + len as u64 - 1;
-        if end >> self.cfg.line_bytes.trailing_zeros() != addr >> self.cfg.line_bytes.trailing_zeros()
+        if end >> self.cfg.line_bytes.trailing_zeros()
+            != addr >> self.cfg.line_bytes.trailing_zeros()
         {
             if !self.l1i.access(end) {
                 self.extra_cycles += self.miss_path(end, true);

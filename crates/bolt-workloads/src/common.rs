@@ -56,9 +56,17 @@ pub fn lcg_step(f: &mut FunctionBuilder, x: LocalId) -> LocalId {
 /// Appends a xorshift mix of `x` and returns the mixed local.
 pub fn xorshift_mix(f: &mut FunctionBuilder, x: LocalId) -> LocalId {
     let s1 = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(x), 33));
-    let x1 = f.assign(Rvalue::BinOp(BinOp::Xor, Operand::Local(x), Operand::Local(s1)));
+    let x1 = f.assign(Rvalue::BinOp(
+        BinOp::Xor,
+        Operand::Local(x),
+        Operand::Local(s1),
+    ));
     let s2 = f.assign(Rvalue::Shift(ShiftKind::Shl, Operand::Local(x1), 13));
-    f.assign(Rvalue::BinOp(BinOp::Xor, Operand::Local(x1), Operand::Local(s2)))
+    f.assign(Rvalue::BinOp(
+        BinOp::Xor,
+        Operand::Local(x1),
+        Operand::Local(s2),
+    ))
 }
 
 /// Appends a *cold guard* in the pessimal source order: the cold arm comes
@@ -86,12 +94,15 @@ pub fn impossible_guard(f: &mut FunctionBuilder, x: LocalId) -> LocalId {
 /// HFSort cleans up). Body size varies with `bulk`; constants are salted
 /// with the function name so distinct utilities do not accidentally fold
 /// under ICF (real cold code is near-duplicate, not identical).
-pub fn cold_utility(name: &str, module: u32, file: &str, bulk: usize) -> bolt_compiler::MirFunction {
-    let salt: i64 = name
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        }) as i64;
+pub fn cold_utility(
+    name: &str,
+    module: u32,
+    file: &str,
+    bulk: usize,
+) -> bolt_compiler::MirFunction {
+    let salt: i64 = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    }) as i64;
     let mut f = FunctionBuilder::new(name, module, file, 1);
     let mut x = 0;
     for k in 0..bulk.max(1) {

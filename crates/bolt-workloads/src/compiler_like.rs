@@ -89,12 +89,20 @@ pub fn build(scale: Scale, shape: CompilerShape) -> MirProgram {
             }
             1 => {
                 let s = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(0), 7));
-                f.assign(Rvalue::BinOp(BinOp::Xor, Operand::Local(0), Operand::Local(s)))
+                f.assign(Rvalue::BinOp(
+                    BinOp::Xor,
+                    Operand::Local(0),
+                    Operand::Local(s),
+                ))
             }
             2 => {
                 let l = f.assign(Rvalue::Shift(ShiftKind::Shl, Operand::Local(0), 3));
                 let h = f.assign(Rvalue::Shift(ShiftKind::Shr, Operand::Local(0), 61));
-                f.assign(Rvalue::BinOp(BinOp::Or, Operand::Local(l), Operand::Local(h)))
+                f.assign(Rvalue::BinOp(
+                    BinOp::Or,
+                    Operand::Local(l),
+                    Operand::Local(h),
+                ))
             }
             _ => f.assign(Rvalue::BinOp(
                 BinOp::And,
@@ -224,7 +232,11 @@ pub fn build(scale: Scale, shape: CompilerShape) -> MirProgram {
                 Operand::Local(0),
                 Operand::Const(0xFFFF),
             ));
-            f.assign(Rvalue::BinOp(BinOp::Add, Operand::Local(a), Operand::Const(1)))
+            f.assign(Rvalue::BinOp(
+                BinOp::Add,
+                Operand::Local(a),
+                Operand::Const(1),
+            ))
         } else {
             let a = f.assign(Rvalue::BinOp(
                 BinOp::And,
@@ -286,7 +298,10 @@ pub fn build(scale: Scale, shape: CompilerShape) -> MirProgram {
     // --- codegen module (3) ---
     for k in 0..shape.n_emitters {
         let mut f = FunctionBuilder::new(&format!("emit_{k}"), 3, "codegen.cpp", 1);
-        let a = f.call(&format!("intern_{}", k % shape.n_interned), vec![Operand::Local(0)]);
+        let a = f.call(
+            &format!("intern_{}", k % shape.n_interned),
+            vec![Operand::Local(0)],
+        );
         let mixed = f.assign(Rvalue::BinOp(
             BinOp::Xor,
             Operand::Local(a),

@@ -227,11 +227,11 @@ pub fn build(scale: Scale, seed: u64) -> MirProgram {
     let c = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(iterations));
     let (body, done) = m.branch(Operand::Local(c));
     m.switch_to(body);
-    let stepped = m.call(
-        "interp_step",
-        vec![Operand::Local(i), Operand::Local(acc)],
+    let stepped = m.call("interp_step", vec![Operand::Local(i), Operand::Local(acc)]);
+    let jit = m.call(
+        "jit_enter",
+        vec![Operand::Local(i), Operand::Local(stepped)],
     );
-    let jit = m.call("jit_enter", vec![Operand::Local(i), Operand::Local(stepped)]);
     m.assign_to(
         acc,
         Rvalue::BinOp(BinOp::Add, Operand::Local(stepped), Operand::Local(jit)),

@@ -158,11 +158,7 @@ pub fn build_proxygen(scale: Scale, seed: u64) -> MirProgram {
         f.switch_to(adv);
         f.ret(Operand::Const(((st + 1) % n_states) as i64));
         f.switch_to(rest);
-        let c2 = f.assign_cmp(
-            CmpOp::Eq,
-            Operand::Local(0),
-            Operand::Const((want + 1) % 8),
-        );
+        let c2 = f.assign_cmp(CmpOp::Eq, Operand::Local(0), Operand::Const((want + 1) % 8));
         let (skip, stay) = f.branch(Operand::Local(c2));
         f.switch_to(skip);
         f.ret(Operand::Const(((st + 2) % n_states) as i64));

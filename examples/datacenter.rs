@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &ctx,
         bolt::hfsort::Algorithm::Hfsort,
     );
-    let names: Vec<String> = order.iter().map(|&i| ctx.functions[i].name.clone()).collect();
+    let names: Vec<String> = order
+        .iter()
+        .map(|&i| ctx.functions[i].name.clone())
+        .collect();
     let baseline = bolt::compiler::compile_and_link(
         &program,
         &CompileOptions {
@@ -59,16 +62,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.run(&mut tee, u64::MAX)?;
     }
     let base = model.counters();
-    let bolted = optimize(&baseline.elf, &sampler.profile, &BoltOptions::paper_default())?;
+    let bolted = optimize(
+        &baseline.elf,
+        &sampler.profile,
+        &BoltOptions::paper_default(),
+    )?;
     let (out, new) = run(&bolted.elf, &cfg);
     assert_eq!(out, m.output, "semantics preserved");
 
-    println!("{:<16} {:>14} {:>14} {:>10}", "metric", "baseline", "BOLT", "reduction");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}",
+        "metric", "baseline", "BOLT", "reduction"
+    );
     for (name, b, n) in [
         ("cycles", base.cycles as u64, new.cycles as u64),
         ("L1I misses", base.l1i_misses, new.l1i_misses),
         ("iTLB misses", base.itlb_misses, new.itlb_misses),
-        ("branch misses", base.branch_mispredicts, new.branch_mispredicts),
+        (
+            "branch misses",
+            base.branch_mispredicts,
+            new.branch_mispredicts,
+        ),
         ("LLC misses", base.llc_misses, new.llc_misses),
     ] {
         println!(

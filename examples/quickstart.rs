@@ -27,22 +27,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (body, done) = f.branch(Operand::Local(c));
     f.switch_to(body);
     // Rare path first (pessimal source order).
-    let bits = f.assign(Rvalue::BinOp(BinOp::And, Operand::Local(i), Operand::Const(1023)));
+    let bits = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(i),
+        Operand::Const(1023),
+    ));
     let rare = f.assign_cmp(CmpOp::Eq, Operand::Local(bits), Operand::Const(0));
     let (rare_bb, hot_bb) = f.branch(Operand::Local(rare));
     let cont = f.new_block();
     f.switch_to(rare_bb);
-    f.assign_to(sum, Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Const(100)));
+    f.assign_to(
+        sum,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Const(100)),
+    );
     f.goto(cont);
     f.switch_to(hot_bb);
-    f.assign_to(sum, Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Const(1)));
+    f.assign_to(
+        sum,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Const(1)),
+    );
     f.goto(cont);
     f.switch_to(cont);
-    f.assign_to(i, Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)));
+    f.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
     f.goto(head);
     f.switch_to(done);
     f.emit(Operand::Local(sum));
-    let code = f.assign(Rvalue::BinOp(BinOp::And, Operand::Local(sum), Operand::Const(0x7F)));
+    let code = f.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(sum),
+        Operand::Const(0x7F),
+    ));
     f.ret(Operand::Local(code));
     p.add_function(f.finish());
 
@@ -52,8 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     m.load_elf(&binary.elf);
     let mut sampler = LbrSampler::new(199, SampleTrigger::Instructions);
     m.run(&mut sampler, 1_000_000_000)?;
-    println!("profiled {} samples, {} distinct branch edges",
-        sampler.profile.num_samples, sampler.profile.branches.len());
+    println!(
+        "profiled {} samples, {} distinct branch edges",
+        sampler.profile.num_samples,
+        sampler.profile.branches.len()
+    );
 
     // BOLT it with the paper's options.
     let bolted = optimize(&binary.elf, &sampler.profile, &BoltOptions::paper_default())?;

@@ -9,8 +9,8 @@
 
 use bolt::elf::{read_elf, write_elf};
 use bolt::hfsort::Algorithm;
-use bolt::opt::{optimize, BoltOptions};
-use bolt::passes::{BlockLayout, SplitMode};
+use bolt::opt::{optimize, timing_report, BoltOptions};
+use bolt::passes::{BlockLayout, PassOptions, SplitMode};
 use bolt::profile::Profile;
 use std::process::ExitCode;
 
@@ -19,11 +19,14 @@ fn usage() -> ! {
         "usage: bolt <input.elf> -o <output.elf> [-b <profile.fdata>] [options]\n\
          \n\
          options:\n\
+           -preset=default|layout-only|functions-only|bbs-only|none\n\
+           \x20   (applied first; individual pass flags override the preset)\n\
            -reorder-blocks=none|reverse|branch|cache|cache+\n\
            -reorder-functions=none|hfsort|hfsort+|pettis-hansen\n\
            -split-functions | -no-split-functions\n\
            -icf | -no-icf\n\
            -dyno-stats\n\
+           -time-passes\n\
            -report-bad-layout\n\
            -print-debug-info\n\
            -v"
@@ -38,12 +41,25 @@ fn main() -> ExitCode {
     let mut fdata = None;
     let mut opts = BoltOptions::paper_default();
 
+    // Presets apply first, wherever they appear, so the fine-grained pass
+    // flags always refine the preset instead of being silently overwritten
+    // by a later `-preset=`.
+    for a in &args {
+        if let Some(name) = a.strip_prefix("-preset=") {
+            opts.passes = match PassOptions::preset(name) {
+                Some(p) => p,
+                None => usage(),
+            };
+        }
+    }
+
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => output = it.next().cloned(),
             "-b" => fdata = it.next().cloned(),
             "-dyno-stats" => opts.dyno_stats = true,
+            "-time-passes" => opts.time_passes = true,
             "-report-bad-layout" => opts.report_bad_layout = true,
             "-print-debug-info" => opts.print_debug_info = true,
             "-v" => opts.verbose = true,
@@ -55,6 +71,7 @@ fn main() -> ExitCode {
                 opts.passes.split_all_cold = false;
                 opts.passes.split_eh = false;
             }
+            s if s.starts_with("-preset=") => {} // applied in the pre-scan above
             s if s.starts_with("-reorder-blocks=") => {
                 opts.passes.reorder_blocks = match &s["-reorder-blocks=".len()..] {
                     "none" => BlockLayout::None,
@@ -130,7 +147,7 @@ fn main() -> ExitCode {
 
     if opts.verbose {
         for r in &out.pipeline.reports {
-            eprintln!("  {:<20} {}", r.name, r.changes);
+            eprintln!("  {:<20} {:>10}  {:.3?}", r.name, r.changes, r.duration);
         }
         eprintln!(
             "  {} simple / {} total functions; profile accuracy {:.1}%",
@@ -138,6 +155,9 @@ fn main() -> ExitCode {
             out.ctx.functions.len(),
             out.attach_stats.accuracy() * 100.0
         );
+    }
+    if opts.time_passes {
+        eprint!("{}", timing_report(&out.pipeline));
     }
     if let Some(report) = &out.bad_layout {
         println!("{report}");

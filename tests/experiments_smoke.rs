@@ -147,7 +147,10 @@ fn icf_shrinks_rewritten_text() {
 
     let s_with = with.rewrite_stats.hot_text_size + with.rewrite_stats.cold_text_size;
     let s_without = without.rewrite_stats.hot_text_size + without.rewrite_stats.cold_text_size;
-    assert!(s_with < s_without, "ICF shrinks text: {s_with} < {s_without}");
+    assert!(
+        s_with < s_without,
+        "ICF shrinks text: {s_with} < {s_without}"
+    );
 
     let (_, out1) = measure(&with.elf, &cfg);
     assert_eq!(out0, out1);

@@ -197,8 +197,8 @@ fn interpreter_compiler_and_bolt_agree_on_random_programs() {
             m.run(&mut s, 500_000_000).unwrap();
             s.profile
         };
-        let bolted = optimize(&bin.elf, &profile, &BoltOptions::paper_default())
-            .expect("bolt succeeds");
+        let bolted =
+            optimize(&bin.elf, &profile, &BoltOptions::paper_default()).expect("bolt succeeds");
         let (code, out) = run_elf(&bolted.elf);
         assert_eq!(code & 0xFF, expected_code, "seed {seed}: bolted exit");
         assert_eq!(out, expected_out, "seed {seed}: bolted output");

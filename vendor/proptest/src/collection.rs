@@ -1,0 +1,56 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.start..self.size.end)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

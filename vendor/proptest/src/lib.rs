@@ -1,0 +1,108 @@
+//! A minimal, offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of proptest its property tests use: composable generation
+//! [`Strategy`]s (`prop_map`, `prop_filter`, `prop_flat_map`, tuples,
+//! ranges, [`collection::vec`], [`option::of`], `any::<T>()`, simple
+//! regex-ish string patterns) plus the [`proptest!`], [`prop_oneof!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the
+//! failing input is printed as generated), and generation is seeded
+//! deterministically per test function so failures reproduce exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs one property-test function: `cases` generated inputs, panicking on
+/// the first failure. Used by the [`proptest!`] macro expansion.
+#[macro_export]
+macro_rules! proptest {
+    (@body ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let fn_seed = $crate::test_runner::fnv1a(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(fn_seed, case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest: test `{}` failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}

@@ -1,0 +1,103 @@
+//! String generation from simple regex-like patterns.
+//!
+//! Upstream proptest treats `&str` as a full regex strategy. This stand-in
+//! supports the pragmatic subset used by the workspace's tests: sequences
+//! of character classes (`[a-z0-9_]`) or literal characters, each followed
+//! by an optional `{m,n}`, `{n}`, `+`, `*` or `?` repetition.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let class = parse_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            class
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = parse_repeat(&chars, &mut i, pattern);
+        let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..n {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (a, b) = (body[j], body[j + 2]);
+            assert!(a <= b, "bad class range in pattern {pattern:?}");
+            for c in a..=b {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(body[j]);
+            j += 1;
+        }
+    }
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    set
+}
+
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}

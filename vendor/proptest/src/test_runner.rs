@@ -1,0 +1,62 @@
+//! Test-runner configuration and the failure type used by the
+//! `prop_assert*` macros.
+
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG all strategies draw from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration (only `cases` is meaningful in this stand-in).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property check (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// FNV-1a over a test-function name: a stable per-test seed component.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF29CE484222325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    hash
+}
+
+/// Deterministic RNG for one test case: reruns reproduce failures exactly.
+pub fn case_rng(fn_seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(fn_seed ^ (u64::from(case)).wrapping_mul(0x9E3779B97F4A7C15))
+}
