@@ -136,6 +136,15 @@ pub fn bolt_with_profile(elf: &Elf, profile: &Profile) -> BoltOutput {
     optimize(elf, profile, &BoltOptions::paper_default()).expect("BOLT succeeds")
 }
 
+/// The driver's state right before the optimization pipeline runs,
+/// under `BoltOptions::paper_default()` — a thin shim over
+/// [`bolt_opt::prepare`], so benches and tests that drive `PassManager`
+/// directly (e.g. to compare thread counts on the exact same input
+/// context) cannot drift from the real driver.
+pub fn prepare_ctx(elf: &Elf, profile: &Profile) -> bolt_ir::BinaryContext {
+    bolt_opt::prepare(elf, profile, &BoltOptions::paper_default()).ctx
+}
+
 /// Asserts two runs are observationally identical (semantics check every
 /// experiment performs before reporting numbers).
 pub fn assert_same_behavior(a: &RunResult, b: &RunResult, what: &str) {

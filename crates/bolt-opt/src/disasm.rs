@@ -35,12 +35,24 @@ struct JtInfo {
 
 /// Disassembles every discovered function into `ctx`, constructing CFGs.
 /// Functions are processed in parallel (BOLT processes functions
-/// concurrently; disassembly and CFG construction are per-function pure).
-/// Returns the number of simple functions.
+/// concurrently; disassembly and CFG construction are per-function pure),
+/// with the worker count resolved automatically. Returns the number of
+/// simple functions.
 pub fn disassemble_all(ctx: &mut BinaryContext, funcs: &[RawFunction], elf: &Elf) -> usize {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1);
+    disassemble_all_with_threads(ctx, funcs, elf, 0)
+}
+
+/// [`disassemble_all`] with an explicit worker-count knob (the driver's
+/// `-threads=N`): `0` = auto (`BOLT_THREADS` env override or
+/// `available_parallelism`), `1` forces the serial path. The resulting
+/// context is identical at any value.
+pub fn disassemble_all_with_threads(
+    ctx: &mut BinaryContext,
+    funcs: &[RawFunction],
+    elf: &Elf,
+    threads: usize,
+) -> usize {
+    let n_threads = bolt_passes::resolve_threads(threads);
     let results: Vec<Result<bolt_ir::BinaryFunction, NonSimpleReason>> =
         if n_threads <= 1 || funcs.len() < 32 {
             funcs

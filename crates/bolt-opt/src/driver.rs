@@ -1,6 +1,6 @@
 //! The BOLT driver: the full rewriting pipeline of paper Figure 3.
 
-use crate::disasm::disassemble_all;
+use crate::disasm::disassemble_all_with_threads;
 use crate::discover::discover;
 use crate::emit::{rewrite_binary, RewriteStats};
 use crate::options::BoltOptions;
@@ -58,21 +58,52 @@ impl From<EmitError> for BoltError {
     }
 }
 
+/// The driver's state right before the optimization pipeline runs:
+/// stages 1–5 of paper Figure 3 (discovery through profile attachment).
+#[derive(Debug)]
+pub struct PreparedContext {
+    /// The disassembled, profile-annotated context the pipeline consumes.
+    pub ctx: BinaryContext,
+    /// Profile-attachment statistics.
+    pub attach_stats: AttachStats,
+    /// Number of functions BOLT fully understood.
+    pub simple_functions: usize,
+}
+
+/// Runs the pre-pipeline stages of [`optimize`] — function discovery,
+/// disassembly + CFG construction, and profile attachment — and returns
+/// the exact context the optimization pipeline would consume. Benches
+/// and tests that drive `PassManager` directly use this so they cannot
+/// drift from the real driver.
+pub fn prepare(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> PreparedContext {
+    // Figure 3: function discovery, read debug info, read profile data.
+    let (mut ctx, raw_funcs) = discover(elf);
+    // Disassembly + CFG construction (sharded across opts.threads
+    // workers, like the per-function passes).
+    let simple_functions = disassemble_all_with_threads(&mut ctx, &raw_funcs, elf, opts.threads);
+    // Profile attachment (+ non-LBR call-graph inference, section 5.3).
+    let attach_stats = attach_profile_opts(&mut ctx, profile, opts.non_lbr_tuned);
+    if profile.mode == ProfileMode::IpSamples {
+        infer_callgraph_from_samples(&mut ctx);
+    }
+    PreparedContext {
+        ctx,
+        attach_stats,
+        simple_functions,
+    }
+}
+
 /// Runs BOLT over `elf` with `profile`.
 ///
 /// # Errors
 ///
 /// Fails only if the optimized IR cannot be re-emitted (a pipeline bug).
 pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<BoltOutput, BoltError> {
-    // Figure 3: function discovery, read debug info, read profile data.
-    let (mut ctx, raw_funcs) = discover(elf);
-    // Disassembly + CFG construction.
-    let simple_functions = disassemble_all(&mut ctx, &raw_funcs, elf);
-    // Profile attachment (+ non-LBR call-graph inference, section 5.3).
-    let attach_stats = attach_profile_opts(&mut ctx, profile, opts.non_lbr_tuned);
-    if profile.mode == ProfileMode::IpSamples {
-        infer_callgraph_from_samples(&mut ctx);
-    }
+    let PreparedContext {
+        mut ctx,
+        attach_stats,
+        simple_functions,
+    } = prepare(elf, profile, opts);
 
     let bad_layout = if opts.report_bad_layout {
         Some(bad_layout_report(&ctx, opts.print_debug_info))
@@ -91,6 +122,7 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
     // are requested.
     let mut manager = PassManager::standard(&opts.passes);
     manager.config.collect_dyno = opts.time_passes && opts.dyno_stats;
+    manager.config.threads = opts.threads;
     let pipeline = manager.run(&mut ctx, &opts.passes);
 
     let dyno_after = if opts.dyno_stats {

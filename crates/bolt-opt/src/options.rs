@@ -29,6 +29,12 @@ pub struct BoltOptions {
     /// Use the layout-trusting non-LBR edge inference (paper section 5.1
     /// compares the naive and tuned inference). No effect in LBR mode.
     pub non_lbr_tuned: bool,
+    /// Worker threads for per-function work — disassembly sharding and
+    /// the per-function pure passes (`-threads=N`). `0` (default)
+    /// resolves to the `BOLT_THREADS` environment override or
+    /// `available_parallelism`; `1` forces the serial path. Output is
+    /// byte-identical at any value.
+    pub threads: usize,
 }
 
 impl BoltOptions {

@@ -28,16 +28,16 @@ fn may_fall_through(func: &BinaryFunction, pos: usize) -> bool {
 
 /// Runs the pass on every simple function; returns the number of
 /// terminator changes (inversions, added/removed jumps, trampolines).
+/// Whole-context wrapper over [`fixup_function`].
 pub fn run_fixup_branches(ctx: &mut BinaryContext) -> u64 {
-    let mut changes = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        changes += fixup_function(func);
-    }
-    changes
+    ctx.functions.iter_mut().map(fixup_function).sum()
 }
 
-/// Fixes one function.
+/// Per-function `fixup-branches` kernel (pure: touches only `func`).
 pub fn fixup_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple {
+        return 0;
+    }
     let mut changes = 0;
     let mut pos = 0;
     while pos < func.layout.len() {

@@ -11,20 +11,18 @@ use bolt_isa::{Inst, Mem, Reg};
 use std::collections::HashSet;
 
 /// Runs `frame-opts`; returns the number of dead stores removed.
+/// Whole-context wrapper over [`frame_opts_function`].
 pub fn run_frame_opts(ctx: &mut BinaryContext) -> u64 {
-    let mut n = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        if func.folded_into.is_some() {
-            continue;
-        }
-        n += frame_opts_function(func);
-    }
-    n
+    ctx.functions.iter_mut().map(frame_opts_function).sum()
 }
 
+/// Per-function `frame-opts` kernel (pure: touches only `func`).
 /// Removes stores to frame slots that are never read. Bails out if the
 /// frame address escapes (any `lea` of `rbp`/`rsp`).
 pub fn frame_opts_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple || func.folded_into.is_some() {
+        return 0;
+    }
     // Escape check.
     for &id in &func.layout {
         for inst in &func.block(id).insts {
@@ -82,23 +80,21 @@ pub fn frame_opts_function(func: &mut BinaryFunction) -> u64 {
 }
 
 /// Runs `shrink-wrapping`; returns the number of save/restore pairs moved.
+/// Whole-context wrapper over [`shrink_wrap_function`].
 pub fn run_shrink_wrapping(ctx: &mut BinaryContext) -> u64 {
-    let mut n = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        if func.folded_into.is_some() {
-            continue;
-        }
-        n += shrink_wrap_function(func);
-    }
-    n
+    ctx.functions.iter_mut().map(shrink_wrap_function).sum()
 }
 
+/// Per-function `shrink-wrapping` kernel (pure: touches only `func`).
 /// Moves the `push rbx` / `pop rbx` pair into the unique block using
 /// `rbx`, when the prologue is hot and that block is colder. The pair is
 /// placed around the block's body (before its terminator), relying on the
 /// frame being `rbp`-based so a transient push does not perturb slot
 /// addressing.
 pub fn shrink_wrap_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple || func.folded_into.is_some() {
+        return 0;
+    }
     const REG: Reg = Reg::Rbx;
     let entry = func.entry();
     // Locate the save in the entry block.

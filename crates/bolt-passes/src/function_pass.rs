@@ -1,0 +1,171 @@
+//! The [`FunctionPass`] adapter: parallel execution for per-function
+//! pure passes.
+//!
+//! BOLT processes functions concurrently (paper section 3) because most
+//! Table-1 transformations only ever touch one [`BinaryFunction`] at a
+//! time. A pass that can be expressed as a pure per-function kernel
+//! implements [`FunctionPass`]; [`run_function_pass`] shards
+//! `ctx.functions` across `std::thread::scope` workers the same way
+//! `bolt-opt::disasm::disassemble_all` shards disassembly.
+//!
+//! Determinism: each kernel owns exactly one function and nothing else,
+//! so the post-pass context is identical at any worker count, and the
+//! change counts are reduced in function index order (each worker owns
+//! one contiguous chunk; chunk subtotals are summed in chunk order).
+//! `PassManager::run` therefore produces byte-identical
+//! [`PipelineResult`](crate::PipelineResult)s for `threads = 1` and
+//! `threads = N`.
+
+use bolt_ir::{BinaryContext, BinaryFunction};
+
+/// Below this many functions the sharded path stays serial: thread
+/// spawn/join overhead dwarfs the kernel work on such small contexts
+/// (disassembly uses the same kind of fallback). Kept low enough that
+/// the Scale::Test workload fixtures (~20 functions) still exercise
+/// sharding in the integration tests.
+const PARALLEL_THRESHOLD: usize = 8;
+
+/// Hard ceiling on workers, applied to explicit `-threads=N` /
+/// `BOLT_THREADS` values as well as auto-detection: a pathological
+/// request (`-threads=100000`) must degrade to a bounded worker pool,
+/// never one OS thread per function.
+const MAX_THREADS: usize = 64;
+
+/// A pass expressible as a pure per-function kernel.
+///
+/// The kernel must read and write *only* the function it is handed —
+/// no context tables, no other functions, no globals — and must not
+/// depend on the order functions are visited in. `Sync` is required
+/// because one kernel instance is shared by every worker. Naming and
+/// option gating stay on the [`Pass`](crate::Pass) side; this trait is
+/// only the execution kernel.
+pub trait FunctionPass: Sync {
+    /// Runs the kernel on one function; returns the number of changes.
+    /// Applicability checks (`is_simple`, folded functions, …) belong
+    /// inside the kernel so serial and sharded runs agree exactly.
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64;
+}
+
+/// Resolves a worker-count knob to an effective thread count.
+///
+/// * `threads >= 1`: that many workers (`1` forces the serial path).
+/// * `threads == 0` (auto): the `BOLT_THREADS` environment override if
+///   set and positive, else [`std::thread::available_parallelism`]
+///   (capped at 8, like disassembly sharding).
+///
+/// Every source is clamped to a 64-worker ceiling — the result is
+/// byte-identical at any count, so an oversized request only costs
+/// wall clock, never correctness.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        return threads.min(MAX_THREADS);
+    }
+    if let Ok(v) = std::env::var("BOLT_THREADS") {
+        match v.trim().parse::<usize>() {
+            // An explicit 0 requests auto-detection, like `-threads=0`.
+            Ok(0) => {}
+            Ok(n) => return n.min(MAX_THREADS),
+            // A set-but-garbled override must fail loudly: silently
+            // falling back to auto would let a CI typo turn the forced
+            // serial leg into a parallel run.
+            Err(_) => panic!("BOLT_THREADS must be a non-negative integer, got {v:?}"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// Runs `pass` over every function in `ctx`, sharded across `n_threads`
+/// scoped workers (`n_threads` as returned by [`resolve_threads`]).
+/// Returns the total change count, reduced in function index order.
+pub fn run_function_pass(
+    pass: &dyn FunctionPass,
+    ctx: &mut BinaryContext,
+    n_threads: usize,
+) -> u64 {
+    if n_threads <= 1 || ctx.functions.len() < PARALLEL_THRESHOLD {
+        return ctx
+            .functions
+            .iter_mut()
+            .map(|f| pass.run_on_function(f))
+            .sum();
+    }
+    let chunk = ctx.functions.len().div_ceil(n_threads);
+    // Each worker owns one contiguous chunk of functions (index order);
+    // chunk subtotals are summed in chunk order, so the reduction is
+    // deterministic regardless of worker scheduling.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ctx
+            .functions
+            .chunks_mut(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter_mut()
+                        .map(|f| pass.run_on_function(f))
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("function-pass worker"))
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_isa::Inst;
+
+    struct CountRets;
+
+    impl FunctionPass for CountRets {
+        fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+            func.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .filter(|i| i.inst == Inst::Ret)
+                .count() as u64
+        }
+    }
+
+    fn many_function_ctx(n: usize) -> BinaryContext {
+        let mut ctx = BinaryContext::new();
+        for i in 0..n {
+            let mut f = BinaryFunction::new(format!("f{i}"), 0x1000 + 0x100 * i as u64);
+            let b = f.add_block(bolt_ir::BasicBlock::new());
+            f.block_mut(b).push(Inst::Ret);
+            ctx.add_function(f);
+        }
+        ctx
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_at_every_thread_count() {
+        for n in [1, 2, 3, 7, 8, 64] {
+            let mut ctx = many_function_ctx(41);
+            assert_eq!(
+                run_function_pass(&CountRets, &mut ctx, n),
+                41,
+                "threads={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_win_over_auto() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn pathological_thread_counts_are_clamped() {
+        assert_eq!(resolve_threads(100_000), 64);
+        assert_eq!(resolve_threads(64), 64);
+        assert_eq!(resolve_threads(65), 64);
+    }
+}

@@ -28,7 +28,19 @@
 //! | 15 | `frame-opts` | [`frame`] |
 //! | 16 | `shrink-wrapping` | [`frame`] |
 //!
-//! plus the `dyno-stats` reporting of paper Table 2 ([`dyno`]).
+//! plus a second `fixup-branches` instance right after `sctc` (sctc
+//! rewires terminators; the re-run reports its own time and change
+//! count) and the `dyno-stats` reporting of paper Table 2 ([`dyno`]).
+//!
+//! ## Parallel execution
+//!
+//! Per-function pure passes (`strip-rep-ret`, `peepholes`, `uce`,
+//! `fixup-branches`, `sctc`, `frame-opts`, `shrink-wrapping`) also
+//! implement [`FunctionPass`]; the manager shards `ctx.functions`
+//! across `std::thread::scope` workers when
+//! [`ManagerConfig::threads`] resolves to more than one (the
+//! `-threads=N` CLI knob; `0` = auto, `1` = serial). Results are
+//! byte-identical at any thread count — see [`function_pass`].
 //!
 //! ## Running the pipeline
 //!
@@ -56,6 +68,7 @@
 pub mod dyno;
 pub mod fixup;
 pub mod frame;
+pub mod function_pass;
 pub mod icf;
 pub mod icp;
 pub mod inline_small;
@@ -69,6 +82,7 @@ pub mod sctc;
 pub mod uce;
 
 pub use dyno::DynoStats;
+pub use function_pass::{resolve_threads, run_function_pass, FunctionPass};
 pub use layout::{BlockLayout, SplitMode};
 pub use manager::{ManagerConfig, Pass, PassManager};
 
@@ -170,7 +184,9 @@ impl PassOptions {
         }
     }
 
-    /// Everything disabled (identity rewrite).
+    /// Everything disabled (identity rewrite). Unlike
+    /// [`layout_only`](Self::layout_only), this turns `uce` off too —
+    /// an identity rewrite must not delete blocks.
     pub fn none() -> PassOptions {
         PassOptions {
             reorder_blocks: BlockLayout::None,
@@ -178,6 +194,7 @@ impl PassOptions {
             split_all_cold: false,
             split_eh: false,
             reorder_functions: bolt_hfsort::Algorithm::None,
+            uce: false,
             ..PassOptions::layout_only()
         }
     }

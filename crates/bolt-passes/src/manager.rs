@@ -17,12 +17,13 @@
 //! distinguished in validation messages and timing output as e.g.
 //! `icf(2)`.
 
+use crate::function_pass::{resolve_threads, run_function_pass, FunctionPass};
 use crate::reorder_functions;
 use crate::{
     dyno, fixup, frame, icf, icp, inline_small, layout, peephole, plt, ro_loads, sctc, uce,
     PassOptions, PassReport, PipelineResult,
 };
-use bolt_ir::BinaryContext;
+use bolt_ir::{BinaryContext, BinaryFunction};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -59,6 +60,15 @@ pub trait Pass {
     fn take_function_order(&mut self) -> Option<Vec<usize>> {
         None
     }
+
+    /// Per-function pure passes expose their kernel here; the manager
+    /// shards `ctx.functions` across worker threads via
+    /// [`run_function_pass`] when [`ManagerConfig::threads`] resolves to
+    /// more than one. Whole-context passes return `None` and always run
+    /// through [`run`](Self::run).
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        None
+    }
 }
 
 /// Manager knobs orthogonal to [`PassOptions`].
@@ -71,6 +81,12 @@ pub struct ManagerConfig {
     /// pass, so each report carries its dyno delta. Costs one stats
     /// sweep per pass boundary; off by default.
     pub collect_dyno: bool,
+    /// Worker-thread count for per-function passes (`-threads=N`).
+    /// `0` (the default) resolves to the `BOLT_THREADS` environment
+    /// override or [`std::thread::available_parallelism`]; `1` forces
+    /// the serial path. The pipeline result is byte-identical at any
+    /// value — see [`crate::function_pass`].
+    pub threads: usize,
 }
 
 impl Default for ManagerConfig {
@@ -78,6 +94,7 @@ impl Default for ManagerConfig {
         ManagerConfig {
             validate: true,
             collect_dyno: false,
+            threads: 0,
         }
     }
 }
@@ -125,12 +142,16 @@ impl PassManager {
             }))
             .register(Box::new(Peepholes))
             .register(Box::new(Uce))
-            .register(Box::new(FixupBranches))
+            .register(Box::new(FixupBranches { after_sctc: false }))
             .register(Box::new(ReorderFunctions {
                 algorithm: opts.reorder_functions,
                 order: None,
             }))
             .register(Box::new(Sctc))
+            // sctc rewires terminators, so branch fixup re-runs right
+            // after it — as its own report, so `-time-passes` attributes
+            // the re-run's wall clock and change count honestly.
+            .register(Box::new(FixupBranches { after_sctc: true }))
             .register(Box::new(FrameOpts))
             .register(Box::new(ShrinkWrapping));
         m
@@ -149,8 +170,25 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// The pass names [`standard`](Self::standard) registers, in order:
+    /// the [`crate::TABLE1`] rows plus the post-sctc `fixup-branches`
+    /// re-run. The single source of truth for tests asserting the
+    /// standard registration or report order.
+    pub fn standard_pass_names() -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = crate::TABLE1.iter().map(|(name, _)| *name).collect();
+        let sctc_pos = names.iter().position(|n| *n == "sctc").expect("sctc row");
+        names.insert(sctc_pos + 1, "fixup-branches");
+        names
+    }
+
     /// Runs every registered pass enabled under `opts`, in order.
+    ///
+    /// Per-function passes ([`Pass::function_pass`]) are sharded across
+    /// [`ManagerConfig::threads`] workers; whole-context passes run
+    /// serially. The [`PipelineResult`] is byte-identical at any thread
+    /// count.
     pub fn run(&mut self, ctx: &mut BinaryContext, opts: &PassOptions) -> PipelineResult {
+        let n_threads = resolve_threads(self.config.threads);
         let mut result = PipelineResult::default();
         let mut occurrences: HashMap<&'static str, u32> = HashMap::new();
         // Nothing mutates the context between one pass's after-sweep and
@@ -175,7 +213,13 @@ impl PassManager {
                     .unwrap_or_else(|| dyno::context_dyno_stats(ctx))
             });
             let started = Instant::now();
-            let changes = pass.run(ctx);
+            // Kernels always go through the sharder (which serializes
+            // itself at n_threads <= 1), so a pass can never behave
+            // differently between its run() wrapper and its kernel.
+            let changes = match pass.function_pass() {
+                Some(kernel) => run_function_pass(kernel, ctx, n_threads),
+                None => pass.run(ctx),
+            };
             let duration = started.elapsed();
             let dyno_after = self
                 .config
@@ -231,6 +275,15 @@ impl Pass for StripRepRet {
     fn enabled(&self, opts: &PassOptions) -> bool {
         opts.strip_rep_ret
     }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for StripRepRet {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        peephole::strip_rep_ret_function(func)
+    }
 }
 
 /// Table 1 #2 and #7: identical code folding (registered twice).
@@ -277,6 +330,15 @@ impl Pass for Peepholes {
     }
     fn enabled(&self, opts: &PassOptions) -> bool {
         opts.peepholes
+    }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for Peepholes {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        peephole::peepholes_function(func)
     }
 }
 
@@ -366,10 +428,23 @@ impl Pass for Uce {
     fn enabled(&self, opts: &PassOptions) -> bool {
         opts.uce
     }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
 }
 
-/// Table 1 #12: rewrite terminators to match CFG + layout. Always runs.
-struct FixupBranches;
+impl FunctionPass for Uce {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        uce::uce_function(func)
+    }
+}
+
+/// Table 1 #12: rewrite terminators to match CFG + layout. The first
+/// instance always runs; the `after_sctc` instance re-runs right after
+/// `sctc` (which rewires terminators) and is gated on it.
+struct FixupBranches {
+    after_sctc: bool,
+}
 
 impl Pass for FixupBranches {
     fn name(&self) -> &'static str {
@@ -378,8 +453,17 @@ impl Pass for FixupBranches {
     fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
         fixup::run_fixup_branches(ctx)
     }
-    fn enabled(&self, _opts: &PassOptions) -> bool {
-        true
+    fn enabled(&self, opts: &PassOptions) -> bool {
+        !self.after_sctc || opts.sctc
+    }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for FixupBranches {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        fixup::fixup_function(func)
     }
 }
 
@@ -412,8 +496,10 @@ impl Pass for ReorderFunctions {
     }
 }
 
-/// Table 1 #14: simplify conditional tail calls. Re-runs branch fixup
-/// afterwards because sctc rewires terminators.
+/// Table 1 #14: simplify conditional tail calls. The branch fixup this
+/// necessitates (sctc rewires terminators) is registered as its own
+/// `fixup-branches` instance right after, so its time and change count
+/// are attributed to fixup rather than silently folded into sctc.
 struct Sctc;
 
 impl Pass for Sctc {
@@ -421,12 +507,19 @@ impl Pass for Sctc {
         "sctc"
     }
     fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
-        let n = sctc::run_sctc(ctx);
-        let _ = fixup::run_fixup_branches(ctx);
-        n
+        sctc::run_sctc(ctx)
     }
     fn enabled(&self, opts: &PassOptions) -> bool {
         opts.sctc
+    }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for Sctc {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        sctc::sctc_function(func)
     }
 }
 
@@ -443,6 +536,15 @@ impl Pass for FrameOpts {
     fn enabled(&self, opts: &PassOptions) -> bool {
         opts.frame_opts
     }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for FrameOpts {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        frame::frame_opts_function(func)
+    }
 }
 
 /// Table 1 #16: move callee-saved spills toward their uses.
@@ -458,6 +560,15 @@ impl Pass for ShrinkWrapping {
     fn enabled(&self, opts: &PassOptions) -> bool {
         opts.shrink_wrapping
     }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for ShrinkWrapping {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        frame::shrink_wrap_function(func)
+    }
 }
 
 #[cfg(test)]
@@ -465,12 +576,13 @@ mod tests {
     use super::*;
 
     /// The registry must reproduce the Table-1 order exactly (names as
-    /// listed in the crate-level doc table and [`crate::TABLE1`]).
+    /// listed in the crate-level doc table and [`crate::TABLE1`]), plus
+    /// the post-sctc `fixup-branches` re-run registered as its own pass
+    /// so `-time-passes` attribution stays honest.
     #[test]
     fn standard_registration_matches_table1() {
         let m = PassManager::standard(&PassOptions::default());
-        let expected: Vec<&str> = crate::TABLE1.iter().map(|(name, _)| *name).collect();
-        assert_eq!(m.pass_names(), expected);
+        assert_eq!(m.pass_names(), PassManager::standard_pass_names());
     }
 
     #[test]
@@ -479,12 +591,44 @@ mod tests {
         let mut ctx = BinaryContext::default();
         let opts = PassOptions::none();
         let result = m.run(&mut ctx, &opts);
-        // Only the unconditional passes (plus uce, which every preset
-        // keeps on) report.
+        // Only the unconditional passes report: `none` is an identity
+        // rewrite, so uce (and sctc's fixup re-run) must be off too.
         let names: Vec<&str> = result.reports.iter().map(|r| r.name).collect();
         assert_eq!(
             names,
-            ["reorder-bbs", "uce", "fixup-branches", "reorder-functions"]
+            ["reorder-bbs", "fixup-branches", "reorder-functions"]
+        );
+    }
+
+    /// The manager must produce identical results at any thread count
+    /// (here on a synthetic many-function context; the TAO integration
+    /// test covers the full driver).
+    #[test]
+    fn thread_count_does_not_change_results() {
+        use bolt_ir::BasicBlock;
+        use bolt_isa::Inst;
+        let mut base = BinaryContext::default();
+        for i in 0..40 {
+            let mut f = bolt_ir::BinaryFunction::new(format!("f{i}"), 0x1000 + 0x100 * i as u64);
+            let b = f.add_block(BasicBlock::new());
+            f.block_mut(b).push(Inst::RepzRet);
+            base.add_function(f);
+        }
+        let opts = PassOptions::default();
+        let mut results = Vec::new();
+        for threads in [1, 4] {
+            let mut m = PassManager::standard(&opts);
+            m.config.threads = threads;
+            let mut ctx = base.clone();
+            results.push((m.run(&mut ctx, &opts), ctx));
+        }
+        let (serial, parallel) = (&results[0], &results[1]);
+        assert_eq!(serial.0.reports, parallel.0.reports);
+        assert_eq!(serial.0.function_order, parallel.0.function_order);
+        assert_eq!(serial.1.functions.len(), parallel.1.functions.len());
+        assert_eq!(
+            serial.0.reports[0].changes, 40,
+            "strip-rep-ret fired once per function"
         );
     }
 

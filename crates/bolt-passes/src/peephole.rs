@@ -1,21 +1,28 @@
 //! Passes 1, 4 and 10: `strip-rep-ret` and simple peepholes.
 
-use bolt_ir::{BinaryContext, BlockId};
+use bolt_ir::{BinaryContext, BinaryFunction, BlockId};
 use bolt_isa::{AluOp, Cond, Inst, Mem, Target};
 
 /// Pass 1: `repz retq` → `retq` (the `repz` prefix only matters for
 /// ancient AMD branch predictors; dropping it saves a byte of I-cache per
 /// return — paper section 4's "trade optional instruction-space choices
-/// for I-cache space").
+/// for I-cache space"). Whole-context wrapper over
+/// [`strip_rep_ret_function`].
 pub fn strip_rep_ret(ctx: &mut BinaryContext) -> u64 {
+    ctx.functions.iter_mut().map(strip_rep_ret_function).sum()
+}
+
+/// Per-function `strip-rep-ret` kernel (pure: touches only `func`).
+pub fn strip_rep_ret_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple {
+        return 0;
+    }
     let mut n = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        for block in &mut func.blocks {
-            for inst in &mut block.insts {
-                if inst.inst == Inst::RepzRet {
-                    inst.inst = Inst::Ret;
-                    n += 1;
-                }
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            if inst.inst == Inst::RepzRet {
+                inst.inst = Inst::Ret;
+                n += 1;
             }
         }
     }
@@ -31,116 +38,121 @@ pub fn strip_rep_ret(ctx: &mut BinaryContext) -> u64 {
 /// * *store-load forwarding*: `movq %rax, slot; movq slot, %rax` drops the
 ///   reload.
 pub fn run_peepholes(ctx: &mut BinaryContext) -> u64 {
+    ctx.functions.iter_mut().map(peepholes_function).sum()
+}
+
+/// Per-function peephole kernel (pure: touches only `func`).
+pub fn peepholes_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple {
+        return 0;
+    }
     let mut n = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        // --- double jumps ---
-        // Find trampolines: blocks with exactly one instruction `jmp L`.
-        let mut tramp: Vec<Option<BlockId>> = vec![None; func.blocks.len()];
-        for &id in &func.layout {
-            let b = func.block(id);
-            if b.insts.len() == 1 && !b.is_landing_pad {
-                if let Inst::Jmp {
-                    target: Target::Label(l),
-                    ..
-                } = b.insts[0].inst
-                {
-                    tramp[id.index()] = Some(BlockId(l.0));
-                }
+    // --- double jumps ---
+    // Find trampolines: blocks with exactly one instruction `jmp L`.
+    let mut tramp: Vec<Option<BlockId>> = vec![None; func.blocks.len()];
+    for &id in &func.layout {
+        let b = func.block(id);
+        if b.insts.len() == 1 && !b.is_landing_pad {
+            if let Inst::Jmp {
+                target: Target::Label(l),
+                ..
+            } = b.insts[0].inst
+            {
+                tramp[id.index()] = Some(BlockId(l.0));
             }
         }
-        // Retarget edges through trampolines (a single level per run; the
-        // pass runs twice in the pipeline).
-        for pos in 0..func.layout.len() {
-            let id = func.layout[pos];
-            // Collect rewrites first to appease the borrow checker.
-            let rewrites: Vec<(BlockId, BlockId)> = func
-                .block(id)
-                .succs
-                .iter()
-                .filter_map(|e| tramp[e.block.index()].map(|t| (e.block, t)))
-                .filter(|(from, to)| from != to)
-                .collect();
-            for (old, new) in rewrites {
-                // Don't create duplicate edges.
-                if func.block(id).succ_edge(new).is_some() {
-                    continue;
-                }
-                let term_is_label_branch = func.block(id).terminator().map(|t| {
-                    matches!(
-                        t.inst,
-                        Inst::Jcc {
-                            target: Target::Label(_),
-                            ..
-                        } | Inst::Jmp {
-                            target: Target::Label(_),
-                            ..
-                        }
-                    )
-                });
-                if term_is_label_branch != Some(true) {
-                    continue;
-                }
-                let block = func.block_mut(id);
-                if let Some(term) = block.terminator_mut() {
-                    if term.inst.target() == Some(Target::Label(bolt_isa::Label(old.0))) {
-                        term.inst.set_target(Target::Label(bolt_isa::Label(new.0)));
-                        if let Some(e) = block.succ_edge_mut(old) {
-                            e.block = new;
-                        }
-                        n += 1;
-                    }
-                }
+    }
+    // Retarget edges through trampolines (a single level per run; the
+    // pass runs twice in the pipeline).
+    for pos in 0..func.layout.len() {
+        let id = func.layout[pos];
+        // Collect rewrites first to appease the borrow checker.
+        let rewrites: Vec<(BlockId, BlockId)> = func
+            .block(id)
+            .succs
+            .iter()
+            .filter_map(|e| tramp[e.block.index()].map(|t| (e.block, t)))
+            .filter(|(from, to)| from != to)
+            .collect();
+        for (old, new) in rewrites {
+            // Don't create duplicate edges.
+            if func.block(id).succ_edge(new).is_some() {
+                continue;
             }
-        }
-        // --- redundant test + store-load forwarding ---
-        for id in func.layout.clone() {
-            let block = func.block_mut(id);
-            // Redundant test before a ZF/SF-only jcc.
-            let len = block.insts.len();
-            if len >= 2 {
-                let cond_ok = matches!(
-                    block.insts.last().map(|i| i.inst),
-                    Some(Inst::Jcc {
-                        cond: Cond::E | Cond::Ne | Cond::S | Cond::Ns,
+            let term_is_label_branch = func.block(id).terminator().map(|t| {
+                matches!(
+                    t.inst,
+                    Inst::Jcc {
+                        target: Target::Label(_),
                         ..
-                    })
-                );
-                if cond_ok && len >= 3 {
-                    let test_idx = len - 2;
-                    let alu_idx = len - 3;
-                    let redundant = match (&block.insts[alu_idx].inst, &block.insts[test_idx].inst)
-                    {
-                        (
-                            Inst::Alu { op, dst, .. } | Inst::AluI { op, dst, .. },
-                            Inst::Test { a, b },
-                        ) => *op != AluOp::Cmp && a == b && a == dst,
-                        _ => false,
-                    };
-                    if redundant {
-                        block.insts.remove(test_idx);
-                        n += 1;
+                    } | Inst::Jmp {
+                        target: Target::Label(_),
+                        ..
                     }
+                )
+            });
+            if term_is_label_branch != Some(true) {
+                continue;
+            }
+            let block = func.block_mut(id);
+            if let Some(term) = block.terminator_mut() {
+                if term.inst.target() == Some(Target::Label(bolt_isa::Label(old.0))) {
+                    term.inst.set_target(Target::Label(bolt_isa::Label(new.0)));
+                    if let Some(e) = block.succ_edge_mut(old) {
+                        e.block = new;
+                    }
+                    n += 1;
                 }
             }
-            // Store-load forwarding over adjacent pairs.
-            let mut i = 0;
-            while i + 1 < block.insts.len() {
-                let remove = match (&block.insts[i].inst, &block.insts[i + 1].inst) {
-                    (Inst::Store { mem: m1, src }, Inst::Load { dst, mem: m2 }) => {
-                        m1 == m2 && src == dst && is_stack_slot(m1)
-                    }
+        }
+    }
+    // --- redundant test + store-load forwarding ---
+    for id in func.layout.clone() {
+        let block = func.block_mut(id);
+        // Redundant test before a ZF/SF-only jcc.
+        let len = block.insts.len();
+        if len >= 2 {
+            let cond_ok = matches!(
+                block.insts.last().map(|i| i.inst),
+                Some(Inst::Jcc {
+                    cond: Cond::E | Cond::Ne | Cond::S | Cond::Ns,
+                    ..
+                })
+            );
+            if cond_ok && len >= 3 {
+                let test_idx = len - 2;
+                let alu_idx = len - 3;
+                let redundant = match (&block.insts[alu_idx].inst, &block.insts[test_idx].inst) {
+                    (
+                        Inst::Alu { op, dst, .. } | Inst::AluI { op, dst, .. },
+                        Inst::Test { a, b },
+                    ) => *op != AluOp::Cmp && a == b && a == dst,
                     _ => false,
                 };
-                if remove {
-                    block.insts.remove(i + 1);
+                if redundant {
+                    block.insts.remove(test_idx);
                     n += 1;
-                } else {
-                    i += 1;
                 }
             }
         }
-        func.rebuild_preds();
+        // Store-load forwarding over adjacent pairs.
+        let mut i = 0;
+        while i + 1 < block.insts.len() {
+            let remove = match (&block.insts[i].inst, &block.insts[i + 1].inst) {
+                (Inst::Store { mem: m1, src }, Inst::Load { dst, mem: m2 }) => {
+                    m1 == m2 && src == dst && is_stack_slot(m1)
+                }
+                _ => false,
+            };
+            if remove {
+                block.insts.remove(i + 1);
+                n += 1;
+            } else {
+                i += 1;
+            }
+        }
     }
+    func.rebuild_preds();
     n
 }
 

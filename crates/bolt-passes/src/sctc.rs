@@ -4,59 +4,63 @@
 //! containing only a tail call) becomes a direct *conditional tail call*
 //! `jcc func`, removing one taken jump from the hot path.
 
-use bolt_ir::{BinaryContext, BlockId};
+use bolt_ir::{BinaryContext, BinaryFunction, BlockId};
 use bolt_isa::{Inst, Label, Target};
 
 /// Runs the pass; returns the number of conditional tail calls created.
+/// Whole-context wrapper over [`sctc_function`].
 pub fn run_sctc(ctx: &mut BinaryContext) -> u64 {
+    ctx.functions.iter_mut().map(sctc_function).sum()
+}
+
+/// Per-function SCTC kernel (pure: touches only `func`).
+pub fn sctc_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple || func.folded_into.is_some() {
+        return 0;
+    }
     let mut n = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        if func.folded_into.is_some() {
-            continue;
-        }
-        // Tail-call thunks: blocks with exactly one instruction
-        // `jmp Addr(..)` (an external target).
-        let mut thunk: Vec<Option<u64>> = vec![None; func.blocks.len()];
-        for &id in &func.layout {
-            let b = func.block(id);
-            if b.insts.len() == 1 && !b.is_landing_pad {
-                if let Inst::Jmp {
-                    target: Target::Addr(a),
-                    ..
-                } = b.insts[0].inst
-                {
-                    thunk[id.index()] = Some(a);
-                }
-            }
-        }
-        for pos in 0..func.layout.len() {
-            let id = func.layout[pos];
-            let Some(term) = func.block(id).terminator() else {
-                continue;
-            };
-            let Inst::Jcc {
-                target: Target::Label(l),
+    // Tail-call thunks: blocks with exactly one instruction
+    // `jmp Addr(..)` (an external target).
+    let mut thunk: Vec<Option<u64>> = vec![None; func.blocks.len()];
+    for &id in &func.layout {
+        let b = func.block(id);
+        if b.insts.len() == 1 && !b.is_landing_pad {
+            if let Inst::Jmp {
+                target: Target::Addr(a),
                 ..
-            } = term.inst
-            else {
-                continue;
-            };
-            let taken = BlockId(l.0);
-            let Some(ext) = thunk[taken.index()] else {
-                continue;
-            };
-            // Rewrite: jcc directly to the external function; drop the CFG
-            // edge to the thunk (control leaves the function when taken).
-            let block = func.block_mut(id);
-            if let Some(term) = block.terminator_mut() {
-                term.inst.set_target(Target::Addr(ext));
+            } = b.insts[0].inst
+            {
+                thunk[id.index()] = Some(a);
             }
-            block.succs.retain(|e| e.block != taken);
-            n += 1;
         }
-        if n > 0 {
-            func.rebuild_preds();
+    }
+    for pos in 0..func.layout.len() {
+        let id = func.layout[pos];
+        let Some(term) = func.block(id).terminator() else {
+            continue;
+        };
+        let Inst::Jcc {
+            target: Target::Label(l),
+            ..
+        } = term.inst
+        else {
+            continue;
+        };
+        let taken = BlockId(l.0);
+        let Some(ext) = thunk[taken.index()] else {
+            continue;
+        };
+        // Rewrite: jcc directly to the external function; drop the CFG
+        // edge to the thunk (control leaves the function when taken).
+        let block = func.block_mut(id);
+        if let Some(term) = block.terminator_mut() {
+            term.inst.set_target(Target::Addr(ext));
         }
+        block.succs.retain(|e| e.block != taken);
+        n += 1;
+    }
+    if n > 0 {
+        func.rebuild_preds();
     }
     n
 }

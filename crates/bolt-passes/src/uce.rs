@@ -1,47 +1,49 @@
 //! Pass 11: unreachable-code elimination.
 
-use bolt_ir::BinaryContext;
+use bolt_ir::{BinaryContext, BinaryFunction};
 
 /// Removes blocks unreachable from the entry (following CFG edges,
 /// call→landing-pad links, and jump-table targets). Returns the number of
-/// blocks removed.
+/// blocks removed. Whole-context wrapper over [`uce_function`].
 pub fn run_uce(ctx: &mut BinaryContext) -> u64 {
-    let mut removed = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
-        if func.layout.is_empty() {
-            continue;
-        }
-        let reach = func.reachable();
-        // Jump-table targets are reachable through their indirect jumps,
-        // whose CFG edges already exist; but keep targets listed in tables
-        // anyway as a belt-and-braces rule.
-        let mut keep = reach;
-        for jt in &func.jump_tables {
-            for t in &jt.targets {
-                keep[t.index()] = true;
-            }
-        }
-        let before = func.layout.len();
-        let entry = func.entry();
-        func.layout.retain(|b| *b == entry || keep[b.index()]);
-        let after = func.layout.len();
-        if before != after {
-            removed += (before - after) as u64;
-            // Adjust the cold split point if it pointed past removed
-            // blocks.
-            if let Some(cold) = func.cold_start {
-                func.cold_start = Some(cold.min(func.layout.len()));
-                if func.cold_start == Some(0) || func.cold_start == Some(func.layout.len()) {
-                    // Degenerate split: drop it (re-derived by layout).
-                    if func.cold_start == Some(0) {
-                        func.cold_start = None;
-                    }
-                }
-            }
-            func.rebuild_preds();
+    ctx.functions.iter_mut().map(uce_function).sum()
+}
+
+/// Per-function UCE kernel (pure: touches only `func`).
+pub fn uce_function(func: &mut BinaryFunction) -> u64 {
+    if !func.is_simple || func.layout.is_empty() {
+        return 0;
+    }
+    let reach = func.reachable();
+    // Jump-table targets are reachable through their indirect jumps,
+    // whose CFG edges already exist; but keep targets listed in tables
+    // anyway as a belt-and-braces rule.
+    let mut keep = reach;
+    for jt in &func.jump_tables {
+        for t in &jt.targets {
+            keep[t.index()] = true;
         }
     }
-    removed
+    let before = func.layout.len();
+    let entry = func.entry();
+    func.layout.retain(|b| *b == entry || keep[b.index()]);
+    let after = func.layout.len();
+    if before == after {
+        return 0;
+    }
+    // Adjust the cold split point if it pointed past removed blocks.
+    if let Some(cold) = func.cold_start {
+        let cold = cold.min(func.layout.len());
+        if cold == 0 || cold == func.layout.len() {
+            // Degenerate split — the whole layout on one side of the
+            // boundary: drop it (re-derived by layout).
+            func.cold_start = None;
+        } else {
+            func.cold_start = Some(cold);
+        }
+    }
+    func.rebuild_preds();
+    (before - after) as u64
 }
 
 #[cfg(test)]
@@ -90,5 +92,30 @@ mod tests {
         ctx.add_function(f);
         assert_eq!(run_uce(&mut ctx), 0, "landing pad is reachable via EH");
         assert!(ctx.functions[0].layout.contains(&BlockId(1)));
+    }
+
+    /// Regression: when every cold block is removed, the split point ends
+    /// up at `layout.len()` — a degenerate all-hot split that must be
+    /// dropped, exactly like the `Some(0)` all-cold case.
+    #[test]
+    fn degenerate_split_at_layout_end_is_dropped() {
+        let mut f = BinaryFunction::new("f", 0x1000);
+        let b0 = f.add_block(BasicBlock::new());
+        let dead = f.add_block(BasicBlock::new());
+        f.block_mut(b0).push(Inst::Ret);
+        f.block_mut(dead).push(Inst::Ret);
+        f.rebuild_preds();
+        // The only cold block is the unreachable one.
+        f.cold_start = Some(1);
+        let mut ctx = BinaryContext::new();
+        ctx.add_function(f);
+        assert_eq!(run_uce(&mut ctx), 1);
+        let f = &ctx.functions[0];
+        assert_eq!(f.layout, vec![b0]);
+        assert_eq!(
+            f.cold_start, None,
+            "split point at layout end is degenerate and must be cleared"
+        );
+        f.validate().unwrap();
     }
 }

@@ -25,6 +25,11 @@ fn usage() -> ! {
            -reorder-functions=none|hfsort|hfsort+|pettis-hansen\n\
            -split-functions | -no-split-functions\n\
            -icf | -no-icf\n\
+           -threads=N\n\
+           \x20   (worker threads for per-function passes and disassembly;\n\
+           \x20   0 = auto [the default, available parallelism capped at 8],\n\
+           \x20   1 forces the serial path, values above 64 are clamped,\n\
+           \x20   output is byte-identical at any value)\n\
            -dyno-stats\n\
            -time-passes\n\
            -report-bad-layout\n\
@@ -72,6 +77,14 @@ fn main() -> ExitCode {
                 opts.passes.split_eh = false;
             }
             s if s.starts_with("-preset=") => {} // applied in the pre-scan above
+            s if s.starts_with("-threads=") => {
+                // 0 = auto (BOLT_THREADS env override or available
+                // parallelism), matching BoltOptions::threads.
+                opts.threads = match s["-threads=".len()..].parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => usage(),
+                };
+            }
             s if s.starts_with("-reorder-blocks=") => {
                 opts.passes.reorder_blocks = match &s["-reorder-blocks=".len()..] {
                     "none" => BlockLayout::None,

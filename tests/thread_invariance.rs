@@ -1,0 +1,104 @@
+//! Thread-count invariance: `PassManager::run` (and the whole driver)
+//! must produce byte-identical results whether the per-function passes
+//! run serially (`-threads=1`) or sharded across workers (`-threads=8`),
+//! on the profiled TAO fixture.
+
+use bolt::compiler::{compile_and_link, CompileOptions};
+use bolt::elf::{write_elf, Elf};
+use bolt::emu::Machine;
+use bolt::ir::{dump_function, BinaryContext, DumpOptions};
+use bolt::opt::{optimize, BoltOptions};
+use bolt::passes::{PassManager, PassOptions};
+use bolt::profile::{LbrSampler, Profile, SampleTrigger};
+use bolt::workloads::{Scale, Workload};
+use bolt_bench::prepare_ctx;
+use std::sync::OnceLock;
+
+/// The profiled TAO binary and its LBR profile (compiled and emulated
+/// once; both tests read it immutably).
+fn tao_fixture() -> &'static (Elf, Profile) {
+    static FIXTURE: OnceLock<(Elf, Profile)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let program = Workload::Tao.build(Scale::Test);
+        let binary = compile_and_link(&program, &CompileOptions::default()).expect("tao compiles");
+        let mut machine = Machine::new();
+        machine.load_elf(&binary.elf);
+        let mut sampler = LbrSampler::new(997, SampleTrigger::Instructions);
+        machine.run(&mut sampler, 100_000_000).expect("tao runs");
+        (binary.elf, sampler.profile)
+    })
+}
+
+/// Every function's printed IR — the pipeline's observable output,
+/// normalized through the dumper so block order, terminators, and edges
+/// are all covered.
+fn dump_all(ctx: &BinaryContext) -> String {
+    let mut out = String::new();
+    for f in &ctx.functions {
+        out.push_str(&dump_function(
+            f,
+            None,
+            DumpOptions {
+                print_debug_info: false,
+            },
+        ));
+    }
+    out
+}
+
+#[test]
+fn pass_manager_output_identical_at_1_and_8_threads() {
+    let (elf, profile) = tao_fixture();
+    let baseline = prepare_ctx(elf, profile);
+    for (label, opts) in [
+        ("default", PassOptions::default()),
+        ("layout-only", PassOptions::layout_only()),
+        ("none", PassOptions::none()),
+    ] {
+        let mut runs = Vec::new();
+        for threads in [1usize, 8] {
+            let mut manager = PassManager::standard(&opts);
+            manager.config.threads = threads;
+            let mut ctx = baseline.clone();
+            let result = manager.run(&mut ctx, &opts);
+            runs.push((result, dump_all(&ctx)));
+        }
+        let (serial, parallel) = (&runs[0], &runs[1]);
+        assert_eq!(
+            serial.0.reports, parallel.0.reports,
+            "{label}: reports (names + change counts) must not depend on thread count"
+        );
+        assert_eq!(
+            serial.0.function_order, parallel.0.function_order,
+            "{label}: function order must not depend on thread count"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "{label}: emitted IR must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn full_driver_binary_identical_at_1_and_8_threads() {
+    let (elf, profile) = tao_fixture();
+    let mut outputs = Vec::new();
+    for threads in [1usize, 8] {
+        let opts = BoltOptions {
+            threads,
+            ..BoltOptions::paper_default()
+        };
+        let out = optimize(elf, profile, &opts).expect("bolt succeeds");
+        outputs.push((write_elf(&out.elf).expect("serializes"), out.pipeline));
+    }
+    let (serial, parallel) = (&outputs[0], &outputs[1]);
+    assert_eq!(serial.1.reports, parallel.1.reports, "driver reports");
+    assert_eq!(
+        serial.1.function_order, parallel.1.function_order,
+        "driver function order"
+    );
+    assert_eq!(
+        serial.0, parallel.0,
+        "rewritten binaries must be byte-identical at 1 vs 8 threads"
+    );
+}
