@@ -12,10 +12,11 @@
 
 use bolt_compiler::{compile_and_link, CompileOptions, MirProgram, SourceProfile};
 use bolt_elf::Elf;
-use bolt_emu::{Exit, Machine, Tee, TraceSink};
+use bolt_emu::{run_batch, Exit, Machine, ShardPlan, Tee, TraceSink};
 use bolt_ir::LineTable;
 use bolt_opt::{optimize, BoltOptions, BoltOutput};
-use bolt_profile::{IpSampler, LbrSampler, Profile, SampleTrigger};
+use bolt_passes::resolve_threads;
+use bolt_profile::{IpSampler, LbrSampler, Profile, ProfileMode, SampleTrigger};
 use bolt_sim::{Counters, CpuModel, SimConfig};
 
 /// Default emulation budget per run.
@@ -57,9 +58,179 @@ pub fn run_with<S: TraceSink + ?Sized>(elf: &Elf, sink: &mut S) -> (i64, Vec<i64
     m.load_elf(elf);
     let r = m.run(sink, MAX_STEPS).expect("workload executes");
     let Exit::Exited(code) = r.exit else {
-        panic!("workload did not exit: {:?}", r.exit);
+        panic!(
+            "workload did not exit: {:?} after {} steps (budget {MAX_STEPS}, \
+             entry {:#x}); shrink the workload or shard it (measure_batch / \
+             profile_lbr_batch)",
+            r.exit, r.steps, elf.entry
+        );
     };
     (code, m.output, r.steps)
+}
+
+/// Builds a [`ShardPlan`] for the measurement wrappers, resolving both
+/// knobs: `shards == 0` follows the `BOLT_SHARDS` environment override
+/// (default 1), `threads == 0` follows `BOLT_THREADS` / available
+/// parallelism exactly like the optimizer passes.
+pub fn shard_plan(shards: usize, threads: usize) -> ShardPlan {
+    ShardPlan::new(bolt_emu::resolve_shards(shards))
+        .with_threads(resolve_threads(threads))
+        .with_max_steps(MAX_STEPS)
+}
+
+/// The measurement [`ShardPlan`] a [`BoltOptions`] describes — the
+/// `-shards=N` / `-threads=N` CLI knobs resolved exactly like
+/// [`shard_plan`]. Harness code that already carries a `BoltOptions`
+/// (benches, drivers) derives its batch shape from here so the CLI
+/// flags, the environment overrides, and the library path can't drift.
+pub fn shard_plan_from(opts: &BoltOptions) -> ShardPlan {
+    shard_plan(opts.shards, opts.threads)
+}
+
+/// The observable result of one sharded batch measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Per-shard results in shard-index order (each with its own
+    /// counters snapshot).
+    pub runs: Vec<RunResult>,
+    /// All shards' counters summed (shard-index order — the sum is
+    /// order-insensitive anyway).
+    pub counters: Counters,
+}
+
+impl BatchResult {
+    fn collect(runs: Vec<RunResult>) -> BatchResult {
+        let counters = runs.iter().map(|r| &r.counters).sum();
+        BatchResult { runs, counters }
+    }
+}
+
+fn exit_code_of(shard: usize, r: &bolt_emu::RunResult, elf: &Elf, plan: &ShardPlan) -> i64 {
+    match r.exit {
+        Exit::Exited(code) => code,
+        other => panic!(
+            "shard {shard}/{} did not exit: {other:?} after {} steps \
+             (budget {}, entry {:#x}); raise the step budget or use more, \
+             smaller shards",
+            plan.shards, r.steps, plan.max_steps, elf.entry
+        ),
+    }
+}
+
+/// Runs `plan.shards` independent invocations of `elf` under the
+/// microarchitectural model, sharded across `plan.workers()` threads.
+/// `prepare(shard, &mut machine)` runs after each shard's load (patch a
+/// seed word, select an input partition, …). Per-shard results come back
+/// in shard-index order with their counters summed; the batch is
+/// byte-identical at any worker count.
+pub fn measure_batch_with(
+    elf: &Elf,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+    prepare: impl Fn(usize, &mut Machine) + Sync,
+) -> BatchResult {
+    let shards = run_batch(elf, plan, |_| CpuModel::new(cfg.clone()), prepare)
+        .expect("batch workload executes");
+    let runs = shards
+        .into_iter()
+        .map(|s| RunResult {
+            exit_code: exit_code_of(s.shard, &s.result, elf, plan),
+            output: s.output,
+            steps: s.result.steps,
+            counters: s.sink.counters(),
+        })
+        .collect();
+    BatchResult::collect(runs)
+}
+
+/// [`measure_batch_with`] with no per-shard preparation (every shard
+/// runs the binary as loaded).
+pub fn measure_batch(elf: &Elf, cfg: &SimConfig, plan: &ShardPlan) -> BatchResult {
+    measure_batch_with(elf, cfg, plan, |_, _| ())
+}
+
+/// Per-shard sink for sharded profiling: an LBR sampler and a CPU model
+/// fed by the same trace (what `profile_lbr` composes with [`Tee`], but
+/// owned so it can cross the batch's thread boundary).
+struct ProfilingSink {
+    sampler: LbrSampler,
+    model: CpuModel,
+}
+
+impl TraceSink for ProfilingSink {
+    #[inline]
+    fn on_inst(&mut self, addr: u64, len: u8) {
+        self.sampler.on_inst(addr, len);
+        self.model.on_inst(addr, len);
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: bolt_emu::BranchEvent) {
+        self.sampler.on_branch(ev);
+        self.model.on_branch(ev);
+    }
+
+    #[inline]
+    fn on_mem(&mut self, addr: u64, len: u8, write: bool) {
+        self.sampler.on_mem(addr, len, write);
+        self.model.on_mem(addr, len, write);
+    }
+}
+
+/// Sharded [`profile_lbr`]: collects an LBR profile and microarch
+/// counters from `plan.shards` independent invocations, merging the
+/// per-shard profiles in shard-index order ([`Profile::merge`]) and
+/// summing the counters. Every shard gets a fresh sampler and model, so
+/// the merged profile is byte-identical at any worker count — and a
+/// one-shard batch equals a plain [`profile_lbr`] run exactly.
+pub fn profile_lbr_batch_with(
+    elf: &Elf,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+    prepare: impl Fn(usize, &mut Machine) + Sync,
+) -> (Profile, BatchResult) {
+    let shards = run_batch(
+        elf,
+        plan,
+        |_| ProfilingSink {
+            sampler: LbrSampler::new(SAMPLE_PERIOD, SampleTrigger::Instructions),
+            model: CpuModel::new(cfg.clone()),
+        },
+        prepare,
+    )
+    .expect("batch workload executes");
+    let mut profile = Profile::new(ProfileMode::Lbr);
+    let runs = shards
+        .into_iter()
+        .map(|s| {
+            profile.merge(&s.sink.sampler.profile);
+            RunResult {
+                exit_code: exit_code_of(s.shard, &s.result, elf, plan),
+                output: s.output,
+                steps: s.result.steps,
+                counters: s.sink.model.counters(),
+            }
+        })
+        .collect();
+    (profile, BatchResult::collect(runs))
+}
+
+/// [`profile_lbr_batch_with`] with no per-shard preparation.
+pub fn profile_lbr_batch(elf: &Elf, cfg: &SimConfig, plan: &ShardPlan) -> (Profile, BatchResult) {
+    profile_lbr_batch_with(elf, cfg, plan, |_, _| ())
+}
+
+/// Returns a seed-partitioning prepare closure for the batch wrappers:
+/// shard `i` gets `base + i` written into the workload's `config` global
+/// (the word [`set_input_size`] patches statically), so the batch
+/// partitions the workload's input space by seed instead of running N
+/// identical invocations. Panics if the binary has no `config` symbol.
+pub fn seed_partition(elf: &Elf, base: i64) -> impl Fn(usize, &mut Machine) + Sync {
+    let addr = elf
+        .symbol("config")
+        .expect("seed-partitioned workload has a config global")
+        .value;
+    move |shard, m| m.mem.write_u64(addr, (base + shard as i64) as u64)
 }
 
 /// Collects an LBR profile (and microarch counters) in one run.
@@ -233,6 +404,22 @@ mod tests {
         let sp = to_source_profile(&profile, &elf);
         assert!(sp.total() > 0, "line counts populated");
         assert!(!sp.call_counts.is_empty(), "call counts populated");
+    }
+
+    #[test]
+    fn one_shard_batch_equals_plain_profiling_run() {
+        let program = Workload::Tao.build(Scale::Test);
+        let elf = build(&program, &CompileOptions::default());
+        let cfg = SimConfig::small();
+        let (serial_profile, serial_run) = profile_lbr(&elf, &cfg);
+        let (batch_profile, batch) = profile_lbr_batch(&elf, &cfg, &shard_plan(1, 1));
+        assert_eq!(batch.runs.len(), 1);
+        assert_eq!(batch_profile, serial_profile);
+        assert_eq!(batch.runs[0], serial_run);
+        assert_eq!(batch.counters, serial_run.counters);
+
+        let measured = measure_batch(&elf, &cfg, &shard_plan(1, 1));
+        assert_eq!(measured.runs[0], measure(&elf, &cfg));
     }
 
     #[test]

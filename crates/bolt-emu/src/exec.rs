@@ -121,25 +121,76 @@ pub struct Machine {
     /// Values written by the emit syscall — the program's observable
     /// output (used to verify BOLT preserves semantics).
     pub output: Vec<i64>,
-    icache: HashMap<u64, (Inst, u8)>,
+    /// Flat decode-cache index covering the loaded text segment: slot
+    /// `rip - icache_base` holds `entry + 1` into `icache_entries`, or
+    /// 0 while undecoded. One `u32` per text byte (only instruction
+    /// starts ever fill in); decoded instructions live packed in
+    /// `icache_entries`, so the per-byte cost stays 4 bytes regardless
+    /// of `size_of::<Inst>()`.
+    icache_index: Vec<u32>,
+    icache_entries: Vec<(Inst, u8)>,
+    icache_base: u64,
+    /// Decode cache for code executed outside the loaded text span
+    /// (tests poke code into memory directly, and images wider than
+    /// [`ICACHE_MAX_SPAN`] fall back here entirely).
+    icache_spill: HashMap<u64, (Inst, u8)>,
 }
+
+/// Largest text span (in bytes) the flat decode cache covers — 32 MiB
+/// of index per machine at 4 bytes per text byte. An image with
+/// executable sections spread wider falls back to the spill map.
+const ICACHE_MAX_SPAN: u64 = 8 << 20;
 
 impl Machine {
     pub fn new() -> Machine {
         Machine::default()
     }
 
+    /// Resets all architectural and cached state — registers, flags,
+    /// memory, recorded output, and the decode caches — returning the
+    /// machine to its freshly-constructed state. Called by [`load_elf`]
+    /// so a machine can be reused across independent runs (e.g. one
+    /// worker emulating many shards) without state from a previous
+    /// program leaking into the next.
+    ///
+    /// [`load_elf`]: Machine::load_elf
+    pub fn reset(&mut self) {
+        self.regs = [0; 16];
+        self.flags = Flags::default();
+        self.rip = 0;
+        self.mem.clear();
+        self.output.clear();
+        self.icache_index.clear();
+        self.icache_entries.clear();
+        self.icache_base = 0;
+        self.icache_spill.clear();
+    }
+
     /// Loads all allocatable sections of an ELF image and initializes
-    /// `rip`/`rsp`.
+    /// `rip`/`rsp`. The machine is fully [`reset`](Machine::reset)
+    /// first: a reused machine behaves exactly like a fresh one.
     pub fn load_elf(&mut self, elf: &bolt_elf::Elf) {
+        self.reset();
         for s in &elf.sections {
             if s.is_alloc() {
                 self.mem.write(s.addr, &s.data);
             }
         }
+        // Size the flat decode cache to the executable span.
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for s in &elf.sections {
+            if s.is_alloc() && s.is_exec() && !s.data.is_empty() {
+                lo = lo.min(s.addr);
+                hi = hi.max(s.addr + s.data.len() as u64);
+            }
+        }
+        if lo < hi && hi - lo <= ICACHE_MAX_SPAN {
+            self.icache_base = lo;
+            self.icache_index.resize((hi - lo) as usize, 0);
+        }
         self.rip = elf.entry;
         self.set_reg(Reg::Rsp, STACK_TOP - 64);
-        self.icache.clear();
     }
 
     #[inline]
@@ -172,13 +223,31 @@ impl Machine {
     }
 
     fn fetch(&mut self, rip: u64) -> Result<(Inst, u8), EmuError> {
-        if let Some(&hit) = self.icache.get(&rip) {
+        // Fast path: the flat index over the loaded text segment.
+        let slot = rip
+            .checked_sub(self.icache_base)
+            .map(|o| o as usize)
+            .filter(|&o| o < self.icache_index.len());
+        if let Some(o) = slot {
+            let e = self.icache_index[o];
+            if e != 0 {
+                return Ok(self.icache_entries[(e - 1) as usize]);
+            }
+        } else if let Some(&hit) = self.icache_spill.get(&rip) {
             return Ok(hit);
         }
         let mut buf = [0u8; 16];
         self.mem.read(rip, &mut buf);
         let d = decode(&buf, rip).map_err(|_| EmuError::BadInstruction { rip })?;
-        self.icache.insert(rip, (d.inst, d.len));
+        match slot {
+            Some(o) => {
+                self.icache_entries.push((d.inst, d.len));
+                self.icache_index[o] = self.icache_entries.len() as u32;
+            }
+            None => {
+                self.icache_spill.insert(rip, (d.inst, d.len));
+            }
+        }
         Ok((d.inst, d.len))
     }
 
@@ -773,6 +842,79 @@ mod tests {
         let r = m.run(&mut NullSink, 100).unwrap();
         assert_eq!(r.exit, Exit::Exited(3));
         assert_eq!(m.output, vec![-99]);
+    }
+
+    /// An ELF whose entry emits `mark` and then exits with `mark`.
+    fn emitting_elf(mark: i64) -> bolt_elf::Elf {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdi,
+                imm: mark,
+            },
+            Inst::Syscall,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 60,
+            },
+            Inst::Syscall,
+        ];
+        let code = asm(&insts, 0x400000);
+        let mut elf = bolt_elf::Elf::new(0x400000);
+        elf.sections
+            .push(bolt_elf::Section::code(".text", 0x400000, code));
+        elf
+    }
+
+    #[test]
+    fn load_elf_fully_resets_machine_state() {
+        // First program: dirties regs, flags, memory, and output.
+        let mut m = Machine::new();
+        m.load_elf(&emitting_elf(11));
+        m.set_reg(Reg::R9, 0xDEAD);
+        m.mem.write_u64(0x700000, 0xDEAD_BEEF);
+        let r = m.run(&mut NullSink, 100).unwrap();
+        assert_eq!(r.exit, Exit::Exited(11));
+        assert_eq!(m.output, vec![11]);
+
+        // Reloading must not leak any of that into the second run.
+        m.load_elf(&emitting_elf(22));
+        assert_eq!(m.reg(Reg::R9), 0, "stale registers cleared");
+        assert_eq!(m.flags, Flags::default(), "stale flags cleared");
+        assert_eq!(m.mem.read_u64(0x700000), 0, "stale memory pages cleared");
+        assert!(m.output.is_empty(), "stale output cleared");
+        let r = m.run(&mut NullSink, 100).unwrap();
+        assert_eq!(r.exit, Exit::Exited(22));
+        assert_eq!(m.output, vec![22], "only the second program's output");
+
+        // A reused machine matches a fresh one observably.
+        let mut fresh = Machine::new();
+        fresh.load_elf(&emitting_elf(22));
+        fresh.run(&mut NullSink, 100).unwrap();
+        assert_eq!(m.output, fresh.output);
+        assert_eq!(m.regs, fresh.regs);
+    }
+
+    #[test]
+    fn flat_icache_covers_loaded_text() {
+        let mut m = Machine::new();
+        m.load_elf(&emitting_elf(5));
+        assert!(
+            !m.icache_index.is_empty(),
+            "flat index sized to the text span"
+        );
+        assert_eq!(m.icache_base, 0x400000);
+        let r = m.run(&mut NullSink, 100).unwrap();
+        assert_eq!(r.exit, Exit::Exited(5));
+        assert_eq!(
+            m.icache_entries.len(),
+            5,
+            "one packed entry per decoded instruction start"
+        );
+        assert!(m.icache_spill.is_empty(), "no spill for in-span code");
     }
 
     #[test]

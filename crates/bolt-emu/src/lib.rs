@@ -11,10 +11,12 @@
 //! oracle for the whole project: a binary must produce byte-identical
 //! output before and after BOLT rewrites it.
 
+mod batch;
 mod events;
 mod exec;
 mod memory;
 
+pub use batch::{resolve_shards, run_batch, ShardPlan, ShardRun};
 pub use events::{BranchEvent, BranchKind, CountingSink, NullSink, Tee, TraceSink};
 pub use exec::{EmuError, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP};
 pub use memory::Memory;

@@ -36,32 +36,39 @@ impl Memory {
         self.page_mut(addr)[(addr & PAGE_MASK) as usize] = v;
     }
 
-    /// Reads `buf.len()` bytes starting at `addr`.
-    pub fn read(&self, addr: u64, buf: &mut [u8]) {
-        // Fast path: single page.
-        let off = (addr & PAGE_MASK) as usize;
-        if off + buf.len() <= PAGE_SIZE as usize {
+    /// Reads `buf.len()` bytes starting at `addr`. Cross-page accesses
+    /// are chunked into one `copy_from_slice` span per page.
+    pub fn read(&self, addr: u64, mut buf: &mut [u8]) {
+        let mut addr = addr;
+        while !buf.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = buf.len().min(PAGE_SIZE as usize - off);
             match self.pages.get(&(addr >> PAGE_SHIFT)) {
-                Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
-                None => buf.fill(0),
+                Some(p) => buf[..n].copy_from_slice(&p[off..off + n]),
+                None => buf[..n].fill(0),
             }
-            return;
-        }
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
+            buf = &mut buf[n..];
+            addr += n as u64;
         }
     }
 
-    /// Writes `data` starting at `addr`.
-    pub fn write(&mut self, addr: u64, data: &[u8]) {
-        let off = (addr & PAGE_MASK) as usize;
-        if off + data.len() <= PAGE_SIZE as usize {
-            self.page_mut(addr)[off..off + data.len()].copy_from_slice(data);
-            return;
+    /// Writes `data` starting at `addr`, one `copy_from_slice` span per
+    /// page.
+    pub fn write(&mut self, addr: u64, mut data: &[u8]) {
+        let mut addr = addr;
+        while !data.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = data.len().min(PAGE_SIZE as usize - off);
+            self.page_mut(addr)[off..off + n].copy_from_slice(&data[..n]);
+            data = &data[n..];
+            addr += n as u64;
         }
-        for (i, b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
-        }
+    }
+
+    /// Drops every resident page, returning the address space to
+    /// all-zeros (used by [`Machine::reset`](crate::Machine::reset)).
+    pub fn clear(&mut self) {
+        self.pages.clear();
     }
 
     /// Reads a little-endian u64.
@@ -109,6 +116,33 @@ mod tests {
         assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
         assert_eq!(m.resident_pages(), 2);
         assert_eq!(m.read_u8(0x2000), 0x44, "5th little-endian byte");
+    }
+
+    #[test]
+    fn multi_page_span_with_unmapped_hole() {
+        let mut m = Memory::new();
+        // Map the first and third page of a three-page read; the middle
+        // page stays unmapped and must read as zeros.
+        m.write(0x1FF0, &[0xAA; 16]);
+        m.write(0x3000, &[0xBB; 16]);
+        assert_eq!(m.resident_pages(), 2);
+        let mut buf = vec![0xCCu8; 0x1020];
+        m.read(0x1FF0, &mut buf);
+        assert_eq!(&buf[..16], &[0xAA; 16]);
+        assert!(buf[16..0x1010].iter().all(|&b| b == 0), "hole reads zero");
+        assert_eq!(&buf[0x1010..], &[0xBB; 16]);
+        // Reading must not have materialized the hole page.
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn clear_drops_all_pages() {
+        let mut m = Memory::new();
+        m.write(0x1000, &[1, 2, 3]);
+        m.write(0x9000, &[4, 5, 6]);
+        m.clear();
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_u8(0x1000), 0);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct BoltOptions {
     /// `available_parallelism`; `1` forces the serial path. Output is
     /// byte-identical at any value.
     pub threads: usize,
+    /// Emulation shards for the *measurement* side (`-shards=N`): how
+    /// many independent invocations the profiling/measuring harnesses
+    /// (`bolt-run --shards`, `bolt-bench`'s `measure_batch` /
+    /// `profile_lbr_batch`) split a workload into. `0` (default)
+    /// resolves to the `BOLT_SHARDS` environment override or `1`.
+    /// Rewriting itself never consults this; merged batch output is
+    /// byte-identical at any worker count.
+    pub shards: usize,
 }
 
 impl BoltOptions {

@@ -71,6 +71,43 @@ impl Profile {
         *self.ip_samples.entry(ip).or_insert(0) += 1;
     }
 
+    /// Merges `other` into `self`, summing every count — the `perf`
+    /// multi-file merge step: per-shard profiles collected from
+    /// independent invocations combine into one aggregate profile.
+    ///
+    /// Merging is commutative and associative in all counts (each record
+    /// key sums independently), so a batch merged in shard-index order
+    /// equals the same shards merged in any order. Merging profiles of
+    /// different [`ProfileMode`]s is a caller bug and panics.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(
+            self.mode, other.mode,
+            "cannot merge LBR and IP-sample profiles"
+        );
+        for (&key, &(count, mispreds)) in &other.branches {
+            let e = self.branches.entry(key).or_insert((0, 0));
+            e.0 += count;
+            e.1 += mispreds;
+        }
+        for (&key, &count) in &other.fallthroughs {
+            *self.fallthroughs.entry(key).or_insert(0) += count;
+        }
+        for (&ip, &count) in &other.ip_samples {
+            *self.ip_samples.entry(ip).or_insert(0) += count;
+        }
+        self.num_samples += other.num_samples;
+    }
+
+    /// Merges an iterator of profiles (e.g. one per shard, in
+    /// shard-index order) into a single aggregate of the given mode.
+    pub fn merged<'a>(mode: ProfileMode, parts: impl IntoIterator<Item = &'a Profile>) -> Profile {
+        let mut out = Profile::new(mode);
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
     /// Total taken-branch traversals recorded.
     pub fn total_branch_count(&self) -> u64 {
         self.branches.values().map(|(c, _)| c).sum()
@@ -268,6 +305,48 @@ mod tests {
         );
         // Comments and blanks are fine.
         assert!(Profile::from_fdata("# hi\n\nM lbr 3\n").is_ok());
+    }
+
+    #[test]
+    fn merge_sums_every_count() {
+        let mut a = Profile::new(ProfileMode::Lbr);
+        a.num_samples = 2;
+        a.add_branch(0x10, 0x20, true);
+        a.add_fallthrough(0x20, 0x30);
+        a.add_ip(0x25);
+        let mut b = Profile::new(ProfileMode::Lbr);
+        b.num_samples = 3;
+        b.add_branch(0x10, 0x20, false);
+        b.add_branch(0x40, 0x50, false);
+        b.add_fallthrough(0x20, 0x30);
+        b.add_ip(0x45);
+
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.num_samples, 5);
+        assert_eq!(m.branches[&(0x10, 0x20)], (2, 1));
+        assert_eq!(m.branches[&(0x40, 0x50)], (1, 0));
+        assert_eq!(m.fallthroughs[&(0x20, 0x30)], 2);
+        assert_eq!(m.ip_samples[&0x25], 1);
+        assert_eq!(m.ip_samples[&0x45], 1);
+
+        // Commutative: b.merge(a) gives the same profile.
+        let mut m2 = b.clone();
+        m2.merge(&a);
+        assert_eq!(m, m2);
+        // merged() in order equals pairwise merging.
+        assert_eq!(Profile::merged(ProfileMode::Lbr, [&a, &b]), m);
+        // Merging an empty profile is the identity.
+        let mut id = a.clone();
+        id.merge(&Profile::new(ProfileMode::Lbr));
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_rejects_mode_mismatch() {
+        let mut a = Profile::new(ProfileMode::Lbr);
+        a.merge(&Profile::new(ProfileMode::IpSamples));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Property: [`Profile::merge`] is order-insensitive in counts — merging
+//! a batch of per-shard profiles produces the same aggregate no matter
+//! how the shards are ordered or grouped, which is what makes sharded
+//! profiling deterministic at any worker count.
+
+use bolt_profile::{Profile, ProfileMode};
+use proptest::prelude::*;
+
+/// Strategy for one synthetic per-shard profile: a handful of branch,
+/// fall-through, and IP records over a small address pool so that merges
+/// exercise both colliding and disjoint keys.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    let branch = (0u64..32, 0u64..32, 1u64..50, 0u64..5);
+    let fallthrough = (0u64..32, 0u64..32, 1u64..50);
+    let ip = (0u64..32, 1u64..50);
+    (
+        proptest::collection::vec(branch, 0..12),
+        proptest::collection::vec(fallthrough, 0..12),
+        proptest::collection::vec(ip, 0..12),
+        0u64..1000,
+    )
+        .prop_map(|(branches, fallthroughs, ips, num_samples)| {
+            let mut p = Profile::new(ProfileMode::Lbr);
+            // Addresses from a tiny pool: distinct tuples may collide on
+            // the same (from, to) key, exercising count summation.
+            for (from, to, count, mispreds) in branches {
+                let e = p
+                    .branches
+                    .entry((0x1000 + from, 0x2000 + to))
+                    .or_insert((0, 0));
+                e.0 += count;
+                e.1 += mispreds.min(count);
+            }
+            for (from, to, count) in fallthroughs {
+                *p.fallthroughs
+                    .entry((0x2000 + from, 0x3000 + to))
+                    .or_insert(0) += count;
+            }
+            for (ip, count) in ips {
+                *p.ip_samples.entry(0x4000 + ip).or_insert(0) += count;
+            }
+            p.num_samples = num_samples;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_order_insensitive(
+        parts in proptest::collection::vec(arb_profile(), 0..8),
+        seed in 0u64..1000,
+    ) {
+        // Forward shard-index order (what the batch harness does).
+        let forward = Profile::merged(ProfileMode::Lbr, &parts);
+
+        // Reversed order.
+        let reversed = Profile::merged(ProfileMode::Lbr, parts.iter().rev());
+        prop_assert_eq!(&forward, &reversed);
+
+        // A deterministic pseudo-random permutation.
+        let mut perm: Vec<&Profile> = parts.iter().collect();
+        let n = perm.len();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let permuted = Profile::merged(ProfileMode::Lbr, perm);
+        prop_assert_eq!(&forward, &permuted);
+
+        // Regrouped: merge a prefix aggregate with a suffix aggregate.
+        let split = n / 2;
+        let mut grouped = Profile::merged(ProfileMode::Lbr, &parts[..split]);
+        grouped.merge(&Profile::merged(ProfileMode::Lbr, &parts[split..]));
+        prop_assert_eq!(&forward, &grouped);
+
+        // Total counts are preserved exactly.
+        let branch_total: u64 = parts.iter().map(Profile::total_branch_count).sum();
+        prop_assert_eq!(forward.total_branch_count(), branch_total);
+        let sample_total: u64 = parts.iter().map(|p| p.num_samples).sum();
+        prop_assert_eq!(forward.num_samples, sample_total);
+
+        // The serialized .fdata form is identical too (sorted output over
+        // equal maps must be byte-identical).
+        prop_assert_eq!(forward.to_fdata(), reversed.to_fdata());
+    }
+}

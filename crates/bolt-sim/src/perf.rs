@@ -23,6 +23,25 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Adds `other`'s event counts into `self` — aggregation across
+    /// independent runs (e.g. the shards of a batch). Every field is a
+    /// sum, so merging is commutative and associative and a batch summed
+    /// in shard-index order equals any other order.
+    pub fn merge(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.cond_branches += other.cond_branches;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.l1i_accesses += other.l1i_accesses;
+        self.l1i_misses += other.l1i_misses;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l1d_misses += other.l1d_misses;
+        self.l2_misses += other.l2_misses;
+        self.llc_misses += other.llc_misses;
+        self.itlb_misses += other.itlb_misses;
+        self.dtlb_misses += other.dtlb_misses;
+    }
+
     /// Percentage reduction of a metric from `self` (baseline) to `other`.
     pub fn reduction(base: u64, new: u64) -> f64 {
         if base == 0 {
@@ -48,6 +67,39 @@ impl Counters {
         } else {
             self.instructions as f64 / self.cycles
         }
+    }
+}
+
+impl std::ops::AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, other: &Counters) {
+        self.merge(other);
+    }
+}
+
+impl std::ops::Add for Counters {
+    type Output = Counters;
+
+    fn add(mut self, other: Counters) -> Counters {
+        self.merge(&other);
+        self
+    }
+}
+
+impl std::iter::Sum for Counters {
+    fn sum<I: Iterator<Item = Counters>>(iter: I) -> Counters {
+        iter.fold(Counters::default(), |mut acc, c| {
+            acc.merge(&c);
+            acc
+        })
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Counters> for Counters {
+    fn sum<I: Iterator<Item = &'a Counters>>(iter: I) -> Counters {
+        iter.fold(Counters::default(), |mut acc, c| {
+            acc.merge(c);
+            acc
+        })
     }
 }
 
@@ -161,12 +213,22 @@ impl TraceSink for CpuModel {
     }
 
     #[inline]
-    fn on_mem(&mut self, addr: u64, _len: u8, _write: bool) {
+    fn on_mem(&mut self, addr: u64, len: u8, _write: bool) {
         if !self.dtlb.access(addr) {
             self.extra_cycles += self.cfg.tlb_miss_latency;
         }
         if !self.l1d.access(addr) {
             self.extra_cycles += self.miss_path(addr, false);
+        }
+        // An access crossing a line boundary touches the next line too,
+        // exactly like the I-side check in `on_inst`.
+        let end = addr + len.max(1) as u64 - 1;
+        if end >> self.cfg.line_bytes.trailing_zeros()
+            != addr >> self.cfg.line_bytes.trailing_zeros()
+        {
+            if !self.l1d.access(end) {
+                self.extra_cycles += self.miss_path(end, false);
+            }
         }
     }
 }
@@ -213,6 +275,66 @@ mod tests {
         let c = m.counters();
         assert!(c.branch_mispredicts > 0);
         assert!(c.cycles > base);
+    }
+
+    #[test]
+    fn line_straddling_data_access_touches_both_lines() {
+        let cfg = SimConfig::small();
+        let line = cfg.line_bytes;
+        // 8-byte access entirely inside one line: one D-side access.
+        let mut within = CpuModel::new(cfg.clone());
+        within.on_mem(0x500000, 8, false);
+        assert_eq!(within.counters().l1d_accesses, 1);
+
+        // 8-byte access straddling a line boundary: both lines touched.
+        let mut straddle = CpuModel::new(cfg.clone());
+        straddle.on_mem(0x500000 + line - 4, 8, false);
+        let c = straddle.counters();
+        assert_eq!(c.l1d_accesses, 2, "second line accessed");
+        assert_eq!(c.l1d_misses, 2, "both lines cold-miss");
+        assert!(
+            c.cycles > within.counters().cycles,
+            "the extra line costs cycles"
+        );
+
+        // The straddling access warms *both* lines: repeating it hits.
+        straddle.on_mem(0x500000 + line - 4, 8, false);
+        assert_eq!(straddle.counters().l1d_misses, 2, "no new misses");
+
+        // Writes take the same path.
+        let mut w = CpuModel::new(cfg);
+        w.on_mem(0x600000 + line - 1, 2, true);
+        assert_eq!(w.counters().l1d_accesses, 2);
+    }
+
+    #[test]
+    fn counters_merge_sums_fields() {
+        let cfg = SimConfig::small();
+        let mut a = CpuModel::new(cfg.clone());
+        for i in 0..100u64 {
+            a.on_inst(0x400000 + i * 64, 4);
+        }
+        a.on_mem(0x500000, 8, false);
+        let mut b = CpuModel::new(cfg);
+        for i in 0..50u64 {
+            b.on_inst(0x700000 + i * 64, 4);
+        }
+        let (ca, cb) = (a.counters(), b.counters());
+        let mut m = ca;
+        m.merge(&cb);
+        assert_eq!(m.instructions, 150);
+        assert_eq!(m.l1i_misses, ca.l1i_misses + cb.l1i_misses);
+        assert_eq!(m.l1d_accesses, ca.l1d_accesses);
+        assert!((m.cycles - (ca.cycles + cb.cycles)).abs() < 1e-9);
+        // Sum over an iterator agrees, and order does not matter.
+        let s1: Counters = [ca, cb].iter().sum();
+        let s2: Counters = [cb, ca].iter().sum();
+        assert_eq!(s1, m);
+        assert_eq!(s2, m);
+        // Merging the default is the identity.
+        let mut id = ca;
+        id.merge(&Counters::default());
+        assert_eq!(id, ca);
     }
 
     #[test]

@@ -6,19 +6,92 @@
 //! bolt-run app.elf --fdata app.fdata          # LBR profiling
 //! bolt-run app.elf --fdata app.fdata --ip     # plain IP samples
 //! bolt-run app.elf --counters                 # perf-stat style output
+//! bolt-run app.elf --fdata app.fdata --shards 8 --threads 4
+//! #   sharded profiling: 8 independent invocations across 4 workers,
+//! #   per-shard profiles merged in shard order, counters summed
+//! bolt-run app.elf --fdata app.fdata --shards 8 --shard-config 4000
+//! #   seed-partitioned: shard i runs with the `config` input-selection
+//! #   global set to 4000+i, splitting the input space instead of
+//! #   repeating the same invocation 8 times
 //! ```
 
 use bolt::elf::read_elf;
-use bolt::emu::{Exit, Machine, NullSink, Tee, TraceSink};
-use bolt::profile::{IpSampler, LbrSampler, SampleTrigger};
-use bolt::sim::{CpuModel, SimConfig};
+use bolt::emu::{resolve_shards, run_batch, BranchEvent, Exit, ShardPlan, TraceSink};
+use bolt::passes::resolve_threads;
+use bolt::profile::{IpSampler, LbrSampler, Profile, ProfileMode, SampleTrigger};
+use bolt::sim::{Counters, CpuModel, SimConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] [--counters] [--max-steps N]"
+        "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] \
+         [--counters] [--max-steps N] [--shards N] [--threads N]\n\
+         \n\
+         --shards N   run N independent invocations (sharded batch\n\
+         \x20            emulation; 0 = auto [BOLT_SHARDS env or 1]); the\n\
+         \x20            merged profile and summed counters are byte-identical\n\
+         \x20            at any worker count. Without --shard-config the N\n\
+         \x20            invocations are identical (N x the work, N x the\n\
+         \x20            samples)\n\
+         --threads N  workers for the shard batch (0 = auto [BOLT_THREADS\n\
+         \x20            env or available parallelism])\n\
+         --shard-config BASE\n\
+         \x20            seed-partition the batch: write BASE+i into the\n\
+         \x20            binary's `config` input-selection global for shard i,\n\
+         \x20            so the shards split the input space"
     );
     std::process::exit(2)
+}
+
+/// The per-invocation sink: any combination of an LBR sampler, an IP
+/// sampler, and the counter model (owned, so one instance per shard can
+/// cross the batch's thread boundary).
+#[derive(Default)]
+struct RunSink {
+    lbr: Option<LbrSampler>,
+    ip: Option<IpSampler>,
+    model: Option<CpuModel>,
+}
+
+impl TraceSink for RunSink {
+    #[inline]
+    fn on_inst(&mut self, addr: u64, len: u8) {
+        if let Some(s) = &mut self.lbr {
+            s.on_inst(addr, len);
+        }
+        if let Some(s) = &mut self.ip {
+            s.on_inst(addr, len);
+        }
+        if let Some(m) = &mut self.model {
+            m.on_inst(addr, len);
+        }
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        if let Some(s) = &mut self.lbr {
+            s.on_branch(ev);
+        }
+        if let Some(s) = &mut self.ip {
+            s.on_branch(ev);
+        }
+        if let Some(m) = &mut self.model {
+            m.on_branch(ev);
+        }
+    }
+
+    #[inline]
+    fn on_mem(&mut self, addr: u64, len: u8, write: bool) {
+        if let Some(s) = &mut self.lbr {
+            s.on_mem(addr, len, write);
+        }
+        if let Some(s) = &mut self.ip {
+            s.on_mem(addr, len, write);
+        }
+        if let Some(m) = &mut self.model {
+            m.on_mem(addr, len, write);
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -29,6 +102,9 @@ fn main() -> ExitCode {
     let mut period = 997u64;
     let mut counters = false;
     let mut max_steps = u64::MAX;
+    let mut shards = 0usize;
+    let mut threads = 0usize;
+    let mut shard_config: Option<i64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -47,6 +123,25 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shard-config" => {
+                shard_config = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             s if s.starts_with('-') => usage(),
             _ if input.is_none() => input = Some(a.clone()),
@@ -70,33 +165,34 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut machine = Machine::new();
-    machine.load_elf(&elf);
-
-    let mut lbr = LbrSampler::new(period, SampleTrigger::Instructions);
-    let mut ip = IpSampler::new(period);
-    let mut model = CpuModel::new(SimConfig::server());
-    let mut null = NullSink;
-
-    // Compose the requested sinks.
     let profiling = fdata.is_some();
-    let run = {
-        let prof_sink: &mut dyn TraceSink = if !profiling {
-            &mut null
-        } else if use_ip {
-            &mut ip
-        } else {
-            &mut lbr
-        };
-        if counters {
-            let mut tee = Tee(prof_sink, &mut model);
-            machine.run(&mut tee, max_steps)
-        } else {
-            machine.run(prof_sink, max_steps)
+    let plan = ShardPlan::new(resolve_shards(shards))
+        .with_threads(resolve_threads(threads))
+        .with_max_steps(max_steps);
+    let make_sink = |_: usize| RunSink {
+        lbr: (profiling && !use_ip).then(|| LbrSampler::new(period, SampleTrigger::Instructions)),
+        ip: (profiling && use_ip).then(|| IpSampler::new(period)),
+        model: counters.then(|| CpuModel::new(SimConfig::server())),
+    };
+
+    // Seed partitioning: shard i gets `config = BASE + i`.
+    let config_addr = match shard_config {
+        Some(_) => match elf.symbol("config") {
+            Some(s) => Some(s.value),
+            None => {
+                eprintln!("bolt-run: --shard-config given but {input} has no `config` global");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let prepare = |shard: usize, m: &mut bolt::emu::Machine| {
+        if let (Some(addr), Some(base)) = (config_addr, shard_config) {
+            m.mem.write_u64(addr, (base + shard as i64) as u64);
         }
     };
 
-    let run = match run {
+    let runs = match run_batch(&elf, &plan, make_sink, prepare) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bolt-run: execution failed: {e}");
@@ -104,23 +200,61 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &machine.output {
-        println!("{v}");
+    // Merge per-shard observations in shard-index order.
+    let mode = if use_ip {
+        ProfileMode::IpSamples
+    } else {
+        ProfileMode::Lbr
+    };
+    let mut profile = Profile::new(mode);
+    let mut total = Counters::default();
+    let mut total_steps = 0u64;
+    let mut worst_exit = Exit::Exited(0);
+    for r in &runs {
+        for v in &r.output {
+            println!("{v}");
+        }
+        if let Some(s) = &r.sink.lbr {
+            profile.merge(&s.profile);
+        }
+        if let Some(s) = &r.sink.ip {
+            profile.merge(&s.profile);
+        }
+        if let Some(m) = &r.sink.model {
+            total.merge(&m.counters());
+        }
+        total_steps += r.result.steps;
+        // The batch fails if any shard does: the first non-clean exit
+        // (by shard index) decides the process status.
+        if worst_exit == Exit::Exited(0) && r.result.exit != Exit::Exited(0) {
+            worst_exit = r.result.exit;
+        }
     }
-    eprintln!("bolt-run: {} instructions, exit {:?}", run.steps, run.exit);
+    if plan.shards > 1 {
+        eprintln!(
+            "bolt-run: {} instructions over {} shards ({} workers), exit {:?}",
+            total_steps,
+            plan.shards,
+            plan.workers(),
+            worst_exit
+        );
+    } else {
+        eprintln!(
+            "bolt-run: {} instructions, exit {:?}",
+            total_steps, worst_exit
+        );
+    }
 
     if counters {
-        let c = model.counters();
-        eprintln!("  cycles            {:>14.0}", c.cycles);
-        eprintln!("  ipc               {:>14.2}", c.ipc());
-        eprintln!("  branch-misses     {:>14}", c.branch_mispredicts);
-        eprintln!("  L1-icache-misses  {:>14}", c.l1i_misses);
-        eprintln!("  L1-dcache-misses  {:>14}", c.l1d_misses);
-        eprintln!("  iTLB-misses       {:>14}", c.itlb_misses);
-        eprintln!("  LLC-misses        {:>14}", c.llc_misses);
+        eprintln!("  cycles            {:>14.0}", total.cycles);
+        eprintln!("  ipc               {:>14.2}", total.ipc());
+        eprintln!("  branch-misses     {:>14}", total.branch_mispredicts);
+        eprintln!("  L1-icache-misses  {:>14}", total.l1i_misses);
+        eprintln!("  L1-dcache-misses  {:>14}", total.l1d_misses);
+        eprintln!("  iTLB-misses       {:>14}", total.itlb_misses);
+        eprintln!("  LLC-misses        {:>14}", total.llc_misses);
     }
     if let Some(path) = fdata {
-        let profile = if use_ip { ip.profile } else { lbr.profile };
         if let Err(e) = std::fs::write(&path, profile.to_fdata()) {
             eprintln!("bolt-run: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -128,7 +262,7 @@ fn main() -> ExitCode {
         eprintln!("bolt-run: wrote {path} ({} samples)", profile.num_samples);
     }
 
-    match run.exit {
+    match worst_exit {
         Exit::Exited(0) => ExitCode::SUCCESS,
         Exit::Exited(_) => ExitCode::from(1),
         _ => ExitCode::FAILURE,

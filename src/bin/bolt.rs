@@ -30,6 +30,10 @@ fn usage() -> ! {
            \x20   0 = auto [the default, available parallelism capped at 8],\n\
            \x20   1 forces the serial path, values above 64 are clamped,\n\
            \x20   output is byte-identical at any value)\n\
+           -shards=N\n\
+           \x20   (measurement-side emulation shard count, recorded on\n\
+           \x20   BoltOptions for profiling harnesses; 0 = auto [BOLT_SHARDS\n\
+           \x20   env or 1]. Rewriting is unaffected — see bolt-run --shards)\n\
            -dyno-stats\n\
            -time-passes\n\
            -report-bad-layout\n\
@@ -81,6 +85,14 @@ fn main() -> ExitCode {
                 // 0 = auto (BOLT_THREADS env override or available
                 // parallelism), matching BoltOptions::threads.
                 opts.threads = match s["-threads=".len()..].parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => usage(),
+                };
+            }
+            s if s.starts_with("-shards=") => {
+                // 0 = auto (BOLT_SHARDS env override or 1), matching
+                // BoltOptions::shards.
+                opts.shards = match s["-shards=".len()..].parse::<usize>() {
                     Ok(n) => n,
                     Err(_) => usage(),
                 };

@@ -1,0 +1,142 @@
+//! Shard-count invariance: sharded batch emulation must produce
+//! byte-identical merged profiles and summed counters at any worker
+//! count, and a one-shard batch must equal a plain serial run — the
+//! measurement-side mirror of `tests/thread_invariance.rs`.
+
+use bolt::compiler::{compile_and_link, CompileOptions};
+use bolt::elf::Elf;
+use bolt::emu::{run_batch, CountingSink, Machine, NullSink, ShardPlan};
+use bolt::workloads::{Scale, Workload};
+use bolt_bench::{
+    measure, measure_batch, profile_lbr, profile_lbr_batch, profile_lbr_batch_with, seed_partition,
+    shard_plan,
+};
+use bolt_sim::SimConfig;
+use std::sync::OnceLock;
+
+/// A compiler-like workload binary (it has the `config` input-selection
+/// global, so shards can partition the input space by seed).
+fn clang_fixture() -> &'static Elf {
+    static FIXTURE: OnceLock<Elf> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let program = Workload::ClangLike.build(Scale::Test);
+        compile_and_link(&program, &CompileOptions::default())
+            .expect("clang-like compiles")
+            .elf
+    })
+}
+
+/// The number of shards the suite partitions the workload into. Honors
+/// the CI matrix's `BOLT_SHARDS` leg but never drops below 4, so the
+/// batch paths stay exercised even on the serial leg.
+fn suite_shards() -> usize {
+    bolt::emu::resolve_shards(0).max(4)
+}
+
+#[test]
+fn sharded_profile_identical_at_1_and_8_workers() {
+    let elf = clang_fixture();
+    let cfg = SimConfig::small();
+    let shards = suite_shards();
+    let mut runs = Vec::new();
+    for workers in [1usize, 8] {
+        let plan = shard_plan(shards, workers);
+        let (profile, batch) = profile_lbr_batch_with(elf, &cfg, &plan, seed_partition(elf, 1));
+        runs.push((profile, batch));
+    }
+    let (serial, sharded) = (&runs[0], &runs[1]);
+    assert_eq!(
+        serial.0.to_fdata(),
+        sharded.0.to_fdata(),
+        "merged profile must be byte-identical at 1 vs 8 workers"
+    );
+    assert_eq!(serial.0, sharded.0, "profile maps equal, not just text");
+    assert_eq!(
+        serial.1.counters, sharded.1.counters,
+        "summed counters must not depend on the worker count"
+    );
+    assert_eq!(
+        serial.1.runs, sharded.1.runs,
+        "per-shard results (exit, output, steps, counters) identical"
+    );
+    // Shards actually partitioned the input: distinct observable outputs.
+    assert_eq!(serial.1.runs.len(), shards);
+    let distinct: std::collections::HashSet<_> =
+        serial.1.runs.iter().map(|r| r.output.clone()).collect();
+    assert!(distinct.len() > 1, "seed partitioning varies the shards");
+}
+
+#[test]
+fn one_shard_batch_equals_serial_single_run() {
+    let elf = clang_fixture();
+    let cfg = SimConfig::small();
+    let (serial_profile, serial_run) = profile_lbr(elf, &cfg);
+    let (batch_profile, batch) = profile_lbr_batch(elf, &cfg, &shard_plan(1, 8));
+    assert_eq!(batch_profile.to_fdata(), serial_profile.to_fdata());
+    assert_eq!(batch.runs, vec![serial_run]);
+
+    let measured = measure_batch(elf, &cfg, &shard_plan(1, 1));
+    assert_eq!(measured.runs[0], measure(elf, &cfg));
+    assert_eq!(measured.counters, measured.runs[0].counters);
+}
+
+#[test]
+fn summed_batch_counters_equal_sum_of_parts() {
+    let elf = clang_fixture();
+    let cfg = SimConfig::small();
+    let batch = measure_batch(elf, &cfg, &shard_plan(3, 2));
+    let expected: bolt_sim::Counters = batch.runs.iter().map(|r| &r.counters).sum();
+    assert_eq!(batch.counters, expected);
+    assert_eq!(
+        batch.counters.instructions,
+        batch
+            .runs
+            .iter()
+            .map(|r| r.counters.instructions)
+            .sum::<u64>()
+    );
+}
+
+/// The machine-reuse regression the `Machine::load_elf` reset fix
+/// guards: at 1 worker one machine executes every shard back-to-back,
+/// at `shards` workers each machine executes exactly one — identical
+/// per-shard results prove no state leaks between consecutive loads.
+#[test]
+fn machine_reuse_across_shards_leaks_nothing() {
+    let elf = clang_fixture();
+    let shards = suite_shards();
+    let collect = |workers: usize| {
+        let plan = ShardPlan::new(shards).with_threads(workers);
+        run_batch(
+            elf,
+            &plan,
+            |_| CountingSink::default(),
+            // Different seeds per shard: a leak from shard i-1 into
+            // shard i would change i's trace or output.
+            seed_partition(elf, 1),
+        )
+        .expect("batch runs")
+        .into_iter()
+        .map(|s| (s.shard, s.result, s.output, s.sink.insts, s.sink.branches))
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(collect(1), collect(shards));
+
+    // And explicitly: a machine that already ran shard A, when reloaded
+    // and given shard B's seed, matches a fresh machine running B.
+    let seed_b = seed_partition(elf, 3);
+    let mut reused = Machine::new();
+    reused.load_elf(elf);
+    seed_partition(elf, 1)(0, &mut reused);
+    reused.run(&mut NullSink, u64::MAX).expect("shard A runs");
+    reused.load_elf(elf);
+    seed_b(1, &mut reused);
+    reused.run(&mut NullSink, u64::MAX).expect("shard B runs");
+
+    let mut fresh = Machine::new();
+    fresh.load_elf(elf);
+    seed_b(1, &mut fresh);
+    fresh.run(&mut NullSink, u64::MAX).expect("shard B runs");
+    assert_eq!(reused.output, fresh.output);
+    assert_eq!(reused.regs, fresh.regs);
+}
