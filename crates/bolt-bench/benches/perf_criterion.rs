@@ -1,13 +1,15 @@
 //! Criterion micro-benchmarks for the reproduction's own algorithms:
 //! encoder/decoder throughput, block-layout algorithms, HFSort
-//! clustering, flow repair, and the cache simulator.
+//! clustering, flow repair, the cache simulator, and the block-vs-step
+//! emulation engines.
 
 use bolt_bench::*;
 use bolt_compiler::CompileOptions;
+use bolt_emu::{BlockEvent, Engine, Machine, NullSink, TraceSink};
 use bolt_hfsort::{hfsort, hfsort_plus, pettis_hansen, CallGraph};
 use bolt_passes::layout::{reorder_function, BlockLayout};
 use bolt_profile::repair_flow;
-use bolt_sim::{Cache, SimConfig};
+use bolt_sim::{Cache, CpuModel, SimConfig};
 use bolt_workloads::{Scale, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -113,11 +115,90 @@ fn bench_cache_sim(c: &mut Criterion) {
             black_box(h)
         })
     });
+    // The memoized last-line fast path: consecutive same-line accesses
+    // (a hot loop's data, a basic block's fetches) skip the set scan.
+    c.bench_function("cache_sim_1m_memo_hits", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(32 << 10, 8, 64);
+            let mut h = 0u64;
+            for i in 0..1_000_000u64 {
+                // 64 consecutive accesses per line before moving on.
+                h ^= u64::from(cache.access((i / 64 * 64) & 0xF_FFFF));
+            }
+            black_box(h)
+        })
+    });
+}
+
+/// The block-vs-step engine comparison on the hot emulation paths:
+/// whole-workload execution (translation-cache hit path), batched
+/// `on_block` charging vs per-instruction `on_inst`, and the two
+/// engines driving the full CPU model.
+fn bench_block_engine(c: &mut Criterion) {
+    let program = Workload::Tao.build(Scale::Test);
+    let elf = build(&program, &CompileOptions::default());
+    for (name, engine) in [
+        ("engine_step_tao_null_sink", Engine::Step),
+        ("engine_block_tao_null_sink", Engine::Block),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                m.load_elf(&elf);
+                let r = m.run_engine(&mut NullSink, u64::MAX, engine).unwrap();
+                black_box(r.steps)
+            })
+        });
+    }
+    for (name, engine) in [
+        ("engine_step_tao_cpu_model", Engine::Step),
+        ("engine_block_tao_cpu_model", Engine::Block),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                m.load_elf(&elf);
+                let mut model = CpuModel::new(SimConfig::small());
+                m.run_engine(&mut model, u64::MAX, engine).unwrap();
+                black_box(model.counters().instructions)
+            })
+        });
+    }
+
+    // on_block vs N x on_inst on the model alone: one 16-instruction
+    // straight-line block charged both ways.
+    let entry = 0x400000u64;
+    let fetches: Vec<(u64, u8)> = (0..16).map(|i| (entry + i * 4, 4u8)).collect();
+    let lines: Vec<u64> = (0..2).map(|i| entry + i * 64).collect();
+    let ev = BlockEvent {
+        entry,
+        inst_count: 16,
+        byte_len: 64,
+        fetches: &fetches,
+        lines64: &lines,
+        crossings64: 0,
+    };
+    c.bench_function("cpu_model_16x_on_inst", |b| {
+        let mut model = CpuModel::new(SimConfig::small());
+        b.iter(|| {
+            for &(addr, len) in &fetches {
+                model.on_inst(addr, len);
+            }
+            black_box(model.counters().l1i_accesses)
+        })
+    });
+    c.bench_function("cpu_model_on_block_16", |b| {
+        let mut model = CpuModel::new(SimConfig::small());
+        b.iter(|| {
+            model.on_block(ev);
+            black_box(model.counters().l1i_accesses)
+        })
+    });
 }
 
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_codec, bench_layout, bench_hfsort, bench_cache_sim
+    targets = bench_codec, bench_layout, bench_hfsort, bench_cache_sim, bench_block_engine
 );
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 
 use bolt_bench::*;
 use bolt_compiler::CompileOptions;
+use bolt_emu::Engine;
 use bolt_passes::{resolve_threads, PassManager, PassOptions, TABLE1};
 use bolt_sim::SimConfig;
 use bolt_workloads::{Scale, Workload};
@@ -18,7 +19,32 @@ fn main() {
     let cfg = SimConfig::server();
     let program = Workload::Hhvm.build(Scale::Bench);
     let baseline = build(&program, &CompileOptions::default());
-    let (profile, base) = profile_lbr(&baseline, &cfg);
+
+    // Emulation dominates the bench's wall clock; compare the engines on
+    // the profiling run before timing the pipeline itself. Profiles are
+    // byte-identical either way — only the wall clock differs.
+    println!("emulation engine (--engine=step|block), profiling run:");
+    let mut profiled = Vec::new();
+    for engine in [Engine::Step, Engine::Block] {
+        let plan = shard_plan(1, 1).with_engine(engine);
+        let started = Instant::now();
+        let leg = profile_lbr_batch(&baseline, &cfg, &plan);
+        let wall = started.elapsed();
+        println!("  --engine={engine:<6} wall {wall:>9.3?}");
+        profiled.push((leg, wall));
+    }
+    assert_eq!(
+        profiled[0].0 .0.to_fdata(),
+        profiled[1].0 .0.to_fdata(),
+        "profiles byte-identical across engines"
+    );
+    assert_eq!(profiled[0].0 .1.runs, profiled[1].0 .1.runs);
+    println!(
+        "  block-engine speedup: {:.2}x (identical profile and counters)\n",
+        profiled[0].1.as_secs_f64() / profiled[1].1.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    let (profile, step_batch) = profiled.swap_remove(0).0;
+    let base = step_batch.runs.into_iter().next().expect("one run");
     let bolted = bolt_with_profile(&baseline, &profile);
     let new = measure(&bolted.elf, &cfg);
     assert_same_behavior(&base, &new, "hhvm");

@@ -79,12 +79,15 @@ pub fn shard_plan(shards: usize, threads: usize) -> ShardPlan {
 }
 
 /// The measurement [`ShardPlan`] a [`BoltOptions`] describes — the
-/// `-shards=N` / `-threads=N` CLI knobs resolved exactly like
-/// [`shard_plan`]. Harness code that already carries a `BoltOptions`
-/// (benches, drivers) derives its batch shape from here so the CLI
-/// flags, the environment overrides, and the library path can't drift.
+/// `-shards=N` / `-threads=N` / `-engine=` CLI knobs resolved exactly
+/// like [`shard_plan`]. Harness code that already carries a
+/// `BoltOptions` (benches, drivers) derives its batch shape from here so
+/// the CLI flags, the environment overrides, and the library path can't
+/// drift.
 pub fn shard_plan_from(opts: &BoltOptions) -> ShardPlan {
-    shard_plan(opts.shards, opts.threads)
+    let mut plan = shard_plan(opts.shards, opts.threads);
+    plan.engine = opts.engine;
+    plan
 }
 
 /// The observable result of one sharded batch measurement.
@@ -162,6 +165,12 @@ impl TraceSink for ProfilingSink {
     fn on_inst(&mut self, addr: u64, len: u8) {
         self.sampler.on_inst(addr, len);
         self.model.on_inst(addr, len);
+    }
+
+    #[inline]
+    fn on_block(&mut self, ev: bolt_emu::BlockEvent<'_>) {
+        self.sampler.on_block(ev);
+        self.model.on_block(ev);
     }
 
     #[inline]

@@ -15,7 +15,7 @@
 //! identical at any worker count. Workers *reuse* one machine across
 //! their shards; [`Machine::load_elf`] fully resets it between runs.
 
-use crate::{EmuError, Machine, RunResult, TraceSink};
+use crate::{resolve_engine, EmuError, Engine, Machine, RunResult, TraceSink};
 use bolt_elf::Elf;
 
 /// Hard ceiling on the shard count, mirroring the worker ceiling of
@@ -36,6 +36,11 @@ pub struct ShardPlan {
     pub threads: usize,
     /// Per-shard step budget.
     pub max_steps: u64,
+    /// Execution engine for every shard. `None` (the default) resolves
+    /// via [`resolve_engine`] — the `BOLT_ENGINE` environment override
+    /// or per-instruction stepping. Either engine produces byte-identical
+    /// batch results; this only changes the wall clock.
+    pub engine: Option<Engine>,
 }
 
 impl ShardPlan {
@@ -45,6 +50,7 @@ impl ShardPlan {
             shards: shards.max(1),
             threads: 1,
             max_steps: u64::MAX,
+            engine: None,
         }
     }
 
@@ -57,6 +63,12 @@ impl ShardPlan {
     /// Sets the per-shard step budget.
     pub fn with_max_steps(mut self, max_steps: u64) -> ShardPlan {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Pins the execution engine (overriding the `BOLT_ENGINE` default).
+    pub fn with_engine(mut self, engine: Engine) -> ShardPlan {
+        self.engine = Some(engine);
         self
     }
 
@@ -127,6 +139,7 @@ where
 {
     let shards = plan.shards.max(1);
     let workers = plan.workers();
+    let engine = resolve_engine(plan.engine);
 
     let run_range = |range: std::ops::Range<usize>| -> Result<Vec<ShardRun<S>>, EmuError> {
         let mut machine = Machine::new();
@@ -135,7 +148,7 @@ where
             machine.load_elf(elf);
             prepare(shard, &mut machine);
             let mut sink = make_sink(shard);
-            let result = machine.run(&mut sink, plan.max_steps)?;
+            let result = machine.run_engine(&mut sink, plan.max_steps, engine)?;
             done.push(ShardRun {
                 shard,
                 result,

@@ -1,0 +1,453 @@
+//! The basic-block translation cache behind [`Machine::run_blocks`].
+//!
+//! Per-instruction emulation pays a decode-cache probe, an interpreter
+//! dispatch, and a sink callback for every retired instruction. Real
+//! binary translators amortize that cost across basic blocks: decode a
+//! straight-line run once, then execute the pre-decoded entries in a
+//! tight loop. This module holds the cache itself — packed [`Block`]
+//! descriptors indexed by entry `rip` over the machine's flat text span,
+//! with the decoded instructions, per-instruction fetch records, and the
+//! precomputed I-side line footprint in shared pools.
+//!
+//! Two properties keep the block engine *observationally identical* to
+//! stepping (see `tests/engine_invariance.rs`):
+//!
+//! * **Blocks end at the first control transfer or memory-touching
+//!   instruction.** Every `on_mem`/`on_branch` event a block produces
+//!   therefore comes from its final instruction, so charging the whole
+//!   fetch footprint up front (one [`BlockEvent`] before the block
+//!   executes) presents sinks with exactly the event order of
+//!   per-instruction stepping — including the relative order of I-side
+//!   and D-side accesses through shared cache levels.
+//! * **Blocks self-invalidate on stores into text.** Since a store is
+//!   always a block's last instruction, invalidation never happens while
+//!   a block is mid-execution; the pools are reclaimed at the next block
+//!   boundary and the patched bytes are retranslated, matching the step
+//!   engine's (also invalidated) decode cache.
+//!
+//! [`Machine::run_blocks`]: crate::Machine::run_blocks
+
+use crate::{BlockEvent, EmuError, Memory};
+use bolt_isa::{decode, Inst};
+use std::ops::Range;
+
+/// Longest straight-line run a single block may hold. Blocks usually end
+/// far earlier (at a branch or memory access); the cap bounds
+/// translation latency for degenerate compute-only runs.
+const MAX_BLOCK_INSTS: usize = 64;
+
+/// One translated basic block: a packed descriptor into the cache's
+/// shared pools.
+#[derive(Debug)]
+struct Block {
+    /// Address of the first instruction.
+    entry: u64,
+    /// Range into the instruction/fetch pools.
+    insts: Range<u32>,
+    /// Range into the line-footprint pool: the 64-byte-aligned line
+    /// addresses `[entry, entry + byte_len)` spans, ascending.
+    lines: Range<u32>,
+    /// Total bytes the block's instructions occupy.
+    byte_len: u32,
+    inst_count: u32,
+    /// Fetches straddling a 64-byte line boundary.
+    crossings64: u32,
+}
+
+/// Whether `inst` must be the last instruction of its block: control
+/// transfers and program exits (so a block has at most one successor),
+/// plus memory-touching instructions (so all D-side events come from a
+/// block's final instruction — the ordering guarantee batched I-side
+/// charging depends on).
+fn ends_block(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Jcc { .. }
+            | Inst::Jmp { .. }
+            | Inst::JmpInd { .. }
+            | Inst::Call { .. }
+            | Inst::CallInd { .. }
+            | Inst::Ret
+            | Inst::RepzRet
+            | Inst::Ud2
+            | Inst::Syscall
+            | Inst::Push(_)
+            | Inst::Pop(_)
+            | Inst::Load { .. }
+            | Inst::Store { .. }
+    )
+}
+
+/// The translation cache: entry-`rip`-indexed [`Block`]s over the
+/// machine's flat text span, with pooled storage.
+#[derive(Debug, Default)]
+pub(crate) struct BlockCache {
+    /// `entry_rip - base` → block index + 1 (`0` = untranslated). Sized
+    /// lazily to the machine's flat text span on the first block-engine
+    /// run, so step-only machines pay nothing.
+    index: Vec<u32>,
+    base: u64,
+    blocks: Vec<Block>,
+    /// Decoded `(inst, len)` entries, packed across all blocks.
+    insts: Vec<(Inst, u8)>,
+    /// Per-instruction `(addr, len)` fetch records, parallel to `insts`.
+    fetches: Vec<(u64, u8)>,
+    /// Pooled 64-byte line footprints.
+    lines: Vec<u64>,
+    /// Set by [`invalidate`](Self::invalidate); pools are rebuilt at the
+    /// next block boundary ([`reclaim`](Self::reclaim)), never while a
+    /// block is executing out of them.
+    dirty: bool,
+}
+
+impl BlockCache {
+    /// Drops everything — called by `Machine::reset`.
+    pub(crate) fn clear(&mut self) {
+        self.index.clear();
+        self.base = 0;
+        self.blocks.clear();
+        self.insts.clear();
+        self.fetches.clear();
+        self.lines.clear();
+        self.dirty = false;
+    }
+
+    /// Sizes the entry index to the machine's flat text span (no-op when
+    /// already sized, e.g. a machine reused across runs of one image).
+    pub(crate) fn ensure_span(&mut self, base: u64, span: usize) {
+        if self.base != base || self.index.len() != span {
+            self.clear();
+            self.base = base;
+            self.index = vec![0; span];
+        }
+    }
+
+    /// Whether `rip` lies inside the indexed text span (out-of-span code
+    /// executes through the step fallback).
+    pub(crate) fn in_span(&self, rip: u64) -> bool {
+        rip.checked_sub(self.base)
+            .is_some_and(|o| (o as usize) < self.index.len())
+    }
+
+    /// The translated block entered at `rip`, if any.
+    pub(crate) fn lookup(&self, rip: u64) -> Option<u32> {
+        let o = rip.checked_sub(self.base)? as usize;
+        let e = *self.index.get(o)?;
+        (e != 0).then(|| e - 1)
+    }
+
+    /// Unmaps every block (a store landed in text). Pool storage stays
+    /// intact until [`reclaim`](Self::reclaim) so a currently-executing
+    /// block's packed entries remain valid.
+    pub(crate) fn invalidate(&mut self) {
+        if !self.blocks.is_empty() {
+            self.index.fill(0);
+            self.dirty = true;
+        }
+    }
+
+    /// Rebuilds the pools after an invalidation. Called between blocks.
+    pub(crate) fn reclaim(&mut self) {
+        if self.dirty {
+            self.blocks.clear();
+            self.insts.clear();
+            self.fetches.clear();
+            self.lines.clear();
+            self.dirty = false;
+        }
+    }
+
+    /// Translates the straight-line run starting at `entry` (which must
+    /// be in span): decodes up to the first block-ending instruction or
+    /// [`MAX_BLOCK_INSTS`], packs the entries, and precomputes the
+    /// 64-byte line footprint and crossing count.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::BadInstruction`] if the bytes at `entry` itself do
+    /// not decode — exactly when a step-engine fetch would fail. A later
+    /// undecodable instruction just ends the block early; execution
+    /// reaches it as its own (failing) entry only if control actually
+    /// gets there.
+    pub(crate) fn translate(&mut self, mem: &Memory, entry: u64) -> Result<u32, EmuError> {
+        debug_assert!(self.in_span(entry), "translate requires an in-span entry");
+        let insts_start = self.insts.len();
+        let mut at = entry;
+        let mut crossings = 0u32;
+        let mut buf = [0u8; 16];
+        loop {
+            mem.read(at, &mut buf);
+            let d = match decode(&buf, at) {
+                Ok(d) => d,
+                Err(_) if at == entry => return Err(EmuError::BadInstruction { rip: entry }),
+                Err(_) => break,
+            };
+            self.insts.push((d.inst, d.len));
+            self.fetches.push((at, d.len));
+            if (at >> 6) != ((at + d.len as u64 - 1) >> 6) {
+                crossings += 1;
+            }
+            at += d.len as u64;
+            // A block never extends to instructions starting outside the
+            // indexed span: out-of-span code executes through the step
+            // fallback (whose spill cache has its own invalidation
+            // bounds), and text-write invalidation only watches the span
+            // itself plus one instruction length of slack.
+            if ends_block(&d.inst)
+                || self.insts.len() - insts_start >= MAX_BLOCK_INSTS
+                || !self.in_span(at)
+            {
+                break;
+            }
+        }
+        let lines_start = self.lines.len();
+        let mut line = (entry >> 6) << 6;
+        while line < at {
+            self.lines.push(line);
+            line += 64;
+        }
+        let idx = self.blocks.len() as u32;
+        self.blocks.push(Block {
+            entry,
+            insts: insts_start as u32..self.insts.len() as u32,
+            lines: lines_start as u32..self.lines.len() as u32,
+            byte_len: (at - entry) as u32,
+            inst_count: (self.insts.len() - insts_start) as u32,
+            crossings64: crossings,
+        });
+        self.index[(entry - self.base) as usize] = idx + 1;
+        Ok(idx)
+    }
+
+    /// The pool range holding block `idx`'s instructions, and its entry.
+    pub(crate) fn inst_range(&self, idx: u32) -> (Range<usize>, u64) {
+        let b = &self.blocks[idx as usize];
+        (b.insts.start as usize..b.insts.end as usize, b.entry)
+    }
+
+    /// One packed instruction entry.
+    #[inline]
+    pub(crate) fn inst(&self, i: usize) -> (Inst, u8) {
+        self.insts[i]
+    }
+
+    /// The batched trace event describing block `idx`.
+    pub(crate) fn event(&self, idx: u32) -> BlockEvent<'_> {
+        let b = &self.blocks[idx as usize];
+        BlockEvent {
+            entry: b.entry,
+            inst_count: b.inst_count,
+            byte_len: b.byte_len,
+            fetches: &self.fetches[b.insts.start as usize..b.insts.end as usize],
+            lines64: &self.lines[b.lines.start as usize..b.lines.end as usize],
+            crossings64: b.crossings64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_isa::{encode_at, AluOp, Mem, Reg};
+
+    /// Encodes `insts` contiguously at `base` into a fresh memory.
+    fn memory_with(insts: &[Inst], base: u64) -> (Memory, u64) {
+        let mut mem = Memory::new();
+        let mut at = base;
+        for i in insts {
+            let e = encode_at(i, at).unwrap();
+            mem.write(at, &e.bytes);
+            at += e.bytes.len() as u64;
+        }
+        (mem, at - base)
+    }
+
+    fn cache_over(base: u64, span: usize) -> BlockCache {
+        let mut c = BlockCache::default();
+        c.ensure_span(base, span);
+        c
+    }
+
+    #[test]
+    fn straight_line_run_ends_at_control_transfer() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 2,
+            },
+            Inst::Ret,
+            Inst::Nop { len: 1 },
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        let mut c = cache_over(0x400000, len as usize);
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        let ev = c.event(idx);
+        assert_eq!(ev.inst_count, 3, "block stops at (and includes) ret");
+        assert_eq!(ev.entry, 0x400000);
+        assert_eq!(ev.fetches.len(), 3);
+        assert_eq!(ev.fetches[0].0, 0x400000);
+        let span: u32 = ev.fetches.iter().map(|&(_, l)| l as u32).sum();
+        assert_eq!(ev.byte_len, span);
+        assert_eq!(c.lookup(0x400000), Some(idx), "entry indexed");
+        assert_eq!(c.lookup(0x400001), None, "interior rips not indexed");
+    }
+
+    #[test]
+    fn memory_touching_instructions_end_blocks() {
+        // mov; load; mov; store; mov; ret — D-side events must always
+        // come from a block's last instruction.
+        let m = Mem::BaseDisp {
+            base: Reg::R10,
+            disp: 0,
+        };
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Load {
+                dst: Reg::Rcx,
+                mem: m,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdx,
+                imm: 2,
+            },
+            Inst::Store {
+                mem: m,
+                src: Reg::Rdx,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        let mut c = cache_over(0x400000, len as usize);
+        let mut entry = 0x400000;
+        let mut counts = Vec::new();
+        while c.in_span(entry) {
+            let idx = c.translate(&mem, entry).unwrap();
+            let ev = c.event(idx);
+            counts.push(ev.inst_count);
+            entry += ev.byte_len as u64;
+        }
+        assert_eq!(counts, [2, 2, 1], "mov+load | mov+store | ret");
+    }
+
+    #[test]
+    fn line_footprint_and_crossings_precomputed() {
+        // 7-byte movs starting 3 bytes before a 64-byte boundary: the
+        // first instruction straddles it.
+        let base = 0x400040 - 3;
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 2,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, base);
+        let mut c = cache_over(base, len as usize);
+        let ev_idx = c.translate(&mem, base).unwrap();
+        let ev = c.event(ev_idx);
+        assert_eq!(ev.crossings64, 1, "first mov straddles the boundary");
+        assert_eq!(ev.lines64, &[0x400000, 0x400040], "both lines spanned");
+    }
+
+    #[test]
+    fn invalidate_unmaps_but_reclaims_only_between_blocks() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        let mut c = cache_over(0x400000, len as usize);
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        c.invalidate();
+        assert_eq!(c.lookup(0x400000), None, "mapping gone immediately");
+        assert_eq!(
+            c.event(idx).inst_count,
+            2,
+            "packed entries stay valid until reclaim"
+        );
+        c.reclaim();
+        assert!(c.blocks.is_empty() && c.insts.is_empty() && c.lines.is_empty());
+        // Retranslation after reclaim works.
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        assert_eq!(c.event(idx).inst_count, 2);
+    }
+
+    /// Blocks stop at the indexed span's end even when the bytes beyond
+    /// it keep decoding: out-of-span code must execute through the step
+    /// fallback, whose caches have their own text-write invalidation
+    /// bounds (translating past the span would cache instructions no
+    /// store could ever invalidate).
+    #[test]
+    fn translation_never_extends_past_the_indexed_span() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 2,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdx,
+                imm: 3,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        // Span covers only the first two instructions; the rest decodes
+        // fine but lies outside.
+        let span = 14usize; // two 7-byte movs
+        assert!((span as u64) < len);
+        let mut c = cache_over(0x400000, span);
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        let ev = c.event(idx);
+        assert_eq!(ev.inst_count, 2, "block bounded by the span end");
+        assert_eq!(ev.byte_len as usize, span);
+    }
+
+    #[test]
+    fn undecodable_entry_fails_like_a_fetch() {
+        let mem = Memory::new(); // zeros do not decode
+        let mut c = cache_over(0x400000, 64);
+        assert_eq!(
+            c.translate(&mem, 0x400000),
+            Err(EmuError::BadInstruction { rip: 0x400000 })
+        );
+    }
+
+    #[test]
+    fn undecodable_tail_ends_the_block_early() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 7,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 8,
+            },
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        // Span extends past the encoded bytes; the zeros after them fail
+        // to decode and end the block without failing the translation.
+        let mut c = cache_over(0x400000, len as usize + 32);
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        assert_eq!(c.event(idx).inst_count, 2);
+    }
+}

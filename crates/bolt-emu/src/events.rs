@@ -44,6 +44,54 @@ pub struct BranchEvent {
     pub kind: BranchKind,
 }
 
+/// A batched retirement event: `inst_count` consecutive instructions of
+/// a translated basic block, covering the straight-line byte range
+/// `[entry, entry + byte_len)`.
+///
+/// Emitted by the block execution engine ([`Machine::run_blocks`]) right
+/// before the block's instructions execute. Because blocks end at the
+/// first control transfer *or* memory-touching instruction, every
+/// `on_mem`/`on_branch` event a block produces comes from its last
+/// instruction — so a sink that charges the whole fetch footprint here
+/// observes exactly the event order of per-instruction stepping.
+///
+/// [`Machine::run_blocks`]: crate::Machine::run_blocks
+#[derive(Debug, Clone, Copy)]
+pub struct BlockEvent<'a> {
+    /// Address of the block's first instruction.
+    pub entry: u64,
+    /// Instructions retired by this event.
+    pub inst_count: u32,
+    /// Total bytes the block's instructions occupy.
+    pub byte_len: u32,
+    /// Per-instruction `(addr, len)` fetch records in retirement order —
+    /// replaying `on_inst` over these is exactly equivalent to this
+    /// event (the default implementation does just that). The block
+    /// engine always emits at least one fetch; sinks treat an empty
+    /// slice as "nothing retired".
+    pub fetches: &'a [(u64, u8)],
+    /// The 64-byte-aligned line addresses the block's bytes span,
+    /// ascending — the I-side cache footprint, precomputed at
+    /// translation time for sinks modeling 64-byte lines.
+    pub lines64: &'a [u64],
+    /// Number of fetches straddling a 64-byte line boundary (each such
+    /// fetch touches two lines).
+    pub crossings64: u32,
+}
+
+impl BlockEvent<'_> {
+    /// Replays this event as its equivalent per-instruction
+    /// [`on_inst`](TraceSink::on_inst) sequence — the exact-equivalence
+    /// fallback shared by every sink's `on_block` slow path (and the
+    /// trait's default implementation).
+    #[inline]
+    pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        for &(addr, len) in self.fetches {
+            sink.on_inst(addr, len);
+        }
+    }
+}
+
 /// A consumer of the emulator's event stream.
 ///
 /// The microarchitecture simulator, the LBR sampler, and the plain IP
@@ -53,6 +101,16 @@ pub trait TraceSink {
     #[inline]
     fn on_inst(&mut self, addr: u64, len: u8) {
         let _ = (addr, len);
+    }
+
+    /// A translated basic block retired (block execution engine only).
+    /// The default replays [`on_inst`](Self::on_inst) per fetch record,
+    /// so a sink that never overrides this behaves identically under
+    /// either engine; overriding it lets a sink amortize per-instruction
+    /// work across the block.
+    #[inline]
+    fn on_block(&mut self, ev: BlockEvent<'_>) {
+        ev.replay(self);
     }
 
     /// A control-transfer instruction executed.
@@ -82,6 +140,12 @@ impl<A: TraceSink + ?Sized, B: TraceSink + ?Sized> TraceSink for Tee<'_, A, B> {
     fn on_inst(&mut self, addr: u64, len: u8) {
         self.0.on_inst(addr, len);
         self.1.on_inst(addr, len);
+    }
+
+    #[inline]
+    fn on_block(&mut self, ev: BlockEvent<'_>) {
+        self.0.on_block(ev);
+        self.1.on_block(ev);
     }
 
     #[inline]
@@ -115,6 +179,11 @@ impl TraceSink for CountingSink {
     #[inline]
     fn on_inst(&mut self, _addr: u64, _len: u8) {
         self.insts += 1;
+    }
+
+    #[inline]
+    fn on_block(&mut self, ev: BlockEvent<'_>) {
+        self.insts += ev.inst_count as u64;
     }
 
     #[inline]
@@ -183,6 +252,35 @@ mod tests {
         t.on_inst(1, 1);
         assert_eq!(a.insts, 2);
         assert_eq!(b.insts, 2);
+    }
+
+    #[test]
+    fn on_block_default_replays_fetches() {
+        struct PerInst(Vec<(u64, u8)>);
+        impl TraceSink for PerInst {
+            fn on_inst(&mut self, addr: u64, len: u8) {
+                self.0.push((addr, len));
+            }
+        }
+        let fetches = [(0x400000u64, 4u8), (0x400004, 2)];
+        let ev = BlockEvent {
+            entry: 0x400000,
+            inst_count: 2,
+            byte_len: 6,
+            fetches: &fetches,
+            lines64: &[0x400000],
+            crossings64: 0,
+        };
+        let mut s = PerInst(Vec::new());
+        s.on_block(ev);
+        assert_eq!(s.0, fetches, "default on_block replays on_inst per fetch");
+        let mut c = CountingSink::default();
+        c.on_block(ev);
+        assert_eq!(c.insts, 2, "counting sink batches the whole block");
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        Tee(&mut a, &mut b).on_block(ev);
+        assert_eq!((a.insts, b.insts), (2, 2), "tee fans the block out");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The functional emulator core.
 
+use crate::block::BlockCache;
 use crate::{BranchEvent, BranchKind, Memory, TraceSink};
 use bolt_isa::{decode, AluOp, Cond, Inst, Mem, Reg, Rm, ShiftOp, Target};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Fixed stack top for emulated programs.
@@ -42,6 +42,67 @@ impl Flags {
             Cond::G => !self.zf && (self.sf == self.of),
         }
     }
+}
+
+/// Which execution engine drives a run.
+///
+/// Both engines are observationally identical — same program output,
+/// same retired-instruction counts, same trace-event stream as seen by
+/// every sink (`tests/engine_invariance.rs` proves byte-identical
+/// `Counters`, `Profile`, and rewritten ELF) — they differ only in
+/// wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One fetch → decode-cache probe → dispatch per instruction
+    /// ([`Machine::step`] in a loop). The reference engine.
+    #[default]
+    Step,
+    /// Basic-block translation cache ([`Machine::run_blocks`]): decode a
+    /// straight-line run once, then execute its packed entries with no
+    /// per-step fetch probe, charging the I-side footprint to the sink
+    /// in one batched [`TraceSink::on_block`] call.
+    Block,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Engine, ()> {
+        match s {
+            "step" => Ok(Engine::Step),
+            "block" => Ok(Engine::Block),
+            _ => Err(()),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Step => "step",
+            Engine::Block => "block",
+        })
+    }
+}
+
+/// Resolves an engine knob.
+///
+/// * `Some(engine)`: that engine.
+/// * `None` (auto): the `BOLT_ENGINE` environment override (`step` or
+///   `block`) if set, else [`Engine::Step`]. Like `BOLT_THREADS` /
+///   `BOLT_SHARDS`, a set-but-garbled override fails loudly instead of
+///   silently de-fanging a CI leg.
+pub fn resolve_engine(engine: Option<Engine>) -> Engine {
+    if let Some(e) = engine {
+        return e;
+    }
+    if let Ok(v) = std::env::var("BOLT_ENGINE") {
+        match v.trim().parse() {
+            Ok(e) => return e,
+            Err(()) => panic!("BOLT_ENGINE must be `step` or `block`, got {v:?}"),
+        }
+    }
+    Engine::Step
 }
 
 /// Why execution stopped.
@@ -132,14 +193,35 @@ pub struct Machine {
     icache_base: u64,
     /// Decode cache for code executed outside the loaded text span
     /// (tests poke code into memory directly, and images wider than
-    /// [`ICACHE_MAX_SPAN`] fall back here entirely).
-    icache_spill: HashMap<u64, (Inst, u8)>,
+    /// [`ICACHE_MAX_SPAN`] fall back here entirely): entries sorted by
+    /// rip, probed with a last-hit memo then binary search.
+    icache_spill: Vec<(u64, (Inst, u8))>,
+    /// Out-of-order spill inserts land here (sorted, capacity-bounded)
+    /// and are merged into `icache_spill` in one pass when full, so a
+    /// wide image decoding functions in call-graph order pays amortized
+    /// merges instead of an O(len) `Vec::insert` memmove per new entry.
+    spill_pending: Vec<(u64, (Inst, u8))>,
+    /// Index of the `icache_spill` entry most recently hit; sequential
+    /// code hits `memo` or `memo + 1` without searching.
+    spill_memo: usize,
+    /// Basic-block translation cache for [`run_blocks`](Machine::run_blocks).
+    blocks: BlockCache,
 }
 
 /// Largest text span (in bytes) the flat decode cache covers — 32 MiB
 /// of index per machine at 4 bytes per text byte. An image with
 /// executable sections spread wider falls back to the spill map.
 const ICACHE_MAX_SPAN: u64 = 8 << 20;
+
+/// Longest encodable instruction; text-write invalidation treats any
+/// store within this many bytes *before* a cached region as overlapping
+/// (an instruction's bytes can span up to this far past its start).
+const MAX_INST_LEN: u64 = 16;
+
+/// Out-of-order spill inserts buffered before a merge — bounds the
+/// per-insert memmove to this many entries and the merge count to
+/// `spill_len / SPILL_PENDING_CAP`.
+const SPILL_PENDING_CAP: usize = 1024;
 
 impl Machine {
     pub fn new() -> Machine {
@@ -164,6 +246,9 @@ impl Machine {
         self.icache_entries.clear();
         self.icache_base = 0;
         self.icache_spill.clear();
+        self.spill_pending.clear();
+        self.spill_memo = 0;
+        self.blocks.clear();
     }
 
     /// Loads all allocatable sections of an ELF image and initializes
@@ -233,8 +318,25 @@ impl Machine {
             if e != 0 {
                 return Ok(self.icache_entries[(e - 1) as usize]);
             }
-        } else if let Some(&hit) = self.icache_spill.get(&rip) {
-            return Ok(hit);
+        } else {
+            // Spill path: sorted by rip, last-hit memo first (sequential
+            // code lands on `memo` or, advancing, on `memo + 1`), then
+            // binary search of the main vector and the pending buffer.
+            for probe in [self.spill_memo, self.spill_memo + 1] {
+                if let Some(&(at, hit)) = self.icache_spill.get(probe) {
+                    if at == rip {
+                        self.spill_memo = probe;
+                        return Ok(hit);
+                    }
+                }
+            }
+            if let Ok(i) = self.icache_spill.binary_search_by_key(&rip, |e| e.0) {
+                self.spill_memo = i;
+                return Ok(self.icache_spill[i].1);
+            }
+            if let Ok(i) = self.spill_pending.binary_search_by_key(&rip, |e| e.0) {
+                return Ok(self.spill_pending[i].1);
+            }
         }
         let mut buf = [0u8; 16];
         self.mem.read(rip, &mut buf);
@@ -244,11 +346,87 @@ impl Machine {
                 self.icache_entries.push((d.inst, d.len));
                 self.icache_index[o] = self.icache_entries.len() as u32;
             }
-            None => {
-                self.icache_spill.insert(rip, (d.inst, d.len));
-            }
+            None => self.spill_insert(rip, (d.inst, d.len)),
         }
         Ok((d.inst, d.len))
+    }
+
+    /// Caches an out-of-span decode. Ascending rips (sequential decode,
+    /// the common case) append to the sorted main vector; out-of-order
+    /// rips go through the bounded pending buffer and are merged in one
+    /// sorted pass when it fills, keeping cold decode of a wide image
+    /// amortized instead of one O(len) memmove per entry.
+    fn spill_insert(&mut self, rip: u64, entry: (Inst, u8)) {
+        match self.icache_spill.last() {
+            Some(&(last, _)) if rip < last => {
+                let i = self
+                    .spill_pending
+                    .binary_search_by_key(&rip, |e| e.0)
+                    .unwrap_err();
+                self.spill_pending.insert(i, (rip, entry));
+                if self.spill_pending.len() >= SPILL_PENDING_CAP {
+                    self.spill_merge();
+                }
+            }
+            _ => {
+                self.icache_spill.push((rip, entry));
+                self.spill_memo = self.icache_spill.len() - 1;
+            }
+        }
+    }
+
+    /// Merges the pending buffer into the sorted main vector (one
+    /// sorted merge pass).
+    fn spill_merge(&mut self) {
+        if self.spill_pending.is_empty() {
+            return;
+        }
+        let old = std::mem::take(&mut self.icache_spill);
+        let pending = std::mem::take(&mut self.spill_pending);
+        let mut merged = Vec::with_capacity(old.len() + pending.len());
+        let mut a = old.into_iter().peekable();
+        let mut b = pending.into_iter().peekable();
+        while let (Some(&(ka, _)), Some(&(kb, _))) = (a.peek(), b.peek()) {
+            merged.push(if ka <= kb {
+                a.next().unwrap()
+            } else {
+                b.next().unwrap()
+            });
+        }
+        merged.extend(a);
+        merged.extend(b);
+        self.icache_spill = merged;
+        self.spill_memo = 0;
+    }
+
+    /// Invalidates the decode and block-translation caches when a store
+    /// lands in cached text. The fast path (stores to data/stack) is two
+    /// range compares; programs that patch their own code pay a full
+    /// flush, and both engines then refetch the new bytes — a store into
+    /// text behaves architecturally under either engine.
+    fn note_text_write(&mut self, addr: u64, len: u64) {
+        if !self.icache_index.is_empty() {
+            let hi = self.icache_base + self.icache_index.len() as u64;
+            if addr < hi + MAX_INST_LEN && addr + len > self.icache_base {
+                self.icache_index.fill(0);
+                self.icache_entries.clear();
+                self.blocks.invalidate();
+            }
+        }
+        if let (Some(&(mut first, _)), Some(&(last, _))) =
+            (self.icache_spill.first(), self.icache_spill.last())
+        {
+            // Pending entries always sort below the main vector's last
+            // rip, but can precede its first.
+            if let Some(&(p, _)) = self.spill_pending.first() {
+                first = first.min(p);
+            }
+            if addr < last + MAX_INST_LEN && addr + len > first {
+                self.icache_spill.clear();
+                self.spill_pending.clear();
+                self.spill_memo = 0;
+            }
+        }
     }
 
     fn set_flags_logic(&mut self, r: u64) {
@@ -315,6 +493,7 @@ impl Machine {
         let rsp = self.reg(Reg::Rsp).wrapping_sub(8);
         self.set_reg(Reg::Rsp, rsp);
         self.mem.write_u64(rsp, v);
+        self.note_text_write(rsp, 8);
         sink.on_mem(rsp, 8, true);
     }
 
@@ -346,8 +525,22 @@ impl Machine {
     pub fn step<S: TraceSink + ?Sized>(&mut self, sink: &mut S) -> Result<Option<Exit>, EmuError> {
         let rip = self.rip;
         let (inst, len) = self.fetch(rip)?;
-        let next = rip + len as u64;
         sink.on_inst(rip, len);
+        self.exec_inst(rip, inst, len, sink)
+    }
+
+    /// Executes one already-decoded instruction at `rip` (occupying
+    /// `len` bytes), advancing `self.rip`. The caller has already
+    /// charged the fetch to the sink — `on_inst` ([`step`](Machine::step))
+    /// or a batched `on_block` ([`run_blocks`](Machine::run_blocks)).
+    fn exec_inst<S: TraceSink + ?Sized>(
+        &mut self,
+        rip: u64,
+        inst: Inst,
+        len: u8,
+        sink: &mut S,
+    ) -> Result<Option<Exit>, EmuError> {
+        let next = rip + len as u64;
         let mut new_rip = next;
 
         match inst {
@@ -381,6 +574,7 @@ impl Machine {
                 sink.on_mem(ea, 8, true);
                 let v = self.reg(src);
                 self.mem.write_u64(ea, v);
+                self.note_text_write(ea, 8);
             }
             Inst::Lea { dst, mem } => {
                 let ea = self.effective_addr(&mem);
@@ -539,7 +733,10 @@ impl Machine {
         Ok(None)
     }
 
-    /// Runs until exit, error, or `max_steps` instructions.
+    /// Runs until exit, error, or `max_steps` instructions, under the
+    /// engine [`resolve_engine`] picks (the `BOLT_ENGINE` environment
+    /// override, defaulting to per-instruction stepping). Both engines
+    /// are observationally identical — see [`Engine`].
     ///
     /// # Errors
     ///
@@ -549,11 +746,112 @@ impl Machine {
         sink: &mut S,
         max_steps: u64,
     ) -> Result<RunResult, EmuError> {
+        self.run_engine(sink, max_steps, resolve_engine(None))
+    }
+
+    /// [`run`](Machine::run) with an explicit engine choice.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run_engine<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+        engine: Engine,
+    ) -> Result<RunResult, EmuError> {
+        match engine {
+            Engine::Step => self.run_steps(sink, max_steps),
+            Engine::Block => self.run_blocks(sink, max_steps),
+        }
+    }
+
+    /// The step engine: fetch → dispatch per instruction.
+    fn run_steps<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+    ) -> Result<RunResult, EmuError> {
         let mut steps = 0u64;
         while steps < max_steps {
             steps += 1;
             if let Some(exit) = self.step(sink)? {
                 return Ok(RunResult { exit, steps });
+            }
+        }
+        Ok(RunResult {
+            exit: Exit::MaxSteps,
+            steps,
+        })
+    }
+
+    /// The block engine: executes translated basic blocks from the
+    /// translation cache — decode once per block, then a tight loop over
+    /// packed pre-decoded entries with a single batched
+    /// [`TraceSink::on_block`] charge for the block's I-side footprint.
+    ///
+    /// Blocks end at the first control transfer *or* memory-touching
+    /// instruction (so all `on_mem`/`on_branch` events come from a
+    /// block's final instruction, and the sink-visible event order is
+    /// exactly the step engine's), self-invalidate on stores into text,
+    /// and code outside the flat text span falls back to
+    /// [`step`](Machine::step). A step budget landing inside a block
+    /// finishes with per-instruction stepping, so [`Exit::MaxSteps`]
+    /// triggers at exactly the same retired count as the step engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run_blocks<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+    ) -> Result<RunResult, EmuError> {
+        self.blocks
+            .ensure_span(self.icache_base, self.icache_index.len());
+        let mut steps = 0u64;
+        while steps < max_steps {
+            // Reclaim invalidated pools only between blocks: a store is
+            // always a block's last instruction, so nothing is ever
+            // executing out of the pools when they are rebuilt.
+            self.blocks.reclaim();
+            let rip = self.rip;
+            let idx = match self.blocks.lookup(rip) {
+                Some(i) => Some(i),
+                None if self.blocks.in_span(rip) => Some(self.blocks.translate(&self.mem, rip)?),
+                // Spill-region code: fall back to stepping.
+                None => None,
+            };
+            let Some(idx) = idx else {
+                steps += 1;
+                if let Some(exit) = self.step(sink)? {
+                    return Ok(RunResult { exit, steps });
+                }
+                continue;
+            };
+            let (range, entry) = self.blocks.inst_range(idx);
+            let count = range.len() as u64;
+            if max_steps - steps < count {
+                // The budget lands inside this block: finish with exact
+                // per-instruction stepping so MaxSteps fires at the same
+                // retired count as the step engine.
+                while steps < max_steps {
+                    steps += 1;
+                    if let Some(exit) = self.step(sink)? {
+                        return Ok(RunResult { exit, steps });
+                    }
+                }
+                break;
+            }
+            sink.on_block(self.blocks.event(idx));
+            let mut at = entry;
+            for i in range {
+                let (inst, len) = self.blocks.inst(i);
+                steps += 1;
+                if let Some(exit) = self.exec_inst(at, inst, len, sink)? {
+                    return Ok(RunResult { exit, steps });
+                }
+                at += len as u64;
             }
         }
         Ok(RunResult {
@@ -907,7 +1205,9 @@ mod tests {
             "flat index sized to the text span"
         );
         assert_eq!(m.icache_base, 0x400000);
-        let r = m.run(&mut NullSink, 100).unwrap();
+        // Pinned to the step engine: this test asserts the *decode*
+        // cache's internals (the block engine never consults it).
+        let r = m.run_engine(&mut NullSink, 100, Engine::Step).unwrap();
         assert_eq!(r.exit, Exit::Exited(5));
         assert_eq!(
             m.icache_entries.len(),
@@ -915,6 +1215,206 @@ mod tests {
             "one packed entry per decoded instruction start"
         );
         assert!(m.icache_spill.is_empty(), "no spill for in-span code");
+    }
+
+    /// Runs `elf` under one engine on a fresh machine, returning every
+    /// observable: exit, steps, output, final registers, and the counted
+    /// trace events.
+    fn observe(
+        elf: &bolt_elf::Elf,
+        engine: Engine,
+        max_steps: u64,
+    ) -> (RunResult, Machine, CountingSink) {
+        let mut m = Machine::new();
+        m.load_elf(elf);
+        let mut sink = CountingSink::default();
+        let r = m.run_engine(&mut sink, max_steps, engine).unwrap();
+        (r, m, sink)
+    }
+
+    #[test]
+    fn block_engine_matches_step_engine_observably() {
+        let elf = emitting_elf(42);
+        let (rs, ms, ss) = observe(&elf, Engine::Step, u64::MAX);
+        let (rb, mb, sb) = observe(&elf, Engine::Block, u64::MAX);
+        assert_eq!(rs, rb, "exit and retired count identical");
+        assert_eq!(ms.output, mb.output);
+        assert_eq!(ms.regs, mb.regs);
+        assert_eq!(ms.flags, mb.flags);
+        assert_eq!(
+            format!("{ss:?}"),
+            format!("{sb:?}"),
+            "every counted trace event identical"
+        );
+    }
+
+    /// Satellite regression: `Exit::MaxSteps` must trigger at exactly
+    /// the same retired-instruction count under both engines, including
+    /// budgets landing in the middle of a translated block.
+    #[test]
+    fn max_steps_boundary_identical_across_engines() {
+        let elf = emitting_elf(7); // 5 instructions, one straight block
+        for budget in 1..=5u64 {
+            let (rs, ms, ss) = observe(&elf, Engine::Step, budget);
+            let (rb, mb, sb) = observe(&elf, Engine::Block, budget);
+            assert_eq!(rs, rb, "budget {budget}: exit/steps identical");
+            assert_eq!(rs.steps, budget.min(5), "budget {budget}");
+            assert_eq!(ms.rip, mb.rip, "budget {budget}: stopped at same rip");
+            assert_eq!(ms.output, mb.output, "budget {budget}");
+            assert_eq!(ss.insts, sb.insts, "budget {budget}: retired equal");
+        }
+    }
+
+    /// Code with no flat text span (poked directly into memory) lives in
+    /// the sorted spill vector; the block engine falls back to stepping
+    /// for it, and both engines agree.
+    #[test]
+    fn spill_region_code_runs_identically_under_both_engines() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 3,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 4,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: Reg::Rcx,
+            },
+            Inst::Ret,
+        ];
+        let run = |engine: Engine| {
+            let mut m = machine_with(&insts);
+            m.push(RETURN_SENTINEL, &mut NullSink);
+            let mut sink = CountingSink::default();
+            let r = m.run_engine(&mut sink, 100, engine).unwrap();
+            assert!(m.icache_index.is_empty(), "no flat span for poked code");
+            (r, m.reg(Reg::Rax), sink.insts, m.icache_spill.len())
+        };
+        let (rs, rax_s, insts_s, spill_s) = run(Engine::Step);
+        let (rb, rax_b, insts_b, spill_b) = run(Engine::Block);
+        assert_eq!(rs, rb);
+        assert_eq!(rax_s, 7);
+        assert_eq!((rax_s, insts_s), (rax_b, insts_b));
+        assert_eq!(spill_s, 4, "every instruction cached in the spill vec");
+        assert_eq!(spill_s, spill_b, "block engine steps through spill code");
+    }
+
+    /// Spill entries stay sorted by rip and re-execution hits the memo
+    /// path (the shrink-`icache_spill` satellite's regression test).
+    #[test]
+    fn spill_vec_sorted_and_rehit_after_loop() {
+        // A loop executed twice: second iteration refetches every spill
+        // entry through the memo / binary-search path.
+        //   0: mov rax, 0
+        //   1: add rax, 1
+        //   2: cmp rax, 2
+        //   3: jne 1
+        //   4: ret
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 0,
+            },
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rax,
+                imm: 2,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Label(Label(1)),
+                width: bolt_isa::JumpWidth::Near,
+            },
+            Inst::Ret,
+        ];
+        let mut m = machine_with(&insts);
+        m.push(RETURN_SENTINEL, &mut NullSink);
+        let r = m.run_engine(&mut NullSink, 100, Engine::Step).unwrap();
+        assert_eq!(r.exit, Exit::Returned);
+        assert_eq!(r.steps, 1 + 2 * 3 + 1, "two loop iterations then ret");
+        assert!(
+            m.icache_spill.windows(2).all(|w| w[0].0 < w[1].0),
+            "spill entries sorted by rip"
+        );
+        assert_eq!(m.icache_spill.len(), 5, "each inst cached exactly once");
+    }
+
+    /// Out-of-order spill decode (a high-address entry jumping to
+    /// lower-address code, the call-graph-order pattern of a wide image)
+    /// goes through the bounded pending buffer and merges cleanly.
+    #[test]
+    fn out_of_order_spill_inserts_use_pending_buffer() {
+        let mut m = Machine::new();
+        // Low-address function: emit 9 then exit 9.
+        let low = asm(
+            &[
+                Inst::MovRI {
+                    dst: Reg::Rax,
+                    imm: 1,
+                },
+                Inst::MovRI {
+                    dst: Reg::Rdi,
+                    imm: 9,
+                },
+                Inst::Syscall,
+                Inst::MovRI {
+                    dst: Reg::Rax,
+                    imm: 60,
+                },
+                Inst::Syscall,
+            ],
+            0x400000,
+        );
+        m.mem.write(0x400000, &low);
+        // High-address entry: jump down to it.
+        let high = asm(
+            &[Inst::Jmp {
+                target: Target::Addr(0x400000),
+                width: bolt_isa::JumpWidth::Near,
+            }],
+            0x500000,
+        );
+        m.mem.write(0x500000, &high);
+        m.rip = 0x500000;
+        let r = m.run_engine(&mut NullSink, 100, Engine::Step).unwrap();
+        assert_eq!(r.exit, Exit::Exited(9));
+        assert_eq!(m.output, vec![9]);
+        assert_eq!(m.icache_spill.len(), 1, "only the jmp appended in order");
+        assert_eq!(
+            m.spill_pending.len(),
+            5,
+            "lower-rip decodes buffered as pending"
+        );
+        assert!(m.spill_pending.windows(2).all(|w| w[0].0 < w[1].0));
+
+        // A second run refetches everything through memo/main/pending.
+        m.rip = 0x500000;
+        m.output.clear();
+        let r = m.run_engine(&mut NullSink, 100, Engine::Step).unwrap();
+        assert_eq!(r.exit, Exit::Exited(9));
+        assert_eq!(m.output, vec![9]);
+        assert_eq!(m.spill_pending.len(), 5, "no re-decode, no duplicates");
+
+        // An explicit merge folds pending into the sorted main vector
+        // and later fetches still resolve.
+        m.spill_merge();
+        assert!(m.spill_pending.is_empty());
+        assert_eq!(m.icache_spill.len(), 6);
+        assert!(m.icache_spill.windows(2).all(|w| w[0].0 < w[1].0));
+        m.rip = 0x500000;
+        m.output.clear();
+        let r = m.run_engine(&mut NullSink, 100, Engine::Block).unwrap();
+        assert_eq!(r.exit, Exit::Exited(9));
+        assert_eq!(m.output, vec![9]);
     }
 
     #[test]

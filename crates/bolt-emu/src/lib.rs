@@ -12,11 +12,14 @@
 //! output before and after BOLT rewrites it.
 
 mod batch;
+mod block;
 mod events;
 mod exec;
 mod memory;
 
 pub use batch::{resolve_shards, run_batch, ShardPlan, ShardRun};
-pub use events::{BranchEvent, BranchKind, CountingSink, NullSink, Tee, TraceSink};
-pub use exec::{EmuError, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP};
+pub use events::{BlockEvent, BranchEvent, BranchKind, CountingSink, NullSink, Tee, TraceSink};
+pub use exec::{
+    resolve_engine, EmuError, Engine, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP,
+};
 pub use memory::Memory;

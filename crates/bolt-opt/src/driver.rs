@@ -123,6 +123,7 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
     let mut manager = PassManager::standard(&opts.passes);
     manager.config.collect_dyno = opts.time_passes && opts.dyno_stats;
     manager.config.threads = opts.threads;
+    manager.config.skip_unchanged = opts.skip_unchanged;
     let pipeline = manager.run(&mut ctx, &opts.passes);
 
     let dyno_after = if opts.dyno_stats {

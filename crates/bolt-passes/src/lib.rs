@@ -240,6 +240,11 @@ pub struct PassReport {
     pub dyno_before: Option<DynoStats>,
     /// Dyno stats sampled after the pass (same gating).
     pub dyno_after: Option<DynoStats>,
+    /// Whether the manager skipped this instance instead of executing it
+    /// ([`ManagerConfig::skip_unchanged`]: a repeated registration whose
+    /// earlier instance reported zero changes this run). Skipped
+    /// instances report zero changes and zero duration.
+    pub skipped: bool,
 }
 
 impl PartialEq for PassReport {

@@ -87,6 +87,17 @@ pub struct ManagerConfig {
     /// the serial path. The pipeline result is byte-identical at any
     /// value — see [`crate::function_pass`].
     pub threads: usize,
+    /// Skip a *repeated* registration of a pass when its most recent
+    /// earlier instance reported zero changes this run (`-skip-unchanged`)
+    /// — e.g. the second `icf` on binaries where the first found nothing
+    /// to fold. Skipped instances still get a [`PassReport`]
+    /// (zero changes, zero duration) marked
+    /// [`skipped`](crate::PassReport::skipped), so `-time-passes` output
+    /// stays honest. Off by default: a pass that reported zero changes
+    /// can in principle still fire after intervening passes rework the
+    /// IR, so this trades that (empirically absent) case for pipeline
+    /// wall clock.
+    pub skip_unchanged: bool,
 }
 
 impl Default for ManagerConfig {
@@ -95,6 +106,7 @@ impl Default for ManagerConfig {
             validate: true,
             collect_dyno: false,
             threads: 0,
+            skip_unchanged: false,
         }
     }
 }
@@ -191,6 +203,9 @@ impl PassManager {
         let n_threads = resolve_threads(self.config.threads);
         let mut result = PipelineResult::default();
         let mut occurrences: HashMap<&'static str, u32> = HashMap::new();
+        // Change count of each pass name's most recent executed instance
+        // this run, for `skip_unchanged`.
+        let mut last_changes: HashMap<&'static str, u64> = HashMap::new();
         // Nothing mutates the context between one pass's after-sweep and
         // the next pass's before-sweep (validation is read-only), so each
         // boundary is swept once and shared.
@@ -206,6 +221,26 @@ impl PassManager {
             } else {
                 name.to_string()
             };
+
+            // Zero-change skipping: a repeated registration whose earlier
+            // instance did nothing this run is reported but not executed.
+            if self.config.skip_unchanged && *occurrence > 1 && last_changes.get(name) == Some(&0) {
+                let dyno = self.config.collect_dyno.then(|| {
+                    carried_dyno
+                        .take()
+                        .unwrap_or_else(|| dyno::context_dyno_stats(ctx))
+                });
+                carried_dyno = dyno;
+                result.reports.push(PassReport {
+                    name,
+                    changes: 0,
+                    duration: std::time::Duration::ZERO,
+                    dyno_before: carried_dyno,
+                    dyno_after: carried_dyno,
+                    skipped: true,
+                });
+                continue;
+            }
 
             let dyno_before = self.config.collect_dyno.then(|| {
                 carried_dyno
@@ -230,12 +265,14 @@ impl PassManager {
             if let Some(order) = pass.take_function_order() {
                 result.function_order = order;
             }
+            last_changes.insert(name, changes);
             result.reports.push(PassReport {
                 name,
                 changes,
                 duration,
                 dyno_before,
                 dyno_after,
+                skipped: false,
             });
             if self.config.validate && pass.validate_after() {
                 validate_all(ctx, &instance);
@@ -630,6 +667,72 @@ mod tests {
             serial.0.reports[0].changes, 40,
             "strip-rep-ret fired once per function"
         );
+    }
+
+    /// `-skip-unchanged`: a repeated registration is skipped when the
+    /// earlier instance of the same pass reported zero changes this run
+    /// — and still reported, marked, so timing output stays honest.
+    #[test]
+    fn skip_unchanged_skips_zero_change_repeats() {
+        // An empty context: every pass reports zero changes, so the
+        // second icf and second peepholes are skippable.
+        let opts = PassOptions::default();
+        let run = |skip: bool| {
+            let mut m = PassManager::standard(&opts);
+            m.config.skip_unchanged = skip;
+            let mut ctx = BinaryContext::default();
+            m.run(&mut ctx, &opts)
+        };
+        let plain = run(false);
+        assert!(
+            plain.reports.iter().all(|r| !r.skipped),
+            "nothing skipped without the flag"
+        );
+        let skipping = run(true);
+        let skipped: Vec<&str> = skipping
+            .reports
+            .iter()
+            .filter(|r| r.skipped)
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(
+            skipped,
+            ["icf", "peepholes", "fixup-branches"],
+            "exactly the zero-change repeats are skipped"
+        );
+        // Reports stay semantically identical (same names, same change
+        // counts): skipping is a pure wall-clock optimization here.
+        assert_eq!(plain.reports, skipping.reports);
+        assert_eq!(plain.function_order, skipping.function_order);
+        for r in skipping.reports.iter().filter(|r| r.skipped) {
+            assert_eq!(r.changes, 0);
+            assert_eq!(r.duration, std::time::Duration::ZERO);
+        }
+    }
+
+    /// A repeat whose earlier instance *did* change the program still
+    /// runs under `-skip-unchanged`.
+    #[test]
+    fn skip_unchanged_keeps_active_repeats() {
+        use bolt_ir::BasicBlock;
+        use bolt_isa::Inst;
+        // Two identical functions: the first icf folds one into the
+        // other (1 change), so the second icf must still execute.
+        let mut ctx = BinaryContext::default();
+        for i in 0..2 {
+            let mut f = bolt_ir::BinaryFunction::new(format!("f{i}"), 0x1000 + 0x100 * i as u64);
+            let b = f.add_block(BasicBlock::new());
+            f.block_mut(b).push(Inst::Ret);
+            ctx.add_function(f);
+        }
+        let opts = PassOptions::default();
+        let mut m = PassManager::standard(&opts);
+        m.config.skip_unchanged = true;
+        let result = m.run(&mut ctx, &opts);
+        let icf: Vec<_> = result.reports.iter().filter(|r| r.name == "icf").collect();
+        assert_eq!(icf.len(), 2);
+        assert!(icf[0].changes > 0, "first icf folds");
+        assert!(!icf[1].skipped, "a productive pass's repeat still runs");
     }
 
     #[test]

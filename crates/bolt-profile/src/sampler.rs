@@ -2,7 +2,7 @@
 //! (paper section 5.1).
 
 use crate::{Profile, ProfileMode};
-use bolt_emu::{BranchEvent, TraceSink};
+use bolt_emu::{BlockEvent, BranchEvent, TraceSink};
 use bolt_sim::BranchPredictor;
 
 /// Which hardware event triggers a sample (paper section 5.1 compares
@@ -120,6 +120,37 @@ impl TraceSink for LbrSampler {
         }
     }
 
+    /// Batched path: when no sample (or pending skid) can trigger inside
+    /// the block, the whole block is one countdown subtraction; a block
+    /// containing the trigger point replays per instruction for exact
+    /// attribution. Sampling periods dwarf block sizes, so the fast path
+    /// is the overwhelmingly common case.
+    #[inline]
+    fn on_block(&mut self, ev: BlockEvent<'_>) {
+        let Some(&(last_addr, _)) = ev.fetches.last() else {
+            return; // an empty block retires nothing
+        };
+        if !self.pending {
+            let n = ev.inst_count as u64;
+            match self.trigger {
+                // Both triggers decrement once per retired instruction.
+                SampleTrigger::Instructions | SampleTrigger::PseudoCycles if self.countdown > n => {
+                    self.countdown -= n;
+                    self.last_ip = last_addr;
+                    return;
+                }
+                // Branch-triggered samples fire in `on_branch`; retiring
+                // instructions only tracks the interrupted IP.
+                SampleTrigger::TakenBranches => {
+                    self.last_ip = last_addr;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        ev.replay(self);
+    }
+
     #[inline]
     fn on_branch(&mut self, ev: BranchEvent) {
         let mispred = self.shadow.observe(ev).mispredicted;
@@ -195,6 +226,18 @@ impl TraceSink for IpSampler {
             }
         }
     }
+
+    /// Batched path, mirroring [`LbrSampler::on_block`]: a block that
+    /// cannot contain the trigger point is one subtraction.
+    #[inline]
+    fn on_block(&mut self, ev: BlockEvent<'_>) {
+        let n = ev.inst_count as u64;
+        if !self.pending && self.countdown > n {
+            self.countdown -= n;
+            return;
+        }
+        ev.replay(self);
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +308,83 @@ mod tests {
             s.on_inst(0x2000 + i, 1);
         }
         assert_eq!(s.profile.num_samples, 10);
+    }
+
+    /// Batched block events must sample identically to per-instruction
+    /// replay — across trigger kinds, skid, and trigger points landing
+    /// inside blocks.
+    #[test]
+    fn batched_blocks_match_per_inst_sampling() {
+        use bolt_emu::BlockEvent;
+        // 3-inst blocks against a period of 7: the trigger point cycles
+        // through every intra-block offset; a taken branch between
+        // blocks keeps the ring and the branch-trigger countdown live.
+        for trigger in [
+            SampleTrigger::Instructions,
+            SampleTrigger::TakenBranches,
+            SampleTrigger::PseudoCycles,
+        ] {
+            for skid in [0u64, 2] {
+                let mut stepped = LbrSampler::new(7, trigger);
+                stepped.skid = skid;
+                let mut batched = LbrSampler::new(7, trigger);
+                batched.skid = skid;
+                let mut at = 0x400000u64;
+                for round in 0..50u64 {
+                    let fetches: Vec<(u64, u8)> = (0..3).map(|i| (at + i * 4, 4u8)).collect();
+                    let ev = BlockEvent {
+                        entry: at,
+                        inst_count: 3,
+                        byte_len: 12,
+                        fetches: &fetches,
+                        lines64: &[],
+                        crossings64: 0,
+                    };
+                    for &(addr, len) in &fetches {
+                        stepped.on_inst(addr, len);
+                    }
+                    batched.on_block(ev);
+                    let br = taken(at + 8, 0x400000 + (round % 5) * 64);
+                    stepped.on_branch(br);
+                    batched.on_branch(br);
+                    at = br.to;
+                }
+                stepped.take_sample();
+                batched.take_sample();
+                assert_eq!(
+                    stepped.profile, batched.profile,
+                    "trigger {trigger:?} skid {skid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_blocks_match_per_inst_ip_sampling() {
+        use bolt_emu::BlockEvent;
+        for skid in [0u64, 3] {
+            let mut stepped = IpSampler::new(7);
+            stepped.skid = skid;
+            let mut batched = IpSampler::new(7);
+            batched.skid = skid;
+            for round in 0..40u64 {
+                let at = 0x400000 + (round % 6) * 32;
+                let fetches: Vec<(u64, u8)> = (0..4).map(|i| (at + i * 4, 4u8)).collect();
+                let ev = BlockEvent {
+                    entry: at,
+                    inst_count: 4,
+                    byte_len: 16,
+                    fetches: &fetches,
+                    lines64: &[],
+                    crossings64: 0,
+                };
+                for &(addr, len) in &fetches {
+                    stepped.on_inst(addr, len);
+                }
+                batched.on_block(ev);
+            }
+            assert_eq!(stepped.profile, batched.profile, "skid {skid}");
+        }
     }
 
     #[test]

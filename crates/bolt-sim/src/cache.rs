@@ -15,6 +15,14 @@ pub struct Cache {
     /// LRU stamps parallel to `tags`.
     stamps: Vec<u64>,
     tick: u64,
+    /// Memoized most-recent access: the line and its slot. The entry
+    /// most recently accessed cannot have been evicted since (an
+    /// eviction would itself be a newer access that re-aims the memo),
+    /// so a repeat access is a guaranteed hit that skips the set scan —
+    /// the common case for consecutive same-line accesses (an emulated
+    /// loop's data, a basic block's fetches).
+    last_line: u64,
+    last_slot: usize,
     pub accesses: u64,
     pub misses: u64,
 }
@@ -44,6 +52,8 @@ impl Cache {
             tags: vec![u64::MAX; sets * ways],
             stamps: vec![0; sets * ways],
             tick: 0,
+            last_line: u64::MAX,
+            last_slot: 0,
             accesses: 0,
             misses: 0,
         }
@@ -51,14 +61,24 @@ impl Cache {
 
     /// Accesses the line containing `addr`; returns `true` on hit.
     pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        if line == self.last_line {
+            // Memoized fast path: identical bookkeeping to a slow-path
+            // hit (tick, access count, LRU stamp), minus the set scan.
+            self.tick += 1;
+            self.accesses += 1;
+            self.stamps[self.last_slot] = self.tick;
+            return true;
+        }
         self.tick += 1;
         self.accesses += 1;
-        let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.ways;
         let slots = &mut self.tags[base..base + self.ways];
         if let Some(way) = slots.iter().position(|&t| t == line) {
             self.stamps[base + way] = self.tick;
+            self.last_line = line;
+            self.last_slot = base + way;
             return true;
         }
         self.misses += 1;
@@ -77,6 +97,8 @@ impl Cache {
         }
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.tick;
+        self.last_line = line;
+        self.last_slot = base + victim;
         false
     }
 
@@ -152,5 +174,28 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
         let _ = Cache::new(1000, 2, 64);
+    }
+
+    /// The last-line memo must be observationally identical to the
+    /// scanning path: same hit/miss sequence, same counters, same LRU
+    /// behavior — including after the memoized line's set churns.
+    #[test]
+    fn memoized_repeat_hits_match_scan_semantics() {
+        let mut c = Cache::new(256, 2, 64); // 2 ways, 2 sets
+        assert!(!c.access(0), "cold miss primes the memo");
+        for _ in 0..10 {
+            assert!(c.access(32), "memoized same-line hits");
+        }
+        assert_eq!(c.accesses, 11);
+        assert_eq!(c.misses, 1);
+        // Fill set 0's other way, then re-touch line 0 (a scan-path hit:
+        // the memo now holds line 2) so line 2 becomes the LRU victim.
+        assert!(!c.access(128));
+        assert!(c.access(0));
+        assert!(!c.access(256), "set 0 full -> evicts line 2 (LRU)");
+        assert!(c.access(0), "line 0 protected by its recent touch");
+        assert!(!c.access(128), "line 2 was the eviction victim");
+        assert_eq!(c.misses, 4);
+        assert_eq!(c.accesses, 16);
     }
 }

@@ -4,7 +4,7 @@
 //! fixed-size block of the address space and its heat is the average
 //! number of times each byte of the block was fetched, on a log scale.
 
-use bolt_emu::TraceSink;
+use bolt_emu::{BlockEvent, TraceSink};
 use std::fmt::Write as _;
 
 /// Number of cells per side of the heat map (the paper uses 64×64).
@@ -126,6 +126,27 @@ impl TraceSink for HeatMap {
             *c += len as u64;
         }
     }
+
+    /// Batched path: a block whose instruction starts all land in one
+    /// cell contributes its whole byte length at once (attribution is by
+    /// start address, exactly like the per-instruction path); blocks
+    /// straddling a cell boundary replay per fetch.
+    #[inline]
+    fn on_block(&mut self, ev: BlockEvent<'_>) {
+        let Some(&(last_addr, _)) = ev.fetches.last() else {
+            return; // an empty block retires nothing
+        };
+        if ev.entry >= self.base && last_addr < self.base + self.size {
+            let first = (ev.entry - self.base) / self.block;
+            if first == (last_addr - self.base) / self.block {
+                if let Some(c) = self.cells.get_mut(first as usize) {
+                    *c += ev.byte_len as u64;
+                }
+                return;
+            }
+        }
+        ev.replay(self);
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +176,39 @@ mod tests {
         assert_eq!(csv.lines().count(), HEATMAP_DIM);
         let ascii = h.to_ascii();
         assert!(ascii.contains('@'), "hottest cell rendered");
+    }
+
+    #[test]
+    fn batched_block_attribution_matches_per_inst() {
+        // 64B cells; one block inside a cell, one straddling two cells,
+        // one partially out of range.
+        for (entry, lens) in [
+            (0x400010u64, vec![4u8, 4, 4]),
+            (0x40003Cu64, vec![4, 4, 4]),
+            (0x400000u64 + 64 * 64 - 4, vec![4, 4, 4]),
+        ] {
+            let mut fetches = Vec::new();
+            let mut at = entry;
+            for &len in &lens {
+                fetches.push((at, len));
+                at += len as u64;
+            }
+            let ev = BlockEvent {
+                entry,
+                inst_count: lens.len() as u32,
+                byte_len: (at - entry) as u32,
+                fetches: &fetches,
+                lines64: &[],
+                crossings64: 0,
+            };
+            let mut per = HeatMap::new(0x400000, 64 * 64 * 64);
+            for &(addr, len) in &fetches {
+                per.on_inst(addr, len);
+            }
+            let mut batched = HeatMap::new(0x400000, 64 * 64 * 64);
+            batched.on_block(ev);
+            assert_eq!(per.cells, batched.cells, "entry {entry:#x}");
+        }
     }
 
     #[test]

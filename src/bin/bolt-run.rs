@@ -16,7 +16,7 @@
 //! ```
 
 use bolt::elf::read_elf;
-use bolt::emu::{resolve_shards, run_batch, BranchEvent, Exit, ShardPlan, TraceSink};
+use bolt::emu::{resolve_shards, run_batch, BranchEvent, Engine, Exit, ShardPlan, TraceSink};
 use bolt::passes::resolve_threads;
 use bolt::profile::{IpSampler, LbrSampler, Profile, ProfileMode, SampleTrigger};
 use bolt::sim::{Counters, CpuModel, SimConfig};
@@ -25,7 +25,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] \
-         [--counters] [--max-steps N] [--shards N] [--threads N]\n\
+         [--counters] [--max-steps N] [--shards N] [--threads N] \
+         [--engine step|block]\n\
          \n\
          --shards N   run N independent invocations (sharded batch\n\
          \x20            emulation; 0 = auto [BOLT_SHARDS env or 1]); the\n\
@@ -38,7 +39,12 @@ fn usage() -> ! {
          --shard-config BASE\n\
          \x20            seed-partition the batch: write BASE+i into the\n\
          \x20            binary's `config` input-selection global for shard i,\n\
-         \x20            so the shards split the input space"
+         \x20            so the shards split the input space\n\
+         --engine step|block\n\
+         \x20            emulation engine (default: the BOLT_ENGINE env\n\
+         \x20            override, else per-instruction stepping). `block`\n\
+         \x20            executes through a basic-block translation cache —\n\
+         \x20            byte-identical profiles/counters/output, just faster"
     );
     std::process::exit(2)
 }
@@ -64,6 +70,19 @@ impl TraceSink for RunSink {
         }
         if let Some(m) = &mut self.model {
             m.on_inst(addr, len);
+        }
+    }
+
+    #[inline]
+    fn on_block(&mut self, ev: bolt::emu::BlockEvent<'_>) {
+        if let Some(s) = &mut self.lbr {
+            s.on_block(ev);
+        }
+        if let Some(s) = &mut self.ip {
+            s.on_block(ev);
+        }
+        if let Some(m) = &mut self.model {
+            m.on_block(ev);
         }
     }
 
@@ -105,6 +124,7 @@ fn main() -> ExitCode {
     let mut shards = 0usize;
     let mut threads = 0usize;
     let mut shard_config: Option<i64> = None;
+    let mut engine: Option<Engine> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -143,6 +163,13 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--engine" => {
+                engine = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             s if s.starts_with('-') => usage(),
             _ if input.is_none() => input = Some(a.clone()),
             _ => usage(),
@@ -166,9 +193,10 @@ fn main() -> ExitCode {
     };
 
     let profiling = fdata.is_some();
-    let plan = ShardPlan::new(resolve_shards(shards))
+    let mut plan = ShardPlan::new(resolve_shards(shards))
         .with_threads(resolve_threads(threads))
         .with_max_steps(max_steps);
+    plan.engine = engine;
     let make_sink = |_: usize| RunSink {
         lbr: (profiling && !use_ip).then(|| LbrSampler::new(period, SampleTrigger::Instructions)),
         ip: (profiling && use_ip).then(|| IpSampler::new(period)),

@@ -34,6 +34,15 @@ fn usage() -> ! {
            \x20   (measurement-side emulation shard count, recorded on\n\
            \x20   BoltOptions for profiling harnesses; 0 = auto [BOLT_SHARDS\n\
            \x20   env or 1]. Rewriting is unaffected — see bolt-run --shards)\n\
+           -engine=step|block\n\
+           \x20   (measurement-side emulation engine, recorded on BoltOptions\n\
+           \x20   for profiling harnesses; default follows the BOLT_ENGINE env\n\
+           \x20   override or `step`. Byte-identical results either way — the\n\
+           \x20   block engine is just faster. See bolt-run --engine)\n\
+           -skip-unchanged\n\
+           \x20   (skip repeated pipeline registrations of a pass whose earlier\n\
+           \x20   instance reported zero changes this run, e.g. the second icf\n\
+           \x20   on small binaries; skipped passes are marked in -time-passes)\n\
            -dyno-stats\n\
            -time-passes\n\
            -report-bad-layout\n\
@@ -69,6 +78,7 @@ fn main() -> ExitCode {
             "-b" => fdata = it.next().cloned(),
             "-dyno-stats" => opts.dyno_stats = true,
             "-time-passes" => opts.time_passes = true,
+            "-skip-unchanged" => opts.skip_unchanged = true,
             "-report-bad-layout" => opts.report_bad_layout = true,
             "-print-debug-info" => opts.print_debug_info = true,
             "-v" => opts.verbose = true,
@@ -95,6 +105,12 @@ fn main() -> ExitCode {
                 opts.shards = match s["-shards=".len()..].parse::<usize>() {
                     Ok(n) => n,
                     Err(_) => usage(),
+                };
+            }
+            s if s.starts_with("-engine=") => {
+                opts.engine = match s["-engine=".len()..].parse::<bolt::emu::Engine>() {
+                    Ok(e) => Some(e),
+                    Err(()) => usage(),
                 };
             }
             s if s.starts_with("-reorder-blocks=") => {

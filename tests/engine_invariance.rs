@@ -1,0 +1,276 @@
+//! Engine invariance: the block-translation engine (`--engine=block` /
+//! `BOLT_ENGINE=block`) must be *observationally identical* to the
+//! per-instruction step engine — byte-identical `Counters`, merged
+//! `Profile`, recorded program output, and rewritten ELF — the same way
+//! `tests/thread_invariance.rs` proves thread-count invariance and
+//! `tests/shard_invariance.rs` proves shard-count invariance.
+
+use bolt::compiler::{compile_and_link, CompileOptions};
+use bolt::elf::{write_elf, Elf, Section};
+use bolt::emu::{CountingSink, Engine, Exit, Machine, NullSink};
+use bolt::workloads::{Scale, Workload};
+use bolt_bench::{bolt_with_profile, measure_batch_with, profile_lbr_batch_with, shard_plan};
+use bolt_isa::{encode_at, Inst, Mem, Reg, Target};
+use bolt_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn build(workload: Workload) -> Elf {
+    compile_and_link(&workload.build(Scale::Test), &CompileOptions::default())
+        .expect("workload compiles")
+        .elf
+}
+
+/// Profiled TAO (the paper's smallest data-center workload).
+fn tao_fixture() -> &'static Elf {
+    static FIXTURE: OnceLock<Elf> = OnceLock::new();
+    FIXTURE.get_or_init(|| build(Workload::Tao))
+}
+
+/// A compiler-like workload with the `config` seed global, so shards
+/// partition the input space.
+fn clang_fixture() -> &'static Elf {
+    static FIXTURE: OnceLock<Elf> = OnceLock::new();
+    FIXTURE.get_or_init(|| build(Workload::ClangLike))
+}
+
+/// Seed-partitions shards when the binary has a `config` global;
+/// otherwise every shard runs the binary as loaded.
+fn prepare_for(elf: &Elf) -> impl Fn(usize, &mut Machine) + Sync + '_ {
+    let addr = elf.symbol("config").map(|s| s.value);
+    move |shard, m: &mut Machine| {
+        if let Some(addr) = addr {
+            m.mem.write_u64(addr, 1 + shard as u64);
+        }
+    }
+}
+
+/// The acceptance property: profile + measure `elf` under both engines
+/// at `shards` shards and assert every observable is byte-identical,
+/// then prove the rewritten ELFs match byte for byte.
+fn assert_engine_invariant(elf: &Elf, shards: usize, what: &str) {
+    let cfg = SimConfig::small();
+    let mut legs = Vec::new();
+    for engine in [Engine::Step, Engine::Block] {
+        let plan = shard_plan(shards, 2).with_engine(engine);
+        let (profile, batch) = profile_lbr_batch_with(elf, &cfg, &plan, prepare_for(elf));
+        let measured = measure_batch_with(elf, &cfg, &plan, prepare_for(elf));
+        legs.push((profile, batch, measured));
+    }
+    let (step, block) = (&legs[0], &legs[1]);
+    assert_eq!(
+        step.0.to_fdata(),
+        block.0.to_fdata(),
+        "{what}: merged profile must be byte-identical across engines"
+    );
+    assert_eq!(step.0, block.0, "{what}: profile maps equal, not just text");
+    assert_eq!(
+        step.1.counters, block.1.counters,
+        "{what}: summed profiling counters identical"
+    );
+    assert_eq!(
+        step.1.runs, block.1.runs,
+        "{what}: per-shard results (exit, output, steps, counters)"
+    );
+    assert_eq!(
+        step.2.runs, block.2.runs,
+        "{what}: measurement-only counters identical too"
+    );
+    // The profiles drive BOLT to byte-identical rewritten binaries.
+    let from_step = bolt_with_profile(elf, &step.0);
+    let from_block = bolt_with_profile(elf, &block.0);
+    assert_eq!(
+        write_elf(&from_step.elf).expect("serializes"),
+        write_elf(&from_block.elf).expect("serializes"),
+        "{what}: rewritten ELF byte-identical across engines"
+    );
+}
+
+#[test]
+fn profiled_tao_identical_across_engines_at_1_and_8_shards() {
+    for shards in [1usize, 8] {
+        assert_engine_invariant(tao_fixture(), shards, "tao");
+    }
+}
+
+#[test]
+fn clang_workload_identical_across_engines_at_1_and_8_shards() {
+    for shards in [1usize, 8] {
+        assert_engine_invariant(clang_fixture(), shards, "clang-like");
+    }
+}
+
+/// Assembles `insts` contiguously at `base`, returning the bytes and the
+/// start address of each instruction.
+fn asm(insts: &[Inst], base: u64) -> (Vec<u8>, Vec<u64>) {
+    let mut bytes = Vec::new();
+    let mut addrs = Vec::new();
+    let mut at = base;
+    for i in insts {
+        addrs.push(at);
+        let e = encode_at(i, at).expect("encodes");
+        at += e.bytes.len() as u64;
+        bytes.extend(e.bytes);
+    }
+    (bytes, addrs)
+}
+
+/// A binary that calls a function, patches that function's code through
+/// an ordinary store, and calls it again — the self-modifying-text case
+/// that forces block invalidation. Emits the function's return value
+/// after each call: `[1, 2]` is only observable if the engine refetches
+/// the patched bytes.
+fn self_modifying_elf() -> Elf {
+    let base = 0x400000u64;
+    // The callee is exactly 8 bytes — `mov rax, imm32` (7) + `ret` (1) —
+    // so a single 8-byte store rewrites it atomically.
+    let (callee_v2, _) = asm(
+        &[
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 2,
+            },
+            Inst::Ret,
+        ],
+        0, // position-independent encoding (no rip-relative operands)
+    );
+    assert_eq!(callee_v2.len(), 8, "patch must be one 8-byte store");
+
+    // Lay main out first with a placeholder callee address, then fix up:
+    // the callee sits right after main, and its address only feeds MovRI
+    // immediates (length-stable), so a second pass converges.
+    let build = |callee_addr: u64| -> Vec<Inst> {
+        vec![
+            // rax = f()  (returns 1 before the patch)
+            Inst::Call {
+                target: Target::Addr(callee_addr),
+            },
+            // emit rax
+            Inst::MovRR {
+                dst: Reg::Rdi,
+                src: Reg::Rax,
+            },
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Syscall,
+            // patch f with the 8 bytes staged at 0x500000
+            Inst::MovRI {
+                dst: Reg::R10,
+                imm: 0x500000,
+            },
+            Inst::Load {
+                dst: Reg::R11,
+                mem: Mem::BaseDisp {
+                    base: Reg::R10,
+                    disp: 0,
+                },
+            },
+            Inst::MovRI {
+                dst: Reg::R10,
+                imm: callee_addr as i64,
+            },
+            Inst::Store {
+                mem: Mem::BaseDisp {
+                    base: Reg::R10,
+                    disp: 0,
+                },
+                src: Reg::R11,
+            },
+            // rax = f()  (must observe the patched code: returns 2)
+            Inst::Call {
+                target: Target::Addr(callee_addr),
+            },
+            Inst::MovRR {
+                dst: Reg::Rdi,
+                src: Reg::Rax,
+            },
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Syscall,
+            // exit 0
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 60,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdi,
+                imm: 0,
+            },
+            Inst::Syscall,
+            // f: mov rax, 1 ; ret
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Ret,
+        ]
+    };
+    let (probe, addrs) = asm(&build(base), base);
+    let callee_addr = addrs[addrs.len() - 2];
+    let (code, addrs2) = asm(&build(callee_addr), base);
+    assert_eq!(
+        addrs2[addrs2.len() - 2],
+        callee_addr,
+        "layout converged after one fixup pass"
+    );
+    assert_eq!(probe.len(), code.len());
+
+    let mut elf = Elf::new(base);
+    elf.sections.push(Section::code(".text", base, code));
+    elf.sections
+        .push(Section::data(".data", 0x500000, callee_v2));
+    elf
+}
+
+#[test]
+fn self_modifying_text_forces_block_invalidation() {
+    let elf = self_modifying_elf();
+    let mut outputs = Vec::new();
+    for engine in [Engine::Step, Engine::Block] {
+        let mut m = Machine::new();
+        m.load_elf(&elf);
+        let mut sink = CountingSink::default();
+        let r = m.run_engine(&mut sink, 10_000, engine).expect("runs");
+        assert_eq!(r.exit, Exit::Exited(0), "{engine}");
+        assert_eq!(
+            m.output,
+            vec![1, 2],
+            "{engine}: second call must observe the patched code"
+        );
+        outputs.push((r, m.output.clone(), m.regs, sink.insts, sink.branches));
+    }
+    assert_eq!(outputs[0], outputs[1], "engines agree on the SMC program");
+}
+
+/// The `run_with` step-accounting satellite at harness level: a budget
+/// landing mid-block must stop at exactly the same retired count, rip,
+/// and partial output under both engines.
+#[test]
+fn max_steps_budget_lands_identically_inside_blocks() {
+    let elf = tao_fixture();
+    // Find the full run length once, then probe budgets around block
+    // boundaries (primes stride the whole range).
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let full = m
+        .run_engine(&mut NullSink, u64::MAX, Engine::Step)
+        .expect("runs")
+        .steps;
+    for budget in (13..full).step_by((full / 7).max(1) as usize) {
+        let observe = |engine: Engine| {
+            let mut m = Machine::new();
+            m.load_elf(elf);
+            let mut sink = CountingSink::default();
+            let r = m.run_engine(&mut sink, budget, engine).expect("runs");
+            (r, m.rip, m.output.clone(), m.regs, sink.insts)
+        };
+        let step = observe(Engine::Step);
+        let block = observe(Engine::Block);
+        assert_eq!(step, block, "budget {budget}");
+        assert_eq!(step.0.exit, Exit::MaxSteps, "budget {budget} is partial");
+        assert_eq!(step.0.steps, budget, "stopped exactly at the budget");
+    }
+}
