@@ -5,7 +5,7 @@
 
 use bolt_bench::*;
 use bolt_compiler::CompileOptions;
-use bolt_emu::{BlockEvent, Engine, Machine, NullSink, TraceSink};
+use bolt_emu::{BlockEvent, Engine, Machine, MemRecord, NullSink, TraceSink};
 use bolt_hfsort::{hfsort, hfsort_plus, pettis_hansen, CallGraph};
 use bolt_passes::layout::{reorder_function, BlockLayout};
 use bolt_profile::repair_flow;
@@ -130,9 +130,10 @@ fn bench_cache_sim(c: &mut Criterion) {
     });
 }
 
-/// The block-vs-step engine comparison on the hot emulation paths:
-/// whole-workload execution (translation-cache hit path), batched
-/// `on_block` charging vs per-instruction `on_inst`, and the two
+/// The engine comparison (step vs block vs superblock) on the hot
+/// emulation paths: whole-workload execution (translation-cache hit
+/// path), the straight-line-heavy workload the superblock tier targets,
+/// batched `on_block` charging vs per-instruction `on_inst`, and the
 /// engines driving the full CPU model.
 fn bench_block_engine(c: &mut Criterion) {
     let program = Workload::Tao.build(Scale::Test);
@@ -140,6 +141,7 @@ fn bench_block_engine(c: &mut Criterion) {
     for (name, engine) in [
         ("engine_step_tao_null_sink", Engine::Step),
         ("engine_block_tao_null_sink", Engine::Block),
+        ("engine_superblock_tao_null_sink", Engine::Superblock),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
@@ -153,6 +155,7 @@ fn bench_block_engine(c: &mut Criterion) {
     for (name, engine) in [
         ("engine_step_tao_cpu_model", Engine::Step),
         ("engine_block_tao_cpu_model", Engine::Block),
+        ("engine_superblock_tao_cpu_model", Engine::Superblock),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
@@ -161,6 +164,27 @@ fn bench_block_engine(c: &mut Criterion) {
                 let mut model = CpuModel::new(SimConfig::small());
                 m.run_engine(&mut model, u64::MAX, engine).unwrap();
                 black_box(model.counters().instructions)
+            })
+        });
+    }
+
+    // Superblock-vs-block on the workload shape the superblock tier
+    // targets: long straight-line runs interleaving ALU work with
+    // loads/stores, where the block engine's blocks degenerate to ~2
+    // instructions (the ≥1.5x acceptance workload; `bench-snapshot`
+    // records the measured ratio in BENCH_emu.json).
+    let straight = straightline_elf(2_000);
+    for (name, engine) in [
+        ("engine_step_straightline", Engine::Step),
+        ("engine_block_straightline", Engine::Block),
+        ("engine_superblock_straightline", Engine::Superblock),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                m.load_elf(&straight);
+                let r = m.run_engine(&mut NullSink, u64::MAX, engine).unwrap();
+                black_box(r.steps)
             })
         });
     }
@@ -177,6 +201,7 @@ fn bench_block_engine(c: &mut Criterion) {
         fetches: &fetches,
         lines64: &lines,
         crossings64: 0,
+        mems: &[],
     };
     c.bench_function("cpu_model_16x_on_inst", |b| {
         let mut model = CpuModel::new(SimConfig::small());
@@ -192,6 +217,40 @@ fn bench_block_engine(c: &mut Criterion) {
         b.iter(|| {
             model.on_block(ev);
             black_box(model.counters().l1i_accesses)
+        })
+    });
+    // The superblock event shape: the same block with interleaved
+    // memory records, charged batched vs as the equivalent
+    // on_inst/on_mem sequence.
+    let mems: Vec<MemRecord> = (0..8)
+        .map(|i| MemRecord {
+            inst: i * 2 + 1,
+            addr: 0x7FFF_0000 + (i as u64 % 4) * 8,
+            len: 8,
+            write: i % 2 == 0,
+        })
+        .collect();
+    let sev = BlockEvent { mems: &mems, ..ev };
+    c.bench_function("cpu_model_16x_interleaved_on_inst_mem", |b| {
+        let mut model = CpuModel::new(SimConfig::small());
+        b.iter(|| {
+            let mut mi = 0usize;
+            for (i, &(addr, len)) in fetches.iter().enumerate() {
+                model.on_inst(addr, len);
+                while mi < mems.len() && mems[mi].inst as usize == i {
+                    let m = mems[mi];
+                    model.on_mem(m.addr, m.len, m.write);
+                    mi += 1;
+                }
+            }
+            black_box(model.counters().l1d_accesses)
+        })
+    });
+    c.bench_function("cpu_model_on_superblock_16", |b| {
+        let mut model = CpuModel::new(SimConfig::small());
+        b.iter(|| {
+            model.on_block(sev);
+            black_box(model.counters().l1d_accesses)
         })
     });
 }

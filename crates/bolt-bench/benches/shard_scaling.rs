@@ -94,40 +94,46 @@ fn main() {
         );
     }
 
-    // Step vs block execution engine on the identical sharded batch
-    // (--engine=step|block / BOLT_ENGINE): the block engine executes
-    // through the basic-block translation cache with batched trace
-    // events — byte-identical merged profile and counters, less wall
-    // clock per shard.
+    // Execution engines on the identical sharded batch
+    // (--engine=step|block|superblock / BOLT_ENGINE): the block engines
+    // execute through the translation cache with batched trace events —
+    // superblocks additionally span memory-touching instructions and
+    // chain block transitions — byte-identical merged profile and
+    // counters, less wall clock per shard.
     println!("\nemulation engine (--engine), same batch at {workers} workers:");
     let mut engine_runs = Vec::new();
-    for engine in [Engine::Step, Engine::Block] {
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock] {
         let plan = shard_plan(shards, workers).with_engine(engine);
         let started = Instant::now();
         let (profile, batch) =
             profile_lbr_batch_with(&elf, &cfg, &plan, seed_partition(&elf, base));
         let wall = started.elapsed();
-        println!("  --engine={engine:<6} wall {wall:>9.3?}");
+        println!("  --engine={engine:<10} wall {wall:>9.3?}");
         engine_runs.push((profile, batch, wall));
     }
-    let (step_leg, block_leg) = (&engine_runs[0], &engine_runs[1]);
-    assert_eq!(
-        step_leg.0.to_fdata(),
-        block_leg.0.to_fdata(),
-        "merged profiles must be byte-identical across engines"
-    );
-    assert_eq!(
-        step_leg.1.counters, block_leg.1.counters,
-        "summed counters must not depend on the engine"
-    );
-    assert_eq!(
-        step_leg.1.runs, block_leg.1.runs,
-        "per-shard results identical"
-    );
-    println!(
-        "  block-engine speedup: {:.2}x (identical merged profile and counters)",
-        step_leg.2.as_secs_f64() / block_leg.2.as_secs_f64().max(f64::MIN_POSITIVE)
-    );
+    let step_leg = &engine_runs[0];
+    for (engine, leg) in [
+        (Engine::Block, &engine_runs[1]),
+        (Engine::Superblock, &engine_runs[2]),
+    ] {
+        assert_eq!(
+            step_leg.0.to_fdata(),
+            leg.0.to_fdata(),
+            "{engine}: merged profiles must be byte-identical across engines"
+        );
+        assert_eq!(
+            step_leg.1.counters, leg.1.counters,
+            "{engine}: summed counters must not depend on the engine"
+        );
+        assert_eq!(
+            step_leg.1.runs, leg.1.runs,
+            "{engine}: per-shard results identical"
+        );
+        println!(
+            "  {engine}-engine speedup: {:.2}x (identical merged profile and counters)",
+            step_leg.2.as_secs_f64() / leg.2.as_secs_f64().max(f64::MIN_POSITIVE)
+        );
+    }
 
     // The merged profile drives BOLT exactly like a single-run profile.
     // The measurement plan is derived from BoltOptions — the same path

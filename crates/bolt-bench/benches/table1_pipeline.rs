@@ -22,27 +22,33 @@ fn main() {
 
     // Emulation dominates the bench's wall clock; compare the engines on
     // the profiling run before timing the pipeline itself. Profiles are
-    // byte-identical either way — only the wall clock differs.
-    println!("emulation engine (--engine=step|block), profiling run:");
+    // byte-identical under every engine — only the wall clock differs.
+    println!("emulation engine (--engine=step|block|superblock), profiling run:");
     let mut profiled = Vec::new();
-    for engine in [Engine::Step, Engine::Block] {
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock] {
         let plan = shard_plan(1, 1).with_engine(engine);
         let started = Instant::now();
         let leg = profile_lbr_batch(&baseline, &cfg, &plan);
         let wall = started.elapsed();
-        println!("  --engine={engine:<6} wall {wall:>9.3?}");
+        println!("  --engine={engine:<10} wall {wall:>9.3?}");
         profiled.push((leg, wall));
     }
-    assert_eq!(
-        profiled[0].0 .0.to_fdata(),
-        profiled[1].0 .0.to_fdata(),
-        "profiles byte-identical across engines"
-    );
-    assert_eq!(profiled[0].0 .1.runs, profiled[1].0 .1.runs);
-    println!(
-        "  block-engine speedup: {:.2}x (identical profile and counters)\n",
-        profiled[0].1.as_secs_f64() / profiled[1].1.as_secs_f64().max(f64::MIN_POSITIVE)
-    );
+    for (engine, leg) in [
+        (Engine::Block, &profiled[1]),
+        (Engine::Superblock, &profiled[2]),
+    ] {
+        assert_eq!(
+            profiled[0].0 .0.to_fdata(),
+            leg.0 .0.to_fdata(),
+            "{engine}: profiles byte-identical across engines"
+        );
+        assert_eq!(profiled[0].0 .1.runs, leg.0 .1.runs, "{engine}");
+        println!(
+            "  {engine}-engine speedup: {:.2}x (identical profile and counters)",
+            profiled[0].1.as_secs_f64() / leg.1.as_secs_f64().max(f64::MIN_POSITIVE)
+        );
+    }
+    println!();
     let (profile, step_batch) = profiled.swap_remove(0).0;
     let base = step_batch.runs.into_iter().next().expect("one run");
     let bolted = bolt_with_profile(&baseline, &profile);

@@ -1,0 +1,194 @@
+//! `bench-snapshot`: records the emulation-engine performance trajectory
+//! as a committed artifact instead of a commit-message anecdote.
+//!
+//! Runs every execution engine (`step`, `block`, `superblock`) over a
+//! small workload matrix — the TAO and clang-like paper workloads plus
+//! the synthetic straight-line-heavy loop the superblock tier targets —
+//! and writes the wall clocks and derived speedups to `BENCH_emu.json`
+//! (engine × workload). Counters are asserted byte-identical across
+//! engines while at it, so the snapshot can't silently measure two
+//! different computations.
+//!
+//! ```sh
+//! cargo run --release -p bolt-bench --bin bench-snapshot
+//! cargo run -p bolt-bench --bin bench-snapshot -- --smoke --out /tmp/b.json
+//! ```
+//!
+//! `--smoke` shrinks the workloads and repetitions so CI can prove the
+//! script still runs without burning minutes; its timings are noise and
+//! are labeled as such in the output.
+
+use bolt_bench::{build, straightline_elf};
+use bolt_compiler::CompileOptions;
+use bolt_elf::Elf;
+use bolt_emu::{Engine, Exit, Machine, NullSink};
+use bolt_sim::{CpuModel, SimConfig};
+use bolt_workloads::{Scale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ENGINES: [Engine; 3] = [Engine::Step, Engine::Block, Engine::Superblock];
+
+struct Leg {
+    /// Best-of-reps wall clock with no sink attached (pure engine cost).
+    null_ms: f64,
+    /// Best-of-reps wall clock driving the full CPU model.
+    model_ms: f64,
+    steps: u64,
+    /// Debug-formatted counters, for the cross-engine identity check.
+    fingerprint: String,
+}
+
+fn run_leg(elf: &Elf, engine: Engine, reps: usize) -> Leg {
+    let mut m = Machine::new();
+    let mut null_ms = f64::INFINITY;
+    let mut steps = 0u64;
+    for _ in 0..reps {
+        m.load_elf(elf);
+        let t = Instant::now();
+        let r = m.run_engine(&mut NullSink, u64::MAX, engine).expect("runs");
+        null_ms = null_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert!(matches!(r.exit, Exit::Exited(_)), "workload exits");
+        steps = r.steps;
+    }
+    let mut model_ms = f64::INFINITY;
+    let mut fingerprint = String::new();
+    for _ in 0..reps {
+        m.load_elf(elf);
+        let mut model = CpuModel::new(SimConfig::small());
+        let t = Instant::now();
+        m.run_engine(&mut model, u64::MAX, engine).expect("runs");
+        model_ms = model_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        fingerprint = format!("{:?}", model.counters());
+    }
+    Leg {
+        null_ms,
+        model_ms,
+        steps,
+        fingerprint,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_emu.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out takes a path").clone(),
+            other => {
+                eprintln!("bench-snapshot: unknown argument {other:?}");
+                eprintln!("usage: bench-snapshot [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (reps, straight_iters) = if smoke { (1, 200) } else { (5, 100_000) };
+
+    let workloads: Vec<(&str, Elf)> = vec![
+        (
+            "tao",
+            build(
+                &Workload::Tao.build(Scale::Test),
+                &CompileOptions::default(),
+            ),
+        ),
+        (
+            "clang_like",
+            build(
+                &Workload::ClangLike.build(Scale::Test),
+                &CompileOptions::default(),
+            ),
+        ),
+        ("straightline", straightline_elf(straight_iters)),
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"generated_by\": \"bench-snapshot\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"workloads\": {{");
+
+    println!(
+        "bench-snapshot ({}): engine x workload wall clocks, best of {reps}",
+        if smoke {
+            "smoke — timings are noise"
+        } else {
+            "full"
+        }
+    );
+    for (wi, (name, elf)) in workloads.iter().enumerate() {
+        let legs: Vec<Leg> = ENGINES.iter().map(|&e| run_leg(elf, e, reps)).collect();
+        for (e, leg) in ENGINES.iter().zip(&legs) {
+            assert_eq!(
+                legs[0].fingerprint, leg.fingerprint,
+                "{name}/{e}: counters must be byte-identical across engines"
+            );
+            assert_eq!(legs[0].steps, leg.steps, "{name}/{e}: retired counts");
+            println!(
+                "  {name:<12} --engine={e:<10} null {:>9.3} ms   cpu-model {:>9.3} ms",
+                leg.null_ms, leg.model_ms
+            );
+        }
+        // The cpu-model leg is the product path (every real profiling
+        // or measurement run attaches a sink); null-sink isolates the
+        // engines themselves.
+        let sb_vs_block = legs[1].model_ms / legs[2].model_ms.max(f64::MIN_POSITIVE);
+        let sb_vs_block_null = legs[1].null_ms / legs[2].null_ms.max(f64::MIN_POSITIVE);
+        let block_vs_step = legs[0].model_ms / legs[1].model_ms.max(f64::MIN_POSITIVE);
+        let sb_vs_step = legs[0].model_ms / legs[2].model_ms.max(f64::MIN_POSITIVE);
+        println!(
+            "  {name:<12} cpu-model superblock/block {sb_vs_block:.2}x (null {sb_vs_block_null:.2}x), \
+             block/step {block_vs_step:.2}x, superblock/step {sb_vs_step:.2}x"
+        );
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(json, "      \"retired_instructions\": {},", legs[0].steps);
+        let _ = writeln!(json, "      \"engines\": {{");
+        for (ei, (e, leg)) in ENGINES.iter().zip(&legs).enumerate() {
+            let _ = writeln!(
+                json,
+                "        \"{e}\": {{ \"null_sink_ms\": {:.3}, \"cpu_model_ms\": {:.3} }}{}",
+                leg.null_ms,
+                leg.model_ms,
+                if ei + 1 < ENGINES.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_superblock_vs_block\": {sb_vs_block:.3},"
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_superblock_vs_block_null_sink\": {sb_vs_block_null:.3},"
+        );
+        let _ = writeln!(json, "      \"speedup_block_vs_step\": {block_vs_step:.3},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_superblock_vs_step\": {sb_vs_step:.3}"
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+        if !smoke && *name == "straightline" && sb_vs_block < 1.5 {
+            eprintln!(
+                "bench-snapshot: WARNING: superblock/block on the straight-line \
+                 workload measured {sb_vs_block:.2}x, below the 1.5x target"
+            );
+        }
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json).expect("writes the snapshot");
+    println!("bench-snapshot: wrote {out}");
+}

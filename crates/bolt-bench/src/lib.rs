@@ -242,6 +242,95 @@ pub fn seed_partition(elf: &Elf, base: i64) -> impl Fn(usize, &mut Machine) + Sy
     move |shard, m| m.mem.write_u64(addr, (base + shard as i64) as u64)
 }
 
+/// Builds a synthetic straight-line-heavy binary: a loop whose
+/// ~50-instruction body is dominated by memory traffic (loads, stores,
+/// balanced pushes/pops — a memcpy/spill-heavy shape), then exits 0.
+/// This is exactly the pathology the superblock engine targets: under
+/// the plain block engine every memory-touching instruction ends a
+/// block, so blocks here degenerate to one or two instructions and
+/// every transition pays a cache lookup; under the superblock engine
+/// the whole body is a single chained block. Used by the
+/// `perf_criterion` engine benches, the `bench-snapshot` trajectory
+/// script, and the engine-invariance tests.
+pub fn straightline_elf(iters: i64) -> Elf {
+    use bolt_isa::{encode_at, AluOp, Cond, Inst, JumpWidth, Mem, Reg, Target};
+    let mut insts = vec![
+        Inst::MovRI {
+            dst: Reg::R10,
+            imm: 0x500000,
+        },
+        Inst::MovRI {
+            dst: Reg::Rcx,
+            imm: iters.max(1),
+        },
+    ];
+    let loop_head = insts.len();
+    for k in 0..12i32 {
+        insts.push(Inst::Load {
+            dst: Reg::Rdx,
+            mem: Mem::BaseDisp {
+                base: Reg::R10,
+                disp: (k % 4) * 8,
+            },
+        });
+        insts.push(Inst::AluI {
+            op: AluOp::Add,
+            dst: Reg::Rdx,
+            imm: k,
+        });
+        insts.push(Inst::Store {
+            mem: Mem::BaseDisp {
+                base: Reg::R10,
+                disp: 32 + (k % 4) * 8,
+            },
+            src: Reg::Rdx,
+        });
+        insts.push(Inst::Push(Reg::Rdx));
+        insts.push(Inst::Pop(Reg::Rax));
+    }
+    insts.push(Inst::AluI {
+        op: AluOp::Sub,
+        dst: Reg::Rcx,
+        imm: 1,
+    });
+    let jcc_at = insts.len();
+    insts.push(Inst::Jcc {
+        cond: Cond::Ne,
+        target: Target::Addr(0), // patched below
+        width: JumpWidth::Near,
+    });
+    insts.push(Inst::MovRI {
+        dst: Reg::Rax,
+        imm: 60,
+    });
+    insts.push(Inst::MovRI {
+        dst: Reg::Rdi,
+        imm: 0,
+    });
+    insts.push(Inst::Syscall);
+
+    let base = 0x400000u64;
+    let mut addrs = Vec::with_capacity(insts.len());
+    let mut at = base;
+    for i in &insts {
+        addrs.push(at);
+        at += bolt_isa::encoded_len(i) as u64;
+    }
+    if let Inst::Jcc { target, .. } = &mut insts[jcc_at] {
+        *target = Target::Addr(addrs[loop_head]);
+    }
+    let mut code = Vec::new();
+    for (i, inst) in insts.iter().enumerate() {
+        code.extend(encode_at(inst, addrs[i]).expect("encodes").bytes);
+    }
+    let mut elf = Elf::new(base);
+    elf.sections
+        .push(bolt_elf::Section::code(".text", base, code));
+    elf.sections
+        .push(bolt_elf::Section::data(".data", 0x500000, vec![0; 128]));
+    elf
+}
+
 /// Collects an LBR profile (and microarch counters) in one run.
 pub fn profile_lbr(elf: &Elf, cfg: &SimConfig) -> (Profile, RunResult) {
     let mut sampler = LbrSampler::new(SAMPLE_PERIOD, SampleTrigger::Instructions);
@@ -429,6 +518,24 @@ mod tests {
 
         let measured = measure_batch(&elf, &cfg, &shard_plan(1, 1));
         assert_eq!(measured.runs[0], measure(&elf, &cfg));
+    }
+
+    #[test]
+    fn straightline_workload_runs_and_is_engine_invariant() {
+        use bolt_emu::{CountingSink, Engine, Exit, Machine};
+        let elf = straightline_elf(50);
+        let run = |engine: Engine| {
+            let mut m = Machine::new();
+            m.load_elf(&elf);
+            let mut sink = CountingSink::default();
+            let r = m.run_engine(&mut sink, u64::MAX, engine).expect("runs");
+            assert_eq!(r.exit, Exit::Exited(0), "{engine}");
+            (r.steps, format!("{sink:?}"))
+        };
+        let step = run(Engine::Step);
+        assert!(step.0 > 50 * 40, "the loop body actually spins");
+        assert_eq!(step, run(Engine::Block), "block engine identical");
+        assert_eq!(step, run(Engine::Superblock), "superblock identical");
     }
 
     #[test]

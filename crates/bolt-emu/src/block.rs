@@ -1,40 +1,75 @@
-//! The basic-block translation cache behind [`Machine::run_blocks`].
+//! The basic-block translation cache behind [`Machine::run_blocks`] and
+//! [`Machine::run_superblocks`].
 //!
 //! Per-instruction emulation pays a decode-cache probe, an interpreter
 //! dispatch, and a sink callback for every retired instruction. Real
 //! binary translators amortize that cost across basic blocks: decode a
 //! straight-line run once, then execute the pre-decoded entries in a
 //! tight loop. This module holds the cache itself — packed [`Block`]
-//! descriptors indexed by entry `rip` over the machine's flat text span,
-//! with the decoded instructions, per-instruction fetch records, and the
-//! precomputed I-side line footprint in shared pools.
+//! descriptors indexed by entry `rip` over the machine's flat text span
+//! (with a sorted spill index for out-of-span code), with the decoded
+//! instructions, per-instruction fetch records, static memory-op
+//! shapes, and the precomputed I-side line footprint in shared pools.
 //!
-//! Two properties keep the block engine *observationally identical* to
-//! stepping (see `tests/engine_invariance.rs`):
+//! The cache translates in two modes (see [`ensure_span`]):
 //!
-//! * **Blocks end at the first control transfer or memory-touching
-//!   instruction.** Every `on_mem`/`on_branch` event a block produces
-//!   therefore comes from its final instruction, so charging the whole
-//!   fetch footprint up front (one [`BlockEvent`] before the block
-//!   executes) presents sinks with exactly the event order of
-//!   per-instruction stepping — including the relative order of I-side
-//!   and D-side accesses through shared cache levels.
-//! * **Blocks self-invalidate on stores into text.** Since a store is
-//!   always a block's last instruction, invalidation never happens while
-//!   a block is mid-execution; the pools are reclaimed at the next block
-//!   boundary and the patched bytes are retranslated, matching the step
-//!   engine's (also invalidated) decode cache.
+//! * **Block mode** (`Machine::run_blocks`): blocks end at the first
+//!   control transfer *or* memory-touching instruction. Every
+//!   `on_mem`/`on_branch` event a block produces therefore comes from
+//!   its final instruction, so charging the whole fetch footprint up
+//!   front (one [`BlockEvent`] before the block executes) presents
+//!   sinks with exactly the event order of per-instruction stepping.
+//! * **Superblock mode** (`Machine::run_superblocks`): blocks span
+//!   memory-touching instructions and end only at control transfers.
+//!   Each memory-touching instruction's static D-side shape (which
+//!   instruction, read or write — the width is fixed by the ISA; only
+//!   the effective address and its line crossing are resolved at
+//!   execute time) is recorded at translation time, and the engine
+//!   captures the resolved addresses while the block executes, emitting
+//!   one [`BlockEvent`] whose interleaved fetch + memory records
+//!   reproduce the step engine's event order exactly. Superblocks also
+//!   *chain*: a block's terminator caches up to two `(successor rip →
+//!   block index)` links so the hot loop follows direct jumps and
+//!   fall-throughs without consulting the entry index at all.
+//!
+//! **Blocks self-invalidate on stores into cached text** (flat span or
+//! spill bounds). In block mode a store is always a block's last
+//! instruction; in superblock mode the engine checks the dirty flag
+//! after every executed instruction and abandons the packed entries
+//! mid-block. Either way the pools (and every chain link with them) are
+//! reclaimed at the next block boundary and the patched bytes are
+//! retranslated, matching the step engine's (also invalidated) decode
+//! cache.
 //!
 //! [`Machine::run_blocks`]: crate::Machine::run_blocks
+//! [`Machine::run_superblocks`]: crate::Machine::run_superblocks
+//! [`ensure_span`]: BlockCache::ensure_span
 
-use crate::{BlockEvent, EmuError, Memory};
-use bolt_isa::{decode, Inst};
+use crate::spill::SpillIndex;
+use crate::{BlockEvent, EmuError, MemRecord, Memory, MAX_INST_LEN};
+use bolt_isa::{decode, Inst, Rm};
 use std::ops::Range;
 
 /// Longest straight-line run a single block may hold. Blocks usually end
-/// far earlier (at a branch or memory access); the cap bounds
-/// translation latency for degenerate compute-only runs.
+/// far earlier (at a branch — or, in block mode, a memory access); the
+/// cap bounds translation latency for degenerate compute-only runs.
 const MAX_BLOCK_INSTS: usize = 64;
+
+/// Chain-link slot holding no successor yet.
+const NO_LINK: (u64, u32) = (u64::MAX, 0);
+
+/// Static shape of one data-memory access inside a block: which
+/// instruction performs it and its direction, recorded at translation
+/// time (superblock mode). The access width is fixed at 8 bytes by the
+/// ISA; the effective address — and hence any line crossing — is only
+/// resolvable at execute time and is captured into a [`MemRecord`] then.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MemShape {
+    /// Instruction index within the block.
+    pub inst: u32,
+    /// `true` for stores.
+    pub write: bool,
+}
 
 /// One translated basic block: a packed descriptor into the cache's
 /// shared pools.
@@ -47,46 +82,56 @@ struct Block {
     /// Range into the line-footprint pool: the 64-byte-aligned line
     /// addresses `[entry, entry + byte_len)` spans, ascending.
     lines: Range<u32>,
+    /// Range into the memory-shape pool (superblock mode).
+    mems: Range<u32>,
     /// Total bytes the block's instructions occupy.
     byte_len: u32,
     inst_count: u32,
     /// Fetches straddling a 64-byte line boundary.
     crossings64: u32,
+    /// Chain links: `(successor rip, successor block index)`, installed
+    /// by the superblock engine when a transition resolves. Two slots
+    /// cover a conditional branch's taken and fall-through successors;
+    /// dynamic terminators (indirect jumps, returns) memoize their most
+    /// recent targets. Links never outlive the blocks vector — every
+    /// invalidation path clears it wholesale.
+    links: [(u64, u32); 2],
 }
 
 /// Whether `inst` must be the last instruction of its block: control
-/// transfers and program exits (so a block has at most one successor),
-/// plus memory-touching instructions (so all D-side events come from a
-/// block's final instruction — the ordering guarantee batched I-side
+/// transfers and program exits always (so a block has at most one
+/// dynamic successor per execution); in block mode also memory-touching
+/// instructions (so all D-side events come from a block's final
+/// instruction — the ordering guarantee up-front batched I-side
 /// charging depends on).
-fn ends_block(inst: &Inst) -> bool {
-    matches!(
-        inst,
+fn ends_block(inst: &Inst, superblock: bool) -> bool {
+    match inst {
         Inst::Jcc { .. }
-            | Inst::Jmp { .. }
-            | Inst::JmpInd { .. }
-            | Inst::Call { .. }
-            | Inst::CallInd { .. }
-            | Inst::Ret
-            | Inst::RepzRet
-            | Inst::Ud2
-            | Inst::Syscall
-            | Inst::Push(_)
-            | Inst::Pop(_)
-            | Inst::Load { .. }
-            | Inst::Store { .. }
-    )
+        | Inst::Jmp { .. }
+        | Inst::JmpInd { .. }
+        | Inst::Call { .. }
+        | Inst::CallInd { .. }
+        | Inst::Ret
+        | Inst::RepzRet
+        | Inst::Ud2
+        | Inst::Syscall => true,
+        Inst::Push(_) | Inst::Pop(_) | Inst::Load { .. } | Inst::Store { .. } => !superblock,
+        _ => false,
+    }
 }
 
 /// The translation cache: entry-`rip`-indexed [`Block`]s over the
-/// machine's flat text span, with pooled storage.
-#[derive(Debug, Default)]
+/// machine's flat text span plus a sorted spill index for out-of-span
+/// entries, with pooled storage.
+#[derive(Debug)]
 pub(crate) struct BlockCache {
     /// `entry_rip - base` → block index + 1 (`0` = untranslated). Sized
     /// lazily to the machine's flat text span on the first block-engine
     /// run, so step-only machines pay nothing.
     index: Vec<u32>,
     base: u64,
+    /// Translation mode: superblocks span memory-touching instructions.
+    superblock: bool,
     blocks: Vec<Block>,
     /// Decoded `(inst, len)` entries, packed across all blocks.
     insts: Vec<(Inst, u8)>,
@@ -94,10 +139,45 @@ pub(crate) struct BlockCache {
     fetches: Vec<(u64, u8)>,
     /// Pooled 64-byte line footprints.
     lines: Vec<u64>,
+    /// Pooled static memory-op shapes (superblock mode).
+    mem_shapes: Vec<MemShape>,
+    /// Entry index for blocks outside the flat span — the same sorted
+    /// spill index (last-hit memo, bounded out-of-order pending buffer)
+    /// as the step engine's decode cache, so cold out-of-order
+    /// translation of a wide image stays amortized.
+    spill: SpillIndex<u32>,
+    /// Precomputed text-write watch range: the union of the flat span
+    /// and all spill-block bytes, each with [`MAX_INST_LEN`] slack past
+    /// its end. A store outside `[watch_lo, watch_hi)` provably cannot
+    /// overlap cached text, so [`note_write`](Self::note_write) is two
+    /// compares on the hot path (coarse — a store in a gap between the
+    /// regions over-invalidates, which is safe).
+    watch_lo: u64,
+    watch_hi: u64,
     /// Set by [`invalidate`](Self::invalidate); pools are rebuilt at the
     /// next block boundary ([`reclaim`](Self::reclaim)), never while a
     /// block is executing out of them.
     dirty: bool,
+}
+
+impl Default for BlockCache {
+    fn default() -> BlockCache {
+        BlockCache {
+            index: Vec::new(),
+            base: 0,
+            superblock: false,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            fetches: Vec::new(),
+            lines: Vec::new(),
+            mem_shapes: Vec::new(),
+            spill: SpillIndex::default(),
+            // An empty interval (`lo > hi`) until something is cached.
+            watch_lo: u64::MAX,
+            watch_hi: 0,
+            dirty: false,
+        }
+    }
 }
 
 impl BlockCache {
@@ -109,58 +189,138 @@ impl BlockCache {
         self.insts.clear();
         self.fetches.clear();
         self.lines.clear();
+        self.mem_shapes.clear();
+        self.spill.clear();
+        self.watch_lo = u64::MAX;
+        self.watch_hi = 0;
         self.dirty = false;
     }
 
-    /// Sizes the entry index to the machine's flat text span (no-op when
-    /// already sized, e.g. a machine reused across runs of one image).
-    pub(crate) fn ensure_span(&mut self, base: u64, span: usize) {
-        if self.base != base || self.index.len() != span {
+    /// Sizes the entry index to the machine's flat text span and pins
+    /// the translation mode (no-op when both already match, e.g. a
+    /// machine reused across runs of one image under one engine).
+    pub(crate) fn ensure_span(&mut self, base: u64, span: usize, superblock: bool) {
+        if self.base != base || self.index.len() != span || self.superblock != superblock {
             self.clear();
             self.base = base;
+            self.superblock = superblock;
             self.index = vec![0; span];
+            if span > 0 {
+                self.watch_lo = base;
+                self.watch_hi = base + span as u64 + MAX_INST_LEN;
+            }
         }
     }
 
-    /// Whether `rip` lies inside the indexed text span (out-of-span code
-    /// executes through the step fallback).
+    /// Whether `rip` lies inside the flat indexed text span (out-of-span
+    /// entries live in the sorted spill index instead).
     pub(crate) fn in_span(&self, rip: u64) -> bool {
         rip.checked_sub(self.base)
             .is_some_and(|o| (o as usize) < self.index.len())
     }
 
-    /// The translated block entered at `rip`, if any.
-    pub(crate) fn lookup(&self, rip: u64) -> Option<u32> {
-        let o = rip.checked_sub(self.base)? as usize;
-        let e = *self.index.get(o)?;
-        (e != 0).then(|| e - 1)
+    /// The translated block entered at `rip`, if any: flat index for
+    /// in-span rips, the sorted spill index otherwise.
+    pub(crate) fn lookup(&mut self, rip: u64) -> Option<u32> {
+        if let Some(o) = rip
+            .checked_sub(self.base)
+            .map(|o| o as usize)
+            .filter(|&o| o < self.index.len())
+        {
+            let e = self.index[o];
+            return (e != 0).then(|| e - 1);
+        }
+        self.spill.lookup(rip)
     }
 
-    /// Unmaps every block (a store landed in text). Pool storage stays
-    /// intact until [`reclaim`](Self::reclaim) so a currently-executing
-    /// block's packed entries remain valid.
+    /// Unmaps every block (a store landed in cached text). Pool storage
+    /// stays intact until [`reclaim`](Self::reclaim) so a
+    /// currently-executing block's packed entries remain valid; chain
+    /// links die with the blocks at reclaim.
     pub(crate) fn invalidate(&mut self) {
         if !self.blocks.is_empty() {
             self.index.fill(0);
+            self.spill.clear();
+            // The watch range persists: retranslated blocks will cover
+            // the same regions, and a too-wide watch is merely slower.
             self.dirty = true;
         }
     }
 
-    /// Rebuilds the pools after an invalidation. Called between blocks.
-    pub(crate) fn reclaim(&mut self) {
+    /// Whether an invalidation is pending (the superblock engine checks
+    /// this after every executed instruction to abandon a block whose
+    /// later entries a store may have patched).
+    #[inline]
+    pub(crate) fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Invalidates everything if the store `[addr, addr + len)` can
+    /// overlap cached text — the precomputed watch range over the flat
+    /// span and spill-block bytes (with one instruction length of slack
+    /// past each region's end: a cached instruction starting inside can
+    /// extend that far). The fast path — stores to data/stack, or no
+    /// blocks cached — is two compares.
+    #[inline]
+    pub(crate) fn note_write(&mut self, addr: u64, len: u64) {
+        if addr < self.watch_hi && addr + len > self.watch_lo {
+            self.invalidate();
+        }
+    }
+
+    /// Rebuilds the pools after an invalidation. Called between blocks;
+    /// returns whether anything was reclaimed (chain state held by the
+    /// caller is stale if so).
+    pub(crate) fn reclaim(&mut self) -> bool {
         if self.dirty {
             self.blocks.clear();
             self.insts.clear();
             self.fetches.clear();
             self.lines.clear();
+            self.mem_shapes.clear();
             self.dirty = false;
+            true
+        } else {
+            false
         }
     }
 
-    /// Translates the straight-line run starting at `entry` (which must
-    /// be in span): decodes up to the first block-ending instruction or
-    /// [`MAX_BLOCK_INSTS`], packs the entries, and precomputes the
-    /// 64-byte line footprint and crossing count.
+    /// Records the static D-side shape(s) of `inst`, in the order the
+    /// executor emits its `on_mem` events.
+    fn push_mem_shapes(&mut self, inst_idx: u32, inst: &Inst) {
+        let mut push = |write| {
+            self.mem_shapes.push(MemShape {
+                inst: inst_idx,
+                write,
+            })
+        };
+        match inst {
+            Inst::Push(_) | Inst::Store { .. } => push(true),
+            Inst::Pop(_) | Inst::Load { .. } | Inst::Ret | Inst::RepzRet => push(false),
+            // A call pushes its return address; an indirect call through
+            // memory first loads the target.
+            Inst::Call { .. } => push(true),
+            Inst::CallInd { rm } => {
+                if matches!(rm, Rm::Mem(_)) {
+                    push(false);
+                }
+                push(true);
+            }
+            Inst::JmpInd { rm } => {
+                if matches!(rm, Rm::Mem(_)) {
+                    push(false);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Translates the straight-line run starting at `entry`: decodes up
+    /// to the first block-ending instruction or [`MAX_BLOCK_INSTS`],
+    /// packs the entries, and precomputes the 64-byte line footprint,
+    /// crossing count, and (superblock mode) static memory-op shapes.
+    /// In-span entries land in the flat index; out-of-span entries in
+    /// the sorted spill index.
     ///
     /// # Errors
     ///
@@ -170,8 +330,9 @@ impl BlockCache {
     /// reaches it as its own (failing) entry only if control actually
     /// gets there.
     pub(crate) fn translate(&mut self, mem: &Memory, entry: u64) -> Result<u32, EmuError> {
-        debug_assert!(self.in_span(entry), "translate requires an in-span entry");
+        let entry_in_span = self.in_span(entry);
         let insts_start = self.insts.len();
+        let mems_start = self.mem_shapes.len();
         let mut at = entry;
         let mut crossings = 0u32;
         let mut buf = [0u8; 16];
@@ -182,20 +343,22 @@ impl BlockCache {
                 Err(_) if at == entry => return Err(EmuError::BadInstruction { rip: entry }),
                 Err(_) => break,
             };
+            if self.superblock {
+                self.push_mem_shapes((self.insts.len() - insts_start) as u32, &d.inst);
+            }
             self.insts.push((d.inst, d.len));
             self.fetches.push((at, d.len));
             if (at >> 6) != ((at + d.len as u64 - 1) >> 6) {
                 crossings += 1;
             }
             at += d.len as u64;
-            // A block never extends to instructions starting outside the
-            // indexed span: out-of-span code executes through the step
-            // fallback (whose spill cache has its own invalidation
-            // bounds), and text-write invalidation only watches the span
-            // itself plus one instruction length of slack.
-            if ends_block(&d.inst)
+            // A block never crosses the flat-span boundary in either
+            // direction: flat-index and spill blocks have different
+            // text-write invalidation bounds, so each block must lie
+            // wholly inside one region.
+            if ends_block(&d.inst, self.superblock)
                 || self.insts.len() - insts_start >= MAX_BLOCK_INSTS
-                || !self.in_span(at)
+                || self.in_span(at) != entry_in_span
             {
                 break;
             }
@@ -211,11 +374,19 @@ impl BlockCache {
             entry,
             insts: insts_start as u32..self.insts.len() as u32,
             lines: lines_start as u32..self.lines.len() as u32,
+            mems: mems_start as u32..self.mem_shapes.len() as u32,
             byte_len: (at - entry) as u32,
             inst_count: (self.insts.len() - insts_start) as u32,
             crossings64: crossings,
+            links: [NO_LINK; 2],
         });
-        self.index[(entry - self.base) as usize] = idx + 1;
+        if entry_in_span {
+            self.index[(entry - self.base) as usize] = idx + 1;
+        } else {
+            self.spill.insert(entry, idx);
+            self.watch_lo = self.watch_lo.min(entry);
+            self.watch_hi = self.watch_hi.max(at + MAX_INST_LEN);
+        }
         Ok(idx)
     }
 
@@ -225,13 +396,61 @@ impl BlockCache {
         (b.insts.start as usize..b.insts.end as usize, b.entry)
     }
 
+    /// Everything the superblock hot loop needs about block `idx` in
+    /// one descriptor read: instruction pool range, entry address, and
+    /// whether the block touches memory.
+    #[inline]
+    pub(crate) fn block_info(&self, idx: u32) -> (Range<usize>, u64, bool) {
+        let b = &self.blocks[idx as usize];
+        (
+            b.insts.start as usize..b.insts.end as usize,
+            b.entry,
+            b.mems.start != b.mems.end,
+        )
+    }
+
     /// One packed instruction entry.
     #[inline]
     pub(crate) fn inst(&self, i: usize) -> (Inst, u8) {
         self.insts[i]
     }
 
-    /// The batched trace event describing block `idx`.
+    /// Block `idx`'s static memory-op shapes (superblock mode).
+    pub(crate) fn shapes(&self, idx: u32) -> &[MemShape] {
+        let b = &self.blocks[idx as usize];
+        &self.mem_shapes[b.mems.start as usize..b.mems.end as usize]
+    }
+
+    /// The chained successor of block `from` for a transition to `rip`,
+    /// if one is cached — the hot-loop path that skips
+    /// [`lookup`](Self::lookup) entirely.
+    #[inline]
+    pub(crate) fn linked(&self, from: u32, rip: u64) -> Option<u32> {
+        let l = &self.blocks[from as usize].links;
+        if l[0].0 == rip {
+            return Some(l[0].1);
+        }
+        if l[1].0 == rip {
+            return Some(l[1].1);
+        }
+        None
+    }
+
+    /// Caches `from → to` for transitions to `rip`. The first slot is
+    /// sticky (a direct jump or fall-through successor); the second
+    /// covers a conditional's other arm, or memoizes the most recent
+    /// target of a dynamic terminator.
+    pub(crate) fn install_link(&mut self, from: u32, rip: u64, to: u32) {
+        let l = &mut self.blocks[from as usize].links;
+        if l[0].0 == NO_LINK.0 || l[0].0 == rip {
+            l[0] = (rip, to);
+        } else {
+            l[1] = (rip, to);
+        }
+    }
+
+    /// The batched trace event describing block `idx` (no memory
+    /// records — the block engine's shape).
     pub(crate) fn event(&self, idx: u32) -> BlockEvent<'_> {
         let b = &self.blocks[idx as usize];
         BlockEvent {
@@ -241,6 +460,45 @@ impl BlockCache {
             fetches: &self.fetches[b.insts.start as usize..b.insts.end as usize],
             lines64: &self.lines[b.lines.start as usize..b.lines.end as usize],
             crossings64: b.crossings64,
+            mems: &[],
+        }
+    }
+
+    /// The batched trace event for the first `count` instructions of
+    /// block `idx`, carrying the memory records the executor captured —
+    /// the superblock engine's shape. `count` covers the whole block in
+    /// the common case; a store into text mid-block truncates to the
+    /// executed prefix (line footprint and crossings recomputed for the
+    /// prefix, which stays exact because lines ascend from the entry).
+    pub(crate) fn prefix_event<'a>(
+        &'a self,
+        idx: u32,
+        count: u32,
+        mems: &'a [MemRecord],
+    ) -> BlockEvent<'a> {
+        let b = &self.blocks[idx as usize];
+        debug_assert!(count >= 1 && count <= b.inst_count);
+        if count == b.inst_count {
+            let mut ev = self.event(idx);
+            ev.mems = mems;
+            return ev;
+        }
+        let fetches = &self.fetches[b.insts.start as usize..][..count as usize];
+        let &(last_addr, last_len) = fetches.last().expect("count >= 1");
+        let end = last_addr + last_len as u64;
+        let nlines = (((end - 1) >> 6) - (b.entry >> 6) + 1) as usize;
+        let crossings = fetches
+            .iter()
+            .filter(|&&(a, l)| (a >> 6) != ((a + l as u64 - 1) >> 6))
+            .count() as u32;
+        BlockEvent {
+            entry: b.entry,
+            inst_count: count,
+            byte_len: (end - b.entry) as u32,
+            fetches,
+            lines64: &self.lines[b.lines.start as usize..][..nlines],
+            crossings64: crossings,
+            mems,
         }
     }
 }
@@ -264,7 +522,13 @@ mod tests {
 
     fn cache_over(base: u64, span: usize) -> BlockCache {
         let mut c = BlockCache::default();
-        c.ensure_span(base, span);
+        c.ensure_span(base, span, false);
+        c
+    }
+
+    fn supercache_over(base: u64, span: usize) -> BlockCache {
+        let mut c = BlockCache::default();
+        c.ensure_span(base, span, true);
         c
     }
 
@@ -298,9 +562,9 @@ mod tests {
     }
 
     #[test]
-    fn memory_touching_instructions_end_blocks() {
+    fn memory_touching_instructions_end_blocks_in_block_mode() {
         // mov; load; mov; store; mov; ret — D-side events must always
-        // come from a block's last instruction.
+        // come from a block's last instruction under the block engine.
         let m = Mem::BaseDisp {
             base: Reg::R10,
             disp: 0,
@@ -337,6 +601,88 @@ mod tests {
         assert_eq!(counts, [2, 2, 1], "mov+load | mov+store | ret");
     }
 
+    /// The same run in superblock mode is one block spanning the memory
+    /// accesses, with the static shapes recorded in executor order.
+    #[test]
+    fn superblocks_span_memory_instructions_and_record_shapes() {
+        let m = Mem::BaseDisp {
+            base: Reg::R10,
+            disp: 0,
+        };
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Load {
+                dst: Reg::Rcx,
+                mem: m,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdx,
+                imm: 2,
+            },
+            Inst::Store {
+                mem: m,
+                src: Reg::Rdx,
+            },
+            Inst::Push(Reg::Rax),
+            Inst::Pop(Reg::Rcx),
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        let mut c = supercache_over(0x400000, len as usize);
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        let ev = c.event(idx);
+        assert_eq!(ev.inst_count, 7, "one superblock up to (and incl.) ret");
+        assert!(c.block_info(idx).2, "block_info reports the memory ops");
+        let shapes: Vec<(u32, bool)> = c.shapes(idx).iter().map(|s| (s.inst, s.write)).collect();
+        assert_eq!(
+            shapes,
+            vec![(1, false), (3, true), (4, true), (5, false), (6, false)],
+            "load, store, push, pop, ret's pop — in executor order"
+        );
+    }
+
+    #[test]
+    fn superblock_chain_links_install_and_drop() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Ret,
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 2,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        let mut c = supercache_over(0x400000, len as usize);
+        let a = c.translate(&mem, 0x400000).unwrap();
+        let b_entry = 0x400000 + c.event(a).byte_len as u64;
+        let b = c.translate(&mem, b_entry).unwrap();
+        assert_eq!(c.linked(a, b_entry), None, "no link before install");
+        c.install_link(a, b_entry, b);
+        assert_eq!(c.linked(a, b_entry), Some(b), "link followed");
+        assert_eq!(c.linked(a, 0x400000), None, "other rips still miss");
+        // Second slot covers a different successor; a third distinct
+        // target evicts only the secondary slot.
+        c.install_link(a, 0x400000, a);
+        assert_eq!(c.linked(a, 0x400000), Some(a));
+        assert_eq!(c.linked(a, b_entry), Some(b), "primary slot sticky");
+        c.install_link(a, 0x999999, b);
+        assert_eq!(c.linked(a, b_entry), Some(b), "primary survives eviction");
+        assert_eq!(c.linked(a, 0x400000), None, "secondary evicted");
+        // Invalidation drops every link with the blocks.
+        c.invalidate();
+        assert!(c.is_dirty());
+        assert!(c.reclaim(), "reclaim reports the flush");
+        let a2 = c.translate(&mem, 0x400000).unwrap();
+        assert_eq!(c.linked(a2, b_entry), None, "links died with the flush");
+    }
+
     #[test]
     fn line_footprint_and_crossings_precomputed() {
         // 7-byte movs starting 3 bytes before a 64-byte boundary: the
@@ -359,6 +705,46 @@ mod tests {
         let ev = c.event(ev_idx);
         assert_eq!(ev.crossings64, 1, "first mov straddles the boundary");
         assert_eq!(ev.lines64, &[0x400000, 0x400040], "both lines spanned");
+    }
+
+    /// A truncated event (SMC mid-superblock) recomputes the prefix's
+    /// byte length, line footprint, and crossings exactly.
+    #[test]
+    fn prefix_event_truncates_exactly() {
+        let base = 0x400040 - 3;
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 2,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdx,
+                imm: 3,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, base);
+        let mut c = supercache_over(base, len as usize);
+        let idx = c.translate(&mem, base).unwrap();
+        let full = c.event(idx);
+        assert_eq!(full.inst_count, 4);
+        let one = c.prefix_event(idx, 1, &[]);
+        assert_eq!(one.inst_count, 1);
+        assert_eq!(one.byte_len, 7);
+        assert_eq!(one.lines64, &[0x400000, 0x400040]);
+        assert_eq!(one.crossings64, 1, "the straddling first mov");
+        let two = c.prefix_event(idx, 2, &[]);
+        assert_eq!(two.byte_len, 14);
+        assert_eq!(two.lines64, &[0x400000, 0x400040]);
+        assert_eq!(two.crossings64, 1);
+        let all = c.prefix_event(idx, 4, &[]);
+        assert_eq!(all.byte_len, full.byte_len);
+        assert_eq!(all.lines64, full.lines64);
+        assert_eq!(all.crossings64, full.crossings64);
     }
 
     #[test]
@@ -387,11 +773,10 @@ mod tests {
         assert_eq!(c.event(idx).inst_count, 2);
     }
 
-    /// Blocks stop at the indexed span's end even when the bytes beyond
-    /// it keep decoding: out-of-span code must execute through the step
-    /// fallback, whose caches have their own text-write invalidation
-    /// bounds (translating past the span would cache instructions no
-    /// store could ever invalidate).
+    /// Blocks stop at the flat span's boundary even when the bytes
+    /// beyond it keep decoding: flat-index and spill blocks have
+    /// different text-write invalidation bounds, so a block must lie
+    /// wholly inside one region.
     #[test]
     fn translation_never_extends_past_the_indexed_span() {
         let insts = [
@@ -419,6 +804,50 @@ mod tests {
         let ev = c.event(idx);
         assert_eq!(ev.inst_count, 2, "block bounded by the span end");
         assert_eq!(ev.byte_len as usize, span);
+    }
+
+    /// Out-of-span code translates into spill-indexed blocks: sorted
+    /// entries, memo re-hits, pending buffer for out-of-order inserts,
+    /// and write invalidation over the spill bounds.
+    #[test]
+    fn out_of_span_blocks_use_sorted_spill_index() {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Ret,
+        ];
+        // Two copies far apart, both outside the (empty) flat span.
+        let (mut mem, len) = memory_with(&insts, 0x500000);
+        let (mem2, _) = memory_with(&insts, 0x700000);
+        for a in 0..len {
+            mem.write_u8(0x700000 + a, mem2.read_u8(0x700000 + a));
+        }
+        let mut c = cache_over(0, 0); // no flat span at all
+        assert!(!c.in_span(0x500000));
+        // Translate high first, then low: the low insert is out of order
+        // and lands in the pending buffer.
+        let hi = c.translate(&mem, 0x700000).unwrap();
+        let lo = c.translate(&mem, 0x500000).unwrap();
+        assert_eq!(c.spill.main.len(), 1);
+        assert_eq!(c.spill.pending.len(), 1, "out-of-order insert buffered");
+        assert_eq!(c.lookup(0x700000), Some(hi));
+        assert_eq!(c.lookup(0x500000), Some(lo), "pending entries resolvable");
+        assert_eq!(c.lookup(0x500000 + 1), None);
+        c.spill.merge();
+        assert!(c.spill.pending.is_empty());
+        assert!(c.spill.main.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(c.lookup(0x500000), Some(lo));
+        // A store far from both regions leaves the blocks alone; one
+        // into the spill bounds invalidates.
+        c.note_write(0x400000, 8);
+        assert!(!c.is_dirty(), "unrelated store ignored");
+        c.note_write(0x700004, 8);
+        assert!(c.is_dirty(), "store into spill text invalidates");
+        c.reclaim();
+        assert_eq!(c.lookup(0x500000), None);
+        assert_eq!(c.lookup(0x700000), None);
     }
 
     #[test]

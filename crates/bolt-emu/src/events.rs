@@ -44,18 +44,45 @@ pub struct BranchEvent {
     pub kind: BranchKind,
 }
 
+/// One data-memory access made by an instruction inside a batched
+/// block event, with its effective address resolved at execute time.
+///
+/// The superblock engine records these while the block executes (the
+/// static shape — which instruction accesses memory, read or write —
+/// is known at translation time; only the address is dynamic) and
+/// delivers them interleaved with the fetch records so sinks observe
+/// exactly the step engine's event order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRecord {
+    /// Index into [`BlockEvent::fetches`] of the accessing instruction.
+    pub inst: u32,
+    /// Resolved effective address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub len: u8,
+    /// `true` for stores, `false` for loads.
+    pub write: bool,
+}
+
 /// A batched retirement event: `inst_count` consecutive instructions of
 /// a translated basic block, covering the straight-line byte range
 /// `[entry, entry + byte_len)`.
 ///
-/// Emitted by the block execution engine ([`Machine::run_blocks`]) right
-/// before the block's instructions execute. Because blocks end at the
-/// first control transfer *or* memory-touching instruction, every
-/// `on_mem`/`on_branch` event a block produces comes from its last
-/// instruction — so a sink that charges the whole fetch footprint here
-/// observes exactly the event order of per-instruction stepping.
+/// Emitted by the block-level execution engines. Under
+/// [`Machine::run_blocks`] blocks end at the first control transfer *or*
+/// memory-touching instruction, every `on_mem`/`on_branch` event a block
+/// produces comes from its last instruction, and `mems` is empty — so a
+/// sink that charges the whole fetch footprint here observes exactly
+/// the event order of per-instruction stepping. Under
+/// [`Machine::run_superblocks`] blocks span memory-touching
+/// instructions and the event carries the executed instructions' memory
+/// accesses in `mems`, interleaved with the fetches by instruction
+/// index; replaying fetch `i` then its memory records reproduces the
+/// step engine's order exactly (a block's terminating branch event, if
+/// any, is delivered live right after the block event).
 ///
 /// [`Machine::run_blocks`]: crate::Machine::run_blocks
+/// [`Machine::run_superblocks`]: crate::Machine::run_superblocks
 #[derive(Debug, Clone, Copy)]
 pub struct BlockEvent<'a> {
     /// Address of the block's first instruction.
@@ -65,10 +92,10 @@ pub struct BlockEvent<'a> {
     /// Total bytes the block's instructions occupy.
     pub byte_len: u32,
     /// Per-instruction `(addr, len)` fetch records in retirement order —
-    /// replaying `on_inst` over these is exactly equivalent to this
-    /// event (the default implementation does just that). The block
-    /// engine always emits at least one fetch; sinks treat an empty
-    /// slice as "nothing retired".
+    /// replaying `on_inst` over these (interleaved with `mems`) is
+    /// exactly equivalent to this event (the default implementation
+    /// does just that). The block engines always emit at least one
+    /// fetch; sinks treat an empty slice as "nothing retired".
     pub fetches: &'a [(u64, u8)],
     /// The 64-byte-aligned line addresses the block's bytes span,
     /// ascending — the I-side cache footprint, precomputed at
@@ -77,17 +104,30 @@ pub struct BlockEvent<'a> {
     /// Number of fetches straddling a 64-byte line boundary (each such
     /// fetch touches two lines).
     pub crossings64: u32,
+    /// Data-memory accesses of the block's instructions in program
+    /// order, each tagged with the index of its fetch (superblock
+    /// engine; empty under the plain block engine).
+    pub mems: &'a [MemRecord],
 }
 
 impl BlockEvent<'_> {
     /// Replays this event as its equivalent per-instruction
-    /// [`on_inst`](TraceSink::on_inst) sequence — the exact-equivalence
-    /// fallback shared by every sink's `on_block` slow path (and the
-    /// trait's default implementation).
+    /// [`on_inst`](TraceSink::on_inst) / [`on_mem`](TraceSink::on_mem)
+    /// sequence — fetch `i` first, then instruction `i`'s memory
+    /// records — the exact-equivalence fallback shared by every sink's
+    /// `on_block` slow path (and the trait's default implementation).
     #[inline]
     pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) {
-        for &(addr, len) in self.fetches {
+        let mut mi = 0usize;
+        for (i, &(addr, len)) in self.fetches.iter().enumerate() {
             sink.on_inst(addr, len);
+            while let Some(m) = self.mems.get(mi) {
+                if m.inst as usize != i {
+                    break;
+                }
+                sink.on_mem(m.addr, m.len, m.write);
+                mi += 1;
+            }
         }
     }
 }
@@ -130,7 +170,13 @@ pub trait TraceSink {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
-impl TraceSink for NullSink {}
+impl TraceSink for NullSink {
+    /// Discarding a batched event outright (instead of replaying it
+    /// into per-instruction no-ops) keeps the block engines' null-sink
+    /// cost at the dispatch itself.
+    #[inline]
+    fn on_block(&mut self, _ev: BlockEvent<'_>) {}
+}
 
 /// Fans events out to two sinks (compose for more).
 pub struct Tee<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
@@ -184,6 +230,13 @@ impl TraceSink for CountingSink {
     #[inline]
     fn on_block(&mut self, ev: BlockEvent<'_>) {
         self.insts += ev.inst_count as u64;
+        for m in ev.mems {
+            if m.write {
+                self.mem_writes += 1;
+            } else {
+                self.mem_reads += 1;
+            }
+        }
     }
 
     #[inline]
@@ -270,6 +323,7 @@ mod tests {
             fetches: &fetches,
             lines64: &[0x400000],
             crossings64: 0,
+            mems: &[],
         };
         let mut s = PerInst(Vec::new());
         s.on_block(ev);
@@ -281,6 +335,74 @@ mod tests {
         let mut b = CountingSink::default();
         Tee(&mut a, &mut b).on_block(ev);
         assert_eq!((a.insts, b.insts), (2, 2), "tee fans the block out");
+    }
+
+    /// The replay fallback interleaves fetch and memory records by
+    /// instruction index — the exact step-engine order — and the
+    /// counting sink's batched path tallies both.
+    #[test]
+    fn on_block_interleaves_memory_records() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            I(u64),
+            M(u64, bool),
+        }
+        struct Log(Vec<E>);
+        impl TraceSink for Log {
+            fn on_inst(&mut self, addr: u64, _len: u8) {
+                self.0.push(E::I(addr));
+            }
+            fn on_mem(&mut self, addr: u64, _len: u8, write: bool) {
+                self.0.push(E::M(addr, write));
+            }
+        }
+        let fetches = [(0x400000u64, 4u8), (0x400004, 3), (0x400007, 1)];
+        let mems = [
+            MemRecord {
+                inst: 1,
+                addr: 0x500000,
+                len: 8,
+                write: false,
+            },
+            MemRecord {
+                inst: 2,
+                addr: 0x500008,
+                len: 8,
+                write: true,
+            },
+            MemRecord {
+                inst: 2,
+                addr: 0x500010,
+                len: 8,
+                write: true,
+            },
+        ];
+        let ev = BlockEvent {
+            entry: 0x400000,
+            inst_count: 3,
+            byte_len: 8,
+            fetches: &fetches,
+            lines64: &[0x400000],
+            crossings64: 0,
+            mems: &mems,
+        };
+        let mut log = Log(Vec::new());
+        log.on_block(ev);
+        assert_eq!(
+            log.0,
+            vec![
+                E::I(0x400000),
+                E::I(0x400004),
+                E::M(0x500000, false),
+                E::I(0x400007),
+                E::M(0x500008, true),
+                E::M(0x500010, true),
+            ],
+            "fetch i precedes its own memory records, follows earlier ones"
+        );
+        let mut c = CountingSink::default();
+        c.on_block(ev);
+        assert_eq!((c.insts, c.mem_reads, c.mem_writes), (3, 1, 2));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The functional emulator core.
 
 use crate::block::BlockCache;
-use crate::{BranchEvent, BranchKind, Memory, TraceSink};
+use crate::spill::SpillIndex;
+use crate::{BranchEvent, BranchKind, MemRecord, Memory, TraceSink, MAX_INST_LEN};
 use bolt_isa::{decode, AluOp, Cond, Inst, Mem, Reg, Rm, ShiftOp, Target};
 use std::fmt;
 
@@ -46,7 +47,7 @@ impl Flags {
 
 /// Which execution engine drives a run.
 ///
-/// Both engines are observationally identical — same program output,
+/// All engines are observationally identical — same program output,
 /// same retired-instruction counts, same trace-event stream as seen by
 /// every sink (`tests/engine_invariance.rs` proves byte-identical
 /// `Counters`, `Profile`, and rewritten ELF) — they differ only in
@@ -58,20 +59,36 @@ pub enum Engine {
     #[default]
     Step,
     /// Basic-block translation cache ([`Machine::run_blocks`]): decode a
-    /// straight-line run once, then execute its packed entries with no
-    /// per-step fetch probe, charging the I-side footprint to the sink
-    /// in one batched [`TraceSink::on_block`] call.
+    /// straight-line run once (blocks end at the first control transfer
+    /// *or* memory-touching instruction), then execute its packed
+    /// entries with no per-step fetch probe, charging the I-side
+    /// footprint to the sink in one batched [`TraceSink::on_block`]
+    /// call.
     Block,
+    /// Superblock translation with chaining
+    /// ([`Machine::run_superblocks`]): blocks span memory-touching
+    /// instructions (roughly doubling typical block length), the
+    /// batched event carries the executed instructions' memory records
+    /// interleaved with the fetches, and a block's terminator caches
+    /// its successor block so the hot loop skips the entry-index lookup
+    /// entirely. The fastest tier.
+    Superblock,
+}
+
+impl Engine {
+    /// The accepted knob spellings, for error messages.
+    pub const VALID: &'static str = "step|block|superblock";
 }
 
 impl std::str::FromStr for Engine {
-    type Err = ();
+    type Err = String;
 
-    fn from_str(s: &str) -> Result<Engine, ()> {
+    fn from_str(s: &str) -> Result<Engine, String> {
         match s {
             "step" => Ok(Engine::Step),
             "block" => Ok(Engine::Block),
-            _ => Err(()),
+            "superblock" => Ok(Engine::Superblock),
+            other => Err(format!("expected one of {}, got {other:?}", Engine::VALID)),
         }
     }
 }
@@ -81,6 +98,7 @@ impl fmt::Display for Engine {
         f.write_str(match self {
             Engine::Step => "step",
             Engine::Block => "block",
+            Engine::Superblock => "superblock",
         })
     }
 }
@@ -88,10 +106,10 @@ impl fmt::Display for Engine {
 /// Resolves an engine knob.
 ///
 /// * `Some(engine)`: that engine.
-/// * `None` (auto): the `BOLT_ENGINE` environment override (`step` or
-///   `block`) if set, else [`Engine::Step`]. Like `BOLT_THREADS` /
-///   `BOLT_SHARDS`, a set-but-garbled override fails loudly instead of
-///   silently de-fanging a CI leg.
+/// * `None` (auto): the `BOLT_ENGINE` environment override (`step`,
+///   `block`, or `superblock`) if set, else [`Engine::Step`]. Like
+///   `BOLT_THREADS` / `BOLT_SHARDS`, a set-but-garbled override fails
+///   loudly instead of silently de-fanging a CI leg.
 pub fn resolve_engine(engine: Option<Engine>) -> Engine {
     if let Some(e) = engine {
         return e;
@@ -99,10 +117,40 @@ pub fn resolve_engine(engine: Option<Engine>) -> Engine {
     if let Ok(v) = std::env::var("BOLT_ENGINE") {
         match v.trim().parse() {
             Ok(e) => return e,
-            Err(()) => panic!("BOLT_ENGINE must be `step` or `block`, got {v:?}"),
+            Err(msg) => panic!("BOLT_ENGINE: {msg}"),
         }
     }
     Engine::Step
+}
+
+/// The superblock engine's capture sink: records the executing block's
+/// memory accesses (with their execute-time-resolved addresses, tagged
+/// by instruction index) and its terminating branch, for delivery as
+/// one interleaved [`BlockEvent`](crate::BlockEvent) followed by the
+/// branch — the exact step-engine event order.
+struct CaptureSink<'a> {
+    mems: &'a mut Vec<MemRecord>,
+    /// Index (within the block) of the instruction now executing.
+    inst: u32,
+    branch: Option<BranchEvent>,
+}
+
+impl TraceSink for CaptureSink<'_> {
+    #[inline]
+    fn on_mem(&mut self, addr: u64, len: u8, write: bool) {
+        self.mems.push(MemRecord {
+            inst: self.inst,
+            addr,
+            len,
+            write,
+        });
+    }
+
+    #[inline]
+    fn on_branch(&mut self, ev: BranchEvent) {
+        debug_assert!(self.branch.is_none(), "a block has at most one branch");
+        self.branch = Some(ev);
+    }
 }
 
 /// Why execution stopped.
@@ -173,7 +221,7 @@ pub struct RunResult {
 /// assert_eq!(r.exit, bolt_emu::Exit::Exited(7));
 /// # Ok::<(), bolt_emu::EmuError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Machine {
     pub regs: [u64; 16],
     pub flags: Flags,
@@ -193,19 +241,22 @@ pub struct Machine {
     icache_base: u64,
     /// Decode cache for code executed outside the loaded text span
     /// (tests poke code into memory directly, and images wider than
-    /// [`ICACHE_MAX_SPAN`] fall back here entirely): entries sorted by
-    /// rip, probed with a last-hit memo then binary search.
-    icache_spill: Vec<(u64, (Inst, u8))>,
-    /// Out-of-order spill inserts land here (sorted, capacity-bounded)
-    /// and are merged into `icache_spill` in one pass when full, so a
-    /// wide image decoding functions in call-graph order pays amortized
-    /// merges instead of an O(len) `Vec::insert` memmove per new entry.
-    spill_pending: Vec<(u64, (Inst, u8))>,
-    /// Index of the `icache_spill` entry most recently hit; sequential
-    /// code hits `memo` or `memo + 1` without searching.
-    spill_memo: usize,
-    /// Basic-block translation cache for [`run_blocks`](Machine::run_blocks).
+    /// [`ICACHE_MAX_SPAN`] fall back here entirely): a sorted spill
+    /// index with last-hit memo and bounded out-of-order pending
+    /// buffer, shared with the block cache's out-of-span path.
+    icache_spill: SpillIndex<(Inst, u8)>,
+    /// Precomputed decode-cache watch range (flat span plus spill
+    /// entries, with [`MAX_INST_LEN`] slack): a store outside
+    /// `[icache_watch_lo, icache_watch_hi)` provably cannot overlap any
+    /// cached decode, so `note_text_write`'s hot path is two compares.
+    icache_watch_lo: u64,
+    icache_watch_hi: u64,
+    /// Basic-block translation cache for [`run_blocks`](Machine::run_blocks)
+    /// and [`run_superblocks`](Machine::run_superblocks).
     blocks: BlockCache,
+    /// Reused capture buffer for the superblock engine's per-block
+    /// memory records.
+    mem_buf: Vec<MemRecord>,
 }
 
 /// Largest text span (in bytes) the flat decode cache covers — 32 MiB
@@ -213,15 +264,29 @@ pub struct Machine {
 /// executable sections spread wider falls back to the spill map.
 const ICACHE_MAX_SPAN: u64 = 8 << 20;
 
-/// Longest encodable instruction; text-write invalidation treats any
-/// store within this many bytes *before* a cached region as overlapping
-/// (an instruction's bytes can span up to this far past its start).
-const MAX_INST_LEN: u64 = 16;
-
-/// Out-of-order spill inserts buffered before a merge — bounds the
-/// per-insert memmove to this many entries and the merge count to
-/// `spill_len / SPILL_PENDING_CAP`.
-const SPILL_PENDING_CAP: usize = 1024;
+// Manual impl: the derive would zero-init the watch range, whose empty
+// interval is `(u64::MAX, 0)` — a derived `(0, 0)` would let
+// `spill_insert` pin `watch_lo` at 0 on machines never passed through
+// `load_elf`, degrading the store fast path to the precise checks.
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine {
+            regs: [0; 16],
+            flags: Flags::default(),
+            rip: 0,
+            mem: Memory::default(),
+            output: Vec::new(),
+            icache_index: Vec::new(),
+            icache_entries: Vec::new(),
+            icache_base: 0,
+            icache_spill: SpillIndex::default(),
+            icache_watch_lo: u64::MAX,
+            icache_watch_hi: 0,
+            blocks: BlockCache::default(),
+            mem_buf: Vec::new(),
+        }
+    }
+}
 
 impl Machine {
     pub fn new() -> Machine {
@@ -246,9 +311,10 @@ impl Machine {
         self.icache_entries.clear();
         self.icache_base = 0;
         self.icache_spill.clear();
-        self.spill_pending.clear();
-        self.spill_memo = 0;
+        self.icache_watch_lo = u64::MAX;
+        self.icache_watch_hi = 0;
         self.blocks.clear();
+        self.mem_buf.clear();
     }
 
     /// Loads all allocatable sections of an ELF image and initializes
@@ -273,6 +339,8 @@ impl Machine {
         if lo < hi && hi - lo <= ICACHE_MAX_SPAN {
             self.icache_base = lo;
             self.icache_index.resize((hi - lo) as usize, 0);
+            self.icache_watch_lo = lo;
+            self.icache_watch_hi = hi + MAX_INST_LEN;
         }
         self.rip = elf.entry;
         self.set_reg(Reg::Rsp, STACK_TOP - 64);
@@ -318,25 +386,8 @@ impl Machine {
             if e != 0 {
                 return Ok(self.icache_entries[(e - 1) as usize]);
             }
-        } else {
-            // Spill path: sorted by rip, last-hit memo first (sequential
-            // code lands on `memo` or, advancing, on `memo + 1`), then
-            // binary search of the main vector and the pending buffer.
-            for probe in [self.spill_memo, self.spill_memo + 1] {
-                if let Some(&(at, hit)) = self.icache_spill.get(probe) {
-                    if at == rip {
-                        self.spill_memo = probe;
-                        return Ok(hit);
-                    }
-                }
-            }
-            if let Ok(i) = self.icache_spill.binary_search_by_key(&rip, |e| e.0) {
-                self.spill_memo = i;
-                return Ok(self.icache_spill[i].1);
-            }
-            if let Ok(i) = self.spill_pending.binary_search_by_key(&rip, |e| e.0) {
-                return Ok(self.spill_pending[i].1);
-            }
+        } else if let Some(hit) = self.icache_spill.lookup(rip) {
+            return Ok(hit);
         }
         let mut buf = [0u8; 16];
         self.mem.read(rip, &mut buf);
@@ -351,52 +402,12 @@ impl Machine {
         Ok((d.inst, d.len))
     }
 
-    /// Caches an out-of-span decode. Ascending rips (sequential decode,
-    /// the common case) append to the sorted main vector; out-of-order
-    /// rips go through the bounded pending buffer and are merged in one
-    /// sorted pass when it fills, keeping cold decode of a wide image
-    /// amortized instead of one O(len) memmove per entry.
+    /// Caches an out-of-span decode in the sorted spill index, growing
+    /// the watch range to cover it.
     fn spill_insert(&mut self, rip: u64, entry: (Inst, u8)) {
-        match self.icache_spill.last() {
-            Some(&(last, _)) if rip < last => {
-                let i = self
-                    .spill_pending
-                    .binary_search_by_key(&rip, |e| e.0)
-                    .unwrap_err();
-                self.spill_pending.insert(i, (rip, entry));
-                if self.spill_pending.len() >= SPILL_PENDING_CAP {
-                    self.spill_merge();
-                }
-            }
-            _ => {
-                self.icache_spill.push((rip, entry));
-                self.spill_memo = self.icache_spill.len() - 1;
-            }
-        }
-    }
-
-    /// Merges the pending buffer into the sorted main vector (one
-    /// sorted merge pass).
-    fn spill_merge(&mut self) {
-        if self.spill_pending.is_empty() {
-            return;
-        }
-        let old = std::mem::take(&mut self.icache_spill);
-        let pending = std::mem::take(&mut self.spill_pending);
-        let mut merged = Vec::with_capacity(old.len() + pending.len());
-        let mut a = old.into_iter().peekable();
-        let mut b = pending.into_iter().peekable();
-        while let (Some(&(ka, _)), Some(&(kb, _))) = (a.peek(), b.peek()) {
-            merged.push(if ka <= kb {
-                a.next().unwrap()
-            } else {
-                b.next().unwrap()
-            });
-        }
-        merged.extend(a);
-        merged.extend(b);
-        self.icache_spill = merged;
-        self.spill_memo = 0;
+        self.icache_watch_lo = self.icache_watch_lo.min(rip);
+        self.icache_watch_hi = self.icache_watch_hi.max(rip + MAX_INST_LEN);
+        self.icache_spill.insert(rip, entry);
     }
 
     /// Invalidates the decode and block-translation caches when a store
@@ -405,26 +416,25 @@ impl Machine {
     /// flush, and both engines then refetch the new bytes — a store into
     /// text behaves architecturally under either engine.
     fn note_text_write(&mut self, addr: u64, len: u64) {
+        // Hot path: both cache layers keep a precomputed watch range
+        // over everything they have cached, so a store to data or the
+        // stack costs four compares total.
+        self.blocks.note_write(addr, len);
+        if addr >= self.icache_watch_hi || addr + len <= self.icache_watch_lo {
+            return;
+        }
+        // The store may overlap cached decodes: run the precise
+        // per-structure checks and flush whatever matches.
         if !self.icache_index.is_empty() {
             let hi = self.icache_base + self.icache_index.len() as u64;
             if addr < hi + MAX_INST_LEN && addr + len > self.icache_base {
                 self.icache_index.fill(0);
                 self.icache_entries.clear();
-                self.blocks.invalidate();
             }
         }
-        if let (Some(&(mut first, _)), Some(&(last, _))) =
-            (self.icache_spill.first(), self.icache_spill.last())
-        {
-            // Pending entries always sort below the main vector's last
-            // rip, but can precede its first.
-            if let Some(&(p, _)) = self.spill_pending.first() {
-                first = first.min(p);
-            }
+        if let Some((first, last)) = self.icache_spill.bounds() {
             if addr < last + MAX_INST_LEN && addr + len > first {
                 self.icache_spill.clear();
-                self.spill_pending.clear();
-                self.spill_memo = 0;
             }
         }
     }
@@ -735,7 +745,7 @@ impl Machine {
 
     /// Runs until exit, error, or `max_steps` instructions, under the
     /// engine [`resolve_engine`] picks (the `BOLT_ENGINE` environment
-    /// override, defaulting to per-instruction stepping). Both engines
+    /// override, defaulting to per-instruction stepping). All engines
     /// are observationally identical — see [`Engine`].
     ///
     /// # Errors
@@ -763,6 +773,7 @@ impl Machine {
         match engine {
             Engine::Step => self.run_steps(sink, max_steps),
             Engine::Block => self.run_blocks(sink, max_steps),
+            Engine::Superblock => self.run_superblocks(sink, max_steps),
         }
     }
 
@@ -794,8 +805,8 @@ impl Machine {
     /// instruction (so all `on_mem`/`on_branch` events come from a
     /// block's final instruction, and the sink-visible event order is
     /// exactly the step engine's), self-invalidate on stores into text,
-    /// and code outside the flat text span falls back to
-    /// [`step`](Machine::step). A step budget landing inside a block
+    /// and code outside the flat text span translates through the
+    /// cache's sorted spill index. A step budget landing inside a block
     /// finishes with per-instruction stepping, so [`Exit::MaxSteps`]
     /// triggers at exactly the same retired count as the step engine.
     ///
@@ -808,7 +819,7 @@ impl Machine {
         max_steps: u64,
     ) -> Result<RunResult, EmuError> {
         self.blocks
-            .ensure_span(self.icache_base, self.icache_index.len());
+            .ensure_span(self.icache_base, self.icache_index.len(), false);
         let mut steps = 0u64;
         while steps < max_steps {
             // Reclaim invalidated pools only between blocks: a store is
@@ -817,17 +828,8 @@ impl Machine {
             self.blocks.reclaim();
             let rip = self.rip;
             let idx = match self.blocks.lookup(rip) {
-                Some(i) => Some(i),
-                None if self.blocks.in_span(rip) => Some(self.blocks.translate(&self.mem, rip)?),
-                // Spill-region code: fall back to stepping.
-                None => None,
-            };
-            let Some(idx) = idx else {
-                steps += 1;
-                if let Some(exit) = self.step(sink)? {
-                    return Ok(RunResult { exit, steps });
-                }
-                continue;
+                Some(i) => i,
+                None => self.blocks.translate(&self.mem, rip)?,
             };
             let (range, entry) = self.blocks.inst_range(idx);
             let count = range.len() as u64;
@@ -853,6 +855,172 @@ impl Machine {
                 }
                 at += len as u64;
             }
+        }
+        Ok(RunResult {
+            exit: Exit::MaxSteps,
+            steps,
+        })
+    }
+
+    /// The superblock engine: like [`run_blocks`](Machine::run_blocks),
+    /// but blocks span memory-touching instructions (ending only at
+    /// control transfers), and consecutive blocks *chain* — a block's
+    /// terminator caches its successor block index so the hot loop
+    /// skips the entry-index lookup on direct jumps and fall-throughs.
+    ///
+    /// Event-order exactness: a block with no memory-touching
+    /// instructions charges its event up front (all its events are
+    /// fetches, plus a possible terminating branch — already in step
+    /// order). A block with memory accesses executes against a capture
+    /// buffer first, then emits one [`TraceSink::on_block`] whose
+    /// fetch records and [`MemRecord`]s interleave by instruction
+    /// index, followed by the terminator's live branch event — exactly
+    /// the step engine's order. Stores into cached text set the cache's
+    /// dirty flag; the engine checks it after every executed
+    /// instruction and abandons the packed entries mid-block (emitting
+    /// the executed prefix's event), so self-modifying code — even code
+    /// patching *later instructions of the same block* — refetches the
+    /// patched bytes just like the step engine. A step budget landing
+    /// inside a block finishes with per-instruction stepping, so
+    /// [`Exit::MaxSteps`] fires at exactly the same retired count.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run_superblocks<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+    ) -> Result<RunResult, EmuError> {
+        let mut mems = std::mem::take(&mut self.mem_buf);
+        let r = self.run_superblocks_inner(sink, max_steps, &mut mems);
+        mems.clear();
+        self.mem_buf = mems;
+        r
+    }
+
+    fn run_superblocks_inner<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+        mems: &mut Vec<MemRecord>,
+    ) -> Result<RunResult, EmuError> {
+        self.blocks
+            .ensure_span(self.icache_base, self.icache_index.len(), true);
+        let mut steps = 0u64;
+        // The block just executed, if its chain links are still valid —
+        // the source end of the next transition's cached link.
+        let mut prev: Option<u32> = None;
+        while steps < max_steps {
+            // Reclaim invalidated pools only between blocks; any chain
+            // state died with them.
+            if self.blocks.reclaim() {
+                prev = None;
+            }
+            let rip = self.rip;
+            let idx = match prev.and_then(|p| self.blocks.linked(p, rip)) {
+                Some(i) => i,
+                None => {
+                    let i = match self.blocks.lookup(rip) {
+                        Some(i) => i,
+                        None => self.blocks.translate(&self.mem, rip)?,
+                    };
+                    if let Some(p) = prev {
+                        self.blocks.install_link(p, rip, i);
+                    }
+                    i
+                }
+            };
+            let (range, entry, has_mems) = self.blocks.block_info(idx);
+            let count = range.len() as u64;
+            if max_steps - steps < count {
+                // The budget lands inside this block: finish with exact
+                // per-instruction stepping so MaxSteps fires at the same
+                // retired count as the step engine.
+                while steps < max_steps {
+                    steps += 1;
+                    if let Some(exit) = self.step(sink)? {
+                        return Ok(RunResult { exit, steps });
+                    }
+                }
+                break;
+            }
+            if !has_mems {
+                // No D-side events anywhere in the block: charge the
+                // event up front and execute with the live sink (its
+                // only other possible event, a terminating branch,
+                // follows the fetches in step order too).
+                sink.on_block(self.blocks.event(idx));
+                let mut at = entry;
+                for i in range {
+                    let (inst, len) = self.blocks.inst(i);
+                    steps += 1;
+                    if let Some(exit) = self.exec_inst(at, inst, len, sink)? {
+                        return Ok(RunResult { exit, steps });
+                    }
+                    at += len as u64;
+                }
+                prev = Some(idx);
+                continue;
+            }
+            // Memory accesses mid-block: execute against a capture
+            // buffer, then emit one event carrying the interleaved
+            // fetch + memory records, then the terminator's branch.
+            mems.clear();
+            let mut cap = CaptureSink {
+                mems: &mut *mems,
+                inst: 0,
+                branch: None,
+            };
+            let mut at = entry;
+            let mut executed = 0u32;
+            let mut outcome = Ok(None);
+            for i in range {
+                let (inst, len) = self.blocks.inst(i);
+                cap.inst = executed;
+                steps += 1;
+                executed += 1;
+                match self.exec_inst(at, inst, len, &mut cap) {
+                    Ok(None) => {}
+                    other => {
+                        outcome = other;
+                        break;
+                    }
+                }
+                at += len as u64;
+                // A store may have patched cached text — possibly this
+                // very block's later instructions. Abandon the packed
+                // entries; the prefix event reports exactly what
+                // retired, and the patched bytes retranslate next
+                // iteration.
+                if self.blocks.is_dirty() {
+                    break;
+                }
+            }
+            let branch = cap.branch;
+            debug_assert!(
+                {
+                    let shapes = self.blocks.shapes(idx);
+                    mems.len() <= shapes.len()
+                        && mems
+                            .iter()
+                            .zip(shapes)
+                            .all(|(m, s)| m.inst == s.inst && m.write == s.write)
+                },
+                "captured records must match the translation-time shapes"
+            );
+            sink.on_block(self.blocks.prefix_event(idx, executed, mems));
+            if let Some(ev) = branch {
+                sink.on_branch(ev);
+            }
+            if let Some(exit) = outcome? {
+                return Ok(RunResult { exit, steps });
+            }
+            prev = if (executed as u64) < count {
+                None
+            } else {
+                Some(idx)
+            };
         }
         Ok(RunResult {
             exit: Exit::MaxSteps,
@@ -1233,43 +1401,48 @@ mod tests {
     }
 
     #[test]
-    fn block_engine_matches_step_engine_observably() {
+    fn block_engines_match_step_engine_observably() {
         let elf = emitting_elf(42);
         let (rs, ms, ss) = observe(&elf, Engine::Step, u64::MAX);
-        let (rb, mb, sb) = observe(&elf, Engine::Block, u64::MAX);
-        assert_eq!(rs, rb, "exit and retired count identical");
-        assert_eq!(ms.output, mb.output);
-        assert_eq!(ms.regs, mb.regs);
-        assert_eq!(ms.flags, mb.flags);
-        assert_eq!(
-            format!("{ss:?}"),
-            format!("{sb:?}"),
-            "every counted trace event identical"
-        );
+        for engine in [Engine::Block, Engine::Superblock] {
+            let (rb, mb, sb) = observe(&elf, engine, u64::MAX);
+            assert_eq!(rs, rb, "{engine}: exit and retired count identical");
+            assert_eq!(ms.output, mb.output, "{engine}");
+            assert_eq!(ms.regs, mb.regs, "{engine}");
+            assert_eq!(ms.flags, mb.flags, "{engine}");
+            assert_eq!(
+                format!("{ss:?}"),
+                format!("{sb:?}"),
+                "{engine}: every counted trace event identical"
+            );
+        }
     }
 
     /// Satellite regression: `Exit::MaxSteps` must trigger at exactly
-    /// the same retired-instruction count under both engines, including
+    /// the same retired-instruction count under every engine, including
     /// budgets landing in the middle of a translated block.
     #[test]
     fn max_steps_boundary_identical_across_engines() {
         let elf = emitting_elf(7); // 5 instructions, one straight block
         for budget in 1..=5u64 {
             let (rs, ms, ss) = observe(&elf, Engine::Step, budget);
-            let (rb, mb, sb) = observe(&elf, Engine::Block, budget);
-            assert_eq!(rs, rb, "budget {budget}: exit/steps identical");
-            assert_eq!(rs.steps, budget.min(5), "budget {budget}");
-            assert_eq!(ms.rip, mb.rip, "budget {budget}: stopped at same rip");
-            assert_eq!(ms.output, mb.output, "budget {budget}");
-            assert_eq!(ss.insts, sb.insts, "budget {budget}: retired equal");
+            for engine in [Engine::Block, Engine::Superblock] {
+                let (rb, mb, sb) = observe(&elf, engine, budget);
+                assert_eq!(rs, rb, "{engine} budget {budget}: exit/steps");
+                assert_eq!(rs.steps, budget.min(5), "budget {budget}");
+                assert_eq!(ms.rip, mb.rip, "{engine} budget {budget}: same rip");
+                assert_eq!(ms.output, mb.output, "{engine} budget {budget}");
+                assert_eq!(ss.insts, sb.insts, "{engine} budget {budget}");
+            }
         }
     }
 
-    /// Code with no flat text span (poked directly into memory) lives in
-    /// the sorted spill vector; the block engine falls back to stepping
-    /// for it, and both engines agree.
+    /// Code with no flat text span (poked directly into memory) runs
+    /// through the step engine's sorted spill decode cache — or, under
+    /// the block engines, through the block cache's sorted spill index
+    /// (the out-of-span satellite) — and every engine agrees.
     #[test]
-    fn spill_region_code_runs_identically_under_both_engines() {
+    fn spill_region_code_runs_identically_under_all_engines() {
         let insts = [
             Inst::MovRI {
                 dst: Reg::Rax,
@@ -1295,12 +1468,197 @@ mod tests {
             (r, m.reg(Reg::Rax), sink.insts, m.icache_spill.len())
         };
         let (rs, rax_s, insts_s, spill_s) = run(Engine::Step);
-        let (rb, rax_b, insts_b, spill_b) = run(Engine::Block);
-        assert_eq!(rs, rb);
         assert_eq!(rax_s, 7);
-        assert_eq!((rax_s, insts_s), (rax_b, insts_b));
-        assert_eq!(spill_s, 4, "every instruction cached in the spill vec");
-        assert_eq!(spill_s, spill_b, "block engine steps through spill code");
+        assert_eq!(spill_s, 4, "step: every instruction in the spill vec");
+        for engine in [Engine::Block, Engine::Superblock] {
+            let (rb, rax_b, insts_b, spill_b) = run(engine);
+            assert_eq!(rs, rb, "{engine}");
+            assert_eq!((rax_s, insts_s), (rax_b, insts_b), "{engine}");
+            assert_eq!(
+                spill_b, 0,
+                "{engine}: out-of-span code translates into spill-indexed \
+                 blocks instead of stepping through the decode cache"
+            );
+        }
+    }
+
+    /// The full sink-visible event sequence — fetches, memory accesses,
+    /// and branches, in order — must be identical across all three
+    /// engines on a program interleaving ALU work, loads, stores,
+    /// pushes/pops, calls, and returns. This is the superblock engine's
+    /// core ordering obligation: its batched events carry interleaved
+    /// fetch + memory records that replay in exactly the step order.
+    #[test]
+    fn event_order_identical_across_engines() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            I(u64, u8),
+            M(u64, u8, bool),
+            B(u64, u64, bool),
+        }
+        #[derive(Default)]
+        struct Log(Vec<E>);
+        impl TraceSink for Log {
+            // No `on_block` override: the default replay must linearize
+            // batched events into the exact step sequence.
+            fn on_inst(&mut self, addr: u64, len: u8) {
+                self.0.push(E::I(addr, len));
+            }
+            fn on_mem(&mut self, addr: u64, len: u8, write: bool) {
+                self.0.push(E::M(addr, len, write));
+            }
+            fn on_branch(&mut self, ev: BranchEvent) {
+                self.0.push(E::B(ev.from, ev.to, ev.taken));
+            }
+        }
+        // main: interleaved mem + alu, a call (callee loads/stores),
+        // a loop, then emit + exit.
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::R10,
+                imm: 0x500000,
+            },
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 5,
+            },
+            Inst::Store {
+                mem: Mem::BaseDisp {
+                    base: Reg::R10,
+                    disp: 0,
+                },
+                src: Reg::Rax,
+            },
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Load {
+                dst: Reg::Rcx,
+                mem: Mem::BaseDisp {
+                    base: Reg::R10,
+                    disp: 0,
+                },
+            },
+            Inst::Push(Reg::Rcx),
+            Inst::Pop(Reg::Rdx),
+            Inst::Call {
+                target: Target::Label(Label(12)),
+            },
+            // loop: rax -= 1; jne loop-head (two iterations)
+            Inst::AluI {
+                op: AluOp::Sub,
+                dst: Reg::Rax,
+                imm: 3,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Label(Label(8)),
+                width: bolt_isa::JumpWidth::Near,
+            },
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 60,
+            },
+            Inst::Syscall,
+            // callee: load, alu, store, ret
+            Inst::Load {
+                dst: Reg::R11,
+                mem: Mem::BaseDisp {
+                    base: Reg::R10,
+                    disp: 0,
+                },
+            },
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::R11,
+                imm: 7,
+            },
+            Inst::Store {
+                mem: Mem::BaseDisp {
+                    base: Reg::R10,
+                    disp: 8,
+                },
+                src: Reg::R11,
+            },
+            Inst::Ret,
+        ];
+        let run = |engine: Engine| {
+            let mut m = machine_with(&insts);
+            let mut log = Log::default();
+            let r = m.run_engine(&mut log, 1000, engine).unwrap();
+            (r, m.output.clone(), log.0)
+        };
+        let (rs, out_s, log_s) = run(Engine::Step);
+        assert!(log_s.iter().any(|e| matches!(e, E::M(..))), "mems present");
+        for engine in [Engine::Block, Engine::Superblock] {
+            let (r, out, log) = run(engine);
+            assert_eq!(rs, r, "{engine}");
+            assert_eq!(out_s, out, "{engine}");
+            assert_eq!(log_s, log, "{engine}: exact event sequence");
+        }
+    }
+
+    /// Chaining: after a superblock loop warms up, block transitions
+    /// resolve through the terminator's cached links without consulting
+    /// the entry index — and the run stays observationally identical.
+    #[test]
+    fn superblock_chaining_resolves_loop_transitions() {
+        let mut m = Machine::new();
+        m.load_elf(&emitting_elf(3));
+        let r = m.run_engine(&mut NullSink, u64::MAX, Engine::Superblock);
+        assert_eq!(r.unwrap().exit, Exit::Exited(3));
+        // The single straight-line block chains nothing (it exits), but
+        // a looping program installs and follows links.
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 0,
+            },
+            // loop head (own block: jcc target)
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rax,
+                imm: 4,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Label(Label(1)),
+                width: bolt_isa::JumpWidth::Near,
+            },
+            Inst::Ret,
+        ];
+        let mut m = machine_with(&insts);
+        m.push(RETURN_SENTINEL, &mut NullSink);
+        let mut sink = CountingSink::default();
+        let r = m.run_engine(&mut sink, 1000, Engine::Superblock).unwrap();
+        assert_eq!(r.exit, Exit::Returned);
+        assert_eq!(m.reg(Reg::Rax), 4);
+        // The loop block (head..jcc) links both arms: back to the head
+        // and forward to the ret block.
+        let len = |i: &Inst| bolt_isa::encoded_len(i) as u64;
+        let head_rip = 0x400000 + len(&insts[0]);
+        let fall_rip = head_rip + len(&insts[1]) + len(&insts[2]) + len(&insts[3]);
+        let head = m.blocks.lookup(head_rip).expect("head translated");
+        assert!(
+            m.blocks.lookup(fall_rip).is_some(),
+            "fall-through block translated"
+        );
+        assert_eq!(
+            m.blocks.linked(head, head_rip),
+            Some(head),
+            "taken arm chained back to the head"
+        );
+        assert!(
+            m.blocks.linked(head, fall_rip).is_some(),
+            "fall-through arm chained too"
+        );
     }
 
     /// Spill entries stay sorted by rip and re-execution hits the memo
@@ -1342,7 +1700,7 @@ mod tests {
         assert_eq!(r.exit, Exit::Returned);
         assert_eq!(r.steps, 1 + 2 * 3 + 1, "two loop iterations then ret");
         assert!(
-            m.icache_spill.windows(2).all(|w| w[0].0 < w[1].0),
+            m.icache_spill.main.windows(2).all(|w| w[0].0 < w[1].0),
             "spill entries sorted by rip"
         );
         assert_eq!(m.icache_spill.len(), 5, "each inst cached exactly once");
@@ -1388,13 +1746,17 @@ mod tests {
         let r = m.run_engine(&mut NullSink, 100, Engine::Step).unwrap();
         assert_eq!(r.exit, Exit::Exited(9));
         assert_eq!(m.output, vec![9]);
-        assert_eq!(m.icache_spill.len(), 1, "only the jmp appended in order");
         assert_eq!(
-            m.spill_pending.len(),
+            m.icache_spill.main.len(),
+            1,
+            "only the jmp appended in order"
+        );
+        assert_eq!(
+            m.icache_spill.pending.len(),
             5,
             "lower-rip decodes buffered as pending"
         );
-        assert!(m.spill_pending.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.icache_spill.pending.windows(2).all(|w| w[0].0 < w[1].0));
 
         // A second run refetches everything through memo/main/pending.
         m.rip = 0x500000;
@@ -1402,14 +1764,18 @@ mod tests {
         let r = m.run_engine(&mut NullSink, 100, Engine::Step).unwrap();
         assert_eq!(r.exit, Exit::Exited(9));
         assert_eq!(m.output, vec![9]);
-        assert_eq!(m.spill_pending.len(), 5, "no re-decode, no duplicates");
+        assert_eq!(
+            m.icache_spill.pending.len(),
+            5,
+            "no re-decode, no duplicates"
+        );
 
         // An explicit merge folds pending into the sorted main vector
         // and later fetches still resolve.
-        m.spill_merge();
-        assert!(m.spill_pending.is_empty());
+        m.icache_spill.merge();
+        assert!(m.icache_spill.pending.is_empty());
         assert_eq!(m.icache_spill.len(), 6);
-        assert!(m.icache_spill.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.icache_spill.main.windows(2).all(|w| w[0].0 < w[1].0));
         m.rip = 0x500000;
         m.output.clear();
         let r = m.run_engine(&mut NullSink, 100, Engine::Block).unwrap();

@@ -16,9 +16,18 @@ mod block;
 mod events;
 mod exec;
 mod memory;
+mod spill;
+
+/// Longest encodable instruction; text-write invalidation (decode and
+/// block caches alike) treats any store within this many bytes past a
+/// cached region as overlapping, since an instruction starting inside
+/// the region can extend this far past it.
+pub(crate) const MAX_INST_LEN: u64 = 16;
 
 pub use batch::{resolve_shards, run_batch, ShardPlan, ShardRun};
-pub use events::{BlockEvent, BranchEvent, BranchKind, CountingSink, NullSink, Tee, TraceSink};
+pub use events::{
+    BlockEvent, BranchEvent, BranchKind, CountingSink, MemRecord, NullSink, Tee, TraceSink,
+};
 pub use exec::{
     resolve_engine, EmuError, Engine, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP,
 };

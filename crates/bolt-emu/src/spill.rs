@@ -1,0 +1,189 @@
+//! A sorted spill index shared by the decode cache and the block
+//! translation cache: key → value entries sorted by key, probed with a
+//! last-hit memo then binary search, with out-of-order inserts buffered
+//! in a capacity-bounded pending vector and folded in by one sorted
+//! merge pass — so cold decode/translation of a wide image in
+//! call-graph order pays amortized merges instead of an O(len)
+//! `Vec::insert` memmove per new entry.
+
+/// Out-of-order inserts buffered before a merge — bounds the per-insert
+/// memmove to this many entries and the merge count to
+/// `main_len / SPILL_PENDING_CAP`.
+const SPILL_PENDING_CAP: usize = 1024;
+
+/// Sorted-by-key map with last-hit memo and bounded pending buffer.
+///
+/// Fields are crate-visible so unit tests can assert the internal
+/// shape (sortedness, which side an insert landed on).
+#[derive(Debug)]
+pub(crate) struct SpillIndex<T> {
+    /// Sorted main vector.
+    pub(crate) main: Vec<(u64, T)>,
+    /// Out-of-order inserts, sorted, merged into `main` when full.
+    pub(crate) pending: Vec<(u64, T)>,
+    /// Index of the `main` entry most recently hit; sequential keys hit
+    /// `memo` or `memo + 1` without searching.
+    memo: usize,
+}
+
+// Manual impl: the derive would needlessly require `T: Default`.
+impl<T> Default for SpillIndex<T> {
+    fn default() -> SpillIndex<T> {
+        SpillIndex {
+            main: Vec::new(),
+            pending: Vec::new(),
+            memo: 0,
+        }
+    }
+}
+
+impl<T: Copy> SpillIndex<T> {
+    /// Total cached entries (main + pending). Only assertions need
+    /// this; production code never counts entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.main.len() + self.pending.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.main.is_empty() && self.pending.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.main.clear();
+        self.pending.clear();
+        self.memo = 0;
+    }
+
+    /// The value stored under `key`, if any: memo probe first (a
+    /// sequential key lands on `memo` or, advancing, `memo + 1`), then
+    /// binary search of the main vector and the pending buffer.
+    #[inline]
+    pub(crate) fn lookup(&mut self, key: u64) -> Option<T> {
+        for probe in [self.memo, self.memo + 1] {
+            if let Some(&(at, hit)) = self.main.get(probe) {
+                if at == key {
+                    self.memo = probe;
+                    return Some(hit);
+                }
+            }
+        }
+        if let Ok(i) = self.main.binary_search_by_key(&key, |e| e.0) {
+            self.memo = i;
+            return Some(self.main[i].1);
+        }
+        if let Ok(i) = self.pending.binary_search_by_key(&key, |e| e.0) {
+            return Some(self.pending[i].1);
+        }
+        None
+    }
+
+    /// Inserts `key → value`. Ascending keys (sequential cold decode or
+    /// translation, the common case) append to the sorted main vector;
+    /// out-of-order keys go through the bounded pending buffer.
+    pub(crate) fn insert(&mut self, key: u64, value: T) {
+        match self.main.last() {
+            Some(&(last, _)) if key < last => {
+                let i = self
+                    .pending
+                    .binary_search_by_key(&key, |e| e.0)
+                    .unwrap_err();
+                self.pending.insert(i, (key, value));
+                if self.pending.len() >= SPILL_PENDING_CAP {
+                    self.merge();
+                }
+            }
+            _ => {
+                self.main.push((key, value));
+                self.memo = self.main.len() - 1;
+            }
+        }
+    }
+
+    /// Folds the pending buffer into the sorted main vector (one sorted
+    /// merge pass).
+    pub(crate) fn merge(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let old = std::mem::take(&mut self.main);
+        let pending = std::mem::take(&mut self.pending);
+        let mut merged = Vec::with_capacity(old.len() + pending.len());
+        let mut a = old.into_iter().peekable();
+        let mut b = pending.into_iter().peekable();
+        while let (Some(&(ka, _)), Some(&(kb, _))) = (a.peek(), b.peek()) {
+            merged.push(if ka <= kb {
+                a.next().unwrap()
+            } else {
+                b.next().unwrap()
+            });
+        }
+        merged.extend(a);
+        merged.extend(b);
+        self.main = merged;
+        self.memo = 0;
+    }
+
+    /// `(lowest key, highest key)` across both vectors, or `None` when
+    /// empty. Pending keys always sort below the main vector's last key
+    /// but can precede its first.
+    pub(crate) fn bounds(&self) -> Option<(u64, u64)> {
+        let (&(mut first, _), &(last, _)) = (self.main.first()?, self.main.last()?);
+        if let Some(&(p, _)) = self.pending.first() {
+            first = first.min(p);
+        }
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_appends_out_of_order_pends_and_merges() {
+        let mut s = SpillIndex::default();
+        s.insert(10, 'a');
+        s.insert(20, 'b');
+        assert_eq!(s.main.len(), 2);
+        s.insert(5, 'c'); // below main's last -> pending
+        assert_eq!((s.main.len(), s.pending.len()), (2, 1));
+        assert_eq!(s.lookup(10), Some('a'), "main hits");
+        assert_eq!(s.lookup(5), Some('c'), "pending entries resolvable");
+        assert_eq!(s.lookup(11), None);
+        assert_eq!(s.bounds(), Some((5, 20)), "bounds span pending");
+        s.merge();
+        assert!(s.pending.is_empty());
+        assert!(s.main.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(s.lookup(5), Some('c'));
+        s.clear();
+        assert_eq!(s.bounds(), None);
+    }
+
+    #[test]
+    fn memo_rehits_sequential_keys() {
+        let mut s = SpillIndex::default();
+        for k in 0..10u64 {
+            s.insert(k * 4, k);
+        }
+        // Two sequential sweeps: the second resolves through memo/memo+1.
+        for _ in 0..2 {
+            for k in 0..10u64 {
+                assert_eq!(s.lookup(k * 4), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn pending_cap_forces_merge() {
+        let mut s = SpillIndex::default();
+        s.insert(u64::MAX - 1, 0u32); // pin main's last high
+        for k in 0..SPILL_PENDING_CAP as u64 {
+            s.insert(k, k as u32);
+        }
+        assert!(s.pending.is_empty(), "cap reached -> merged");
+        assert_eq!(s.main.len(), SPILL_PENDING_CAP + 1);
+        assert!(s.main.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -339,6 +339,7 @@ mod tests {
                         fetches: &fetches,
                         lines64: &[],
                         crossings64: 0,
+                        mems: &[],
                     };
                     for &(addr, len) in &fetches {
                         stepped.on_inst(addr, len);
@@ -377,6 +378,7 @@ mod tests {
                     fetches: &fetches,
                     lines64: &[],
                     crossings64: 0,
+                    mems: &[],
                 };
                 for &(addr, len) in &fetches {
                     stepped.on_inst(addr, len);

@@ -107,6 +107,12 @@ impl Cache {
         1 << self.line_shift
     }
 
+    /// Number of sets (used by batched charging to prove two resident
+    /// lines cannot interact through LRU state).
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
     /// Miss rate over all accesses so far.
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {

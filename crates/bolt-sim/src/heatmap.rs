@@ -200,6 +200,7 @@ mod tests {
                 fetches: &fetches,
                 lines64: &[],
                 crossings64: 0,
+                mems: &[],
             };
             let mut per = HeatMap::new(0x400000, 64 * 64 * 64);
             for &(addr, len) in &fetches {

@@ -162,6 +162,105 @@ impl CpuModel {
         }
     }
 
+    /// The interleaved-walk half of [`TraceSink::on_block`]: charges a
+    /// superblock event whose fetch and memory records interleave by
+    /// instruction index, in exact program order. First touches of
+    /// I-side pages/lines are probed at their step-engine positions
+    /// (so shared L2/LLC levels see the same probe order); repeat
+    /// fetches and consecutive same-line D-side accesses — guaranteed
+    /// most-recently-used hits whose re-stamp cannot change any LRU
+    /// decision — are bulk-counted without a cache walk.
+    fn on_superblock(&mut self, ev: BlockEvent<'_>) {
+        // Same-line ⇒ same-page needs pages no smaller than lines.
+        if self.cfg.page_bytes < 64 {
+            ev.replay(self);
+            return;
+        }
+        self.instructions += ev.inst_count as u64;
+        let page_mask = !(self.cfg.page_bytes - 1);
+        // Last-probed I-side line/page (fetches ascend, so `!=` means
+        // first touch); invalid sentinels make the first fetch probe.
+        let mut cur_line = u64::MAX;
+        let mut cur_page = u64::MAX;
+        let mut itlb_bulk = 0u64;
+        let mut l1i_bulk = 0u64;
+        // Two-slot memo of recently *charged* non-crossing D-side lines
+        // (`d1` newest). A repeat of `d1` is a guaranteed
+        // most-recently-used hit in both L1D and dTLB. A repeat of `d2`
+        // is equally guaranteed when `d1` provably lives in a different
+        // L1D set and a different dTLB set — then `d2` is still the
+        // newest access within each of its own sets, and skipping its
+        // re-stamp cannot change any LRU decision (recency *order*
+        // within every set is preserved). This covers the alternating
+        // stack-line/data-line pattern of typical straight-line code.
+        let mut d1 = u64::MAX;
+        let mut d2 = u64::MAX;
+        let l1d_set_mask = (self.l1d.sets() - 1) as u64;
+        let dtlb_set_mask = (self.dtlb.sets() - 1) as u64;
+        let page_shift = self.cfg.page_bytes.trailing_zeros();
+        let distinct_sets = |a: u64, b: u64| {
+            ((a >> 6) & l1d_set_mask) != ((b >> 6) & l1d_set_mask)
+                && ((a >> page_shift) & dtlb_set_mask) != ((b >> page_shift) & dtlb_set_mask)
+        };
+        let mut d_bulk = 0u64;
+        let mut mi = 0usize;
+        for (i, &(addr, len)) in ev.fetches.iter().enumerate() {
+            let page = addr & page_mask;
+            if page != cur_page {
+                if !self.itlb.access(page) {
+                    self.extra_cycles += self.cfg.tlb_miss_latency;
+                }
+                cur_page = page;
+            } else {
+                itlb_bulk += 1;
+            }
+            let la = (addr >> 6) << 6;
+            if la != cur_line {
+                if !self.l1i.access(la) {
+                    self.extra_cycles += self.miss_path(la, true);
+                }
+                cur_line = la;
+            } else {
+                l1i_bulk += 1;
+            }
+            let le = ((addr + len as u64 - 1) >> 6) << 6;
+            if le != la {
+                // A crossing fetch's second line is always a first
+                // touch (lines ascend strictly once left).
+                if !self.l1i.access(le) {
+                    self.extra_cycles += self.miss_path(le, true);
+                }
+                cur_line = le;
+            }
+            while let Some(m) = ev.mems.get(mi) {
+                if m.inst as usize != i {
+                    break;
+                }
+                mi += 1;
+                let dl = (m.addr >> 6) << 6;
+                let crosses = ((m.addr + m.len.max(1) as u64 - 1) >> 6) << 6 != dl;
+                if !crosses && (dl == d1 || (dl == d2 && distinct_sets(d1, d2))) {
+                    d_bulk += 1;
+                } else {
+                    self.on_mem(m.addr, m.len, m.write);
+                    if crosses {
+                        // The crossing touched two lines; neither slot
+                        // can claim MRU safely any more.
+                        d1 = u64::MAX;
+                        d2 = u64::MAX;
+                    } else if dl != d1 {
+                        d2 = d1;
+                        d1 = dl;
+                    }
+                }
+            }
+        }
+        self.itlb.accesses += itlb_bulk;
+        self.l1i.accesses += l1i_bulk;
+        self.l1d.accesses += d_bulk;
+        self.dtlb.accesses += d_bulk;
+    }
+
     /// Current counter snapshot.
     pub fn counters(&self) -> Counters {
         Counters {
@@ -202,23 +301,37 @@ impl TraceSink for CpuModel {
         }
     }
 
-    /// Charges a translated block's whole I-side footprint in one call.
+    /// Charges a translated block's whole footprint in one call.
     ///
-    /// Byte-identical to `inst_count` individual [`on_inst`] calls: the
-    /// fetch stream of a straight-line block touches pages and lines in
+    /// Byte-identical to replaying the event's interleaved
+    /// [`on_inst`]/[`on_mem`] sequence. The I-side argument: a
+    /// straight-line block's fetch stream touches pages and lines in
     /// monotone non-decreasing order, so every repeat access is a
-    /// guaranteed hit with no penalty and no LRU-order effect — only the
-    /// first touch of each distinct page/line can miss. The loops below
-    /// therefore probe each distinct page and line exactly once and add
-    /// the repeats to the access counter in bulk.
+    /// guaranteed most-recently-used hit with no penalty and no
+    /// LRU-order effect — only the first touch of each distinct
+    /// page/line can miss, and D-side accesses in between touch
+    /// *different* structures (L1D/dTLB) so they cannot disturb it.
+    /// The block engine's events carry no memory records and take the
+    /// pure-I-side bulk path; the superblock engine's interleaved
+    /// records are walked in exact program order (each probe lands at
+    /// its step-engine position relative to the shared L2/LLC levels),
+    /// with the same bulk treatment applied to repeat fetches and to
+    /// consecutive same-line D-side accesses (a push/pop run, a hot
+    /// spill slot) — the D-side footprint charged in bulk the way the
+    /// I-side already is.
     ///
     /// [`on_inst`]: TraceSink::on_inst
+    /// [`on_mem`]: TraceSink::on_mem
     #[inline]
     fn on_block(&mut self, ev: BlockEvent<'_>) {
         // The precomputed footprint models 64-byte lines; a config with
         // exotic geometry replays the exact per-instruction path.
         if self.cfg.line_bytes != 64 || self.cfg.page_bytes <= 16 || ev.fetches.is_empty() {
             ev.replay(self);
+            return;
+        }
+        if !ev.mems.is_empty() {
+            self.on_superblock(ev);
             return;
         }
         self.instructions += ev.inst_count as u64;
@@ -400,6 +513,7 @@ mod tests {
                 fetches: &fetches,
                 lines64: &lines,
                 crossings64: crossings,
+                mems: &[],
             };
             let mut stepped = CpuModel::new(cfg.clone());
             for &(addr, len) in &fetches {
@@ -426,6 +540,117 @@ mod tests {
             }
             batched.on_block(ev);
             assert_eq!(stepped.counters(), batched.counters());
+        }
+    }
+
+    /// The superblock path — interleaved fetch + memory records — must
+    /// charge byte-identically to replaying the interleaved
+    /// `on_inst`/`on_mem` sequence, across same-line D-side runs (the
+    /// bulk memo), line-crossing accesses, page boundaries, and
+    /// repeated executions of the same block (identical cache-state
+    /// evolution).
+    #[test]
+    fn batched_superblock_equals_interleaved_charging() {
+        use bolt_emu::MemRecord;
+        let cfg = SimConfig::small();
+        let rec = |inst: u32, addr: u64, len: u8, write: bool| MemRecord {
+            inst,
+            addr,
+            len,
+            write,
+        };
+        let cases: Vec<(u64, Vec<u8>, Vec<MemRecord>)> = vec![
+            // Same-line D-side run (push/pop pattern): bulk memo path.
+            (
+                0x400000,
+                vec![4u8; 8],
+                vec![
+                    rec(1, 0x7FFF_0000, 8, true),
+                    rec(2, 0x7FFF_0008, 8, false),
+                    rec(3, 0x7FFF_0010, 8, true),
+                    rec(6, 0x7FFF_0010, 8, false),
+                ],
+            ),
+            // Crossing D access mid-run, then a same-line repeat whose
+            // memo must have been invalidated by the crossing.
+            (
+                0x40003D,
+                vec![7, 7, 7, 2, 3],
+                vec![
+                    rec(0, 0x50003C, 8, false),
+                    rec(1, 0x500038, 8, true),
+                    rec(4, 0x500038, 8, false),
+                ],
+            ),
+            // Page-straddling fetches with interleaved scattered mems.
+            (
+                0x400FF0,
+                vec![4; 16],
+                vec![
+                    rec(0, 0x600000, 8, false),
+                    rec(5, 0x600FFC, 8, true), // crosses line and page
+                    rec(5, 0x600FFC, 8, false),
+                    rec(15, 0x600000, 8, true),
+                ],
+            ),
+            // Every instruction touches memory (worst case).
+            (
+                0x400100,
+                vec![7; 6],
+                (0..6)
+                    .map(|i| rec(i, 0x500000 + (i as u64 % 2) * 8, 8, i % 2 == 0))
+                    .collect(),
+            ),
+        ];
+        // Alternating-line patterns exercising the two-slot D-side
+        // memo: stack-vs-data in distinct sets (bulked) and an
+        // adversarial pair mapping to the same L1D set (must charge).
+        let l1d_sets = CpuModel::new(cfg.clone()).l1d.sets() as u64;
+        let mut cases = cases;
+        for stride in [0x100, l1d_sets * 64, l1d_sets * 64 + 64] {
+            cases.push((
+                0x400200,
+                vec![4u8; 10],
+                (0..10)
+                    .map(|i| rec(i, 0x600000 + (i as u64 % 2) * stride, 8, i % 3 == 0))
+                    .collect(),
+            ));
+        }
+        for (entry, lens, mems) in cases {
+            let (fetches, lines, crossings) = block_parts(entry, &lens);
+            let byte_len: u32 = lens.iter().map(|&l| l as u32).sum();
+            let ev = bolt_emu::BlockEvent {
+                entry,
+                inst_count: lens.len() as u32,
+                byte_len,
+                fetches: &fetches,
+                lines64: &lines,
+                crossings64: crossings,
+                mems: &mems,
+            };
+            let mut stepped = CpuModel::new(cfg.clone());
+            let mut batched = CpuModel::new(cfg.clone());
+            for round in 0..3 {
+                let mut mi = 0usize;
+                for (i, &(addr, len)) in fetches.iter().enumerate() {
+                    stepped.on_inst(addr, len);
+                    while mi < mems.len() && mems[mi].inst as usize == i {
+                        let m = mems[mi];
+                        stepped.on_mem(m.addr, m.len, m.write);
+                        mi += 1;
+                    }
+                }
+                batched.on_block(ev);
+                assert_eq!(
+                    stepped.counters(),
+                    batched.counters(),
+                    "entry {entry:#x} round {round}"
+                );
+                assert_eq!(stepped.itlb.accesses, batched.itlb.accesses);
+                assert_eq!(stepped.l1i.accesses, batched.l1i.accesses);
+                assert_eq!(stepped.dtlb.accesses, batched.dtlb.accesses);
+                assert_eq!(stepped.l1d.accesses, batched.l1d.accesses);
+            }
         }
     }
 

@@ -26,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] \
          [--counters] [--max-steps N] [--shards N] [--threads N] \
-         [--engine step|block]\n\
+         [--engine step|block|superblock]\n\
          \n\
          --shards N   run N independent invocations (sharded batch\n\
          \x20            emulation; 0 = auto [BOLT_SHARDS env or 1]); the\n\
@@ -40,10 +40,12 @@ fn usage() -> ! {
          \x20            seed-partition the batch: write BASE+i into the\n\
          \x20            binary's `config` input-selection global for shard i,\n\
          \x20            so the shards split the input space\n\
-         --engine step|block\n\
+         --engine step|block|superblock\n\
          \x20            emulation engine (default: the BOLT_ENGINE env\n\
          \x20            override, else per-instruction stepping). `block`\n\
-         \x20            executes through a basic-block translation cache —\n\
+         \x20            executes through a basic-block translation cache;\n\
+         \x20            `superblock` additionally spans memory-touching\n\
+         \x20            instructions and chains block transitions —\n\
          \x20            byte-identical profiles/counters/output, just faster"
     );
     std::process::exit(2)
@@ -164,11 +166,14 @@ fn main() -> ExitCode {
                 );
             }
             "--engine" => {
-                engine = Some(
-                    it.next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
+                let Some(arg) = it.next() else { usage() };
+                engine = match arg.parse() {
+                    Ok(e) => Some(e),
+                    Err(msg) => {
+                        eprintln!("bolt-run: --engine: {msg}");
+                        std::process::exit(2);
+                    }
+                };
             }
             s if s.starts_with('-') => usage(),
             _ if input.is_none() => input = Some(a.clone()),

@@ -34,11 +34,13 @@ fn usage() -> ! {
            \x20   (measurement-side emulation shard count, recorded on\n\
            \x20   BoltOptions for profiling harnesses; 0 = auto [BOLT_SHARDS\n\
            \x20   env or 1]. Rewriting is unaffected — see bolt-run --shards)\n\
-           -engine=step|block\n\
+           -engine=step|block|superblock\n\
            \x20   (measurement-side emulation engine, recorded on BoltOptions\n\
            \x20   for profiling harnesses; default follows the BOLT_ENGINE env\n\
-           \x20   override or `step`. Byte-identical results either way — the\n\
-           \x20   block engine is just faster. See bolt-run --engine)\n\
+           \x20   override or `step`. Byte-identical results under every\n\
+           \x20   engine — block translates basic blocks, superblock spans\n\
+           \x20   memory ops and chains blocks, each faster than the last.\n\
+           \x20   See bolt-run --engine)\n\
            -skip-unchanged\n\
            \x20   (skip repeated pipeline registrations of a pass whose earlier\n\
            \x20   instance reported zero changes this run, e.g. the second icf\n\
@@ -110,7 +112,10 @@ fn main() -> ExitCode {
             s if s.starts_with("-engine=") => {
                 opts.engine = match s["-engine=".len()..].parse::<bolt::emu::Engine>() {
                     Ok(e) => Some(e),
-                    Err(()) => usage(),
+                    Err(msg) => {
+                        eprintln!("bolt: -engine=: {msg}");
+                        std::process::exit(2);
+                    }
                 };
             }
             s if s.starts_with("-reorder-blocks=") => {

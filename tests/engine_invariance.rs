@@ -1,9 +1,12 @@
-//! Engine invariance: the block-translation engine (`--engine=block` /
-//! `BOLT_ENGINE=block`) must be *observationally identical* to the
-//! per-instruction step engine — byte-identical `Counters`, merged
-//! `Profile`, recorded program output, and rewritten ELF — the same way
-//! `tests/thread_invariance.rs` proves thread-count invariance and
-//! `tests/shard_invariance.rs` proves shard-count invariance.
+//! Engine invariance: the block-translation engines (`--engine=block`
+//! and `--engine=superblock` / `BOLT_ENGINE`) must be *observationally
+//! identical* to the per-instruction step engine — byte-identical
+//! `Counters`, merged `Profile`, recorded program output, and rewritten
+//! ELF — the same way `tests/thread_invariance.rs` proves thread-count
+//! invariance and `tests/shard_invariance.rs` proves shard-count
+//! invariance. The sweep is three-way at 1 and 8 shards, and covers
+//! self-modifying text (block chain links and translations must drop)
+//! and step budgets landing mid-(super)block.
 
 use bolt::compiler::{compile_and_link, CompileOptions};
 use bolt::elf::{write_elf, Elf, Section};
@@ -44,45 +47,52 @@ fn prepare_for(elf: &Elf) -> impl Fn(usize, &mut Machine) + Sync + '_ {
     }
 }
 
-/// The acceptance property: profile + measure `elf` under both engines
-/// at `shards` shards and assert every observable is byte-identical,
-/// then prove the rewritten ELFs match byte for byte.
+/// The acceptance property: profile + measure `elf` under all three
+/// engines at `shards` shards and assert every observable is
+/// byte-identical, then prove the rewritten ELFs match byte for byte.
 fn assert_engine_invariant(elf: &Elf, shards: usize, what: &str) {
     let cfg = SimConfig::small();
     let mut legs = Vec::new();
-    for engine in [Engine::Step, Engine::Block] {
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock] {
         let plan = shard_plan(shards, 2).with_engine(engine);
         let (profile, batch) = profile_lbr_batch_with(elf, &cfg, &plan, prepare_for(elf));
         let measured = measure_batch_with(elf, &cfg, &plan, prepare_for(elf));
-        legs.push((profile, batch, measured));
+        legs.push((engine, profile, batch, measured));
     }
-    let (step, block) = (&legs[0], &legs[1]);
-    assert_eq!(
-        step.0.to_fdata(),
-        block.0.to_fdata(),
-        "{what}: merged profile must be byte-identical across engines"
-    );
-    assert_eq!(step.0, block.0, "{what}: profile maps equal, not just text");
-    assert_eq!(
-        step.1.counters, block.1.counters,
-        "{what}: summed profiling counters identical"
-    );
-    assert_eq!(
-        step.1.runs, block.1.runs,
-        "{what}: per-shard results (exit, output, steps, counters)"
-    );
-    assert_eq!(
-        step.2.runs, block.2.runs,
-        "{what}: measurement-only counters identical too"
-    );
-    // The profiles drive BOLT to byte-identical rewritten binaries.
-    let from_step = bolt_with_profile(elf, &step.0);
-    let from_block = bolt_with_profile(elf, &block.0);
-    assert_eq!(
-        write_elf(&from_step.elf).expect("serializes"),
-        write_elf(&from_block.elf).expect("serializes"),
-        "{what}: rewritten ELF byte-identical across engines"
-    );
+    let step = &legs[0];
+    let from_step = bolt_with_profile(elf, &step.1);
+    let step_bytes = write_elf(&from_step.elf).expect("serializes");
+    for leg in &legs[1..] {
+        let engine = leg.0;
+        assert_eq!(
+            step.1.to_fdata(),
+            leg.1.to_fdata(),
+            "{what}/{engine}: merged profile must be byte-identical across engines"
+        );
+        assert_eq!(
+            step.1, leg.1,
+            "{what}/{engine}: profile maps equal, not just text"
+        );
+        assert_eq!(
+            step.2.counters, leg.2.counters,
+            "{what}/{engine}: summed profiling counters identical"
+        );
+        assert_eq!(
+            step.2.runs, leg.2.runs,
+            "{what}/{engine}: per-shard results (exit, output, steps, counters)"
+        );
+        assert_eq!(
+            step.3.runs, leg.3.runs,
+            "{what}/{engine}: measurement-only counters identical too"
+        );
+        // The profiles drive BOLT to byte-identical rewritten binaries.
+        let from_leg = bolt_with_profile(elf, &leg.1);
+        assert_eq!(
+            step_bytes,
+            write_elf(&from_leg.elf).expect("serializes"),
+            "{what}/{engine}: rewritten ELF byte-identical across engines"
+        );
+    }
 }
 
 #[test]
@@ -225,11 +235,15 @@ fn self_modifying_elf() -> Elf {
     elf
 }
 
+/// Self-modifying text under every engine: the block engines must drop
+/// their translations — and, under `superblock`, the chain links that
+/// die with them — when a store patches cached code, or the second call
+/// would observably execute stale bytes.
 #[test]
 fn self_modifying_text_forces_block_invalidation() {
     let elf = self_modifying_elf();
     let mut outputs = Vec::new();
-    for engine in [Engine::Step, Engine::Block] {
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock] {
         let mut m = Machine::new();
         m.load_elf(&elf);
         let mut sink = CountingSink::default();
@@ -242,12 +256,13 @@ fn self_modifying_text_forces_block_invalidation() {
         );
         outputs.push((r, m.output.clone(), m.regs, sink.insts, sink.branches));
     }
-    assert_eq!(outputs[0], outputs[1], "engines agree on the SMC program");
+    assert_eq!(outputs[0], outputs[1], "block engine agrees on SMC");
+    assert_eq!(outputs[0], outputs[2], "superblock engine agrees on SMC");
 }
 
-/// The `run_with` step-accounting satellite at harness level: a budget
-/// landing mid-block must stop at exactly the same retired count, rip,
-/// and partial output under both engines.
+/// The step-accounting satellite at harness level: a budget landing
+/// mid-block must stop at exactly the same retired count, rip, and
+/// partial output under every engine.
 #[test]
 fn max_steps_budget_lands_identically_inside_blocks() {
     let elf = tao_fixture();
@@ -268,9 +283,50 @@ fn max_steps_budget_lands_identically_inside_blocks() {
             (r, m.rip, m.output.clone(), m.regs, sink.insts)
         };
         let step = observe(Engine::Step);
-        let block = observe(Engine::Block);
-        assert_eq!(step, block, "budget {budget}");
+        for engine in [Engine::Block, Engine::Superblock] {
+            let leg = observe(engine);
+            assert_eq!(step, leg, "{engine} budget {budget}");
+        }
         assert_eq!(step.0.exit, Exit::MaxSteps, "budget {budget} is partial");
         assert_eq!(step.0.steps, budget, "stopped exactly at the budget");
+    }
+}
+
+/// The mid-*superblock* boundary sweep: the straight-line-heavy
+/// workload's loop body is a single ~60-instruction superblock, so
+/// budgets striding one body-length probe every intra-superblock offset
+/// — each must retire exactly `budget` instructions, at the same rip,
+/// with the same partial observables, under all three engines.
+#[test]
+fn max_steps_budget_lands_identically_inside_superblocks() {
+    let elf = bolt_bench::straightline_elf(40);
+    let mut m = Machine::new();
+    m.load_elf(&elf);
+    let full = m
+        .run_engine(&mut NullSink, u64::MAX, Engine::Step)
+        .expect("runs")
+        .steps;
+    // One loop iteration's instruction count: stride budgets by a prime
+    // near it so the cut point walks through the superblock body.
+    for budget in (5..full).step_by(59) {
+        let observe = |engine: Engine| {
+            let mut m = Machine::new();
+            m.load_elf(&elf);
+            let mut sink = CountingSink::default();
+            let r = m.run_engine(&mut sink, budget, engine).expect("runs");
+            (
+                r,
+                m.rip,
+                m.regs,
+                sink.insts,
+                sink.mem_reads,
+                sink.mem_writes,
+            )
+        };
+        let step = observe(Engine::Step);
+        assert_eq!(step.0.steps, budget, "budget {budget}: exact retired count");
+        for engine in [Engine::Block, Engine::Superblock] {
+            assert_eq!(step, observe(engine), "{engine} budget {budget}");
+        }
     }
 }
