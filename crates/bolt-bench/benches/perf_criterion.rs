@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for the reproduction's own algorithms:
 //! encoder/decoder throughput, block-layout algorithms, HFSort
-//! clustering, flow repair, the cache simulator, and the block-vs-step
-//! emulation engines.
+//! clustering, flow repair, the cache simulator, and the emulation
+//! engine tiers (step / block / superblock / uop).
 
 use bolt_bench::*;
 use bolt_compiler::CompileOptions;
@@ -13,6 +13,86 @@ use bolt_sim::{Cache, CpuModel, SimConfig};
 use bolt_workloads::{Scale, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// An ALU-dense loop for the lazy-vs-eager flags comparison: a
+/// 24-instruction body where *every* instruction writes flags and none
+/// reads them — only the loop-back `jne` consumes the final `sub`'s
+/// result. Eager engines pay the flags math 24 times per iteration;
+/// the uop tier's liveness pass pays it once.
+fn alu_dense_elf(iters: i64) -> bolt_elf::Elf {
+    use bolt_isa::{encode_at, AluOp, Cond, Inst, JumpWidth, Reg, Target};
+    let mut insts = vec![
+        Inst::MovRI {
+            dst: Reg::Rdx,
+            imm: 7,
+        },
+        Inst::MovRI {
+            dst: Reg::Rbx,
+            imm: 3,
+        },
+        Inst::MovRI {
+            dst: Reg::Rcx,
+            imm: iters.max(1),
+        },
+    ];
+    let loop_head = insts.len();
+    for k in 0..8i32 {
+        insts.push(Inst::AluI {
+            op: AluOp::Add,
+            dst: Reg::Rdx,
+            imm: k + 1,
+        });
+        insts.push(Inst::AluI {
+            op: AluOp::Xor,
+            dst: Reg::Rbx,
+            imm: 0x55,
+        });
+        insts.push(Inst::AluI {
+            op: AluOp::And,
+            dst: Reg::Rdx,
+            imm: 0xFFFF,
+        });
+    }
+    insts.push(Inst::AluI {
+        op: AluOp::Sub,
+        dst: Reg::Rcx,
+        imm: 1,
+    });
+    let jcc_at = insts.len();
+    insts.push(Inst::Jcc {
+        cond: Cond::Ne,
+        target: Target::Addr(0), // patched below
+        width: JumpWidth::Near,
+    });
+    insts.push(Inst::MovRI {
+        dst: Reg::Rax,
+        imm: 60,
+    });
+    insts.push(Inst::MovRI {
+        dst: Reg::Rdi,
+        imm: 0,
+    });
+    insts.push(Inst::Syscall);
+
+    let base = 0x400000u64;
+    let mut addrs = Vec::with_capacity(insts.len());
+    let mut at = base;
+    for i in &insts {
+        addrs.push(at);
+        at += bolt_isa::encoded_len(i) as u64;
+    }
+    if let Inst::Jcc { target, .. } = &mut insts[jcc_at] {
+        *target = Target::Addr(addrs[loop_head]);
+    }
+    let mut code = Vec::new();
+    for (i, inst) in insts.iter().enumerate() {
+        code.extend(encode_at(inst, addrs[i]).expect("encodes").bytes);
+    }
+    let mut elf = bolt_elf::Elf::new(base);
+    elf.sections
+        .push(bolt_elf::Section::code(".text", base, code));
+    elf
+}
 
 /// A mid-sized disassembled context to exercise pass algorithms.
 fn sample_ctx() -> bolt_ir::BinaryContext {
@@ -130,11 +210,12 @@ fn bench_cache_sim(c: &mut Criterion) {
     });
 }
 
-/// The engine comparison (step vs block vs superblock) on the hot
-/// emulation paths: whole-workload execution (translation-cache hit
+/// The engine comparison (step vs block vs superblock vs uop) on the
+/// hot emulation paths: whole-workload execution (translation-cache hit
 /// path), the straight-line-heavy workload the superblock tier targets,
-/// batched `on_block` charging vs per-instruction `on_inst`, and the
-/// engines driving the full CPU model.
+/// the dispatch-dominated workload the uop tier targets, batched
+/// `on_block` charging vs per-instruction `on_inst`, and the engines
+/// driving the full CPU model.
 fn bench_block_engine(c: &mut Criterion) {
     let program = Workload::Tao.build(Scale::Test);
     let elf = build(&program, &CompileOptions::default());
@@ -142,6 +223,7 @@ fn bench_block_engine(c: &mut Criterion) {
         ("engine_step_tao_null_sink", Engine::Step),
         ("engine_block_tao_null_sink", Engine::Block),
         ("engine_superblock_tao_null_sink", Engine::Superblock),
+        ("engine_uop_tao_null_sink", Engine::Uop),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
@@ -156,6 +238,7 @@ fn bench_block_engine(c: &mut Criterion) {
         ("engine_step_tao_cpu_model", Engine::Step),
         ("engine_block_tao_cpu_model", Engine::Block),
         ("engine_superblock_tao_cpu_model", Engine::Superblock),
+        ("engine_uop_tao_cpu_model", Engine::Uop),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
@@ -178,11 +261,73 @@ fn bench_block_engine(c: &mut Criterion) {
         ("engine_step_straightline", Engine::Step),
         ("engine_block_straightline", Engine::Block),
         ("engine_superblock_straightline", Engine::Superblock),
+        ("engine_uop_straightline", Engine::Uop),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
                 let mut m = Machine::new();
                 m.load_elf(&straight);
+                let r = m.run_engine(&mut NullSink, u64::MAX, engine).unwrap();
+                black_box(r.steps)
+            })
+        });
+    }
+
+    // The dispatch-dominated interp VM — two dispatch sites per
+    // iteration whose targets change nearly every execution, the uop
+    // tier's stress case (a null sink makes this a dispatch-only loop:
+    // pure engine cost, no model work).
+    let interp = build(
+        &Workload::Interp.build(Scale::Test),
+        &CompileOptions::default(),
+    );
+    for (name, engine) in [
+        ("engine_superblock_interp_null_sink", Engine::Superblock),
+        ("engine_uop_interp_null_sink", Engine::Uop),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                m.load_elf(&interp);
+                let r = m.run_engine(&mut NullSink, u64::MAX, engine).unwrap();
+                black_box(r.steps)
+            })
+        });
+    }
+
+    // Lowering cost per block: a one-iteration binary on a fresh
+    // machine each iter, so every block is decoded (superblock) or
+    // decoded *and* lowered to micro-ops (uop) exactly once and
+    // executed once. The uop-minus-superblock delta is the translation
+    // surcharge the tier pays up front.
+    let tiny = straightline_elf(1);
+    for (name, engine) in [
+        ("engine_superblock_translate_only", Engine::Superblock),
+        ("engine_uop_translate_and_lower", Engine::Uop),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                m.load_elf(&tiny);
+                let r = m.run_engine(&mut NullSink, u64::MAX, engine).unwrap();
+                black_box(r.steps)
+            })
+        });
+    }
+
+    // Lazy vs eager flags: every body instruction writes flags but only
+    // the loop-back `jne` reads them. The superblock engine materializes
+    // each ALU result's flags eagerly; the uop engine's liveness pass
+    // marks all but the last writer dead and skips the flags math.
+    let alu = alu_dense_elf(2_000);
+    for (name, engine) in [
+        ("engine_superblock_alu_eager_flags", Engine::Superblock),
+        ("engine_uop_alu_lazy_flags", Engine::Uop),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                m.load_elf(&alu);
                 let r = m.run_engine(&mut NullSink, u64::MAX, engine).unwrap();
                 black_box(r.steps)
             })

@@ -1,10 +1,11 @@
 //! `bench-snapshot`: records the emulation-engine performance trajectory
 //! as a committed artifact instead of a commit-message anecdote.
 //!
-//! Runs every execution engine (`step`, `block`, `superblock`) over a
-//! small workload matrix — the TAO and clang-like paper workloads plus
-//! the synthetic straight-line-heavy loop the superblock tier targets —
-//! and writes the wall clocks and derived speedups to `BENCH_emu.json`
+//! Runs every execution engine (`step`, `block`, `superblock`, `uop`)
+//! over a small workload matrix — the TAO and clang-like paper
+//! workloads, the dispatch-dominated `interp` VM the uop tier targets,
+//! and the synthetic straight-line-heavy loop the superblock tier
+//! targets — and writes the wall clocks and derived speedups to `BENCH_emu.json`
 //! (engine × workload). Counters are asserted byte-identical across
 //! engines while at it, so the snapshot can't silently measure two
 //! different computations.
@@ -27,7 +28,7 @@ use bolt_workloads::{Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const ENGINES: [Engine; 3] = [Engine::Step, Engine::Block, Engine::Superblock];
+const ENGINES: [Engine; 4] = [Engine::Step, Engine::Block, Engine::Superblock, Engine::Uop];
 
 struct Leg {
     /// Best-of-reps wall clock with no sink attached (pure engine cost).
@@ -102,6 +103,13 @@ fn main() {
                 &CompileOptions::default(),
             ),
         ),
+        (
+            "interp",
+            build(
+                &Workload::Interp.build(Scale::Test),
+                &CompileOptions::default(),
+            ),
+        ),
         ("straightline", straightline_elf(straight_iters)),
     ];
 
@@ -124,6 +132,7 @@ fn main() {
             "full"
         }
     );
+    let mut uop_wins = 0usize;
     for (wi, (name, elf)) in workloads.iter().enumerate() {
         let legs: Vec<Leg> = ENGINES.iter().map(|&e| run_leg(elf, e, reps)).collect();
         for (e, leg) in ENGINES.iter().zip(&legs) {
@@ -144,9 +153,12 @@ fn main() {
         let sb_vs_block_null = legs[1].null_ms / legs[2].null_ms.max(f64::MIN_POSITIVE);
         let block_vs_step = legs[0].model_ms / legs[1].model_ms.max(f64::MIN_POSITIVE);
         let sb_vs_step = legs[0].model_ms / legs[2].model_ms.max(f64::MIN_POSITIVE);
+        let uop_vs_sb = legs[2].model_ms / legs[3].model_ms.max(f64::MIN_POSITIVE);
+        let uop_vs_sb_null = legs[2].null_ms / legs[3].null_ms.max(f64::MIN_POSITIVE);
         println!(
             "  {name:<12} cpu-model superblock/block {sb_vs_block:.2}x (null {sb_vs_block_null:.2}x), \
-             block/step {block_vs_step:.2}x, superblock/step {sb_vs_step:.2}x"
+             block/step {block_vs_step:.2}x, superblock/step {sb_vs_step:.2}x, \
+             uop/superblock {uop_vs_sb:.2}x (null {uop_vs_sb_null:.2}x)"
         );
         let _ = writeln!(json, "    \"{name}\": {{");
         let _ = writeln!(json, "      \"retired_instructions\": {},", legs[0].steps);
@@ -172,7 +184,12 @@ fn main() {
         let _ = writeln!(json, "      \"speedup_block_vs_step\": {block_vs_step:.3},");
         let _ = writeln!(
             json,
-            "      \"speedup_superblock_vs_step\": {sb_vs_step:.3}"
+            "      \"speedup_superblock_vs_step\": {sb_vs_step:.3},"
+        );
+        let _ = writeln!(json, "      \"speedup_uop_vs_superblock\": {uop_vs_sb:.3},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_uop_vs_superblock_null_sink\": {uop_vs_sb_null:.3}"
         );
         let _ = writeln!(
             json,
@@ -185,6 +202,15 @@ fn main() {
                  workload measured {sb_vs_block:.2}x, below the 1.5x target"
             );
         }
+        if uop_vs_sb_null >= 1.3 {
+            uop_wins += 1;
+        }
+    }
+    if !smoke && uop_wins < 2 {
+        eprintln!(
+            "bench-snapshot: WARNING: uop/superblock null-sink hit 1.3x on only \
+             {uop_wins} workload(s), below the 2-workload target"
+        );
     }
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");

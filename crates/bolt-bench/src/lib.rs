@@ -536,6 +536,7 @@ mod tests {
         assert!(step.0 > 50 * 40, "the loop body actually spins");
         assert_eq!(step, run(Engine::Block), "block engine identical");
         assert_eq!(step, run(Engine::Superblock), "superblock identical");
+        assert_eq!(step, run(Engine::Uop), "uop engine identical");
     }
 
     #[test]

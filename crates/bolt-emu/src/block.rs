@@ -11,7 +11,7 @@
 //! instructions, per-instruction fetch records, static memory-op
 //! shapes, and the precomputed I-side line footprint in shared pools.
 //!
-//! The cache translates in two modes (see [`ensure_span`]):
+//! The cache translates in three modes (see [`ensure_span`]):
 //!
 //! * **Block mode** (`Machine::run_blocks`): blocks end at the first
 //!   control transfer *or* memory-touching instruction. Every
@@ -31,6 +31,11 @@
 //!   *chain*: a block's terminator caches up to two `(successor rip →
 //!   block index)` links so the hot loop follows direct jumps and
 //!   fall-throughs without consulting the entry index at all.
+//! * **Uop mode** (`Machine::run_uops`): superblock packing, and in
+//!   addition each decoded instruction is lowered to a pre-resolved
+//!   [`MicroOp`] in a pool parallel to the decoded entries — see
+//!   [`crate::uop`]. The decoded `insts` stay populated too: the
+//!   mid-block `MaxSteps` fallback steps through them exactly.
 //!
 //! **Blocks self-invalidate on stores into cached text** (flat span or
 //! spill bounds). In block mode a store is always a block's last
@@ -46,6 +51,7 @@
 //! [`ensure_span`]: BlockCache::ensure_span
 
 use crate::spill::SpillIndex;
+use crate::uop::MicroOp;
 use crate::{BlockEvent, EmuError, MemRecord, Memory, MAX_INST_LEN};
 use bolt_isa::{decode, Inst, Rm};
 use std::ops::Range;
@@ -57,6 +63,30 @@ const MAX_BLOCK_INSTS: usize = 64;
 
 /// Chain-link slot holding no successor yet.
 const NO_LINK: (u64, u32) = (u64::MAX, 0);
+
+/// How the cache translates — pinned per span by
+/// [`ensure_span`](BlockCache::ensure_span) since the three engines
+/// pack blocks differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum TranslationMode {
+    /// Blocks end at the first control transfer *or* memory access.
+    #[default]
+    Block,
+    /// Blocks span memory accesses (shapes recorded) and chain.
+    Superblock,
+    /// Superblock packing, plus each instruction lowered to a
+    /// pre-resolved [`MicroOp`] in a parallel pool.
+    Uop,
+}
+
+impl TranslationMode {
+    /// Whether blocks span memory-touching instructions (and therefore
+    /// record static D-side shapes and support chaining).
+    #[inline]
+    fn spans_mems(self) -> bool {
+        !matches!(self, TranslationMode::Block)
+    }
+}
 
 /// Static shape of one data-memory access inside a block: which
 /// instruction performs it and its direction, recorded at translation
@@ -104,7 +134,7 @@ struct Block {
 /// instructions (so all D-side events come from a block's final
 /// instruction — the ordering guarantee up-front batched I-side
 /// charging depends on).
-fn ends_block(inst: &Inst, superblock: bool) -> bool {
+fn ends_block(inst: &Inst, spans_mems: bool) -> bool {
     match inst {
         Inst::Jcc { .. }
         | Inst::Jmp { .. }
@@ -115,7 +145,7 @@ fn ends_block(inst: &Inst, superblock: bool) -> bool {
         | Inst::RepzRet
         | Inst::Ud2
         | Inst::Syscall => true,
-        Inst::Push(_) | Inst::Pop(_) | Inst::Load { .. } | Inst::Store { .. } => !superblock,
+        Inst::Push(_) | Inst::Pop(_) | Inst::Load { .. } | Inst::Store { .. } => !spans_mems,
         _ => false,
     }
 }
@@ -130,11 +160,14 @@ pub(crate) struct BlockCache {
     /// run, so step-only machines pay nothing.
     index: Vec<u32>,
     base: u64,
-    /// Translation mode: superblocks span memory-touching instructions.
-    superblock: bool,
+    /// Translation mode (see [`TranslationMode`]).
+    mode: TranslationMode,
     blocks: Vec<Block>,
     /// Decoded `(inst, len)` entries, packed across all blocks.
     insts: Vec<(Inst, u8)>,
+    /// Lowered micro-ops, parallel to `insts` entry-for-entry (uop mode
+    /// only; empty otherwise).
+    uops: Vec<MicroOp>,
     /// Per-instruction `(addr, len)` fetch records, parallel to `insts`.
     fetches: Vec<(u64, u8)>,
     /// Pooled 64-byte line footprints.
@@ -165,9 +198,10 @@ impl Default for BlockCache {
         BlockCache {
             index: Vec::new(),
             base: 0,
-            superblock: false,
+            mode: TranslationMode::Block,
             blocks: Vec::new(),
             insts: Vec::new(),
+            uops: Vec::new(),
             fetches: Vec::new(),
             lines: Vec::new(),
             mem_shapes: Vec::new(),
@@ -187,6 +221,7 @@ impl BlockCache {
         self.base = 0;
         self.blocks.clear();
         self.insts.clear();
+        self.uops.clear();
         self.fetches.clear();
         self.lines.clear();
         self.mem_shapes.clear();
@@ -199,11 +234,11 @@ impl BlockCache {
     /// Sizes the entry index to the machine's flat text span and pins
     /// the translation mode (no-op when both already match, e.g. a
     /// machine reused across runs of one image under one engine).
-    pub(crate) fn ensure_span(&mut self, base: u64, span: usize, superblock: bool) {
-        if self.base != base || self.index.len() != span || self.superblock != superblock {
+    pub(crate) fn ensure_span(&mut self, base: u64, span: usize, mode: TranslationMode) {
+        if self.base != base || self.index.len() != span || self.mode != mode {
             self.clear();
             self.base = base;
-            self.superblock = superblock;
+            self.mode = mode;
             self.index = vec![0; span];
             if span > 0 {
                 self.watch_lo = base;
@@ -275,6 +310,7 @@ impl BlockCache {
         if self.dirty {
             self.blocks.clear();
             self.insts.clear();
+            self.uops.clear();
             self.fetches.clear();
             self.lines.clear();
             self.mem_shapes.clear();
@@ -343,7 +379,7 @@ impl BlockCache {
                 Err(_) if at == entry => return Err(EmuError::BadInstruction { rip: entry }),
                 Err(_) => break,
             };
-            if self.superblock {
+            if self.mode.spans_mems() {
                 self.push_mem_shapes((self.insts.len() - insts_start) as u32, &d.inst);
             }
             self.insts.push((d.inst, d.len));
@@ -356,12 +392,19 @@ impl BlockCache {
             // direction: flat-index and spill blocks have different
             // text-write invalidation bounds, so each block must lie
             // wholly inside one region.
-            if ends_block(&d.inst, self.superblock)
+            if ends_block(&d.inst, self.mode.spans_mems())
                 || self.insts.len() - insts_start >= MAX_BLOCK_INSTS
                 || self.in_span(at) != entry_in_span
             {
                 break;
             }
+        }
+        if self.mode == TranslationMode::Uop {
+            // Lower the whole block at once: the flags-liveness pass
+            // needs to see every instruction. The pools stay parallel —
+            // `uops[i]` always pairs with `insts[i]`.
+            crate::uop::lower_into(&mut self.uops, &self.insts[insts_start..]);
+            debug_assert_eq!(self.uops.len(), self.insts.len());
         }
         let lines_start = self.lines.len();
         let mut line = (entry >> 6) << 6;
@@ -413,6 +456,13 @@ impl BlockCache {
     #[inline]
     pub(crate) fn inst(&self, i: usize) -> (Inst, u8) {
         self.insts[i]
+    }
+
+    /// One lowered micro-op (uop mode; same pool indices as
+    /// [`inst`](Self::inst)).
+    #[inline]
+    pub(crate) fn uop(&self, i: usize) -> MicroOp {
+        self.uops[i]
     }
 
     /// Block `idx`'s static memory-op shapes (superblock mode).
@@ -522,13 +572,13 @@ mod tests {
 
     fn cache_over(base: u64, span: usize) -> BlockCache {
         let mut c = BlockCache::default();
-        c.ensure_span(base, span, false);
+        c.ensure_span(base, span, TranslationMode::Block);
         c
     }
 
     fn supercache_over(base: u64, span: usize) -> BlockCache {
         let mut c = BlockCache::default();
-        c.ensure_span(base, span, true);
+        c.ensure_span(base, span, TranslationMode::Superblock);
         c
     }
 
@@ -848,6 +898,59 @@ mod tests {
         c.reclaim();
         assert_eq!(c.lookup(0x500000), None);
         assert_eq!(c.lookup(0x700000), None);
+    }
+
+    /// Uop mode packs like superblock mode and keeps the micro-op pool
+    /// parallel to the decoded pool across blocks, invalidation, and
+    /// retranslation.
+    #[test]
+    fn uop_mode_lowers_a_parallel_pool() {
+        let m = Mem::BaseDisp {
+            base: Reg::R10,
+            disp: 16,
+        };
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Load {
+                dst: Reg::Rcx,
+                mem: m,
+            },
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rcx,
+                imm: 3,
+            },
+            Inst::Ret,
+        ];
+        let (mem, len) = memory_with(&insts, 0x400000);
+        let mut c = BlockCache::default();
+        c.ensure_span(0x400000, len as usize, TranslationMode::Uop);
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        assert_eq!(c.event(idx).inst_count, 4, "packs like a superblock");
+        assert_eq!(c.uops.len(), c.insts.len(), "pools parallel");
+        let (range, _) = c.inst_range(idx);
+        assert_eq!(
+            c.uop(range.start).kind,
+            crate::uop::UopKind::MovRI,
+            "entries line up with the decoded pool"
+        );
+        assert_eq!(c.uop(range.start + 1).kind, crate::uop::UopKind::LoadBD);
+        assert_eq!(c.uop(range.start + 1).imm, 16, "disp pre-resolved");
+        assert_eq!(
+            c.shapes(idx).len(),
+            2,
+            "uop mode records D-side shapes (load + ret's pop) like superblock mode"
+        );
+        // Invalidation + retranslation keeps the pools in lockstep.
+        c.invalidate();
+        c.reclaim();
+        assert!(c.uops.is_empty(), "uop pool reclaimed with the rest");
+        let idx = c.translate(&mem, 0x400000).unwrap();
+        assert_eq!(c.event(idx).inst_count, 4);
+        assert_eq!(c.uops.len(), c.insts.len());
     }
 
     #[test]

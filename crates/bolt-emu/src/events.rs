@@ -47,11 +47,11 @@ pub struct BranchEvent {
 /// One data-memory access made by an instruction inside a batched
 /// block event, with its effective address resolved at execute time.
 ///
-/// The superblock engine records these while the block executes (the
-/// static shape — which instruction accesses memory, read or write —
-/// is known at translation time; only the address is dynamic) and
-/// delivers them interleaved with the fetch records so sinks observe
-/// exactly the step engine's event order.
+/// The superblock and uop engines record these while the block
+/// executes (the static shape — which instruction accesses memory,
+/// read or write — is known at translation time; only the address is
+/// dynamic) and deliver them interleaved with the fetch records so
+/// sinks observe exactly the step engine's event order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRecord {
     /// Index into [`BlockEvent::fetches`] of the accessing instruction.
@@ -74,7 +74,8 @@ pub struct MemRecord {
 /// produces comes from its last instruction, and `mems` is empty — so a
 /// sink that charges the whole fetch footprint here observes exactly
 /// the event order of per-instruction stepping. Under
-/// [`Machine::run_superblocks`] blocks span memory-touching
+/// [`Machine::run_superblocks`] (and [`Machine::run_uops`], which
+/// shares its translation and batching) blocks span memory-touching
 /// instructions and the event carries the executed instructions' memory
 /// accesses in `mems`, interleaved with the fetches by instruction
 /// index; replaying fetch `i` then its memory records reproduces the
@@ -83,6 +84,7 @@ pub struct MemRecord {
 ///
 /// [`Machine::run_blocks`]: crate::Machine::run_blocks
 /// [`Machine::run_superblocks`]: crate::Machine::run_superblocks
+/// [`Machine::run_uops`]: crate::Machine::run_uops
 #[derive(Debug, Clone, Copy)]
 pub struct BlockEvent<'a> {
     /// Address of the block's first instruction.
@@ -105,8 +107,8 @@ pub struct BlockEvent<'a> {
     /// fetch touches two lines).
     pub crossings64: u32,
     /// Data-memory accesses of the block's instructions in program
-    /// order, each tagged with the index of its fetch (superblock
-    /// engine; empty under the plain block engine).
+    /// order, each tagged with the index of its fetch (superblock and
+    /// uop engines; empty under the plain block engine).
     pub mems: &'a [MemRecord],
 }
 

@@ -1,7 +1,8 @@
 //! The functional emulator core.
 
-use crate::block::BlockCache;
+use crate::block::{BlockCache, TranslationMode};
 use crate::spill::SpillIndex;
+use crate::uop::{MicroOp, UopKind};
 use crate::{BranchEvent, BranchKind, MemRecord, Memory, TraceSink, MAX_INST_LEN};
 use bolt_isa::{decode, AluOp, Cond, Inst, Mem, Reg, Rm, ShiftOp, Target};
 use std::fmt;
@@ -22,6 +23,72 @@ pub struct Flags {
 }
 
 impl Flags {
+    /// Flags of a logical operation's result (`and`/`or`/`xor`/`test`):
+    /// CF and OF cleared, ZF/SF/PF from the result. The single shared
+    /// implementation behind every engine — the step engine computes it
+    /// eagerly, the uop engine lazily at the first consumer.
+    #[inline]
+    pub fn of_logic(r: u64) -> Flags {
+        Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            of: false,
+            cf: false,
+            pf: (r as u8).count_ones() % 2 == 0,
+        }
+    }
+
+    /// Flags of `a - b` (`sub`/`cmp`).
+    #[inline]
+    pub fn of_sub(a: u64, b: u64) -> Flags {
+        let r = a.wrapping_sub(b);
+        Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            cf: a < b,
+            of: (((a ^ b) & (a ^ r)) >> 63) != 0,
+            pf: (r as u8).count_ones() % 2 == 0,
+        }
+    }
+
+    /// Flags of `a + b`.
+    #[inline]
+    pub fn of_add(a: u64, b: u64) -> Flags {
+        let r = a.wrapping_add(b);
+        Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            cf: r < a,
+            of: ((!(a ^ b) & (a ^ r)) >> 63) != 0,
+            pf: (r as u8).count_ones() % 2 == 0,
+        }
+    }
+
+    /// Flags of a signed multiply producing `r`, with `over` reporting
+    /// whether the full product overflowed 64 bits.
+    #[inline]
+    pub fn of_imul(r: i64, over: bool) -> Flags {
+        Flags {
+            zf: r == 0,
+            sf: r < 0,
+            of: over,
+            cf: over,
+            pf: (r as u8).count_ones() % 2 == 0,
+        }
+    }
+
+    /// Flags of a nonzero-count shift producing `r` with carry-out `cf`.
+    #[inline]
+    pub fn of_shift(r: u64, cf: bool) -> Flags {
+        Flags {
+            zf: r == 0,
+            sf: (r >> 63) != 0,
+            of: false,
+            cf,
+            pf: (r as u8).count_ones() % 2 == 0,
+        }
+    }
+
     /// Evaluates a condition code against the flags.
     pub fn cond(&self, c: Cond) -> bool {
         match c {
@@ -43,6 +110,32 @@ impl Flags {
             Cond::G => !self.zf && (self.sf == self.of),
         }
     }
+}
+
+/// Deferred flags state for the uop engine's lazy-flags optimization:
+/// a flag-writing micro-op whose flags *are* consumed later records its
+/// operands here (two or three stores, no `pf` popcount) instead of
+/// computing the full [`Flags`] struct; the first consumer — a `jcc` or
+/// `setcc` uop, or the run's exit — materializes them through the
+/// shared [`Flags::of_logic`]-family helpers. Micro-ops whose flag
+/// writes are provably dead (a later writer in the same block precedes
+/// any reader) skip even this. Outside the uop hot loop the state is
+/// always `Clean` and `Machine::flags` is architectural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum LazyFlags {
+    /// `Machine::flags` is up to date.
+    #[default]
+    Clean,
+    /// A logical op produced this result.
+    Logic(u64),
+    /// A subtraction/compare of these operands is pending.
+    Sub(u64, u64),
+    /// An addition of these operands is pending.
+    Add(u64, u64),
+    /// A signed multiply produced this result (with overflow bit).
+    Imul(i64, bool),
+    /// A nonzero shift produced this result (with carry-out).
+    Shift(u64, bool),
 }
 
 /// Which execution engine drives a run.
@@ -71,13 +164,25 @@ pub enum Engine {
     /// batched event carries the executed instructions' memory records
     /// interleaved with the fetches, and a block's terminator caches
     /// its successor block so the hot loop skips the entry-index lookup
-    /// entirely. The fastest tier.
+    /// entirely.
     Superblock,
+    /// Pre-resolved micro-op execution ([`Machine::run_uops`]): blocks
+    /// translate exactly like superblocks (same spanning, chaining, SMC,
+    /// and event batching), but each decoded instruction is additionally
+    /// *lowered* to a flat [`MicroOp`](crate::uop::MicroOp) — operands
+    /// pre-resolved to register-file indices, immediates sign-extended,
+    /// effective-address recipes split per addressing shape — so the hot
+    /// loop is a linear sweep over a dense `#[repr(u8)]`-tagged array
+    /// with no re-decode and no wide `Inst` match. Arithmetic flags are
+    /// computed lazily: only micro-ops whose flags a later consumer
+    /// actually reads record them (as pending operands), and dead flag
+    /// writes are skipped outright. The fastest tier.
+    Uop,
 }
 
 impl Engine {
     /// The accepted knob spellings, for error messages.
-    pub const VALID: &'static str = "step|block|superblock";
+    pub const VALID: &'static str = "step|block|superblock|uop";
 }
 
 impl std::str::FromStr for Engine {
@@ -88,6 +193,7 @@ impl std::str::FromStr for Engine {
             "step" => Ok(Engine::Step),
             "block" => Ok(Engine::Block),
             "superblock" => Ok(Engine::Superblock),
+            "uop" => Ok(Engine::Uop),
             other => Err(format!("expected one of {}, got {other:?}", Engine::VALID)),
         }
     }
@@ -99,6 +205,7 @@ impl fmt::Display for Engine {
             Engine::Step => "step",
             Engine::Block => "block",
             Engine::Superblock => "superblock",
+            Engine::Uop => "uop",
         })
     }
 }
@@ -107,7 +214,7 @@ impl fmt::Display for Engine {
 ///
 /// * `Some(engine)`: that engine.
 /// * `None` (auto): the `BOLT_ENGINE` environment override (`step`,
-///   `block`, or `superblock`) if set, else [`Engine::Step`]. Like
+///   `block`, `superblock`, or `uop`) if set, else [`Engine::Step`]. Like
 ///   `BOLT_THREADS` / `BOLT_SHARDS`, a set-but-garbled override fails
 ///   loudly instead of silently de-fanging a CI leg.
 pub fn resolve_engine(engine: Option<Engine>) -> Engine {
@@ -257,6 +364,9 @@ pub struct Machine {
     /// Reused capture buffer for the superblock engine's per-block
     /// memory records.
     mem_buf: Vec<MemRecord>,
+    /// Pending lazy-flags state (uop engine only; `Clean` — and `flags`
+    /// architectural — at every observable boundary).
+    lazy: LazyFlags,
 }
 
 /// Largest text span (in bytes) the flat decode cache covers — 32 MiB
@@ -284,6 +394,7 @@ impl Default for Machine {
             icache_watch_hi: 0,
             blocks: BlockCache::default(),
             mem_buf: Vec::new(),
+            lazy: LazyFlags::Clean,
         }
     }
 }
@@ -315,6 +426,7 @@ impl Machine {
         self.icache_watch_hi = 0;
         self.blocks.clear();
         self.mem_buf.clear();
+        self.lazy = LazyFlags::Clean;
     }
 
     /// Loads all allocatable sections of an ELF image and initializes
@@ -354,6 +466,34 @@ impl Machine {
     #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u64) {
         self.regs[r.num() as usize] = v;
+    }
+
+    /// Register access by pre-resolved micro-op index. The mask keeps
+    /// the bounds check out of the hot loop; lowered indices are always
+    /// in 0..16.
+    #[inline(always)]
+    fn r(&self, i: u8) -> u64 {
+        self.regs[(i & 15) as usize]
+    }
+
+    #[inline(always)]
+    fn set_r(&mut self, i: u8, v: u64) {
+        self.regs[(i & 15) as usize] = v;
+    }
+
+    /// Effective address of a pre-resolved `base + disp` recipe.
+    #[inline(always)]
+    fn ea_bd(&self, op: &MicroOp) -> u64 {
+        self.r(op.b).wrapping_add(op.imm as u64)
+    }
+
+    /// Effective address of a pre-resolved `base + index*scale + disp`
+    /// recipe.
+    #[inline(always)]
+    fn ea_bis(&self, op: &MicroOp) -> u64 {
+        self.r(op.b)
+            .wrapping_add(self.r(op.c).wrapping_mul(op.d as u64))
+            .wrapping_add(op.imm as u64)
     }
 
     fn effective_addr(&self, mem: &Mem) -> u64 {
@@ -440,37 +580,34 @@ impl Machine {
     }
 
     fn set_flags_logic(&mut self, r: u64) {
-        self.flags = Flags {
-            zf: r == 0,
-            sf: (r >> 63) != 0,
-            of: false,
-            cf: false,
-            pf: (r as u8).count_ones() % 2 == 0,
-        };
+        self.flags = Flags::of_logic(r);
     }
 
     fn set_flags_sub(&mut self, a: u64, b: u64) -> u64 {
-        let r = a.wrapping_sub(b);
-        self.flags = Flags {
-            zf: r == 0,
-            sf: (r >> 63) != 0,
-            cf: a < b,
-            of: (((a ^ b) & (a ^ r)) >> 63) != 0,
-            pf: (r as u8).count_ones() % 2 == 0,
-        };
-        r
+        self.flags = Flags::of_sub(a, b);
+        a.wrapping_sub(b)
     }
 
     fn set_flags_add(&mut self, a: u64, b: u64) -> u64 {
-        let r = a.wrapping_add(b);
-        self.flags = Flags {
-            zf: r == 0,
-            sf: (r >> 63) != 0,
-            cf: r < a,
-            of: ((!(a ^ b) & (a ^ r)) >> 63) != 0,
-            pf: (r as u8).count_ones() % 2 == 0,
-        };
-        r
+        self.flags = Flags::of_add(a, b);
+        a.wrapping_add(b)
+    }
+
+    /// Folds any pending lazy-flags state into `self.flags`. Called by
+    /// the uop engine at each flags consumer and at every boundary where
+    /// `flags` becomes observable (run exit, fallback to exact
+    /// stepping); a no-op everywhere else, since only uop execution ever
+    /// leaves the state non-`Clean`.
+    #[inline]
+    fn materialize_flags(&mut self) {
+        match std::mem::replace(&mut self.lazy, LazyFlags::Clean) {
+            LazyFlags::Clean => {}
+            LazyFlags::Logic(r) => self.flags = Flags::of_logic(r),
+            LazyFlags::Sub(a, b) => self.flags = Flags::of_sub(a, b),
+            LazyFlags::Add(a, b) => self.flags = Flags::of_add(a, b),
+            LazyFlags::Imul(r, over) => self.flags = Flags::of_imul(r, over),
+            LazyFlags::Shift(r, cf) => self.flags = Flags::of_shift(r, cf),
+        }
     }
 
     fn alu(&mut self, op: AluOp, a: u64, b: u64) -> u64 {
@@ -610,13 +747,7 @@ impl Machine {
                 let a = self.reg(dst) as i64;
                 let b = self.reg(src) as i64;
                 let (r, over) = a.overflowing_mul(b);
-                self.flags = Flags {
-                    zf: r == 0,
-                    sf: r < 0,
-                    of: over,
-                    cf: over,
-                    pf: (r as u8).count_ones() % 2 == 0,
-                };
+                self.flags = Flags::of_imul(r, over);
                 self.set_reg(dst, r as u64);
             }
             Inst::Shift { op, dst, amount } => {
@@ -631,13 +762,7 @@ impl Machine {
                             ((a as i64) >> (c - 1)) & 1 != 0,
                         ),
                     };
-                    self.flags = Flags {
-                        zf: r == 0,
-                        sf: (r >> 63) != 0,
-                        of: false,
-                        cf,
-                        pf: (r as u8).count_ones() % 2 == 0,
-                    };
+                    self.flags = Flags::of_shift(r, cf);
                     self.set_reg(dst, r);
                 }
             }
@@ -774,6 +899,7 @@ impl Machine {
             Engine::Step => self.run_steps(sink, max_steps),
             Engine::Block => self.run_blocks(sink, max_steps),
             Engine::Superblock => self.run_superblocks(sink, max_steps),
+            Engine::Uop => self.run_uops(sink, max_steps),
         }
     }
 
@@ -818,8 +944,11 @@ impl Machine {
         sink: &mut S,
         max_steps: u64,
     ) -> Result<RunResult, EmuError> {
-        self.blocks
-            .ensure_span(self.icache_base, self.icache_index.len(), false);
+        self.blocks.ensure_span(
+            self.icache_base,
+            self.icache_index.len(),
+            TranslationMode::Block,
+        );
         let mut steps = 0u64;
         while steps < max_steps {
             // Reclaim invalidated pools only between blocks: a store is
@@ -905,8 +1034,11 @@ impl Machine {
         max_steps: u64,
         mems: &mut Vec<MemRecord>,
     ) -> Result<RunResult, EmuError> {
-        self.blocks
-            .ensure_span(self.icache_base, self.icache_index.len(), true);
+        self.blocks.ensure_span(
+            self.icache_base,
+            self.icache_index.len(),
+            TranslationMode::Superblock,
+        );
         let mut steps = 0u64;
         // The block just executed, if its chain links are still valid —
         // the source end of the next transition's cached link.
@@ -1026,6 +1158,522 @@ impl Machine {
             exit: Exit::MaxSteps,
             steps,
         })
+    }
+
+    /// The uop engine: superblock translation and chaining, but the hot
+    /// loop executes *lowered micro-ops* ([`crate::uop`]) instead of
+    /// re-dispatching decoded [`Inst`]s — operands are already direct
+    /// register-file indices, immediates are sign-extended, effective
+    /// addresses are per-shape recipes, and the dispatch is one dense
+    /// jump table over a `#[repr(u8)]` tag. Arithmetic flags are lazy:
+    /// only micro-ops whose flags a later op actually consumes record
+    /// them (as pending operands in [`LazyFlags`]), the full
+    /// [`Flags`] — including the `pf` popcount — materializes at the
+    /// first consumer, and provably-dead flag writes are skipped
+    /// outright.
+    ///
+    /// Everything the superblock engine guarantees carries over
+    /// unchanged — event order (batched [`TraceSink::on_block`] with
+    /// interleaved memory records, then the live branch), SMC
+    /// self-invalidation with mid-block abandonment, chain links, spill
+    /// translation, and the exact [`Exit::MaxSteps`] fallback to
+    /// per-instruction stepping (the decoded pool stays populated
+    /// alongside the micro-ops for precisely that path). Pending lazy
+    /// flags materialize at every boundary where `flags` becomes
+    /// observable: flag consumers, the stepping fallback, and run exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run_uops<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+    ) -> Result<RunResult, EmuError> {
+        let mut mems = std::mem::take(&mut self.mem_buf);
+        let r = self.run_uops_inner(sink, max_steps, &mut mems);
+        // Whatever pending state the hot loop left becomes architectural
+        // before flags are observable to the caller — on normal exit,
+        // MaxSteps, and errors alike.
+        self.materialize_flags();
+        mems.clear();
+        self.mem_buf = mems;
+        r
+    }
+
+    fn run_uops_inner<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        max_steps: u64,
+        mems: &mut Vec<MemRecord>,
+    ) -> Result<RunResult, EmuError> {
+        self.blocks.ensure_span(
+            self.icache_base,
+            self.icache_index.len(),
+            TranslationMode::Uop,
+        );
+        let mut steps = 0u64;
+        // The block just executed, if its chain links are still valid —
+        // the source end of the next transition's cached link.
+        let mut prev: Option<u32> = None;
+        while steps < max_steps {
+            // Reclaim invalidated pools only between blocks; any chain
+            // state died with them.
+            if self.blocks.reclaim() {
+                prev = None;
+            }
+            let rip = self.rip;
+            let idx = match prev.and_then(|p| self.blocks.linked(p, rip)) {
+                Some(i) => i,
+                None => {
+                    let i = match self.blocks.lookup(rip) {
+                        Some(i) => i,
+                        None => self.blocks.translate(&self.mem, rip)?,
+                    };
+                    if let Some(p) = prev {
+                        self.blocks.install_link(p, rip, i);
+                    }
+                    i
+                }
+            };
+            let (range, entry, has_mems) = self.blocks.block_info(idx);
+            let count = range.len() as u64;
+            if max_steps - steps < count {
+                // The budget lands inside this block: materialize any
+                // pending flags and finish with exact per-instruction
+                // stepping so MaxSteps fires at the same retired count
+                // as the step engine.
+                self.materialize_flags();
+                while steps < max_steps {
+                    steps += 1;
+                    if let Some(exit) = self.step(sink)? {
+                        return Ok(RunResult { exit, steps });
+                    }
+                }
+                break;
+            }
+            if !has_mems {
+                // No D-side events anywhere in the block: charge the
+                // event up front and execute with the live sink.
+                sink.on_block(self.blocks.event(idx));
+                let mut at = entry;
+                for i in range {
+                    let op = self.blocks.uop(i);
+                    steps += 1;
+                    if let Some(exit) = self.exec_uop(at, op, sink)? {
+                        return Ok(RunResult { exit, steps });
+                    }
+                    at += op.len as u64;
+                }
+                prev = Some(idx);
+                continue;
+            }
+            // Memory accesses mid-block: execute against a capture
+            // buffer, then emit one event carrying the interleaved
+            // fetch + memory records, then the terminator's branch.
+            mems.clear();
+            let mut cap = CaptureSink {
+                mems: &mut *mems,
+                inst: 0,
+                branch: None,
+            };
+            let mut at = entry;
+            let mut executed = 0u32;
+            let mut outcome = Ok(None);
+            for i in range {
+                let op = self.blocks.uop(i);
+                cap.inst = executed;
+                steps += 1;
+                executed += 1;
+                match self.exec_uop(at, op, &mut cap) {
+                    Ok(None) => {}
+                    other => {
+                        outcome = other;
+                        break;
+                    }
+                }
+                at += op.len as u64;
+                // A store may have patched cached text — possibly this
+                // very block's later micro-ops. Abandon the packed
+                // entries; the prefix event reports exactly what
+                // retired, and the patched bytes retranslate (and
+                // re-lower) next iteration.
+                if self.blocks.is_dirty() {
+                    break;
+                }
+            }
+            let branch = cap.branch;
+            debug_assert!(
+                {
+                    let shapes = self.blocks.shapes(idx);
+                    mems.len() <= shapes.len()
+                        && mems
+                            .iter()
+                            .zip(shapes)
+                            .all(|(m, s)| m.inst == s.inst && m.write == s.write)
+                },
+                "captured records must match the translation-time shapes"
+            );
+            sink.on_block(self.blocks.prefix_event(idx, executed, mems));
+            if let Some(ev) = branch {
+                sink.on_branch(ev);
+            }
+            if let Some(exit) = outcome? {
+                return Ok(RunResult { exit, steps });
+            }
+            prev = if (executed as u64) < count {
+                None
+            } else {
+                Some(idx)
+            };
+        }
+        Ok(RunResult {
+            exit: Exit::MaxSteps,
+            steps,
+        })
+    }
+
+    /// Executes one lowered micro-op at `rip`, advancing `self.rip`. The
+    /// uop-engine counterpart of [`exec_inst`](Machine::exec_inst):
+    /// observationally identical per instruction (same memory, branch,
+    /// output, and exit behavior through the sink), but with operands
+    /// pre-resolved and flag writes deferred into [`LazyFlags`] (and
+    /// skipped entirely when provably dead).
+    fn exec_uop<S: TraceSink + ?Sized>(
+        &mut self,
+        rip: u64,
+        op: MicroOp,
+        sink: &mut S,
+    ) -> Result<Option<Exit>, EmuError> {
+        let next = rip + op.len as u64;
+        let mut new_rip = next;
+
+        match op.kind {
+            UopKind::MovRR => {
+                let v = self.r(op.b);
+                self.set_r(op.a, v);
+            }
+            UopKind::MovRI => self.set_r(op.a, op.imm as u64),
+            UopKind::LoadBD => {
+                let ea = self.ea_bd(&op);
+                sink.on_mem(ea, 8, false);
+                let v = self.mem.read_u64(ea);
+                self.set_r(op.a, v);
+            }
+            UopKind::LoadBIS => {
+                let ea = self.ea_bis(&op);
+                sink.on_mem(ea, 8, false);
+                let v = self.mem.read_u64(ea);
+                self.set_r(op.a, v);
+            }
+            UopKind::LoadAbs => {
+                let ea = op.imm as u64;
+                sink.on_mem(ea, 8, false);
+                let v = self.mem.read_u64(ea);
+                self.set_r(op.a, v);
+            }
+            UopKind::StoreBD => {
+                let ea = self.ea_bd(&op);
+                sink.on_mem(ea, 8, true);
+                let v = self.r(op.a);
+                self.mem.write_u64(ea, v);
+                self.note_text_write(ea, 8);
+            }
+            UopKind::StoreBIS => {
+                let ea = self.ea_bis(&op);
+                sink.on_mem(ea, 8, true);
+                let v = self.r(op.a);
+                self.mem.write_u64(ea, v);
+                self.note_text_write(ea, 8);
+            }
+            UopKind::StoreAbs => {
+                let ea = op.imm as u64;
+                sink.on_mem(ea, 8, true);
+                let v = self.r(op.a);
+                self.mem.write_u64(ea, v);
+                self.note_text_write(ea, 8);
+            }
+            UopKind::LeaBD => {
+                let ea = self.ea_bd(&op);
+                self.set_r(op.a, ea);
+            }
+            UopKind::LeaBIS => {
+                let ea = self.ea_bis(&op);
+                self.set_r(op.a, ea);
+            }
+            UopKind::Push => {
+                let v = self.r(op.a);
+                self.push(v, sink);
+            }
+            UopKind::Pop => {
+                let v = self.pop(sink);
+                self.set_r(op.a, v);
+            }
+            UopKind::AddRR => {
+                let a = self.r(op.a);
+                let b = self.r(op.b);
+                if op.fl {
+                    self.lazy = LazyFlags::Add(a, b);
+                }
+                self.set_r(op.a, a.wrapping_add(b));
+            }
+            UopKind::AddRI => {
+                let a = self.r(op.a);
+                let b = op.imm as u64;
+                if op.fl {
+                    self.lazy = LazyFlags::Add(a, b);
+                }
+                self.set_r(op.a, a.wrapping_add(b));
+            }
+            UopKind::SubRR => {
+                let a = self.r(op.a);
+                let b = self.r(op.b);
+                if op.fl {
+                    self.lazy = LazyFlags::Sub(a, b);
+                }
+                self.set_r(op.a, a.wrapping_sub(b));
+            }
+            UopKind::SubRI => {
+                let a = self.r(op.a);
+                let b = op.imm as u64;
+                if op.fl {
+                    self.lazy = LazyFlags::Sub(a, b);
+                }
+                self.set_r(op.a, a.wrapping_sub(b));
+            }
+            UopKind::AndRR => {
+                let r = self.r(op.a) & self.r(op.b);
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(r);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::AndRI => {
+                let r = self.r(op.a) & op.imm as u64;
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(r);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::OrRR => {
+                let r = self.r(op.a) | self.r(op.b);
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(r);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::OrRI => {
+                let r = self.r(op.a) | op.imm as u64;
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(r);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::XorRR => {
+                let r = self.r(op.a) ^ self.r(op.b);
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(r);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::XorRI => {
+                let r = self.r(op.a) ^ op.imm as u64;
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(r);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::CmpRR => {
+                // A compare only produces flags — dead ones vanish.
+                if op.fl {
+                    self.lazy = LazyFlags::Sub(self.r(op.a), self.r(op.b));
+                }
+            }
+            UopKind::CmpRI => {
+                if op.fl {
+                    self.lazy = LazyFlags::Sub(self.r(op.a), op.imm as u64);
+                }
+            }
+            UopKind::Test => {
+                if op.fl {
+                    self.lazy = LazyFlags::Logic(self.r(op.a) & self.r(op.b));
+                }
+            }
+            UopKind::Imul => {
+                let a = self.r(op.a) as i64;
+                let b = self.r(op.b) as i64;
+                let (r, over) = a.overflowing_mul(b);
+                if op.fl {
+                    self.lazy = LazyFlags::Imul(r, over);
+                }
+                self.set_r(op.a, r as u64);
+            }
+            UopKind::Shl => {
+                // Lowering guarantees a count in 1..=63.
+                let a = self.r(op.a);
+                let c = op.c as u32;
+                let r = a.wrapping_shl(c);
+                if op.fl {
+                    self.lazy = LazyFlags::Shift(r, (a >> (64 - c)) & 1 != 0);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::Shr => {
+                let a = self.r(op.a);
+                let c = op.c as u32;
+                let r = a.wrapping_shr(c);
+                if op.fl {
+                    self.lazy = LazyFlags::Shift(r, (a >> (c - 1)) & 1 != 0);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::Sar => {
+                let a = self.r(op.a);
+                let c = op.c as u32;
+                let r = (a as i64).wrapping_shr(c) as u64;
+                if op.fl {
+                    self.lazy = LazyFlags::Shift(r, ((a as i64) >> (c - 1)) & 1 != 0);
+                }
+                self.set_r(op.a, r);
+            }
+            UopKind::Setcc => {
+                self.materialize_flags();
+                let cond = Cond::from_cc(op.c).expect("lowered cc is valid");
+                let bit = u64::from(self.flags.cond(cond));
+                let old = self.r(op.a);
+                self.set_r(op.a, (old & !0xFF) | bit);
+            }
+            UopKind::Movzx8 => {
+                let v = self.r(op.b) & 0xFF;
+                self.set_r(op.a, v);
+            }
+            UopKind::Jcc => {
+                self.materialize_flags();
+                let cond = Cond::from_cc(op.c).expect("lowered cc is valid");
+                let taken = self.flags.cond(cond);
+                let tgt = op.imm as u64;
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: if taken { tgt } else { next },
+                    taken,
+                    kind: BranchKind::Cond,
+                });
+                if taken {
+                    new_rip = tgt;
+                }
+            }
+            UopKind::Jmp => {
+                let tgt = op.imm as u64;
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::Uncond,
+                });
+                new_rip = tgt;
+            }
+            UopKind::JmpIndReg => {
+                let tgt = self.r(op.b);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::IndirectJump,
+                });
+                new_rip = tgt;
+            }
+            UopKind::JmpIndMemBD | UopKind::JmpIndMemBIS | UopKind::JmpIndMemAbs => {
+                let ea = match op.kind {
+                    UopKind::JmpIndMemBD => self.ea_bd(&op),
+                    UopKind::JmpIndMemBIS => self.ea_bis(&op),
+                    _ => op.imm as u64,
+                };
+                sink.on_mem(ea, 8, false);
+                let tgt = self.mem.read_u64(ea);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::IndirectJump,
+                });
+                new_rip = tgt;
+            }
+            UopKind::Call => {
+                let tgt = op.imm as u64;
+                self.push(next, sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::Call,
+                });
+                new_rip = tgt;
+            }
+            UopKind::CallIndReg => {
+                let tgt = self.r(op.b);
+                self.push(next, sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::IndirectCall,
+                });
+                new_rip = tgt;
+            }
+            UopKind::CallIndMemBD | UopKind::CallIndMemBIS | UopKind::CallIndMemAbs => {
+                // Event order matches the step engine: target load,
+                // return-address push, branch.
+                let ea = match op.kind {
+                    UopKind::CallIndMemBD => self.ea_bd(&op),
+                    UopKind::CallIndMemBIS => self.ea_bis(&op),
+                    _ => op.imm as u64,
+                };
+                sink.on_mem(ea, 8, false);
+                let tgt = self.mem.read_u64(ea);
+                self.push(next, sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::IndirectCall,
+                });
+                new_rip = tgt;
+            }
+            UopKind::Ret => {
+                let tgt = self.pop(sink);
+                sink.on_branch(BranchEvent {
+                    from: rip,
+                    to: tgt,
+                    taken: true,
+                    kind: BranchKind::Return,
+                });
+                if tgt == RETURN_SENTINEL {
+                    self.rip = tgt;
+                    return Ok(Some(Exit::Returned));
+                }
+                new_rip = tgt;
+            }
+            UopKind::Nop => {}
+            UopKind::Ud2 => return Err(EmuError::Trap { rip }),
+            UopKind::Syscall => {
+                let nr = self.reg(Reg::Rax);
+                match nr {
+                    1 => {
+                        let v = self.reg(Reg::Rdi) as i64;
+                        self.output.push(v);
+                        self.set_reg(Reg::Rax, 8);
+                    }
+                    60 | 231 => {
+                        self.rip = next;
+                        return Ok(Some(Exit::Exited(self.reg(Reg::Rdi) as i64)));
+                    }
+                    number => return Err(EmuError::BadSyscall { rip, number }),
+                }
+            }
+        }
+
+        self.rip = new_rip;
+        Ok(None)
     }
 
     /// Calls the function at `addr` with up to six integer arguments,
@@ -1404,7 +2052,7 @@ mod tests {
     fn block_engines_match_step_engine_observably() {
         let elf = emitting_elf(42);
         let (rs, ms, ss) = observe(&elf, Engine::Step, u64::MAX);
-        for engine in [Engine::Block, Engine::Superblock] {
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
             let (rb, mb, sb) = observe(&elf, engine, u64::MAX);
             assert_eq!(rs, rb, "{engine}: exit and retired count identical");
             assert_eq!(ms.output, mb.output, "{engine}");
@@ -1426,7 +2074,7 @@ mod tests {
         let elf = emitting_elf(7); // 5 instructions, one straight block
         for budget in 1..=5u64 {
             let (rs, ms, ss) = observe(&elf, Engine::Step, budget);
-            for engine in [Engine::Block, Engine::Superblock] {
+            for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
                 let (rb, mb, sb) = observe(&elf, engine, budget);
                 assert_eq!(rs, rb, "{engine} budget {budget}: exit/steps");
                 assert_eq!(rs.steps, budget.min(5), "budget {budget}");
@@ -1470,7 +2118,7 @@ mod tests {
         let (rs, rax_s, insts_s, spill_s) = run(Engine::Step);
         assert_eq!(rax_s, 7);
         assert_eq!(spill_s, 4, "step: every instruction in the spill vec");
-        for engine in [Engine::Block, Engine::Superblock] {
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
             let (rb, rax_b, insts_b, spill_b) = run(engine);
             assert_eq!(rs, rb, "{engine}");
             assert_eq!((rax_s, insts_s), (rax_b, insts_b), "{engine}");
@@ -1592,7 +2240,7 @@ mod tests {
         };
         let (rs, out_s, log_s) = run(Engine::Step);
         assert!(log_s.iter().any(|e| matches!(e, E::M(..))), "mems present");
-        for engine in [Engine::Block, Engine::Superblock] {
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
             let (r, out, log) = run(engine);
             assert_eq!(rs, r, "{engine}");
             assert_eq!(out_s, out, "{engine}");

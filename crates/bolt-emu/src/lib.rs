@@ -17,6 +17,7 @@ mod events;
 mod exec;
 mod memory;
 mod spill;
+mod uop;
 
 /// Longest encodable instruction; text-write invalidation (decode and
 /// block caches alike) treats any store within this many bytes past a

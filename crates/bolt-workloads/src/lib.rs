@@ -14,6 +14,7 @@
 pub mod common;
 pub mod compiler_like;
 pub mod hhvm;
+pub mod interp;
 pub mod services;
 
 pub use common::Scale;
@@ -38,6 +39,10 @@ pub enum Workload {
     ClangLike,
     /// The GCC self-build workload.
     GccLike,
+    /// A dispatch-dominated bytecode VM (jump-table plus
+    /// function-pointer dispatch on every iteration) — hostile to block
+    /// chaining, the stress case for the uop execution tier.
+    Interp,
 }
 
 impl Workload {
@@ -60,6 +65,7 @@ impl Workload {
             Workload::Multifeed2 => "Multifeed2",
             Workload::ClangLike => "Clang",
             Workload::GccLike => "GCC",
+            Workload::Interp => "Interp",
         }
     }
 
@@ -73,6 +79,7 @@ impl Workload {
             Workload::Multifeed2 => services::build_multifeed(scale, 0xFEED, 2),
             Workload::ClangLike => compiler_like::build(scale, clang_shape(scale)),
             Workload::GccLike => compiler_like::build(scale, gcc_shape(scale)),
+            Workload::Interp => interp::build(scale, 0x1D15),
         }
     }
 }

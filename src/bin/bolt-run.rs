@@ -26,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] \
          [--counters] [--max-steps N] [--shards N] [--threads N] \
-         [--engine step|block|superblock]\n\
+         [--engine step|block|superblock|uop]\n\
          \n\
          --shards N   run N independent invocations (sharded batch\n\
          \x20            emulation; 0 = auto [BOLT_SHARDS env or 1]); the\n\
@@ -40,13 +40,15 @@ fn usage() -> ! {
          \x20            seed-partition the batch: write BASE+i into the\n\
          \x20            binary's `config` input-selection global for shard i,\n\
          \x20            so the shards split the input space\n\
-         --engine step|block|superblock\n\
+         --engine step|block|superblock|uop\n\
          \x20            emulation engine (default: the BOLT_ENGINE env\n\
          \x20            override, else per-instruction stepping). `block`\n\
          \x20            executes through a basic-block translation cache;\n\
          \x20            `superblock` additionally spans memory-touching\n\
-         \x20            instructions and chains block transitions —\n\
-         \x20            byte-identical profiles/counters/output, just faster"
+         \x20            instructions and chains block transitions; `uop`\n\
+         \x20            further lowers each block to pre-resolved micro-ops\n\
+         \x20            with lazily-materialized flags — byte-identical\n\
+         \x20            profiles/counters/output, just faster"
     );
     std::process::exit(2)
 }

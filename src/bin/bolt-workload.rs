@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bolt-workload <hhvm|tao|proxygen|multifeed1|multifeed2|clang|gcc> \\\n\
+        "usage: bolt-workload <hhvm|tao|proxygen|multifeed1|multifeed2|clang|gcc|interp> \\\n\
          \t-o <out.elf> [--scale test|bench] [--lto] [--legacy-amd] [--emit-relocs] [-O0|-O1|-O2]"
     );
     std::process::exit(2)
@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         "multifeed2" => Workload::Multifeed2,
         "clang" => Workload::ClangLike,
         "gcc" => Workload::GccLike,
+        "interp" => Workload::Interp,
         _ => usage(),
     };
 

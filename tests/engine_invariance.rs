@@ -1,19 +1,21 @@
-//! Engine invariance: the block-translation engines (`--engine=block`
-//! and `--engine=superblock` / `BOLT_ENGINE`) must be *observationally
-//! identical* to the per-instruction step engine — byte-identical
-//! `Counters`, merged `Profile`, recorded program output, and rewritten
-//! ELF — the same way `tests/thread_invariance.rs` proves thread-count
-//! invariance and `tests/shard_invariance.rs` proves shard-count
-//! invariance. The sweep is three-way at 1 and 8 shards, and covers
-//! self-modifying text (block chain links and translations must drop)
-//! and step budgets landing mid-(super)block.
+//! Engine invariance: the block-translation engines (`--engine=block`,
+//! `--engine=superblock`, and `--engine=uop` / `BOLT_ENGINE`) must be
+//! *observationally identical* to the per-instruction step engine —
+//! byte-identical `Counters`, merged `Profile`, recorded program
+//! output, and rewritten ELF — the same way
+//! `tests/thread_invariance.rs` proves thread-count invariance and
+//! `tests/shard_invariance.rs` proves shard-count invariance. The sweep
+//! is four-way at 1 and 8 shards, and covers self-modifying text (block
+//! chain links, translations, and lowered micro-ops must all drop),
+//! step budgets landing mid-(super)block, and the uop engine's lazy
+//! flags surviving chained block transitions.
 
 use bolt::compiler::{compile_and_link, CompileOptions};
 use bolt::elf::{write_elf, Elf, Section};
 use bolt::emu::{CountingSink, Engine, Exit, Machine, NullSink};
 use bolt::workloads::{Scale, Workload};
 use bolt_bench::{bolt_with_profile, measure_batch_with, profile_lbr_batch_with, shard_plan};
-use bolt_isa::{encode_at, Inst, Mem, Reg, Target};
+use bolt_isa::{encode_at, AluOp, Cond, Inst, JumpWidth, Mem, Reg, Target};
 use bolt_sim::SimConfig;
 use std::sync::OnceLock;
 
@@ -47,13 +49,13 @@ fn prepare_for(elf: &Elf) -> impl Fn(usize, &mut Machine) + Sync + '_ {
     }
 }
 
-/// The acceptance property: profile + measure `elf` under all three
+/// The acceptance property: profile + measure `elf` under all four
 /// engines at `shards` shards and assert every observable is
 /// byte-identical, then prove the rewritten ELFs match byte for byte.
 fn assert_engine_invariant(elf: &Elf, shards: usize, what: &str) {
     let cfg = SimConfig::small();
     let mut legs = Vec::new();
-    for engine in [Engine::Step, Engine::Block, Engine::Superblock] {
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock, Engine::Uop] {
         let plan = shard_plan(shards, 2).with_engine(engine);
         let (profile, batch) = profile_lbr_batch_with(elf, &cfg, &plan, prepare_for(elf));
         let measured = measure_batch_with(elf, &cfg, &plan, prepare_for(elf));
@@ -243,7 +245,7 @@ fn self_modifying_elf() -> Elf {
 fn self_modifying_text_forces_block_invalidation() {
     let elf = self_modifying_elf();
     let mut outputs = Vec::new();
-    for engine in [Engine::Step, Engine::Block, Engine::Superblock] {
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock, Engine::Uop] {
         let mut m = Machine::new();
         m.load_elf(&elf);
         let mut sink = CountingSink::default();
@@ -258,6 +260,7 @@ fn self_modifying_text_forces_block_invalidation() {
     }
     assert_eq!(outputs[0], outputs[1], "block engine agrees on SMC");
     assert_eq!(outputs[0], outputs[2], "superblock engine agrees on SMC");
+    assert_eq!(outputs[0], outputs[3], "uop engine agrees on SMC");
 }
 
 /// The step-accounting satellite at harness level: a budget landing
@@ -283,7 +286,7 @@ fn max_steps_budget_lands_identically_inside_blocks() {
             (r, m.rip, m.output.clone(), m.regs, sink.insts)
         };
         let step = observe(Engine::Step);
-        for engine in [Engine::Block, Engine::Superblock] {
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
             let leg = observe(engine);
             assert_eq!(step, leg, "{engine} budget {budget}");
         }
@@ -292,11 +295,135 @@ fn max_steps_budget_lands_identically_inside_blocks() {
     }
 }
 
+/// The uop engine's lazy-flags adversarial case: flags are written at
+/// the end of one block (`sub` just before an unconditional jump) and
+/// consumed only *after* the chained block transition — first by a
+/// `setcc`, then by a `jcc` in the same successor block. The pending
+/// lazy state must survive the chain link and materialize to exactly
+/// the step engine's flags; the final architectural `Machine::flags`
+/// must also match on exit (the run ends with flags still pending from
+/// the uop hot loop's perspective).
+#[test]
+fn lazy_flags_survive_chained_block_transitions() {
+    let base = 0x400000u64;
+    // Loop structure (blocks annotated):
+    //   A: rcx -= 1 ; jmp B          <- flags written, block ends
+    //   B: rax = 0 ; setne rax ;     <- first consumer, across the chain
+    //      jne C ; jmp D             <- second consumer, same flags
+    //   C: rbx += rax ; jmp A
+    //   D: emit rbx ; exit 0
+    // rcx starts at 3: two `ne` iterations accumulate rbx = 2, the
+    // third hits zero and falls through to D.
+    let build = |a: u64, b_: u64, c: u64, d: u64| -> Vec<Inst> {
+        vec![
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 3,
+            },
+            Inst::MovRI {
+                dst: Reg::Rbx,
+                imm: 0,
+            },
+            // A (index 2)
+            Inst::AluI {
+                op: AluOp::Sub,
+                dst: Reg::Rcx,
+                imm: 1,
+            },
+            Inst::Jmp {
+                target: Target::Addr(b_),
+                width: JumpWidth::Near,
+            },
+            // B (index 4)
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 0,
+            },
+            Inst::Setcc {
+                cond: Cond::Ne,
+                dst: Reg::Rax,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Addr(c),
+                width: JumpWidth::Near,
+            },
+            Inst::Jmp {
+                target: Target::Addr(d),
+                width: JumpWidth::Near,
+            },
+            // C (index 8)
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::Rbx,
+                src: Reg::Rax,
+            },
+            Inst::Jmp {
+                target: Target::Addr(a),
+                width: JumpWidth::Near,
+            },
+            // D (index 10)
+            Inst::MovRR {
+                dst: Reg::Rdi,
+                src: Reg::Rbx,
+            },
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Syscall,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 60,
+            },
+            Inst::MovRI {
+                dst: Reg::Rdi,
+                imm: 0,
+            },
+            Inst::Syscall,
+        ]
+    };
+    // Near jumps are length-stable, so one fixup pass converges.
+    let (_, addrs) = asm(&build(base, base, base, base), base);
+    let (code, addrs2) = asm(&build(addrs[2], addrs[4], addrs[8], addrs[10]), base);
+    assert_eq!(addrs, addrs2, "layout converged");
+    let mut elf = Elf::new(base);
+    elf.sections.push(Section::code(".text", base, code));
+
+    let mut legs = Vec::new();
+    for engine in [Engine::Step, Engine::Block, Engine::Superblock, Engine::Uop] {
+        let mut m = Machine::new();
+        m.load_elf(&elf);
+        let mut sink = CountingSink::default();
+        let r = m.run_engine(&mut sink, 10_000, engine).expect("runs");
+        assert_eq!(r.exit, Exit::Exited(0), "{engine}");
+        assert_eq!(
+            m.output,
+            vec![2],
+            "{engine}: setcc across the chained transition counted the ne iterations"
+        );
+        legs.push((
+            r,
+            m.output.clone(),
+            m.regs,
+            m.flags,
+            sink.insts,
+            sink.branches,
+        ));
+    }
+    for leg in &legs[1..] {
+        assert_eq!(
+            &legs[0], leg,
+            "every engine agrees, including final architectural flags"
+        );
+    }
+}
+
 /// The mid-*superblock* boundary sweep: the straight-line-heavy
 /// workload's loop body is a single ~60-instruction superblock, so
 /// budgets striding one body-length probe every intra-superblock offset
 /// — each must retire exactly `budget` instructions, at the same rip,
-/// with the same partial observables, under all three engines.
+/// with the same partial observables, under all four engines.
 #[test]
 fn max_steps_budget_lands_identically_inside_superblocks() {
     let elf = bolt_bench::straightline_elf(40);
@@ -325,7 +452,7 @@ fn max_steps_budget_lands_identically_inside_superblocks() {
         };
         let step = observe(Engine::Step);
         assert_eq!(step.0.steps, budget, "budget {budget}: exact retired count");
-        for engine in [Engine::Block, Engine::Superblock] {
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
             assert_eq!(step, observe(engine), "{engine} budget {budget}");
         }
     }

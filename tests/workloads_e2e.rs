@@ -86,3 +86,8 @@ fn clang_like() {
 fn gcc_like() {
     check_workload(Workload::GccLike);
 }
+
+#[test]
+fn interp_like() {
+    check_workload(Workload::Interp);
+}
