@@ -19,10 +19,11 @@
 //! script still runs without burning minutes; its timings are noise and
 //! are labeled as such in the output.
 
-use bolt_bench::{build, straightline_elf};
+use bolt_bench::{build, profile_lbr, straightline_elf};
 use bolt_compiler::CompileOptions;
 use bolt_elf::Elf;
 use bolt_emu::{Engine, Exit, Machine, NullSink};
+use bolt_opt::{optimize, BoltOptions};
 use bolt_sim::{CpuModel, SimConfig};
 use bolt_workloads::{Scale, Workload};
 use std::fmt::Write as _;
@@ -210,6 +211,65 @@ fn main() {
         eprintln!(
             "bench-snapshot: WARNING: uop/superblock null-sink hit 1.3x on only \
              {uop_wins} workload(s), below the 2-workload target"
+        );
+    }
+    let _ = writeln!(json, "  }},");
+
+    // Static-verifier wall clock: run the full `-verify` path (pipeline
+    // IR lint plus the independent re-disassembly) on the two paper
+    // workloads and record what share of the optimize wall clock the
+    // verifier costs. A clean pipeline must verify with zero findings —
+    // the snapshot refuses to time a broken verifier.
+    let _ = writeln!(json, "  \"verifier\": {{");
+    let verify_targets = ["tao", "clang_like"];
+    for (vi, name) in verify_targets.iter().enumerate() {
+        let elf = &workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("workload built above")
+            .1;
+        let (profile, _) = profile_lbr(elf, &SimConfig::small());
+        let mut opts = BoltOptions::paper_default();
+        opts.verify = true;
+        let mut verify_ms = f64::INFINITY;
+        let mut optimize_ms = f64::INFINITY;
+        for _ in 0..reps.min(3) {
+            let t = Instant::now();
+            let bolted = optimize(elf, &profile, &opts).expect("BOLT succeeds");
+            let total = t.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                bolted.all_findings().is_empty(),
+                "{name}: clean pipeline produced verifier findings"
+            );
+            let lint_ms: f64 = bolted
+                .pipeline
+                .reports
+                .iter()
+                .filter(|r| r.name == "verify")
+                .map(|r| r.duration.as_secs_f64() * 1e3)
+                .sum();
+            let rewrite_ms = bolted
+                .verify
+                .as_ref()
+                .expect("-verify ran")
+                .duration
+                .as_secs_f64()
+                * 1e3;
+            if total < optimize_ms {
+                optimize_ms = total;
+                verify_ms = lint_ms + rewrite_ms;
+            }
+        }
+        let pct = 100.0 * verify_ms / optimize_ms.max(f64::MIN_POSITIVE);
+        println!(
+            "  {name:<12} -verify {verify_ms:>9.3} ms of {optimize_ms:>9.3} ms optimize ({pct:.1}%)"
+        );
+        let _ =
+            writeln!(
+            json,
+            "    \"{name}\": {{ \"verify_ms\": {verify_ms:.3}, \"optimize_ms\": {optimize_ms:.3}, \
+             \"overhead_pct\": {pct:.2} }}{}",
+            if vi + 1 < verify_targets.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  }}");

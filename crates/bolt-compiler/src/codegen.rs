@@ -476,20 +476,20 @@ impl Gen<'_> {
 /// makes the code generator reserve a base register).
 fn uses_dynamic_globals(func: &MirFunction) -> bool {
     func.blocks.iter().any(|b| {
-        b.stmts.iter().any(|s| match s {
-            Stmt::Assign {
-                rv:
-                    Rvalue::LoadGlobal {
+        b.stmts.iter().any(|s| {
+            matches!(
+                s,
+                Stmt::Assign {
+                    rv: Rvalue::LoadGlobal {
                         index: Operand::Local(_),
                         ..
                     },
-                ..
-            } => true,
-            Stmt::StoreGlobal {
-                index: Operand::Local(_),
-                ..
-            } => true,
-            _ => false,
+                    ..
+                } | Stmt::StoreGlobal {
+                    index: Operand::Local(_),
+                    ..
+                }
+            )
         })
     })
 }

@@ -163,7 +163,7 @@ fn inline_at(caller: &mut MirFunction, block: MirBlockId, stmt_idx: usize, calle
                         Callee::Direct(n) => Callee::Direct(n.clone()),
                         Callee::Indirect(p) => Callee::Indirect(remap_op(p)),
                     },
-                    args: args.iter().map(|a| remap_op(a)).collect(),
+                    args: args.iter().map(&remap_op).collect(),
                     landing_pad: landing_pad.map(remap_block),
                     line: *line,
                 },

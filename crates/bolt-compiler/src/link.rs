@@ -220,7 +220,7 @@ pub fn compile_and_link(
 
     // Runtime + _start (synthesized after program codegen so PLT demand is
     // known).
-    let start_unit = make_start(&mut labels, &mut Default::default(), &program.entry);
+    let start_unit = make_start(&mut labels, &Default::default(), &program.entry);
     let _ = &start_unit;
     // NOTE: make_start takes options for PLT routing; pass the real ones.
     let start_unit = {
@@ -274,7 +274,7 @@ pub fn compile_and_link(
             rodata.push(0);
         }
         let addr = RODATA_BASE + rodata.len() as u64;
-        rodata.extend(std::iter::repeat(0u8).take(8 * jt.targets.len()));
+        rodata.extend(std::iter::repeat_n(0u8, 8 * jt.targets.len()));
         extern_labels.insert(jt.table, addr);
         jt_offsets.push((i, addr));
         data_symbols.push((jt.name.clone(), addr, 8 * jt.targets.len() as u64));

@@ -405,6 +405,14 @@ impl BlockCache {
             // `uops[i]` always pairs with `insts[i]`.
             crate::uop::lower_into(&mut self.uops, &self.insts[insts_start..]);
             debug_assert_eq!(self.uops.len(), self.insts.len());
+            if crate::uop::uop_validation_enabled() {
+                if let Err(e) = crate::uop::validate_block(
+                    &self.insts[insts_start..],
+                    &self.uops[insts_start..],
+                ) {
+                    panic!("uop translation validation failed for block at {entry:#x}: {e}");
+                }
+            }
         }
         let lines_start = self.lines.len();
         let mut line = (entry >> 6) << 6;

@@ -34,7 +34,7 @@ impl Flags {
             sf: (r >> 63) != 0,
             of: false,
             cf: false,
-            pf: (r as u8).count_ones() % 2 == 0,
+            pf: (r as u8).count_ones().is_multiple_of(2),
         }
     }
 
@@ -47,7 +47,7 @@ impl Flags {
             sf: (r >> 63) != 0,
             cf: a < b,
             of: (((a ^ b) & (a ^ r)) >> 63) != 0,
-            pf: (r as u8).count_ones() % 2 == 0,
+            pf: (r as u8).count_ones().is_multiple_of(2),
         }
     }
 
@@ -60,7 +60,7 @@ impl Flags {
             sf: (r >> 63) != 0,
             cf: r < a,
             of: ((!(a ^ b) & (a ^ r)) >> 63) != 0,
-            pf: (r as u8).count_ones() % 2 == 0,
+            pf: (r as u8).count_ones().is_multiple_of(2),
         }
     }
 
@@ -73,7 +73,7 @@ impl Flags {
             sf: r < 0,
             of: over,
             cf: over,
-            pf: (r as u8).count_ones() % 2 == 0,
+            pf: (r as u8).count_ones().is_multiple_of(2),
         }
     }
 
@@ -85,7 +85,7 @@ impl Flags {
             sf: (r >> 63) != 0,
             of: false,
             cf,
-            pf: (r as u8).count_ones() % 2 == 0,
+            pf: (r as u8).count_ones().is_multiple_of(2),
         }
     }
 

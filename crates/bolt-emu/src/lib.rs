@@ -33,3 +33,4 @@ pub use exec::{
     resolve_engine, EmuError, Engine, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP,
 };
 pub use memory::Memory;
+pub use uop::{enable_uop_validation, uop_validation_enabled};

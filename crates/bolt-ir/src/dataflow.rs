@@ -277,6 +277,48 @@ impl DataflowProblem for Liveness {
     }
 }
 
+/// Callee-saved registers that may have been overwritten since function
+/// entry without an intervening restore (forward may-analysis).
+///
+/// A register enters the set when a non-`pop` instruction writes it and
+/// leaves when a `pop` restores it; calls are transparent (the callee
+/// preserves the callee-saved set by the ABI). The stack pointer is not
+/// tracked — every prologue adjusts it and the epilogue undoes the
+/// adjustment structurally, not through a `pop %rsp`.
+///
+/// `frame-opts`/`shrink-wrapping` verification is built on this: at a
+/// `push %r` of a callee-saved register the set must not already contain
+/// `r` (the save was moved *past* a clobber, so it saves garbage), and at
+/// every `ret` the set must be empty (some path overwrites a callee-saved
+/// register without a save/restore pair covering it).
+pub struct CalleeClobbered;
+
+impl CalleeClobbered {
+    /// The registers the analysis tracks: callee-saved minus `%rsp`.
+    pub fn tracked() -> RegSet {
+        RegSet::from_regs(Reg::CALLEE_SAVED).minus(RegSet::singleton(Reg::Rsp))
+    }
+}
+
+impl DataflowProblem for CalleeClobbered {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn transfer(&self, inst: &crate::BinaryInst) -> (RegSet, RegSet) {
+        use bolt_isa::Inst;
+        match &inst.inst {
+            // A pop restores the register from the stack: afterwards its
+            // entry value is (assumed) back in place.
+            Inst::Pop(r) => (RegSet::EMPTY, RegSet::singleton(*r)),
+            other => (
+                RegSet::from_regs(other.regs_written()).intersect(Self::tracked()),
+                RegSet::EMPTY,
+            ),
+        }
+    }
+}
+
 /// Computes per-instruction liveness for a block given the block's exit
 /// fact: returns the live set *before* each instruction.
 pub fn live_before_each(func: &BinaryFunction, id: BlockId, facts: &[BlockFacts]) -> Vec<RegSet> {
@@ -294,9 +336,17 @@ pub fn live_before_each(func: &BinaryFunction, id: BlockId, facts: &[BlockFacts]
 /// Immediate-dominator computation (simple iterative algorithm over RPO).
 ///
 /// Returns `idom[b]` for each block; the entry dominates itself.
-/// Unreachable blocks map to `None`.
+/// Blocks unreachable from the entry along `succs` edges map to `None` —
+/// this includes `uce`-removable dead blocks (present when `uce` is
+/// disabled) and blocks reachable only through landing-pad edges, which
+/// `reverse_post_order` does not follow. A function with no blocks yields
+/// an empty vector rather than indexing out of bounds on the default
+/// entry id.
 pub fn dominators(func: &BinaryFunction) -> Vec<Option<BlockId>> {
     let n = func.blocks.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let rpo = func.reverse_post_order();
     let mut rpo_num = vec![usize::MAX; n];
     for (i, b) in rpo.iter().enumerate() {
@@ -456,5 +506,62 @@ mod tests {
         assert_eq!(idom[1], Some(BlockId(0)));
         assert_eq!(idom[2], Some(BlockId(0)));
         assert_eq!(idom[3], Some(BlockId(0)), "join dominated by fork");
+    }
+
+    /// Regression: a function with no blocks at all (the default entry id
+    /// points at nothing) must yield an empty result, not index out of
+    /// bounds.
+    #[test]
+    fn dominators_of_empty_function() {
+        let f = BinaryFunction::new("empty", 0);
+        assert!(dominators(&f).is_empty());
+        assert!(f.reverse_post_order().is_empty());
+    }
+
+    /// Regression: blocks unreachable from the entry (what `uce` would
+    /// delete, still present under `uce`-disabled presets) get `None`,
+    /// and reachable blocks are unaffected by their presence.
+    #[test]
+    fn dominators_ignore_unreachable_blocks() {
+        let mut f = test_func();
+        // A dead block branching into the live diamond: no preds, never
+        // reached, must not perturb the idoms of reachable blocks.
+        let dead = f.add_block(BasicBlock::new());
+        f.block_mut(dead).push(branch(1));
+        f.block_mut(dead).succs = crate::function::edges(&[(1, 0), (2, 0)]);
+        f.rebuild_preds();
+        let idom = dominators(&f);
+        assert_eq!(idom[dead.index()], None, "unreachable block has no idom");
+        assert_eq!(idom[0], Some(BlockId(0)));
+        assert_eq!(idom[1], Some(BlockId(0)), "dead preds don't shift idoms");
+        assert_eq!(idom[3], Some(BlockId(0)));
+    }
+
+    /// The clobber analysis: a write to a callee-saved register is
+    /// visible at `ret` unless a `pop` restores it on the way.
+    #[test]
+    fn callee_clobbered_tracks_saves_and_restores() {
+        let mut f = BinaryFunction::new("c", 0);
+        f.add_block(BasicBlock::new());
+        f.block_mut(BlockId(0)).push(Inst::Push(Reg::Rbx));
+        f.block_mut(BlockId(0)).push(Inst::MovRI {
+            dst: Reg::Rbx,
+            imm: 7,
+        });
+        f.block_mut(BlockId(0)).push(Inst::Pop(Reg::Rbx));
+        f.block_mut(BlockId(0)).push(Inst::Ret);
+        f.rebuild_preds();
+        let facts = solve(&f, &CalleeClobbered);
+        assert!(
+            facts[0].exit.is_empty(),
+            "restored register not clobbered at exit"
+        );
+
+        // Without the pop, the clobber survives to the exit.
+        f.block_mut(BlockId(0)).insts.remove(2);
+        let facts = solve(&f, &CalleeClobbered);
+        assert!(facts[0].exit.contains(Reg::Rbx));
+        // Calls do not clobber the callee-saved set.
+        assert!(!CalleeClobbered::tracked().contains(Reg::Rsp));
     }
 }

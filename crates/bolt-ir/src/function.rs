@@ -212,6 +212,9 @@ impl BinaryFunction {
 
     /// Reverse post-order over the CFG from the entry.
     pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        if self.blocks.is_empty() {
+            return Vec::new();
+        }
         let mut visited = vec![false; self.blocks.len()];
         let mut post = Vec::with_capacity(self.layout.len());
         // Iterative DFS.

@@ -42,7 +42,10 @@ pub mod print;
 
 pub use block::{BasicBlock, BlockId, SuccEdge};
 pub use context::BinaryContext;
-pub use dataflow::{dominators, live_before_each, solve, BlockFacts, Direction, Liveness, RegSet};
+pub use dataflow::{
+    dominators, live_before_each, solve, BlockFacts, CalleeClobbered, DataflowProblem, Direction,
+    Liveness, RegSet,
+};
 pub use emit::{
     emit_units, EmitBlock, EmitError, EmitInst, EmitReloc, EmitResult, EmitSymbol, EmitUnit,
 };

@@ -7,10 +7,11 @@ use crate::options::BoltOptions;
 use crate::report::bad_layout_report;
 use bolt_elf::Elf;
 use bolt_ir::{BinaryContext, EmitError};
-use bolt_passes::{dyno, DynoStats, PassManager, PipelineResult};
+use bolt_passes::{dyno, DynoStats, LintMode, PassManager, PipelineResult};
 use bolt_profile::{
     attach_profile_opts, infer_callgraph_from_samples, AttachStats, Profile, ProfileMode,
 };
+use bolt_verify::{verify_rewrite, VerifyReport};
 use std::fmt;
 
 /// Everything a BOLT run produces.
@@ -34,6 +35,23 @@ pub struct BoltOutput {
     pub simple_functions: usize,
     /// `-report-bad-layout` output, when requested.
     pub bad_layout: Option<String>,
+    /// Static verification of the rewritten binary (`-verify` /
+    /// `-verify-each`): the re-disassembly check's report. IR-lint
+    /// findings from between passes are in
+    /// [`PipelineResult::findings`](bolt_passes::PipelineResult).
+    pub verify: Option<VerifyReport>,
+}
+
+impl BoltOutput {
+    /// Every verifier finding — IR-lint findings from between passes
+    /// plus the re-disassembly findings on the rewritten binary.
+    pub fn all_findings(&self) -> Vec<&bolt_verify::Finding> {
+        self.pipeline
+            .findings
+            .iter()
+            .chain(self.verify.iter().flat_map(|v| v.findings.iter()))
+            .collect()
+    }
 }
 
 /// Driver errors.
@@ -124,6 +142,13 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
     manager.config.collect_dyno = opts.time_passes && opts.dyno_stats;
     manager.config.threads = opts.threads;
     manager.config.skip_unchanged = opts.skip_unchanged;
+    manager.config.lint = if opts.verify_each {
+        LintMode::Each
+    } else if opts.verify {
+        LintMode::Final
+    } else {
+        LintMode::Off
+    };
     let pipeline = manager.run(&mut ctx, &opts.passes);
 
     let dyno_after = if opts.dyno_stats {
@@ -135,6 +160,11 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
     // Emit and rewrite.
     let (out, rewrite_stats) = rewrite_binary(elf, &ctx, &pipeline.function_order)?;
 
+    // Static verification of the rewritten binary: re-disassemble it
+    // with nothing but the decoder and check it against the optimized
+    // IR.
+    let verify = (opts.verify || opts.verify_each).then(|| verify_rewrite(&out, &ctx));
+
     Ok(BoltOutput {
         elf: out,
         dyno_before,
@@ -145,5 +175,6 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
         rewrite_stats,
         simple_functions,
         bad_layout,
+        verify,
     })
 }

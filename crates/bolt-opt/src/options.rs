@@ -59,6 +59,16 @@ pub struct BoltOptions {
     /// the second `icf` on small binaries. Skipped instances are marked
     /// in `-time-passes` output.
     pub skip_unchanged: bool,
+    /// Run the static verifier (`-verify`): one IR lint sweep after the
+    /// pipeline plus the re-disassembly check of the rewritten binary.
+    /// Findings land in [`crate::BoltOutput::verify`] and the pipeline's
+    /// `findings`; the sweeps are timed and show up in `-time-passes`
+    /// output as `verify` rows.
+    pub verify: bool,
+    /// Like `verify`, but the IR lint runs after *every* executed pass
+    /// (`-verify-each`), pinpointing the pass that broke an invariant.
+    /// Implies `verify`.
+    pub verify_each: bool,
 }
 
 impl BoltOptions {

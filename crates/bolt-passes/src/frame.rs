@@ -45,11 +45,13 @@ pub fn frame_opts_function(func: &mut BinaryFunction) -> u64 {
     let mut read: HashSet<(Reg, i32)> = HashSet::new();
     for &id in &func.layout {
         for inst in &func.block(id).insts {
-            if let Inst::Load { mem, .. } = &inst.inst {
-                if let Mem::BaseDisp { base, disp } = mem {
-                    if (*base == Reg::Rbp || *base == Reg::Rsp) && *disp < 0 {
-                        read.insert((*base, *disp));
-                    }
+            if let Inst::Load {
+                mem: Mem::BaseDisp { base, disp },
+                ..
+            } = &inst.inst
+            {
+                if (*base == Reg::Rbp || *base == Reg::Rsp) && *disp < 0 {
+                    read.insert((*base, *disp));
                 }
             }
         }

@@ -39,7 +39,7 @@ fn normalize(ctx: &BinaryContext, func: &BinaryFunction) -> Option<Vec<u8>> {
                         out.extend_from_slice(&(resolved as u64).to_le_bytes());
                         return Some(());
                     }
-                    if ordinal.get(0).is_some() && fi == ctx.function_at(func.address)? {
+                    if !ordinal.is_empty() && fi == ctx.function_at(func.address)? {
                         // Address inside ourselves (shouldn't happen after
                         // CFG construction) — treat as opaque.
                     }

@@ -60,7 +60,7 @@ pub fn run_icp(ctx: &mut BinaryContext, threshold: f64) -> u64 {
 
     // Apply plans per function, later instruction indices first so earlier
     // indices stay valid.
-    plans.sort_by(|a, b| (b.0, b.1, b.2).cmp(&(a.0, a.1, a.2)));
+    plans.sort_by_key(|p| std::cmp::Reverse((p.0, p.1, p.2)));
     for (fi, id, k, hot_addr) in plans {
         if promote(ctx, fi, id, k, hot_addr) {
             n += 1;

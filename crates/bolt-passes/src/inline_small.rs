@@ -182,7 +182,7 @@ pub fn run_inline_small(ctx: &mut BinaryContext) -> u64 {
             }
         }
     }
-    plans.sort_by(|a, b| (b.0, b.1, b.2).cmp(&(a.0, a.1, a.2)));
+    plans.sort_by_key(|p| std::cmp::Reverse((p.0, p.1, p.2)));
     for (fi, id, k, ti) in plans {
         if fi == ti {
             continue;

@@ -84,7 +84,7 @@ pub mod uce;
 pub use dyno::DynoStats;
 pub use function_pass::{resolve_threads, run_function_pass, FunctionPass};
 pub use layout::{BlockLayout, SplitMode};
-pub use manager::{ManagerConfig, Pass, PassManager};
+pub use manager::{LintMode, ManagerConfig, Pass, PassManager};
 
 use bolt_ir::BinaryContext;
 use std::time::Duration;
@@ -274,6 +274,9 @@ pub struct PipelineResult {
     /// Function emission order chosen by `reorder-functions` (indices into
     /// `ctx.functions`).
     pub function_order: Vec<usize>,
+    /// IR-lint findings collected when [`ManagerConfig::lint`] is not
+    /// [`LintMode::Off`]; empty on a healthy pipeline.
+    pub findings: Vec<bolt_verify::Finding>,
 }
 
 impl PipelineResult {

@@ -71,6 +71,23 @@ pub trait Pass {
     }
 }
 
+/// When the manager runs the `bolt-verify` IR lint ([`LintMode`] is the
+/// `-verify` / `-verify-each` surface; findings land in
+/// [`PipelineResult::findings`] and each sweep is timed and reported as
+/// a `verify` row like any pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// No lint sweeps (the default; keeps pipelines and their report
+    /// lists byte-identical to a manager without the verifier).
+    #[default]
+    Off,
+    /// One sweep after the last pass (`-verify`).
+    Final,
+    /// A sweep after every executed pass (`-verify-each`), pinpointing
+    /// which pass broke an invariant.
+    Each,
+}
+
 /// Manager knobs orthogonal to [`PassOptions`].
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
@@ -98,6 +115,8 @@ pub struct ManagerConfig {
     /// IR, so this trades that (empirically absent) case for pipeline
     /// wall clock.
     pub skip_unchanged: bool,
+    /// Whether (and how often) to run the `bolt-verify` IR lint.
+    pub lint: LintMode,
 }
 
 impl Default for ManagerConfig {
@@ -107,6 +126,7 @@ impl Default for ManagerConfig {
             collect_dyno: false,
             threads: 0,
             skip_unchanged: false,
+            lint: LintMode::Off,
         }
     }
 }
@@ -277,9 +297,35 @@ impl PassManager {
             if self.config.validate && pass.validate_after() {
                 validate_all(ctx, &instance);
             }
+            if self.config.lint == LintMode::Each {
+                run_lint(ctx, &instance, &mut result);
+            }
+        }
+        if self.config.lint == LintMode::Final {
+            run_lint(ctx, "pipeline", &mut result);
         }
         result
     }
+}
+
+/// One timed IR-lint sweep, reported as a `verify` row (change count =
+/// findings) so `-time-passes` attributes verifier overhead separately.
+fn run_lint(ctx: &BinaryContext, after: &str, result: &mut PipelineResult) {
+    let started = Instant::now();
+    let mut findings = bolt_verify::lint_context(ctx);
+    let duration = started.elapsed();
+    for f in &mut findings {
+        f.detail = format!("after {after}: {}", f.detail);
+    }
+    result.reports.push(PassReport {
+        name: "verify",
+        changes: findings.len() as u64,
+        duration,
+        dyno_before: None,
+        dyno_after: None,
+        skipped: false,
+    });
+    result.findings.append(&mut findings);
 }
 
 /// Post-pass IR invariant check (debug builds only): every simple,
@@ -733,6 +779,77 @@ mod tests {
         assert_eq!(icf.len(), 2);
         assert!(icf[0].changes > 0, "first icf folds");
         assert!(!icf[1].skipped, "a productive pass's repeat still runs");
+    }
+
+    /// `-verify-each` adds one timed `verify` row per executed pass and
+    /// collects zero findings on a healthy pipeline; the default keeps
+    /// the report list untouched.
+    #[test]
+    fn lint_each_reports_per_pass_and_stays_clean() {
+        use bolt_ir::BasicBlock;
+        use bolt_isa::Inst;
+        let mut ctx = BinaryContext::default();
+        let mut f = bolt_ir::BinaryFunction::new("f", 0x1000);
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).push(Inst::Ret);
+        ctx.add_function(f);
+        let opts = PassOptions::default();
+        let mut m = PassManager::standard(&opts);
+        m.config.lint = LintMode::Each;
+        let result = m.run(&mut ctx, &opts);
+        let executed = result.reports.iter().filter(|r| r.name != "verify").count();
+        let verify_rows = result.reports.iter().filter(|r| r.name == "verify").count();
+        assert_eq!(verify_rows, executed, "one verify row per executed pass");
+        assert!(result.findings.is_empty(), "{:?}", result.findings);
+
+        let mut m = PassManager::standard(&opts);
+        m.config.lint = LintMode::Final;
+        let mut ctx2 = BinaryContext::default();
+        let result = m.run(&mut ctx2, &opts);
+        assert_eq!(
+            result.reports.iter().filter(|r| r.name == "verify").count(),
+            1,
+            "-verify runs exactly one sweep"
+        );
+    }
+
+    /// The lint catches a broken layout the moment a (simulated) pass
+    /// corrupts it.
+    #[test]
+    fn lint_reports_corrupted_layout() {
+        use bolt_ir::{BasicBlock, BlockId};
+        use bolt_isa::Inst;
+        struct Corrupt;
+        impl Pass for Corrupt {
+            fn name(&self) -> &'static str {
+                "corrupt"
+            }
+            fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+                ctx.functions[0].layout.push(BlockId(7));
+                1
+            }
+            fn enabled(&self, _opts: &PassOptions) -> bool {
+                true
+            }
+            fn validate_after(&self) -> bool {
+                false // the debug-build panic would fire before the lint
+            }
+        }
+        let mut ctx = BinaryContext::default();
+        let mut f = bolt_ir::BinaryFunction::new("f", 0x1000);
+        let b = f.add_block(BasicBlock::new());
+        f.block_mut(b).push(Inst::Ret);
+        ctx.add_function(f);
+        let mut m = PassManager::new();
+        m.register(Box::new(Corrupt));
+        m.config.lint = LintMode::Each;
+        m.config.validate = false;
+        let result = m.run(&mut ctx, &PassOptions::default());
+        assert!(
+            !result.findings.is_empty(),
+            "lint must flag the out-of-range layout entry"
+        );
+        assert!(result.findings[0].detail.contains("after corrupt"));
     }
 
     #[test]

@@ -147,34 +147,29 @@ pub fn attach_profile_opts(
                     // Returns don't contribute call-graph weight.
                     stats.matched_branches += rec.count;
                 }
-                Some(Inst::CallInd { .. }) => {
-                    if is_entry {
-                        *ctx.call_graph.entry((fi, ti)).or_insert(0) += rec.count;
-                        ctx.indirect_call_targets
-                            .entry(rec.from)
-                            .or_default()
-                            .push((ti, rec.count));
-                        ctx.functions[ti].exec_count += rec.count;
-                        stats.call_edges += 1;
-                        stats.matched_branches += rec.count;
-                    } else {
-                        stats.dropped_branches += rec.count;
-                    }
+                Some(Inst::CallInd { .. }) if is_entry => {
+                    *ctx.call_graph.entry((fi, ti)).or_insert(0) += rec.count;
+                    ctx.indirect_call_targets
+                        .entry(rec.from)
+                        .or_default()
+                        .push((ti, rec.count));
+                    ctx.functions[ti].exec_count += rec.count;
+                    stats.call_edges += 1;
+                    stats.matched_branches += rec.count;
                 }
                 Some(Inst::Call { .. })
                 | Some(Inst::Jmp { .. })
                 | Some(Inst::Jcc { .. })
-                | Some(Inst::JmpInd { .. }) => {
+                | Some(Inst::JmpInd { .. })
+                    if is_entry =>
+                {
                     // Direct call or (conditional) tail call.
-                    if is_entry {
-                        *ctx.call_graph.entry((fi, ti)).or_insert(0) += rec.count;
-                        ctx.functions[ti].exec_count += rec.count;
-                        stats.call_edges += 1;
-                        stats.matched_branches += rec.count;
-                    } else {
-                        stats.dropped_branches += rec.count;
-                    }
+                    *ctx.call_graph.entry((fi, ti)).or_insert(0) += rec.count;
+                    ctx.functions[ti].exec_count += rec.count;
+                    stats.call_edges += 1;
+                    stats.matched_branches += rec.count;
                 }
+                // Mid-function targets and unclassifiable sources drop.
                 _ => {
                     stats.dropped_branches += rec.count;
                 }

@@ -294,10 +294,9 @@ impl TraceSink for CpuModel {
         let end = addr + len as u64 - 1;
         if end >> self.cfg.line_bytes.trailing_zeros()
             != addr >> self.cfg.line_bytes.trailing_zeros()
+            && !self.l1i.access(end)
         {
-            if !self.l1i.access(end) {
-                self.extra_cycles += self.miss_path(end, true);
-            }
+            self.extra_cycles += self.miss_path(end, true);
         }
     }
 
@@ -388,10 +387,9 @@ impl TraceSink for CpuModel {
         let end = addr + len.max(1) as u64 - 1;
         if end >> self.cfg.line_bytes.trailing_zeros()
             != addr >> self.cfg.line_bytes.trailing_zeros()
+            && !self.l1d.access(end)
         {
-            if !self.l1d.access(end) {
-                self.extra_cycles += self.miss_path(end, false);
-            }
+            self.extra_cycles += self.miss_path(end, false);
         }
     }
 }

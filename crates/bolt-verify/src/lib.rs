@@ -1,0 +1,151 @@
+//! # bolt-verify — static correctness tooling for rewritten binaries
+//!
+//! BOLT's safety story rests on the claim that layout passes reorder but
+//! never change program behavior. The rest of the workspace checks that
+//! *dynamically* (engine/thread/shard invariance sweeps); this crate
+//! checks it *statically*, on every rewritten ELF, with two independent
+//! analyzers:
+//!
+//! - [`verify_rewrite`] re-disassembles the rewritten binary using only
+//!   `bolt-isa` decoding — no emitter state, no encoder — reconstructs a
+//!   CFG per emitted function, and checks it against the optimized IR
+//!   modulo the legal transforms (branch relaxation, moved entry
+//!   addresses of folded functions). Structural properties — branch
+//!   targets land on instruction boundaries, no fall-through out of a
+//!   function, no overlapping code, no unexpectedly unreachable bytes,
+//!   jump tables point at real blocks — are checked from the bytes alone.
+//! - [`lint_context`] checks the in-memory IR between passes: layout is a
+//!   permutation of live blocks, terminator targets resolve, the
+//!   dominator tree is consistent, and `frame-opts`/`shrink-wrapping`
+//!   never moved a callee-saved save past a clobber (via
+//!   `bolt-ir::dataflow`).
+//!
+//! Everything is reported as a structured [`Finding`]; a clean rewrite
+//! yields zero findings. The [`mutate`] module seeds deliberately broken
+//! rewrites (retargeted branches, swapped blocks, truncated functions,
+//! corrupted jump tables, …) so tests can prove the verifier actually
+//! catches each defect class instead of merely accepting good binaries.
+
+pub mod lint;
+pub mod mutate;
+pub mod rewrite;
+
+pub use lint::{lint_context, lint_function};
+pub use mutate::{apply_mutation, Mutation};
+pub use rewrite::{edge_sets, verify_rewrite};
+
+use std::fmt;
+use std::time::Duration;
+
+/// The defect classes the verifier reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Bytes inside a function's symbol range did not decode.
+    UndecodableBytes,
+    /// A branch, call, or jump-table entry points at something that is
+    /// not an instruction boundary / function entry.
+    DanglingJumpTarget,
+    /// The last instruction of a function fragment can fall through —
+    /// into inter-function padding or the next function.
+    FallthroughOutOfFunction,
+    /// Two function symbols claim overlapping byte ranges.
+    OverlappingCode,
+    /// Decoded, non-NOP instructions that no path from the entry (or a
+    /// landing pad, or a jump table) reaches — and that the IR does not
+    /// also consider dead.
+    UnreachableBytes,
+    /// The re-disassembled CFG disagrees with the optimized IR:
+    /// instruction mismatch, wrong branch target, edge-set difference.
+    CfgMismatch,
+    /// A function the IR says was emitted has no symbol in the output.
+    MissingFunction,
+    /// IR lint: layout is not a permutation of live blocks / references
+    /// out-of-range blocks.
+    LintLayout,
+    /// IR lint: structural CFG invariant broken (unresolved terminator
+    /// target, edge/terminator disagreement, …).
+    LintCfg,
+    /// IR lint: dominator tree inconsistent with the CFG.
+    LintDominators,
+    /// IR lint: a callee-saved register save/restore no longer brackets
+    /// the clobbers (`frame-opts`/`shrink-wrapping` moved a save past a
+    /// use).
+    LintSavedRegs,
+}
+
+impl FindingKind {
+    /// Stable report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::UndecodableBytes => "undecodable-bytes",
+            FindingKind::DanglingJumpTarget => "dangling-jump-target",
+            FindingKind::FallthroughOutOfFunction => "fallthrough-out-of-function",
+            FindingKind::OverlappingCode => "overlapping-code",
+            FindingKind::UnreachableBytes => "unreachable-bytes",
+            FindingKind::CfgMismatch => "cfg-mismatch",
+            FindingKind::MissingFunction => "missing-function",
+            FindingKind::LintLayout => "lint-layout",
+            FindingKind::LintCfg => "lint-cfg",
+            FindingKind::LintDominators => "lint-dominators",
+            FindingKind::LintSavedRegs => "lint-saved-regs",
+        }
+    }
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verifier finding: a defect class, where it was seen, and a
+/// human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub kind: FindingKind,
+    /// The function the finding is attributed to (empty for whole-binary
+    /// findings such as symbol overlaps).
+    pub function: String,
+    /// The virtual address the finding anchors to (0 for IR-only lints
+    /// on functions whose blocks carry no addresses).
+    pub addr: u64,
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if !self.function.is_empty() {
+            write!(f, " {}", self.function)?;
+        }
+        if self.addr != 0 {
+            write!(f, " @ {:#x}", self.addr)?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The result of one verification sweep.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    pub findings: Vec<Finding>,
+    /// How many emitted functions the sweep examined.
+    pub functions_checked: usize,
+    /// Wall-clock time the sweep took.
+    pub duration: Duration,
+}
+
+impl VerifyReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders every finding, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{f}\n"));
+        }
+        out
+    }
+}

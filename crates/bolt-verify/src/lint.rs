@@ -1,0 +1,223 @@
+//! The IR lint: per-pass invariant checks over the in-memory CFG.
+//!
+//! Run between passes (the manager's `-verify`/`-verify-each` hook), it
+//! asserts the invariants every Table-1 pass is supposed to preserve:
+//! the layout is a permutation of live blocks, terminator targets
+//! resolve to laid-out blocks, the dominator tree is consistent with the
+//! CFG, and `frame-opts`/`shrink-wrapping` never moved a callee-saved
+//! save past a clobber of the saved register (checked with the
+//! [`CalleeClobbered`] dataflow problem).
+
+use crate::{Finding, FindingKind};
+use bolt_ir::{dominators, solve, BinaryContext, BinaryFunction, BlockId, CalleeClobbered};
+use bolt_isa::{Inst, Target};
+
+/// Lints every simple, unfolded function in the context.
+pub fn lint_context(ctx: &BinaryContext) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for func in &ctx.functions {
+        if func.is_simple && func.folded_into.is_none() {
+            lint_function(func, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Lints one function, appending findings.
+pub fn lint_function(func: &BinaryFunction, findings: &mut Vec<Finding>) {
+    let push = |findings: &mut Vec<Finding>, kind: FindingKind, detail: String| {
+        findings.push(Finding {
+            kind,
+            function: func.name.clone(),
+            addr: func.address,
+            detail,
+        });
+    };
+
+    // Layout sanity first: everything below indexes through it.
+    let n = func.blocks.len();
+    let mut seen = vec![false; n];
+    for &id in &func.layout {
+        if id.index() >= n {
+            push(
+                findings,
+                FindingKind::LintLayout,
+                format!("layout references out-of-range block {id}"),
+            );
+            return;
+        }
+        if seen[id.index()] {
+            push(
+                findings,
+                FindingKind::LintLayout,
+                format!("block {id} appears twice in layout"),
+            );
+            return;
+        }
+        seen[id.index()] = true;
+    }
+    if let Some(cold) = func.cold_start {
+        if cold == 0 || cold > func.layout.len() {
+            push(
+                findings,
+                FindingKind::LintLayout,
+                format!(
+                    "cold_start {cold} outside layout of {} blocks",
+                    func.layout.len()
+                ),
+            );
+        }
+    }
+
+    // The structural validator covers the remaining CFG invariants
+    // (terminator/edge agreement, fall-through positioning, …).
+    if let Err(e) = func.validate() {
+        push(findings, FindingKind::LintCfg, e);
+    }
+
+    // Terminator targets must resolve to laid-out blocks.
+    for &id in &func.layout {
+        if let Some(term) = func.block(id).terminator() {
+            if let Some(Target::Label(l)) = term.inst.target() {
+                let ok = (l.0 as usize) < n && seen[l.0 as usize];
+                if !ok {
+                    push(
+                        findings,
+                        FindingKind::LintCfg,
+                        format!("{id} terminator targets unresolved label L{}", l.0),
+                    );
+                }
+            }
+        }
+    }
+    for jt in &func.jump_tables {
+        for &t in &jt.targets {
+            if t.index() >= n || !seen[t.index()] {
+                push(
+                    findings,
+                    FindingKind::LintCfg,
+                    format!("jump table {} targets dead block {t}", jt.name),
+                );
+            }
+        }
+    }
+
+    if func.blocks.is_empty() || func.layout.is_empty() {
+        return;
+    }
+
+    lint_dominators(func, findings);
+    lint_saved_regs(func, findings);
+}
+
+/// The dominator tree must stay consistent with the CFG: the entry is
+/// its own idom, every block reachable along `succs` edges has an idom,
+/// and every idom chain terminates at the entry.
+fn lint_dominators(func: &BinaryFunction, findings: &mut Vec<Finding>) {
+    let push = |findings: &mut Vec<Finding>, detail: String| {
+        findings.push(Finding {
+            kind: FindingKind::LintDominators,
+            function: func.name.clone(),
+            addr: func.address,
+            detail,
+        });
+    };
+
+    let idom = dominators(func);
+    let entry = func.entry();
+    if idom[entry.index()] != Some(entry) {
+        push(
+            findings,
+            format!(
+                "entry {entry} is not its own idom ({:?})",
+                idom[entry.index()]
+            ),
+        );
+        return;
+    }
+
+    // Blocks reachable from the entry along succs edges. Blocks only
+    // reachable through landing-pad edges legitimately have no idom
+    // (`reverse_post_order` follows succs only), as do dead blocks kept
+    // by `uce`-disabled presets.
+    let mut reach = vec![false; func.blocks.len()];
+    let mut stack = vec![entry];
+    reach[entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for e in &func.block(b).succs {
+            if !reach[e.block.index()] {
+                reach[e.block.index()] = true;
+                stack.push(e.block);
+            }
+        }
+    }
+
+    for b in (0..func.blocks.len() as u32).map(BlockId) {
+        if !reach[b.index()] {
+            continue;
+        }
+        let Some(mut cur) = idom[b.index()] else {
+            push(findings, format!("reachable block {b} has no idom"));
+            continue;
+        };
+        // The idom chain must reach the entry within |blocks| steps.
+        let mut steps = 0;
+        while cur != entry {
+            match idom[cur.index()] {
+                Some(next) if next != cur => cur = next,
+                _ => {
+                    push(
+                        findings,
+                        format!("idom chain of {b} stalls at {cur} before reaching entry"),
+                    );
+                    break;
+                }
+            }
+            steps += 1;
+            if steps > func.blocks.len() {
+                push(findings, format!("idom chain of {b} cycles"));
+                break;
+            }
+        }
+    }
+}
+
+/// `frame-opts`/`shrink-wrapping` must keep callee-saved save/restore
+/// pairs bracketing every clobber: at a `push %r` of a callee-saved
+/// register, no path from the entry may already have overwritten `r`
+/// (the save would spill the clobbered value), and at every return the
+/// may-clobbered set must be empty (every overwrite was restored).
+fn lint_saved_regs(func: &BinaryFunction, findings: &mut Vec<Finding>) {
+    let tracked = CalleeClobbered::tracked();
+    let facts = solve(func, &CalleeClobbered);
+    for &id in &func.layout {
+        let block = func.block(id);
+        let mut cur = facts[id.index()].entry;
+        for inst in &block.insts {
+            match &inst.inst {
+                Inst::Push(r) if tracked.contains(*r) && cur.contains(*r) => {
+                    findings.push(Finding {
+                        kind: FindingKind::LintSavedRegs,
+                        function: func.name.clone(),
+                        addr: inst.addr,
+                        detail: format!("{id}: save of {r} sits after a clobber of {r}"),
+                    });
+                }
+                Inst::Ret | Inst::RepzRet => {
+                    let dirty = cur.intersect(tracked);
+                    if !dirty.is_empty() {
+                        findings.push(Finding {
+                            kind: FindingKind::LintSavedRegs,
+                            function: func.name.clone(),
+                            addr: inst.addr,
+                            detail: format!("{id}: returns with clobbered callee-saved {dirty}"),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            let (gen, kill) = bolt_ir::DataflowProblem::transfer(&CalleeClobbered, inst);
+            cur = gen.union(cur.minus(kill));
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Seeded defects for verifier validation.
+//!
+//! Each [`Mutation`] corrupts a rewritten ELF the way a buggy rewriter
+//! would — retargeted branch, blocks swapped without fixups, truncated
+//! function, garbage bytes, corrupted jump table, overlapping or missing
+//! symbols — so tests can prove [`crate::verify_rewrite`] catches every
+//! defect class rather than merely accepting good binaries.
+
+use crate::FindingKind;
+use bolt_elf::{Elf, SymKind};
+use bolt_ir::{BinaryContext, BinaryFunction};
+use bolt_isa::{decode, Inst, Target};
+use std::fmt;
+
+/// One kind of seeded defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Bump the low displacement byte of a conditional branch so it
+    /// points one byte past its real target.
+    RetargetJcc,
+    /// Rewrite a short `jcc` opcode into a short `jmp`, silently
+    /// dropping one CFG edge.
+    DropCondBranch,
+    /// Swap the byte ranges of two adjacent basic blocks without fixing
+    /// up any branches.
+    SwapBlocks,
+    /// Overwrite a function's final terminator with NOPs so it falls
+    /// through into padding or the next function.
+    TruncateFunction,
+    /// Replace a function's first byte with an undecodable opcode.
+    GarbageBytes,
+    /// Add 1 to a jump-table entry in the data section.
+    CorruptJumpTable,
+    /// Bump the low displacement byte of a direct call into rewritten
+    /// text so it lands between function entries.
+    RetargetCall,
+    /// Extend a function symbol's size past the start of the next one.
+    OverlapSymbols,
+    /// Delete the output symbol of an emitted function.
+    DeleteSymbol,
+}
+
+impl Mutation {
+    /// Every mutation, for exhaustive harness loops.
+    pub const ALL: [Mutation; 9] = [
+        Mutation::RetargetJcc,
+        Mutation::DropCondBranch,
+        Mutation::SwapBlocks,
+        Mutation::TruncateFunction,
+        Mutation::GarbageBytes,
+        Mutation::CorruptJumpTable,
+        Mutation::RetargetCall,
+        Mutation::OverlapSymbols,
+        Mutation::DeleteSymbol,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mutation::RetargetJcc => "retarget-jcc",
+            Mutation::DropCondBranch => "drop-cond-branch",
+            Mutation::SwapBlocks => "swap-blocks",
+            Mutation::TruncateFunction => "truncate-function",
+            Mutation::GarbageBytes => "garbage-bytes",
+            Mutation::CorruptJumpTable => "corrupt-jump-table",
+            Mutation::RetargetCall => "retarget-call",
+            Mutation::OverlapSymbols => "overlap-symbols",
+            Mutation::DeleteSymbol => "delete-symbol",
+        }
+    }
+
+    /// The finding kind the verifier is guaranteed to report for this
+    /// defect (it may report others on top).
+    pub fn expected_kind(self) -> FindingKind {
+        match self {
+            Mutation::RetargetJcc => FindingKind::CfgMismatch,
+            Mutation::DropCondBranch => FindingKind::CfgMismatch,
+            Mutation::SwapBlocks => FindingKind::CfgMismatch,
+            Mutation::TruncateFunction => FindingKind::FallthroughOutOfFunction,
+            Mutation::GarbageBytes => FindingKind::UndecodableBytes,
+            Mutation::CorruptJumpTable => FindingKind::DanglingJumpTarget,
+            Mutation::RetargetCall => FindingKind::DanglingJumpTarget,
+            Mutation::OverlapSymbols => FindingKind::OverlappingCode,
+            Mutation::DeleteSymbol => FindingKind::MissingFunction,
+        }
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Applies `m` to the first applicable site in `elf`, returning a
+/// description of what was corrupted, or `None` when the binary has no
+/// applicable site (e.g. no jump tables anywhere).
+pub fn apply_mutation(m: Mutation, elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    match m {
+        Mutation::RetargetJcc => retarget_branch(elf, ctx, BranchKind::Jcc),
+        Mutation::DropCondBranch => drop_cond_branch(elf, ctx),
+        Mutation::SwapBlocks => swap_blocks(elf, ctx),
+        Mutation::TruncateFunction => truncate_function(elf, ctx),
+        Mutation::GarbageBytes => garbage_bytes(elf, ctx),
+        Mutation::CorruptJumpTable => corrupt_jump_table(elf, ctx),
+        Mutation::RetargetCall => retarget_branch(elf, ctx, BranchKind::Call),
+        Mutation::OverlapSymbols => overlap_symbols(elf),
+        Mutation::DeleteSymbol => delete_symbol(elf, ctx),
+    }
+}
+
+/// A decoded instruction and its place in the binary.
+struct Slot {
+    addr: u64,
+    inst: Inst,
+    len: u8,
+}
+
+/// Emitted functions with their hot-fragment symbol ranges.
+fn hot_frags<'a>(elf: &Elf, ctx: &'a BinaryContext) -> Vec<(&'a BinaryFunction, u64, u64)> {
+    let mut out = Vec::new();
+    for f in &ctx.functions {
+        if !f.is_simple || f.folded_into.is_some() {
+            continue;
+        }
+        if let Some(s) = elf
+            .symbols
+            .iter()
+            .find(|s| s.kind == SymKind::Func && s.name == f.name && s.size > 0)
+        {
+            out.push((f, s.value, s.size));
+        }
+    }
+    out.sort_by_key(|&(_, addr, _)| addr);
+    out
+}
+
+fn decode_range(elf: &Elf, start: u64, size: u64) -> Option<Vec<Slot>> {
+    let bytes = elf.read_vaddr(start, size as usize)?;
+    let mut slots = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let addr = start + off as u64;
+        let d = decode(&bytes[off..], addr).ok()?;
+        slots.push(Slot {
+            addr,
+            inst: d.inst,
+            len: d.len,
+        });
+        off += d.len as usize;
+    }
+    Some(slots)
+}
+
+fn write_bytes(elf: &mut Elf, addr: u64, f: impl FnOnce(&mut [u8])) -> bool {
+    for s in &mut elf.sections {
+        if s.is_alloc() && addr >= s.addr {
+            let off = (addr - s.addr) as usize;
+            if off < s.data.len() {
+                f(&mut s.data[off..]);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+enum BranchKind {
+    Jcc,
+    Call,
+}
+
+/// Bumps the low displacement byte of the first matching branch, moving
+/// its target one byte forward without touching anything else.
+fn retarget_branch(elf: &mut Elf, ctx: &BinaryContext, kind: BranchKind) -> Option<String> {
+    let site = hot_frags(elf, ctx)
+        .into_iter()
+        .find_map(|(f, addr, size)| {
+            let slots = decode_range(elf, addr, size)?;
+            slots.into_iter().find_map(|s| {
+                let (matched, disp_len) = match (&kind, &s.inst) {
+                    (BranchKind::Jcc, Inst::Jcc { .. }) => (true, if s.len == 2 { 1 } else { 4 }),
+                    (
+                        BranchKind::Call,
+                        Inst::Call {
+                            target: Target::Addr(_),
+                        },
+                    ) => (true, 4),
+                    _ => (false, 0),
+                };
+                if matched {
+                    Some((f.name.clone(), s.addr, s.addr + s.len as u64 - disp_len))
+                } else {
+                    None
+                }
+            })
+        })?;
+    let (name, at, disp_addr) = site;
+    write_bytes(elf, disp_addr, |b| b[0] = b[0].wrapping_add(1))
+        .then(|| format!("bumped branch displacement at {at:#x} in {name}"))
+}
+
+/// Rewrites the first short `jcc` (opcode `0x70+cc`) into a short `jmp`
+/// (`0xEB`), keeping the displacement: the branch becomes unconditional
+/// and the fall-through edge silently disappears.
+fn drop_cond_branch(elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    let site = hot_frags(elf, ctx)
+        .into_iter()
+        .find_map(|(f, addr, size)| {
+            let slots = decode_range(elf, addr, size)?;
+            slots
+                .into_iter()
+                .find(|s| matches!(s.inst, Inst::Jcc { .. }) && s.len == 2)
+                .map(|s| (f.name.clone(), s.addr))
+        })?;
+    let (name, at) = site;
+    write_bytes(elf, at, |b| b[0] = 0xEB)
+        .then(|| format!("rewrote short jcc at {at:#x} in {name} into jmp"))
+}
+
+/// Swaps the byte ranges of the first two adjacent non-empty blocks with
+/// differing bytes, leaving every branch displacement stale.
+fn swap_blocks(elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    let site = hot_frags(elf, ctx)
+        .into_iter()
+        .find_map(|(f, addr, size)| {
+            let slots = decode_range(elf, addr, size)?;
+            // Derive hot block byte spans by walking the layout over the
+            // decoded stream, mirroring the emitter's packing.
+            let cold = f.cold_start.unwrap_or(f.layout.len());
+            let hot = &f.layout[..cold];
+            let total: usize = hot.iter().map(|&b| f.block(b).insts.len()).sum();
+            if total != slots.len() {
+                return None;
+            }
+            let mut spans: Vec<(u64, u64)> = Vec::new(); // (start, len)
+            let mut cursor = 0usize;
+            for &b in hot {
+                let n = f.block(b).insts.len();
+                if n > 0 {
+                    let start = slots[cursor].addr;
+                    let end = slots[cursor + n - 1].addr + slots[cursor + n - 1].len as u64;
+                    spans.push((start, end - start));
+                }
+                cursor += n;
+            }
+            spans.windows(2).find_map(|w| {
+                let (a_start, a_len) = w[0];
+                let (b_start, b_len) = w[1];
+                if a_start + a_len != b_start {
+                    return None;
+                }
+                let a = elf.read_vaddr(a_start, a_len as usize)?.to_vec();
+                let b = elf.read_vaddr(b_start, b_len as usize)?.to_vec();
+                (a != b).then(|| (f.name.clone(), a_start, a_len as usize, b_len as usize))
+            })
+        })?;
+    let (name, start, a_len, b_len) = site;
+    write_bytes(elf, start, |bytes| {
+        bytes[..a_len + b_len].rotate_left(a_len);
+    })
+    .then(|| format!("swapped adjacent blocks at {start:#x} in {name}"))
+}
+
+/// NOPs out the final terminator of the first hot fragment, so the
+/// function runs off its own end.
+fn truncate_function(elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    let site = hot_frags(elf, ctx)
+        .into_iter()
+        .find_map(|(f, addr, size)| {
+            let slots = decode_range(elf, addr, size)?;
+            let last = slots.last()?;
+            last.inst
+                .is_terminator()
+                .then(|| (f.name.clone(), last.addr, last.len as usize))
+        })?;
+    let (name, at, len) = site;
+    write_bytes(elf, at, |b| b[..len].fill(0x90))
+        .then(|| format!("replaced terminator at {at:#x} in {name} with NOPs"))
+}
+
+/// Stamps an undecodable opcode over a function's first byte.
+fn garbage_bytes(elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    let (f, addr, _) = hot_frags(elf, ctx).into_iter().next()?;
+    let name = f.name.clone();
+    // 0x06 is a removed 32-bit-era opcode (`push es`), invalid in long mode.
+    write_bytes(elf, addr, |b| b[0] = 0x06)
+        .then(|| format!("wrote garbage byte at {addr:#x} in {name}"))
+}
+
+/// Adds 1 to the first entry of the first jump table owned by an
+/// emitted function.
+fn corrupt_jump_table(elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    let site = ctx
+        .functions
+        .iter()
+        .filter(|f| f.is_simple && f.folded_into.is_none())
+        .flat_map(|f| f.jump_tables.iter().map(move |jt| (f, jt)))
+        .find_map(|(f, jt)| {
+            let v = elf.read_u64(jt.addr)?;
+            (!jt.targets.is_empty()).then(|| (f.name.clone(), jt.addr, v))
+        })?;
+    let (name, addr, v) = site;
+    write_bytes(elf, addr, |b| {
+        b[..8].copy_from_slice(&(v + 1).to_le_bytes());
+    })
+    .then(|| format!("corrupted jump-table entry at {addr:#x} of {name}"))
+}
+
+/// Extends the first exec-section function symbol one byte into its
+/// neighbor.
+fn overlap_symbols(elf: &mut Elf) -> Option<String> {
+    let mut funcs: Vec<(u64, u64, usize)> = elf
+        .symbols
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            s.kind == SymKind::Func
+                && s.size > 0
+                && matches!(s.section, bolt_elf::SymSection::Section(i)
+                    if elf.sections.get(i).is_some_and(|sec| sec.is_exec()))
+        })
+        .map(|(i, s)| (s.value, s.size, i))
+        .collect();
+    funcs.sort_unstable();
+    let pair = funcs.windows(2).next()?;
+    let (a_start, _, a_idx) = pair[0];
+    let (b_start, _, _) = pair[1];
+    let new_size = b_start - a_start + 1;
+    let name = elf.symbols[a_idx].name.clone();
+    elf.symbols[a_idx].size = new_size;
+    Some(format!(
+        "extended {name} to overlap its neighbor at {b_start:#x}"
+    ))
+}
+
+/// Removes the output symbol of the first emitted function.
+fn delete_symbol(elf: &mut Elf, ctx: &BinaryContext) -> Option<String> {
+    let (f, addr, _) = hot_frags(elf, ctx).into_iter().next()?;
+    let name = f.name.clone();
+    let pos = elf
+        .symbols
+        .iter()
+        .position(|s| s.kind == SymKind::Func && s.name == name && s.value == addr)?;
+    elf.symbols.remove(pos);
+    Some(format!("deleted symbol {name}"))
+}

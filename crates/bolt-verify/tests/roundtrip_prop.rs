@@ -1,0 +1,172 @@
+//! Property tests for the re-disassembly verifier: any generated CFG,
+//! emitted faithfully through the real emitter (`bolt_ir::emit_units`,
+//! branch relaxation included), must verify with zero findings and
+//! reconstruct exactly the IR's edge set — and corrupting any single
+//! instruction of the emitted bytes must produce at least one finding.
+
+use bolt_elf::{Elf, Section, Symbol};
+use bolt_ir::{
+    emit_units, BasicBlock, BinaryContext, BinaryFunction, BinaryInst, BlockId, EmitBlock,
+    EmitInst, EmitUnit, SuccEdge,
+};
+use bolt_isa::{Cond, Inst, JumpWidth, Label, Reg, Target};
+use bolt_verify::{edge_sets, verify_rewrite};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const BASE: u64 = 0x400000;
+const COLD_BASE: u64 = 0x600000;
+
+/// A random function: per block, filler length, an optional branch
+/// target, and whether the branch is conditional. The last block always
+/// returns so the layout cannot fall off the end.
+#[derive(Debug, Clone)]
+struct FuncSpec {
+    blocks: Vec<(usize, Option<usize>, bool)>,
+}
+
+fn arb_func(max_blocks: usize) -> impl Strategy<Value = FuncSpec> {
+    proptest::collection::vec(
+        (
+            0usize..5,
+            proptest::option::of(0usize..max_blocks),
+            any::<bool>(),
+        ),
+        2..max_blocks,
+    )
+    .prop_map(|mut blocks| {
+        let n = blocks.len();
+        for (_, t, _) in blocks.iter_mut() {
+            if let Some(t) = t.as_mut() {
+                *t %= n;
+            }
+        }
+        blocks.last_mut().expect("non-empty").1 = None;
+        FuncSpec { blocks }
+    })
+}
+
+/// The per-block instruction list and successor edges, shared by the
+/// emit unit and the IR so the two cannot drift apart in the test
+/// itself.
+fn block_shapes(spec: &FuncSpec) -> Vec<(Vec<Inst>, Vec<u32>)> {
+    let n = spec.blocks.len();
+    spec.blocks
+        .iter()
+        .enumerate()
+        .map(|(i, (pad, target, cond))| {
+            let mut insts: Vec<Inst> = (0..*pad)
+                .map(|k| Inst::MovRI {
+                    dst: Reg::Rax,
+                    imm: (k as i64) * 3 + 1,
+                })
+                .collect();
+            let succs: Vec<u32> = match target {
+                Some(t) if *cond && i + 1 < n => {
+                    insts.push(Inst::Jcc {
+                        cond: Cond::E,
+                        target: Target::Label(Label(*t as u32)),
+                        width: JumpWidth::Short,
+                    });
+                    vec![*t as u32, (i + 1) as u32]
+                }
+                Some(t) => {
+                    insts.push(Inst::Jmp {
+                        target: Target::Label(Label(*t as u32)),
+                        width: JumpWidth::Short,
+                    });
+                    vec![*t as u32]
+                }
+                // Fall-through block (no terminator) when a next block
+                // exists; otherwise a return.
+                None if *cond && i + 1 < n => vec![(i + 1) as u32],
+                None => {
+                    insts.push(Inst::Ret);
+                    vec![]
+                }
+            };
+            (insts, succs)
+        })
+        .collect()
+}
+
+/// Emits the spec through the real emitter and builds the matching
+/// "optimized IR" context — the identity pipeline's view of the
+/// function.
+fn emit_spec(spec: &FuncSpec) -> (Elf, BinaryContext) {
+    let shapes = block_shapes(spec);
+
+    let mut unit = EmitUnit::new("prop");
+    unit.align = 1;
+    for (i, (insts, _)) in shapes.iter().enumerate() {
+        let mut b = EmitBlock::new(Label(i as u32));
+        b.insts = insts.iter().map(|&inst| EmitInst::new(inst)).collect();
+        unit.blocks.push(b);
+    }
+    let result = emit_units(&[unit], BASE, COLD_BASE, &HashMap::new()).expect("emits");
+
+    let mut elf = Elf::new(BASE);
+    elf.sections
+        .push(Section::code(".text.bolt", BASE, result.text));
+    for s in &result.symbols {
+        elf.symbols
+            .push(Symbol::func(s.name.clone(), s.addr, s.size, 0));
+    }
+
+    let mut func = BinaryFunction::new("prop", 0x1000);
+    for (insts, succs) in &shapes {
+        let mut b = BasicBlock::new();
+        b.insts = insts.iter().map(|&inst| BinaryInst::new(inst)).collect();
+        b.succs = succs.iter().map(|&s| SuccEdge::cold(BlockId(s))).collect();
+        func.add_block(b);
+    }
+    let mut ctx = BinaryContext::new();
+    ctx.add_function(func);
+    (elf, ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Identity round trip: emit → re-disassemble → zero findings, and
+    /// the recovered edge set equals the IR edge set.
+    #[test]
+    fn emitted_cfg_verifies_clean_with_equal_edge_sets(spec in arb_func(12)) {
+        let (elf, ctx) = emit_spec(&spec);
+        let report = verify_rewrite(&elf, &ctx);
+        prop_assert!(
+            report.is_clean(),
+            "clean emit produced findings: {:?}",
+            report.findings
+        );
+        let (ir, dec) = edge_sets(&elf, &ctx, "prop").expect("function pairs");
+        prop_assert_eq!(ir, dec);
+    }
+
+    /// Single-instruction corruption: flipping the last byte of any
+    /// emitted instruction (opcode, displacement, or immediate) must
+    /// surface at least one finding — the verifier has no blind spots
+    /// inside a function body.
+    #[test]
+    fn corrupting_any_instruction_is_detected(
+        spec in arb_func(8),
+        pick in 0usize..1024,
+    ) {
+        let (mut elf, ctx) = emit_spec(&spec);
+        // Decode the pristine text to find instruction boundaries.
+        let sym = elf.symbol("prop").expect("symbol").clone();
+        let text = elf.read_vaddr(sym.value, sym.size as usize).expect("readable").to_vec();
+        let decoded = bolt_isa::decode_all(&text, sym.value).expect("pristine text decodes");
+        // `decode_all` yields offsets relative to the slice start.
+        let (inst_off, d) = &decoded[pick % decoded.len()];
+        let off = (sym.value - BASE) as usize + *inst_off as usize + d.len as usize - 1;
+        elf.sections[0].data[off] ^= 0x13;
+        let report = verify_rewrite(&elf, &ctx);
+        prop_assert!(
+            !report.is_clean(),
+            "corrupted byte at {:#x} (inside `{}`) went undetected",
+            BASE + off as u64,
+            d.inst
+        );
+    }
+}

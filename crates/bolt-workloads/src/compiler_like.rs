@@ -437,6 +437,6 @@ mod tests {
         let mut i1 = Interp::new(&p, 10_000_000);
         let r1 = i1.call_function("check_1", &[12345]).unwrap();
         // biased_helper returns 1 on positive, 2 on negative.
-        assert_eq!(r0 % 4 != r1 % 4, true, "different arms taken: {r0} vs {r1}");
+        assert!(r0 % 4 != r1 % 4, "different arms taken: {r0} vs {r1}");
     }
 }

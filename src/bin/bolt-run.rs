@@ -26,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] \
          [--counters] [--max-steps N] [--shards N] [--threads N] \
-         [--engine step|block|superblock|uop]\n\
+         [--engine step|block|superblock|uop] [--validate-uops]\n\
          \n\
          --shards N   run N independent invocations (sharded batch\n\
          \x20            emulation; 0 = auto [BOLT_SHARDS env or 1]); the\n\
@@ -48,7 +48,13 @@ fn usage() -> ! {
          \x20            instructions and chains block transitions; `uop`\n\
          \x20            further lowers each block to pre-resolved micro-ops\n\
          \x20            with lazily-materialized flags — byte-identical\n\
-         \x20            profiles/counters/output, just faster"
+         \x20            profiles/counters/output, just faster\n\
+         --validate-uops\n\
+         \x20            (uop engine) symbolically check every lowered block\n\
+         \x20            against its source decode at translation time —\n\
+         \x20            operand indices, sign-extension, effective-address\n\
+         \x20            recipes, flags liveness; a violation aborts the run.\n\
+         \x20            Also enabled by BOLT_UOP_VALIDATE=1"
     );
     std::process::exit(2)
 }
@@ -136,6 +142,7 @@ fn main() -> ExitCode {
             "--fdata" => fdata = it.next().cloned(),
             "--ip" => use_ip = true,
             "--counters" => counters = true,
+            "--validate-uops" => bolt::emu::enable_uop_validation(),
             "--period" => {
                 period = it
                     .next()

@@ -46,6 +46,13 @@ fn usage() -> ! {
            \x20   (skip repeated pipeline registrations of a pass whose earlier\n\
            \x20   instance reported zero changes this run, e.g. the second icf\n\
            \x20   on small binaries; skipped passes are marked in -time-passes)\n\
+           -verify\n\
+           \x20   (static verification: IR lint after the pipeline plus an\n\
+           \x20   independent re-disassembly of the rewritten binary checked\n\
+           \x20   against the optimized CFG; any finding fails the run)\n\
+           -verify-each\n\
+           \x20   (like -verify, but the IR lint runs after every pass,\n\
+           \x20   pinpointing the pass that broke an invariant)\n\
            -dyno-stats\n\
            -time-passes\n\
            -report-bad-layout\n\
@@ -82,6 +89,8 @@ fn main() -> ExitCode {
             "-dyno-stats" => opts.dyno_stats = true,
             "-time-passes" => opts.time_passes = true,
             "-skip-unchanged" => opts.skip_unchanged = true,
+            "-verify" => opts.verify = true,
+            "-verify-each" => opts.verify_each = true,
             "-report-bad-layout" => opts.report_bad_layout = true,
             "-print-debug-info" => opts.print_debug_info = true,
             "-v" => opts.verbose = true,
@@ -208,6 +217,23 @@ fn main() -> ExitCode {
     }
     if let Some(report) = &out.bad_layout {
         println!("{report}");
+    }
+    if opts.verify || opts.verify_each {
+        let findings = out.all_findings();
+        if let Some(v) = &out.verify {
+            eprintln!(
+                "bolt: verify: {} findings across {} functions in {:.3?}",
+                findings.len(),
+                v.functions_checked,
+                v.duration
+            );
+        }
+        if !findings.is_empty() {
+            for f in &findings {
+                eprintln!("bolt: verify: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     if opts.dyno_stats {
         println!("BOLT dyno stats (this profile, new layout vs old):");

@@ -17,6 +17,7 @@
 //! | [`hfsort`] | HFSort / HFSort+ / Pettis–Hansen function ordering |
 //! | [`passes`] | the sixteen-pass pipeline of paper Table 1 |
 //! | [`opt`] | the BOLT driver: discover → disassemble → optimize → rewrite |
+//! | [`verify`] | static CFG-preservation verifier: re-disassembler, IR lint, mutation seeds |
 //! | [`workloads`] | synthetic data-center and compiler workloads |
 //!
 //! ## Quickstart
@@ -64,4 +65,5 @@ pub use bolt_opt as opt;
 pub use bolt_passes as passes;
 pub use bolt_profile as profile;
 pub use bolt_sim as sim;
+pub use bolt_verify as verify;
 pub use bolt_workloads as workloads;

@@ -457,3 +457,55 @@ fn max_steps_budget_lands_identically_inside_superblocks() {
         }
     }
 }
+
+/// The full default pipeline on profiled TAO runs under `-verify-each`
+/// with zero findings, and `-time-passes` attributes the verifier's
+/// wall clock as its own `verify` rows — one per executed pass — rather
+/// than folding it into the passes being verified.
+#[test]
+fn default_pipeline_under_verify_each_is_clean_on_tao() {
+    let elf = tao_fixture();
+    let plan = shard_plan(1, 2);
+    let (profile, _) = profile_lbr_batch_with(elf, &SimConfig::small(), &plan, prepare_for(elf));
+
+    let mut opts = bolt::opt::BoltOptions::paper_default();
+    opts.verify_each = true;
+    opts.time_passes = true;
+    let out = bolt::opt::optimize(elf, &profile, &opts).expect("BOLT succeeds");
+
+    let findings = out.all_findings();
+    assert!(
+        findings.is_empty(),
+        "default pipeline must verify clean, got:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let rewrite = out.verify.as_ref().expect("re-disassembly ran");
+    assert!(rewrite.functions_checked > 0);
+
+    // One lint sweep per executed pass, each timed as its own row.
+    let verify_rows = out
+        .pipeline
+        .reports
+        .iter()
+        .filter(|r| r.name == "verify")
+        .count();
+    let executed = out
+        .pipeline
+        .reports
+        .iter()
+        .filter(|r| r.name != "verify" && !r.skipped)
+        .count();
+    assert_eq!(
+        verify_rows, executed,
+        "-verify-each must lint after every executed pass"
+    );
+    let report = bolt::opt::timing_report(&out.pipeline);
+    assert!(
+        report.contains("verify"),
+        "-time-passes must show the verifier rows:\n{report}"
+    );
+}
