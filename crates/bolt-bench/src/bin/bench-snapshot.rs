@@ -272,6 +272,42 @@ fn main() {
             if vi + 1 < verify_targets.len() { "," } else { "" }
         );
     }
+    let _ = writeln!(json, "  }},");
+
+    // Symbolic translation-validation overhead: re-run the three
+    // translation engines on TAO with semantic validation enabled and
+    // record the wall-clock cost against a just-measured baseline (the
+    // validator runs once per packed block, at translate time). This
+    // section is measured LAST by necessity: the knob is process-global
+    // and sticky-on, so everything timed above runs validation-free.
+    let _ = writeln!(json, "  \"sem_validate\": {{");
+    let tao = &workloads
+        .iter()
+        .find(|(n, _)| *n == "tao")
+        .expect("workload built above")
+        .1;
+    let sem_engines = [Engine::Block, Engine::Superblock, Engine::Uop];
+    let sem_reps = reps.min(3);
+    let baseline: Vec<f64> = sem_engines
+        .iter()
+        .map(|&e| run_leg(tao, e, sem_reps).null_ms)
+        .collect();
+    bolt_emu::enable_sem_validation();
+    for (si, (&e, base_ms)) in sem_engines.iter().zip(&baseline).enumerate() {
+        let validated_ms = run_leg(tao, e, sem_reps).null_ms;
+        let pct = 100.0 * (validated_ms - base_ms) / base_ms.max(f64::MIN_POSITIVE);
+        println!(
+            "  {:<12} --engine={e:<10} sem-validate {validated_ms:>9.3} ms \
+             vs {base_ms:>9.3} ms baseline ({pct:+.1}%)",
+            "tao"
+        );
+        let _ = writeln!(
+            json,
+            "    \"{e}\": {{ \"baseline_ms\": {base_ms:.3}, \"validated_ms\": {validated_ms:.3}, \
+             \"overhead_pct\": {pct:.2} }}{}",
+            if si + 1 < sem_engines.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

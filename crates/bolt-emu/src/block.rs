@@ -94,11 +94,53 @@ impl TranslationMode {
 /// ISA; the effective address — and hence any line crossing — is only
 /// resolvable at execute time and is captured into a [`MemRecord`] then.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct MemShape {
+pub struct MemShape {
     /// Instruction index within the block.
     pub inst: u32,
     /// `true` for stores.
     pub write: bool,
+}
+
+/// Records the static D-side shape(s) of `inst`, in the order the
+/// executor emits its `on_mem` events.
+fn push_shapes_for(inst_idx: u32, inst: &Inst, out: &mut Vec<MemShape>) {
+    let mut push = |write| {
+        out.push(MemShape {
+            inst: inst_idx,
+            write,
+        })
+    };
+    match inst {
+        Inst::Push(_) | Inst::Store { .. } => push(true),
+        Inst::Pop(_) | Inst::Load { .. } | Inst::Ret | Inst::RepzRet => push(false),
+        // A call pushes its return address; an indirect call through
+        // memory first loads the target.
+        Inst::Call { .. } => push(true),
+        Inst::CallInd { rm } => {
+            if matches!(rm, Rm::Mem(_)) {
+                push(false);
+            }
+            push(true);
+        }
+        Inst::JmpInd { rm } => {
+            if matches!(rm, Rm::Mem(_)) {
+                push(false);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The static memory-shape list a spanning translation records for
+/// `insts` — the same recording [`BlockCache::translate`] performs,
+/// exposed so the semantic validator's tests and mutation harness build
+/// shape lists from the single source of truth.
+pub fn translation_shapes(insts: &[(Inst, u8)]) -> Vec<MemShape> {
+    let mut out = Vec::new();
+    for (i, (inst, _)) in insts.iter().enumerate() {
+        push_shapes_for(i as u32, inst, &mut out);
+    }
+    out
 }
 
 /// One translated basic block: a packed descriptor into the cache's
@@ -321,36 +363,6 @@ impl BlockCache {
         }
     }
 
-    /// Records the static D-side shape(s) of `inst`, in the order the
-    /// executor emits its `on_mem` events.
-    fn push_mem_shapes(&mut self, inst_idx: u32, inst: &Inst) {
-        let mut push = |write| {
-            self.mem_shapes.push(MemShape {
-                inst: inst_idx,
-                write,
-            })
-        };
-        match inst {
-            Inst::Push(_) | Inst::Store { .. } => push(true),
-            Inst::Pop(_) | Inst::Load { .. } | Inst::Ret | Inst::RepzRet => push(false),
-            // A call pushes its return address; an indirect call through
-            // memory first loads the target.
-            Inst::Call { .. } => push(true),
-            Inst::CallInd { rm } => {
-                if matches!(rm, Rm::Mem(_)) {
-                    push(false);
-                }
-                push(true);
-            }
-            Inst::JmpInd { rm } => {
-                if matches!(rm, Rm::Mem(_)) {
-                    push(false);
-                }
-            }
-            _ => {}
-        }
-    }
-
     /// Translates the straight-line run starting at `entry`: decodes up
     /// to the first block-ending instruction or [`MAX_BLOCK_INSTS`],
     /// packs the entries, and precomputes the 64-byte line footprint,
@@ -380,7 +392,11 @@ impl BlockCache {
                 Err(_) => break,
             };
             if self.mode.spans_mems() {
-                self.push_mem_shapes((self.insts.len() - insts_start) as u32, &d.inst);
+                push_shapes_for(
+                    (self.insts.len() - insts_start) as u32,
+                    &d.inst,
+                    &mut self.mem_shapes,
+                );
             }
             self.insts.push((d.inst, d.len));
             self.fetches.push((at, d.len));
@@ -438,7 +454,64 @@ impl BlockCache {
             self.watch_lo = self.watch_lo.min(entry);
             self.watch_hi = self.watch_hi.max(at + MAX_INST_LEN);
         }
+        if crate::transval::sem_validation_enabled() {
+            let findings = self.validate_semantics(mem, idx);
+            if !findings.is_empty() {
+                let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+                panic!(
+                    "semantic translation validation failed for block at {entry:#x}:\n  {}",
+                    rendered.join("\n  ")
+                );
+            }
+        }
         Ok(idx)
+    }
+
+    /// Symbolically proves the cached translation of block `idx`
+    /// equivalent to the step semantics of a *fresh decode* of the same
+    /// bytes — so a corrupted cache entry is caught even when its pools
+    /// are internally consistent. Returns the disagreements (empty =
+    /// proven equivalent).
+    pub(crate) fn validate_semantics(
+        &self,
+        mem: &Memory,
+        idx: u32,
+    ) -> Vec<crate::transval::SemFinding> {
+        use crate::transval::{SemFinding, SemFindingKind};
+        let (range, entry) = self.inst_range(idx);
+        let mut reference = Vec::with_capacity(range.len());
+        let mut at = entry;
+        let mut buf = [0u8; 16];
+        for _ in range.clone() {
+            mem.read(at, &mut buf);
+            match decode(&buf, at) {
+                Ok(d) => {
+                    reference.push((d.inst, d.len));
+                    at += d.len as u64;
+                }
+                Err(_) => {
+                    return vec![SemFinding {
+                        kind: SemFindingKind::DecodeMismatch,
+                        entry,
+                        inst: reference.len() as u32,
+                        detail: format!(
+                            "cached block holds {} instructions but the bytes at {at:#x} \
+                             do not decode",
+                            range.len()
+                        ),
+                    }];
+                }
+            }
+        }
+        let cached = &self.insts[range.clone()];
+        let uops = (self.mode == TranslationMode::Uop).then(|| &self.uops[range.clone()]);
+        let shapes = self.mode.spans_mems().then(|| self.shapes(idx));
+        crate::transval::validate_translation(entry, &reference, cached, uops, shapes)
+    }
+
+    /// Total bytes block `idx`'s instructions occupy.
+    pub(crate) fn byte_len(&self, idx: u32) -> u64 {
+        self.blocks[idx as usize].byte_len as u64
     }
 
     /// The pool range holding block `idx`'s instructions, and its entry.

@@ -17,6 +17,8 @@ mod events;
 mod exec;
 mod memory;
 mod spill;
+pub mod symexec;
+pub mod transval;
 mod uop;
 
 /// Longest encodable instruction; text-write invalidation (decode and
@@ -26,6 +28,7 @@ mod uop;
 pub(crate) const MAX_INST_LEN: u64 = 16;
 
 pub use batch::{resolve_shards, run_batch, ShardPlan, ShardRun};
+pub use block::{translation_shapes, MemShape};
 pub use events::{
     BlockEvent, BranchEvent, BranchKind, CountingSink, MemRecord, NullSink, Tee, TraceSink,
 };
@@ -33,4 +36,10 @@ pub use exec::{
     resolve_engine, EmuError, Engine, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP,
 };
 pub use memory::Memory;
-pub use uop::{enable_uop_validation, uop_validation_enabled};
+pub use transval::{
+    enable_sem_validation, sem_validation_enabled, validate_code, validate_translation, SemFinding,
+    SemFindingKind,
+};
+pub use uop::{
+    enable_uop_validation, lower_into, uop_validation_enabled, validate_block, MicroOp, UopKind,
+};

@@ -1,0 +1,945 @@
+//! Symbolic block evaluation for translation validation.
+//!
+//! A small term language over the machine's *initial* state — one
+//! symbol per register, one for the incoming flags, one per loaded
+//! memory value — plus two abstract evaluators: one over decoded
+//! [`Inst`] step semantics (mirroring `Machine::exec_inst`), one over
+//! [`MicroOp`] semantics including the `LazyFlags` materialization
+//! rules and liveness barriers (mirroring `Machine::exec_uop`). Running
+//! both over one packed block from a common initial state yields two
+//! [`SymState`]s whose structural equality *proves* the translation
+//! semantically faithful: same final register file, same flags at every
+//! point where flags are observable, same ordered memory-effect list,
+//! same terminator. [`crate::transval`] performs that comparison and
+//! turns disagreements into findings.
+//!
+//! Terms are constant-folded and canonicalized as they are built (both
+//! evaluators go through the same smart constructors), so equivalent
+//! computations — an immediate the interpreter sign-extends at execute
+//! time vs one the lowering pre-extended — converge to one
+//! representative and compare equal structurally; no solver is needed.
+//!
+//! The model is exact, not conservative: every rule here restates one
+//! arm of `exec_inst`/`exec_uop` over terms instead of values, with the
+//! flag classes coming from the shared [`bolt_isa::flag_effect`] table.
+
+use crate::exec::Flags;
+use crate::uop::{lower_mem, MicroOp, UopKind};
+use bolt_isa::{Cond, Inst, Reg, Rm, ShiftOp, Target};
+use std::fmt;
+use std::rc::Rc;
+
+/// A symbolic 64-bit value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// The value register `i` held when the block was entered.
+    Init(u8),
+    Const(u64),
+    /// The value produced by the block's memory effect number `seq`
+    /// (effects are numbered in executor event order, so a load that
+    /// happens after a store is a different symbol from one before it).
+    Load {
+        addr: Rc<Term>,
+        seq: u32,
+    },
+    Add(Rc<Term>, Rc<Term>),
+    Sub(Rc<Term>, Rc<Term>),
+    And(Rc<Term>, Rc<Term>),
+    Or(Rc<Term>, Rc<Term>),
+    Xor(Rc<Term>, Rc<Term>),
+    /// Low 64 bits of the product (signed and unsigned agree there).
+    Mul(Rc<Term>, Rc<Term>),
+    Shl(Rc<Term>, u8),
+    Shr(Rc<Term>, u8),
+    Sar(Rc<Term>, u8),
+    /// `0`/`1` from evaluating `cond` against symbolic flags.
+    CondBit(SymFlags, Cond),
+}
+
+/// A symbolic flags state: which [`Flags::of_*`](Flags) formula
+/// produced it and the operand terms it was applied to. Mirrors the
+/// executor's `LazyFlags` exactly — two states are equivalent iff their
+/// class and operands agree, which is precisely when materializing them
+/// yields identical concrete flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymFlags {
+    /// The flags the block was entered with.
+    Init,
+    /// `Flags::of_logic(r)`.
+    Logic(Rc<Term>),
+    /// `Flags::of_sub(a, b)`.
+    Sub(Rc<Term>, Rc<Term>),
+    /// `Flags::of_add(a, b)`.
+    Add(Rc<Term>, Rc<Term>),
+    /// `Flags::of_imul` over the product of `a * b`.
+    Imul(Rc<Term>, Rc<Term>),
+    /// `Flags::of_shift` over `a` shifted by a nonzero masked count.
+    Shift(ShiftOp, Rc<Term>, u8),
+}
+
+/// One data-memory effect, in executor event order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymEffect {
+    /// Instruction index within the block.
+    pub inst: u32,
+    /// `true` for stores.
+    pub write: bool,
+    /// Symbolic effective address.
+    pub addr: Rc<Term>,
+    /// Access width in bytes (fixed at 8 by this ISA).
+    pub width: u8,
+    /// The value stored (writes only; loads *produce* a
+    /// [`Term::Load`]).
+    pub value: Option<Rc<Term>>,
+}
+
+/// One point where the flags are observable — a consumer (`jcc`,
+/// `setcc`), a store/push liveness barrier (self-modifying code can
+/// truncate the block there and hand the flags to freshly decoded
+/// code), or the block exit. The uop evaluator records the
+/// *would-be-materialized* state at each point; a dead-marked live
+/// writer shows up as a stale entry that disagrees with the step
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagCheck {
+    pub inst: u32,
+    pub flags: SymFlags,
+}
+
+/// The block's symbolic control-flow exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymTerminator {
+    /// Fell off the packed block's end (length cap or span boundary)
+    /// into the next address.
+    FallThrough(u64),
+    /// Unconditional jump (direct targets fold to a constant).
+    Jump(Rc<Term>),
+    /// Conditional branch: `cond` over `flags` picks `taken` or `fall`.
+    CondJump {
+        flags: SymFlags,
+        cond: Cond,
+        taken: u64,
+        fall: u64,
+    },
+    /// Call (the return-address push is already in the effect list).
+    Call { target: Rc<Term>, ret: u64 },
+    /// Return to the popped value.
+    Ret(Rc<Term>),
+    /// Syscall at this instruction; behavior is a fixed function of the
+    /// register file, which the register comparison covers.
+    Syscall { next: u64 },
+    /// `ud2`.
+    Trap,
+}
+
+/// The final symbolic machine state of one block evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymState {
+    /// Final symbolic register file.
+    pub regs: [Rc<Term>; 16],
+    /// Index of the last instruction that wrote each register
+    /// (`u32::MAX` if untouched) — finding attribution.
+    pub reg_writer: [u32; 16],
+    /// Ordered memory effects.
+    pub effects: Vec<SymEffect>,
+    /// Flags at every observation point, in order.
+    pub flag_checks: Vec<FlagCheck>,
+    /// Flags at block exit (would-be-materialized on the uop side; a
+    /// chained successor may consume them).
+    pub exit_flags: SymFlags,
+    pub terminator: SymTerminator,
+}
+
+// ---------------------------------------------------------------------------
+// Smart constructors: constant folding + canonicalization. Both
+// evaluators build terms exclusively through these, so equivalent
+// computations converge structurally.
+
+fn c64(v: u64) -> Rc<Term> {
+    Rc::new(Term::Const(v))
+}
+
+fn const_of(t: &Rc<Term>) -> Option<u64> {
+    match **t {
+        Term::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Orders a commutative pair: constants go right, so `k + x` and
+/// `x + k` canonicalize identically.
+fn commute(a: Rc<Term>, b: Rc<Term>) -> (Rc<Term>, Rc<Term>) {
+    if const_of(&a).is_some() && const_of(&b).is_none() {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+fn add(a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    match (const_of(&a), const_of(&b)) {
+        (Some(x), Some(y)) => c64(x.wrapping_add(y)),
+        (Some(0), _) => b,
+        (_, Some(0)) => a,
+        _ => {
+            let (a, b) = commute(a, b);
+            Rc::new(Term::Add(a, b))
+        }
+    }
+}
+
+fn sub(a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    match (const_of(&a), const_of(&b)) {
+        (Some(x), Some(y)) => c64(x.wrapping_sub(y)),
+        (_, Some(0)) => a,
+        _ => Rc::new(Term::Sub(a, b)),
+    }
+}
+
+fn and(a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    match (const_of(&a), const_of(&b)) {
+        (Some(x), Some(y)) => c64(x & y),
+        (Some(0), _) | (_, Some(0)) => c64(0),
+        (Some(u64::MAX), _) => b,
+        (_, Some(u64::MAX)) => a,
+        _ => {
+            let (a, b) = commute(a, b);
+            Rc::new(Term::And(a, b))
+        }
+    }
+}
+
+fn or(a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    match (const_of(&a), const_of(&b)) {
+        (Some(x), Some(y)) => c64(x | y),
+        (Some(0), _) => b,
+        (_, Some(0)) => a,
+        _ => {
+            let (a, b) = commute(a, b);
+            Rc::new(Term::Or(a, b))
+        }
+    }
+}
+
+fn xor(a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    match (const_of(&a), const_of(&b)) {
+        (Some(x), Some(y)) => c64(x ^ y),
+        (Some(0), _) => b,
+        (_, Some(0)) => a,
+        _ => {
+            let (a, b) = commute(a, b);
+            Rc::new(Term::Xor(a, b))
+        }
+    }
+}
+
+fn mul(a: Rc<Term>, b: Rc<Term>) -> Rc<Term> {
+    match (const_of(&a), const_of(&b)) {
+        (Some(x), Some(y)) => c64(x.wrapping_mul(y)),
+        (Some(1), _) => b,
+        (_, Some(1)) => a,
+        _ => {
+            let (a, b) = commute(a, b);
+            Rc::new(Term::Mul(a, b))
+        }
+    }
+}
+
+/// `a` shifted by a masked count in `1..=63` — same result formulas as
+/// the executor's shift arms.
+fn shift(op: ShiftOp, a: Rc<Term>, c: u8) -> Rc<Term> {
+    if let Some(x) = const_of(&a) {
+        let n = c as u32;
+        return c64(match op {
+            ShiftOp::Shl => x.wrapping_shl(n),
+            ShiftOp::Shr => x.wrapping_shr(n),
+            ShiftOp::Sar => (x as i64).wrapping_shr(n) as u64,
+        });
+    }
+    Rc::new(match op {
+        ShiftOp::Shl => Term::Shl(a, c),
+        ShiftOp::Shr => Term::Shr(a, c),
+        ShiftOp::Sar => Term::Sar(a, c),
+    })
+}
+
+/// Concrete flags of a symbolic state whose operands are all constant.
+fn concrete_flags(f: &SymFlags) -> Option<Flags> {
+    Some(match f {
+        SymFlags::Init => return None,
+        SymFlags::Logic(r) => Flags::of_logic(const_of(r)?),
+        SymFlags::Sub(a, b) => Flags::of_sub(const_of(a)?, const_of(b)?),
+        SymFlags::Add(a, b) => Flags::of_add(const_of(a)?, const_of(b)?),
+        SymFlags::Imul(a, b) => {
+            let (r, over) = (const_of(a)? as i64).overflowing_mul(const_of(b)? as i64);
+            Flags::of_imul(r, over)
+        }
+        SymFlags::Shift(op, a, c) => {
+            let a = const_of(a)?;
+            let n = *c as u32;
+            let (r, cf) = match op {
+                ShiftOp::Shl => (a.wrapping_shl(n), (a >> (64 - n)) & 1 != 0),
+                ShiftOp::Shr => (a.wrapping_shr(n), (a >> (n - 1)) & 1 != 0),
+                ShiftOp::Sar => (
+                    (a as i64).wrapping_shr(n) as u64,
+                    ((a as i64) >> (n - 1)) & 1 != 0,
+                ),
+            };
+            Flags::of_shift(r, cf)
+        }
+    })
+}
+
+/// `0`/`1` from `cond` over `flags`, folded when the flags are fully
+/// constant.
+fn cond_bit(flags: &SymFlags, cond: Cond) -> Rc<Term> {
+    match concrete_flags(flags) {
+        Some(f) => c64(u64::from(f.cond(cond))),
+        None => Rc::new(Term::CondBit(flags.clone(), cond)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The evaluator.
+
+/// How a flag write lands, distinguishing the two evaluators:
+/// the step side writes eagerly; the uop side defers live writes
+/// (pending until a consumer materializes them) and skips dead ones
+/// entirely — exactly `exec_uop`'s behavior.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlagWrite {
+    Eager,
+    Lazy,
+    Dead,
+}
+
+struct Evaluator {
+    regs: [Rc<Term>; 16],
+    reg_writer: [u32; 16],
+    /// Architectural flags (what `Machine::flags` holds).
+    flags: SymFlags,
+    /// Pending lazy state (uop side; always `None` on the step side).
+    lazy: Option<SymFlags>,
+    effects: Vec<SymEffect>,
+    flag_checks: Vec<FlagCheck>,
+    terminator: Option<SymTerminator>,
+}
+
+const RSP: usize = 4;
+
+impl Evaluator {
+    fn new() -> Evaluator {
+        Evaluator {
+            regs: std::array::from_fn(|i| Rc::new(Term::Init(i as u8))),
+            reg_writer: [u32::MAX; 16],
+            flags: SymFlags::Init,
+            lazy: None,
+            effects: Vec::new(),
+            flag_checks: Vec::new(),
+            terminator: None,
+        }
+    }
+
+    fn reg(&self, i: u8) -> Rc<Term> {
+        self.regs[i as usize].clone()
+    }
+
+    fn set_reg(&mut self, inst: u32, i: u8, v: Rc<Term>) {
+        self.regs[i as usize] = v;
+        self.reg_writer[i as usize] = inst;
+    }
+
+    /// The flags a consumer (or an SMC truncation) would observe right
+    /// now: the pending lazy state if any, else the architectural one.
+    fn observable_flags(&self) -> SymFlags {
+        self.lazy.clone().unwrap_or_else(|| self.flags.clone())
+    }
+
+    fn write_flags(&mut self, f: SymFlags, how: FlagWrite) {
+        match how {
+            FlagWrite::Eager => self.flags = f,
+            FlagWrite::Lazy => self.lazy = Some(f),
+            FlagWrite::Dead => {}
+        }
+    }
+
+    /// A flags consumer at instruction `inst`: materializes any pending
+    /// state (the uop engine's `materialize_flags`) and records the
+    /// observation.
+    fn consume_flags(&mut self, inst: u32) -> SymFlags {
+        if let Some(l) = self.lazy.take() {
+            self.flags = l;
+        }
+        self.flag_checks.push(FlagCheck {
+            inst,
+            flags: self.flags.clone(),
+        });
+        self.flags.clone()
+    }
+
+    /// A store/push liveness barrier at instruction `inst`: the flags
+    /// are not materialized (the executor doesn't), but they must be
+    /// *recoverable* — record what would materialize.
+    fn barrier_check(&mut self, inst: u32) {
+        let flags = self.observable_flags();
+        self.flag_checks.push(FlagCheck { inst, flags });
+    }
+
+    /// Records a load effect and returns its value symbol.
+    fn load(&mut self, inst: u32, addr: Rc<Term>) -> Rc<Term> {
+        let seq = self.effects.len() as u32;
+        self.effects.push(SymEffect {
+            inst,
+            write: false,
+            addr: addr.clone(),
+            width: 8,
+            value: None,
+        });
+        Rc::new(Term::Load { addr, seq })
+    }
+
+    fn store(&mut self, inst: u32, addr: Rc<Term>, value: Rc<Term>) {
+        self.effects.push(SymEffect {
+            inst,
+            write: true,
+            addr,
+            width: 8,
+            value: Some(value),
+        });
+    }
+
+    /// `push v`: rsp decrements, then the store lands at the new rsp.
+    fn push_stack(&mut self, inst: u32, v: Rc<Term>) {
+        let rsp = sub(self.regs[RSP].clone(), c64(8));
+        self.set_reg(inst, RSP as u8, rsp.clone());
+        self.store(inst, rsp, v);
+    }
+
+    /// `pop`: load at rsp, then rsp increments.
+    fn pop_stack(&mut self, inst: u32) -> Rc<Term> {
+        let rsp = self.regs[RSP].clone();
+        let v = self.load(inst, rsp.clone());
+        self.set_reg(inst, RSP as u8, add(rsp, c64(8)));
+        v
+    }
+
+    /// Shared effective-address recipe over the pre-resolved `(base,
+    /// index, scale, disp, shape)` form — the step evaluator feeds it
+    /// through [`lower_mem`], the uop evaluator straight from the
+    /// micro-op fields, so a faithful pair builds the identical term.
+    fn ea(&self, base: u8, index: u8, scale: u8, disp: i64, shape: usize) -> Rc<Term> {
+        match shape {
+            0 => add(self.reg(base), c64(disp as u64)),
+            1 => add(
+                add(self.reg(base), mul(self.reg(index), c64(scale as u64))),
+                c64(disp as u64),
+            ),
+            _ => c64(disp as u64),
+        }
+    }
+
+    /// Shared ALU + shift + mul cores, keyed the same way both
+    /// executors are.
+    fn alu(&mut self, inst: u32, op: bolt_isa::AluOp, dst: u8, b: Rc<Term>, how: FlagWrite) {
+        use bolt_isa::AluOp;
+        let a = self.reg(dst);
+        let (result, flags) = match op {
+            AluOp::Add => (
+                Some(add(a.clone(), b.clone())),
+                SymFlags::Add(a.clone(), b.clone()),
+            ),
+            AluOp::Sub => (
+                Some(sub(a.clone(), b.clone())),
+                SymFlags::Sub(a.clone(), b.clone()),
+            ),
+            AluOp::Cmp => (None, SymFlags::Sub(a.clone(), b.clone())),
+            AluOp::And => {
+                let r = and(a.clone(), b.clone());
+                (Some(r.clone()), SymFlags::Logic(r))
+            }
+            AluOp::Or => {
+                let r = or(a.clone(), b.clone());
+                (Some(r.clone()), SymFlags::Logic(r))
+            }
+            AluOp::Xor => {
+                let r = xor(a.clone(), b.clone());
+                (Some(r.clone()), SymFlags::Logic(r))
+            }
+        };
+        self.write_flags(flags, how);
+        if let Some(r) = result {
+            self.set_reg(inst, dst, r);
+        }
+    }
+
+    fn imul(&mut self, inst: u32, dst: u8, src: u8, how: FlagWrite) {
+        let a = self.reg(dst);
+        let b = self.reg(src);
+        self.write_flags(SymFlags::Imul(a.clone(), b.clone()), how);
+        self.set_reg(inst, dst, mul(a, b));
+    }
+
+    /// Nonzero masked-count shift.
+    fn shift(&mut self, inst: u32, op: ShiftOp, dst: u8, c: u8, how: FlagWrite) {
+        let a = self.reg(dst);
+        self.write_flags(SymFlags::Shift(op, a.clone(), c), how);
+        self.set_reg(inst, dst, shift(op, a, c));
+    }
+
+    fn setcc(&mut self, inst: u32, cc: Cond, dst: u8) {
+        let flags = self.consume_flags(inst);
+        let bit = cond_bit(&flags, cc);
+        let old = self.reg(dst);
+        self.set_reg(inst, dst, or(and(old, c64(!0xFF)), bit));
+    }
+
+    fn finish(self, fall: u64) -> SymState {
+        let exit_flags = self.observable_flags();
+        SymState {
+            regs: self.regs,
+            reg_writer: self.reg_writer,
+            effects: self.effects,
+            flag_checks: self.flag_checks,
+            exit_flags,
+            terminator: self.terminator.unwrap_or(SymTerminator::FallThrough(fall)),
+        }
+    }
+}
+
+fn resolved(t: &Target) -> u64 {
+    t.addr().expect("decoded branches are resolved")
+}
+
+/// Symbolically evaluates a packed block under decoded-`Inst` step
+/// semantics — the reference side. Each arm restates the corresponding
+/// `Machine::exec_inst` arm over terms.
+pub fn sym_block_insts(insts: &[(Inst, u8)], entry: u64) -> SymState {
+    let mut ev = Evaluator::new();
+    let mut at = entry;
+    for (i, &(inst, len)) in insts.iter().enumerate() {
+        let i = i as u32;
+        let next = at + len as u64;
+        match inst {
+            Inst::Push(r) => {
+                ev.barrier_check(i);
+                let v = ev.reg(r.num());
+                ev.push_stack(i, v);
+            }
+            Inst::Pop(r) => {
+                let v = ev.pop_stack(i);
+                ev.set_reg(i, r.num(), v);
+            }
+            Inst::MovRR { dst, src } => {
+                let v = ev.reg(src.num());
+                ev.set_reg(i, dst.num(), v);
+            }
+            Inst::MovRI { dst, imm } => ev.set_reg(i, dst.num(), c64(imm as u64)),
+            Inst::MovRSym { dst, target } => ev.set_reg(i, dst.num(), c64(resolved(&target))),
+            Inst::Load { dst, mem } => {
+                let (b, c, d, disp, shape) = lower_mem(&mem);
+                let addr = ev.ea(b, c, d, disp, shape);
+                let v = ev.load(i, addr);
+                ev.set_reg(i, dst.num(), v);
+            }
+            Inst::Store { mem, src } => {
+                ev.barrier_check(i);
+                let (b, c, d, disp, shape) = lower_mem(&mem);
+                let addr = ev.ea(b, c, d, disp, shape);
+                let v = ev.reg(src.num());
+                ev.store(i, addr, v);
+            }
+            Inst::Lea { dst, mem } => {
+                let (b, c, d, disp, shape) = lower_mem(&mem);
+                let addr = ev.ea(b, c, d, disp, shape);
+                ev.set_reg(i, dst.num(), addr);
+            }
+            Inst::Alu { op, dst, src } => {
+                let b = ev.reg(src.num());
+                ev.alu(i, op, dst.num(), b, FlagWrite::Eager);
+            }
+            Inst::AluI { op, dst, imm } => {
+                ev.alu(i, op, dst.num(), c64(imm as i64 as u64), FlagWrite::Eager);
+            }
+            Inst::Test { a, b } => {
+                let r = and(ev.reg(a.num()), ev.reg(b.num()));
+                ev.write_flags(SymFlags::Logic(r), FlagWrite::Eager);
+            }
+            Inst::Imul { dst, src } => ev.imul(i, dst.num(), src.num(), FlagWrite::Eager),
+            Inst::Shift { op, dst, amount } => {
+                let c = amount & 63;
+                if c != 0 {
+                    ev.shift(i, op, dst.num(), c, FlagWrite::Eager);
+                }
+            }
+            Inst::Setcc { cond, dst } => ev.setcc(i, cond, dst.num()),
+            Inst::Movzx8 { dst, src } => {
+                let v = and(ev.reg(src.num()), c64(0xFF));
+                ev.set_reg(i, dst.num(), v);
+            }
+            Inst::Jcc { cond, target, .. } => {
+                let flags = ev.consume_flags(i);
+                ev.terminator = Some(SymTerminator::CondJump {
+                    flags,
+                    cond,
+                    taken: resolved(&target),
+                    fall: next,
+                });
+            }
+            Inst::Jmp { target, .. } => {
+                ev.terminator = Some(SymTerminator::Jump(c64(resolved(&target))));
+            }
+            Inst::JmpInd { rm } => {
+                let tgt = match rm {
+                    Rm::Reg(r) => ev.reg(r.num()),
+                    Rm::Mem(mem) => {
+                        let (b, c, d, disp, shape) = lower_mem(&mem);
+                        let addr = ev.ea(b, c, d, disp, shape);
+                        ev.load(i, addr)
+                    }
+                };
+                ev.terminator = Some(SymTerminator::Jump(tgt));
+            }
+            Inst::Call { target } => {
+                ev.push_stack(i, c64(next));
+                ev.terminator = Some(SymTerminator::Call {
+                    target: c64(resolved(&target)),
+                    ret: next,
+                });
+            }
+            Inst::CallInd { rm } => {
+                // Target resolves before the return-address push (so a
+                // through-rsp call sees the pre-push rsp), matching the
+                // executor's order.
+                let tgt = match rm {
+                    Rm::Reg(r) => ev.reg(r.num()),
+                    Rm::Mem(mem) => {
+                        let (b, c, d, disp, shape) = lower_mem(&mem);
+                        let addr = ev.ea(b, c, d, disp, shape);
+                        ev.load(i, addr)
+                    }
+                };
+                ev.push_stack(i, c64(next));
+                ev.terminator = Some(SymTerminator::Call {
+                    target: tgt,
+                    ret: next,
+                });
+            }
+            Inst::Ret | Inst::RepzRet => {
+                let tgt = ev.pop_stack(i);
+                ev.terminator = Some(SymTerminator::Ret(tgt));
+            }
+            Inst::Nop { .. } => {}
+            Inst::Ud2 => ev.terminator = Some(SymTerminator::Trap),
+            Inst::Syscall => ev.terminator = Some(SymTerminator::Syscall { next }),
+        }
+        at = next;
+        if ev.terminator.is_some() {
+            break;
+        }
+    }
+    ev.finish(at)
+}
+
+/// Symbolically evaluates a lowered block under [`MicroOp`] semantics —
+/// the translated side, including lazy-flags deferral (live writers
+/// pend, dead writers skip, consumers materialize) exactly as
+/// `Machine::exec_uop` implements it.
+pub fn sym_block_uops(uops: &[MicroOp], entry: u64) -> SymState {
+    let mut ev = Evaluator::new();
+    let mut at = entry;
+    for (i, op) in uops.iter().enumerate() {
+        let i = i as u32;
+        let next = at + op.len as u64;
+        let how = if op.fl {
+            FlagWrite::Lazy
+        } else {
+            FlagWrite::Dead
+        };
+        use bolt_isa::AluOp;
+        match op.kind {
+            UopKind::MovRR => {
+                let v = ev.reg(op.b);
+                ev.set_reg(i, op.a, v);
+            }
+            UopKind::MovRI => ev.set_reg(i, op.a, c64(op.imm as u64)),
+            UopKind::LoadBD | UopKind::LoadBIS | UopKind::LoadAbs => {
+                let shape = (op.kind as u8 - UopKind::LoadBD as u8) as usize;
+                let addr = ev.ea(op.b, op.c, op.d, op.imm, shape);
+                let v = ev.load(i, addr);
+                ev.set_reg(i, op.a, v);
+            }
+            UopKind::StoreBD | UopKind::StoreBIS | UopKind::StoreAbs => {
+                ev.barrier_check(i);
+                let shape = (op.kind as u8 - UopKind::StoreBD as u8) as usize;
+                let addr = ev.ea(op.b, op.c, op.d, op.imm, shape);
+                let v = ev.reg(op.a);
+                ev.store(i, addr, v);
+            }
+            UopKind::LeaBD | UopKind::LeaBIS => {
+                let shape = (op.kind as u8 - UopKind::LeaBD as u8) as usize;
+                let addr = ev.ea(op.b, op.c, op.d, op.imm, shape);
+                ev.set_reg(i, op.a, addr);
+            }
+            UopKind::Push => {
+                ev.barrier_check(i);
+                let v = ev.reg(op.a);
+                ev.push_stack(i, v);
+            }
+            UopKind::Pop => {
+                let v = ev.pop_stack(i);
+                ev.set_reg(i, op.a, v);
+            }
+            UopKind::AddRR => {
+                let b = ev.reg(op.b);
+                ev.alu(i, AluOp::Add, op.a, b, how);
+            }
+            UopKind::AddRI => ev.alu(i, AluOp::Add, op.a, c64(op.imm as u64), how),
+            UopKind::SubRR => {
+                let b = ev.reg(op.b);
+                ev.alu(i, AluOp::Sub, op.a, b, how);
+            }
+            UopKind::SubRI => ev.alu(i, AluOp::Sub, op.a, c64(op.imm as u64), how),
+            UopKind::AndRR => {
+                let b = ev.reg(op.b);
+                ev.alu(i, AluOp::And, op.a, b, how);
+            }
+            UopKind::AndRI => ev.alu(i, AluOp::And, op.a, c64(op.imm as u64), how),
+            UopKind::OrRR => {
+                let b = ev.reg(op.b);
+                ev.alu(i, AluOp::Or, op.a, b, how);
+            }
+            UopKind::OrRI => ev.alu(i, AluOp::Or, op.a, c64(op.imm as u64), how),
+            UopKind::XorRR => {
+                let b = ev.reg(op.b);
+                ev.alu(i, AluOp::Xor, op.a, b, how);
+            }
+            UopKind::XorRI => ev.alu(i, AluOp::Xor, op.a, c64(op.imm as u64), how),
+            UopKind::CmpRR => {
+                let b = ev.reg(op.b);
+                ev.alu(i, AluOp::Cmp, op.a, b, how);
+            }
+            UopKind::CmpRI => ev.alu(i, AluOp::Cmp, op.a, c64(op.imm as u64), how),
+            UopKind::Test => {
+                let r = and(ev.reg(op.a), ev.reg(op.b));
+                ev.write_flags(SymFlags::Logic(r), how);
+            }
+            UopKind::Imul => ev.imul(i, op.a, op.b, how),
+            UopKind::Shl => ev.shift(i, ShiftOp::Shl, op.a, op.c, how),
+            UopKind::Shr => ev.shift(i, ShiftOp::Shr, op.a, op.c, how),
+            UopKind::Sar => ev.shift(i, ShiftOp::Sar, op.a, op.c, how),
+            UopKind::Setcc => {
+                let cond = Cond::from_cc(op.c).expect("lowered cc is valid");
+                ev.setcc(i, cond, op.a);
+            }
+            UopKind::Movzx8 => {
+                let v = and(ev.reg(op.b), c64(0xFF));
+                ev.set_reg(i, op.a, v);
+            }
+            UopKind::Jcc => {
+                let cond = Cond::from_cc(op.c).expect("lowered cc is valid");
+                let flags = ev.consume_flags(i);
+                ev.terminator = Some(SymTerminator::CondJump {
+                    flags,
+                    cond,
+                    taken: op.imm as u64,
+                    fall: next,
+                });
+            }
+            UopKind::Jmp => ev.terminator = Some(SymTerminator::Jump(c64(op.imm as u64))),
+            UopKind::JmpIndReg => {
+                let tgt = ev.reg(op.b);
+                ev.terminator = Some(SymTerminator::Jump(tgt));
+            }
+            UopKind::JmpIndMemBD | UopKind::JmpIndMemBIS | UopKind::JmpIndMemAbs => {
+                let shape = (op.kind as u8 - UopKind::JmpIndMemBD as u8) as usize;
+                let addr = ev.ea(op.b, op.c, op.d, op.imm, shape);
+                let tgt = ev.load(i, addr);
+                ev.terminator = Some(SymTerminator::Jump(tgt));
+            }
+            UopKind::Call => {
+                ev.push_stack(i, c64(next));
+                ev.terminator = Some(SymTerminator::Call {
+                    target: c64(op.imm as u64),
+                    ret: next,
+                });
+            }
+            UopKind::CallIndReg => {
+                let tgt = ev.reg(op.b);
+                ev.push_stack(i, c64(next));
+                ev.terminator = Some(SymTerminator::Call {
+                    target: tgt,
+                    ret: next,
+                });
+            }
+            UopKind::CallIndMemBD | UopKind::CallIndMemBIS | UopKind::CallIndMemAbs => {
+                let shape = (op.kind as u8 - UopKind::CallIndMemBD as u8) as usize;
+                let addr = ev.ea(op.b, op.c, op.d, op.imm, shape);
+                let tgt = ev.load(i, addr);
+                ev.push_stack(i, c64(next));
+                ev.terminator = Some(SymTerminator::Call {
+                    target: tgt,
+                    ret: next,
+                });
+            }
+            UopKind::Ret => {
+                let tgt = ev.pop_stack(i);
+                ev.terminator = Some(SymTerminator::Ret(tgt));
+            }
+            UopKind::Nop => {}
+            UopKind::Ud2 => ev.terminator = Some(SymTerminator::Trap),
+            UopKind::Syscall => ev.terminator = Some(SymTerminator::Syscall { next }),
+        }
+        at = next;
+        if ev.terminator.is_some() {
+            break;
+        }
+    }
+    ev.finish(at)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering (finding details).
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Init(i) => match Reg::from_num(*i) {
+                Some(r) => write!(f, "{r}@entry"),
+                None => write!(f, "r{i}@entry"),
+            },
+            Term::Const(v) => write!(f, "{:#x}", *v),
+            Term::Load { addr, seq } => write!(f, "load#{seq}[{addr}]"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::And(a, b) => write!(f, "({a} & {b})"),
+            Term::Or(a, b) => write!(f, "({a} | {b})"),
+            Term::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            Term::Mul(a, b) => write!(f, "({a} * {b})"),
+            Term::Shl(a, c) => write!(f, "({a} << {c})"),
+            Term::Shr(a, c) => write!(f, "({a} >> {c})"),
+            Term::Sar(a, c) => write!(f, "({a} >>s {c})"),
+            Term::CondBit(flags, cond) => write!(f, "cond:{}({flags})", cond.suffix()),
+        }
+    }
+}
+
+impl fmt::Display for SymFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymFlags::Init => write!(f, "flags@entry"),
+            SymFlags::Logic(r) => write!(f, "logic({r})"),
+            SymFlags::Sub(a, b) => write!(f, "sub({a}, {b})"),
+            SymFlags::Add(a, b) => write!(f, "add({a}, {b})"),
+            SymFlags::Imul(a, b) => write!(f, "imul({a}, {b})"),
+            SymFlags::Shift(op, a, c) => write!(f, "{}({a}, {c})", op.mnemonic()),
+        }
+    }
+}
+
+impl fmt::Display for SymTerminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymTerminator::FallThrough(a) => write!(f, "fallthrough {a:#x}"),
+            SymTerminator::Jump(t) => write!(f, "jmp {t}"),
+            SymTerminator::CondJump {
+                flags,
+                cond,
+                taken,
+                fall,
+            } => write!(f, "j{} on {flags} ? {taken:#x} : {fall:#x}", cond.suffix()),
+            SymTerminator::Call { target, ret } => write!(f, "call {target} (ret {ret:#x})"),
+            SymTerminator::Ret(t) => write!(f, "ret to {t}"),
+            SymTerminator::Syscall { next } => write!(f, "syscall (next {next:#x})"),
+            SymTerminator::Trap => write!(f, "trap"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_isa::{AluOp, Mem};
+
+    fn with_len(insts: &[Inst]) -> Vec<(Inst, u8)> {
+        insts
+            .iter()
+            .map(|&i| (i, bolt_isa::encoded_len(&i) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn folding_and_canonicalization() {
+        assert_eq!(add(c64(3), c64(4)), c64(7));
+        let x = Rc::new(Term::Init(0));
+        assert_eq!(add(x.clone(), c64(0)), x);
+        // `k + x` and `x + k` converge.
+        assert_eq!(add(c64(5), x.clone()), add(x.clone(), c64(5)));
+        assert_eq!(mul(x.clone(), c64(1)), x);
+        assert_eq!(
+            shift(ShiftOp::Sar, c64(0x8000_0000_0000_0000), 63),
+            c64(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn faithful_lowering_evaluates_identically() {
+        let insts = with_len(&[
+            Inst::Push(Reg::Rbp),
+            Inst::Load {
+                dst: Reg::Rdx,
+                mem: Mem::BaseIndexScale {
+                    base: Reg::R10,
+                    index: Reg::Rax,
+                    scale: 8,
+                    disp: -16,
+                },
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rdx,
+                imm: -1,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Addr(0x400040),
+                width: Default::default(),
+            },
+        ]);
+        let mut uops = Vec::new();
+        crate::uop::lower_into(&mut uops, &insts);
+        let a = sym_block_insts(&insts, 0x400000);
+        let b = sym_block_uops(&uops, 0x400000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dead_flag_writes_stay_invisible_at_observation_points() {
+        // add (dead), cmp (live), jcc: the uop side skips the add's
+        // flags entirely, yet the only observation point (the jcc)
+        // still agrees with the eager side.
+        let insts = with_len(&[
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rax,
+                imm: 4,
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: Target::Addr(0x400000),
+                width: Default::default(),
+            },
+        ]);
+        let mut uops = Vec::new();
+        crate::uop::lower_into(&mut uops, &insts);
+        assert!(!uops[0].fl && uops[1].fl);
+        let a = sym_block_insts(&insts, 0x400100);
+        let b = sym_block_uops(&uops, 0x400100);
+        assert_eq!(a.flag_checks, b.flag_checks);
+        assert_eq!(a, b);
+    }
+}

@@ -42,7 +42,7 @@
 //! [`BlockCache`]: crate::block::BlockCache
 //! [`Inst`]: bolt_isa::Inst
 
-use bolt_isa::{AluOp, Inst, Mem, Rm, ShiftOp, Target};
+use bolt_isa::{flag_effect, AluOp, Inst, Mem, Rm, ShiftOp, Target};
 
 /// The micro-op operation tag. One dense `#[repr(u8)]` discriminant per
 /// specialized operation: ALU ops are split by operation and operand
@@ -50,7 +50,7 @@ use bolt_isa::{AluOp, Inst, Mem, Rm, ShiftOp, Target};
 /// is a single jump-table dispatch with no nested operand matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
-pub(crate) enum UopKind {
+pub enum UopKind {
     /// `regs[a] = regs[b]`
     MovRR,
     /// `regs[a] = imm` (also lowers `MovRSym` and absolute `lea`).
@@ -146,10 +146,10 @@ pub(crate) enum UopKind {
     Syscall,
 }
 
-/// One lowered micro-op: 16 bytes, operands pre-resolved. Field meaning
+///// One lowered micro-op: 16 bytes, operands pre-resolved. Field meaning
 /// is per-[`UopKind`] (documented there); unused fields are zero.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct MicroOp {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
     pub kind: UopKind,
     /// Primary register index (destination, or store/push source).
     pub a: u8,
@@ -171,7 +171,7 @@ pub(crate) struct MicroOp {
 }
 
 impl MicroOp {
-    fn nop(len: u8) -> MicroOp {
+    pub(crate) fn nop(len: u8) -> MicroOp {
         MicroOp {
             kind: UopKind::Nop,
             a: 0,
@@ -188,7 +188,7 @@ impl MicroOp {
 /// Splits a `Mem` into its pre-resolved recipe: `(base, index, scale,
 /// disp, shape)` where `shape` selects among the caller's three
 /// per-shape opcodes `[BD, BIS, Abs]`.
-fn lower_mem(mem: &Mem) -> (u8, u8, u8, i64, usize) {
+pub(crate) fn lower_mem(mem: &Mem) -> (u8, u8, u8, i64, usize) {
     match mem {
         Mem::BaseDisp { base, disp } => (base.num(), 0, 0, *disp as i64, 0),
         Mem::BaseIndexScale {
@@ -386,30 +386,23 @@ fn lower_inst(inst: &Inst, len: u8, fl: bool) -> MicroOp {
     op
 }
 
-/// Whether `inst` writes the flags *as lowered* — a zero-count shift
-/// lowers to a nop and is excluded, unlike `Inst::writes_flags`.
-fn writes_flags_lowered(inst: &Inst) -> bool {
-    match inst {
-        Inst::Shift { amount, .. } => amount & 63 != 0,
-        _ => inst.writes_flags(),
-    }
-}
-
 /// Lowers one block's decoded `(inst, len)` entries into `pool`,
 /// appending exactly `insts.len()` micro-ops (the pools stay parallel).
 ///
-/// Flags liveness is a single backward pass: a flag-writing instruction
-/// is live iff some later instruction reads the flags before the next
-/// writer — or no writer follows it at all, since a chained successor
-/// block may consume flags across the transition (the conservative
+/// Flags liveness is a single backward pass over the shared
+/// [`flag_effect`] table: a flag-writing instruction is live iff some
+/// later instruction reads the flags before the next writer — or no
+/// writer follows it at all, since a chained successor block may
+/// consume flags across the transition (the conservative
 /// block-boundary rule). Memory-*writing* instructions are also
 /// liveness barriers: a store (or push) can patch cached text, which
 /// truncates the block mid-flight and retranslates its tail — and the
 /// *patched* tail may read flags the pre-patch instructions never did,
 /// so the preceding writer's flags must stay recoverable at every
 /// potential truncation point. No instruction in this ISA both reads
-/// and writes flags, so the scan is a simple two-state walk.
-pub(crate) fn lower_into(pool: &mut Vec<MicroOp>, insts: &[(Inst, u8)]) {
+/// and writes flags (the table enforces it), so the scan is a simple
+/// two-state walk.
+pub fn lower_into(pool: &mut Vec<MicroOp>, insts: &[(Inst, u8)]) {
     let start = pool.len();
     for &(inst, len) in insts {
         pool.push(lower_inst(&inst, len, false));
@@ -418,9 +411,10 @@ pub(crate) fn lower_into(pool: &mut Vec<MicroOp>, insts: &[(Inst, u8)]) {
     // block's end (successors may read them).
     let mut need = true;
     for (i, (inst, _)) in insts.iter().enumerate().rev() {
-        if inst.reads_flags() {
+        let effect = flag_effect(inst);
+        if effect.reads {
             need = true;
-        } else if writes_flags_lowered(inst) {
+        } else if effect.writes.is_some() {
             pool[start + i].fl = need;
             need = false;
         } else if matches!(inst, Inst::Push(_) | Inst::Store { .. }) {
@@ -462,13 +456,15 @@ pub fn uop_validation_enabled() -> bool {
     }
 }
 
-/// Symbolically checks one lowered block against its source decode:
+/// Structurally checks one lowered block against its source decode:
 /// pools parallel, every operand index / sign-extended immediate /
 /// effective-address recipe faithful, and the flags-liveness marks safe
-/// (re-derived forward, independently of `lower_into`'s backward pass:
-/// every writer whose flags some later reader, store barrier, or block
-/// exit may consume must be marked live).
-pub(crate) fn validate_block(insts: &[(Inst, u8)], uops: &[MicroOp]) -> Result<(), String> {
+/// (re-derived forward from the shared [`flag_effect`] table,
+/// independently of `lower_into`'s backward pass: every writer whose
+/// flags some later reader, store barrier, or block exit may consume
+/// must be marked live). The *semantic* counterpart — symbolic
+/// execution of both sequences — is [`crate::transval`].
+pub fn validate_block(insts: &[(Inst, u8)], uops: &[MicroOp]) -> Result<(), String> {
     if insts.len() != uops.len() {
         return Err(format!(
             "pool length mismatch: {} insts vs {} uops",
@@ -497,12 +493,13 @@ pub(crate) fn validate_block(insts: &[(Inst, u8)], uops: &[MicroOp]) -> Result<(
         }
     };
     for (i, (inst, _)) in insts.iter().enumerate() {
-        if inst.reads_flags() {
+        let effect = flag_effect(inst);
+        if effect.reads {
             demand(last_writer, uops, &format!("uop {i}"))?;
         } else if matches!(inst, Inst::Push(_) | Inst::Store { .. }) {
             demand(last_writer, uops, "a store barrier")?;
         }
-        if writes_flags_lowered(inst) {
+        if effect.writes.is_some() {
             last_writer = Some(i);
         }
     }

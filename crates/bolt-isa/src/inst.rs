@@ -357,21 +357,18 @@ impl Inst {
         }
     }
 
-    /// Whether the instruction sets the arithmetic flags.
+    /// Whether the instruction sets the arithmetic flags. Delegates to
+    /// the shared flag-effect table ([`crate::flag_effect`]); note that
+    /// a shift whose masked count is zero leaves the flags untouched
+    /// and reports `false`.
     pub fn writes_flags(&self) -> bool {
-        matches!(
-            self,
-            Inst::Alu { .. }
-                | Inst::AluI { .. }
-                | Inst::Test { .. }
-                | Inst::Imul { .. }
-                | Inst::Shift { .. }
-        )
+        crate::flags::flag_effect(self).writes.is_some()
     }
 
-    /// Whether the instruction reads the arithmetic flags.
+    /// Whether the instruction reads the arithmetic flags (also via the
+    /// shared flag-effect table).
     pub fn reads_flags(&self) -> bool {
-        matches!(self, Inst::Jcc { .. } | Inst::Setcc { .. })
+        crate::flags::flag_effect(self).reads
     }
 }
 

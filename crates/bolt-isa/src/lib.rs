@@ -30,6 +30,7 @@
 mod cond;
 mod decode;
 mod encode;
+mod flags;
 mod inst;
 mod mem;
 mod reg;
@@ -39,6 +40,7 @@ pub use decode::{decode, decode_all, DecodeError, DecodedInst};
 pub use encode::{
     apply_fixup, encode_at, encoded_len, EncodeError, Encoded, Fixup, FixupKind, NOP_SEQUENCES,
 };
+pub use flags::{flag_effect, FlagClass, FlagEffect};
 pub use inst::{AluOp, Inst, JumpWidth, Rm, ShiftOp};
 pub use mem::{Label, Mem, Target};
 pub use reg::Reg;

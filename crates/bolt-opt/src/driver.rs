@@ -11,7 +11,7 @@ use bolt_passes::{dyno, DynoStats, LintMode, PassManager, PipelineResult};
 use bolt_profile::{
     attach_profile_opts, infer_callgraph_from_samples, AttachStats, Profile, ProfileMode,
 };
-use bolt_verify::{verify_rewrite, VerifyReport};
+use bolt_verify::{verify_rewrite, verify_semantics, VerifyReport};
 use std::fmt;
 
 /// Everything a BOLT run produces.
@@ -40,16 +40,23 @@ pub struct BoltOutput {
     /// findings from between passes are in
     /// [`PipelineResult::findings`](bolt_passes::PipelineResult).
     pub verify: Option<VerifyReport>,
+    /// Symbolic translation validation of the rewritten binary
+    /// (`-verify-sem`): every emitted function's bytes translated under
+    /// each emulation tier and proven semantically equivalent to a
+    /// fresh decode.
+    pub verify_sem: Option<VerifyReport>,
 }
 
 impl BoltOutput {
-    /// Every verifier finding — IR-lint findings from between passes
-    /// plus the re-disassembly findings on the rewritten binary.
+    /// Every verifier finding — IR-lint findings from between passes,
+    /// the re-disassembly findings on the rewritten binary, and the
+    /// semantic translation-validation findings.
     pub fn all_findings(&self) -> Vec<&bolt_verify::Finding> {
         self.pipeline
             .findings
             .iter()
             .chain(self.verify.iter().flat_map(|v| v.findings.iter()))
+            .chain(self.verify_sem.iter().flat_map(|v| v.findings.iter()))
             .collect()
     }
 }
@@ -165,6 +172,10 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
     // IR.
     let verify = (opts.verify || opts.verify_each).then(|| verify_rewrite(&out, &ctx));
 
+    // Symbolic translation validation: prove the emulator's translation
+    // tiers semantically faithful on exactly the code this binary runs.
+    let verify_sem = opts.verify_sem.then(|| verify_semantics(&out, &ctx));
+
     Ok(BoltOutput {
         elf: out,
         dyno_before,
@@ -176,5 +187,6 @@ pub fn optimize(elf: &Elf, profile: &Profile, opts: &BoltOptions) -> Result<Bolt
         simple_functions,
         bad_layout,
         verify,
+        verify_sem,
     })
 }

@@ -69,6 +69,12 @@ pub struct BoltOptions {
     /// (`-verify-each`), pinpointing the pass that broke an invariant.
     /// Implies `verify`.
     pub verify_each: bool,
+    /// Run the symbolic translation validator (`-verify-sem`): every
+    /// emitted function's bytes are translated under each emulation
+    /// tier and each translation proven semantically equivalent to a
+    /// fresh decode. Findings land in
+    /// [`crate::BoltOutput::verify_sem`].
+    pub verify_sem: bool,
 }
 
 impl BoltOptions {

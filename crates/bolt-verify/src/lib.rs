@@ -29,10 +29,12 @@
 pub mod lint;
 pub mod mutate;
 pub mod rewrite;
+pub mod transval;
 
 pub use lint::{lint_context, lint_function};
-pub use mutate::{apply_mutation, Mutation};
+pub use mutate::{apply_mutation, apply_sem_mutation, Mutation, SemMutation};
 pub use rewrite::{edge_sets, verify_rewrite};
+pub use transval::verify_semantics;
 
 use std::fmt;
 use std::time::Duration;
@@ -71,6 +73,11 @@ pub enum FindingKind {
     /// the clobbers (`frame-opts`/`shrink-wrapping` moved a save past a
     /// use).
     LintSavedRegs,
+    /// Symbolic translation validation: an execution tier's translation
+    /// of some block is not semantically equivalent to the step
+    /// semantics of its bytes (see `bolt-emu`'s `transval` module for
+    /// the per-observable breakdown carried in the detail).
+    SemanticMismatch,
 }
 
 impl FindingKind {
@@ -88,6 +95,7 @@ impl FindingKind {
             FindingKind::LintCfg => "lint-cfg",
             FindingKind::LintDominators => "lint-dominators",
             FindingKind::LintSavedRegs => "lint-saved-regs",
+            FindingKind::SemanticMismatch => "semantic-mismatch",
         }
     }
 }

@@ -5,11 +5,20 @@
 //! function, garbage bytes, corrupted jump table, overlapping or missing
 //! symbols — so tests can prove [`crate::verify_rewrite`] catches every
 //! defect class rather than merely accepting good binaries.
+//!
+//! [`SemMutation`] plays the same role one layer down, for the
+//! *semantic* translation validator: each variant corrupts an emulator
+//! translation (the decoded instruction pool, the parallel micro-op
+//! pool, and the recorded memory shapes) **consistently**, so the
+//! structural cross-check (`bolt_emu::validate_block`) still accepts it
+//! — only comparing against the meaning of the original bytes, as the
+//! symbolic validator does, can catch it.
 
 use crate::FindingKind;
 use bolt_elf::{Elf, SymKind};
+use bolt_emu::{MemShape, MicroOp, SemFindingKind, UopKind};
 use bolt_ir::{BinaryContext, BinaryFunction};
-use bolt_isa::{decode, Inst, Target};
+use bolt_isa::{decode, Inst, Mem, Reg, Target};
 use std::fmt;
 
 /// One kind of seeded defect.
@@ -331,6 +340,261 @@ fn overlap_symbols(elf: &mut Elf) -> Option<String> {
     Some(format!(
         "extended {name} to overlap its neighbor at {b_start:#x}"
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Semantic translation mutations.
+
+/// One kind of seeded translation defect: a corruption of an emulator
+/// block translation that stays *internally consistent* — the micro-op
+/// pool faithfully mirrors the (corrupted) instruction pool, so the
+/// structural validator accepts it — but no longer means what the
+/// original bytes mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemMutation {
+    /// A `mov` lands in the wrong destination register in both pools.
+    WrongRegister,
+    /// A negative immediate loses its sign extension: the low 32 bits
+    /// are kept, zero-extended, in both pools.
+    DroppedSignExtend,
+    /// A base+index*scale effective address swaps its scale factor in
+    /// both pools.
+    SwappedEaScale,
+    /// A live flag writer is dropped: the instruction becomes a
+    /// zero-masked-count shift (architecturally not a flags writer) and
+    /// its micro-op a `Nop`, as if the liveness pass had wrongly marked
+    /// it dead and the lowering had elided it.
+    DeadFlagWriter,
+    /// Two adjacent recorded memory shapes swap places — the pools the
+    /// structural validator checks are untouched; only the shape list
+    /// (which announces D-side event order to the superblock engine)
+    /// lies.
+    ReorderedMemEffect,
+    /// A conditional branch tests the inverted condition in both pools.
+    WrongCondCode,
+    /// A direct branch target moves 16 bytes forward in both pools.
+    WrongBranchTarget,
+}
+
+impl SemMutation {
+    /// Every semantic mutation, for exhaustive harness loops.
+    pub const ALL: [SemMutation; 7] = [
+        SemMutation::WrongRegister,
+        SemMutation::DroppedSignExtend,
+        SemMutation::SwappedEaScale,
+        SemMutation::DeadFlagWriter,
+        SemMutation::ReorderedMemEffect,
+        SemMutation::WrongCondCode,
+        SemMutation::WrongBranchTarget,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SemMutation::WrongRegister => "wrong-register",
+            SemMutation::DroppedSignExtend => "dropped-sign-extend",
+            SemMutation::SwappedEaScale => "swapped-ea-scale",
+            SemMutation::DeadFlagWriter => "dead-flag-writer",
+            SemMutation::ReorderedMemEffect => "reordered-mem-effect",
+            SemMutation::WrongCondCode => "wrong-cond-code",
+            SemMutation::WrongBranchTarget => "wrong-branch-target",
+        }
+    }
+
+    /// The finding kind the symbolic validator is guaranteed to report
+    /// for this defect (it may report others on top).
+    pub fn expected_kind(self) -> SemFindingKind {
+        match self {
+            SemMutation::WrongRegister => SemFindingKind::RegMismatch,
+            SemMutation::DroppedSignExtend => SemFindingKind::RegMismatch,
+            SemMutation::SwappedEaScale => SemFindingKind::MemEffectMismatch,
+            SemMutation::DeadFlagWriter => SemFindingKind::FlagMismatch,
+            SemMutation::ReorderedMemEffect => SemFindingKind::EffectOrderMismatch,
+            SemMutation::WrongCondCode => SemFindingKind::TerminatorMismatch,
+            SemMutation::WrongBranchTarget => SemFindingKind::TerminatorMismatch,
+        }
+    }
+}
+
+impl fmt::Display for SemMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Applies `m` to the first applicable site in a block translation —
+/// `insts` and `uops` are the parallel pools, `shapes` the recorded
+/// memory shapes — returning a description of the corruption, or `None`
+/// when the block has no applicable site. The corruption is always
+/// consistent across the pools: `bolt_emu::validate_block` must keep
+/// accepting the result.
+pub fn apply_sem_mutation(
+    m: SemMutation,
+    insts: &mut [(Inst, u8)],
+    uops: &mut [MicroOp],
+    shapes: &mut [MemShape],
+) -> Option<String> {
+    match m {
+        SemMutation::WrongRegister => {
+            let i = insts
+                .iter()
+                .position(|(inst, _)| matches!(inst, Inst::MovRR { .. }))?;
+            let Inst::MovRR { dst, .. } = &mut insts[i].0 else {
+                unreachable!()
+            };
+            let wrong = if *dst == Reg::Rax { Reg::Rbx } else { Reg::Rax };
+            let desc = format!("inst {i}: mov destination {dst} -> {wrong}");
+            *dst = wrong;
+            uops[i].a = wrong.num();
+            Some(desc)
+        }
+        SemMutation::DroppedSignExtend => {
+            let i = insts.iter().position(|(inst, _)| {
+                matches!(inst, Inst::MovRI { imm, .. } if *imm < 0 && *imm >= i32::MIN as i64)
+            })?;
+            let Inst::MovRI { imm, .. } = &mut insts[i].0 else {
+                unreachable!()
+            };
+            let zext = (*imm as u32) as i64;
+            let desc = format!("inst {i}: immediate {imm:#x} zero-extended to {zext:#x}");
+            *imm = zext;
+            uops[i].imm = zext;
+            Some(desc)
+        }
+        SemMutation::SwappedEaScale => {
+            let i = insts.iter().position(|(inst, _)| {
+                matches!(
+                    inst,
+                    Inst::Load {
+                        mem: Mem::BaseIndexScale { .. },
+                        ..
+                    } | Inst::Store {
+                        mem: Mem::BaseIndexScale { .. },
+                        ..
+                    }
+                )
+            })?;
+            let (Inst::Load { mem, .. } | Inst::Store { mem, .. }) = &mut insts[i].0 else {
+                unreachable!()
+            };
+            let Mem::BaseIndexScale { scale, .. } = mem else {
+                unreachable!()
+            };
+            let wrong = if *scale == 8 { 1 } else { 8 };
+            let desc = format!("inst {i}: effective-address scale {scale} -> {wrong}");
+            *scale = wrong;
+            uops[i].d = wrong;
+            Some(desc)
+        }
+        SemMutation::DeadFlagWriter => {
+            // The site must be a live (`fl`) shift whose elision the
+            // structural liveness re-derivation cannot see through:
+            // every earlier flag writer must itself be live, so demand
+            // flowing back past the elided site meets no dead mark.
+            let i = (0..insts.len()).find(|&i| {
+                matches!(insts[i].0, Inst::Shift { amount, .. } if amount & 63 != 0)
+                    && uops[i].fl
+                    && uops[..i].iter().all(|u| {
+                        !matches!(
+                            u.kind,
+                            UopKind::AddRR
+                                | UopKind::AddRI
+                                | UopKind::SubRR
+                                | UopKind::SubRI
+                                | UopKind::AndRR
+                                | UopKind::AndRI
+                                | UopKind::OrRR
+                                | UopKind::OrRI
+                                | UopKind::XorRR
+                                | UopKind::XorRI
+                                | UopKind::CmpRR
+                                | UopKind::CmpRI
+                                | UopKind::Test
+                                | UopKind::Imul
+                                | UopKind::Shl
+                                | UopKind::Shr
+                                | UopKind::Sar
+                        ) || u.fl
+                    })
+            })?;
+            let Inst::Shift { amount, .. } = &mut insts[i].0 else {
+                unreachable!()
+            };
+            let desc = format!(
+                "inst {i}: live shift (count {amount}) elided as a zero-masked-count shift"
+            );
+            // `amount & 63 == 0` shifts write neither register nor
+            // flags, so the faithful lowering of the corrupted
+            // instruction *is* a dead `Nop` — structurally perfect,
+            // semantically a dropped live flag write.
+            *amount = 64;
+            let len = uops[i].len;
+            uops[i] = MicroOp {
+                kind: UopKind::Nop,
+                a: 0,
+                b: 0,
+                c: 0,
+                d: 0,
+                len,
+                fl: false,
+                imm: 0,
+            };
+            Some(desc)
+        }
+        SemMutation::ReorderedMemEffect => {
+            let i = shapes
+                .windows(2)
+                .position(|w| (w[0].inst, w[0].write) != (w[1].inst, w[1].write))?;
+            let desc = format!(
+                "shapes {i}/{}: swapped recorded memory effects of insts {} and {}",
+                i + 1,
+                shapes[i].inst,
+                shapes[i + 1].inst
+            );
+            shapes.swap(i, i + 1);
+            Some(desc)
+        }
+        SemMutation::WrongCondCode => {
+            let i = insts
+                .iter()
+                .position(|(inst, _)| matches!(inst, Inst::Jcc { .. }))?;
+            let Inst::Jcc { cond, .. } = &mut insts[i].0 else {
+                unreachable!()
+            };
+            let wrong = cond.invert();
+            let desc = format!(
+                "inst {i}: branch condition {} -> {}",
+                cond.suffix(),
+                wrong.suffix()
+            );
+            *cond = wrong;
+            uops[i].c = wrong.cc();
+            Some(desc)
+        }
+        SemMutation::WrongBranchTarget => {
+            let i = insts.iter().position(|(inst, _)| {
+                matches!(
+                    inst,
+                    Inst::Jmp {
+                        target: Target::Addr(_),
+                        ..
+                    } | Inst::Jcc {
+                        target: Target::Addr(_),
+                        ..
+                    }
+                )
+            })?;
+            let (Inst::Jmp { target, .. } | Inst::Jcc { target, .. }) = &mut insts[i].0 else {
+                unreachable!()
+            };
+            let Target::Addr(addr) = target else {
+                unreachable!()
+            };
+            let desc = format!("inst {i}: branch target {addr:#x} -> {:#x}", *addr + 16);
+            *addr += 16;
+            uops[i].imm = *addr as i64;
+            Some(desc)
+        }
+    }
 }
 
 /// Removes the output symbol of the first emitted function.

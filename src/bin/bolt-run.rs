@@ -26,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bolt-run <app.elf> [--fdata <out.fdata>] [--ip] [--period N] \
          [--counters] [--max-steps N] [--shards N] [--threads N] \
-         [--engine step|block|superblock|uop] [--validate-uops]\n\
+         [--engine step|block|superblock|uop] [--validate-uops] [--validate-semantics]\n\
          \n\
          --shards N   run N independent invocations (sharded batch\n\
          \x20            emulation; 0 = auto [BOLT_SHARDS env or 1]); the\n\
@@ -54,7 +54,15 @@ fn usage() -> ! {
          \x20            against its source decode at translation time —\n\
          \x20            operand indices, sign-extension, effective-address\n\
          \x20            recipes, flags liveness; a violation aborts the run.\n\
-         \x20            Also enabled by BOLT_UOP_VALIDATE=1"
+         \x20            Also enabled by BOLT_UOP_VALIDATE=1\n\
+         --validate-semantics\n\
+         \x20            (translation engines) symbolically prove every\n\
+         \x20            translated block semantically equivalent to the step\n\
+         \x20            semantics of a fresh decode of its bytes — final\n\
+         \x20            registers, observable flags (incl. lazy-flags\n\
+         \x20            materialization), ordered memory effects, and the\n\
+         \x20            terminator; a disagreement aborts the run. Also\n\
+         \x20            enabled by BOLT_SEM_VALIDATE=1"
     );
     std::process::exit(2)
 }
@@ -143,6 +151,7 @@ fn main() -> ExitCode {
             "--ip" => use_ip = true,
             "--counters" => counters = true,
             "--validate-uops" => bolt::emu::enable_uop_validation(),
+            "--validate-semantics" => bolt::emu::enable_sem_validation(),
             "--period" => {
                 period = it
                     .next()

@@ -53,6 +53,15 @@ fn usage() -> ! {
            -verify-each\n\
            \x20   (like -verify, but the IR lint runs after every pass,\n\
            \x20   pinpointing the pass that broke an invariant)\n\
+           -verify-sem\n\
+           \x20   (symbolic translation validation: every emitted function's\n\
+           \x20   bytes are translated under each emulation tier — block,\n\
+           \x20   superblock, uop — and each translation is proven\n\
+           \x20   semantically equivalent to a fresh decode of its bytes;\n\
+           \x20   any finding fails the run)\n\
+           -verify-json\n\
+           \x20   (emit every verifier finding — rewrite, lint, semantic —\n\
+           \x20   as one JSON object per line on stdout)\n\
            -dyno-stats\n\
            -time-passes\n\
            -report-bad-layout\n\
@@ -62,11 +71,28 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Minimal JSON string escaping for the `-verify-json` finding stream.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input = None;
     let mut output = None;
     let mut fdata = None;
+    let mut verify_json = false;
     let mut opts = BoltOptions::paper_default();
 
     // Presets apply first, wherever they appear, so the fine-grained pass
@@ -91,6 +117,8 @@ fn main() -> ExitCode {
             "-skip-unchanged" => opts.skip_unchanged = true,
             "-verify" => opts.verify = true,
             "-verify-each" => opts.verify_each = true,
+            "-verify-sem" => opts.verify_sem = true,
+            "-verify-json" => verify_json = true,
             "-report-bad-layout" => opts.report_bad_layout = true,
             "-print-debug-info" => opts.print_debug_info = true,
             "-v" => opts.verbose = true,
@@ -218,7 +246,7 @@ fn main() -> ExitCode {
     if let Some(report) = &out.bad_layout {
         println!("{report}");
     }
-    if opts.verify || opts.verify_each {
+    if opts.verify || opts.verify_each || opts.verify_sem {
         let findings = out.all_findings();
         if let Some(v) = &out.verify {
             eprintln!(
@@ -227,6 +255,25 @@ fn main() -> ExitCode {
                 v.functions_checked,
                 v.duration
             );
+        }
+        if let Some(v) = &out.verify_sem {
+            eprintln!(
+                "bolt: verify-sem: {} findings across {} functions in {:.3?}",
+                v.findings.len(),
+                v.functions_checked,
+                v.duration
+            );
+        }
+        if verify_json {
+            for f in &findings {
+                println!(
+                    "{{\"kind\":\"{}\",\"function\":\"{}\",\"addr\":{},\"detail\":\"{}\"}}",
+                    f.kind,
+                    json_escape(&f.function),
+                    f.addr,
+                    json_escape(&f.detail)
+                );
+            }
         }
         if !findings.is_empty() {
             for f in &findings {

@@ -458,6 +458,47 @@ fn max_steps_budget_lands_identically_inside_superblocks() {
     }
 }
 
+/// The `--validate-semantics` leg: with symbolic translation validation
+/// enabled, every block the translation engines pack — across all four
+/// workloads — must be *proven* semantically equivalent to the step
+/// semantics of a fresh decode at translate time. A disagreement panics
+/// inside `translate`, so simply completing the runs (with output still
+/// matching the step engine) is the acceptance property.
+///
+/// The knob is process-global and sticky-on by design; other tests in
+/// this binary may also translate under validation afterwards, which is
+/// harmless — their translations must prove clean anyway.
+#[test]
+fn all_workloads_translate_clean_under_semantic_validation() {
+    bolt::emu::enable_sem_validation();
+    let interp = build(Workload::Interp);
+    let straightline = bolt_bench::straightline_elf(40);
+    let workloads: [(&str, &Elf); 4] = [
+        ("tao", tao_fixture()),
+        ("clang-like", clang_fixture()),
+        ("interp", &interp),
+        ("straightline", &straightline),
+    ];
+    for (what, elf) in workloads {
+        let reference = {
+            let mut m = Machine::new();
+            m.load_elf(elf);
+            let r = m
+                .run_engine(&mut NullSink, u64::MAX, Engine::Step)
+                .expect("runs");
+            (r.exit, m.output)
+        };
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
+            let mut m = Machine::new();
+            m.load_elf(elf);
+            let r = m
+                .run_engine(&mut NullSink, u64::MAX, engine)
+                .expect("runs (every translated block proved equivalent)");
+            assert_eq!((r.exit, m.output), reference, "{what}/{engine}");
+        }
+    }
+}
+
 /// The full default pipeline on profiled TAO runs under `-verify-each`
 /// with zero findings, and `-time-passes` attributes the verifier's
 /// wall clock as its own `verify` rows — one per executed pass — rather
