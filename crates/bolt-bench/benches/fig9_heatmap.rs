@@ -37,13 +37,17 @@ fn main() {
         (lo, hi - lo)
     };
 
+    let die = |e: HarnessError| -> ! {
+        eprintln!("fig9_heatmap: {e}");
+        std::process::exit(1)
+    };
     let (b_lo, b_len) = span(&baseline);
     let mut before = HeatMap::new(b_lo, b_len);
-    let _ = run_with(&baseline, &mut before);
+    let _ = try_run_with(&baseline, &mut before).unwrap_or_else(|e| die(e));
 
     let (a_lo, a_len) = span(&bolted.elf);
     let mut after = HeatMap::new(a_lo, a_len);
-    let (code, output, _) = run_with(&bolted.elf, &mut after);
+    let (code, output, _) = try_run_with(&bolted.elf, &mut after).unwrap_or_else(|e| die(e));
     assert_eq!(code, base_run.exit_code);
     assert_eq!(output, base_run.output);
 

@@ -21,7 +21,10 @@ fn lbr_with(
 ) -> bolt_profile::Profile {
     let mut sampler = LbrSampler::new(period, trigger);
     sampler.skid = skid;
-    let _ = run_with(elf, &mut sampler);
+    let _ = try_run_with(elf, &mut sampler).unwrap_or_else(|e| {
+        eprintln!("sec51_sampling: {e}");
+        std::process::exit(1)
+    });
     sampler.profile
 }
 
@@ -38,7 +41,10 @@ fn main() {
         let mut model = CpuModel::new(cfg.clone());
         let mut sampler = LbrSampler::new(SAMPLE_PERIOD, SampleTrigger::Instructions);
         let mut tee = Tee(&mut sampler, &mut model);
-        let (code, output, steps) = run_with(&baseline, &mut tee);
+        let (code, output, steps) = try_run_with(&baseline, &mut tee).unwrap_or_else(|e| {
+            eprintln!("sec51_sampling: {e}");
+            std::process::exit(1)
+        });
         (
             sampler.profile,
             RunResult {

@@ -21,9 +21,10 @@
 
 use bolt_bench::{build, profile_lbr, straightline_elf};
 use bolt_compiler::CompileOptions;
-use bolt_elf::Elf;
+use bolt_elf::{write_elf, Elf};
 use bolt_emu::{Engine, Exit, Machine, NullSink};
-use bolt_opt::{optimize, BoltOptions};
+use bolt_opt::{optimize, prepare, rewrite_binary, BoltOptions};
+use bolt_passes::PassManager;
 use bolt_sim::{CpuModel, SimConfig};
 use bolt_workloads::{Scale, Workload};
 use std::fmt::Write as _;
@@ -270,6 +271,80 @@ fn main() {
             "    \"{name}\": {{ \"verify_ms\": {verify_ms:.3}, \"optimize_ms\": {optimize_ms:.3}, \
              \"overhead_pct\": {pct:.2} }}{}",
             if vi + 1 < verify_targets.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+
+    // Quarantine plumbing overhead: what the fault-tolerance machinery
+    // costs on a *clean* run. Arm A is the shipped `optimize()` (retry
+    // ladder + per-kernel `catch_unwind` firewall); arm B drives the
+    // identical round directly — `prepare` + a firewall-off
+    // `PassManager::standard` + `rewrite_binary` — with no ladder
+    // bookkeeping and no unwind guards. Both arms must produce a
+    // byte-identical binary, so the delta is pure plumbing, not a
+    // different computation. Dyno sweeps are off in both arms: they are
+    // a reporting feature of the driver, not part of the fault
+    // tolerance being priced.
+    let _ = writeln!(json, "  \"quarantine\": {{");
+    let quarantine_targets = ["tao", "clang_like"];
+    for (qi, name) in quarantine_targets.iter().enumerate() {
+        let elf = &workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("workload built above")
+            .1;
+        let (profile, _) = profile_lbr(elf, &SimConfig::small());
+        let mut opts = BoltOptions::paper_default();
+        opts.dyno_stats = false;
+        let mut guarded_ms = f64::INFINITY;
+        let mut guarded_elf = None;
+        for _ in 0..reps.min(3) {
+            let t = Instant::now();
+            let bolted = optimize(elf, &profile, &opts).expect("BOLT succeeds");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                bolted.quarantine.is_clean(),
+                "{name}: clean run must quarantine nothing:\n{}",
+                bolted.quarantine.render()
+            );
+            if ms < guarded_ms {
+                guarded_ms = ms;
+                guarded_elf = Some(bolted.elf);
+            }
+        }
+        let mut direct_ms = f64::INFINITY;
+        let mut direct_elf = None;
+        for _ in 0..reps.min(3) {
+            let t = Instant::now();
+            let mut prepared = prepare(elf, &profile, &opts);
+            let mut manager = PassManager::standard(&opts.passes);
+            manager.config.threads = opts.threads;
+            manager.config.firewall = false;
+            let pipeline = manager.run(&mut prepared.ctx, &opts.passes);
+            let (rewritten, _) = rewrite_binary(elf, &prepared.ctx, &pipeline.function_order)
+                .expect("direct rewrite succeeds");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if ms < direct_ms {
+                direct_ms = ms;
+                direct_elf = Some(rewritten);
+            }
+        }
+        assert_eq!(
+            write_elf(&guarded_elf.expect("measured")).expect("serializes"),
+            write_elf(&direct_elf.expect("measured")).expect("serializes"),
+            "{name}: guarded and direct arms must emit byte-identical binaries"
+        );
+        let pct = 100.0 * (guarded_ms - direct_ms) / direct_ms.max(f64::MIN_POSITIVE);
+        println!(
+            "  {name:<12} quarantine plumbing {guarded_ms:>9.3} ms guarded \
+             vs {direct_ms:>9.3} ms direct ({pct:+.1}%)"
+        );
+        let _ =
+            writeln!(
+            json,
+            "    \"{name}\": {{ \"optimize_ms\": {guarded_ms:.3}, \"direct_ms\": {direct_ms:.3}, \
+             \"overhead_pct\": {pct:.2} }}{}",
+            if qi + 1 < quarantine_targets.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  }},");

@@ -12,7 +12,7 @@
 
 use bolt_compiler::{compile_and_link, CompileOptions, MirProgram, SourceProfile};
 use bolt_elf::Elf;
-use bolt_emu::{run_batch, Exit, Machine, ShardPlan, Tee, TraceSink};
+use bolt_emu::{run_batch, EmuError, Exit, Machine, ShardPlan, Tee, TraceSink};
 use bolt_ir::LineTable;
 use bolt_opt::{optimize, BoltOptions, BoltOutput};
 use bolt_passes::resolve_threads;
@@ -33,6 +33,60 @@ pub struct RunResult {
     pub counters: Counters,
 }
 
+/// A harness run that could not produce a measurement: a shard hit an
+/// emulation fault or exhausted its step budget without exiting.
+///
+/// The harness used to panic here; every runner now gets a structured
+/// error instead — `bolt-run` prints one line per failed shard and exits
+/// 1, while bench binaries (where a non-exiting workload is a bug in the
+/// experiment itself) go through the panicking wrappers whose message is
+/// this error's `Display`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessError {
+    /// Shard `shard` (of `shards`; 0/1 for unsharded runs) stopped
+    /// without reaching `Exit::Exited`.
+    DidNotExit {
+        shard: usize,
+        shards: usize,
+        exit: Exit,
+        steps: u64,
+        budget: u64,
+        entry: u64,
+    },
+    /// The emulator itself faulted (undecodable bytes, trap, unknown
+    /// syscall).
+    Emu(EmuError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::DidNotExit {
+                shard,
+                shards,
+                exit,
+                steps,
+                budget,
+                entry,
+            } => write!(
+                f,
+                "shard {shard}/{shards} did not exit: {exit:?} after {steps} steps \
+                 (budget {budget}, entry {entry:#x}); raise the step budget or use \
+                 more, smaller shards"
+            ),
+            HarnessError::Emu(e) => write!(f, "emulation failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<EmuError> for HarnessError {
+    fn from(e: EmuError) -> Self {
+        HarnessError::Emu(e)
+    }
+}
+
 /// Builds a binary; panics on compile errors (experiment code).
 pub fn build(program: &MirProgram, opts: &CompileOptions) -> Elf {
     compile_and_link(program, opts)
@@ -42,30 +96,46 @@ pub fn build(program: &MirProgram, opts: &CompileOptions) -> Elf {
 
 /// Runs a binary under the microarchitectural model.
 pub fn measure(elf: &Elf, cfg: &SimConfig) -> RunResult {
+    try_measure(elf, cfg).unwrap_or_else(|e| panic!("measure: {e}"))
+}
+
+/// [`measure`], reporting a non-exiting workload as a [`HarnessError`].
+pub fn try_measure(elf: &Elf, cfg: &SimConfig) -> Result<RunResult, HarnessError> {
     let mut model = CpuModel::new(cfg.clone());
-    let (code, output, steps) = run_with(elf, &mut model);
-    RunResult {
+    let (code, output, steps) = try_run_with(elf, &mut model)?;
+    Ok(RunResult {
         exit_code: code,
         output,
         steps,
         counters: model.counters(),
-    }
+    })
 }
 
 /// Runs a binary with an arbitrary sink attached.
 pub fn run_with<S: TraceSink + ?Sized>(elf: &Elf, sink: &mut S) -> (i64, Vec<i64>, u64) {
+    try_run_with(elf, sink).unwrap_or_else(|e| panic!("run_with: {e}"))
+}
+
+/// [`run_with`], reporting a non-exiting workload as a [`HarnessError`]
+/// instead of panicking.
+pub fn try_run_with<S: TraceSink + ?Sized>(
+    elf: &Elf,
+    sink: &mut S,
+) -> Result<(i64, Vec<i64>, u64), HarnessError> {
     let mut m = Machine::new();
     m.load_elf(elf);
-    let r = m.run(sink, MAX_STEPS).expect("workload executes");
+    let r = m.run(sink, MAX_STEPS)?;
     let Exit::Exited(code) = r.exit else {
-        panic!(
-            "workload did not exit: {:?} after {} steps (budget {MAX_STEPS}, \
-             entry {:#x}); shrink the workload or shard it (measure_batch / \
-             profile_lbr_batch)",
-            r.exit, r.steps, elf.entry
-        );
+        return Err(HarnessError::DidNotExit {
+            shard: 0,
+            shards: 1,
+            exit: r.exit,
+            steps: r.steps,
+            budget: MAX_STEPS,
+            entry: elf.entry,
+        });
     };
-    (code, m.output, r.steps)
+    Ok((code, m.output, r.steps))
 }
 
 /// Builds a [`ShardPlan`] for the measurement wrappers, resolving both
@@ -108,15 +178,22 @@ impl BatchResult {
     }
 }
 
-fn exit_code_of(shard: usize, r: &bolt_emu::RunResult, elf: &Elf, plan: &ShardPlan) -> i64 {
+fn exit_code_of(
+    shard: usize,
+    r: &bolt_emu::RunResult,
+    elf: &Elf,
+    plan: &ShardPlan,
+) -> Result<i64, HarnessError> {
     match r.exit {
-        Exit::Exited(code) => code,
-        other => panic!(
-            "shard {shard}/{} did not exit: {other:?} after {} steps \
-             (budget {}, entry {:#x}); raise the step budget or use more, \
-             smaller shards",
-            plan.shards, r.steps, plan.max_steps, elf.entry
-        ),
+        Exit::Exited(code) => Ok(code),
+        exit => Err(HarnessError::DidNotExit {
+            shard,
+            shards: plan.shards,
+            exit,
+            steps: r.steps,
+            budget: plan.max_steps,
+            entry: elf.entry,
+        }),
     }
 }
 
@@ -132,24 +209,45 @@ pub fn measure_batch_with(
     plan: &ShardPlan,
     prepare: impl Fn(usize, &mut Machine) + Sync,
 ) -> BatchResult {
-    let shards = run_batch(elf, plan, |_| CpuModel::new(cfg.clone()), prepare)
-        .expect("batch workload executes");
+    try_measure_batch_with(elf, cfg, plan, prepare).unwrap_or_else(|e| panic!("measure_batch: {e}"))
+}
+
+/// [`measure_batch_with`], reporting the first failed shard (by shard
+/// index) as a [`HarnessError`] instead of panicking.
+pub fn try_measure_batch_with(
+    elf: &Elf,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+    prepare: impl Fn(usize, &mut Machine) + Sync,
+) -> Result<BatchResult, HarnessError> {
+    let shards = run_batch(elf, plan, |_| CpuModel::new(cfg.clone()), prepare)?;
     let runs = shards
         .into_iter()
-        .map(|s| RunResult {
-            exit_code: exit_code_of(s.shard, &s.result, elf, plan),
-            output: s.output,
-            steps: s.result.steps,
-            counters: s.sink.counters(),
+        .map(|s| {
+            Ok(RunResult {
+                exit_code: exit_code_of(s.shard, &s.result, elf, plan)?,
+                output: s.output,
+                steps: s.result.steps,
+                counters: s.sink.counters(),
+            })
         })
-        .collect();
-    BatchResult::collect(runs)
+        .collect::<Result<_, HarnessError>>()?;
+    Ok(BatchResult::collect(runs))
 }
 
 /// [`measure_batch_with`] with no per-shard preparation (every shard
 /// runs the binary as loaded).
 pub fn measure_batch(elf: &Elf, cfg: &SimConfig, plan: &ShardPlan) -> BatchResult {
     measure_batch_with(elf, cfg, plan, |_, _| ())
+}
+
+/// [`measure_batch`], reporting failed shards as a [`HarnessError`].
+pub fn try_measure_batch(
+    elf: &Elf,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+) -> Result<BatchResult, HarnessError> {
+    try_measure_batch_with(elf, cfg, plan, |_, _| ())
 }
 
 /// Per-shard sink for sharded profiling: an LBR sampler and a CPU model
@@ -198,6 +296,18 @@ pub fn profile_lbr_batch_with(
     plan: &ShardPlan,
     prepare: impl Fn(usize, &mut Machine) + Sync,
 ) -> (Profile, BatchResult) {
+    try_profile_lbr_batch_with(elf, cfg, plan, prepare)
+        .unwrap_or_else(|e| panic!("profile_lbr_batch: {e}"))
+}
+
+/// [`profile_lbr_batch_with`], reporting the first failed shard (by
+/// shard index) as a [`HarnessError`] instead of panicking.
+pub fn try_profile_lbr_batch_with(
+    elf: &Elf,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+    prepare: impl Fn(usize, &mut Machine) + Sync,
+) -> Result<(Profile, BatchResult), HarnessError> {
     let shards = run_batch(
         elf,
         plan,
@@ -206,27 +316,35 @@ pub fn profile_lbr_batch_with(
             model: CpuModel::new(cfg.clone()),
         },
         prepare,
-    )
-    .expect("batch workload executes");
+    )?;
     let mut profile = Profile::new(ProfileMode::Lbr);
     let runs = shards
         .into_iter()
         .map(|s| {
             profile.merge(&s.sink.sampler.profile);
-            RunResult {
-                exit_code: exit_code_of(s.shard, &s.result, elf, plan),
+            Ok(RunResult {
+                exit_code: exit_code_of(s.shard, &s.result, elf, plan)?,
                 output: s.output,
                 steps: s.result.steps,
                 counters: s.sink.model.counters(),
-            }
+            })
         })
-        .collect();
-    (profile, BatchResult::collect(runs))
+        .collect::<Result<_, HarnessError>>()?;
+    Ok((profile, BatchResult::collect(runs)))
 }
 
 /// [`profile_lbr_batch_with`] with no per-shard preparation.
 pub fn profile_lbr_batch(elf: &Elf, cfg: &SimConfig, plan: &ShardPlan) -> (Profile, BatchResult) {
     profile_lbr_batch_with(elf, cfg, plan, |_, _| ())
+}
+
+/// [`profile_lbr_batch`], reporting failed shards as a [`HarnessError`].
+pub fn try_profile_lbr_batch(
+    elf: &Elf,
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+) -> Result<(Profile, BatchResult), HarnessError> {
+    try_profile_lbr_batch_with(elf, cfg, plan, |_, _| ())
 }
 
 /// Returns a seed-partitioning prepare closure for the batch wrappers:
@@ -537,6 +655,29 @@ mod tests {
         assert_eq!(step, run(Engine::Block), "block engine identical");
         assert_eq!(step, run(Engine::Superblock), "superblock identical");
         assert_eq!(step, run(Engine::Uop), "uop engine identical");
+    }
+
+    #[test]
+    fn exhausted_step_budget_is_a_structured_error_not_a_panic() {
+        let elf = straightline_elf(1_000_000);
+        let plan = ShardPlan::new(2).with_threads(1).with_max_steps(50);
+        let err = try_measure_batch(&elf, &SimConfig::small(), &plan).unwrap_err();
+        let HarnessError::DidNotExit {
+            shard,
+            shards,
+            exit,
+            steps,
+            budget,
+            ..
+        } = err
+        else {
+            panic!("unexpected error: {err}");
+        };
+        assert_eq!((shard, shards), (0, 2), "first failing shard reported");
+        assert_eq!(exit, Exit::MaxSteps);
+        assert_eq!(budget, 50);
+        assert!(steps >= 50, "ran up to the budget: {steps}");
+        assert!(err.to_string().contains("did not exit"));
     }
 
     #[test]

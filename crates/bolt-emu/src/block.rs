@@ -88,6 +88,63 @@ impl TranslationMode {
     }
 }
 
+/// The execution tier a translated block runs at. Blocks normally run
+/// [`Full`](BlockTier::Full); a translation-validation finding at
+/// translate time degrades the block one or two tiers instead of
+/// aborting the run — the fault-tolerance counterpart of per-function
+/// quarantine on the optimize path. Degradation is strictly local: the
+/// rest of the cache keeps running at full speed, and every tier is
+/// observationally identical, so four-way engine invariance holds even
+/// with degraded blocks in the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockTier {
+    /// Execute at the cache's translation mode (micro-ops in uop mode,
+    /// packed decoded entries otherwise).
+    #[default]
+    Full,
+    /// Uop mode only: the lowered micro-ops failed validation but the
+    /// decoded entries re-validated clean — execute those (superblock
+    /// semantics) and leave the untrusted uops unread.
+    Decoded,
+    /// The packed translation itself is untrusted: single-step the
+    /// block's instructions through the interpreter's fetch path,
+    /// which never consults the pools.
+    Step,
+}
+
+/// Cumulative per-tier block counts: how many translations landed at
+/// each [`BlockTier`]. Diagnostics only — never part of a
+/// [`RunResult`](crate::RunResult), so engine-invariance comparisons
+/// are unaffected. Survives pool reclaims (SMC invalidation); reset by
+/// `Machine::reset`/`load_elf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCounts {
+    pub full: u64,
+    pub decoded: u64,
+    pub step: u64,
+}
+
+impl TierCounts {
+    /// Total translations that could not run at full tier.
+    pub fn degraded(&self) -> u64 {
+        self.decoded + self.step
+    }
+}
+
+/// A deterministic translation fault to inject (the emulate-path
+/// counterpart of the poison pass): fires on the Nth `translate` call,
+/// forcing the same degradation path a real validation finding of that
+/// kind would take. Per-cache state — parallel tests never interfere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Pretend the uop structural validator rejected the lowering
+    /// (degrades the block to [`BlockTier::Decoded`] in uop mode).
+    UopInvalid,
+    /// Pretend semantic validation found a disagreement that survives
+    /// re-validation (degrades the block to [`BlockTier::Step`]).
+    SemInvalid,
+}
+
 /// Static shape of one data-memory access inside a block: which
 /// instruction performs it and its direction, recorded at translation
 /// time (superblock mode). The access width is fixed at 8 bytes by the
@@ -168,6 +225,8 @@ struct Block {
     /// recent targets. Links never outlive the blocks vector — every
     /// invalidation path clears it wholesale.
     links: [(u64, u32); 2],
+    /// Execution tier (degraded when translation validation failed).
+    tier: BlockTier,
 }
 
 /// Whether `inst` must be the last instruction of its block: control
@@ -233,6 +292,11 @@ pub(crate) struct BlockCache {
     /// next block boundary ([`reclaim`](Self::reclaim)), never while a
     /// block is executing out of them.
     dirty: bool,
+    /// Cumulative per-tier translation counts (survive reclaims).
+    tiers: TierCounts,
+    /// Pending injected fault: `(translations remaining, kind)`. Fires
+    /// once when the countdown hits zero.
+    fault: Option<(u64, InjectedFault)>,
 }
 
 impl Default for BlockCache {
@@ -252,6 +316,8 @@ impl Default for BlockCache {
             watch_lo: u64::MAX,
             watch_hi: 0,
             dirty: false,
+            tiers: TierCounts::default(),
+            fault: None,
         }
     }
 }
@@ -271,6 +337,43 @@ impl BlockCache {
         self.watch_lo = u64::MAX;
         self.watch_hi = 0;
         self.dirty = false;
+        self.tiers = TierCounts::default();
+        self.fault = None;
+    }
+
+    /// Cumulative per-tier translation counts.
+    pub(crate) fn tier_counts(&self) -> TierCounts {
+        self.tiers
+    }
+
+    /// The execution tier of block `idx`.
+    #[inline]
+    pub(crate) fn tier(&self, idx: u32) -> BlockTier {
+        self.blocks[idx as usize].tier
+    }
+
+    /// Arms a deterministic injected translation fault: the `nth`
+    /// subsequent `translate` call (0-based) degrades as if a real
+    /// validation finding of `kind` had fired.
+    pub(crate) fn inject_fault(&mut self, nth: u64, kind: InjectedFault) {
+        self.fault = Some((nth, kind));
+    }
+
+    /// Advances the injected-fault countdown for one translation;
+    /// returns the fault kind if it fires now.
+    fn take_fault(&mut self) -> Option<InjectedFault> {
+        match &mut self.fault {
+            Some((0, kind)) => {
+                let k = *kind;
+                self.fault = None;
+                Some(k)
+            }
+            Some((n, _)) => {
+                *n -= 1;
+                None
+            }
+            None => None,
+        }
     }
 
     /// Sizes the entry index to the machine's flat text span and pins
@@ -278,7 +381,15 @@ impl BlockCache {
     /// machine reused across runs of one image under one engine).
     pub(crate) fn ensure_span(&mut self, base: u64, span: usize, mode: TranslationMode) {
         if self.base != base || self.index.len() != span || self.mode != mode {
+            // A full clear, except that an armed injected fault and the
+            // cumulative tier counters survive: both are per-machine
+            // diagnostics configured/read across the run boundary this
+            // method sits on (`Machine::reset` clears them for real).
+            let fault = self.fault.take();
+            let tiers = self.tiers;
             self.clear();
+            self.fault = fault;
+            self.tiers = tiers;
             self.base = base;
             self.mode = mode;
             self.index = vec![0; span];
@@ -415,19 +526,26 @@ impl BlockCache {
                 break;
             }
         }
+        let injected = self.take_fault();
+        let mut tier = BlockTier::Full;
         if self.mode == TranslationMode::Uop {
             // Lower the whole block at once: the flags-liveness pass
             // needs to see every instruction. The pools stay parallel —
             // `uops[i]` always pairs with `insts[i]`.
             crate::uop::lower_into(&mut self.uops, &self.insts[insts_start..]);
             debug_assert_eq!(self.uops.len(), self.insts.len());
-            if crate::uop::uop_validation_enabled() {
-                if let Err(e) = crate::uop::validate_block(
-                    &self.insts[insts_start..],
-                    &self.uops[insts_start..],
-                ) {
-                    panic!("uop translation validation failed for block at {entry:#x}: {e}");
-                }
+            let structurally_bad = injected == Some(InjectedFault::UopInvalid)
+                || (crate::uop::uop_validation_enabled()
+                    && crate::uop::validate_block(
+                        &self.insts[insts_start..],
+                        &self.uops[insts_start..],
+                    )
+                    .is_err());
+            if structurally_bad {
+                // The lowering is untrusted but the decoded entries it
+                // came from are independently checkable — degrade one
+                // tier and leave the uop pool entries unread.
+                tier = BlockTier::Decoded;
             }
         }
         let lines_start = self.lines.len();
@@ -446,6 +564,7 @@ impl BlockCache {
             inst_count: (self.insts.len() - insts_start) as u32,
             crossings64: crossings,
             links: [NO_LINK; 2],
+            tier,
         });
         if entry_in_span {
             self.index[(entry - self.base) as usize] = idx + 1;
@@ -454,15 +573,28 @@ impl BlockCache {
             self.watch_lo = self.watch_lo.min(entry);
             self.watch_hi = self.watch_hi.max(at + MAX_INST_LEN);
         }
-        if crate::transval::sem_validation_enabled() {
-            let findings = self.validate_semantics(mem, idx);
-            if !findings.is_empty() {
-                let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
-                panic!(
-                    "semantic translation validation failed for block at {entry:#x}:\n  {}",
-                    rendered.join("\n  ")
-                );
+        // Semantic validation degrades rather than aborts: a finding at
+        // the uop tier first re-proves the decoded entries alone (the
+        // lowering may be the only culprit); a finding that survives
+        // re-validation — or one at any other tier — sends the block to
+        // per-instruction stepping, which never reads the pools.
+        if injected == Some(InjectedFault::SemInvalid) {
+            tier = BlockTier::Step;
+        } else if crate::transval::sem_validation_enabled() {
+            let with_uops = self.mode == TranslationMode::Uop && tier == BlockTier::Full;
+            if !self.validate_tier(mem, idx, with_uops).is_empty() {
+                tier = if with_uops && self.validate_tier(mem, idx, false).is_empty() {
+                    BlockTier::Decoded
+                } else {
+                    BlockTier::Step
+                };
             }
+        }
+        self.blocks[idx as usize].tier = tier;
+        match tier {
+            BlockTier::Full => self.tiers.full += 1,
+            BlockTier::Decoded => self.tiers.decoded += 1,
+            BlockTier::Step => self.tiers.step += 1,
         }
         Ok(idx)
     }
@@ -476,6 +608,20 @@ impl BlockCache {
         &self,
         mem: &Memory,
         idx: u32,
+    ) -> Vec<crate::transval::SemFinding> {
+        self.validate_tier(mem, idx, self.mode == TranslationMode::Uop)
+    }
+
+    /// [`validate_semantics`](Self::validate_semantics) against a
+    /// chosen tier: with `with_uops` false the micro-op pool is left
+    /// out of the proof — exactly what a [`BlockTier::Decoded`] block
+    /// executes, so the degrade ladder re-validates the tier it is
+    /// about to fall back to, not the one that just failed.
+    fn validate_tier(
+        &self,
+        mem: &Memory,
+        idx: u32,
+        with_uops: bool,
     ) -> Vec<crate::transval::SemFinding> {
         use crate::transval::{SemFinding, SemFindingKind};
         let (range, entry) = self.inst_range(idx);
@@ -504,7 +650,8 @@ impl BlockCache {
             }
         }
         let cached = &self.insts[range.clone()];
-        let uops = (self.mode == TranslationMode::Uop).then(|| &self.uops[range.clone()]);
+        let uops =
+            (with_uops && self.mode == TranslationMode::Uop).then(|| &self.uops[range.clone()]);
         let shapes = self.mode.spans_mems().then(|| self.shapes(idx));
         crate::transval::validate_translation(entry, &reference, cached, uops, shapes)
     }

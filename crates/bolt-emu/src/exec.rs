@@ -1,6 +1,6 @@
 //! The functional emulator core.
 
-use crate::block::{BlockCache, TranslationMode};
+use crate::block::{BlockCache, BlockTier, InjectedFault, TierCounts, TranslationMode};
 use crate::spill::SpillIndex;
 use crate::uop::{MicroOp, UopKind};
 use crate::{BranchEvent, BranchKind, MemRecord, Memory, TraceSink, MAX_INST_LEN};
@@ -974,6 +974,18 @@ impl Machine {
                 }
                 break;
             }
+            if self.blocks.tier(idx) == BlockTier::Step {
+                // Degraded block: its packed entries are untrusted, so
+                // retire the same instruction count through the
+                // interpreter's architectural fetch path instead.
+                for _ in 0..count {
+                    steps += 1;
+                    if let Some(exit) = self.step(sink)? {
+                        return Ok(RunResult { exit, steps });
+                    }
+                }
+                continue;
+            }
             sink.on_block(self.blocks.event(idx));
             let mut at = entry;
             for i in range {
@@ -1063,7 +1075,7 @@ impl Machine {
                     i
                 }
             };
-            let (range, entry, has_mems) = self.blocks.block_info(idx);
+            let (range, _, _) = self.blocks.block_info(idx);
             let count = range.len() as u64;
             if max_steps - steps < count {
                 // The budget lands inside this block: finish with exact
@@ -1077,74 +1089,21 @@ impl Machine {
                 }
                 break;
             }
-            if !has_mems {
-                // No D-side events anywhere in the block: charge the
-                // event up front and execute with the live sink (its
-                // only other possible event, a terminating branch,
-                // follows the fetches in step order too).
-                sink.on_block(self.blocks.event(idx));
-                let mut at = entry;
-                for i in range {
-                    let (inst, len) = self.blocks.inst(i);
+            if self.blocks.tier(idx) == BlockTier::Step {
+                // Degraded block: its packed entries are untrusted, so
+                // retire the same instruction count through the
+                // interpreter's architectural fetch path instead.
+                for _ in 0..count {
                     steps += 1;
-                    if let Some(exit) = self.exec_inst(at, inst, len, sink)? {
+                    if let Some(exit) = self.step(sink)? {
                         return Ok(RunResult { exit, steps });
                     }
-                    at += len as u64;
                 }
-                prev = Some(idx);
+                prev = None;
                 continue;
             }
-            // Memory accesses mid-block: execute against a capture
-            // buffer, then emit one event carrying the interleaved
-            // fetch + memory records, then the terminator's branch.
-            mems.clear();
-            let mut cap = CaptureSink {
-                mems: &mut *mems,
-                inst: 0,
-                branch: None,
-            };
-            let mut at = entry;
-            let mut executed = 0u32;
-            let mut outcome = Ok(None);
-            for i in range {
-                let (inst, len) = self.blocks.inst(i);
-                cap.inst = executed;
-                steps += 1;
-                executed += 1;
-                match self.exec_inst(at, inst, len, &mut cap) {
-                    Ok(None) => {}
-                    other => {
-                        outcome = other;
-                        break;
-                    }
-                }
-                at += len as u64;
-                // A store may have patched cached text — possibly this
-                // very block's later instructions. Abandon the packed
-                // entries; the prefix event reports exactly what
-                // retired, and the patched bytes retranslate next
-                // iteration.
-                if self.blocks.is_dirty() {
-                    break;
-                }
-            }
-            let branch = cap.branch;
-            debug_assert!(
-                {
-                    let shapes = self.blocks.shapes(idx);
-                    mems.len() <= shapes.len()
-                        && mems
-                            .iter()
-                            .zip(shapes)
-                            .all(|(m, s)| m.inst == s.inst && m.write == s.write)
-                },
-                "captured records must match the translation-time shapes"
-            );
-            sink.on_block(self.blocks.prefix_event(idx, executed, mems));
-            if let Some(ev) = branch {
-                sink.on_branch(ev);
-            }
+            let (executed, outcome) = self.exec_block_insts(idx, sink, mems);
+            steps += executed as u64;
             if let Some(exit) = outcome? {
                 return Ok(RunResult { exit, steps });
             }
@@ -1158,6 +1117,97 @@ impl Machine {
             exit: Exit::MaxSteps,
             steps,
         })
+    }
+
+    /// Executes one translated block's *decoded* instruction entries
+    /// with superblock event batching, returning how many instructions
+    /// were attempted (including one that exited or faulted) and the
+    /// outcome of the last attempt. Shared by the superblock engine and
+    /// the uop engine's decoded-tier fallback.
+    ///
+    /// A block with no memory-touching instructions charges its event
+    /// up front and executes with the live sink; a block with memory
+    /// accesses executes against a capture buffer, then emits one
+    /// prefix event with interleaved records followed by the
+    /// terminator's branch — exactly the step engine's event order.
+    /// `executed < range.len()` means the block was abandoned mid-way
+    /// (SMC dirty, exit, or error) and any chain state is stale.
+    fn exec_block_insts<S: TraceSink + ?Sized>(
+        &mut self,
+        idx: u32,
+        sink: &mut S,
+        mems: &mut Vec<MemRecord>,
+    ) -> (u32, Result<Option<Exit>, EmuError>) {
+        let (range, entry, has_mems) = self.blocks.block_info(idx);
+        if !has_mems {
+            // No D-side events anywhere in the block: charge the
+            // event up front and execute with the live sink (its
+            // only other possible event, a terminating branch,
+            // follows the fetches in step order too).
+            sink.on_block(self.blocks.event(idx));
+            let mut at = entry;
+            let mut executed = 0u32;
+            for i in range {
+                let (inst, len) = self.blocks.inst(i);
+                executed += 1;
+                match self.exec_inst(at, inst, len, sink) {
+                    Ok(None) => {}
+                    other => return (executed, other),
+                }
+                at += len as u64;
+            }
+            return (executed, Ok(None));
+        }
+        // Memory accesses mid-block: execute against a capture
+        // buffer, then emit one event carrying the interleaved
+        // fetch + memory records, then the terminator's branch.
+        mems.clear();
+        let mut cap = CaptureSink {
+            mems: &mut *mems,
+            inst: 0,
+            branch: None,
+        };
+        let mut at = entry;
+        let mut executed = 0u32;
+        let mut outcome = Ok(None);
+        for i in range {
+            let (inst, len) = self.blocks.inst(i);
+            cap.inst = executed;
+            executed += 1;
+            match self.exec_inst(at, inst, len, &mut cap) {
+                Ok(None) => {}
+                other => {
+                    outcome = other;
+                    break;
+                }
+            }
+            at += len as u64;
+            // A store may have patched cached text — possibly this
+            // very block's later instructions. Abandon the packed
+            // entries; the prefix event reports exactly what
+            // retired, and the patched bytes retranslate next
+            // iteration.
+            if self.blocks.is_dirty() {
+                break;
+            }
+        }
+        let branch = cap.branch;
+        debug_assert!(
+            {
+                let shapes = self.blocks.shapes(idx);
+                mems.len() <= shapes.len()
+                    && mems
+                        .iter()
+                        .zip(shapes)
+                        .all(|(m, s)| m.inst == s.inst && m.write == s.write)
+            },
+            "captured records must match the translation-time shapes"
+        );
+        sink.on_block(self.blocks.prefix_event(idx, executed, mems));
+        if let Some(ev) = branch {
+            sink.on_branch(ev);
+        }
+        (executed, outcome)
     }
 
     /// The uop engine: superblock translation and chaining, but the hot
@@ -1251,6 +1301,41 @@ impl Machine {
                     }
                 }
                 break;
+            }
+            let tier = self.blocks.tier(idx);
+            if tier != BlockTier::Full {
+                // Degraded block: any pending lazy flags become
+                // architectural before a fallback path reads or
+                // rewrites them.
+                self.materialize_flags();
+                if tier == BlockTier::Step {
+                    // The packed entries are untrusted end to end;
+                    // retire the same instruction count through the
+                    // interpreter's architectural fetch path.
+                    for _ in 0..count {
+                        steps += 1;
+                        if let Some(exit) = self.step(sink)? {
+                            return Ok(RunResult { exit, steps });
+                        }
+                    }
+                    prev = None;
+                    continue;
+                }
+                // Decoded tier: the lowered micro-ops are untrusted but
+                // the decoded entries validated clean — execute them
+                // with full superblock batching; the uop pool is never
+                // read.
+                let (executed, outcome) = self.exec_block_insts(idx, sink, mems);
+                steps += executed as u64;
+                if let Some(exit) = outcome? {
+                    return Ok(RunResult { exit, steps });
+                }
+                prev = if (executed as u64) < count {
+                    None
+                } else {
+                    Some(idx)
+                };
+                continue;
             }
             if !has_mems {
                 // No D-side events anywhere in the block: charge the
@@ -1674,6 +1759,23 @@ impl Machine {
 
         self.rip = new_rip;
         Ok(None)
+    }
+
+    /// Cumulative per-tier block-translation counts: how many
+    /// translations ran at full tier and how many the fallback ladder
+    /// degraded ([`BlockTier::Decoded`] / [`BlockTier::Step`]). Zero
+    /// degradations on a healthy image; diagnostics only, never part
+    /// of a [`RunResult`].
+    pub fn tier_counts(&self) -> TierCounts {
+        self.blocks.tier_counts()
+    }
+
+    /// Arms a deterministic injected translation fault: the `nth`
+    /// subsequent block translation (0-based) degrades exactly as a
+    /// real validation finding of `kind` would. Per-machine state (no
+    /// globals), for the fault-injection harness.
+    pub fn inject_translation_fault(&mut self, nth: u64, kind: InjectedFault) {
+        self.blocks.inject_fault(nth, kind);
     }
 
     /// Calls the function at `addr` with up to six integer arguments,
@@ -2470,5 +2572,163 @@ mod tests {
         }
         assert_eq!(m.reg(Reg::Rax) as i64, -4);
         assert_eq!(m.reg(Reg::Rcx), 48);
+    }
+
+    /// An ELF mixing ALU work, a store/load pair (exercising the
+    /// captured-event path), a conditional branch, and output syscalls —
+    /// rich enough that a degraded block changes real behavior if the
+    /// fallback is wrong.
+    fn tiered_elf() -> bolt_elf::Elf {
+        let insts = [
+            Inst::MovRI {
+                dst: Reg::R10,
+                imm: 0x600000,
+            },
+            Inst::MovRI {
+                dst: Reg::Rcx,
+                imm: 5,
+            },
+            Inst::Store {
+                mem: Mem::base(Reg::R10, 0),
+                src: Reg::Rcx,
+            },
+            Inst::Load {
+                dst: Reg::Rdi,
+                mem: Mem::base(Reg::R10, 0),
+            },
+            Inst::AluI {
+                op: AluOp::Cmp,
+                dst: Reg::Rdi,
+                imm: 5,
+            },
+            Inst::Jcc {
+                cond: Cond::E,
+                target: Target::Label(Label(7)),
+                width: bolt_isa::JumpWidth::Near,
+            },
+            Inst::Ud2,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+            Inst::Syscall,
+            Inst::MovRI {
+                dst: Reg::Rax,
+                imm: 60,
+            },
+            Inst::Syscall,
+        ];
+        let code = asm(&insts, 0x400000);
+        let mut elf = bolt_elf::Elf::new(0x400000);
+        elf.sections
+            .push(bolt_elf::Section::code(".text", 0x400000, code));
+        elf
+    }
+
+    /// Runs `elf` under one engine with an optional injected
+    /// translation fault armed for the `nth` translated block.
+    fn observe_fault(
+        elf: &bolt_elf::Elf,
+        engine: Engine,
+        fault: Option<(u64, InjectedFault)>,
+    ) -> (RunResult, Machine, CountingSink) {
+        let mut m = Machine::new();
+        m.load_elf(elf);
+        if let Some((nth, kind)) = fault {
+            m.inject_translation_fault(nth, kind);
+        }
+        let mut sink = CountingSink::default();
+        let r = m.run_engine(&mut sink, u64::MAX, engine).unwrap();
+        (r, m, sink)
+    }
+
+    /// A healthy image degrades nothing: every translated block runs at
+    /// full tier under every block engine.
+    #[test]
+    fn clean_run_translates_every_block_at_full_tier() {
+        let elf = tiered_elf();
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
+            let (_, m, _) = observe_fault(&elf, engine, None);
+            let t = m.tier_counts();
+            assert!(t.full > 0, "{engine}: blocks were translated");
+            assert_eq!(t.degraded(), 0, "{engine}: nothing degraded");
+        }
+    }
+
+    /// An injected uop-structural fault degrades exactly that block to
+    /// the decoded tier, with every observable identical to the step
+    /// engine — translation failure must never abort a run.
+    #[test]
+    fn injected_uop_fault_degrades_to_decoded_tier_identically() {
+        let elf = tiered_elf();
+        let (rs, ms, ss) = observe_fault(&elf, Engine::Step, None);
+        for nth in 0..2u64 {
+            let (rb, mb, sb) =
+                observe_fault(&elf, Engine::Uop, Some((nth, InjectedFault::UopInvalid)));
+            let t = mb.tier_counts();
+            assert_eq!(t.decoded, 1, "block {nth} fell back to decoded");
+            assert_eq!(t.step, 0);
+            assert!(t.full > 0, "siblings stayed at full tier");
+            assert_eq!(rs, rb, "block {nth}: exit and retired count");
+            assert_eq!(ms.output, mb.output, "block {nth}");
+            assert_eq!(ms.regs, mb.regs, "block {nth}");
+            assert_eq!(ms.flags, mb.flags, "block {nth}");
+            assert_eq!(format!("{ss:?}"), format!("{sb:?}"), "block {nth}: events");
+        }
+    }
+
+    /// An injected semantic-validation fault degrades exactly that
+    /// block to the step tier under every block engine, again with
+    /// observables identical to pure stepping.
+    #[test]
+    fn injected_sem_fault_degrades_to_step_tier_identically() {
+        let elf = tiered_elf();
+        let (rs, ms, ss) = observe_fault(&elf, Engine::Step, None);
+        for engine in [Engine::Block, Engine::Superblock, Engine::Uop] {
+            for nth in 0..2u64 {
+                let (rb, mb, sb) =
+                    observe_fault(&elf, engine, Some((nth, InjectedFault::SemInvalid)));
+                let t = mb.tier_counts();
+                assert_eq!(t.step, 1, "{engine} block {nth}: fell back to step");
+                assert_eq!(t.decoded, 0, "{engine} block {nth}");
+                assert!(t.full > 0, "{engine} block {nth}: siblings full");
+                assert_eq!(rs, rb, "{engine} block {nth}: exit/steps");
+                assert_eq!(ms.output, mb.output, "{engine} block {nth}");
+                assert_eq!(ms.regs, mb.regs, "{engine} block {nth}");
+                assert_eq!(ms.flags, mb.flags, "{engine} block {nth}");
+                assert_eq!(
+                    format!("{ss:?}"),
+                    format!("{sb:?}"),
+                    "{engine} block {nth}: events"
+                );
+            }
+        }
+    }
+
+    /// Tier counters are cumulative across cache rebuilds: an
+    /// [`ensure_span`](BlockCache::ensure_span) mode switch clears the
+    /// pools but neither the counters nor an armed fault.
+    #[test]
+    fn tier_counts_survive_cache_rebuilds() {
+        let elf = tiered_elf();
+        let mut m = Machine::new();
+        m.load_elf(&elf);
+        m.inject_translation_fault(0, InjectedFault::SemInvalid);
+        m.run_engine(&mut NullSink, u64::MAX, Engine::Block)
+            .unwrap();
+        let after_first = m.tier_counts();
+        assert_eq!(
+            after_first.step, 1,
+            "armed fault survived load_elf's span setup"
+        );
+        // Re-running under a different mode rebuilds the pools; the
+        // counters keep accumulating on top of the first run's.
+        m.rip = 0x400000;
+        m.set_reg(Reg::Rsp, STACK_TOP - 64);
+        m.run_engine(&mut NullSink, u64::MAX, Engine::Superblock)
+            .unwrap();
+        let after_second = m.tier_counts();
+        assert_eq!(after_second.step, after_first.step);
+        assert!(after_second.full > after_first.full);
     }
 }

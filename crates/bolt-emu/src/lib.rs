@@ -28,7 +28,7 @@ mod uop;
 pub(crate) const MAX_INST_LEN: u64 = 16;
 
 pub use batch::{resolve_shards, run_batch, ShardPlan, ShardRun};
-pub use block::{translation_shapes, MemShape};
+pub use block::{translation_shapes, BlockTier, InjectedFault, MemShape, TierCounts};
 pub use events::{
     BlockEvent, BranchEvent, BranchKind, CountingSink, MemRecord, NullSink, Tee, TraceSink,
 };

@@ -30,6 +30,10 @@ pub enum NonSimpleReason {
     OutOfRangeControlFlow,
     /// The function overlaps another symbol.
     OverlappingCode,
+    /// The fault-tolerance ladder excluded the function: a pass panicked
+    /// on it, a verifier flagged it, or its layout-only retry failed
+    /// too. Its original bytes are preserved verbatim in the output.
+    Quarantined,
 }
 
 impl fmt::Display for NonSimpleReason {
@@ -39,8 +43,25 @@ impl fmt::Display for NonSimpleReason {
             NonSimpleReason::UnresolvedIndirectJump => write!(f, "unresolved indirect jump"),
             NonSimpleReason::OutOfRangeControlFlow => write!(f, "out-of-range control flow"),
             NonSimpleReason::OverlappingCode => write!(f, "overlapping code"),
+            NonSimpleReason::Quarantined => write!(f, "quarantined"),
         }
     }
+}
+
+/// How much of the pipeline may touch a function — the rungs of the
+/// driver's retry/degrade ladder. Every function starts at
+/// [`OptTier::Full`]; a function that fails a pass or a verifier is
+/// retried at [`OptTier::LayoutOnly`] before being quarantined outright
+/// (`is_simple = false`, reason [`NonSimpleReason::Quarantined`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptTier {
+    /// Every enabled pass may transform the function.
+    #[default]
+    Full,
+    /// Only layout passes (block/function reordering, splitting, uce,
+    /// fixup-branches) run; instruction-mutating passes skip the
+    /// function.
+    LayoutOnly,
 }
 
 /// A function reconstructed from the binary, its CFG, and its layout.
@@ -70,6 +91,10 @@ pub struct BinaryFunction {
     pub is_simple: bool,
     /// Why the function is non-simple, when it is not.
     pub non_simple_reason: Option<NonSimpleReason>,
+    /// Which pipeline rung may transform the function (the quarantine
+    /// ladder's per-function demotion level). [`OptTier::Full`] for
+    /// every healthy function.
+    pub opt_tier: OptTier,
     pub jump_tables: Vec<JumpTable>,
     /// Names folded into this function by identical-code-folding.
     pub icf_aliases: Vec<String>,
@@ -102,6 +127,17 @@ impl BinaryFunction {
     /// The entry block id.
     pub fn entry(&self) -> BlockId {
         self.layout.first().copied().unwrap_or(BlockId(0))
+    }
+
+    /// Whether instruction-mutating passes may rewrite this function.
+    /// Layout passes gate on `is_simple` alone; everything that changes
+    /// instructions must come through here, so a function demoted to
+    /// [`OptTier::LayoutOnly`] by the quarantine ladder genuinely only
+    /// gets its layout optimized on the retry. (Folded-function
+    /// exclusion stays with the individual passes, exactly as before
+    /// the ladder existed.)
+    pub fn may_transform(&self) -> bool {
+        self.is_simple && self.opt_tier == OptTier::Full
     }
 
     pub fn block(&self, id: BlockId) -> &BasicBlock {

@@ -49,7 +49,7 @@ pub use dataflow::{
 pub use emit::{
     emit_units, EmitBlock, EmitError, EmitInst, EmitReloc, EmitResult, EmitSymbol, EmitUnit,
 };
-pub use function::{edges, BinaryFunction, JumpTable, NonSimpleReason};
+pub use function::{edges, BinaryFunction, JumpTable, NonSimpleReason, OptTier};
 pub use inst::{BinaryInst, CfiOp, LineInfo};
 pub use meta::{ExceptionTable, LineTable, MetaError};
 pub use print::{dump_function, DumpOptions};

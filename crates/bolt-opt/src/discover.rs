@@ -80,23 +80,44 @@ pub fn discover(elf: &Elf) -> (BinaryContext, Vec<RawFunction>) {
     }
 
     // PLT stub resolution: `__plt_<target>` symbols by naming convention,
-    // verified against the GOT content (`__got_<target>`).
-    let got_by_name: HashMap<&str, u64> = elf
+    // verified against both ends of the indirection — the GOT content
+    // (`__got_<target>`) must point at the target function, and the
+    // stub's own bytes must actually be a rip-relative `jmp` through
+    // that exact GOT slot. The second check matters: devirtualizing by
+    // name alone would silently "repair" a stub whose displacement is
+    // corrupted (or hand-written to jump elsewhere), changing the
+    // program's behavior instead of preserving it.
+    let got_by_name: HashMap<&str, (u64, u64)> = elf
         .symbols
         .iter()
         .filter_map(|s| {
             s.name
                 .strip_prefix("__got_")
-                .map(|n| (n, elf.read_u64(s.value).unwrap_or(0)))
+                .map(|n| (n, (s.value, elf.read_u64(s.value).unwrap_or(0))))
         })
         .collect();
     for f in &funcs {
         if let Some(target) = f.name.strip_prefix("__plt_") {
-            // Only trust the stub if the GOT actually points at the
-            // target function.
-            let got_target = got_by_name.get(target).copied();
-            let target_addr = elf.symbol(target).map(|s| s.value);
-            if got_target.is_some() && got_target == target_addr {
+            let Some(&(got_addr, got_content)) = got_by_name.get(target) else {
+                continue;
+            };
+            if elf.symbol(target).map(|s| s.value) != Some(got_content) {
+                continue;
+            }
+            let jumps_through_slot = elf
+                .read_vaddr(f.address, f.size.min(16) as usize)
+                .and_then(|bytes| bolt_isa::decode(bytes, f.address).ok())
+                .is_some_and(|d| {
+                    matches!(
+                        d.inst,
+                        bolt_isa::Inst::JmpInd {
+                            rm: bolt_isa::Rm::Mem(bolt_isa::Mem::RipRel {
+                                target: bolt_isa::Target::Addr(a),
+                            }),
+                        } if a == got_addr
+                    )
+                });
+            if jumps_through_slot {
                 ctx.plt_stubs.insert(f.address, target.to_string());
             }
         }
@@ -155,6 +176,12 @@ mod tests {
             0x600000,
             0x400000u64.to_le_bytes().to_vec(),
         ));
+        // Real stub bytes at 0x400030: `jmp *0x600000(%rip)` — FF 25
+        // with disp32 = 0x600000 - (0x400030 + 6).
+        let text = e.section_mut(".text").unwrap();
+        text.data[0x30] = 0xFF;
+        text.data[0x31] = 0x25;
+        text.data[0x32..0x36].copy_from_slice(&(0x600000u32 - 0x400036).to_le_bytes());
         let got_idx = e.section_index(".got").unwrap();
         e.symbols.push(Symbol::func("__plt_f1", 0x400030, 8, 0));
         e.symbols.push(Symbol {
@@ -173,5 +200,20 @@ mod tests {
         e2.section_mut(".got").unwrap().data = 0xDEADu64.to_le_bytes().to_vec();
         let (ctx2, _) = discover(&e2);
         assert!(ctx2.plt_stubs.is_empty());
+
+        // Corrupt the stub's displacement so the jmp no longer reads
+        // `__got_f1`: devirtualizing by name would change behavior, so
+        // the stub must not be trusted either.
+        let mut e3 = e.clone();
+        e3.section_mut(".text").unwrap().data[0x33] ^= 0x80;
+        let (ctx3, _) = discover(&e3);
+        assert!(ctx3.plt_stubs.is_empty());
+
+        // Replace the jmp with something else entirely (here: the ret
+        // padding the fixture starts with): same verdict.
+        let mut e4 = e.clone();
+        e4.section_mut(".text").unwrap().data[0x30] = 0xC3;
+        let (ctx4, _) = discover(&e4);
+        assert!(ctx4.plt_stubs.is_empty());
     }
 }

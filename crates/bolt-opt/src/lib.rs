@@ -38,7 +38,10 @@ pub mod report;
 
 pub use disasm::{disassemble_all, disassemble_all_with_threads};
 pub use discover::discover;
-pub use driver::{optimize, prepare, BoltError, BoltOutput, PreparedContext};
+pub use driver::{
+    optimize, prepare, BoltError, BoltOutput, PreparedContext, QuarantineAction, QuarantineEvent,
+    QuarantineReport,
+};
 pub use emit::{rewrite_binary, RewriteStats, BOLT_COLD_BASE, BOLT_TEXT_BASE};
 pub use options::BoltOptions;
 pub use report::{bad_layout_report, find_bad_layout, timing_report, BadLayoutCase};

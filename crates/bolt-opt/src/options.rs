@@ -75,6 +75,12 @@ pub struct BoltOptions {
     /// fresh decode. Findings land in
     /// [`crate::BoltOutput::verify_sem`].
     pub verify_sem: bool,
+    /// Fault injection (`-poison-pass=N`): register a pass whose
+    /// per-function kernel panics on the Nth simple function (0-based,
+    /// resolved by name for determinism under sharding), exercising the
+    /// quarantine ladder end to end. The driver must degrade that
+    /// function and keep going; see [`crate::BoltOutput::quarantine`].
+    pub poison_nth: Option<usize>,
 }
 
 impl BoltOptions {

@@ -1,0 +1,181 @@
+//! The fault-tolerance ladder end to end: a poisoned pass kernel must
+//! never fail a run — the target function degrades
+//! `default -> layout-only -> quarantined` across retry rounds, its
+//! original bytes survive verbatim, and program behavior is preserved.
+
+use bolt_compiler::{
+    compile_and_link, BinOp, CmpOp, CompileOptions, FunctionBuilder, MirProgram, Operand, Rvalue,
+};
+use bolt_emu::{Exit, Machine, NullSink};
+use bolt_opt::{optimize, BoltOptions, QuarantineAction};
+use bolt_profile::{LbrSampler, Profile, SampleTrigger};
+
+const MAX_STEPS: u64 = 10_000_000;
+
+/// A small multi-function program: a helper, a branchy classifier, and
+/// a main loop, so the ladder has distinct functions to demote.
+fn program() -> MirProgram {
+    let mut p = MirProgram::with_entry("main");
+
+    let mut h = FunctionBuilder::new("mix", 0, "h.c", 1);
+    let a = h.assign(Rvalue::BinOp(
+        BinOp::Mul,
+        Operand::Local(0),
+        Operand::Const(2654435761),
+    ));
+    let b = h.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(a),
+        Operand::Const(0xFFFF),
+    ));
+    h.ret(Operand::Local(b));
+    p.add_function(h.finish());
+
+    let mut c = FunctionBuilder::new("classify", 1, "c.c", 1);
+    let cc = c.assign_cmp(CmpOp::Lt, Operand::Local(0), Operand::Const(50));
+    let (lo, hi) = c.branch(Operand::Local(cc));
+    c.switch_to(lo);
+    let r1 = c.call("mix", vec![Operand::Local(0)]);
+    c.ret(Operand::Local(r1));
+    c.switch_to(hi);
+    let r2 = c.assign(Rvalue::BinOp(
+        BinOp::Add,
+        Operand::Local(0),
+        Operand::Const(7),
+    ));
+    c.ret(Operand::Local(r2));
+    p.add_function(c.finish());
+
+    let mut m = FunctionBuilder::new("main", 2, "m.c", 0);
+    let sum = m.new_local();
+    let i = m.new_local();
+    m.assign_to(sum, Rvalue::Use(Operand::Const(0)));
+    m.assign_to(i, Rvalue::Use(Operand::Const(0)));
+    let head = m.goto_new();
+    m.switch_to(head);
+    let c0 = m.assign_cmp(CmpOp::Lt, Operand::Local(i), Operand::Const(200));
+    let (body, done) = m.branch(Operand::Local(c0));
+    m.switch_to(body);
+    let v = m.call("classify", vec![Operand::Local(i)]);
+    m.assign_to(
+        sum,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(sum), Operand::Local(v)),
+    );
+    m.assign_to(
+        i,
+        Rvalue::BinOp(BinOp::Add, Operand::Local(i), Operand::Const(1)),
+    );
+    m.goto(head);
+    m.switch_to(done);
+    m.emit(Operand::Local(sum));
+    let masked = m.assign(Rvalue::BinOp(
+        BinOp::And,
+        Operand::Local(sum),
+        Operand::Const(0x7F),
+    ));
+    m.ret(Operand::Local(masked));
+    p.add_function(m.finish());
+    p.validate().unwrap();
+    p
+}
+
+fn profile_run(elf: &bolt_elf::Elf) -> (i64, Vec<i64>, Profile) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let mut sampler = LbrSampler::new(61, SampleTrigger::Instructions);
+    let r = m.run(&mut sampler, MAX_STEPS).expect("baseline runs");
+    let Exit::Exited(code) = r.exit else {
+        panic!("did not exit: {:?}", r.exit);
+    };
+    (code, m.output.clone(), sampler.profile)
+}
+
+fn plain_run(elf: &bolt_elf::Elf) -> (i64, Vec<i64>) {
+    let mut m = Machine::new();
+    m.load_elf(elf);
+    let r = m.run(&mut NullSink, MAX_STEPS).expect("bolted binary runs");
+    let Exit::Exited(code) = r.exit else {
+        panic!("did not exit: {:?}", r.exit);
+    };
+    (code, m.output.clone())
+}
+
+#[test]
+fn clean_run_reports_no_quarantine() {
+    let bin = compile_and_link(&program(), &CompileOptions::default()).unwrap();
+    let (_, _, profile) = profile_run(&bin.elf);
+    let bolted = optimize(&bin.elf, &profile, &BoltOptions::paper_default()).expect("bolts");
+    assert!(bolted.quarantine.is_clean());
+    assert_eq!(bolted.quarantine.rounds, 1, "no retries on a healthy run");
+    assert_eq!(bolted.quarantine.layout_only, 0);
+    assert_eq!(bolted.quarantine.quarantined, 0);
+    assert!(bolted.quarantine.disabled_passes.is_empty());
+}
+
+#[test]
+fn poison_ladder_runs_all_three_rungs_and_preserves_behavior() {
+    let bin = compile_and_link(&program(), &CompileOptions::default()).unwrap();
+    let (code0, out0, profile) = profile_run(&bin.elf);
+
+    let mut opts = BoltOptions::paper_default();
+    opts.poison_nth = Some(1);
+    let bolted = optimize(&bin.elf, &profile, &opts).expect("poisoned run still succeeds");
+
+    // The ladder: round 1 panics -> layout-only, round 2 panics again
+    // -> quarantined, round 3 is clean.
+    let q = &bolted.quarantine;
+    assert_eq!(q.rounds, 3, "two retries:\n{}", q.render());
+    assert_eq!(q.events.len(), 2, "{}", q.render());
+    let target = q.events[0].function.clone();
+    assert!(!target.is_empty());
+    assert_eq!(q.events[0].action, QuarantineAction::DemoteLayoutOnly);
+    assert_eq!(q.events[0].stage, "pass:poison");
+    assert_eq!(q.events[1].function, target);
+    assert_eq!(q.events[1].action, QuarantineAction::Quarantine);
+    assert_eq!((q.layout_only, q.quarantined), (0, 1));
+
+    // The quarantined function is excluded from the rewrite: its symbol
+    // did not move and its original bytes survive verbatim.
+    let sym_in = bin.elf.symbol(&target).expect("target in input");
+    let sym_out = bolted.elf.symbol(&target).expect("target in output");
+    assert_eq!(sym_in.value, sym_out.value, "not relocated");
+    let bytes_in = bin.elf.read_vaddr(sym_in.value, sym_in.size as usize);
+    let bytes_out = bolted.elf.read_vaddr(sym_in.value, sym_in.size as usize);
+    assert_eq!(bytes_in, bytes_out, "original bytes preserved");
+    let fi = bolted.ctx.by_name[&target];
+    assert_eq!(
+        bolted.ctx.functions[fi].non_simple_reason,
+        Some(bolt_ir::NonSimpleReason::Quarantined)
+    );
+
+    // Behavior is fully preserved.
+    let (code1, out1) = plain_run(&bolted.elf);
+    assert_eq!((code0, out0), (code1, out1));
+}
+
+/// Poisoning *any* simple function must never fail the run or change
+/// program behavior — the blast radius is always one function.
+#[test]
+fn poisoning_each_function_is_contained() {
+    let bin = compile_and_link(&program(), &CompileOptions::default()).unwrap();
+    let (code0, out0, profile) = profile_run(&bin.elf);
+    let n_simple = {
+        let prepared = bolt_opt::prepare(&bin.elf, &profile, &BoltOptions::paper_default());
+        prepared.simple_functions
+    };
+    assert!(n_simple >= 3, "program has several simple functions");
+    for nth in 0..n_simple {
+        let mut opts = BoltOptions::paper_default();
+        opts.poison_nth = Some(nth);
+        let bolted =
+            optimize(&bin.elf, &profile, &opts).unwrap_or_else(|e| panic!("poison_nth={nth}: {e}"));
+        assert_eq!(
+            bolted.quarantine.quarantined,
+            1,
+            "poison_nth={nth}: exactly the target is excluded\n{}",
+            bolted.quarantine.render()
+        );
+        let (code1, out1) = plain_run(&bolted.elf);
+        assert_eq!((code0, &out0), (code1, &out1), "poison_nth={nth}");
+    }
+}

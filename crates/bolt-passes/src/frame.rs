@@ -20,7 +20,7 @@ pub fn run_frame_opts(ctx: &mut BinaryContext) -> u64 {
 /// Removes stores to frame slots that are never read. Bails out if the
 /// frame address escapes (any `lea` of `rbp`/`rsp`).
 pub fn frame_opts_function(func: &mut BinaryFunction) -> u64 {
-    if !func.is_simple || func.folded_into.is_some() {
+    if !func.may_transform() || func.folded_into.is_some() {
         return 0;
     }
     // Escape check.
@@ -94,7 +94,7 @@ pub fn run_shrink_wrapping(ctx: &mut BinaryContext) -> u64 {
 /// frame being `rbp`-based so a transient push does not perturb slot
 /// addressing.
 pub fn shrink_wrap_function(func: &mut BinaryFunction) -> u64 {
-    if !func.is_simple || func.folded_into.is_some() {
+    if !func.may_transform() || func.folded_into.is_some() {
         return 0;
     }
     const REG: Reg = Reg::Rbx;

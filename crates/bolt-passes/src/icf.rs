@@ -118,7 +118,7 @@ pub fn run_icf(ctx: &mut BinaryContext) -> u64 {
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut bodies: HashMap<usize, Vec<u8>> = HashMap::new();
         for (i, f) in ctx.functions.iter().enumerate() {
-            if !f.is_simple || f.folded_into.is_some() || f.name == "_start" {
+            if !f.may_transform() || f.folded_into.is_some() || f.name == "_start" {
                 continue;
             }
             let Some(body) = normalize(ctx, f) else {

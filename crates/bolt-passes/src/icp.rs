@@ -18,7 +18,7 @@ pub fn run_icp(ctx: &mut BinaryContext, threshold: f64) -> u64 {
     // target function address).
     let mut plans: Vec<(usize, BlockId, usize, u64)> = Vec::new();
     for (fi, func) in ctx.functions.iter().enumerate() {
-        if !func.is_simple || func.folded_into.is_some() {
+        if !func.may_transform() || func.folded_into.is_some() {
             continue;
         }
         let facts = dataflow::solve(func, &dataflow::Liveness);

@@ -30,7 +30,7 @@ struct InlinableBody {
 /// own negative `rbp` slots and RIP-relative data.
 fn prepare_callee(ctx: &BinaryContext, fi: usize) -> Option<InlinableBody> {
     let func = &ctx.functions[fi];
-    if !func.is_simple || func.folded_into.is_some() || func.layout.len() != 1 {
+    if !func.may_transform() || func.folded_into.is_some() || func.layout.len() != 1 {
         return None;
     }
     let block = func.block(func.entry());
@@ -150,7 +150,7 @@ pub fn run_inline_small(ctx: &mut BinaryContext) -> u64 {
     // Plan: (caller, block, inst idx, callee).
     let mut plans: Vec<(usize, BlockId, usize, usize)> = Vec::new();
     for (fi, func) in ctx.functions.iter().enumerate() {
-        if !func.is_simple || func.folded_into.is_some() {
+        if !func.may_transform() || func.folded_into.is_some() {
             continue;
         }
         for &id in &func.layout {

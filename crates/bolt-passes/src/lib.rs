@@ -82,9 +82,12 @@ pub mod sctc;
 pub mod uce;
 
 pub use dyno::DynoStats;
-pub use function_pass::{resolve_threads, run_function_pass, FunctionPass};
+pub use function_pass::{
+    panic_message, resolve_threads, run_function_pass, run_function_pass_with, FunctionPass,
+    KernelRun,
+};
 pub use layout::{BlockLayout, SplitMode};
-pub use manager::{LintMode, ManagerConfig, Pass, PassManager};
+pub use manager::{LintMode, ManagerConfig, Pass, PassManager, PoisonPass};
 
 use bolt_ir::BinaryContext;
 use std::time::Duration;
@@ -267,6 +270,20 @@ impl PassReport {
     }
 }
 
+/// One caught pass failure: a per-function kernel panic (carrying the
+/// function name) or a whole-context pass panic (`function` is `None` —
+/// the context can no longer be trusted and the pipeline stops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassFailure {
+    /// Pass instance name, e.g. `"icf(2)"`.
+    pub pass: String,
+    /// The function whose kernel panicked; `None` for a whole-context
+    /// pass failure.
+    pub function: Option<String>,
+    /// The rendered panic payload.
+    pub detail: String,
+}
+
 /// The result of running the whole pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineResult {
@@ -277,12 +294,25 @@ pub struct PipelineResult {
     /// IR-lint findings collected when [`ManagerConfig::lint`] is not
     /// [`LintMode::Off`]; empty on a healthy pipeline.
     pub findings: Vec<bolt_verify::Finding>,
+    /// Pass panics caught by the manager's firewalls; empty on a
+    /// healthy pipeline. Kernel failures quarantine one function each;
+    /// a whole-context failure aborts the remaining pipeline (see
+    /// [`aborted_by`](Self::aborted_by)).
+    pub failures: Vec<PassFailure>,
 }
 
 impl PipelineResult {
     /// Total wall-clock time across all executed passes.
     pub fn total_duration(&self) -> Duration {
         self.reports.iter().map(|r| r.duration).sum()
+    }
+
+    /// The whole-context pass failure that aborted the pipeline early,
+    /// if any. After such a failure the context is untrusted: the
+    /// driver must discard it and retry with the pass disabled rather
+    /// than emit from it.
+    pub fn aborted_by(&self) -> Option<&PassFailure> {
+        self.failures.iter().find(|f| f.function.is_none())
     }
 }
 

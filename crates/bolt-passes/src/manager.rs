@@ -17,14 +17,15 @@
 //! distinguished in validation messages and timing output as e.g.
 //! `icf(2)`.
 
-use crate::function_pass::{resolve_threads, run_function_pass, FunctionPass};
+use crate::function_pass::{panic_message, resolve_threads, run_function_pass_with, FunctionPass};
 use crate::reorder_functions;
 use crate::{
     dyno, fixup, frame, icf, icp, inline_small, layout, peephole, plt, ro_loads, sctc, uce,
-    PassOptions, PassReport, PipelineResult,
+    PassFailure, PassOptions, PassReport, PipelineResult,
 };
 use bolt_ir::{BinaryContext, BinaryFunction};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One pipeline transformation.
@@ -63,7 +64,7 @@ pub trait Pass {
 
     /// Per-function pure passes expose their kernel here; the manager
     /// shards `ctx.functions` across worker threads via
-    /// [`run_function_pass`] when [`ManagerConfig::threads`] resolves to
+    /// [`crate::run_function_pass`] when [`ManagerConfig::threads`] resolves to
     /// more than one. Whole-context passes return `None` and always run
     /// through [`run`](Self::run).
     fn function_pass(&self) -> Option<&dyn FunctionPass> {
@@ -117,6 +118,18 @@ pub struct ManagerConfig {
     pub skip_unchanged: bool,
     /// Whether (and how often) to run the `bolt-verify` IR lint.
     pub lint: LintMode,
+    /// Pass names excluded this run regardless of [`PassOptions`]. Set
+    /// by the quarantine ladder: after a whole-context pass panics (the
+    /// context is untrusted and the pipeline aborts), the driver
+    /// discards the round and retries with the offender listed here.
+    pub disabled: Vec<String>,
+    /// Panic-firewall the pass kernels (`catch_unwind` around each
+    /// per-function kernel invocation and each whole-context pass). On
+    /// by default — this is what feeds the quarantine ladder. Off
+    /// exists solely so `bench-snapshot` can measure the firewall's
+    /// clean-run cost; with it off, a panicking pass unwinds through
+    /// the manager.
+    pub firewall: bool,
 }
 
 impl Default for ManagerConfig {
@@ -127,6 +140,8 @@ impl Default for ManagerConfig {
             threads: 0,
             skip_unchanged: false,
             lint: LintMode::Off,
+            disabled: Vec::new(),
+            firewall: true,
         }
     }
 }
@@ -230,8 +245,12 @@ impl PassManager {
         // the next pass's before-sweep (validation is read-only), so each
         // boundary is swept once and shared.
         let mut carried_dyno: Option<dyno::DynoStats> = None;
+        // Set when a whole-context pass panics: the context is untrusted,
+        // so the remaining passes (and the final lint, which indexes into
+        // possibly-inconsistent IR) are skipped.
+        let mut aborted = false;
         for pass in &mut self.passes {
-            if !pass.enabled(opts) {
+            if !pass.enabled(opts) || self.config.disabled.iter().any(|d| d == pass.name()) {
                 continue;
             }
             let name = pass.name();
@@ -271,9 +290,35 @@ impl PassManager {
             // Kernels always go through the sharder (which serializes
             // itself at n_threads <= 1), so a pass can never behave
             // differently between its run() wrapper and its kernel.
+            // Both paths are panic-firewalled: a kernel panic
+            // quarantines one function (inside `run_function_pass`); a
+            // whole-context panic aborts the rest of the pipeline,
+            // because there is no per-function boundary to contain it.
             let changes = match pass.function_pass() {
-                Some(kernel) => run_function_pass(kernel, ctx, n_threads),
-                None => pass.run(ctx),
+                Some(kernel) => {
+                    let run = run_function_pass_with(kernel, ctx, n_threads, self.config.firewall);
+                    for (function, detail) in run.failures {
+                        result.failures.push(PassFailure {
+                            pass: instance.clone(),
+                            function: Some(function),
+                            detail,
+                        });
+                    }
+                    run.changes
+                }
+                None if !self.config.firewall => pass.run(ctx),
+                None => match catch_unwind(AssertUnwindSafe(|| pass.run(ctx))) {
+                    Ok(n) => n,
+                    Err(payload) => {
+                        result.failures.push(PassFailure {
+                            pass: instance.clone(),
+                            function: None,
+                            detail: panic_message(payload.as_ref()),
+                        });
+                        aborted = true;
+                        0
+                    }
+                },
             };
             let duration = started.elapsed();
             let dyno_after = self
@@ -294,6 +339,9 @@ impl PassManager {
                 dyno_after,
                 skipped: false,
             });
+            if aborted {
+                break;
+            }
             if self.config.validate && pass.validate_after() {
                 validate_all(ctx, &instance);
             }
@@ -301,7 +349,7 @@ impl PassManager {
                 run_lint(ctx, &instance, &mut result);
             }
         }
-        if self.config.lint == LintMode::Final {
+        if self.config.lint == LintMode::Final && !aborted {
             run_lint(ctx, "pipeline", &mut result);
         }
         result
@@ -654,6 +702,47 @@ impl FunctionPass for ShrinkWrapping {
     }
 }
 
+/// Deterministic fault injection (`FaultPlan::PoisonPass`): a kernel
+/// that panics on one named function, exercising the per-function
+/// firewall end to end. Targeting by *name* (resolved from the Nth
+/// simple function by the driver) rather than a visit counter keeps it
+/// deterministic under sharding. Gated on `is_simple` only — NOT on
+/// [`may_transform`](BinaryFunction::may_transform) — so a function the
+/// ladder demoted to layout-only is poisoned *again* on the retry,
+/// driving it down the full `default -> layout-only -> quarantined`
+/// ladder; only full quarantine (which clears `is_simple`) stops it.
+pub struct PoisonPass {
+    pub target: String,
+}
+
+impl Pass for PoisonPass {
+    fn name(&self) -> &'static str {
+        "poison"
+    }
+    fn run(&mut self, ctx: &mut BinaryContext) -> u64 {
+        let mut n = 0;
+        for f in &mut ctx.functions {
+            n += <PoisonPass as FunctionPass>::run_on_function(self, f);
+        }
+        n
+    }
+    fn enabled(&self, _opts: &PassOptions) -> bool {
+        true
+    }
+    fn function_pass(&self) -> Option<&dyn FunctionPass> {
+        Some(self)
+    }
+}
+
+impl FunctionPass for PoisonPass {
+    fn run_on_function(&self, func: &mut BinaryFunction) -> u64 {
+        if func.is_simple && func.name == self.target {
+            panic!("poison-pass: injected fault on {}", func.name);
+        }
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -850,6 +939,105 @@ mod tests {
             "lint must flag the out-of-range layout entry"
         );
         assert!(result.findings[0].detail.contains("after corrupt"));
+    }
+
+    /// A whole-context pass panic is caught, recorded with
+    /// `function: None`, and aborts the remaining pipeline (the context
+    /// is untrusted after it).
+    #[test]
+    fn whole_context_panic_aborts_pipeline() {
+        struct Bomb;
+        impl Pass for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn run(&mut self, _ctx: &mut BinaryContext) -> u64 {
+                panic!("whole-context fault");
+            }
+            fn enabled(&self, _opts: &PassOptions) -> bool {
+                true
+            }
+        }
+        struct Never;
+        impl Pass for Never {
+            fn name(&self) -> &'static str {
+                "never"
+            }
+            fn run(&mut self, _ctx: &mut BinaryContext) -> u64 {
+                panic!("must not run after an abort");
+            }
+            fn enabled(&self, _opts: &PassOptions) -> bool {
+                true
+            }
+        }
+        let mut m = PassManager::new();
+        m.register(Box::new(Bomb)).register(Box::new(Never));
+        m.config.lint = LintMode::Final;
+        let mut ctx = BinaryContext::default();
+        let result = m.run(&mut ctx, &PassOptions::default());
+        assert_eq!(result.failures.len(), 1);
+        let failure = result.aborted_by().expect("abort recorded");
+        assert_eq!(failure.pass, "bomb");
+        assert_eq!(failure.function, None);
+        assert_eq!(failure.detail, "whole-context fault");
+        let names: Vec<&str> = result.reports.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["bomb"], "no later pass, no final lint sweep");
+    }
+
+    /// `ManagerConfig::disabled` excludes a pass by name even though
+    /// `enabled()` says yes — the ladder's retry-with-pass-disabled.
+    #[test]
+    fn disabled_list_excludes_pass_by_name() {
+        let opts = PassOptions::default();
+        let mut m = PassManager::standard(&opts);
+        m.config.disabled = vec!["icf".to_string()];
+        let mut ctx = BinaryContext::default();
+        let result = m.run(&mut ctx, &opts);
+        assert!(
+            result.reports.iter().all(|r| r.name != "icf"),
+            "both icf instances excluded"
+        );
+        assert!(result.failures.is_empty());
+    }
+
+    /// The poison pass panics on exactly its target and the kernel
+    /// firewall turns that into one quarantined function, at any
+    /// thread count.
+    #[test]
+    fn poison_pass_quarantines_target_only() {
+        use bolt_ir::BasicBlock;
+        use bolt_isa::Inst;
+        for threads in [1, 4] {
+            let mut ctx = BinaryContext::default();
+            for i in 0..12 {
+                let mut f =
+                    bolt_ir::BinaryFunction::new(format!("f{i}"), 0x1000 + 0x100 * i as u64);
+                let b = f.add_block(BasicBlock::new());
+                f.block_mut(b).push(Inst::Ret);
+                ctx.add_function(f);
+            }
+            let mut m = PassManager::new();
+            m.register(Box::new(PoisonPass {
+                target: "f5".to_string(),
+            }));
+            m.config.threads = threads;
+            let result = m.run(&mut ctx, &PassOptions::default());
+            assert_eq!(
+                result.failures,
+                vec![PassFailure {
+                    pass: "poison".to_string(),
+                    function: Some("f5".to_string()),
+                    detail: "poison-pass: injected fault on f5".to_string(),
+                }],
+                "threads={threads}"
+            );
+            assert!(!ctx.functions[5].is_simple);
+            assert_eq!(
+                ctx.functions.iter().filter(|f| f.is_simple).count(),
+                11,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub fn strip_rep_ret(ctx: &mut BinaryContext) -> u64 {
 
 /// Per-function `strip-rep-ret` kernel (pure: touches only `func`).
 pub fn strip_rep_ret_function(func: &mut BinaryFunction) -> u64 {
-    if !func.is_simple {
+    if !func.may_transform() {
         return 0;
     }
     let mut n = 0;
@@ -43,7 +43,7 @@ pub fn run_peepholes(ctx: &mut BinaryContext) -> u64 {
 
 /// Per-function peephole kernel (pure: touches only `func`).
 pub fn peepholes_function(func: &mut BinaryFunction) -> u64 {
-    if !func.is_simple {
+    if !func.may_transform() {
         return 0;
     }
     let mut n = 0;

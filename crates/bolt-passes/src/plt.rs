@@ -26,7 +26,7 @@ pub fn run_plt(ctx: &mut BinaryContext) -> u64 {
     };
 
     let mut n = 0;
-    for func in ctx.functions.iter_mut().filter(|f| f.is_simple) {
+    for func in ctx.functions.iter_mut().filter(|f| f.may_transform()) {
         for block in &mut func.blocks {
             for inst in &mut block.insts {
                 match &mut inst.inst {

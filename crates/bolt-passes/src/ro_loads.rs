@@ -12,7 +12,7 @@ pub fn run_simplify_ro_loads(ctx: &mut BinaryContext) -> u64 {
     // Collect rewrites per function to satisfy the borrow checker (we read
     // ctx.rodata while mutating functions).
     for fi in 0..ctx.functions.len() {
-        if !ctx.functions[fi].is_simple {
+        if !ctx.functions[fi].may_transform() {
             continue;
         }
         let mut rewrites = Vec::new();

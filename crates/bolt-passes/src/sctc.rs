@@ -15,7 +15,7 @@ pub fn run_sctc(ctx: &mut BinaryContext) -> u64 {
 
 /// Per-function SCTC kernel (pure: touches only `func`).
 pub fn sctc_function(func: &mut BinaryFunction) -> u64 {
-    if !func.is_simple || func.folded_into.is_some() {
+    if !func.may_transform() || func.folded_into.is_some() {
         return 0;
     }
     let mut n = 0;

@@ -1,0 +1,386 @@
+//! Seeded deterministic fault injection.
+//!
+//! A [`FaultPlan`] is one reproducible corruption — of the input ELF's
+//! raw bytes, of its loaded image, of the serialized profile text, or of
+//! the pass pipeline itself — identified by a [`FaultKind`] and a seed.
+//! Everything derives from an xorshift stream of the seed: no
+//! wall-clock, no global RNG, so a failing plan replays exactly from
+//! `(kind, seed)`.
+//!
+//! The harness contract for every plan, at every seed:
+//! - no panic escapes any layer (parser, driver, passes, emitter);
+//! - if the corrupted input still parses, the pipeline degrades
+//!   per-function (quarantine) instead of failing the run;
+//! - quarantined functions keep their original bytes verbatim.
+
+use bolt_elf::Elf;
+
+/// A deterministic xorshift64 stream — the only randomness source in
+/// fault injection.
+#[derive(Debug, Clone)]
+pub struct XorShift64(u64);
+
+impl XorShift64 {
+    pub fn new(seed: u64) -> XorShift64 {
+        // Zero is xorshift's fixed point; displace it.
+        XorShift64(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish index into `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Which layer a corruption targets — and therefore which harness
+/// contract applies to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSurface {
+    /// Raw ELF file bytes: the reader must return an error or a valid
+    /// image, never panic.
+    ElfBytes,
+    /// The loaded ELF image (text bytes): the driver must quarantine
+    /// affected functions and keep going.
+    Image,
+    /// Serialized profile text: the parser must error or produce a
+    /// usable profile, never panic; the pipeline must accept either.
+    Profile,
+    /// The pass pipeline: a kernel panic must be contained to one
+    /// function by the quarantine ladder.
+    Pipeline,
+}
+
+/// Every corruption kind the harness injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Truncate the ELF file at a seeded offset.
+    TruncateElf,
+    /// Flip one bit inside the 64-byte ELF header.
+    BitflipElfHeader,
+    /// Flip one bit inside the section-header table.
+    BitflipSectionTable,
+    /// Flip bits in the file's tail (string/symbol tables live there).
+    BitflipSymbolTable,
+    /// Overwrite a run of executable-section bytes with garbage.
+    GarbageTextBytes,
+    /// Flip one bit inside an executable section.
+    BitflipTextBytes,
+    /// Truncate the fdata profile text at a seeded offset.
+    TruncateProfile,
+    /// Mangle the tokens of one seeded profile line.
+    CorruptProfileFragment,
+    /// Register a pass whose kernel panics on the Nth simple function.
+    PoisonPass,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order (the CI sweep iterates this).
+    pub fn all() -> [FaultKind; 9] {
+        [
+            FaultKind::TruncateElf,
+            FaultKind::BitflipElfHeader,
+            FaultKind::BitflipSectionTable,
+            FaultKind::BitflipSymbolTable,
+            FaultKind::GarbageTextBytes,
+            FaultKind::BitflipTextBytes,
+            FaultKind::TruncateProfile,
+            FaultKind::CorruptProfileFragment,
+            FaultKind::PoisonPass,
+        ]
+    }
+
+    pub fn surface(self) -> FaultSurface {
+        match self {
+            FaultKind::TruncateElf
+            | FaultKind::BitflipElfHeader
+            | FaultKind::BitflipSectionTable
+            | FaultKind::BitflipSymbolTable => FaultSurface::ElfBytes,
+            FaultKind::GarbageTextBytes | FaultKind::BitflipTextBytes => FaultSurface::Image,
+            FaultKind::TruncateProfile | FaultKind::CorruptProfileFragment => FaultSurface::Profile,
+            FaultKind::PoisonPass => FaultSurface::Pipeline,
+        }
+    }
+
+    /// Stable report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TruncateElf => "truncate-elf",
+            FaultKind::BitflipElfHeader => "bitflip-elf-header",
+            FaultKind::BitflipSectionTable => "bitflip-section-table",
+            FaultKind::BitflipSymbolTable => "bitflip-symbol-table",
+            FaultKind::GarbageTextBytes => "garbage-text-bytes",
+            FaultKind::BitflipTextBytes => "bitflip-text-bytes",
+            FaultKind::TruncateProfile => "truncate-profile",
+            FaultKind::CorruptProfileFragment => "corrupt-profile-fragment",
+            FaultKind::PoisonPass => "poison-pass",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One reproducible corruption: a kind plus the seed its parameters
+/// derive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub kind: FaultKind,
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    pub fn new(kind: FaultKind, seed: u64) -> FaultPlan {
+        FaultPlan { kind, seed }
+    }
+
+    /// One plan of every kind at `seed` (the CI sweep's unit of work).
+    pub fn sweep(seed: u64) -> Vec<FaultPlan> {
+        FaultKind::all()
+            .into_iter()
+            .map(|kind| FaultPlan { kind, seed })
+            .collect()
+    }
+
+    fn rng(&self) -> XorShift64 {
+        // Mix the kind in so sibling plans at one seed diverge.
+        XorShift64::new(
+            self.seed
+                .wrapping_mul(31)
+                .wrapping_add(self.kind as u64 + 1),
+        )
+    }
+
+    /// Applies a raw-byte corruption ([`FaultSurface::ElfBytes`]).
+    /// Returns `false` when this plan does not target raw bytes or the
+    /// buffer is too small to corrupt.
+    pub fn apply_elf_bytes(&self, bytes: &mut Vec<u8>) -> bool {
+        let mut rng = self.rng();
+        match self.kind {
+            FaultKind::TruncateElf => {
+                if bytes.is_empty() {
+                    return false;
+                }
+                let keep = rng.below(bytes.len());
+                bytes.truncate(keep);
+                true
+            }
+            FaultKind::BitflipElfHeader => {
+                if bytes.is_empty() {
+                    return false;
+                }
+                let span = bytes.len().min(64);
+                let at = rng.below(span);
+                bytes[at] ^= 1 << rng.below(8);
+                true
+            }
+            FaultKind::BitflipSectionTable => {
+                // e_shoff lives at offset 40; fall back to the header
+                // when the file is too short to carry it.
+                if bytes.len() < 48 {
+                    return self.fallback_flip(bytes);
+                }
+                let shoff = u64::from_le_bytes(bytes[40..48].try_into().expect("8 bytes")) as usize;
+                if shoff >= bytes.len() {
+                    return self.fallback_flip(bytes);
+                }
+                let region = bytes.len() - shoff;
+                let at = shoff + rng.below(region);
+                bytes[at] ^= 1 << rng.below(8);
+                true
+            }
+            FaultKind::BitflipSymbolTable => {
+                // String and symbol tables sit in the file's tail; flip
+                // a few bits there.
+                if bytes.is_empty() {
+                    return false;
+                }
+                let start = bytes.len() - bytes.len() / 4 - 1;
+                for _ in 0..3 {
+                    let at = start + rng.below(bytes.len() - start);
+                    bytes[at] ^= 1 << rng.below(8);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn fallback_flip(&self, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let mut rng = self.rng();
+        let at = rng.below(bytes.len());
+        bytes[at] ^= 1 << rng.below(8);
+        true
+    }
+
+    /// Applies a loaded-image corruption ([`FaultSurface::Image`]).
+    /// Returns `false` when this plan does not target the image or the
+    /// image has no executable bytes.
+    pub fn apply_image(&self, elf: &mut Elf) -> bool {
+        let mut rng = self.rng();
+        let exec: Vec<usize> = (0..elf.sections.len())
+            .filter(|&i| elf.sections[i].is_exec() && !elf.sections[i].data.is_empty())
+            .collect();
+        if exec.is_empty() {
+            return false;
+        }
+        let sec = &mut elf.sections[exec[rng.below(exec.len())]];
+        match self.kind {
+            FaultKind::GarbageTextBytes => {
+                let at = rng.below(sec.data.len());
+                let run = (rng.below(16) + 1).min(sec.data.len() - at);
+                for b in &mut sec.data[at..at + run] {
+                    *b = rng.next_u64() as u8;
+                }
+                true
+            }
+            FaultKind::BitflipTextBytes => {
+                let at = rng.below(sec.data.len());
+                sec.data[at] ^= 1 << rng.below(8);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies a profile-text corruption ([`FaultSurface::Profile`]).
+    /// Returns `false` when this plan does not target the profile or
+    /// the text is empty.
+    pub fn apply_profile(&self, text: &mut String) -> bool {
+        let mut rng = self.rng();
+        match self.kind {
+            FaultKind::TruncateProfile => {
+                if text.is_empty() {
+                    return false;
+                }
+                let keep = rng.below(text.len());
+                text.truncate(keep); // fdata text is ASCII
+                true
+            }
+            FaultKind::CorruptProfileFragment => {
+                let lines: Vec<&str> = text.lines().collect();
+                if lines.is_empty() {
+                    return false;
+                }
+                let victim = rng.below(lines.len());
+                let mut out = String::with_capacity(text.len());
+                for (i, line) in lines.iter().enumerate() {
+                    if i == victim {
+                        // Mangle a seeded token into non-hex garbage.
+                        let toks: Vec<&str> = line.split_whitespace().collect();
+                        if toks.is_empty() {
+                            out.push_str("zz zz");
+                        } else {
+                            let bad = rng.below(toks.len());
+                            for (k, t) in toks.iter().enumerate() {
+                                if k > 0 {
+                                    out.push(' ');
+                                }
+                                out.push_str(if k == bad { "zzzz" } else { t });
+                            }
+                        }
+                    } else {
+                        out.push_str(line);
+                    }
+                    out.push('\n');
+                }
+                *text = out;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// For [`FaultKind::PoisonPass`]: which simple function (0-based)
+    /// the poisoned kernel should panic on.
+    pub fn poison_nth(&self) -> Option<usize> {
+        (self.kind == FaultKind::PoisonPass).then(|| self.rng().below(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        for plan in FaultPlan::sweep(42) {
+            let mut a = vec![7u8; 256];
+            let mut b = vec![7u8; 256];
+            let ra = plan.apply_elf_bytes(&mut a);
+            let rb = plan.apply_elf_bytes(&mut b);
+            assert_eq!((ra, &a), (rb, &b), "{plan:?}");
+            let mut s1 = String::from("1 a 2 b 10\n1 c 2 d 20\n");
+            let mut s2 = s1.clone();
+            assert_eq!(
+                (plan.apply_profile(&mut s1), &s1),
+                (plan.apply_profile(&mut s2), &s2),
+                "{plan:?}"
+            );
+            assert_eq!(plan.poison_nth(), plan.poison_nth(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_kind_once() {
+        let plans = FaultPlan::sweep(7);
+        assert_eq!(plans.len(), FaultKind::all().len());
+        assert!(plans.len() >= 8, "the harness contract wants >= 8 kinds");
+        for (plan, kind) in plans.iter().zip(FaultKind::all()) {
+            assert_eq!(plan.kind, kind);
+        }
+    }
+
+    #[test]
+    fn every_surface_is_exercised() {
+        use FaultSurface::*;
+        let surfaces: Vec<FaultSurface> =
+            FaultKind::all().into_iter().map(|k| k.surface()).collect();
+        for s in [ElfBytes, Image, Profile, Pipeline] {
+            assert!(surfaces.contains(&s), "{s:?} missing");
+        }
+    }
+
+    #[test]
+    fn corruptions_actually_corrupt() {
+        // Each byte-level plan must change its target, not no-op.
+        let pristine = vec![0xABu8; 512];
+        for plan in FaultPlan::sweep(3) {
+            if plan.kind.surface() == FaultSurface::ElfBytes {
+                let mut bytes = pristine.clone();
+                assert!(plan.apply_elf_bytes(&mut bytes), "{plan:?} applies");
+                assert_ne!(bytes, pristine, "{plan:?} changed the buffer");
+            }
+        }
+        let pristine = "0 aa 1 bb 10\n0 cc 1 dd 20\n".to_string();
+        for plan in FaultPlan::sweep(3) {
+            if plan.kind.surface() == FaultSurface::Profile {
+                let mut text = pristine.clone();
+                assert!(plan.apply_profile(&mut text), "{plan:?} applies");
+                assert_ne!(text, pristine, "{plan:?} changed the text");
+            }
+        }
+    }
+}

@@ -25,12 +25,19 @@
 //! rewrites (retargeted branches, swapped blocks, truncated functions,
 //! corrupted jump tables, …) so tests can prove the verifier actually
 //! catches each defect class instead of merely accepting good binaries.
+//! The [`inject`] module is the dual for *inputs*: seeded deterministic
+//! corruption plans ([`FaultPlan`]) over raw ELF bytes, loaded images,
+//! profile text, and the pass pipeline, driving the fault-injection
+//! harness that proves the whole stack degrades gracefully instead of
+//! panicking.
 
+pub mod inject;
 pub mod lint;
 pub mod mutate;
 pub mod rewrite;
 pub mod transval;
 
+pub use inject::{FaultKind, FaultPlan, FaultSurface, XorShift64};
 pub use lint::{lint_context, lint_function};
 pub use mutate::{apply_mutation, apply_sem_mutation, Mutation, SemMutation};
 pub use rewrite::{edge_sets, verify_rewrite};

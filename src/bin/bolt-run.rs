@@ -210,8 +210,10 @@ fn main() -> ExitCode {
     let elf = match read_elf(&bytes) {
         Ok(e) => e,
         Err(e) => {
+            // Malformed input is a usage-class failure (exit 2), distinct
+            // from a failed execution of a well-formed binary (exit 1).
             eprintln!("bolt-run: {input}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
 
@@ -275,6 +277,14 @@ fn main() -> ExitCode {
             total.merge(&m.counters());
         }
         total_steps += r.result.steps;
+        // A shard that never reached the exit syscall gets its own
+        // diagnostic line — the batch still reports the other shards.
+        if !matches!(r.result.exit, Exit::Exited(_)) {
+            eprintln!(
+                "bolt-run: shard {}/{} did not exit: {:?} after {} steps (budget {})",
+                r.shard, plan.shards, r.result.exit, r.result.steps, plan.max_steps
+            );
+        }
         // The batch fails if any shard does: the first non-clean exit
         // (by shard index) decides the process status.
         if worst_exit == Exit::Exited(0) && r.result.exit != Exit::Exited(0) {

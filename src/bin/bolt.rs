@@ -61,7 +61,13 @@ fn usage() -> ! {
            \x20   any finding fails the run)\n\
            -verify-json\n\
            \x20   (emit every verifier finding — rewrite, lint, semantic —\n\
-           \x20   as one JSON object per line on stdout)\n\
+           \x20   and every quarantine event as one JSON object per line on\n\
+           \x20   stdout)\n\
+           -poison-pass=N\n\
+           \x20   (fault-injection: register a pass whose kernel panics on\n\
+           \x20   the Nth simple function, exercising the quarantine ladder\n\
+           \x20   default -> layout-only -> quarantined; the run must still\n\
+           \x20   succeed with exactly that function excluded)\n\
            -dyno-stats\n\
            -time-passes\n\
            -report-bad-layout\n\
@@ -147,6 +153,12 @@ fn main() -> ExitCode {
                     Err(_) => usage(),
                 };
             }
+            s if s.starts_with("-poison-pass=") => {
+                opts.poison_nth = match s["-poison-pass=".len()..].parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => usage(),
+                };
+            }
             s if s.starts_with("-engine=") => {
                 opts.engine = match s["-engine=".len()..].parse::<bolt::emu::Engine>() {
                     Ok(e) => Some(e),
@@ -194,8 +206,10 @@ fn main() -> ExitCode {
     let elf = match read_elf(&bytes) {
         Ok(e) => e,
         Err(e) => {
+            // Malformed input is a usage-class failure (exit 2), distinct
+            // from a pipeline failure on well-formed input (exit 1).
             eprintln!("bolt: {input}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let profile = match &fdata {
@@ -211,7 +225,7 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("bolt: {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
             }
         }
@@ -242,6 +256,23 @@ fn main() -> ExitCode {
     }
     if opts.time_passes {
         eprint!("{}", timing_report(&out.pipeline));
+    }
+    // Degraded runs always report what was demoted or quarantined;
+    // -time-passes additionally confirms a clean run.
+    if !out.quarantine.is_clean() || opts.time_passes {
+        eprint!("{}", out.quarantine.render());
+    }
+    if verify_json {
+        for ev in &out.quarantine.events {
+            println!(
+                "{{\"quarantine\":true,\"function\":\"{}\",\"stage\":\"{}\",\
+                 \"action\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&ev.function),
+                json_escape(&ev.stage),
+                ev.action.as_str(),
+                json_escape(&ev.detail)
+            );
+        }
     }
     if let Some(report) = &out.bad_layout {
         println!("{report}");

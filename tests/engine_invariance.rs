@@ -461,9 +461,13 @@ fn max_steps_budget_lands_identically_inside_superblocks() {
 /// The `--validate-semantics` leg: with symbolic translation validation
 /// enabled, every block the translation engines pack — across all four
 /// workloads — must be *proven* semantically equivalent to the step
-/// semantics of a fresh decode at translate time. A disagreement panics
-/// inside `translate`, so simply completing the runs (with output still
-/// matching the step engine) is the acceptance property.
+/// semantics of a fresh decode at translate time. A disagreement no
+/// longer aborts the run: the block degrades to a lower execution tier
+/// (decoded entries, then per-instruction stepping) and the run keeps
+/// its observables. The acceptance property is therefore twofold: the
+/// runs complete with output matching the step engine, *and* the tier
+/// counters show zero degraded blocks — every translation proved clean
+/// at full tier.
 ///
 /// The knob is process-global and sticky-on by design; other tests in
 /// this binary may also translate under validation afterwards, which is
@@ -494,7 +498,14 @@ fn all_workloads_translate_clean_under_semantic_validation() {
             let r = m
                 .run_engine(&mut NullSink, u64::MAX, engine)
                 .expect("runs (every translated block proved equivalent)");
+            let tiers = m.tier_counts();
             assert_eq!((r.exit, m.output), reference, "{what}/{engine}");
+            assert_eq!(
+                tiers.degraded(),
+                0,
+                "{what}/{engine}: clean translations never degrade ({tiers:?})"
+            );
+            assert!(tiers.full > 0, "{what}/{engine}: blocks were translated");
         }
     }
 }
