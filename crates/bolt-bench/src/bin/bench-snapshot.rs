@@ -21,11 +21,13 @@
 
 use bolt_bench::{build, profile_lbr, straightline_elf};
 use bolt_compiler::CompileOptions;
-use bolt_elf::{write_elf, Elf};
-use bolt_emu::{Engine, Exit, Machine, NullSink};
+use bolt_elf::{read_elf, write_elf, Elf};
+use bolt_emu::{
+    run_batch, run_supervised, Engine, Exit, Machine, NullSink, ShardPlan, SupervisePlan,
+};
 use bolt_opt::{optimize, prepare, rewrite_binary, BoltOptions};
 use bolt_passes::PassManager;
-use bolt_sim::{CpuModel, SimConfig};
+use bolt_sim::{Counters, CpuModel, SimConfig};
 use bolt_workloads::{Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -72,21 +74,49 @@ fn run_leg(elf: &Elf, engine: Engine, reps: usize) -> Leg {
     }
 }
 
+/// Hidden worker mode for the `supervise` section's process arm: run
+/// the ELF at `elf_path` once under the CPU model and write the
+/// counters as a durable artifact. This is the whole per-shard job, so
+/// the A/B below prices exactly the supervision machinery (spawn, ELF
+/// reload, artifact write + validate, poll loop).
+fn supervise_worker(elf_path: &str, artifact_out: &str) -> ! {
+    let bytes = std::fs::read(elf_path).expect("worker reads the elf");
+    let elf = read_elf(&bytes).expect("worker parses the elf");
+    let mut m = Machine::new();
+    m.load_elf(&elf);
+    let mut model = CpuModel::new(SimConfig::small());
+    let r = m.run(&mut model, u64::MAX).expect("worker runs");
+    assert!(matches!(r.exit, Exit::Exited(_)), "workload exits");
+    bolt_emu::artifact::write_atomic(
+        std::path::Path::new(artifact_out),
+        &model.counters().to_artifact(),
+    )
+    .expect("worker writes its artifact");
+    std::process::exit(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out = String::from("BENCH_emu.json");
+    let mut worker_elf = None;
+    let mut worker_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = it.next().expect("--out takes a path").clone(),
+            "--supervise-worker" => worker_elf = it.next().cloned(),
+            "--artifact-out" => worker_out = it.next().cloned(),
             other => {
                 eprintln!("bench-snapshot: unknown argument {other:?}");
                 eprintln!("usage: bench-snapshot [--smoke] [--out PATH]");
                 std::process::exit(2);
             }
         }
+    }
+    if let (Some(elf), Some(art)) = (&worker_elf, &worker_out) {
+        supervise_worker(elf, art);
     }
     let (reps, straight_iters) = if smoke { (1, 200) } else { (5, 100_000) };
 
@@ -346,6 +376,102 @@ fn main() {
              \"overhead_pct\": {pct:.2} }}{}",
             if qi + 1 < quarantine_targets.len() { "," } else { "" }
         );
+    }
+    let _ = writeln!(json, "  }},");
+
+    // Supervision overhead: the same sharded measurement run as a
+    // thread batch in this process (arm A) and as supervised worker
+    // *processes* writing durable artifacts (arm B, via the hidden
+    // `--supervise-worker` mode of this binary). The summed counters
+    // must be identical — the A/B prices process isolation (spawn, ELF
+    // reload, artifact write/validate/read, poll loop), not a different
+    // computation.
+    let _ = writeln!(json, "  \"supervise\": {{");
+    {
+        let tao = &workloads
+            .iter()
+            .find(|(n, _)| *n == "tao")
+            .expect("workload built above")
+            .1;
+        let (sv_shards, sv_workers) = if smoke { (2usize, 2usize) } else { (8, 4) };
+        let sv_reps = reps.min(3);
+        let tmp = std::env::temp_dir().join(format!("bench-snapshot-sv-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).expect("scratch dir");
+        let elf_path = tmp.join("tao.elf");
+        std::fs::write(&elf_path, write_elf(tao).expect("serializes")).expect("elf on disk");
+
+        let plan = ShardPlan::new(sv_shards).with_threads(sv_workers);
+        let mut in_ms = f64::INFINITY;
+        let mut in_counters = Counters::default();
+        for _ in 0..sv_reps {
+            let t = Instant::now();
+            let runs = run_batch(tao, &plan, |_| CpuModel::new(SimConfig::small()), |_, _| {})
+                .expect("thread batch runs");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            let total: Counters = runs.iter().map(|r| r.sink.counters()).sum();
+            if ms < in_ms {
+                in_ms = ms;
+                in_counters = total;
+            }
+        }
+
+        let exe = std::env::current_exe().expect("own path");
+        let mut sup_ms = f64::INFINITY;
+        let mut sup_counters = Counters::default();
+        for _ in 0..sv_reps {
+            // A fresh state dir per rep: resume would make later reps
+            // free and the overhead measurement vacuous.
+            let state = tmp.join("state");
+            let _ = std::fs::remove_dir_all(&state);
+            let mut plan = SupervisePlan::new(sv_shards, state, "bench-snapshot supervise".into());
+            plan.procs = sv_workers;
+            let t = Instant::now();
+            let outcome = run_supervised(&plan, |_, _, path| {
+                let mut c = std::process::Command::new(&exe);
+                c.arg("--supervise-worker")
+                    .arg(&elf_path)
+                    .arg("--artifact-out")
+                    .arg(path);
+                c
+            })
+            .expect("supervised batch runs");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                outcome.report.is_clean() && outcome.report.completed == sv_shards,
+                "clean supervised run:\n{}",
+                outcome.report.render()
+            );
+            let total = outcome
+                .artifacts
+                .iter()
+                .map(|p| {
+                    let bytes = std::fs::read(p.as_ref().expect("completed")).expect("artifact");
+                    Counters::from_artifact(&bytes).expect("validated artifact decodes")
+                })
+                .sum();
+            if ms < sup_ms {
+                sup_ms = ms;
+                sup_counters = total;
+            }
+        }
+        assert_eq!(
+            in_counters, sup_counters,
+            "thread and process arms must sum identical counters"
+        );
+        let pct = 100.0 * (sup_ms - in_ms) / in_ms.max(f64::MIN_POSITIVE);
+        let per_shard_ms = (sup_ms - in_ms) / sv_shards as f64;
+        println!(
+            "  {:<12} supervise {sup_ms:>9.3} ms ({sv_shards} procs x {sv_workers}) \
+             vs {in_ms:>9.3} ms in-process ({pct:+.1}%, {per_shard_ms:+.3} ms/shard)",
+            "tao"
+        );
+        let _ = writeln!(
+            json,
+            "    \"tao\": {{ \"shards\": {sv_shards}, \"workers\": {sv_workers}, \
+             \"in_process_ms\": {in_ms:.3}, \"supervised_ms\": {sup_ms:.3}, \
+             \"overhead_pct\": {pct:.2}, \"per_shard_overhead_ms\": {per_shard_ms:.3} }}"
+        );
+        let _ = std::fs::remove_dir_all(&tmp);
     }
     let _ = writeln!(json, "  }},");
 

@@ -19,8 +19,16 @@ use bolt_passes::resolve_threads;
 use bolt_profile::{IpSampler, LbrSampler, Profile, ProfileMode, SampleTrigger};
 use bolt_sim::{Counters, CpuModel, SimConfig};
 
-/// Default emulation budget per run.
+/// Default emulation budget per run (overridable at runtime: the
+/// `BOLT_MAX_STEPS` environment knob, resolved through
+/// [`bolt_emu::resolve_max_steps`] by [`budget`]).
 pub const MAX_STEPS: u64 = 2_000_000_000;
+
+/// The effective step budget: `BOLT_MAX_STEPS` when set, else
+/// [`MAX_STEPS`].
+pub fn budget() -> u64 {
+    bolt_emu::resolve_max_steps(None, MAX_STEPS)
+}
 /// Default LBR sampling period (instructions per sample).
 pub const SAMPLE_PERIOD: u64 = 997;
 
@@ -71,8 +79,8 @@ impl std::fmt::Display for HarnessError {
             } => write!(
                 f,
                 "shard {shard}/{shards} did not exit: {exit:?} after {steps} steps \
-                 (budget {budget}, entry {entry:#x}); raise the step budget or use \
-                 more, smaller shards"
+                 (budget {budget}, entry {entry:#x}); raise the step budget \
+                 (BOLT_MAX_STEPS env or --max-steps) or use more, smaller shards"
             ),
             HarnessError::Emu(e) => write!(f, "emulation failed: {e:?}"),
         }
@@ -124,14 +132,15 @@ pub fn try_run_with<S: TraceSink + ?Sized>(
 ) -> Result<(i64, Vec<i64>, u64), HarnessError> {
     let mut m = Machine::new();
     m.load_elf(elf);
-    let r = m.run(sink, MAX_STEPS)?;
+    let budget = budget();
+    let r = m.run(sink, budget)?;
     let Exit::Exited(code) = r.exit else {
         return Err(HarnessError::DidNotExit {
             shard: 0,
             shards: 1,
             exit: r.exit,
             steps: r.steps,
-            budget: MAX_STEPS,
+            budget,
             entry: elf.entry,
         });
     };
@@ -145,7 +154,7 @@ pub fn try_run_with<S: TraceSink + ?Sized>(
 pub fn shard_plan(shards: usize, threads: usize) -> ShardPlan {
     ShardPlan::new(bolt_emu::resolve_shards(shards))
         .with_threads(resolve_threads(threads))
-        .with_max_steps(MAX_STEPS)
+        .with_max_steps(budget())
 }
 
 /// The measurement [`ShardPlan`] a [`BoltOptions`] describes — the

@@ -1,0 +1,389 @@
+//! Durable on-disk artifact framing: the container format every
+//! crash-safe interchange file in the project uses (per-shard profiles,
+//! counters, combined shard-run records).
+//!
+//! Process-level sharding only works if a reducer can trust what it
+//! reads back from disk: a worker may be OOM-killed mid-write, a disk
+//! may tear a page, an operator may point the supervisor at a stale
+//! directory. The framing makes every such failure *detectable* —
+//! nothing that fails [`validate`] is ever merged — and the atomic
+//! write protocol ([`write_atomic`]) makes the common cases
+//! *impossible*: a file at the final path is either absent or was
+//! completely written, because the bytes land under a temporary name
+//! and only reach the real name via `rename(2)`.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "BLTA"
+//!      4     2  format version
+//!      6     2  artifact kind (what the payload encodes)
+//!      8     8  payload length
+//!     16     4  CRC32 (IEEE) over bytes 4..16 and the payload
+//!     20     n  payload
+//! ```
+//!
+//! The CRC covers the version, kind, and length fields as well as the
+//! payload, so a single bit flip *anywhere* after the magic is caught
+//! (CRC32 detects all single-bit and all burst-<=32 errors); magic
+//! flips are caught by the magic check itself. The file must end
+//! exactly at `20 + len` — trailing garbage is rejected, so a torn
+//! append can't smuggle bytes past the checksum.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// File magic: "BLTA" (BoLT Artifact).
+pub const MAGIC: [u8; 4] = *b"BLTA";
+/// Current format version. Decoders reject any other value.
+pub const FORMAT_VERSION: u16 = 1;
+/// Framed header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Registry of artifact kinds, so independent encoders can never
+/// collide on a kind id.
+pub const KIND_PROFILE: u16 = 1;
+pub const KIND_COUNTERS: u16 = 2;
+pub const KIND_SHARD_RUN: u16 = 3;
+
+/// Everything that can be wrong with an artifact's bytes. Every
+/// variant is a *rejection*: the reducer treats the artifact as absent
+/// and the shard as incomplete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Shorter than the fixed header.
+    TooShort { len: usize },
+    /// First four bytes are not [`MAGIC`].
+    BadMagic,
+    /// Format version this decoder does not understand.
+    BadVersion { found: u16 },
+    /// The artifact is valid but encodes a different kind of payload.
+    WrongKind { found: u16, expected: u16 },
+    /// Header length disagrees with the actual byte count (truncated
+    /// or extended file).
+    LengthMismatch { header: u64, actual: u64 },
+    /// Checksum failure: the bytes were altered after encoding.
+    CrcMismatch { stored: u32, computed: u32 },
+    /// The framed payload itself failed to decode.
+    Malformed(&'static str),
+    /// The file could not be read at all.
+    Io(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::TooShort { len } => {
+                write!(
+                    f,
+                    "artifact too short ({len} bytes, header is {HEADER_LEN})"
+                )
+            }
+            ArtifactError::BadMagic => write!(f, "bad artifact magic (want \"BLTA\")"),
+            ArtifactError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported artifact version {found} (want {FORMAT_VERSION})"
+                )
+            }
+            ArtifactError::WrongKind { found, expected } => {
+                write!(f, "artifact kind {found}, expected {expected}")
+            }
+            ArtifactError::LengthMismatch { header, actual } => {
+                write!(
+                    f,
+                    "artifact length mismatch: header says {header}, file has {actual}"
+                )
+            }
+            ArtifactError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "artifact CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ArtifactError::Malformed(what) => write!(f, "malformed artifact payload: {what}"),
+            ArtifactError::Io(e) => write!(f, "artifact io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// CRC32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
+/// `zlib`/`cksum -o3` polynomial. Bitwise implementation: artifacts
+/// are small and written once per shard, so table generation isn't
+/// worth the cache footprint.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC over the checksummed span of a frame: header bytes 4..16
+/// (version, kind, length) followed by the payload.
+fn frame_crc(version: u16, kind: u16, payload: &[u8]) -> u32 {
+    let mut span = Vec::with_capacity(12 + payload.len());
+    span.extend_from_slice(&version.to_le_bytes());
+    span.extend_from_slice(&kind.to_le_bytes());
+    span.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    span.extend_from_slice(payload);
+    crc32(&span)
+}
+
+/// Frames `payload` as a kind-`kind` artifact.
+pub fn frame(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&frame_crc(FORMAT_VERSION, kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates magic, version, length, and CRC; returns the artifact
+/// kind. This is the supervisor's completeness check — it needs to
+/// know an artifact is whole without understanding its payload.
+pub fn validate(bytes: &[u8]) -> Result<u16, ArtifactError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ArtifactError::TooShort { len: bytes.len() });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::BadVersion { found: version });
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let actual = (bytes.len() - HEADER_LEN) as u64;
+    if len != actual {
+        return Err(ArtifactError::LengthMismatch {
+            header: len,
+            actual,
+        });
+    }
+    let stored = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let computed = frame_crc(version, kind, &bytes[HEADER_LEN..]);
+    if stored != computed {
+        return Err(ArtifactError::CrcMismatch { stored, computed });
+    }
+    Ok(kind)
+}
+
+/// [`validate`], then checks the kind and returns the payload slice.
+pub fn unframe(bytes: &[u8], expected: u16) -> Result<&[u8], ArtifactError> {
+    let found = validate(bytes)?;
+    if found != expected {
+        return Err(ArtifactError::WrongKind { found, expected });
+    }
+    Ok(&bytes[HEADER_LEN..])
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in a
+/// same-directory temporary file, are flushed and fsynced, and only
+/// then renamed over the final path. A reader (or a resumed
+/// supervisor) can therefore never observe a half-written artifact at
+/// `path` — the worst a crash leaves behind is a stale `.tmp.*` file,
+/// which the supervisor sweeps on startup.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The temporary sibling `write_atomic` stages into. Includes the pid
+/// so two processes racing on one shard (a retried worker overlapping
+/// a hung one) never clobber each other's staging file.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    path.with_file_name(format!("{name}.tmp.{}", std::process::id()))
+}
+
+/// Reads and unframes a kind-`expected` artifact file.
+pub fn read_payload(path: &Path, expected: u16) -> Result<Vec<u8>, ArtifactError> {
+    let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+    let payload = unframe(&bytes, expected)?;
+    Ok(payload.to_vec())
+}
+
+/// Reads and validates an artifact file without interpreting it;
+/// returns its kind.
+pub fn validate_file(path: &Path) -> Result<u16, ArtifactError> {
+    let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+    validate(&bytes)
+}
+
+/// A little-endian payload cursor for artifact decoders. Every read
+/// is bounds-checked; [`ByteReader::finish`] enforces that the payload
+/// was consumed exactly, so a short or padded payload can't decode to
+/// a plausible-looking value.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ArtifactError::Malformed(what))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, ArtifactError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.bytes(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, ArtifactError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    /// A length prefix used to size an upcoming vector: bounds it by
+    /// the bytes actually remaining so a corrupt count can't trigger a
+    /// huge allocation before the per-element reads fail.
+    pub fn count(&mut self, elem_size: usize, what: &'static str) -> Result<usize, ArtifactError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(elem_size.max(1)) > self.buf.len() - self.pos {
+            return Err(ArtifactError::Malformed(what));
+        }
+        Ok(n)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self, what: &'static str) -> Result<(), ArtifactError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ArtifactError::Malformed(what))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"hello artifact".to_vec();
+        let framed = frame(KIND_PROFILE, &payload);
+        assert_eq!(validate(&framed), Ok(KIND_PROFILE));
+        assert_eq!(unframe(&framed, KIND_PROFILE).unwrap(), &payload[..]);
+        assert_eq!(
+            unframe(&framed, KIND_COUNTERS),
+            Err(ArtifactError::WrongKind {
+                found: KIND_PROFILE,
+                expected: KIND_COUNTERS
+            })
+        );
+    }
+
+    #[test]
+    fn empty_payload_frames() {
+        let framed = frame(KIND_COUNTERS, &[]);
+        assert_eq!(framed.len(), HEADER_LEN);
+        assert_eq!(unframe(&framed, KIND_COUNTERS).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let framed = frame(KIND_SHARD_RUN, b"payload bytes under test");
+        for i in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    validate(&bad).is_err(),
+                    "flip byte {i} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_and_extension_is_rejected() {
+        let framed = frame(KIND_PROFILE, b"0123456789abcdef");
+        for keep in 0..framed.len() {
+            assert!(validate(&framed[..keep]).is_err(), "prefix {keep}");
+        }
+        let mut extended = framed.clone();
+        extended.push(0);
+        assert!(matches!(
+            validate(&extended),
+            Err(ArtifactError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("bolt-artifact-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.bolta");
+        let framed = frame(KIND_PROFILE, b"data");
+        write_atomic(&path, &framed).unwrap();
+        assert_eq!(read_payload(&path, KIND_PROFILE).unwrap(), b"data");
+        assert!(!tmp_path(&path).exists(), "tmp staging file renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overruns_and_slack() {
+        let buf = [1u8, 0, 0, 0, 0, 0, 0, 0];
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u64("v").unwrap(), 1);
+        assert!(r.u8("past end").is_err());
+        // Slack: payload not fully consumed.
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32("v").unwrap(), 1);
+        assert!(r.finish("slack").is_err());
+        // Oversized count prefix rejected before allocation.
+        let mut r = ByteReader::new(&buf);
+        assert!(r.count(1 << 20, "count").is_err());
+    }
+}

@@ -102,6 +102,32 @@ pub fn resolve_shards(shards: usize) -> usize {
     1
 }
 
+/// Resolves a per-shard step-budget knob.
+///
+/// * `explicit = Some(n)`: that budget, verbatim (a CLI flag wins over
+///   the environment).
+/// * `explicit = None`: the `BOLT_MAX_STEPS` environment override if
+///   set and positive, else `default`.
+///
+/// The env knob exists so a hung workload can be diagnosed without a
+/// rebuild: cap the budget, let the run die with a `DidNotExit` error
+/// that names the budget, and bisect from there. Mirrors
+/// [`resolve_shards`]: a set-but-garbled override fails loudly instead
+/// of silently running unbounded.
+pub fn resolve_max_steps(explicit: Option<u64>, default: u64) -> u64 {
+    if let Some(n) = explicit {
+        return n;
+    }
+    if let Ok(v) = std::env::var("BOLT_MAX_STEPS") {
+        match v.trim().parse::<u64>() {
+            Ok(0) => {}
+            Ok(n) => return n,
+            Err(_) => panic!("BOLT_MAX_STEPS must be a non-negative integer, got {v:?}"),
+        }
+    }
+    default
+}
+
 /// One completed shard: its index, run result, observable output, and
 /// the sink that consumed its trace.
 #[derive(Debug)]
@@ -324,6 +350,16 @@ mod tests {
         assert_eq!(resolve_shards(1_000_000), MAX_SHARDS);
         // 0 with no env (or env handled by CI): at least one shard.
         assert!(resolve_shards(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_max_steps_explicit_wins_and_default_falls_through() {
+        assert_eq!(resolve_max_steps(Some(42), 7), 42);
+        assert_eq!(resolve_max_steps(Some(u64::MAX), 7), u64::MAX);
+        // With no env set (CI never sets BOLT_MAX_STEPS), the default
+        // flows through; with it set, any positive value is accepted —
+        // either way the result is positive.
+        assert!(resolve_max_steps(None, 7) > 0);
     }
 
     #[test]

@@ -11,12 +11,14 @@
 //! oracle for the whole project: a binary must produce byte-identical
 //! output before and after BOLT rewrites it.
 
+pub mod artifact;
 mod batch;
 mod block;
 mod events;
 mod exec;
 mod memory;
 mod spill;
+pub mod supervise;
 pub mod symexec;
 pub mod transval;
 mod uop;
@@ -27,7 +29,8 @@ mod uop;
 /// the region can extend this far past it.
 pub(crate) const MAX_INST_LEN: u64 = 16;
 
-pub use batch::{resolve_shards, run_batch, ShardPlan, ShardRun};
+pub use artifact::ArtifactError;
+pub use batch::{resolve_max_steps, resolve_shards, run_batch, ShardPlan, ShardRun};
 pub use block::{translation_shapes, BlockTier, InjectedFault, MemShape, TierCounts};
 pub use events::{
     BlockEvent, BranchEvent, BranchKind, CountingSink, MemRecord, NullSink, Tee, TraceSink,
@@ -36,6 +39,9 @@ pub use exec::{
     resolve_engine, EmuError, Engine, Exit, Flags, Machine, RunResult, RETURN_SENTINEL, STACK_TOP,
 };
 pub use memory::Memory;
+pub use supervise::{
+    run_supervised, ShardEvent, ShardEventKind, SuperviseOutcome, SupervisePlan, SuperviseReport,
+};
 pub use transval::{
     enable_sem_validation, sem_validation_enabled, validate_code, validate_translation, SemFinding,
     SemFindingKind,

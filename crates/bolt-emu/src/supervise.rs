@@ -1,0 +1,851 @@
+//! Crash-safe process-level shard supervision.
+//!
+//! [`run_batch`](crate::run_batch) scales shards across *threads* in
+//! one process — which means one wedged or aborting shard takes the
+//! whole run (and every in-flight observation) with it. This module is
+//! the next rung: each shard runs as its own OS process that writes a
+//! durable artifact ([`crate::artifact`]), and a supervising reducer
+//!
+//! * enforces a per-attempt wall-clock deadline (hung workers are
+//!   killed, not waited on),
+//! * detects crashed / nonzero-exit / garbage-output workers by
+//!   validating the artifact they were supposed to produce,
+//! * retries failures on a capped exponential backoff schedule whose
+//!   delays derive only from a seed (no wall-clock randomness — a
+//!   failing run replays with the same schedule),
+//! * quarantines shards that fail persistently, in the spirit of the
+//!   optimizer's quarantine ladder: degrade and report, never abort,
+//! * journals completion into a run manifest so an interrupted run
+//!   (Ctrl-C, OOM-kill, power loss) resumes by re-executing only the
+//!   missing or invalid shards.
+//!
+//! The module is payload-agnostic: it spawns commands, validates
+//! artifact framing, and tracks completeness. What a worker puts in
+//! its artifact — and how surviving artifacts merge — is the caller's
+//! business (`bolt-run` merges profiles and counters in shard-index
+//! order, byte-identical to the in-process path).
+
+use crate::artifact;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Manifest header tag; bump when the manifest format changes.
+const MANIFEST_TAG: &str = "bolt-supervise v1";
+/// Scheduler poll interval. Purely a liveness knob: completion is
+/// detected by `try_wait`, so the value trades latency for wakeups.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Shape of one supervised run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisePlan {
+    /// Number of shards (one worker process per shard attempt).
+    pub shards: usize,
+    /// Maximum concurrently-running worker processes.
+    pub procs: usize,
+    /// Per-attempt wall-clock deadline; a worker still running when it
+    /// expires is killed and the attempt counts as failed.
+    pub deadline: Duration,
+    /// Total attempts per shard (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `a` (1-based) is
+    /// `min(cap, base * 2^(a-1)) + jitter(seed, shard, a) % base`.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// State directory: artifacts and the run manifest live here.
+    pub dir: PathBuf,
+    /// Run identity. A resumed run only reuses artifacts when the
+    /// manifest's fingerprint matches exactly, so artifacts from a
+    /// different binary, shard count, or knob set are never merged.
+    /// Must be a single line.
+    pub fingerprint: String,
+}
+
+impl SupervisePlan {
+    pub fn new(shards: usize, dir: PathBuf, fingerprint: String) -> SupervisePlan {
+        SupervisePlan {
+            shards: shards.max(1),
+            procs: 1,
+            deadline: Duration::from_secs(300),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            seed: 0,
+            dir,
+            fingerprint,
+        }
+    }
+
+    /// Where shard `k`'s artifact lives.
+    pub fn artifact_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.bolta"))
+    }
+
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST")
+    }
+
+    /// The deterministic delay before retry attempt `attempt`
+    /// (1-based: the retry after the first failure is attempt 1's
+    /// backoff). Capped exponential plus seeded jitter — no wall
+    /// clock, no OS randomness, so a replayed run backs off on the
+    /// identical schedule.
+    pub fn backoff_delay(&self, shard: usize, attempt: u32) -> Duration {
+        let base = self.backoff_base.as_millis() as u64;
+        let cap = self.backoff_cap.as_millis() as u64;
+        let exp = base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(cap);
+        let jitter = if base == 0 {
+            0
+        } else {
+            // splitmix64-style mix of (seed, shard, attempt).
+            let mut x = self
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1))
+                .wrapping_add(u64::from(attempt));
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (x ^ (x >> 31)) % base
+        };
+        Duration::from_millis(exp + jitter)
+    }
+
+    fn manifest_header(&self) -> String {
+        format!(
+            "{MANIFEST_TAG}\nfingerprint {}\nshards {}\n",
+            self.fingerprint, self.shards
+        )
+    }
+}
+
+/// What happened to one shard attempt — the supervisor's structured
+/// event stream, mirroring the optimizer's `QuarantineEvent` style:
+/// every degradation is reported, none aborts the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEventKind {
+    /// A valid artifact from a previous run was reused; the shard was
+    /// never spawned.
+    Resumed,
+    /// A stale artifact from a previous run failed validation and was
+    /// discarded; the shard re-runs.
+    StaleArtifact,
+    /// The worker exited cleanly and its artifact validated.
+    Completed,
+    /// The worker exited abnormally (nonzero status or signal).
+    Crashed,
+    /// The worker outlived the deadline and was killed.
+    TimedOut,
+    /// The worker exited cleanly but its artifact is missing,
+    /// truncated, or corrupt — it is never merged.
+    BadArtifact,
+    /// The shard was rescheduled after a failure.
+    Retry,
+    /// The shard exhausted its attempts and is excluded from the
+    /// merge.
+    Quarantined,
+}
+
+impl ShardEventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardEventKind::Resumed => "resumed",
+            ShardEventKind::StaleArtifact => "stale-artifact",
+            ShardEventKind::Completed => "completed",
+            ShardEventKind::Crashed => "crashed",
+            ShardEventKind::TimedOut => "timeout",
+            ShardEventKind::BadArtifact => "bad-artifact",
+            ShardEventKind::Retry => "retry",
+            ShardEventKind::Quarantined => "quarantined",
+        }
+    }
+}
+
+impl fmt::Display for ShardEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One supervision event: which shard, which attempt (0-based), what
+/// happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEvent {
+    pub shard: usize,
+    pub attempt: u32,
+    pub kind: ShardEventKind,
+    pub detail: String,
+}
+
+impl fmt::Display for ShardEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] shard {} attempt {}: {}",
+            self.kind, self.shard, self.attempt, self.detail
+        )
+    }
+}
+
+/// Everything the supervisor did during a run. A healthy fresh run
+/// has one `Completed` event per shard and nothing else.
+#[derive(Debug, Clone, Default)]
+pub struct SuperviseReport {
+    /// Every event, in the order it was observed.
+    pub events: Vec<ShardEvent>,
+    /// Shards with a valid artifact at the end of the run.
+    pub completed: usize,
+    /// Of those, shards reused from a previous run's artifacts.
+    pub resumed: usize,
+    /// Attempts beyond the first, summed over shards.
+    pub retries: u32,
+    /// Shards excluded from the merge, in shard-index order.
+    pub quarantined: Vec<usize>,
+    /// Set when an existing state directory belonged to a different
+    /// run and was reset instead of resumed.
+    pub manifest_reset: Option<String>,
+}
+
+impl SuperviseReport {
+    /// No degradations: nothing retried, nothing quarantined, no
+    /// state-dir surprises. (Resuming completed shards is not a
+    /// degradation.)
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.quarantined.is_empty() && self.manifest_reset.is_none()
+    }
+
+    /// `QuarantineReport::render`-style text block.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "supervise: {} completed ({} resumed), {} retr{}, {} quarantined\n",
+            self.completed,
+            self.resumed,
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+            self.quarantined.len()
+        );
+        if let Some(why) = &self.manifest_reset {
+            out.push_str(&format!("  [manifest-reset] {why}\n"));
+        }
+        for e in &self.events {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out
+    }
+}
+
+/// The result of a supervised run: per-shard artifact paths (present
+/// for every non-quarantined shard, in shard-index order) plus the
+/// event report.
+#[derive(Debug)]
+pub struct SuperviseOutcome {
+    pub artifacts: Vec<Option<PathBuf>>,
+    pub report: SuperviseReport,
+}
+
+/// One queued shard attempt.
+struct Pending {
+    shard: usize,
+    attempt: u32,
+    not_before: Instant,
+}
+
+/// One live worker process.
+struct Running {
+    shard: usize,
+    attempt: u32,
+    child: Child,
+    kill_at: Instant,
+}
+
+/// Runs `plan.shards` worker processes under supervision and returns
+/// the surviving artifacts. `make_cmd(shard, attempt, artifact_path)`
+/// builds the worker invocation; the supervisor silences its
+/// stdout/stderr (everything observable must flow through the
+/// artifact) and validates the artifact file after a clean exit.
+///
+/// The only `Err` is an environment-level failure (state directory
+/// not creatable, manifest unwritable, worker binary unspawnable at
+/// every attempt is *not* one — that quarantines the shard).
+pub fn run_supervised(
+    plan: &SupervisePlan,
+    make_cmd: impl Fn(usize, u32, &Path) -> Command,
+) -> std::io::Result<SuperviseOutcome> {
+    assert!(
+        !plan.fingerprint.contains('\n'),
+        "fingerprint must be a single line"
+    );
+    std::fs::create_dir_all(&plan.dir)?;
+    let mut report = SuperviseReport::default();
+    let resuming = prepare_manifest(plan, &mut report)?;
+
+    // Sweep staging leftovers from interrupted writers.
+    sweep_tmp_files(&plan.dir);
+
+    // Resume scan: a shard whose artifact validates is done — the
+    // artifact file itself (CRC + length + version) is authoritative,
+    // so a run interrupted between the worker's atomic rename and the
+    // journal append still resumes correctly.
+    let mut artifacts: Vec<Option<PathBuf>> = vec![None; plan.shards];
+    let mut queue: Vec<Pending> = Vec::new();
+    let now = Instant::now();
+    for (shard, slot) in artifacts.iter_mut().enumerate() {
+        let path = plan.artifact_path(shard);
+        if path.exists() {
+            match artifact::validate_file(&path) {
+                Ok(_) => {
+                    *slot = Some(path);
+                    report.resumed += 1;
+                    if resuming {
+                        report.events.push(ShardEvent {
+                            shard,
+                            attempt: 0,
+                            kind: ShardEventKind::Resumed,
+                            detail: "valid artifact from a previous run".into(),
+                        });
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(&path);
+                    report.events.push(ShardEvent {
+                        shard,
+                        attempt: 0,
+                        kind: ShardEventKind::StaleArtifact,
+                        detail: format!("discarded: {e}"),
+                    });
+                }
+            }
+        }
+        queue.push(Pending {
+            shard,
+            attempt: 0,
+            not_before: now,
+        });
+    }
+
+    let mut running: Vec<Running> = Vec::new();
+    while !queue.is_empty() || !running.is_empty() {
+        let now = Instant::now();
+
+        // Launch eligible attempts, lowest shard index first.
+        while running.len() < plan.procs.max(1) {
+            let Some(i) = queue
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.not_before <= now)
+                .min_by_key(|(_, p)| p.shard)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let p = queue.swap_remove(i);
+            let path = plan.artifact_path(p.shard);
+            let mut cmd = make_cmd(p.shard, p.attempt, &path);
+            cmd.stdout(Stdio::null()).stderr(Stdio::null());
+            match cmd.spawn() {
+                Ok(child) => running.push(Running {
+                    shard: p.shard,
+                    attempt: p.attempt,
+                    child,
+                    kill_at: Instant::now() + plan.deadline,
+                }),
+                Err(e) => {
+                    // Spawn failure counts as a crashed attempt.
+                    fail(
+                        plan,
+                        &mut report,
+                        &mut queue,
+                        p.shard,
+                        p.attempt,
+                        ShardEventKind::Crashed,
+                        format!("spawn failed: {e}"),
+                    );
+                }
+            }
+        }
+
+        // Poll live workers.
+        let mut i = 0;
+        while i < running.len() {
+            let now = Instant::now();
+            let r = &mut running[i];
+            match r.child.try_wait() {
+                Ok(Some(status)) => {
+                    let r = running.swap_remove(i);
+                    let path = plan.artifact_path(r.shard);
+                    if status.success() {
+                        match artifact::validate_file(&path) {
+                            Ok(_) => {
+                                artifacts[r.shard] = Some(path);
+                                report.events.push(ShardEvent {
+                                    shard: r.shard,
+                                    attempt: r.attempt,
+                                    kind: ShardEventKind::Completed,
+                                    detail: "artifact validated".into(),
+                                });
+                                journal_done(plan, r.shard)?;
+                            }
+                            Err(e) => {
+                                let _ = std::fs::remove_file(&path);
+                                fail(
+                                    plan,
+                                    &mut report,
+                                    &mut queue,
+                                    r.shard,
+                                    r.attempt,
+                                    ShardEventKind::BadArtifact,
+                                    format!("worker exited 0 but artifact rejected: {e}"),
+                                );
+                            }
+                        }
+                    } else {
+                        // A crashed worker may have left a direct
+                        // (non-atomic) write behind; never trust it.
+                        let _ = std::fs::remove_file(&path);
+                        fail(
+                            plan,
+                            &mut report,
+                            &mut queue,
+                            r.shard,
+                            r.attempt,
+                            ShardEventKind::Crashed,
+                            format!("worker exited abnormally: {status}"),
+                        );
+                    }
+                    continue;
+                }
+                Ok(None) if now >= r.kill_at => {
+                    let mut r = running.swap_remove(i);
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    let _ = std::fs::remove_file(plan.artifact_path(r.shard));
+                    fail(
+                        plan,
+                        &mut report,
+                        &mut queue,
+                        r.shard,
+                        r.attempt,
+                        ShardEventKind::TimedOut,
+                        format!("exceeded {} ms deadline, killed", plan.deadline.as_millis()),
+                    );
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let mut r = running.swap_remove(i);
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    fail(
+                        plan,
+                        &mut report,
+                        &mut queue,
+                        r.shard,
+                        r.attempt,
+                        ShardEventKind::Crashed,
+                        format!("wait failed: {e}"),
+                    );
+                    continue;
+                }
+            }
+            i += 1;
+        }
+
+        if !queue.is_empty() || !running.is_empty() {
+            std::thread::sleep(POLL);
+        }
+    }
+
+    report.completed = artifacts.iter().filter(|a| a.is_some()).count();
+    report.quarantined = (0..plan.shards)
+        .filter(|&s| artifacts[s].is_none())
+        .collect();
+    Ok(SuperviseOutcome { artifacts, report })
+}
+
+/// Records a failed attempt: retry with deterministic backoff while
+/// attempts remain, else quarantine the shard.
+fn fail(
+    plan: &SupervisePlan,
+    report: &mut SuperviseReport,
+    queue: &mut Vec<Pending>,
+    shard: usize,
+    attempt: u32,
+    kind: ShardEventKind,
+    detail: String,
+) {
+    report.events.push(ShardEvent {
+        shard,
+        attempt,
+        kind,
+        detail,
+    });
+    let next = attempt + 1;
+    if next < plan.max_attempts.max(1) {
+        let delay = plan.backoff_delay(shard, next);
+        report.retries += 1;
+        report.events.push(ShardEvent {
+            shard,
+            attempt: next,
+            kind: ShardEventKind::Retry,
+            detail: format!("backoff {} ms", delay.as_millis()),
+        });
+        queue.push(Pending {
+            shard,
+            attempt: next,
+            not_before: Instant::now() + delay,
+        });
+    } else {
+        report.events.push(ShardEvent {
+            shard,
+            attempt,
+            kind: ShardEventKind::Quarantined,
+            detail: format!("failed {} attempt(s), excluded from merge", next),
+        });
+    }
+}
+
+/// Loads or initializes the run manifest. Returns whether this run is
+/// resuming a matching previous run. On mismatch the state directory
+/// is reset (manifest and `shard-*.bolta` removed) and the reason is
+/// recorded — artifacts of a different run must never be merged.
+fn prepare_manifest(plan: &SupervisePlan, report: &mut SuperviseReport) -> std::io::Result<bool> {
+    let path = plan.manifest_path();
+    let header = plan.manifest_header();
+    match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            if existing.starts_with(&header) {
+                return Ok(true);
+            }
+            let found = existing.lines().take(3).collect::<Vec<_>>().join(" | ");
+            report.manifest_reset = Some(format!(
+                "state dir {} belonged to a different run ({found}); starting fresh",
+                plan.dir.display()
+            ));
+            reset_state_dir(plan);
+            std::fs::write(&path, &header)?;
+            Ok(false)
+        }
+        Err(_) => {
+            // No manifest: a fresh directory, or one interrupted
+            // before the manifest was first written. Any artifacts
+            // present are unidentifiable — discard them.
+            if (0..plan.shards).any(|s| plan.artifact_path(s).exists()) {
+                report.manifest_reset = Some(format!(
+                    "state dir {} has artifacts but no manifest; starting fresh",
+                    plan.dir.display()
+                ));
+                reset_state_dir(plan);
+            }
+            std::fs::write(&path, &header)?;
+            Ok(false)
+        }
+    }
+}
+
+fn reset_state_dir(plan: &SupervisePlan) {
+    let _ = std::fs::remove_file(plan.manifest_path());
+    if let Ok(entries) = std::fs::read_dir(&plan.dir) {
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.starts_with("shard-") && (name.ends_with(".bolta") || name.contains(".tmp.")) {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+fn sweep_tmp_files(dir: &Path) {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            if e.file_name().to_string_lossy().contains(".bolta.tmp.") {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+/// Appends a completion record to the manifest journal. Append-only:
+/// a crash between the artifact rename and this append loses nothing,
+/// because resume trusts validated artifact files over the journal.
+fn journal_done(plan: &SupervisePlan, shard: usize) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(plan.manifest_path())?;
+    writeln!(f, "done {shard}")?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{frame, KIND_COUNTERS};
+
+    fn test_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bolt-supervise-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn fast_plan(shards: usize, dir: PathBuf) -> SupervisePlan {
+        let mut p = SupervisePlan::new(shards, dir, "test-run".into());
+        p.procs = 4;
+        p.deadline = Duration::from_secs(10);
+        p.max_attempts = 3;
+        p.backoff_base = Duration::from_millis(1);
+        p.backoff_cap = Duration::from_millis(4);
+        p
+    }
+
+    /// A worker that atomically writes a valid artifact via `sh`:
+    /// stage then rename, like a real worker.
+    fn ok_cmd(src: &Path, out: &Path) -> Command {
+        let mut c = Command::new("sh");
+        c.arg("-c").arg(format!(
+            "cp {} {}.stage && mv {}.stage {}",
+            src.display(),
+            out.display(),
+            out.display(),
+            out.display()
+        ));
+        c
+    }
+
+    fn write_src(dir: &Path, payload: &[u8]) -> PathBuf {
+        let src = dir.join("src.bin");
+        std::fs::write(&src, frame(KIND_COUNTERS, payload)).unwrap();
+        src
+    }
+
+    #[test]
+    fn all_shards_complete_cleanly() {
+        let dir = test_dir("clean");
+        let src = write_src(&dir, b"payload");
+        let plan = fast_plan(5, dir.clone());
+        let out = run_supervised(&plan, |_, _, path| ok_cmd(&src, path)).unwrap();
+        assert!(out.report.is_clean(), "{}", out.report.render());
+        assert_eq!(out.report.completed, 5);
+        assert!(out.artifacts.iter().all(|a| a.is_some()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashing_worker_is_retried_then_succeeds() {
+        let dir = test_dir("flaky");
+        let src = write_src(&dir, b"payload");
+        let plan = fast_plan(3, dir.clone());
+        let out = run_supervised(&plan, |shard, attempt, path| {
+            if shard == 1 && attempt == 0 {
+                let mut c = Command::new("sh");
+                c.arg("-c").arg("exit 7");
+                c
+            } else {
+                ok_cmd(&src, path)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.report.completed, 3);
+        assert_eq!(out.report.retries, 1);
+        assert!(out.report.quarantined.is_empty());
+        let kinds: Vec<_> = out
+            .report
+            .events
+            .iter()
+            .filter(|e| e.shard == 1)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ShardEventKind::Crashed,
+                ShardEventKind::Retry,
+                ShardEventKind::Completed
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_failure_is_quarantined_and_others_survive() {
+        let dir = test_dir("quarantine");
+        let src = write_src(&dir, b"payload");
+        let mut plan = fast_plan(4, dir.clone());
+        plan.max_attempts = 2;
+        let out = run_supervised(&plan, |shard, _, path| {
+            if shard == 2 {
+                let mut c = Command::new("sh");
+                c.arg("-c").arg("kill -ABRT $$");
+                c
+            } else {
+                ok_cmd(&src, path)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.report.completed, 3);
+        assert_eq!(out.report.quarantined, vec![2]);
+        assert!(out.artifacts[2].is_none());
+        assert!(out
+            .report
+            .events
+            .iter()
+            .any(|e| e.shard == 2 && e.kind == ShardEventKind::Quarantined));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hung_worker_is_killed_at_deadline() {
+        let dir = test_dir("hang");
+        let src = write_src(&dir, b"payload");
+        let mut plan = fast_plan(2, dir.clone());
+        plan.deadline = Duration::from_millis(200);
+        let out = run_supervised(&plan, |shard, attempt, path| {
+            if shard == 0 && attempt == 0 {
+                let mut c = Command::new("sh");
+                c.arg("-c").arg("sleep 30");
+                c
+            } else {
+                ok_cmd(&src, path)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.report.completed, 2);
+        assert!(out
+            .report
+            .events
+            .iter()
+            .any(|e| e.shard == 0 && e.kind == ShardEventKind::TimedOut));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_artifact_from_clean_exit_is_rejected_never_merged() {
+        let dir = test_dir("garbage");
+        let src = write_src(&dir, b"payload");
+        let mut plan = fast_plan(2, dir.clone());
+        plan.max_attempts = 1;
+        let out = run_supervised(&plan, |shard, _, path| {
+            if shard == 0 {
+                // Exit 0 with a garbage artifact: only validation can
+                // catch this.
+                let mut c = Command::new("sh");
+                c.arg("-c")
+                    .arg(format!("echo not-an-artifact > {}", path.display()));
+                c
+            } else {
+                ok_cmd(&src, path)
+            }
+        })
+        .unwrap();
+        assert!(out.artifacts[0].is_none(), "garbage must not survive");
+        assert!(!plan.artifact_path(0).exists(), "garbage file removed");
+        assert!(out
+            .report
+            .events
+            .iter()
+            .any(|e| e.shard == 0 && e.kind == ShardEventKind::BadArtifact));
+        assert_eq!(out.report.quarantined, vec![0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_reuses_valid_artifacts_and_runs_only_missing() {
+        let dir = test_dir("resume");
+        let src = write_src(&dir, b"payload");
+        let plan = fast_plan(3, dir.clone());
+        // First run completes everything.
+        let out = run_supervised(&plan, |_, _, path| ok_cmd(&src, path)).unwrap();
+        assert_eq!(out.report.completed, 3);
+        // Interruption: shard 1's artifact vanishes (as if the run
+        // died before producing it).
+        std::fs::remove_file(plan.artifact_path(1)).unwrap();
+        // Second run: shards 0 and 2 must resume — their worker
+        // command is poisoned, so spawning them would quarantine.
+        let out = run_supervised(&plan, |shard, _, path| {
+            if shard == 1 {
+                ok_cmd(&src, path)
+            } else {
+                let mut c = Command::new("sh");
+                c.arg("-c").arg("exit 1");
+                c
+            }
+        })
+        .unwrap();
+        assert_eq!(out.report.completed, 3);
+        assert_eq!(out.report.resumed, 2);
+        assert!(out.report.quarantined.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_artifact_on_disk_is_discarded_and_rerun() {
+        let dir = test_dir("truncated");
+        let src = write_src(&dir, b"payload");
+        let plan = fast_plan(2, dir.clone());
+        let out = run_supervised(&plan, |_, _, path| ok_cmd(&src, path)).unwrap();
+        assert_eq!(out.report.completed, 2);
+        // Torn write: shard 0's artifact loses its tail.
+        let path = plan.artifact_path(0);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let out = run_supervised(&plan, |_, _, path| ok_cmd(&src, path)).unwrap();
+        assert_eq!(out.report.completed, 2);
+        assert_eq!(out.report.resumed, 1, "only the intact shard resumes");
+        assert!(out
+            .report
+            .events
+            .iter()
+            .any(|e| e.shard == 0 && e.kind == ShardEventKind::StaleArtifact));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_resets_the_state_dir() {
+        let dir = test_dir("mismatch");
+        let src = write_src(&dir, b"payload");
+        let plan = fast_plan(2, dir.clone());
+        run_supervised(&plan, |_, _, path| ok_cmd(&src, path)).unwrap();
+        let mut other = plan.clone();
+        other.fingerprint = "different-run".into();
+        let out = run_supervised(&other, |_, _, path| ok_cmd(&src, path)).unwrap();
+        assert!(out.report.manifest_reset.is_some());
+        assert_eq!(out.report.resumed, 0, "stale artifacts never reused");
+        assert_eq!(out.report.completed, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_seeded() {
+        let plan = fast_plan(4, PathBuf::from("/nonexistent"));
+        for shard in 0..4 {
+            for attempt in 1..6 {
+                assert_eq!(
+                    plan.backoff_delay(shard, attempt),
+                    plan.backoff_delay(shard, attempt),
+                    "same inputs, same delay"
+                );
+                assert!(
+                    plan.backoff_delay(shard, attempt) <= plan.backoff_cap + plan.backoff_base,
+                    "cap plus jitter bound"
+                );
+            }
+        }
+        let mut seeded = plan.clone();
+        seeded.seed = 99;
+        seeded.backoff_base = Duration::from_millis(64);
+        let mut base = plan.clone();
+        base.backoff_base = Duration::from_millis(64);
+        assert_ne!(
+            (1..8)
+                .map(|a| seeded.backoff_delay(0, a))
+                .collect::<Vec<_>>(),
+            (1..8).map(|a| base.backoff_delay(0, a)).collect::<Vec<_>>(),
+            "seed moves the jitter"
+        );
+    }
+}

@@ -172,6 +172,104 @@ impl Profile {
         out
     }
 
+    /// Serializes to the compact binary artifact *payload* (see
+    /// [`bolt_emu::artifact`] for the framing this slots into): mode
+    /// byte, sample count, then the three record tables with `u32`
+    /// length prefixes, records sorted by key. Sorting makes the
+    /// encoding canonical — equal profiles encode to equal bytes, so a
+    /// supervised merge can be compared byte-for-byte against the
+    /// in-process path.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let branches = self.sorted_branches();
+        let fallthroughs = self.sorted_fallthroughs();
+        let mut ips: Vec<(u64, u64)> = self.ip_samples.iter().map(|(&a, &c)| (a, c)).collect();
+        ips.sort_unstable();
+        let mut out = Vec::with_capacity(
+            13 + 4 * 3 + branches.len() * 32 + fallthroughs.len() * 24 + ips.len() * 16,
+        );
+        out.push(match self.mode {
+            ProfileMode::Lbr => 0,
+            ProfileMode::IpSamples => 1,
+        });
+        out.extend_from_slice(&self.num_samples.to_le_bytes());
+        out.extend_from_slice(&(branches.len() as u32).to_le_bytes());
+        for b in &branches {
+            out.extend_from_slice(&b.from.to_le_bytes());
+            out.extend_from_slice(&b.to.to_le_bytes());
+            out.extend_from_slice(&b.count.to_le_bytes());
+            out.extend_from_slice(&b.mispreds.to_le_bytes());
+        }
+        out.extend_from_slice(&(fallthroughs.len() as u32).to_le_bytes());
+        for f in &fallthroughs {
+            out.extend_from_slice(&f.from.to_le_bytes());
+            out.extend_from_slice(&f.to.to_le_bytes());
+            out.extend_from_slice(&f.count.to_le_bytes());
+        }
+        out.extend_from_slice(&(ips.len() as u32).to_le_bytes());
+        for (ip, count) in &ips {
+            out.extend_from_slice(&ip.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a [`Profile::to_bytes`] payload. The payload must be
+    /// consumed exactly; slack or truncation is rejected (the framing
+    /// CRC catches corruption first, but a decoder must stand alone).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Profile, bolt_emu::ArtifactError> {
+        use bolt_emu::artifact::ByteReader;
+        use bolt_emu::ArtifactError;
+        let mut r = ByteReader::new(bytes);
+        let mut p = Profile::new(match r.u8("profile mode")? {
+            0 => ProfileMode::Lbr,
+            1 => ProfileMode::IpSamples,
+            _ => return Err(ArtifactError::Malformed("profile mode")),
+        });
+        p.num_samples = r.u64("num_samples")?;
+        let n = r.count(32, "branch count")?;
+        for _ in 0..n {
+            let from = r.u64("branch from")?;
+            let to = r.u64("branch to")?;
+            let count = r.u64("branch count field")?;
+            let mispreds = r.u64("branch mispreds")?;
+            if p.branches.insert((from, to), (count, mispreds)).is_some() {
+                return Err(ArtifactError::Malformed("duplicate branch key"));
+            }
+        }
+        let n = r.count(24, "fallthrough count")?;
+        for _ in 0..n {
+            let from = r.u64("fallthrough from")?;
+            let to = r.u64("fallthrough to")?;
+            let count = r.u64("fallthrough count field")?;
+            if p.fallthroughs.insert((from, to), count).is_some() {
+                return Err(ArtifactError::Malformed("duplicate fallthrough key"));
+            }
+        }
+        let n = r.count(16, "ip count")?;
+        for _ in 0..n {
+            let ip = r.u64("ip")?;
+            let count = r.u64("ip count field")?;
+            if p.ip_samples.insert(ip, count).is_some() {
+                return Err(ArtifactError::Malformed("duplicate ip key"));
+            }
+        }
+        r.finish("profile payload slack")?;
+        Ok(p)
+    }
+
+    /// Frames [`Profile::to_bytes`] as a durable artifact
+    /// (`KIND_PROFILE`).
+    pub fn to_artifact(&self) -> Vec<u8> {
+        bolt_emu::artifact::frame(bolt_emu::artifact::KIND_PROFILE, &self.to_bytes())
+    }
+
+    /// Validates framing (magic, version, kind, length, CRC) and
+    /// decodes a [`Profile::to_artifact`] byte string.
+    pub fn from_artifact(bytes: &[u8]) -> Result<Profile, bolt_emu::ArtifactError> {
+        let payload = bolt_emu::artifact::unframe(bytes, bolt_emu::artifact::KIND_PROFILE)?;
+        Profile::from_bytes(payload)
+    }
+
     /// Parses the `.fdata` text format.
     ///
     /// # Errors
@@ -305,6 +403,39 @@ mod tests {
         );
         // Comments and blanks are fine.
         assert!(Profile::from_fdata("# hi\n\nM lbr 3\n").is_ok());
+    }
+
+    #[test]
+    fn binary_artifact_round_trip_is_canonical() {
+        let mut p = Profile::new(ProfileMode::Lbr);
+        p.num_samples = 42;
+        p.add_branch(0x400010, 0x400100, true);
+        p.add_branch(0x400010, 0x400100, false);
+        p.add_branch(0x400200, 0x400000, false);
+        p.add_fallthrough(0x400100, 0x400120);
+        p.add_ip(0x400105);
+        let bytes = p.to_artifact();
+        let back = Profile::from_artifact(&bytes).unwrap();
+        assert_eq!(back, p);
+        // Canonical: re-encoding the decode gives identical bytes.
+        assert_eq!(back.to_artifact(), bytes);
+        // Empty profile round-trips too.
+        let empty = Profile::new(ProfileMode::IpSamples);
+        assert_eq!(Profile::from_artifact(&empty.to_artifact()).unwrap(), empty);
+    }
+
+    #[test]
+    fn binary_decode_rejects_slack_truncation_and_bad_mode() {
+        let mut p = Profile::new(ProfileMode::Lbr);
+        p.add_branch(1, 2, false);
+        let payload = p.to_bytes();
+        assert!(Profile::from_bytes(&payload[..payload.len() - 1]).is_err());
+        let mut slack = payload.clone();
+        slack.push(0);
+        assert!(Profile::from_bytes(&slack).is_err());
+        let mut bad_mode = payload.clone();
+        bad_mode[0] = 9;
+        assert!(Profile::from_bytes(&bad_mode).is_err());
     }
 
     #[test]

@@ -68,6 +68,70 @@ impl Counters {
             self.instructions as f64 / self.cycles
         }
     }
+
+    /// Serializes to the compact binary artifact *payload* (see
+    /// [`bolt_emu::artifact`] for the framing): every field as eight
+    /// little-endian bytes in declaration order, `cycles` by its IEEE
+    /// bit pattern — so equal counters encode to equal bytes and a
+    /// supervised sum can be compared byte-for-byte against the
+    /// in-process path.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let fields = [
+            self.instructions,
+            self.cycles.to_bits(),
+            self.cond_branches,
+            self.branch_mispredicts,
+            self.l1i_accesses,
+            self.l1i_misses,
+            self.l1d_accesses,
+            self.l1d_misses,
+            self.l2_misses,
+            self.llc_misses,
+            self.itlb_misses,
+            self.dtlb_misses,
+        ];
+        let mut out = Vec::with_capacity(fields.len() * 8);
+        for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a [`Counters::to_bytes`] payload (exact length
+    /// required).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Counters, bolt_emu::ArtifactError> {
+        use bolt_emu::artifact::ByteReader;
+        let mut r = ByteReader::new(bytes);
+        let c = Counters {
+            instructions: r.u64("instructions")?,
+            cycles: f64::from_bits(r.u64("cycles")?),
+            cond_branches: r.u64("cond_branches")?,
+            branch_mispredicts: r.u64("branch_mispredicts")?,
+            l1i_accesses: r.u64("l1i_accesses")?,
+            l1i_misses: r.u64("l1i_misses")?,
+            l1d_accesses: r.u64("l1d_accesses")?,
+            l1d_misses: r.u64("l1d_misses")?,
+            l2_misses: r.u64("l2_misses")?,
+            llc_misses: r.u64("llc_misses")?,
+            itlb_misses: r.u64("itlb_misses")?,
+            dtlb_misses: r.u64("dtlb_misses")?,
+        };
+        r.finish("counters payload slack")?;
+        Ok(c)
+    }
+
+    /// Frames [`Counters::to_bytes`] as a durable artifact
+    /// (`KIND_COUNTERS`).
+    pub fn to_artifact(&self) -> Vec<u8> {
+        bolt_emu::artifact::frame(bolt_emu::artifact::KIND_COUNTERS, &self.to_bytes())
+    }
+
+    /// Validates framing and decodes a [`Counters::to_artifact`] byte
+    /// string.
+    pub fn from_artifact(bytes: &[u8]) -> Result<Counters, bolt_emu::ArtifactError> {
+        let payload = bolt_emu::artifact::unframe(bytes, bolt_emu::artifact::KIND_COUNTERS)?;
+        Counters::from_bytes(payload)
+    }
 }
 
 impl std::ops::AddAssign<&Counters> for Counters {
@@ -680,6 +744,35 @@ mod tests {
         let mut id = ca;
         id.merge(&Counters::default());
         assert_eq!(id, ca);
+    }
+
+    #[test]
+    fn counters_artifact_round_trip_and_bit_flip_rejection() {
+        let cfg = SimConfig::small();
+        let mut model = CpuModel::new(cfg);
+        for i in 0..200u64 {
+            model.on_inst(0x400000 + i * 8, 4);
+            if i % 3 == 0 {
+                model.on_mem(0x500000 + i * 64, 8, i % 2 == 0);
+            }
+        }
+        let c = model.counters();
+        let bytes = c.to_artifact();
+        let back = Counters::from_artifact(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_artifact(), bytes, "canonical encoding");
+        // Payload length is exact: slack and truncation both reject.
+        let payload = c.to_bytes();
+        assert!(Counters::from_bytes(&payload[..payload.len() - 1]).is_err());
+        let mut slack = payload.clone();
+        slack.push(0);
+        assert!(Counters::from_bytes(&slack).is_err());
+        // Any single bit flip in the framed artifact is rejected.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(Counters::from_artifact(&bad).is_err(), "flip byte {i}");
+        }
     }
 
     #[test]

@@ -320,6 +320,252 @@ impl FaultPlan {
     }
 }
 
+/// How an injected supervised-worker fault manifests — the process-level
+/// analogue of [`FaultKind`]. The first three fail *without* producing
+/// output (the supervisor sees the process die); the last three exit
+/// cleanly but leave a bad artifact behind, which only the reducer's
+/// artifact validation can catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// `abort(2)` mid-run: SIGABRT, no artifact.
+    Abort,
+    /// Exit with a nonzero status without writing an artifact.
+    ExitNoArtifact,
+    /// Never exit; the supervisor must kill at the deadline.
+    Hang,
+    /// Exit 0 after writing seeded junk bytes in place of the artifact.
+    GarbageArtifact,
+    /// Exit 0 after writing only a prefix of the real artifact
+    /// (a simulated torn write that bypassed the atomic-rename path).
+    TruncatedArtifact,
+    /// Exit 0 after flipping one payload byte of the real artifact.
+    CorruptArtifact,
+}
+
+impl CrashMode {
+    /// All modes, in a stable order (the injection sweep iterates this).
+    pub fn all() -> [CrashMode; 6] {
+        [
+            CrashMode::Abort,
+            CrashMode::ExitNoArtifact,
+            CrashMode::Hang,
+            CrashMode::GarbageArtifact,
+            CrashMode::TruncatedArtifact,
+            CrashMode::CorruptArtifact,
+        ]
+    }
+
+    /// Whether the worker exits 0 and the fault is only visible in the
+    /// artifact bytes.
+    pub fn clean_exit_bad_artifact(self) -> bool {
+        matches!(
+            self,
+            CrashMode::GarbageArtifact | CrashMode::TruncatedArtifact | CrashMode::CorruptArtifact
+        )
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashMode::Abort => "crash",
+            CrashMode::ExitNoArtifact => "exit",
+            CrashMode::Hang => "hang",
+            CrashMode::GarbageArtifact => "garbage",
+            CrashMode::TruncatedArtifact => "truncate",
+            CrashMode::CorruptArtifact => "corrupt",
+        }
+    }
+
+    fn parse(s: &str) -> Option<CrashMode> {
+        CrashMode::all().into_iter().find(|m| m.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for CrashMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule of a [`CrashSpec`]: inject `mode` when the worker's shard
+/// and attempt match (`None` = wildcard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRule {
+    pub shard: Option<u32>,
+    pub attempt: Option<u32>,
+    pub mode: CrashMode,
+}
+
+/// A worker-side crash-injection spec, parsed from the `BOLT_CRASH_AT`
+/// environment variable: comma-separated `shard:attempt:mode` rules
+/// where `shard`/`attempt` may be `*`. The first matching rule wins.
+///
+/// ```text
+/// BOLT_CRASH_AT="2:0:crash"          # shard 2 aborts on its first attempt
+/// BOLT_CRASH_AT="*:0:hang"           # every shard hangs once
+/// BOLT_CRASH_AT="1:*:truncate,3:0:exit"
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashSpec {
+    pub rules: Vec<CrashRule>,
+}
+
+impl CrashSpec {
+    /// Parses a spec string. Garbled specs are an `Err` with the bad
+    /// fragment — a fault injector that silently no-ops on a typo would
+    /// make the whole sweep vacuous.
+    pub fn parse(spec: &str) -> Result<CrashSpec, String> {
+        let mut rules = Vec::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let fields: Vec<&str> = part.trim().split(':').collect();
+            let [shard, attempt, mode] = fields[..] else {
+                return Err(format!("bad crash rule {part:?} (want shard:attempt:mode)"));
+            };
+            let parse_sel = |s: &str| -> Result<Option<u32>, String> {
+                if s == "*" {
+                    Ok(None)
+                } else {
+                    s.parse()
+                        .map(Some)
+                        .map_err(|_| format!("bad selector {s:?} in {part:?}"))
+                }
+            };
+            rules.push(CrashRule {
+                shard: parse_sel(shard)?,
+                attempt: parse_sel(attempt)?,
+                mode: CrashMode::parse(mode)
+                    .ok_or_else(|| format!("bad crash mode {mode:?} in {part:?}"))?,
+            });
+        }
+        Ok(CrashSpec { rules })
+    }
+
+    /// Reads `BOLT_CRASH_AT`. Absent/empty = no injection; garbled =
+    /// panic (same contract as the other `BOLT_*` knobs: a typo must
+    /// not silently disable the sweep).
+    pub fn from_env() -> CrashSpec {
+        match std::env::var("BOLT_CRASH_AT") {
+            Ok(s) if !s.trim().is_empty() => {
+                CrashSpec::parse(&s).unwrap_or_else(|e| panic!("BOLT_CRASH_AT: {e}"))
+            }
+            _ => CrashSpec::default(),
+        }
+    }
+
+    /// The mode to inject for this worker invocation, if any rule
+    /// matches.
+    pub fn action_for(&self, shard: u32, attempt: u32) -> Option<CrashMode> {
+        self.rules
+            .iter()
+            .find(|r| r.shard.is_none_or(|s| s == shard) && r.attempt.is_none_or(|a| a == attempt))
+            .map(|r| r.mode)
+    }
+}
+
+/// A seeded corruption of framed artifact bytes — the corruption-sweep
+/// counterpart of [`FaultKind`] for the durable artifact format. Every
+/// mutation must be *detected* by artifact validation; the sweep in
+/// `tests/artifact_prop.rs` asserts exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactMutation {
+    /// Flip one seeded bit anywhere in the payload.
+    FlipPayloadBit,
+    /// Flip one seeded bit of the stored CRC.
+    FlipCrc,
+    /// Overwrite the magic with seeded junk.
+    BadMagic,
+    /// Bump the format version.
+    BadVersion,
+    /// Drop a seeded number of trailing bytes.
+    TruncateTail,
+    /// Append a seeded number of junk bytes.
+    ExtendTail,
+}
+
+impl ArtifactMutation {
+    pub fn all() -> [ArtifactMutation; 6] {
+        [
+            ArtifactMutation::FlipPayloadBit,
+            ArtifactMutation::FlipCrc,
+            ArtifactMutation::BadMagic,
+            ArtifactMutation::BadVersion,
+            ArtifactMutation::TruncateTail,
+            ArtifactMutation::ExtendTail,
+        ]
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactMutation::FlipPayloadBit => "flip-payload-bit",
+            ArtifactMutation::FlipCrc => "flip-crc",
+            ArtifactMutation::BadMagic => "bad-magic",
+            ArtifactMutation::BadVersion => "bad-version",
+            ArtifactMutation::TruncateTail => "truncate-tail",
+            ArtifactMutation::ExtendTail => "extend-tail",
+        }
+    }
+
+    /// Mutates framed artifact bytes in place (layout per
+    /// `bolt_emu::artifact`: 4 magic, 2 version, 2 kind, 8 len, 4 CRC,
+    /// then payload). Returns `false` when the buffer is too small for
+    /// this mutation to apply.
+    pub fn apply(self, bytes: &mut Vec<u8>, seed: u64) -> bool {
+        const HEADER_LEN: usize = 20;
+        let mut rng = XorShift64::new(seed.wrapping_mul(257).wrapping_add(self as u64 + 1));
+        match self {
+            ArtifactMutation::FlipPayloadBit => {
+                if bytes.len() <= HEADER_LEN {
+                    return false;
+                }
+                let at = HEADER_LEN + rng.below(bytes.len() - HEADER_LEN);
+                bytes[at] ^= 1 << rng.below(8);
+                true
+            }
+            ArtifactMutation::FlipCrc => {
+                if bytes.len() < HEADER_LEN {
+                    return false;
+                }
+                bytes[16 + rng.below(4)] ^= 1 << rng.below(8);
+                true
+            }
+            ArtifactMutation::BadMagic => {
+                if bytes.len() < 4 {
+                    return false;
+                }
+                let at = rng.below(4);
+                bytes[at] = bytes[at].wrapping_add((rng.below(255) + 1) as u8);
+                true
+            }
+            ArtifactMutation::BadVersion => {
+                if bytes.len() < 6 {
+                    return false;
+                }
+                bytes[4] = bytes[4].wrapping_add(1);
+                true
+            }
+            ArtifactMutation::TruncateTail => {
+                if bytes.is_empty() {
+                    return false;
+                }
+                let drop = rng.below(bytes.len()) + 1;
+                bytes.truncate(bytes.len() - drop);
+                true
+            }
+            ArtifactMutation::ExtendTail => {
+                for _ in 0..rng.below(16) + 1 {
+                    bytes.push(rng.next_u64() as u8);
+                }
+                true
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +606,44 @@ mod tests {
             FaultKind::all().into_iter().map(|k| k.surface()).collect();
         for s in [ElfBytes, Image, Profile, Pipeline] {
             assert!(surfaces.contains(&s), "{s:?} missing");
+        }
+    }
+
+    #[test]
+    fn crash_spec_parses_rules_and_wildcards() {
+        let spec = CrashSpec::parse("2:0:crash,*:1:hang,3:*:truncate").unwrap();
+        assert_eq!(spec.action_for(2, 0), Some(CrashMode::Abort));
+        assert_eq!(spec.action_for(2, 1), Some(CrashMode::Hang));
+        assert_eq!(spec.action_for(3, 0), Some(CrashMode::TruncatedArtifact));
+        assert_eq!(
+            spec.action_for(3, 1),
+            Some(CrashMode::Hang),
+            "first match wins"
+        );
+        assert_eq!(spec.action_for(0, 0), None);
+        assert_eq!(CrashSpec::parse("").unwrap(), CrashSpec::default());
+        assert!(CrashSpec::parse("1:2").is_err());
+        assert!(CrashSpec::parse("1:2:frobnicate").is_err());
+        assert!(CrashSpec::parse("x:2:crash").is_err());
+        for mode in CrashMode::all() {
+            let spec = CrashSpec::parse(&format!("*:*:{mode}")).unwrap();
+            assert_eq!(spec.action_for(9, 9), Some(mode), "{mode} round-trips");
+        }
+    }
+
+    #[test]
+    fn artifact_mutations_are_deterministic_and_mutate() {
+        // A synthetic frame-shaped buffer: 20-byte header + payload.
+        let pristine: Vec<u8> = (0..64u8).collect();
+        for m in ArtifactMutation::all() {
+            for seed in [1u64, 42, 1 << 40] {
+                let mut a = pristine.clone();
+                let mut b = pristine.clone();
+                assert!(m.apply(&mut a, seed), "{m} applies");
+                assert!(m.apply(&mut b, seed), "{m} applies");
+                assert_eq!(a, b, "{m} seed {seed} deterministic");
+                assert_ne!(a, pristine, "{m} seed {seed} changed the bytes");
+            }
         }
     }
 

@@ -37,7 +37,10 @@ pub mod mutate;
 pub mod rewrite;
 pub mod transval;
 
-pub use inject::{FaultKind, FaultPlan, FaultSurface, XorShift64};
+pub use inject::{
+    ArtifactMutation, CrashMode, CrashRule, CrashSpec, FaultKind, FaultPlan, FaultSurface,
+    XorShift64,
+};
 pub use lint::{lint_context, lint_function};
 pub use mutate::{apply_mutation, apply_sem_mutation, Mutation, SemMutation};
 pub use rewrite::{edge_sets, verify_rewrite};

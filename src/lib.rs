@@ -55,6 +55,8 @@
 //! # }
 //! ```
 
+pub mod shard_artifact;
+
 pub use bolt_compiler as compiler;
 pub use bolt_elf as elf;
 pub use bolt_emu as emu;

@@ -1,0 +1,248 @@
+//! The combined per-shard run artifact: everything a supervised worker
+//! produced for one shard, framed as a single durable
+//! [`KIND_SHARD_RUN`](bolt_emu::artifact::KIND_SHARD_RUN) file.
+//!
+//! A shard run has four outputs the reducer must merge *in shard-index
+//! order* to stay byte-identical with the in-process path: the
+//! emulated program's output words, the exit status, the step count,
+//! and (depending on flags) a sampled [`Profile`] and/or simulated
+//! [`Counters`]. Bundling them in one artifact means a shard is either
+//! completely durable or not durable at all — there is no window where
+//! a crash leaves the profile on disk but not the counters.
+//!
+//! Payload layout (little-endian, after the standard frame header):
+//!
+//! ```text
+//! u32            shard index
+//! u8 tag, i64    exit (0 = Exited(code), 1 = MaxSteps, 2 = Returned)
+//! u64            steps retired
+//! u32, i64×n     emulated program output words
+//! u8 [, u64, b]  optional Profile payload (Profile::to_bytes)
+//! u8 [, u64, b]  optional Counters payload (Counters::to_bytes)
+//! ```
+
+use bolt_emu::artifact::{self, ArtifactError, ByteReader, KIND_SHARD_RUN};
+use bolt_emu::Exit;
+use bolt_profile::Profile;
+use bolt_sim::Counters;
+use std::path::Path;
+
+/// One shard's complete, mergeable result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardArtifact {
+    /// Which shard of the run this is (0-based).
+    pub shard: u32,
+    /// How the emulated program stopped.
+    pub exit: Exit,
+    /// Instructions retired.
+    pub steps: u64,
+    /// The emulated program's output words, in emission order.
+    pub output: Vec<i64>,
+    /// LBR/IP samples, when the worker ran with a sampler attached.
+    pub profile: Option<Profile>,
+    /// Simulated hardware counters, when the worker ran the model.
+    pub counters: Option<Counters>,
+}
+
+fn exit_tag(exit: &Exit) -> (u8, i64) {
+    match exit {
+        Exit::Exited(code) => (0, *code),
+        Exit::MaxSteps => (1, 0),
+        Exit::Returned => (2, 0),
+    }
+}
+
+fn exit_from_tag(tag: u8, code: i64) -> Result<Exit, ArtifactError> {
+    match tag {
+        0 => Ok(Exit::Exited(code)),
+        1 => Ok(Exit::MaxSteps),
+        2 => Ok(Exit::Returned),
+        _ => Err(ArtifactError::Malformed("shard exit tag")),
+    }
+}
+
+impl ShardArtifact {
+    /// Canonical payload encoding (stable across runs for identical
+    /// inputs — the resume test depends on byte-identity).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        let (tag, code) = exit_tag(&self.exit);
+        out.push(tag);
+        out.extend_from_slice(&code.to_le_bytes());
+        out.extend_from_slice(&self.steps.to_le_bytes());
+        out.extend_from_slice(&(self.output.len() as u32).to_le_bytes());
+        for w in &self.output {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for (present, bytes) in [
+            (
+                self.profile.is_some(),
+                self.profile.as_ref().map(Profile::to_bytes),
+            ),
+            (
+                self.counters.is_some(),
+                self.counters.as_ref().map(Counters::to_bytes),
+            ),
+        ] {
+            out.push(u8::from(present));
+            if let Some(b) = bytes {
+                out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+                out.extend_from_slice(&b);
+            }
+        }
+        out
+    }
+
+    /// Decodes a [`ShardArtifact::to_bytes`] payload; the payload must
+    /// be consumed exactly.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ShardArtifact, ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let shard = r.u32("shard index")?;
+        let tag = r.u8("exit tag")?;
+        let code = r.i64("exit code")?;
+        let exit = exit_from_tag(tag, code)?;
+        let steps = r.u64("steps")?;
+        let n_out = r.count(8, "output count")?;
+        let mut output = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            output.push(r.i64("output word")?);
+        }
+        let profile = match r.u8("profile presence")? {
+            0 => None,
+            1 => {
+                let len = r.u64("profile length")? as usize;
+                Some(Profile::from_bytes(r.bytes(len, "profile payload")?)?)
+            }
+            _ => return Err(ArtifactError::Malformed("profile presence flag")),
+        };
+        let counters = match r.u8("counters presence")? {
+            0 => None,
+            1 => {
+                let len = r.u64("counters length")? as usize;
+                Some(Counters::from_bytes(r.bytes(len, "counters payload")?)?)
+            }
+            _ => return Err(ArtifactError::Malformed("counters presence flag")),
+        };
+        r.finish("shard artifact slack")?;
+        Ok(ShardArtifact {
+            shard,
+            exit,
+            steps,
+            output,
+            profile,
+            counters,
+        })
+    }
+
+    /// Frames the payload as a [`KIND_SHARD_RUN`] artifact.
+    pub fn to_artifact(&self) -> Vec<u8> {
+        artifact::frame(KIND_SHARD_RUN, &self.to_bytes())
+    }
+
+    /// Validates framing and decodes a [`ShardArtifact::to_artifact`]
+    /// byte string.
+    pub fn from_artifact(bytes: &[u8]) -> Result<ShardArtifact, ArtifactError> {
+        ShardArtifact::from_bytes(artifact::unframe(bytes, KIND_SHARD_RUN)?)
+    }
+
+    /// Writes the framed artifact atomically (temp file + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        artifact::write_atomic(path, &self.to_artifact())
+    }
+
+    /// Reads, validates, and decodes a shard artifact file.
+    pub fn read(path: &Path) -> Result<ShardArtifact, ArtifactError> {
+        ShardArtifact::from_artifact(
+            &std::fs::read(path).map_err(|e| ArtifactError::Io(e.to_string()))?,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_profile::ProfileMode;
+
+    fn sample() -> ShardArtifact {
+        let mut profile = Profile::new(ProfileMode::Lbr);
+        profile.add_branch(0x401000, 0x402000, false);
+        profile.add_branch(0x401000, 0x402000, true);
+        profile.num_samples = 2;
+        let counters = Counters {
+            instructions: 1234,
+            cycles: 2048.5,
+            ..Counters::default()
+        };
+        ShardArtifact {
+            shard: 3,
+            exit: Exit::Exited(0),
+            steps: 987_654,
+            output: vec![1, -2, i64::MAX, i64::MIN],
+            profile: Some(profile),
+            counters: Some(counters),
+        }
+    }
+
+    #[test]
+    fn round_trips_all_field_combinations() {
+        let full = sample();
+        assert_eq!(
+            ShardArtifact::from_artifact(&full.to_artifact()).unwrap(),
+            full
+        );
+
+        for (with_profile, with_counters) in [(false, false), (true, false), (false, true)] {
+            let mut a = sample();
+            if !with_profile {
+                a.profile = None;
+            }
+            if !with_counters {
+                a.counters = None;
+            }
+            assert_eq!(ShardArtifact::from_artifact(&a.to_artifact()).unwrap(), a);
+        }
+
+        for exit in [Exit::Exited(-17), Exit::MaxSteps, Exit::Returned] {
+            let mut a = sample();
+            a.exit = exit;
+            let back = ShardArtifact::from_artifact(&a.to_artifact()).unwrap();
+            assert_eq!(back.exit, a.exit);
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let a = sample();
+        let bytes = a.to_artifact();
+        let back = ShardArtifact::from_artifact(&bytes).unwrap();
+        assert_eq!(back.to_artifact(), bytes);
+    }
+
+    #[test]
+    fn rejects_slack_truncation_and_bad_tags() {
+        let payload = sample().to_bytes();
+        assert!(ShardArtifact::from_bytes(&payload[..payload.len() - 1]).is_err());
+        let mut slack = payload.clone();
+        slack.push(0);
+        assert!(ShardArtifact::from_bytes(&slack).is_err());
+        let mut bad_exit = payload.clone();
+        bad_exit[4] = 9;
+        assert!(ShardArtifact::from_bytes(&bad_exit).is_err());
+        let framed = sample().to_artifact();
+        let mut flipped = framed.clone();
+        *flipped.last_mut().unwrap() ^= 0x80;
+        assert!(ShardArtifact::from_artifact(&flipped).is_err());
+    }
+
+    #[test]
+    fn write_and_read_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bolt-shard-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-0.bolta");
+        let a = sample();
+        a.write(&path).unwrap();
+        assert_eq!(ShardArtifact::read(&path).unwrap(), a);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

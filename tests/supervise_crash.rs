@@ -1,0 +1,255 @@
+//! Seeded crash-injection sweep over the supervised sharding path: for
+//! every `BOLT_CRASH_SEEDS` seed, a seeded worker fault (abort, silent
+//! exit, hang, garbage/truncated/corrupt artifact) is injected via
+//! `BOLT_CRASH_AT`, and the harness asserts the supervision contract:
+//!
+//! * a transient fault (first attempt only) is retried and the final
+//!   merge is byte-identical to the fault-free run;
+//! * a persistent fault quarantines exactly the injected shard and the
+//!   run exits 3 with every *other* shard merged — and the partial
+//!   merge is identical whatever the failure mode, which proves no
+//!   corrupt artifact ever reached the reducer.
+
+use bolt::compiler::{compile_and_link, CompileOptions};
+use bolt::elf::write_elf;
+use bolt::verify::{CrashMode, XorShift64};
+use bolt::workloads::{Scale, Workload};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+const SHARDS: usize = 4;
+
+fn bolt_run() -> &'static str {
+    env!("CARGO_BIN_EXE_bolt-run")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bolt-supervise-crash-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn clang_elf_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let program = Workload::ClangLike.build(Scale::Test);
+        let bin = compile_and_link(&program, &CompileOptions::default()).expect("compiles");
+        write_elf(&bin.elf).expect("serializes")
+    })
+}
+
+/// The seeds to sweep: `BOLT_CRASH_SEEDS` (comma-separated) or a small
+/// default for local runs. CI's release leg widens this.
+fn seeds() -> Vec<u64> {
+    match std::env::var("BOLT_CRASH_SEEDS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("BOLT_CRASH_SEEDS: bad seed"))
+            .collect(),
+        _ => vec![1, 2, 3],
+    }
+}
+
+/// One supervised run with a crash spec injected into the workers.
+fn supervised(elf: &Path, fdata: &Path, state: &Path, crash_at: &str, deadline_ms: u64) -> Output {
+    Command::new(bolt_run())
+        .arg(elf)
+        .arg("--fdata")
+        .arg(fdata)
+        .arg("--shards")
+        .arg(SHARDS.to_string())
+        .arg("--shard-config")
+        .arg("4000")
+        .arg("--supervise")
+        .arg("--state-dir")
+        .arg(state)
+        .arg("--backoff-ms")
+        .arg("5")
+        .arg("--deadline-ms")
+        .arg(deadline_ms.to_string())
+        .env("BOLT_CRASH_AT", crash_at)
+        .output()
+        .expect("bolt-run spawns")
+}
+
+struct Reference {
+    stdout: Vec<u8>,
+    fdata: Vec<u8>,
+    status: i32,
+}
+
+/// The fault-free supervised run every injected run is compared to.
+fn reference(dir: &Path, elf: &Path) -> Reference {
+    let fdata = dir.join("ref.fdata");
+    let out = supervised(elf, &fdata, &dir.join("ref-state"), "", 300_000);
+    Reference {
+        stdout: out.stdout,
+        fdata: std::fs::read(&fdata).unwrap(),
+        status: out.status.code().expect("no signal"),
+    }
+}
+
+/// Hangs resolve via the deadline; give them a short one so the sweep
+/// stays fast, and everything else a generous one.
+fn deadline_for(mode: CrashMode) -> u64 {
+    match mode {
+        CrashMode::Hang => 2_000,
+        _ => 300_000,
+    }
+}
+
+#[test]
+fn transient_faults_are_retried_to_a_byte_identical_merge() {
+    let dir = scratch("transient");
+    let elf = dir.join("app.elf");
+    std::fs::write(&elf, clang_elf_bytes()).unwrap();
+    let reference = reference(&dir, &elf);
+
+    for seed in seeds() {
+        // Seeded choice of victim shard and fault mode — the sweep
+        // covers the mode space as the seed set widens.
+        let mut rng = XorShift64::new(seed);
+        let shard = rng.below(SHARDS);
+        let mode = CrashMode::all()[rng.below(CrashMode::all().len())];
+        let spec = format!("{shard}:0:{mode}");
+
+        let fdata = dir.join(format!("s{seed}.fdata"));
+        let state = dir.join(format!("s{seed}-state"));
+        let out = supervised(&elf, &fdata, &state, &spec, deadline_for(mode));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(reference.status),
+            "seed {seed} ({spec}): transient fault must not change the exit\n{stderr}"
+        );
+        assert_eq!(
+            out.stdout, reference.stdout,
+            "seed {seed} ({spec}): stdout identical after retry\n{stderr}"
+        );
+        assert_eq!(
+            std::fs::read(&fdata).unwrap(),
+            reference.fdata,
+            "seed {seed} ({spec}): fdata identical after retry\n{stderr}"
+        );
+        assert!(
+            stderr.contains("[retry]"),
+            "seed {seed} ({spec}): the fault actually fired and was retried\n{stderr}"
+        );
+        let _ = std::fs::remove_dir_all(&state);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_faults_quarantine_and_never_merge_corrupt_artifacts() {
+    let dir = scratch("persistent");
+    let elf = dir.join("app.elf");
+    std::fs::write(&elf, clang_elf_bytes()).unwrap();
+
+    for seed in seeds() {
+        let mut rng = XorShift64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let shard = rng.below(SHARDS);
+
+        // The partial merge with the victim shard *silently absent*
+        // (workers exit without an artifact): the uncontroversial
+        // reference for "this shard contributed nothing".
+        let absent_fdata = dir.join(format!("s{seed}-absent.fdata"));
+        let absent = supervised(
+            &elf,
+            &absent_fdata,
+            &dir.join(format!("s{seed}-absent-state")),
+            &format!("{shard}:*:exit"),
+            300_000,
+        );
+        let stderr = String::from_utf8_lossy(&absent.stderr);
+        assert_eq!(
+            absent.status.code(),
+            Some(3),
+            "seed {seed}: merged-with-quarantined exits 3\n{stderr}"
+        );
+        assert!(
+            stderr.contains("[quarantined]") && stderr.contains(&format!("shard {shard}")),
+            "seed {seed}: shard {shard} quarantined\n{stderr}"
+        );
+        let absent_bytes = std::fs::read(&absent_fdata).unwrap();
+
+        // Every corrupt-artifact mode must land on the *same* partial
+        // merge: if a garbage, truncated, or bit-flipped artifact ever
+        // reached the reducer, these bytes would differ.
+        for mode in [
+            CrashMode::GarbageArtifact,
+            CrashMode::TruncatedArtifact,
+            CrashMode::CorruptArtifact,
+            CrashMode::Abort,
+        ] {
+            let fdata = dir.join(format!("s{seed}-{mode}.fdata"));
+            let state = dir.join(format!("s{seed}-{mode}-state"));
+            let out = supervised(&elf, &fdata, &state, &format!("{shard}:*:{mode}"), 300_000);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(
+                out.status.code(),
+                Some(3),
+                "seed {seed} mode {mode}: exits 3\n{stderr}"
+            );
+            assert_eq!(
+                std::fs::read(&fdata).unwrap(),
+                absent_bytes,
+                "seed {seed} mode {mode}: corrupt artifact must never be merged\n{stderr}"
+            );
+            assert_eq!(out.stdout, absent.stdout, "seed {seed} mode {mode}: stdout");
+            if mode.clean_exit_bad_artifact() {
+                assert!(
+                    stderr.contains("[bad-artifact]"),
+                    "seed {seed} mode {mode}: rejection reported\n{stderr}"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&state);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_shard_failing_means_no_merge_and_exit_1() {
+    let dir = scratch("total-loss");
+    let elf = dir.join("app.elf");
+    std::fs::write(&elf, clang_elf_bytes()).unwrap();
+    let fdata = dir.join("out.fdata");
+    let out = supervised(&elf, &fdata, &dir.join("state"), "*:*:exit", 300_000);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "no usable artifacts is exit 1\n{stderr}"
+    );
+    assert!(out.stdout.is_empty(), "nothing merged, nothing printed");
+    assert!(
+        !fdata.exists(),
+        "no fdata written when there is nothing to merge"
+    );
+    assert!(stderr.contains("no usable shard artifacts"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_worker_is_killed_and_the_run_recovers() {
+    let dir = scratch("hang");
+    let elf = dir.join("app.elf");
+    std::fs::write(&elf, clang_elf_bytes()).unwrap();
+    let reference = reference(&dir, &elf);
+    let fdata = dir.join("out.fdata");
+    let out = supervised(&elf, &fdata, &dir.join("state"), "2:0:hang", 2_000);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("[timeout]") && stderr.contains("killed"),
+        "deadline kill reported\n{stderr}"
+    );
+    assert_eq!(out.status.code(), Some(reference.status));
+    assert_eq!(std::fs::read(&fdata).unwrap(), reference.fdata);
+    let _ = std::fs::remove_dir_all(&dir);
+}

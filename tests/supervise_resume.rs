@@ -1,0 +1,352 @@
+//! Supervised process-level sharding: the merged result (stdout output
+//! words, fdata bytes, counter sums, exit status) must be byte-identical
+//! to the in-process sharded path at any worker count, and an
+//! interrupted run must resume — re-executing only the missing or
+//! invalid shards — to the same bytes.
+//!
+//! These tests drive the real `bolt-run` binary end to end via
+//! `CARGO_BIN_EXE_bolt-run`, exactly as the CI shard-invariance legs do.
+
+use bolt::compiler::{compile_and_link, CompileOptions, FunctionBuilder, MirProgram, Operand};
+use bolt::elf::write_elf;
+use bolt::workloads::{Scale, Workload};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+
+fn bolt_run() -> &'static str {
+    env!("CARGO_BIN_EXE_bolt-run")
+}
+
+/// A unique scratch directory per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bolt-supervise-resume-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The clang-like workload binary on disk (it has the `config`
+/// input-selection global, so shards partition the input space).
+fn clang_elf_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let program = Workload::ClangLike.build(Scale::Test);
+        let bin = compile_and_link(&program, &CompileOptions::default()).expect("compiles");
+        write_elf(&bin.elf).expect("serializes")
+    })
+}
+
+/// A trivial program whose entry returns 0 — the only way to observe
+/// the `0 = full clean merge` row of the exit-code taxonomy, since the
+/// evaluation workloads exit with their (nonzero) checksums.
+fn exit0_elf_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut b = FunctionBuilder::new("main", 0, "main.c", 1);
+        b.ret(Operand::Const(0));
+        let mut p = MirProgram::with_entry("main");
+        p.add_function(b.finish());
+        p.validate().unwrap();
+        let bin = compile_and_link(&p, &CompileOptions::default()).expect("compiles");
+        write_elf(&bin.elf).expect("serializes")
+    })
+}
+
+struct RunOutput {
+    status: i32,
+    stdout: Vec<u8>,
+    stderr: String,
+    fdata: Vec<u8>,
+}
+
+/// Runs `bolt-run` on `elf_path` with the shared measurement flags and
+/// returns everything the merge semantics promise to keep identical.
+fn run(elf_path: &Path, fdata: &Path, shards: usize, extra: &[&str]) -> RunOutput {
+    let out = Command::new(bolt_run())
+        .arg(elf_path)
+        .arg("--fdata")
+        .arg(fdata)
+        .arg("--counters")
+        .arg("--shards")
+        .arg(shards.to_string())
+        .arg("--shard-config")
+        .arg("4000")
+        .args(extra)
+        // The CI matrix exports BOLT_* knobs; resolve identically in
+        // both paths by clearing the ones that would diverge.
+        .env_remove("BOLT_CRASH_AT")
+        .output()
+        .expect("bolt-run spawns");
+    RunOutput {
+        status: out.status.code().expect("no signal"),
+        stdout: out.stdout,
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        fdata: std::fs::read(fdata).unwrap_or_default(),
+    }
+}
+
+/// The perf-stat counter block from stderr — the supervised path must
+/// reproduce it exactly (the surrounding supervision report may
+/// differ).
+fn counter_lines(stderr: &str) -> Vec<&str> {
+    stderr
+        .lines()
+        .filter(|l| {
+            l.starts_with("  cycles")
+                || l.starts_with("  ipc")
+                || l.starts_with("  branch-misses")
+                || l.starts_with("  L1-")
+                || l.starts_with("  iTLB-")
+                || l.starts_with("  LLC-")
+        })
+        .collect()
+}
+
+fn assert_identical(a: &RunOutput, b: &RunOutput, what: &str) {
+    assert_eq!(a.stdout, b.stdout, "{what}: stdout must be byte-identical");
+    assert_eq!(a.fdata, b.fdata, "{what}: fdata must be byte-identical");
+    assert!(!a.fdata.is_empty(), "{what}: profile actually collected");
+    assert_eq!(
+        counter_lines(&a.stderr),
+        counter_lines(&b.stderr),
+        "{what}: counter sums must be identical"
+    );
+    assert_eq!(a.status, b.status, "{what}: exit status must agree");
+}
+
+#[test]
+fn supervised_merge_is_byte_identical_to_in_process_at_1_and_8_shards() {
+    let dir = scratch("identity");
+    let elf_path = dir.join("app.elf");
+    std::fs::write(&elf_path, clang_elf_bytes()).unwrap();
+
+    for shards in [1usize, 8] {
+        let baseline = run(&elf_path, &dir.join("a.fdata"), shards, &[]);
+        let state = dir.join(format!("state-{shards}"));
+        let supervised = run(
+            &elf_path,
+            &dir.join("b.fdata"),
+            shards,
+            &["--supervise", "--state-dir", state.to_str().unwrap()],
+        );
+        assert!(
+            supervised.stderr.contains("supervise:"),
+            "supervision report printed:\n{}",
+            supervised.stderr
+        );
+        assert_identical(&baseline, &supervised, &format!("{shards} shards"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_run_resumes_to_identical_bytes() {
+    let dir = scratch("resume");
+    let elf_path = dir.join("app.elf");
+    std::fs::write(&elf_path, clang_elf_bytes()).unwrap();
+    let state = dir.join("state");
+    let sup = |fdata: &Path, env: &[(&str, &str)]| {
+        let mut cmd = Command::new(bolt_run());
+        cmd.arg(&elf_path)
+            .arg("--fdata")
+            .arg(fdata)
+            .arg("--counters")
+            .arg("--shards")
+            .arg("8")
+            .arg("--shard-config")
+            .arg("4000")
+            .arg("--supervise")
+            .arg("--backoff-ms")
+            .arg("5")
+            .arg("--state-dir")
+            .arg(&state)
+            .env_remove("BOLT_CRASH_AT");
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        cmd.output().expect("bolt-run spawns")
+    };
+
+    // Complete run: the reference bytes.
+    let full = sup(&dir.join("full.fdata"), &[]);
+    assert!(full.status.code().is_some());
+    let full_fdata = std::fs::read(dir.join("full.fdata")).unwrap();
+
+    // Interruption model 1: a shard artifact vanishes (run died before
+    // the worker finished). Model 2: a torn, non-atomic write left a
+    // truncated artifact behind (validation must discard it).
+    std::fs::remove_file(state.join("shard-3.bolta")).unwrap();
+    let torn = state.join("shard-5.bolta");
+    let bytes = std::fs::read(&torn).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() / 3]).unwrap();
+
+    // Resume. Every *other* shard is poisoned: if the supervisor
+    // re-spawned it instead of resuming its artifact, it would crash
+    // out and quarantine, changing the output.
+    let resumed = sup(
+        &dir.join("resumed.fdata"),
+        &[(
+            "BOLT_CRASH_AT",
+            "0:*:crash,1:*:crash,2:*:crash,4:*:crash,6:*:crash,7:*:crash",
+        )],
+    );
+    let resumed_err = String::from_utf8_lossy(&resumed.stderr);
+    assert_eq!(
+        std::fs::read(dir.join("resumed.fdata")).unwrap(),
+        full_fdata,
+        "resumed run must reproduce the fdata byte-for-byte\n{resumed_err}"
+    );
+    assert_eq!(resumed.stdout, full.stdout, "stdout identical after resume");
+    assert_eq!(resumed.status.code(), full.status.code());
+    assert!(
+        resumed_err.contains("[resumed]"),
+        "resume events reported:\n{resumed_err}"
+    );
+    assert!(
+        resumed_err.contains("[stale-artifact]"),
+        "torn artifact discarded:\n{resumed_err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn state_dir_of_a_different_run_is_reset_not_merged() {
+    let dir = scratch("fingerprint");
+    let elf_path = dir.join("app.elf");
+    std::fs::write(&elf_path, clang_elf_bytes()).unwrap();
+    let state = dir.join("state");
+
+    // Populate the state dir at 4000, then rerun with a different
+    // shard-config base: every artifact is stale by fingerprint.
+    let first = run(
+        &elf_path,
+        &dir.join("a.fdata"),
+        4,
+        &["--supervise", "--state-dir", state.to_str().unwrap()],
+    );
+    assert!(first.stderr.contains("supervise:"));
+    let out = Command::new(bolt_run())
+        .arg(&elf_path)
+        .arg("--fdata")
+        .arg(dir.join("b.fdata"))
+        .arg("--counters")
+        .arg("--shards")
+        .arg("4")
+        .arg("--shard-config")
+        .arg("5000")
+        .arg("--supervise")
+        .arg("--state-dir")
+        .arg(&state)
+        .env_remove("BOLT_CRASH_AT")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("[manifest-reset]"),
+        "mismatched state dir reset:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("[resumed]"),
+        "no stale artifact may be resumed:\n{stderr}"
+    );
+    // And the result matches a fresh in-process run at base 5000.
+    let baseline = Command::new(bolt_run())
+        .arg(&elf_path)
+        .arg("--fdata")
+        .arg(dir.join("c.fdata"))
+        .arg("--shards")
+        .arg("4")
+        .arg("--shard-config")
+        .arg("5000")
+        .env_remove("BOLT_CRASH_AT")
+        .output()
+        .unwrap();
+    assert_eq!(out.stdout, baseline.stdout);
+    assert_eq!(
+        std::fs::read(dir.join("b.fdata")).unwrap(),
+        std::fs::read(dir.join("c.fdata")).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_full_merge_of_an_exit0_binary_exits_0() {
+    let dir = scratch("exit0");
+    let elf_path = dir.join("zero.elf");
+    std::fs::write(&elf_path, exit0_elf_bytes()).unwrap();
+    let out = Command::new(bolt_run())
+        .arg(&elf_path)
+        .arg("--shards")
+        .arg("2")
+        .arg("--supervise")
+        .arg("--state-dir")
+        .arg(dir.join("state"))
+        .env_remove("BOLT_CRASH_AT")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "full clean merge is exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn step_budget_flag_and_env_are_honored_and_reported() {
+    let dir = scratch("budget");
+    let elf_path = dir.join("app.elf");
+    std::fs::write(&elf_path, clang_elf_bytes()).unwrap();
+
+    // Flag form, in-process path.
+    let out = Command::new(bolt_run())
+        .arg(&elf_path)
+        .arg("--max-steps")
+        .arg("1000")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did not exit") && stderr.contains("budget 1000"),
+        "truncated run reports its budget:\n{stderr}"
+    );
+    assert!(!out.status.success());
+
+    // Env form, supervised path: the resolved budget is forwarded to
+    // the workers and reported per shard.
+    let out = Command::new(bolt_run())
+        .arg(&elf_path)
+        .arg("--shards")
+        .arg("2")
+        .arg("--supervise")
+        .arg("--state-dir")
+        .arg(dir.join("state"))
+        .env("BOLT_MAX_STEPS", "2000")
+        .env_remove("BOLT_CRASH_AT")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("budget 2000"),
+        "supervised shards inherit the env budget:\n{stderr}"
+    );
+    // The flag beats the env.
+    let out = Command::new(bolt_run())
+        .arg(&elf_path)
+        .arg("--max-steps")
+        .arg("1500")
+        .env("BOLT_MAX_STEPS", "2000")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("budget 1500"),
+        "--max-steps beats BOLT_MAX_STEPS:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
